@@ -1,0 +1,231 @@
+//! The fig 1b "2D arrangement": two attributes assigned to the axes.
+//!
+//! "The basic idea is to assign two attributes to the axis and to arrange
+//! the relevance factors according to the direction of the distance; for
+//! one attribute negative distances are arranged to the left, positive
+//! ones to the right and for the other attribute negative distances are
+//! arranged to the bottom, positive ones to the top. Inside the regions,
+//! the data items with the relevance factors sorted in descending order
+//! are arranged from the middle (yellow region) to the edges of the
+//! window." (§4.2)
+//!
+//! The window is split into a small central *exact region* (both
+//! distances zero), four *edge regions* (one distance zero), and four
+//! *quadrants*. Each region is filled from its center-nearest corner
+//! outwards in diagonal bands, by descending relevance.
+
+use crate::window::ItemGrid;
+
+/// Sign classification of one signed distance.
+fn sign(d: f64) -> i8 {
+    if d < 0.0 {
+        -1
+    } else if d > 0.0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// An item to place: its index and its two signed distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item2D {
+    /// Data-item index.
+    pub item: usize,
+    /// Signed distance on the x-axis attribute.
+    pub dx: f64,
+    /// Signed distance on the y-axis attribute.
+    pub dy: f64,
+}
+
+/// Fill one rectangular region `[x0, x1) × [y0, y1)` with items (already
+/// sorted by descending relevance) in diagonal bands starting from the
+/// corner `(cx, cy)` (one of the region's corners, the one closest to the
+/// window center). Returns how many items were placed.
+fn fill_region(
+    grid: &mut ItemGrid,
+    (x0, y0, x1, y1): (usize, usize, usize, usize),
+    corner: (usize, usize),
+    items: &[usize],
+) -> usize {
+    let w = x1.saturating_sub(x0);
+    let h = y1.saturating_sub(y0);
+    if w == 0 || h == 0 {
+        return 0;
+    }
+    // local coordinates with (0,0) at the seed corner
+    let flip_x = corner.0 != x0;
+    let flip_y = corner.1 != y0;
+    let mut placed = 0;
+    'outer: for band in 0..(w + h - 1) {
+        for lx in 0..=band.min(w - 1) {
+            let ly = band - lx;
+            if ly >= h {
+                continue;
+            }
+            let gx = x0 + if flip_x { w - 1 - lx } else { lx };
+            let gy = y0 + if flip_y { h - 1 - ly } else { ly };
+            if placed >= items.len() {
+                break 'outer;
+            }
+            grid.set(gx, gy, items[placed] as u32);
+            placed += 1;
+        }
+    }
+    placed
+}
+
+/// Arrange items into a `width × height` window by distance direction.
+///
+/// `items` must be sorted by **descending relevance** (the caller has
+/// them from the pipeline's `order`). Items are partitioned into nine
+/// sign regions; each region is filled center-out. Items that do not fit
+/// their region are dropped (mirroring the spiral window's clipping).
+pub fn arrange_grouped2d(items: &[Item2D], width: usize, height: usize) -> ItemGrid {
+    let mut grid = ItemGrid::new(width, height);
+    if width == 0 || height == 0 {
+        return grid;
+    }
+    // central exact region: a block around the middle whose size scales
+    // with the window (at least 1 cell)
+    let cw = (width / 8).max(1);
+    let ch = (height / 8).max(1);
+    let cx0 = width / 2 - cw / 2;
+    let cy0 = height / 2 - ch / 2;
+    let (cx1, cy1) = (cx0 + cw, cy0 + ch);
+
+    // partition by sign pair, preserving relevance order
+    let mut buckets: [Vec<usize>; 9] = Default::default();
+    let bucket_of = |sx: i8, sy: i8| -> usize { ((sx + 1) * 3 + (sy + 1)) as usize };
+    for it in items {
+        buckets[bucket_of(sign(it.dx), sign(it.dy))].push(it.item);
+    }
+
+    // screen y grows downward: positive dy goes to the TOP (smaller y)
+    // region bounds per sign: x: -1 -> [0,cx0), 0 -> [cx0,cx1), 1 -> [cx1,w)
+    let x_span = |sx: i8| match sx {
+        -1 => (0, cx0),
+        0 => (cx0, cx1),
+        _ => (cx1, width),
+    };
+    let y_span = |sy: i8| match sy {
+        1 => (0, cy0),          // positive: top
+        0 => (cy0, cy1),        // zero: middle band
+        _ => (cy1, height),     // negative: bottom
+    };
+    // the seed corner of each region is the one facing the center block
+    let x_corner = |sx: i8, (x0, x1): (usize, usize)| match sx {
+        -1 => x1.saturating_sub(1),
+        0 => x0 + (x1 - x0) / 2,
+        _ => x0,
+    };
+    let y_corner = |sy: i8, (y0, y1): (usize, usize)| match sy {
+        1 => y1.saturating_sub(1),
+        0 => y0 + (y1 - y0) / 2,
+        _ => y0,
+    };
+
+    for sx in [-1i8, 0, 1] {
+        for sy in [-1i8, 0, 1] {
+            let b = &buckets[bucket_of(sx, sy)];
+            if b.is_empty() {
+                continue;
+            }
+            let (x0, x1) = x_span(sx);
+            let (y0, y1) = y_span(sy);
+            let corner = (x_corner(sx, (x0, x1)), y_corner(sy, (y0, y1)));
+            fill_region(&mut grid, (x0, y0, x1, y1), corner, b);
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(i: usize, dx: f64, dy: f64) -> Item2D {
+        Item2D { item: i, dx, dy }
+    }
+
+    #[test]
+    fn exact_answers_land_in_the_center_block() {
+        let items = vec![item(0, 0.0, 0.0)];
+        let grid = arrange_grouped2d(&items, 16, 16);
+        let (x, y) = grid.position_of(0).unwrap();
+        assert!((7..=9).contains(&x), "x={x}");
+        assert!((7..=9).contains(&y), "y={y}");
+    }
+
+    #[test]
+    fn signs_map_to_quadrants() {
+        let items = vec![
+            item(1, -5.0, -5.0), // left-bottom
+            item(2, 5.0, 5.0),   // right-top
+            item(3, -5.0, 5.0),  // left-top
+            item(4, 5.0, -5.0),  // right-bottom
+        ];
+        let grid = arrange_grouped2d(&items, 20, 20);
+        let (x1, y1) = grid.position_of(1).unwrap();
+        assert!(x1 < 10 && y1 >= 10, "({x1},{y1})");
+        let (x2, y2) = grid.position_of(2).unwrap();
+        assert!(x2 >= 10 && y2 < 10, "({x2},{y2})");
+        let (x3, y3) = grid.position_of(3).unwrap();
+        assert!(x3 < 10 && y3 < 10, "({x3},{y3})");
+        let (x4, y4) = grid.position_of(4).unwrap();
+        assert!(x4 >= 10 && y4 >= 10, "({x4},{y4})");
+    }
+
+    #[test]
+    fn higher_relevance_sits_closer_to_center() {
+        // both in the right-top quadrant; first item (higher relevance)
+        // must be nearer the center
+        let items = vec![item(0, 1.0, 1.0), item(1, 200.0, 200.0)];
+        let grid = arrange_grouped2d(&items, 32, 32);
+        let c = 16.0f64;
+        let d = |p: (usize, usize)| ((p.0 as f64 - c).powi(2) + (p.1 as f64 - c).powi(2)).sqrt();
+        let d0 = d(grid.position_of(0).unwrap());
+        let d1 = d(grid.position_of(1).unwrap());
+        assert!(d0 <= d1, "d0={d0} d1={d1}");
+    }
+
+    #[test]
+    fn all_items_placed_when_they_fit() {
+        let items: Vec<Item2D> = (0..50)
+            .map(|i| {
+                item(
+                    i,
+                    if i % 2 == 0 { -1.0 } else { 1.0 },
+                    if i % 3 == 0 { -1.0 } else { 1.0 },
+                )
+            })
+            .collect();
+        let grid = arrange_grouped2d(&items, 40, 40);
+        assert_eq!(grid.occupied(), 50);
+    }
+
+    #[test]
+    fn overflowing_region_drops_excess() {
+        // tiny window, many exact answers: center block can't hold all
+        let items: Vec<Item2D> = (0..100).map(|i| item(i, 0.0, 0.0)).collect();
+        let grid = arrange_grouped2d(&items, 8, 8);
+        assert!(grid.occupied() < 100);
+        assert!(grid.occupied() >= 1);
+    }
+
+    #[test]
+    fn zero_sized_window() {
+        let grid = arrange_grouped2d(&[item(0, 1.0, 1.0)], 0, 10);
+        assert_eq!(grid.occupied(), 0);
+    }
+
+    #[test]
+    fn mixed_zero_axis_items_use_edge_bands() {
+        // dx = 0, dy > 0: middle column, top band
+        let items = vec![item(0, 0.0, 3.0)];
+        let grid = arrange_grouped2d(&items, 16, 16);
+        let (x, y) = grid.position_of(0).unwrap();
+        assert!((7..=9).contains(&x), "x={x}");
+        assert!(y < 8, "y={y}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # visdb-arrange
+//!
+//! Spatial arrangement of data items as pixels (§3, §4.2 of the paper).
+//!
+//! * [`spiral`] — the *rectangular spiral* of fig 1a: "The absolutely
+//!   correct answers are colored yellow in the middle and the approximate
+//!   answers ... are rectangular spiral-shaped around this region."
+//! * [`grouped2d`] — the optional fig 1b arrangement: two attributes are
+//!   assigned to the axes and items are placed by the *sign* of their
+//!   distances (negative left/bottom, positive right/top), sorted by
+//!   relevance from the middle outwards.
+//! * [`window`] — the pixel grid abstraction shared by both, including
+//!   the 1/4/16-pixels-per-item footprints and the *position coherence*
+//!   rule: per-predicate windows place each item at the same relative
+//!   position as the overall-result window (§4.2).
+
+pub mod grouped2d;
+pub mod spiral;
+pub mod window;
+
+pub use grouped2d::arrange_grouped2d;
+pub use spiral::{spiral_coords, SpiralIter};
+pub use window::{arrange_overall, place_like, ItemGrid, PixelsPerItem};

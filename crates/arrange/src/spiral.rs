@@ -1,0 +1,173 @@
+//! The rectangular spiral of fig 1a.
+//!
+//! Items are placed on an integer grid starting at the center cell and
+//! winding outwards (right, down, left, up with growing run lengths).
+//! For non-square windows the spiral is clipped: coordinates that fall
+//! outside the window are skipped, so every cell of a `w × h` window is
+//! eventually visited exactly once.
+
+/// Iterator over the cells of a `w × h` grid in rectangular-spiral order,
+/// starting at the center.
+#[derive(Debug, Clone)]
+pub struct SpiralIter {
+    w: i64,
+    h: i64,
+    /// current position (may be outside the grid mid-winding)
+    x: i64,
+    y: i64,
+    /// direction index into DIRS
+    dir: usize,
+    /// cells remaining in the current run
+    run_left: i64,
+    /// current run length (grows every two turns)
+    run_len: i64,
+    /// turns taken since the run length last grew
+    turns: u8,
+    /// cells already yielded
+    emitted: i64,
+    /// true until the first cell has been yielded
+    fresh: bool,
+}
+
+/// Right, down, left, up — clockwise winding.
+const DIRS: [(i64, i64); 4] = [(1, 0), (0, 1), (-1, 0), (0, -1)];
+
+impl SpiralIter {
+    /// Spiral over a `w × h` window. Zero-sized windows yield nothing.
+    pub fn new(w: usize, h: usize) -> Self {
+        let (w, h) = (w as i64, h as i64);
+        SpiralIter {
+            w,
+            h,
+            // center, biased up-left for even dimensions
+            x: (w - 1) / 2,
+            y: (h - 1) / 2,
+            dir: 0,
+            run_left: 1,
+            run_len: 1,
+            turns: 0,
+            emitted: 0,
+            fresh: true,
+        }
+    }
+
+    fn advance(&mut self) {
+        if self.run_left == 0 {
+            self.dir = (self.dir + 1) % 4;
+            self.turns += 1;
+            if self.turns == 2 {
+                self.turns = 0;
+                self.run_len += 1;
+            }
+            self.run_left = self.run_len;
+        }
+        let (dx, dy) = DIRS[self.dir];
+        self.x += dx;
+        self.y += dy;
+        self.run_left -= 1;
+    }
+}
+
+impl Iterator for SpiralIter {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.emitted >= self.w * self.h {
+            return None;
+        }
+        if self.fresh {
+            self.fresh = false;
+        } else {
+            self.advance();
+        }
+        // skip clipped positions; bounded because the spiral radius grows
+        while self.x < 0 || self.x >= self.w || self.y < 0 || self.y >= self.h {
+            self.advance();
+        }
+        self.emitted += 1;
+        Some((self.x as usize, self.y as usize))
+    }
+}
+
+/// All cells of a `w × h` window in spiral order (convenience wrapper).
+pub fn spiral_coords(w: usize, h: usize) -> Vec<(usize, usize)> {
+    SpiralIter::new(w, h).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn covers_every_cell_exactly_once() {
+        for (w, h) in [(1, 1), (3, 3), (4, 4), (5, 3), (2, 7), (10, 1)] {
+            let cells = spiral_coords(w, h);
+            assert_eq!(cells.len(), w * h, "{w}x{h}");
+            let set: HashSet<_> = cells.iter().collect();
+            assert_eq!(set.len(), w * h, "{w}x{h} has duplicates");
+            for &(x, y) in &cells {
+                assert!(x < w && y < h);
+            }
+        }
+    }
+
+    #[test]
+    fn starts_at_center() {
+        assert_eq!(spiral_coords(3, 3)[0], (1, 1));
+        assert_eq!(spiral_coords(5, 5)[0], (2, 2));
+        assert_eq!(spiral_coords(4, 4)[0], (1, 1)); // up-left bias for even
+        assert_eq!(spiral_coords(1, 1)[0], (0, 0));
+    }
+
+    #[test]
+    fn small_spiral_order_is_the_classic_winding() {
+        // 3x3 clockwise: center, right, down, left, left, up, up, right, right
+        let cells = spiral_coords(3, 3);
+        assert_eq!(
+            cells,
+            vec![
+                (1, 1),
+                (2, 1),
+                (2, 2),
+                (1, 2),
+                (0, 2),
+                (0, 1),
+                (0, 0),
+                (1, 0),
+                (2, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn rank_is_monotone_in_chebyshev_radius_on_squares() {
+        // on odd squares, later ranks are never strictly closer to the
+        // center than the max radius seen so far minus 1 (spiral bands)
+        let n = 9;
+        let c = (n as i64 - 1) / 2;
+        let mut max_r = 0i64;
+        for (x, y) in spiral_coords(n, n) {
+            let r = (x as i64 - c).abs().max((y as i64 - c).abs());
+            assert!(r >= max_r - 1, "cell ({x},{y}) radius {r} after band {max_r}");
+            max_r = max_r.max(r);
+        }
+    }
+
+    #[test]
+    fn zero_sized_yields_nothing() {
+        assert!(spiral_coords(0, 5).is_empty());
+        assert!(spiral_coords(5, 0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_permutation(w in 1usize..40, h in 1usize..40) {
+            let cells = spiral_coords(w, h);
+            prop_assert_eq!(cells.len(), w * h);
+            let set: HashSet<_> = cells.iter().collect();
+            prop_assert_eq!(set.len(), w * h);
+        }
+    }
+}

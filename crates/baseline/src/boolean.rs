@@ -1,0 +1,270 @@
+//! Exact boolean evaluation of VisDB condition trees — what a
+//! traditional query interface returns: a row either fulfils the whole
+//! condition or is absent from the answer.
+//!
+//! Comparison operators here are *strict* (`<` vs `<=` matter), unlike
+//! the graded distance functions.
+
+use visdb_distance::geo;
+use visdb_query::ast::{AttrRef, ConditionNode, Predicate, PredicateTarget, Query, SubqueryLink};
+use visdb_query::connection::{ConnectionKind, ConnectionUse};
+use visdb_storage::{ColumnData, Database, Table};
+use visdb_types::{Error, Result, Value};
+
+/// Evaluate a condition tree exactly over a table. NULL operands make a
+/// predicate false (SQL-ish three-valued logic collapsed to false).
+pub fn evaluate_boolean(db: &Database, table: &Table, node: &ConditionNode) -> Result<Vec<bool>> {
+    let n = table.len();
+    match node {
+        ConditionNode::Predicate(p) => eval_predicate(table, p),
+        ConditionNode::And(children) => {
+            let mut acc = vec![true; n];
+            for c in children {
+                let v = evaluate_boolean(db, table, &c.node)?;
+                for i in 0..n {
+                    acc[i] &= v[i];
+                }
+            }
+            Ok(acc)
+        }
+        ConditionNode::Or(children) => {
+            let mut acc = vec![false; n];
+            for c in children {
+                let v = evaluate_boolean(db, table, &c.node)?;
+                for i in 0..n {
+                    acc[i] |= v[i];
+                }
+            }
+            Ok(acc)
+        }
+        ConditionNode::Not(inner) => {
+            let v = evaluate_boolean(db, table, inner)?;
+            Ok(v.into_iter().map(|b| !b).collect())
+        }
+        ConditionNode::Connection(c) => eval_connection(table, c),
+        ConditionNode::Subquery { link, query } => eval_subquery(db, table, link, query),
+    }
+}
+
+fn resolve<'a>(table: &'a Table, attr: &AttrRef) -> Result<&'a ColumnData> {
+    let tried: Vec<String> = match &attr.table {
+        Some(t) => vec![format!("{t}.{}", attr.column), attr.column.clone()],
+        None => vec![attr.column.clone()],
+    };
+    for name in &tried {
+        if let Ok(c) = table.column_by_name(name) {
+            return Ok(c);
+        }
+    }
+    Err(Error::UnknownColumn {
+        table: table.name().to_string(),
+        column: tried.join(" / "),
+    })
+}
+
+fn eval_predicate(table: &Table, p: &Predicate) -> Result<Vec<bool>> {
+    let col = resolve(table, &p.attr)?;
+    let n = table.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = col.get(i);
+        let b = match &p.target {
+            PredicateTarget::Compare { op, value } => match v.partial_cmp_value(value) {
+                Some(ord) => op.eval(ord),
+                None => false,
+            },
+            PredicateTarget::Range { low, high } => {
+                let ge = matches!(
+                    v.partial_cmp_value(low),
+                    Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                );
+                let le = matches!(
+                    v.partial_cmp_value(high),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                );
+                ge && le
+            }
+            PredicateTarget::Around { center, deviation } => {
+                match (v.as_f64(), center.as_f64()) {
+                    (Some(x), Some(c)) => (x - c).abs() <= *deviation,
+                    _ => false,
+                }
+            }
+        };
+        out.push(b);
+    }
+    Ok(out)
+}
+
+fn eval_connection(table: &Table, c: &ConnectionUse) -> Result<Vec<bool>> {
+    let (left, right) = c.def.kind.attrs();
+    let lc = resolve(table, left)?;
+    let rc = resolve(table, right)?;
+    let n = table.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let b = match &c.def.kind {
+            ConnectionKind::Equi { .. } | ConnectionKind::ForeignKey { .. } => {
+                let (a, b) = (lc.get(i), rc.get(i));
+                !a.is_null() && a == b
+            }
+            ConnectionKind::NonEqui { op, .. } => match lc.get(i).partial_cmp_value(&rc.get(i)) {
+                Some(ord) => op.eval(ord),
+                None => false,
+            },
+            ConnectionKind::TimeDiff { .. } => {
+                let expected = *c.params.first().unwrap_or(&0.0);
+                match (lc.get_f64(i), rc.get_f64(i)) {
+                    (Some(a), Some(b)) => (a - b) == expected,
+                    _ => false,
+                }
+            }
+            ConnectionKind::SpatialWithin { .. } => {
+                let radius = *c.params.first().unwrap_or(&0.0);
+                match (lc.get_location(i), rc.get_location(i)) {
+                    (Some(a), Some(b)) => geo::haversine_m(a, b) <= radius,
+                    _ => false,
+                }
+            }
+        };
+        out.push(b);
+    }
+    Ok(out)
+}
+
+fn eval_subquery(
+    db: &Database,
+    table: &Table,
+    link: &SubqueryLink,
+    query: &Query,
+) -> Result<Vec<bool>> {
+    let inner_name = query
+        .tables
+        .first()
+        .ok_or_else(|| Error::invalid_query("subquery must reference a table"))?;
+    let inner = db.table(inner_name)?;
+    let inner_match: Vec<bool> = match &query.condition {
+        Some(w) => evaluate_boolean(db, inner, &w.node)?,
+        None => vec![true; inner.len()],
+    };
+    let n = table.len();
+    match link {
+        SubqueryLink::Exists => {
+            let any = inner_match.iter().any(|b| *b);
+            Ok(vec![any; n])
+        }
+        SubqueryLink::In { outer, inner: inner_attr } => {
+            let oc = resolve(table, outer)?;
+            let ic = resolve(inner, inner_attr)?;
+            let matching_values: Vec<Value> = (0..inner.len())
+                .filter(|&j| inner_match[j])
+                .map(|j| ic.get(j))
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let v = oc.get(i);
+                out.push(!v.is_null() && matching_values.contains(&v));
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visdb_query::ast::CompareOp;
+    use visdb_query::builder::QueryBuilder;
+    use visdb_storage::TableBuilder;
+    use visdb_types::{Column, DataType};
+
+    fn db() -> Database {
+        let mut db = Database::new("t");
+        db.add_table(
+            TableBuilder::new(
+                "T",
+                vec![
+                    Column::new("x", DataType::Float),
+                    Column::new("s", DataType::Str),
+                ],
+            )
+            .row(vec![Value::Float(1.0), Value::from("a")])
+            .unwrap()
+            .row(vec![Value::Float(5.0), Value::from("b")])
+            .unwrap()
+            .row(vec![Value::Null, Value::from("c")])
+            .unwrap()
+            .build(),
+        );
+        db
+    }
+
+    #[test]
+    fn strict_comparison_semantics() {
+        let db = db();
+        let t = db.table("T").unwrap();
+        let q = QueryBuilder::from_tables(["T"]).cmp("x", CompareOp::Lt, 5.0).build();
+        let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
+        assert_eq!(v, vec![true, false, false]); // strict <, NULL -> false
+        let q = QueryBuilder::from_tables(["T"]).cmp("x", CompareOp::Le, 5.0).build();
+        let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
+        assert_eq!(v, vec![true, true, false]);
+    }
+
+    #[test]
+    fn and_or_not() {
+        let db = db();
+        let t = db.table("T").unwrap();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Gt, 0.0)
+            .cmp("s", CompareOp::Eq, "a")
+            .any()
+            .build();
+        let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
+        assert_eq!(v, vec![true, true, false]);
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("s", CompareOp::Eq, "a")
+            .negate_last()
+            .build();
+        let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
+        assert_eq!(v, vec![false, true, true]);
+    }
+
+    #[test]
+    fn range_and_around() {
+        let db = db();
+        let t = db.table("T").unwrap();
+        let q = QueryBuilder::from_tables(["T"]).between("x", 0.0, 2.0).build();
+        let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
+        assert_eq!(v, vec![true, false, false]);
+        let q = QueryBuilder::from_tables(["T"]).around("x", 4.0, 1.5).build();
+        let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
+        assert_eq!(v, vec![false, true, false]);
+    }
+
+    #[test]
+    fn in_subquery_exact() {
+        let mut database = db();
+        database.add_table(
+            TableBuilder::new("U", vec![Column::new("y", DataType::Float)])
+                .row(vec![Value::Float(5.0)])
+                .unwrap()
+                .build(),
+        );
+        let sub = QueryBuilder::from_tables(["U"]).select(["y"]).build();
+        let q = QueryBuilder::from_tables(["T"]).is_in("x", "y", sub).build();
+        let t = database.table("T").unwrap();
+        let v = evaluate_boolean(&database, t, &q.condition.unwrap().node).unwrap();
+        assert_eq!(v, vec![false, true, false]);
+    }
+
+    #[test]
+    fn exists_subquery_exact() {
+        let db = db();
+        let t = db.table("T").unwrap();
+        let sub = QueryBuilder::from_tables(["T"]).cmp("x", CompareOp::Gt, 100.0).build();
+        let q = QueryBuilder::from_tables(["T"]).exists(sub).build();
+        let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
+        assert_eq!(v, vec![false; 3]);
+    }
+}

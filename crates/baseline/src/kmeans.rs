@@ -1,0 +1,197 @@
+//! Lloyd's k-means over numeric attribute matrices.
+//!
+//! The cluster-analysis comparator of §2.2: good at finding *groups* of
+//! similar data, structurally unable to isolate a *single* exceptional
+//! item (it gets absorbed into its nearest cluster) — which is exactly
+//! what claim C3 measures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use visdb_types::{Error, Result};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Iterations until convergence (or the cap).
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Run k-means (k-means++ seeding, Lloyd iterations, at most `max_iter`).
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> Result<KMeansResult> {
+    if points.is_empty() {
+        return Err(Error::invalid_parameter("points", "empty point set"));
+    }
+    let dims = points[0].len();
+    if points.iter().any(|p| p.len() != dims) {
+        return Err(Error::invalid_parameter("points", "ragged dimensionality"));
+    }
+    if k == 0 || k > points.len() {
+        return Err(Error::invalid_parameter(
+            "k",
+            format!("need 1 <= k <= n, got k={k}, n={}", points.len()),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // all points coincide with existing centroids
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if target < d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // assign
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(p, &centroids[a])
+                        .partial_cmp(&sq_dist(p, &centroids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // update
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for d in 0..dims {
+                sums[assignments[i]][d] += p[d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..dims {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sq_dist(p, &centroids[assignments[i]]))
+        .sum();
+    Ok(KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            pts.push(vec![i as f64 * 0.01, 0.0]);
+            pts.push(vec![100.0 + i as f64 * 0.01, 0.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, 2, 1, 100).unwrap();
+        // points alternate blob membership; assignments must follow
+        let a0 = r.assignments[0];
+        for i in (0..100).step_by(2) {
+            assert_eq!(r.assignments[i], a0);
+            assert_eq!(r.assignments[i + 1], 1 - a0);
+        }
+        assert!(r.inertia < 50.0);
+    }
+
+    #[test]
+    fn outlier_gets_absorbed_with_small_k() {
+        // 99 points in one blob + 1 extreme outlier; k=2 splits the blob
+        // or isolates the outlier depending on seeding — but with k=1 the
+        // outlier is necessarily absorbed (the C3 phenomenon)
+        let mut pts: Vec<Vec<f64>> = (0..99).map(|i| vec![i as f64 * 0.01]).collect();
+        pts.push(vec![10_000.0]);
+        let r = kmeans(&pts, 1, 3, 50).unwrap();
+        assert!(r.assignments.iter().all(|&a| a == 0));
+        assert!(r.inertia > 1e6); // the outlier dominates the inertia
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(kmeans(&[], 1, 0, 10).is_err());
+        assert!(kmeans(&[vec![1.0]], 0, 0, 10).is_err());
+        assert!(kmeans(&[vec![1.0]], 2, 0, 10).is_err());
+        assert!(kmeans(&[vec![1.0], vec![1.0, 2.0]], 1, 0, 10).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_zero_inertia() {
+        let pts = vec![vec![0.0], vec![10.0], vec![20.0]];
+        let r = kmeans(&pts, 3, 5, 100).unwrap();
+        assert!(r.inertia < 1e-9, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, 2, 9, 100).unwrap();
+        let b = kmeans(&pts, 2, 9, 100).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let pts = vec![vec![5.0, 5.0]; 10];
+        let r = kmeans(&pts, 3, 0, 50).unwrap();
+        assert!(r.inertia < 1e-9);
+    }
+}

@@ -1,0 +1,21 @@
+//! # visdb-baseline
+//!
+//! The comparators the paper positions VisDB against (§2.2, §3):
+//!
+//! * [`boolean`] — a traditional exact query interface: every condition
+//!   evaluates to true/false, results are all-or-nothing. This is the
+//!   baseline that produces "NULL results, or more data than the user is
+//!   willing to deal with" and demonstrates why approximate answers
+//!   matter (claims C2, C5).
+//! * [`kmeans`] — cluster analysis, the statistics-side alternative; used
+//!   to reproduce the claim that clustering "does not help to find single
+//!   exceptional data, so-called hot spots" (claim C3).
+//! * [`metrics`] — scoring helpers (hot-spot rank, cluster isolation).
+
+pub mod boolean;
+pub mod kmeans;
+pub mod metrics;
+
+pub use boolean::evaluate_boolean;
+pub use kmeans::{kmeans, KMeansResult};
+pub use metrics::{hot_spot_ranks, smallest_cluster_size};

@@ -1,0 +1,71 @@
+//! DESIGN.md ablation 4: arrangement quality and cost.
+//!
+//! "The sorting is necessary to avoid completely sprinkled images" (§4.2):
+//! we measure (a) the throughput of the spiral and 2D arrangements, and
+//! (b) — printed once at bench start — a *spatial color coherence* score
+//! (mean absolute normalized-distance difference between horizontally
+//! adjacent occupied cells; lower = smoother image) for sorted vs
+//! unsorted placement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use visdb_arrange::{arrange_grouped2d, arrange_overall, grouped2d::Item2D, ItemGrid};
+use visdb_data::distributions::{normal, rng};
+
+fn coherence(grid: &ItemGrid, dist: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for y in 0..grid.height() {
+        for x in 1..grid.width() {
+            if let (Some(a), Some(b)) = (grid.get(x - 1, y), grid.get(x, y)) {
+                total += (dist[a as usize] - dist[b as usize]).abs();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+fn arrangement(c: &mut Criterion) {
+    // quality report (printed once; recorded in EXPERIMENTS.md)
+    let mut r = rng(41);
+    let n = 96 * 96;
+    let mut dist: Vec<f64> = (0..n).map(|_| normal(&mut r, 128.0, 50.0).clamp(0.0, 255.0)).collect();
+    let unsorted: Vec<usize> = (0..n).collect();
+    let grid_unsorted = arrange_overall(&unsorted, 96, 96);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| dist[a].partial_cmp(&dist[b]).expect("finite"));
+    let grid_sorted = arrange_overall(&order, 96, 96);
+    println!(
+        "arrangement coherence (mean |Δdistance| between neighbours): sorted spiral {:.2}, \
+         unsorted ('sprinkled') {:.2}",
+        coherence(&grid_sorted, &dist),
+        coherence(&grid_unsorted, &dist)
+    );
+    dist.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let mut group = c.benchmark_group("arrangement");
+    for &side in &[64usize, 256] {
+        let items: Vec<usize> = (0..side * side).collect();
+        group.bench_with_input(BenchmarkId::new("spiral", side), &side, |b, &side| {
+            b.iter(|| arrange_overall(&items, side, side).occupied())
+        });
+        let items2d: Vec<Item2D> = (0..side * side)
+            .map(|i| Item2D {
+                item: i,
+                dx: ((i % 7) as f64) - 3.0,
+                dy: ((i % 5) as f64) - 2.0,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("grouped2d", side), &side, |b, &side| {
+            b.iter(|| arrange_grouped2d(&items2d, side, side).occupied())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, arrangement);
+criterion_main!(benches);

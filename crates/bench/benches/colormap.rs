@@ -1,0 +1,33 @@
+//! Claim C4 performance side: coloring a full display must be cheap
+//! enough for interactive recalculation. Benchmarks LUT lookups for a
+//! screenful of normalized distances and the one-off JND computation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use visdb_color::{count_jnds, Colormap, ColormapKind};
+
+fn colormap(c: &mut Criterion) {
+    let map = Colormap::new(ColormapKind::VisDb);
+    // a 1024x1280 display of normalized distances (the paper's screen)
+    let n = 1024 * 1280;
+    let distances: Vec<f64> = (0..n).map(|i| (i % 256) as f64).collect();
+
+    let mut group = c.benchmark_group("colormap");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    group.bench_function("screenful_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &d in &distances {
+                acc += u64::from(map.color_for_distance(d).expect("in range").r);
+            }
+            acc
+        })
+    });
+    group.bench_function("jnd_count_1024_samples", |b| {
+        b.iter(|| count_jnds(&map, 1024))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, colormap);
+criterion_main!(benches);

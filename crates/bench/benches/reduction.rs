@@ -1,0 +1,54 @@
+//! Claim C7 performance side: the §5.1 gap heuristic.
+//!
+//! The paper claims the naive O(z·(rmax−rmin)) window sum "can be easily
+//! optimized to ... (z + rmax − rmin)". We benchmark both against the
+//! α-quantile selection, over unimodal and bimodal distance vectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use visdb_data::distributions::{mixture, normal, rng};
+use visdb_relevance::quantile::quantile;
+use visdb_relevance::reduction::{gap_cutoff, gap_cutoff_naive};
+
+fn sorted_distances(n: usize, bimodal: bool) -> Vec<f64> {
+    let mut r = rng(31);
+    let mut d: Vec<f64> = (0..n)
+        .map(|_| {
+            if bimodal {
+                mixture(&mut r, 0.5, (30.0, 8.0), (500.0, 20.0)).max(0.0)
+            } else {
+                normal(&mut r, 100.0, 25.0).max(0.0)
+            }
+        })
+        .collect();
+    d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    d
+}
+
+fn reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    for &n in &[10_000usize, 100_000] {
+        let data = sorted_distances(n, true);
+        let rmin = n / 10;
+        let rmax = n - n / 10;
+        for &z in &[16usize, 256] {
+            group.bench_with_input(
+                BenchmarkId::new("gap_incremental", format!("n{n}_z{z}")),
+                &z,
+                |b, &z| b.iter(|| gap_cutoff(&data, rmin, rmax, z).expect("cutoff")),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("gap_naive", format!("n{n}_z{z}")),
+                &z,
+                |b, &z| b.iter(|| gap_cutoff_naive(&data, rmin, rmax, z).expect("cutoff")),
+            );
+        }
+        let unsorted: Vec<f64> = sorted_distances(n, false);
+        group.bench_with_input(BenchmarkId::new("alpha_quantile", n), &n, |b, _| {
+            b.iter(|| quantile(&unsorted, 0.4).expect("quantile"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reduction);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! # visdb-bench
+//!
+//! Shared helpers for the Criterion benches and the figure/claim
+//! regeneration binaries (see DESIGN.md §3 for the experiment index).
+//!
+//! Binaries:
+//! * `figures` — regenerates fig 1a, 1b, 2, 3, 4 and 5 as PPM files under
+//!   `out/` plus the printed panels.
+//! * `claims` — prints the measured series for claims C2–C5 and C7.
+//!
+//! Benches (`cargo bench`):
+//! * `pipeline_scaling` — C1: O(n log n) scaling of the full pipeline.
+//! * `phase_breakdown` — C1: distance vs normalize vs sort vs arrange.
+//! * `reduction` — C7: α-quantile vs gap heuristic (naive vs optimized).
+//! * `colormap` — C4: LUT lookup throughput + JND computation cost.
+//! * `index_ablation` — linear scan vs k-d tree vs grid file.
+//! * `incremental` — C6: cold queries vs cached slider nudges.
+//! * `combining_ablation` — weighted means vs fuzzy min/max combiners.
+//! * `arrangement` — spiral vs 2D arrangement throughput + coherence.
+
+use visdb_query::ast::{CompareOp, Query};
+use visdb_query::builder::QueryBuilder;
+use visdb_storage::{Database, TableBuilder};
+use visdb_types::{Column, DataType, Value};
+
+/// A single-column ramp table `x = 0..n`, the canonical scaling workload.
+pub fn ramp_db(n: usize) -> Database {
+    let mut t = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+    for i in 0..n {
+        t = t.row(vec![Value::Float(i as f64)]).expect("conforming row");
+    }
+    let mut db = Database::new("bench");
+    db.add_table(t.build());
+    db
+}
+
+/// A three-predicate query over the ramp (three windows, like fig 4).
+pub fn three_predicate_query(n: usize) -> Query {
+    QueryBuilder::from_tables(["T"])
+        .cmp("x", CompareOp::Ge, n as f64 * 0.9)
+        .cmp("x", CompareOp::Lt, n as f64 * 0.95)
+        .between("x", n as f64 * 0.2, n as f64 * 0.8)
+        .build()
+}
+
+/// Deterministic pseudo-random points for the index benches.
+pub fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    // xorshift — cheap and deterministic without pulling rand into the
+    // hot path setup
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| (0..dims).map(|_| next() * 1000.0).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_db_shape() {
+        let db = ramp_db(10);
+        assert_eq!(db.table("T").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn random_points_deterministic() {
+        assert_eq!(random_points(5, 3, 7), random_points(5, 3, 7));
+        assert_ne!(random_points(5, 3, 7), random_points(5, 3, 8));
+        for p in random_points(100, 2, 1) {
+            assert!(p.iter().all(|x| (0.0..=1000.0).contains(x)));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Just-noticeable-difference accounting (§4.2, [LRR 92]).
+//!
+//! The paper justifies color over gray scales because "the number of just
+//! noticeable differences (JNDs) is much higher". We make that claim
+//! measurable: walk a colormap path in small steps, accumulate the CIE76
+//! ΔE*ab arc length, and divide by the ΔE of one JND (≈ 2.3, the standard
+//! value from the color-difference literature).
+
+use crate::map::Colormap;
+use crate::space::{delta_e76, rgb_to_lab};
+
+/// ΔE*ab corresponding to one just-noticeable difference.
+pub const JND_DELTA_E: f64 = 2.3;
+
+/// Perceptual arc length of a colormap path in CIELAB, sampled at
+/// `samples` points (≥ 2).
+pub fn path_arc_length(map: &Colormap, samples: usize) -> f64 {
+    let samples = samples.max(2);
+    let mut total = 0.0;
+    let mut prev = rgb_to_lab(map.sample(0.0));
+    for i in 1..samples {
+        let t = i as f64 / (samples - 1) as f64;
+        let cur = rgb_to_lab(map.sample(t));
+        total += delta_e76(prev, cur);
+        prev = cur;
+    }
+    total
+}
+
+/// Number of just-noticeable differences along a colormap path.
+pub fn count_jnds(map: &Colormap, samples: usize) -> f64 {
+    path_arc_length(map, samples) / JND_DELTA_E
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::ColormapKind;
+
+    #[test]
+    fn visdb_colormap_beats_grayscale_on_jnds() {
+        // the paper's core perceptual claim (claim C4)
+        let visdb = count_jnds(&Colormap::new(ColormapKind::VisDb), 512);
+        let gray = count_jnds(&Colormap::new(ColormapKind::Grayscale), 512);
+        assert!(
+            visdb > 1.5 * gray,
+            "expected the color path to have many more JNDs: visdb={visdb:.1} gray={gray:.1}"
+        );
+    }
+
+    #[test]
+    fn grayscale_jnds_close_to_lightness_range() {
+        // white(L=100) -> black(L=0): arc length 100, ~43 JNDs
+        let gray = count_jnds(&Colormap::new(ColormapKind::Grayscale), 512);
+        assert!((gray - 100.0 / JND_DELTA_E).abs() < 2.0, "gray={gray:.1}");
+    }
+
+    #[test]
+    fn arc_length_is_sampling_stable() {
+        let m = Colormap::new(ColormapKind::VisDb);
+        let coarse = path_arc_length(&m, 128);
+        let fine = path_arc_length(&m, 1024);
+        // refinement can only reveal more curvature, and not much more
+        assert!(fine >= coarse * 0.99);
+        assert!(fine <= coarse * 1.25, "coarse={coarse:.1} fine={fine:.1}");
+    }
+
+    #[test]
+    fn degenerate_sampling_clamps() {
+        let m = Colormap::new(ColormapKind::VisDb);
+        assert!(path_arc_length(&m, 0) >= 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # visdb-color
+//!
+//! Mapping relevance to color (§4.2 of the paper).
+//!
+//! "Mapping the relevance factors to colors corresponds to the task of
+//! finding an adequate color scale for a single parameter distribution.
+//! The advantage of color over gray scales is that the number of just
+//! noticeable differences (JNDs) is much higher. The main task ... is to
+//! find a path through color space that maximizes the number of JNDs,
+//! but, at the same time, is intuitive for the application domain. ...
+//! we ... found experimentally that ... a colormap with quite constant
+//! saturation, an increasing luminosity (intensity) and a hue (color)
+//! ranging from yellow over green, blue and red to almost black is a
+//! good choice to depict the distance from the correct answers."
+//!
+//! * [`space`] — sRGB/HSV/CIEXYZ/CIELAB conversions and ΔE*ab.
+//! * [`map`] — the VisDB colormap (yellow → green → blue → red → almost
+//!   black), a gray-scale baseline, and 256-entry LUT quantization.
+//! * [`jnd`] — counting just-noticeable differences along a colormap
+//!   path (ΔE*ab ≥ 2.3 per JND), making the paper's claim measurable.
+
+pub mod jnd;
+pub mod map;
+pub mod space;
+
+pub use jnd::{count_jnds, JND_DELTA_E};
+pub use map::{Colormap, ColormapKind, BACKGROUND, HIGHLIGHT};
+pub use space::{delta_e76, hsv_to_rgb, rgb_to_lab, Lab, Rgb};

@@ -1,0 +1,238 @@
+//! The VisDB colormap and its gray-scale baseline.
+//!
+//! The map is a path through HSV with "quite constant saturation" and a
+//! hue running yellow (60°) → green (120°) → blue (240°) → red (360°) →
+//! almost black, with luminosity (value) falling monotonically so that
+//! *brighter = more relevant*. Distance 0 (exact answers) is pure yellow;
+//! the largest displayed distance is almost black.
+
+use visdb_types::{Error, Result};
+
+use crate::space::{hsv_to_rgb, Rgb};
+
+/// Window background for cells holding no data item.
+pub const BACKGROUND: Rgb = Rgb::new(24, 24, 24);
+
+/// Highlight color for selected tuples (§4.3 "to get the data item
+/// highlighted in all visualization parts"): pure white, which no
+/// colormap entry uses.
+pub const HIGHLIGHT: Rgb = Rgb::new(255, 255, 255);
+
+/// Which colormap to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColormapKind {
+    /// The paper's yellow→green→blue→red→black path.
+    #[default]
+    VisDb,
+    /// Gray-scale baseline (white → black) used by the JND comparison
+    /// (claim C4).
+    Grayscale,
+    /// Heat map (white→yellow→red→black), a common alternative included
+    /// for ablation.
+    Heat,
+}
+
+/// A 256-entry quantized colormap: normalized distance `d ∈ [0, 255]`
+/// indexes the LUT directly ("the range [dmin, dmax] ... to a fixed
+/// range (e.g. [0, 255])", §5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Colormap {
+    kind: ColormapKind,
+    lut: Vec<Rgb>,
+}
+
+impl Colormap {
+    /// Build the LUT for a kind.
+    pub fn new(kind: ColormapKind) -> Self {
+        let lut = (0..256)
+            .map(|i| Self::sample_kind(kind, i as f64 / 255.0))
+            .collect();
+        Colormap { kind, lut }
+    }
+
+    /// The colormap kind.
+    pub fn kind(&self) -> ColormapKind {
+        self.kind
+    }
+
+    /// Continuous sample at `t ∈ [0, 1]` (0 = exact answer).
+    pub fn sample(&self, t: f64) -> Rgb {
+        Self::sample_kind(self.kind, t.clamp(0.0, 1.0))
+    }
+
+    fn sample_kind(kind: ColormapKind, t: f64) -> Rgb {
+        match kind {
+            ColormapKind::VisDb => visdb_path(t),
+            ColormapKind::Grayscale => {
+                let v = ((1.0 - t) * 255.0).round() as u8;
+                Rgb::new(v, v, v)
+            }
+            ColormapKind::Heat => heat_path(t),
+        }
+    }
+
+    /// Color for a normalized distance in `[0, 255]`. Values outside the
+    /// range are an error (normalization guarantees the range).
+    pub fn color_for_distance(&self, d: f64) -> Result<Rgb> {
+        if !(0.0..=255.0).contains(&d) {
+            return Err(Error::invalid_parameter(
+                "distance",
+                format!("normalized distance must be in [0,255], got {d}"),
+            ));
+        }
+        Ok(self.lut[d.round() as usize])
+    }
+
+    /// Color for an *undefined* distance: the background (the item is not
+    /// colorable, §4.4).
+    pub fn color_for_undefined(&self) -> Rgb {
+        BACKGROUND
+    }
+
+    /// The full LUT (for legend strips and benchmarking).
+    pub fn lut(&self) -> &[Rgb] {
+        &self.lut
+    }
+}
+
+impl Default for Colormap {
+    fn default() -> Self {
+        Colormap::new(ColormapKind::VisDb)
+    }
+}
+
+/// The paper's path. Keyframes in (t, hue°, saturation, value):
+/// yellow → green → blue → red → almost black, saturation ~constant,
+/// value monotonically decreasing.
+fn visdb_path(t: f64) -> Rgb {
+    const KEYS: [(f64, f64, f64, f64); 5] = [
+        (0.00, 60.0, 0.88, 1.00),  // yellow
+        (0.25, 120.0, 0.88, 0.85), // green
+        (0.50, 240.0, 0.88, 0.70), // blue
+        (0.75, 360.0, 0.88, 0.48), // red (360 == 0 but keeps hue monotone)
+        (1.00, 370.0, 0.88, 0.07), // almost black, slightly past red
+    ];
+    let t = t.clamp(0.0, 1.0);
+    let mut k = 0;
+    while k + 2 < KEYS.len() && t > KEYS[k + 1].0 {
+        k += 1;
+    }
+    let (t0, h0, s0, v0) = KEYS[k];
+    let (t1, h1, s1, v1) = KEYS[k + 1];
+    let u = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+    hsv_to_rgb(
+        h0 + u * (h1 - h0),
+        s0 + u * (s1 - s0),
+        v0 + u * (v1 - v0),
+    )
+}
+
+/// White → yellow → red → black heat path.
+fn heat_path(t: f64) -> Rgb {
+    const KEYS: [(f64, f64, f64, f64); 4] = [
+        (0.00, 60.0, 0.06, 0.99),
+        (0.33, 60.0, 1.0, 1.00),
+        (0.66, 0.0, 1.0, 0.90),
+        (1.00, 0.0, 1.0, 0.05),
+    ];
+    let t = t.clamp(0.0, 1.0);
+    let mut k = 0;
+    while k + 2 < KEYS.len() && t > KEYS[k + 1].0 {
+        k += 1;
+    }
+    let (t0, h0, s0, v0) = KEYS[k];
+    let (t1, h1, s1, v1) = KEYS[k + 1];
+    let u = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+    hsv_to_rgb(
+        h0 + u * (h1 - h0),
+        s0 + u * (s1 - s0),
+        v0 + u * (v1 - v0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_answers_are_yellow() {
+        let m = Colormap::default();
+        let c = m.color_for_distance(0.0).unwrap();
+        // yellow: high red+green, low blue
+        assert!(c.r > 200 && c.g > 200 && c.b < 80, "{c:?}");
+    }
+
+    #[test]
+    fn far_answers_are_almost_black() {
+        let m = Colormap::default();
+        let c = m.color_for_distance(255.0).unwrap();
+        assert!(c.luma() < 40.0, "{c:?}");
+    }
+
+    #[test]
+    fn midpoints_hit_the_named_hues() {
+        let m = Colormap::default();
+        let green = m.sample(0.25);
+        assert!(green.g > green.r && green.g > green.b, "{green:?}");
+        let blue = m.sample(0.5);
+        assert!(blue.b > blue.r && blue.b > blue.g, "{blue:?}");
+        let red = m.sample(0.75);
+        assert!(red.r > red.g && red.r > red.b, "{red:?}");
+    }
+
+    #[test]
+    fn hsv_value_is_monotone_decreasing() {
+        // the knob the paper's map actually controls: intensity falls with
+        // distance (perceptual L* cannot be strictly monotone through the
+        // intrinsically dark blue hue band)
+        let m = Colormap::default();
+        let mut prev = f64::INFINITY;
+        for i in 0..=40 {
+            let c = m.sample(i as f64 / 40.0);
+            let v = f64::from(c.r.max(c.g).max(c.b)) / 255.0;
+            assert!(v <= prev + 1e-9, "value bump at t={}", i as f64 / 40.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn lightness_trend_is_downward() {
+        let m = Colormap::default();
+        let l = |t: f64| crate::space::rgb_to_lab(m.sample(t)).l;
+        assert!(l(0.0) > l(0.4));
+        assert!(l(0.4) > l(1.0));
+        assert!(l(0.0) > 90.0); // yellow is bright
+        assert!(l(1.0) < 15.0); // almost black
+    }
+
+    #[test]
+    fn out_of_range_distance_is_rejected() {
+        let m = Colormap::default();
+        assert!(m.color_for_distance(-1.0).is_err());
+        assert!(m.color_for_distance(256.0).is_err());
+        assert!(m.color_for_distance(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn grayscale_endpoints() {
+        let m = Colormap::new(ColormapKind::Grayscale);
+        assert_eq!(m.color_for_distance(0.0).unwrap(), Rgb::new(255, 255, 255));
+        assert_eq!(m.color_for_distance(255.0).unwrap(), Rgb::new(0, 0, 0));
+    }
+
+    #[test]
+    fn lut_matches_continuous_samples() {
+        let m = Colormap::default();
+        for d in [0.0, 64.0, 128.0, 255.0] {
+            assert_eq!(m.color_for_distance(d).unwrap(), m.sample(d / 255.0));
+        }
+    }
+
+    #[test]
+    fn highlight_color_is_not_in_any_lut() {
+        for kind in [ColormapKind::VisDb, ColormapKind::Heat] {
+            let m = Colormap::new(kind);
+            assert!(!m.lut().contains(&HIGHLIGHT), "{kind:?}");
+        }
+    }
+}

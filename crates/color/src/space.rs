@@ -1,0 +1,164 @@
+//! Color-space conversions: HSV → sRGB → CIEXYZ → CIELAB, plus ΔE*ab.
+//!
+//! CIELAB is the perceptually-uniform space the JND analysis needs; HSV
+//! is the convenient space for authoring the hue path the paper
+//! describes. Conversions follow the standard sRGB (IEC 61966-2-1) and
+//! CIE definitions with the D65 white point.
+
+/// An 8-bit sRGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Construct from channels.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Pack as 0xRRGGBB.
+    pub fn to_u32(self) -> u32 {
+        (u32::from(self.r) << 16) | (u32::from(self.g) << 8) | u32::from(self.b)
+    }
+
+    /// Perceived luminance (Rec. 601 luma), 0..=255.
+    pub fn luma(self) -> f64 {
+        0.299 * f64::from(self.r) + 0.587 * f64::from(self.g) + 0.114 * f64::from(self.b)
+    }
+}
+
+/// A CIELAB color (D65).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lab {
+    /// Lightness, 0..=100.
+    pub l: f64,
+    /// Green–red axis.
+    pub a: f64,
+    /// Blue–yellow axis.
+    pub b: f64,
+}
+
+/// HSV → sRGB. `h` in degrees (any value, wrapped), `s`, `v` in [0, 1].
+pub fn hsv_to_rgb(h: f64, s: f64, v: f64) -> Rgb {
+    let s = s.clamp(0.0, 1.0);
+    let v = v.clamp(0.0, 1.0);
+    let h = h.rem_euclid(360.0) / 60.0;
+    let i = h.floor() as i64 % 6;
+    let f = h - h.floor();
+    let p = v * (1.0 - s);
+    let q = v * (1.0 - f * s);
+    let t = v * (1.0 - (1.0 - f) * s);
+    let (r, g, b) = match i {
+        0 => (v, t, p),
+        1 => (q, v, p),
+        2 => (p, v, t),
+        3 => (p, q, v),
+        4 => (t, p, v),
+        _ => (v, p, q),
+    };
+    let to8 = |x: f64| (x * 255.0).round().clamp(0.0, 255.0) as u8;
+    Rgb::new(to8(r), to8(g), to8(b))
+}
+
+fn srgb_to_linear(c: u8) -> f64 {
+    let c = f64::from(c) / 255.0;
+    if c <= 0.04045 {
+        c / 12.92
+    } else {
+        ((c + 0.055) / 1.055).powf(2.4)
+    }
+}
+
+/// sRGB → CIELAB (D65 white point).
+pub fn rgb_to_lab(rgb: Rgb) -> Lab {
+    let r = srgb_to_linear(rgb.r);
+    let g = srgb_to_linear(rgb.g);
+    let b = srgb_to_linear(rgb.b);
+    // sRGB D65 matrix
+    let x = 0.4124564 * r + 0.3575761 * g + 0.1804375 * b;
+    let y = 0.2126729 * r + 0.7151522 * g + 0.0721750 * b;
+    let z = 0.0193339 * r + 0.1191920 * g + 0.9503041 * b;
+    // D65 reference white
+    let (xn, yn, zn) = (0.95047, 1.0, 1.08883);
+    fn f(t: f64) -> f64 {
+        const D: f64 = 6.0 / 29.0;
+        if t > D * D * D {
+            t.cbrt()
+        } else {
+            t / (3.0 * D * D) + 4.0 / 29.0
+        }
+    }
+    let (fx, fy, fz) = (f(x / xn), f(y / yn), f(z / zn));
+    Lab {
+        l: 116.0 * fy - 16.0,
+        a: 500.0 * (fx - fy),
+        b: 200.0 * (fy - fz),
+    }
+}
+
+/// CIE76 color difference ΔE*ab — the classic JND metric (ΔE ≈ 2.3 is one
+/// just-noticeable difference).
+pub fn delta_e76(a: Lab, b: Lab) -> f64 {
+    ((a.l - b.l).powi(2) + (a.a - b.a).powi(2) + (a.b - b.b).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hsv_primaries() {
+        assert_eq!(hsv_to_rgb(0.0, 1.0, 1.0), Rgb::new(255, 0, 0));
+        assert_eq!(hsv_to_rgb(120.0, 1.0, 1.0), Rgb::new(0, 255, 0));
+        assert_eq!(hsv_to_rgb(240.0, 1.0, 1.0), Rgb::new(0, 0, 255));
+        assert_eq!(hsv_to_rgb(60.0, 1.0, 1.0), Rgb::new(255, 255, 0));
+        assert_eq!(hsv_to_rgb(0.0, 0.0, 1.0), Rgb::new(255, 255, 255));
+        assert_eq!(hsv_to_rgb(0.0, 0.0, 0.0), Rgb::new(0, 0, 0));
+    }
+
+    #[test]
+    fn hue_wraps() {
+        assert_eq!(hsv_to_rgb(360.0, 1.0, 1.0), hsv_to_rgb(0.0, 1.0, 1.0));
+        assert_eq!(hsv_to_rgb(-120.0, 1.0, 1.0), hsv_to_rgb(240.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn lab_white_and_black() {
+        let white = rgb_to_lab(Rgb::new(255, 255, 255));
+        assert!((white.l - 100.0).abs() < 0.01, "L={}", white.l);
+        assert!(white.a.abs() < 0.01 && white.b.abs() < 0.01);
+        let black = rgb_to_lab(Rgb::new(0, 0, 0));
+        assert!(black.l.abs() < 0.01);
+    }
+
+    #[test]
+    fn lab_known_values() {
+        // sRGB red is approximately L=53.2, a=80.1, b=67.2
+        let red = rgb_to_lab(Rgb::new(255, 0, 0));
+        assert!((red.l - 53.2).abs() < 0.5, "L={}", red.l);
+        assert!((red.a - 80.1).abs() < 1.0, "a={}", red.a);
+        assert!((red.b - 67.2).abs() < 1.0, "b={}", red.b);
+    }
+
+    #[test]
+    fn delta_e_properties() {
+        let a = rgb_to_lab(Rgb::new(10, 20, 30));
+        let b = rgb_to_lab(Rgb::new(200, 100, 50));
+        assert_eq!(delta_e76(a, a), 0.0);
+        assert!((delta_e76(a, b) - delta_e76(b, a)).abs() < 1e-12);
+        assert!(delta_e76(a, b) > 0.0);
+    }
+
+    #[test]
+    fn rgb_packing_and_luma() {
+        assert_eq!(Rgb::new(0x12, 0x34, 0x56).to_u32(), 0x123456);
+        assert!(Rgb::new(255, 255, 255).luma() > Rgb::new(0, 0, 0).luma());
+        assert!(Rgb::new(0, 255, 0).luma() > Rgb::new(0, 0, 255).luma());
+    }
+}

@@ -1,0 +1,893 @@
+//! The interactive VisDB session.
+//!
+//! Owns database + connections + query + display parameters, caches the
+//! computed [`SessionResult`], and exposes every §4.3 interaction as a
+//! method. "In the normal mode, the system recalculates the visualization
+//! after each modification of the query. The user may also switch to an
+//! 'auto recalculate off' mode where queries are only recalculated on
+//! demand."
+
+use visdb_arrange::{arrange_overall, ItemGrid, PixelsPerItem};
+use visdb_color::{Colormap, ColormapKind};
+use visdb_distance::registry::DistanceResolver;
+use visdb_query::ast::{ConditionNode, PredicateTarget, Query, Weighted};
+use visdb_query::connection::ConnectionRegistry;
+use visdb_query::parser::parse_query;
+use visdb_query::validate::validate;
+use visdb_relevance::cache::PipelineCache;
+use visdb_relevance::pipeline::{run_pipeline, run_pipeline_cached, DisplayPolicy, PipelineOutput};
+use visdb_storage::{Database, Row, Table};
+use visdb_types::{Error, Result, Value};
+
+use crate::joins::{materialize_base, JoinOptions};
+use crate::sliders::{OverallPanel, Panel, SliderModel};
+
+/// The cached computation of one query evaluation.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// The materialised base relation (table or bounded cross product).
+    pub base: Table,
+    /// The relevance pipeline output.
+    pub pipeline: PipelineOutput,
+    /// The spiral arrangement of the displayed items.
+    pub grid: ItemGrid,
+}
+
+/// A drill-down view of one query part (§4.4: double-clicking a boolean
+/// operator opens a visualization window for that subtree).
+#[derive(Debug, Clone)]
+pub struct DrilldownView {
+    /// Pipeline output for the subtree (its own windows).
+    pub pipeline: PipelineOutput,
+    /// Arrangement: shared with the parent ("the same arrangement as for
+    /// the overall result") or independent, per the `independent` flag
+    /// passed to [`Session::drilldown`].
+    pub grid: ItemGrid,
+}
+
+/// An interactive VisDB session.
+pub struct Session {
+    db: Database,
+    registry: ConnectionRegistry,
+    resolver: DistanceResolver,
+    query: Option<Query>,
+    policy: DisplayPolicy,
+    join_opts: JoinOptions,
+    window_w: usize,
+    window_h: usize,
+    ppi: PixelsPerItem,
+    colormap: Colormap,
+    auto_recalculate: bool,
+    selected_item: Option<usize>,
+    color_range: Option<(usize, f64, f64)>,
+    result: Option<SessionResult>,
+    /// §6 incremental recalculation: unchanged predicate windows are
+    /// reused across query modifications.
+    pipeline_cache: PipelineCache,
+}
+
+impl Session {
+    /// New session over a database and its declared connections.
+    pub fn new(db: Database, registry: ConnectionRegistry) -> Self {
+        Session {
+            db,
+            registry,
+            resolver: DistanceResolver::new(),
+            query: None,
+            policy: DisplayPolicy::Percentage(25.0),
+            join_opts: JoinOptions::default(),
+            window_w: 64,
+            window_h: 64,
+            ppi: PixelsPerItem::One,
+            colormap: Colormap::new(ColormapKind::VisDb),
+            auto_recalculate: true,
+            selected_item: None,
+            color_range: None,
+            result: None,
+            pipeline_cache: PipelineCache::new(),
+        }
+    }
+
+    /// Replace the distance resolver (application-specific distances).
+    pub fn with_resolver(mut self, resolver: DistanceResolver) -> Self {
+        self.resolver = resolver;
+        self
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The declared connections.
+    pub fn registry(&self) -> &ConnectionRegistry {
+        &self.registry
+    }
+
+    /// Current colormap.
+    pub fn colormap(&self) -> &Colormap {
+        &self.colormap
+    }
+
+    /// Window dimensions in items.
+    pub fn window_size(&self) -> (usize, usize) {
+        (self.window_w, self.window_h)
+    }
+
+    /// Pixels per item.
+    pub fn pixels_per_item(&self) -> PixelsPerItem {
+        self.ppi
+    }
+
+    /// Currently highlighted (selected) item.
+    pub fn selected_item(&self) -> Option<usize> {
+        self.selected_item
+    }
+
+    /// Toggle automatic recalculation (§4.3 "'auto recalculate off' mode
+    /// ... useful for large databases").
+    pub fn set_auto_recalculate(&mut self, on: bool) {
+        self.auto_recalculate = on;
+    }
+
+    /// Set the display policy (percentage slider / pixel budget / gap
+    /// heuristic). "Note that changing the percentage of data being
+    /// displayed may completely change the visualization since the
+    /// distance values are normalized according to the new range."
+    pub fn set_display_policy(&mut self, policy: DisplayPolicy) -> Result<()> {
+        self.policy = policy;
+        self.invalidate();
+        self.maybe_recalculate()
+    }
+
+    /// Set the window dimensions (items per window).
+    pub fn set_window_size(&mut self, w: usize, h: usize) -> Result<()> {
+        if w == 0 || h == 0 {
+            return Err(Error::invalid_parameter("window", "dimensions must be > 0"));
+        }
+        self.window_w = w;
+        self.window_h = h;
+        self.invalidate();
+        self.maybe_recalculate()
+    }
+
+    /// Set how many pixels represent one item.
+    pub fn set_pixels_per_item(&mut self, ppi: PixelsPerItem) -> Result<()> {
+        self.ppi = ppi;
+        self.invalidate();
+        self.maybe_recalculate()
+    }
+
+    /// Switch the colormap (rendering only; no recalculation needed).
+    pub fn set_colormap(&mut self, kind: ColormapKind) {
+        self.colormap = Colormap::new(kind);
+    }
+
+    /// Bound cross-product materialisation. Drops the incremental window
+    /// cache: different sampling can produce a same-size base relation
+    /// with different rows.
+    pub fn set_join_options(&mut self, opts: JoinOptions) -> Result<()> {
+        self.join_opts = opts;
+        self.pipeline_cache.invalidate();
+        self.invalidate();
+        self.maybe_recalculate()
+    }
+
+    /// Incremental-recalculation statistics: how many predicate windows
+    /// were reused vs re-evaluated across modifications (§6).
+    pub fn cache_stats(&self) -> (usize, usize) {
+        (self.pipeline_cache.hits, self.pipeline_cache.misses)
+    }
+
+    /// Install a query (validated against the catalog).
+    pub fn set_query(&mut self, query: Query) -> Result<()> {
+        validate(&self.db, &query)?;
+        self.query = Some(query);
+        self.selected_item = None;
+        self.color_range = None;
+        self.invalidate();
+        self.maybe_recalculate()
+    }
+
+    /// Parse and install a query from the mini SQL dialect.
+    pub fn set_query_text(&mut self, text: &str) -> Result<()> {
+        let q = parse_query(text, &self.registry)?;
+        self.set_query(q)
+    }
+
+    /// The current query.
+    pub fn query(&self) -> Option<&Query> {
+        self.query.as_ref()
+    }
+
+    fn invalidate(&mut self) {
+        self.result = None;
+    }
+
+    fn maybe_recalculate(&mut self) -> Result<()> {
+        if self.auto_recalculate && self.query.is_some() {
+            self.recalculate()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Force recalculation (the on-demand mode's "recalculate" button).
+    pub fn recalculate(&mut self) -> Result<()> {
+        let query = self
+            .query
+            .as_ref()
+            .ok_or_else(|| Error::invalid_query("no query installed"))?;
+        let base = materialize_base(&self.db, query, &self.join_opts)?;
+        let pipeline = run_pipeline_cached(
+            &self.db,
+            &base,
+            &self.resolver,
+            query.condition.as_ref(),
+            &self.policy,
+            Some(&mut self.pipeline_cache),
+        )?;
+        let grid = arrange_overall(&pipeline.displayed, self.window_w, self.window_h);
+        self.result = Some(SessionResult {
+            base,
+            pipeline,
+            grid,
+        });
+        Ok(())
+    }
+
+    /// The cached result, recalculating if needed.
+    pub fn result(&mut self) -> Result<&SessionResult> {
+        if self.result.is_none() {
+            self.recalculate()?;
+        }
+        Ok(self.result.as_ref().expect("just recalculated"))
+    }
+
+    /// The cached result without recalculation (None when stale).
+    pub fn cached_result(&self) -> Option<&SessionResult> {
+        self.result.as_ref()
+    }
+
+    // ----- query modification (the sliders) -------------------------------
+
+    fn top_level_mut(query: &mut Query, idx: usize) -> Result<&mut Weighted> {
+        let cond = query
+            .condition
+            .as_mut()
+            .ok_or_else(|| Error::invalid_query("query has no condition"))?;
+        if matches!(cond.node, ConditionNode::And(_) | ConditionNode::Or(_)) {
+            match &mut cond.node {
+                ConditionNode::And(cs) | ConditionNode::Or(cs) => cs.get_mut(idx).ok_or_else(|| {
+                    Error::invalid_parameter("window", format!("no window {idx}"))
+                }),
+                _ => unreachable!("matched above"),
+            }
+        } else if idx == 0 {
+            Ok(cond)
+        } else {
+            Err(Error::invalid_parameter(
+                "window",
+                format!("no window {idx}"),
+            ))
+        }
+    }
+
+    /// Replace the target of the `idx`-th top-level predicate (dragging
+    /// its slider). Errors if that window is not a simple predicate.
+    pub fn set_predicate_target(&mut self, idx: usize, target: PredicateTarget) -> Result<()> {
+        {
+            let query = self
+                .query
+                .as_mut()
+                .ok_or_else(|| Error::invalid_query("no query installed"))?;
+            let w = Self::top_level_mut(query, idx)?;
+            match &mut w.node {
+                ConditionNode::Predicate(p) => p.target = target,
+                other => {
+                    return Err(Error::invalid_query(format!(
+                        "window {idx} is not a simple predicate (found {})",
+                        match other {
+                            ConditionNode::Connection(_) => "a connection",
+                            ConditionNode::Subquery { .. } => "a subquery",
+                            _ => "a boolean subtree",
+                        }
+                    )))
+                }
+            }
+        }
+        let q = self.query.clone().expect("query present");
+        validate(&self.db, &q)?;
+        self.invalidate();
+        self.maybe_recalculate()
+    }
+
+    /// Set the weighting factor of the `idx`-th top-level window.
+    pub fn set_weight(&mut self, idx: usize, weight: f64) -> Result<()> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(Error::invalid_parameter("weight", "must be finite and >= 0"));
+        }
+        {
+            let query = self
+                .query
+                .as_mut()
+                .ok_or_else(|| Error::invalid_query("no query installed"))?;
+            Self::top_level_mut(query, idx)?.weight = weight;
+        }
+        self.invalidate();
+        self.maybe_recalculate()
+    }
+
+    /// Set the connection parameter of the `idx`-th top-level window
+    /// (e.g. nudging the expected time difference).
+    pub fn set_connection_params(&mut self, idx: usize, params: Vec<f64>) -> Result<()> {
+        {
+            let query = self
+                .query
+                .as_mut()
+                .ok_or_else(|| Error::invalid_query("no query installed"))?;
+            let w = Self::top_level_mut(query, idx)?;
+            match &mut w.node {
+                ConditionNode::Connection(u) => {
+                    if params.len() != u.def.kind.arity() {
+                        return Err(Error::invalid_parameter(
+                            "params",
+                            format!("connection expects {} params", u.def.kind.arity()),
+                        ));
+                    }
+                    u.params = params;
+                }
+                _ => {
+                    return Err(Error::invalid_query(format!(
+                        "window {idx} is not a connection"
+                    )))
+                }
+            }
+        }
+        self.invalidate();
+        self.maybe_recalculate()
+    }
+
+    // ----- exploration -----------------------------------------------------
+
+    /// Select a data item: returns its full tuple and highlights it in
+    /// every window ("to get the data item highlighted in all
+    /// visualization parts and the values for the attributes displayed in
+    /// the 'selected tuple' field", §4.3).
+    pub fn select_tuple(&mut self, item: usize) -> Result<Row> {
+        let res = self.result()?;
+        let row = res.base.row(item)?;
+        self.selected_item = Some(item);
+        Ok(row)
+    }
+
+    /// Clear the tuple selection.
+    pub fn clear_selection(&mut self) {
+        self.selected_item = None;
+    }
+
+    /// Select a color range on window `window_idx` (normalized distance
+    /// interval `[lo, hi]` in 0..=255). Returns the displayed items whose
+    /// distance for that window falls in the range — "to get only those
+    /// data items displayed that have the selected color for the
+    /// considered attribute" (§4.3).
+    pub fn select_color_range(
+        &mut self,
+        window_idx: usize,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Vec<usize>> {
+        if !(0.0..=255.0).contains(&lo) || !(0.0..=255.0).contains(&hi) || lo > hi {
+            return Err(Error::invalid_parameter(
+                "color range",
+                format!("need 0 <= lo <= hi <= 255, got [{lo}, {hi}]"),
+            ));
+        }
+        let res = self.result()?;
+        let win = res
+            .pipeline
+            .windows
+            .get(window_idx)
+            .ok_or_else(|| Error::invalid_parameter("window", format!("no window {window_idx}")))?;
+        let items: Vec<usize> = res
+            .pipeline
+            .displayed
+            .iter()
+            .copied()
+            .filter(|&i| matches!(win.normalized[i], Some(d) if d >= lo && d <= hi))
+            .collect();
+        self.color_range = Some((window_idx, lo, hi));
+        Ok(items)
+    }
+
+    /// Clear the color-range selection.
+    pub fn clear_color_range(&mut self) {
+        self.color_range = None;
+    }
+
+    /// The optional fig 1b visualization (§4.2): place the displayed
+    /// items by the *sign* of their distances on two predicate windows
+    /// (negative left/bottom, positive right/top), sorted by relevance
+    /// from the middle outwards. Both windows must carry signed
+    /// distances (metric or ordinal attributes).
+    pub fn arrange_2d(&mut self, window_x: usize, window_y: usize) -> Result<ItemGrid> {
+        let (w, h) = (self.window_w, self.window_h);
+        let res = self.result()?;
+        let get = |idx: usize| -> Result<&visdb_relevance::PredicateWindow> {
+            res.pipeline
+                .windows
+                .get(idx)
+                .ok_or_else(|| Error::invalid_parameter("window", format!("no window {idx}")))
+        };
+        let wx = get(window_x)?;
+        let wy = get(window_y)?;
+        if !wx.signed || !wy.signed {
+            return Err(Error::invalid_query(
+                "the 2D arrangement needs signed distances on both axes \
+                 (metric or ordinal attributes)",
+            ));
+        }
+        // displayed items in relevance order, with their signed distances
+        let items: Vec<visdb_arrange::grouped2d::Item2D> = res
+            .pipeline
+            .displayed
+            .iter()
+            .filter_map(|&i| match (wx.raw[i], wy.raw[i]) {
+                (Some(dx), Some(dy)) => Some(visdb_arrange::grouped2d::Item2D { item: i, dx, dy }),
+                _ => None,
+            })
+            .collect();
+        Ok(visdb_arrange::arrange_grouped2d(&items, w, h))
+    }
+
+    /// Drill down into a query part by child-index path from the root
+    /// condition (§4.4: double-clicking a boolean operator box). With
+    /// `independent = false` the items keep the overall arrangement; with
+    /// `true` they are re-sorted by the subtree's own relevance.
+    pub fn drilldown(&mut self, path: &[usize], independent: bool) -> Result<DrilldownView> {
+        let query = self
+            .query
+            .as_ref()
+            .ok_or_else(|| Error::invalid_query("no query installed"))?
+            .clone();
+        let cond = query
+            .condition
+            .as_ref()
+            .ok_or_else(|| Error::invalid_query("query has no condition"))?;
+        let sub = cond
+            .node
+            .descend(path)
+            .ok_or_else(|| Error::invalid_parameter("path", "no such query part"))?
+            .clone();
+        let (w, h) = (self.window_w, self.window_h);
+        let policy = self.policy.clone();
+        // ensure the main result exists (for the shared arrangement)
+        let _ = self.result()?;
+        let res = self.result.as_ref().expect("cached");
+        let sub_weighted = Weighted::unit(sub);
+        let pipeline = run_pipeline(
+            &self.db,
+            &res.base,
+            &self.resolver,
+            Some(&sub_weighted),
+            &policy,
+        )?;
+        let grid = if independent {
+            arrange_overall(&pipeline.displayed, w, h)
+        } else {
+            res.grid.clone()
+        };
+        Ok(DrilldownView { pipeline, grid })
+    }
+
+    // ----- the panel -------------------------------------------------------
+
+    /// Build the modification panel (the right side of fig 4/5).
+    pub fn panel(&mut self) -> Result<Panel> {
+        let selected = self.selected_item;
+        let color_range = self.color_range;
+        self.result()?; // ensure the cache is fresh
+        let query = self.query.clone().expect("query ran");
+        let res = self.result.as_ref().expect("cached by result()");
+        let overall = OverallPanel {
+            num_objects: res.pipeline.n,
+            num_displayed: res.pipeline.displayed.len(),
+            pct_displayed: res.pipeline.displayed_fraction(),
+            num_results: res.pipeline.num_exact,
+        };
+        let top: Vec<&Weighted> = match query.condition.as_ref().map(|c| &c.node) {
+            Some(ConditionNode::And(cs)) | Some(ConditionNode::Or(cs)) => cs.iter().collect(),
+            Some(_) => vec![query.condition.as_ref().expect("present")],
+            None => Vec::new(),
+        };
+        let mut sliders = Vec::with_capacity(res.pipeline.windows.len());
+        for (i, win) in res.pipeline.windows.iter().enumerate() {
+            let node = top.get(i).map(|w| &w.node);
+            let mut s = SliderModel {
+                label: win.label.clone(),
+                weight: win.weight,
+                num_results: win.raw.iter().filter(|d| **d == Some(0.0)).count(),
+                ..Default::default()
+            };
+            if let Some(ConditionNode::Predicate(p)) = node {
+                s.attr = Some(p.attr.column.clone());
+                // database min/max from column stats
+                if let Ok(col_id) = res
+                    .base
+                    .schema()
+                    .require(res.base.name(), &p.attr.column)
+                    .or_else(|_| match &p.attr.table {
+                        Some(t) => res
+                            .base
+                            .schema()
+                            .require(res.base.name(), &format!("{t}.{}", p.attr.column)),
+                        None => Err(Error::UnknownColumn {
+                            table: res.base.name().into(),
+                            column: p.attr.column.clone(),
+                        }),
+                    })
+                {
+                    let stats = res.base.stats(col_id)?;
+                    s.db_min = stats.min;
+                    s.db_max = stats.max;
+                    let col = res.base.column(col_id)?;
+                    let mut lo = f64::INFINITY;
+                    let mut hi = f64::NEG_INFINITY;
+                    for &item in &res.pipeline.displayed {
+                        if let Some(v) = col.get_f64(item) {
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                    }
+                    if lo.is_finite() {
+                        s.displayed_min = Some(lo);
+                        s.displayed_max = Some(hi);
+                    }
+                    if let Some(item) = selected {
+                        s.selected_tuple = Some(col.get(item));
+                    }
+                    // first/last of color for the active color range
+                    if let Some((wi, clo, chi)) = color_range {
+                        if wi == i {
+                            let mut vlo = f64::INFINITY;
+                            let mut vhi = f64::NEG_INFINITY;
+                            for &item in &res.pipeline.displayed {
+                                if let Some(d) = win.normalized[item] {
+                                    if d >= clo && d <= chi {
+                                        if let Some(v) = col.get_f64(item) {
+                                            vlo = vlo.min(v);
+                                            vhi = vhi.max(v);
+                                        }
+                                    }
+                                }
+                            }
+                            if vlo.is_finite() {
+                                s.first_of_color = Some(vlo);
+                                s.last_of_color = Some(vhi);
+                            }
+                        }
+                    }
+                }
+                s.query_range = Some(match &p.target {
+                    PredicateTarget::Compare { op, value } => {
+                        use visdb_query::ast::CompareOp::*;
+                        let v = value.as_f64();
+                        match op {
+                            Gt | Ge => (v, None),
+                            Lt | Le => (None, v),
+                            Eq | Ne => (v, v),
+                        }
+                    }
+                    PredicateTarget::Range { low, high } => (low.as_f64(), high.as_f64()),
+                    PredicateTarget::Around { center, deviation } => {
+                        let c = center.as_f64();
+                        (c.map(|c| c - deviation), c.map(|c| c + deviation))
+                    }
+                });
+            }
+            sliders.push(s);
+        }
+        Ok(Panel { overall, sliders })
+    }
+}
+
+/// Convenience for examples: a value as `f64` or NaN.
+pub fn value_as_f64(v: &Value) -> f64 {
+    v.as_f64().unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visdb_query::ast::CompareOp;
+    use visdb_query::builder::QueryBuilder;
+    use visdb_storage::TableBuilder;
+    use visdb_types::{Column, DataType};
+
+    fn session_with_ramp(n: usize) -> Session {
+        let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+        for i in 0..n {
+            b = b.row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        let mut db = Database::new("d");
+        db.add_table(b.build());
+        Session::new(db, ConnectionRegistry::new())
+    }
+
+    #[test]
+    fn query_runs_and_caches() {
+        let mut s = session_with_ramp(100);
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 90.0)
+                .build(),
+        )
+        .unwrap();
+        let res = s.result().unwrap();
+        assert_eq!(res.pipeline.num_exact, 10);
+        assert!(res.grid.occupied() > 0);
+        assert!(s.cached_result().is_some());
+    }
+
+    #[test]
+    fn auto_recalculate_off_defers() {
+        let mut s = session_with_ramp(50);
+        s.set_auto_recalculate(false);
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 25.0)
+                .build(),
+        )
+        .unwrap();
+        assert!(s.cached_result().is_none());
+        s.recalculate().unwrap();
+        assert!(s.cached_result().is_some());
+    }
+
+    #[test]
+    fn slider_modification_changes_results() {
+        let mut s = session_with_ramp(100);
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 90.0)
+                .build(),
+        )
+        .unwrap();
+        assert_eq!(s.result().unwrap().pipeline.num_exact, 10);
+        s.set_predicate_target(
+            0,
+            PredicateTarget::Compare {
+                op: CompareOp::Ge,
+                value: Value::Float(50.0),
+            },
+        )
+        .unwrap();
+        assert_eq!(s.result().unwrap().pipeline.num_exact, 50);
+    }
+
+    #[test]
+    fn weight_modification() {
+        let mut s = session_with_ramp(100);
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 50.0)
+                .cmp("x", CompareOp::Lt, 60.0)
+                .build(),
+        )
+        .unwrap();
+        s.set_weight(1, 0.2).unwrap();
+        let res = s.result().unwrap();
+        assert_eq!(res.pipeline.windows[1].weight, 0.2);
+        assert!(s.set_weight(5, 0.5).is_err());
+        assert!(s.set_weight(0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn select_tuple_and_highlight() {
+        let mut s = session_with_ramp(10);
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 5.0)
+                .build(),
+        )
+        .unwrap();
+        let row = s.select_tuple(7).unwrap();
+        assert_eq!(row[0], Value::Float(7.0));
+        assert_eq!(s.selected_item(), Some(7));
+        s.clear_selection();
+        assert_eq!(s.selected_item(), None);
+    }
+
+    #[test]
+    fn color_range_projection() {
+        let mut s = session_with_ramp(100);
+        s.set_display_policy(DisplayPolicy::Percentage(100.0)).unwrap();
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 99.0)
+                .build(),
+        )
+        .unwrap();
+        // yellow band: exact answers only
+        let exact = s.select_color_range(0, 0.0, 0.0).unwrap();
+        assert_eq!(exact.len(), 1);
+        // whole spectrum: everything displayed
+        let all = s.select_color_range(0, 0.0, 255.0).unwrap();
+        assert_eq!(all.len(), 100);
+        assert!(s.select_color_range(0, 10.0, 5.0).is_err());
+        assert!(s.select_color_range(9, 0.0, 255.0).is_err());
+    }
+
+    #[test]
+    fn drilldown_or_part() {
+        let mut s = session_with_ramp(100);
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 90.0)
+                .cmp("x", CompareOp::Lt, 5.0)
+                .any()
+                .between("x", 0.0, 100.0)
+                .build(),
+        )
+        .unwrap();
+        // root is AND(OR(...), range); drill into the OR part
+        let view = s.drilldown(&[0], false).unwrap();
+        assert_eq!(view.pipeline.windows.len(), 2);
+        // shared arrangement equals the main grid
+        let main_grid = s.result().unwrap().grid.clone();
+        assert_eq!(view.grid, main_grid);
+        let indep = s.drilldown(&[0], true).unwrap();
+        assert_eq!(indep.pipeline.windows.len(), 2);
+        assert!(s.drilldown(&[9], false).is_err());
+    }
+
+    #[test]
+    fn panel_fields() {
+        let mut s = session_with_ramp(100);
+        s.set_display_policy(DisplayPolicy::Percentage(50.0)).unwrap();
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 80.0)
+                .build(),
+        )
+        .unwrap();
+        s.select_tuple(99).unwrap();
+        let panel = s.panel().unwrap();
+        assert_eq!(panel.overall.num_objects, 100);
+        assert_eq!(panel.overall.num_displayed, 50);
+        assert!((panel.overall.pct_displayed - 0.5).abs() < 1e-9);
+        assert_eq!(panel.overall.num_results, 20);
+        let sl = &panel.sliders[0];
+        assert_eq!(sl.attr.as_deref(), Some("x"));
+        assert_eq!(sl.db_min, Some(0.0));
+        assert_eq!(sl.db_max, Some(99.0));
+        assert_eq!(sl.query_range, Some((Some(80.0), None)));
+        assert_eq!(sl.num_results, 20);
+        assert_eq!(sl.selected_tuple, Some(Value::Float(99.0)));
+        // displayed values concentrate on the top of the ramp (items past
+        // the normalization range all clamp to 255 and tie, so a stray
+        // low item may slip in — the dominant mass must be x >= 50)
+        assert_eq!(sl.displayed_max, Some(99.0));
+        let res = s.result().unwrap();
+        let high = res
+            .pipeline
+            .displayed
+            .iter()
+            .filter(|&&i| i >= 50)
+            .count();
+        assert!(high >= 45, "only {high} of 50 displayed items are x >= 50");
+    }
+
+    #[test]
+    fn first_last_of_color() {
+        let mut s = session_with_ramp(100);
+        s.set_display_policy(DisplayPolicy::Percentage(100.0)).unwrap();
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 99.0)
+                .build(),
+        )
+        .unwrap();
+        // distances: 99-x normalized; pick the yellow-ish band
+        s.select_color_range(0, 0.0, 64.0).unwrap();
+        let panel = s.panel().unwrap();
+        let sl = &panel.sliders[0];
+        assert!(sl.first_of_color.is_some());
+        assert!(sl.last_of_color.unwrap() <= 99.0);
+        assert!(sl.first_of_color.unwrap() >= 70.0, "{:?}", sl.first_of_color);
+    }
+
+    #[test]
+    fn incremental_cache_reuses_unchanged_windows() {
+        let mut s = session_with_ramp(100);
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 50.0)
+                .cmp("x", CompareOp::Lt, 80.0)
+                .build(),
+        )
+        .unwrap();
+        let (h0, m0) = s.cache_stats();
+        assert_eq!(h0, 0);
+        assert_eq!(m0, 2); // first run evaluates both windows
+        // nudge only the first slider: the second window is reused
+        s.set_predicate_target(
+            0,
+            PredicateTarget::Compare {
+                op: CompareOp::Ge,
+                value: Value::Float(55.0),
+            },
+        )
+        .unwrap();
+        let (h1, m1) = s.cache_stats();
+        assert_eq!(h1, 1, "unchanged window must be a cache hit");
+        assert_eq!(m1, 3);
+        // and the cached run is still correct: distance-exact answers are
+        // x in 55..=80 (boundaries are distance-0, see visdb_distance)
+        assert_eq!(s.result().unwrap().pipeline.num_exact, 26);
+    }
+
+    #[test]
+    fn arrange_2d_places_items_by_sign() {
+        let mut s = session_with_ramp(100);
+        s.set_display_policy(DisplayPolicy::Percentage(100.0)).unwrap();
+        s.set_window_size(20, 20).unwrap();
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Eq, 50.0)
+                .cmp("x", CompareOp::Eq, 50.0)
+                .build(),
+        )
+        .unwrap();
+        let grid = s.arrange_2d(0, 1).unwrap();
+        assert!(grid.occupied() > 0);
+        // an item below the target (x = 10 -> dx = dy = -40) must sit in
+        // the left-bottom quadrant; one above in the right-top
+        let (lx, ly) = grid.position_of(10).unwrap();
+        assert!(lx < 10 && ly >= 10, "({lx},{ly})");
+        let (hx, hy) = grid.position_of(90).unwrap();
+        assert!(hx >= 10 && hy < 10, "({hx},{hy})");
+        // the exact answer sits in the center block
+        let (cx, cy) = grid.position_of(50).unwrap();
+        assert!((8..=11).contains(&cx) && (8..=11).contains(&cy), "({cx},{cy})");
+        assert!(s.arrange_2d(0, 7).is_err());
+    }
+
+    #[test]
+    fn arrange_2d_rejects_unsigned_windows() {
+        let mut t = TableBuilder::new(
+            "S",
+            vec![
+                Column::new("x", DataType::Float),
+                Column::new("name", DataType::Str),
+            ],
+        );
+        t = t.row(vec![Value::Float(1.0), Value::from("a")]).unwrap();
+        let mut db = Database::new("d");
+        db.add_table(t.build());
+        let mut s = Session::new(db, ConnectionRegistry::new());
+        s.set_query(
+            QueryBuilder::from_tables(["S"])
+                .cmp("x", CompareOp::Eq, 1.0)
+                .cmp("name", CompareOp::Eq, "a") // string: unsigned
+                .build(),
+        )
+        .unwrap();
+        assert!(s.arrange_2d(0, 1).is_err());
+    }
+
+    #[test]
+    fn invalid_modifications_are_rejected() {
+        let mut s = session_with_ramp(10);
+        assert!(s.recalculate().is_err()); // no query yet
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 5.0)
+                .build(),
+        )
+        .unwrap();
+        assert!(s.set_window_size(0, 10).is_err());
+        // modifying a predicate window as a connection fails
+        assert!(s.set_connection_params(0, vec![1.0]).is_err());
+    }
+}

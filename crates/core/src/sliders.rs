@@ -1,0 +1,185 @@
+//! The query-modification panel of fig 4/5.
+//!
+//! For every selection predicate the panel shows (§4.3): the database
+//! minimum/maximum of the attribute, the lowest and highest value among
+//! the *visualized* items, the `# of results`, the current `query range`,
+//! the `weight`, the values of a `selected tuple`, and the
+//! `first/last of color` readouts for a selected color range. The overall
+//! column shows `# objects`, `# displayed`, `% displayed` and the number
+//! of exact results.
+
+use std::fmt;
+
+use visdb_types::Value;
+
+/// Panel state for one predicate slider.
+#[derive(Debug, Clone, Default)]
+pub struct SliderModel {
+    /// Window/slider caption (predicate or connection label).
+    pub label: String,
+    /// Attribute name, when the window belongs to a single attribute.
+    pub attr: Option<String>,
+    /// Attribute minimum over the whole database (`min:` in fig 5).
+    pub db_min: Option<f64>,
+    /// Attribute maximum over the whole database (`max:`).
+    pub db_max: Option<f64>,
+    /// Lowest attribute value among displayed items.
+    pub displayed_min: Option<f64>,
+    /// Highest attribute value among displayed items.
+    pub displayed_max: Option<f64>,
+    /// Number of items exactly fulfilling this predicate (`# of results`).
+    pub num_results: usize,
+    /// Current query range `(lower, upper)`; `None` for non-range
+    /// predicates (connections show `---`).
+    pub query_range: Option<(Option<f64>, Option<f64>)>,
+    /// Weighting factor.
+    pub weight: f64,
+    /// Attribute value of the currently selected tuple.
+    pub selected_tuple: Option<Value>,
+    /// Attribute value at the start of the selected color range
+    /// (`first of color`).
+    pub first_of_color: Option<f64>,
+    /// Attribute value at the end of the selected color range
+    /// (`last of color`).
+    pub last_of_color: Option<f64>,
+}
+
+/// Panel state for the overall-result column.
+#[derive(Debug, Clone, Default)]
+pub struct OverallPanel {
+    /// Total data items considered (`# objects`).
+    pub num_objects: usize,
+    /// Items displayed (`# displayed`).
+    pub num_displayed: usize,
+    /// Percentage displayed (`% displayed`).
+    pub pct_displayed: f64,
+    /// Exact answers (`# of results` under the overall spectrum).
+    pub num_results: usize,
+}
+
+/// The whole modification panel.
+#[derive(Debug, Clone, Default)]
+pub struct Panel {
+    /// Overall-result column.
+    pub overall: OverallPanel,
+    /// One slider per predicate window.
+    pub sliders: Vec<SliderModel>,
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => {
+            if x.abs() >= 1000.0 {
+                format!("{x:.0}")
+            } else {
+                format!("{x:.1}")
+            }
+        }
+        None => "---".to_string(),
+    }
+}
+
+impl fmt::Display for Panel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Visualization and Query Modification ==")?;
+        writeln!(f, "# objects    {:>10}", self.overall.num_objects)?;
+        writeln!(f, "# displayed  {:>10}", self.overall.num_displayed)?;
+        writeln!(f, "% displayed  {:>9.1}%", self.overall.pct_displayed * 100.0)?;
+        writeln!(f, "# results    {:>10}", self.overall.num_results)?;
+        for (i, s) in self.sliders.iter().enumerate() {
+            writeln!(f, "--- window {} [{}] ---", i + 1, s.label)?;
+            if let Some(attr) = &s.attr {
+                writeln!(f, "  attribute     {attr}")?;
+            }
+            writeln!(
+                f,
+                "  min/max       {} / {}",
+                fmt_opt(s.db_min),
+                fmt_opt(s.db_max)
+            )?;
+            writeln!(
+                f,
+                "  displayed     {} .. {}",
+                fmt_opt(s.displayed_min),
+                fmt_opt(s.displayed_max)
+            )?;
+            match s.query_range {
+                Some((lo, hi)) => writeln!(
+                    f,
+                    "  query range   {} .. {}",
+                    fmt_opt(lo),
+                    fmt_opt(hi)
+                )?,
+                None => writeln!(f, "  query range   --- .. ---")?,
+            }
+            writeln!(f, "  weight        {:.3}", s.weight)?;
+            writeln!(f, "  # of results  {}", s.num_results)?;
+            if let Some(v) = &s.selected_tuple {
+                writeln!(f, "  select. tuple {v}")?;
+            }
+            if s.first_of_color.is_some() || s.last_of_color.is_some() {
+                writeln!(
+                    f,
+                    "  first/last of color {} / {}",
+                    fmt_opt(s.first_of_color),
+                    fmt_opt(s.last_of_color)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_formats_like_the_figure() {
+        let panel = Panel {
+            overall: OverallPanel {
+                num_objects: 68376,
+                num_displayed: 27224,
+                pct_displayed: 0.398,
+                num_results: 5217,
+            },
+            sliders: vec![SliderModel {
+                label: "Temperature > 15".into(),
+                attr: Some("Temperature".into()),
+                db_min: Some(-5.3),
+                db_max: Some(33.6),
+                displayed_min: Some(16.5),
+                displayed_max: Some(18.7),
+                num_results: 30000,
+                query_range: Some((Some(15.0), None)),
+                weight: 1.0,
+                selected_tuple: Some(Value::Float(18.7)),
+                first_of_color: Some(16.5),
+                last_of_color: Some(18.7),
+            }],
+        };
+        let s = panel.to_string();
+        assert!(s.contains("# objects         68376"));
+        assert!(s.contains("# displayed       27224"));
+        assert!(s.contains("39.8%"));
+        assert!(s.contains("Temperature > 15"));
+        assert!(s.contains("query range   15.0 .. ---"));
+        assert!(s.contains("first/last of color 16.5 / 18.7"));
+    }
+
+    #[test]
+    fn connection_sliders_show_dashes() {
+        let panel = Panel {
+            overall: OverallPanel::default(),
+            sliders: vec![SliderModel {
+                label: "W. with-time-diff(120) Air-P.".into(),
+                weight: 0.5,
+                ..Default::default()
+            }],
+        };
+        let s = panel.to_string();
+        assert!(s.contains("min/max       --- / ---"));
+        assert!(s.contains("query range   --- .. ---"));
+        assert!(s.contains("weight        0.500"));
+    }
+}

@@ -1,0 +1,190 @@
+//! The CAD similarity-retrieval workload (§4.5).
+//!
+//! "In a concrete application in mechanical engineering we had 27
+//! parameters describing the parts." Parts are generated as clusters of
+//! similar parts (prototype + small perturbations) plus *near-miss*
+//! parts that match a prototype in all but one parameter — exactly the
+//! case the paper argues fixed-allowance queries lose: "the user might
+//! miss a part that exactly fits in all except one parameter".
+
+use rand::Rng;
+
+use visdb_storage::{Database, Table};
+use visdb_types::{Column, DataType, Schema, Value};
+
+use crate::distributions::{normal, rng};
+
+/// Number of describing parameters (as in the paper's application).
+pub const NUM_PARAMS: usize = 27;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct CadConfig {
+    /// Number of part clusters (families of similar parts).
+    pub clusters: usize,
+    /// Parts per cluster.
+    pub parts_per_cluster: usize,
+    /// Near-miss parts per cluster (match the prototype in all but one
+    /// parameter).
+    pub near_misses_per_cluster: usize,
+    /// Unrelated random parts.
+    pub random_parts: usize,
+    /// Within-cluster parameter jitter (standard deviation).
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CadConfig {
+    fn default() -> Self {
+        CadConfig {
+            clusters: 5,
+            parts_per_cluster: 40,
+            near_misses_per_cluster: 2,
+            random_parts: 300,
+            jitter: 0.5,
+            seed: 77,
+        }
+    }
+}
+
+/// The generated workload plus ground truth.
+#[derive(Debug, Clone)]
+pub struct CadData {
+    /// Catalog holding the `Parts` table.
+    pub db: Database,
+    /// Cluster prototypes (parameter vectors), index = cluster id.
+    pub prototypes: Vec<Vec<f64>>,
+    /// Cluster label per row (`None` = random part).
+    pub labels: Vec<Option<usize>>,
+    /// Rows that are near-misses: `(row, cluster, deviating parameter)`.
+    pub near_misses: Vec<(usize, usize, usize)>,
+}
+
+fn parts_schema() -> Schema {
+    let mut cols = vec![Column::new("PartId", DataType::Int)];
+    for p in 0..NUM_PARAMS {
+        cols.push(Column::new(format!("p{p:02}"), DataType::Float));
+    }
+    Schema::new(cols)
+}
+
+/// Generate the workload.
+pub fn generate_cad(cfg: &CadConfig) -> CadData {
+    let mut r = rng(cfg.seed);
+    let prototypes: Vec<Vec<f64>> = (0..cfg.clusters)
+        .map(|_| (0..NUM_PARAMS).map(|_| r.gen_range(10.0..100.0)).collect())
+        .collect();
+
+    let mut table = Table::new("Parts", parts_schema());
+    let mut labels = Vec::new();
+    let mut near_misses = Vec::new();
+    let mut next_id = 0i64;
+    let push_part = |table: &mut Table, params: &[f64], id: &mut i64| {
+        let mut row = vec![Value::Int(*id)];
+        row.extend(params.iter().map(|&p| Value::Float(p)));
+        table.push_row(row).expect("schema-conforming row");
+        *id += 1;
+    };
+
+    for (c, proto) in prototypes.iter().enumerate() {
+        for _ in 0..cfg.parts_per_cluster {
+            let params: Vec<f64> = proto
+                .iter()
+                .map(|&p| p + normal(&mut r, 0.0, cfg.jitter))
+                .collect();
+            push_part(&mut table, &params, &mut next_id);
+            labels.push(Some(c));
+        }
+        for _ in 0..cfg.near_misses_per_cluster {
+            let mut params: Vec<f64> = proto
+                .iter()
+                .map(|&p| p + normal(&mut r, 0.0, cfg.jitter * 0.2))
+                .collect();
+            let dev = r.gen_range(0..NUM_PARAMS);
+            // deviate decisively in exactly one parameter
+            params[dev] += if r.gen_range(0.0..1.0) < 0.5 { 25.0 } else { -25.0 };
+            let row_idx = labels.len();
+            push_part(&mut table, &params, &mut next_id);
+            labels.push(Some(c));
+            near_misses.push((row_idx, c, dev));
+        }
+    }
+    for _ in 0..cfg.random_parts {
+        let params: Vec<f64> = (0..NUM_PARAMS).map(|_| r.gen_range(10.0..100.0)).collect();
+        push_part(&mut table, &params, &mut next_id);
+        labels.push(None);
+    }
+
+    let mut db = Database::new("cad");
+    db.add_table(table);
+    CadData {
+        db,
+        prototypes,
+        labels,
+        near_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let cfg = CadConfig::default();
+        let d = generate_cad(&cfg);
+        let t = d.db.table("Parts").unwrap();
+        let expected =
+            cfg.clusters * (cfg.parts_per_cluster + cfg.near_misses_per_cluster) + cfg.random_parts;
+        assert_eq!(t.len(), expected);
+        assert_eq!(t.schema().len(), NUM_PARAMS + 1);
+        assert_eq!(d.labels.len(), expected);
+        assert_eq!(d.near_misses.len(), cfg.clusters * cfg.near_misses_per_cluster);
+    }
+
+    #[test]
+    fn cluster_members_are_close_to_their_prototype() {
+        let d = generate_cad(&CadConfig::default());
+        let t = d.db.table("Parts").unwrap();
+        for (row, label) in d.labels.iter().enumerate().take(40) {
+            let Some(c) = label else { continue };
+            let proto = &d.prototypes[*c];
+            if d.near_misses.iter().any(|(r, _, _)| *r == row) {
+                continue;
+            }
+            for (p, &expected) in proto.iter().enumerate() {
+                let v = t.column(p + 1).unwrap().get_f64(row).unwrap();
+                assert!((v - expected).abs() < 5.0, "row {row} p{p}: {v} vs {expected}");
+            }
+        }
+    }
+
+    #[test]
+    fn near_misses_deviate_in_exactly_one_parameter() {
+        let d = generate_cad(&CadConfig::default());
+        let t = d.db.table("Parts").unwrap();
+        for &(row, cluster, dev) in &d.near_misses {
+            let proto = &d.prototypes[cluster];
+            let mut big_devs = 0;
+            for (p, &expected) in proto.iter().enumerate() {
+                let v = t.column(p + 1).unwrap().get_f64(row).unwrap();
+                if (v - expected).abs() > 10.0 {
+                    big_devs += 1;
+                    assert_eq!(p, dev, "row {row} deviates at p{p}, expected p{dev}");
+                }
+            }
+            assert_eq!(big_devs, 1, "row {row}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate_cad(&CadConfig::default());
+        let b = generate_cad(&CadConfig::default());
+        assert_eq!(
+            a.db.table("Parts").unwrap().row(5).unwrap(),
+            b.db.table("Parts").unwrap().row(5).unwrap()
+        );
+    }
+}

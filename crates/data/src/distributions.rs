@@ -1,0 +1,69 @@
+//! Seedable samplers used by the workload generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG from a seed — every generator in this crate is
+/// reproducible given its config.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Standard normal sample via Box–Muller (rand's distribution crate is
+/// not among the sanctioned dependencies).
+pub fn normal<R: Rng>(r: &mut R, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = r.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// Sample from a two-component Gaussian mixture — the fig 2 density
+/// shapes (§5.1): `(weight1, mean1, sd1)` vs `(mean2, sd2)`.
+pub fn mixture<R: Rng>(
+    r: &mut R,
+    w1: f64,
+    (m1, s1): (f64, f64),
+    (m2, s2): (f64, f64),
+) -> f64 {
+    if r.gen_range(0.0..1.0) < w1 {
+        normal(r, m1, s1)
+    } else {
+        normal(r, m2, s2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rng(42);
+        let mut b = rng(42);
+        for _ in 0..10 {
+            assert_eq!(normal(&mut a, 0.0, 1.0), normal(&mut b, 0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = rng(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn mixture_is_bimodal() {
+        let mut r = rng(9);
+        let n = 10_000;
+        let samples: Vec<f64> =
+            (0..n).map(|_| mixture(&mut r, 0.5, (0.0, 0.5), (100.0, 0.5))).collect();
+        let low = samples.iter().filter(|x| **x < 50.0).count();
+        assert!((4000..6000).contains(&low), "low={low}");
+    }
+}

@@ -1,0 +1,374 @@
+//! The environmental measurement workload (§3, §4.1).
+//!
+//! Schema matches fig 3:
+//! * `Weather(DateTime, Location, Temperature, Humidity, Precipitation,
+//!   Solar-Radiation)`
+//! * `Air-Pollution(DateTime, Location, CO, SO2, NO2, Ozone)`
+//!
+//! Planted structure (returned as [`GroundTruth`] so experiments can
+//! score recovery):
+//! * temperature ↔ solar radiation positively correlated (the "obvious"
+//!   correlation of §3),
+//! * **ozone responds to temperature and solar radiation with a 2-hour
+//!   lag** — the correlation the paper's example query hunts for,
+//! * a configurable number of single-item ozone **hot spots**,
+//! * pollution stations are offset from the weather stations by a small
+//!   distance and sample on a shifted clock, so *exact* joins on time or
+//!   location return nothing while approximate joins succeed (§4.4).
+
+use rand::Rng;
+
+use visdb_query::ast::AttrRef;
+use visdb_query::connection::{ConnectionDef, ConnectionKind, ConnectionRegistry};
+use visdb_storage::{Database, Table};
+use visdb_types::{Column, DataType, Location, Schema, Value};
+
+use crate::distributions::{normal, rng};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Hours of measurements per station.
+    pub hours: usize,
+    /// Number of measurement stations.
+    pub stations: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Ozone response lag in hours (the paper's example uses 2).
+    pub ozone_lag_hours: usize,
+    /// Number of planted single-item ozone hot spots.
+    pub hot_spots: usize,
+    /// Clock offset of pollution measurements relative to weather, in
+    /// seconds (breaks exact time-equality joins; 0 disables).
+    pub pollution_clock_offset: i64,
+    /// Distance between each weather station and its paired pollution
+    /// station in meters (breaks exact location-equality joins; 0
+    /// disables).
+    pub station_offset_m: f64,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            hours: 24 * 30,
+            stations: 2,
+            seed: 4242,
+            ozone_lag_hours: 2,
+            hot_spots: 3,
+            pollution_clock_offset: 600,
+            station_offset_m: 150.0,
+        }
+    }
+}
+
+/// What the generator planted (for scoring experiments C2/C3).
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Row indices (into `Air-Pollution`) of the planted hot spots.
+    pub hot_spot_rows: Vec<usize>,
+    /// The planted lag in seconds.
+    pub ozone_lag_seconds: i64,
+}
+
+/// The generated workload.
+#[derive(Debug, Clone)]
+pub struct EnvData {
+    /// Catalog holding `Weather` and `Air-Pollution`.
+    pub db: Database,
+    /// Declared connections (fig 3's Connections window).
+    pub registry: ConnectionRegistry,
+    /// Planted structure.
+    pub truth: GroundTruth,
+}
+
+fn weather_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("DateTime", DataType::Timestamp),
+        Column::new("Location", DataType::Location),
+        Column::new("Temperature", DataType::Float).with_unit("°C"),
+        Column::new("Humidity", DataType::Float).with_unit("%"),
+        Column::new("Precipitation", DataType::Float).with_unit("mm"),
+        Column::new("Solar-Radiation", DataType::Float).with_unit("watt/m2"),
+    ])
+}
+
+fn pollution_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("DateTime", DataType::Timestamp),
+        Column::new("Location", DataType::Location),
+        Column::new("CO", DataType::Float).with_unit("mg/m3"),
+        Column::new("SO2", DataType::Float).with_unit("µg/m3"),
+        Column::new("NO2", DataType::Float).with_unit("µg/m3"),
+        Column::new("Ozone", DataType::Float).with_unit("µg/m3"),
+    ])
+}
+
+/// ~meters → degrees latitude.
+fn meters_to_deg_lat(m: f64) -> f64 {
+    m / 111_320.0
+}
+
+/// Generate the workload.
+pub fn generate_environmental(cfg: &EnvConfig) -> EnvData {
+    let mut r = rng(cfg.seed);
+    let mut weather = Table::new("Weather", weather_schema());
+    let mut pollution = Table::new("Air-Pollution", pollution_schema());
+    let lag = cfg.ozone_lag_hours;
+
+    let base_stations: Vec<Location> = (0..cfg.stations)
+        .map(|s| Location::new(48.0 + s as f64 * 0.5, 11.0 + s as f64 * 0.3))
+        .collect();
+
+    let mut truth = GroundTruth {
+        ozone_lag_seconds: (lag * 3600) as i64,
+        ..Default::default()
+    };
+
+    for (s, &wloc) in base_stations.iter().enumerate() {
+        // the paired pollution station sits `station_offset_m` north
+        let ploc = Location::new(
+            wloc.lat + meters_to_deg_lat(cfg.station_offset_m),
+            wloc.lon,
+        );
+        // per-station temperature/solar series, kept so ozone can look
+        // back `lag` hours
+        let mut temps = Vec::with_capacity(cfg.hours);
+        let mut solars = Vec::with_capacity(cfg.hours);
+        for h in 0..cfg.hours {
+            let t = (h * 3600) as i64;
+            let hour_of_day = (h % 24) as f64;
+            let day = (h / 24) as f64;
+            // diurnal cycle peaking at 14:00 + weak seasonal cycle + noise
+            let diurnal = ((hour_of_day - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+            let seasonal = (day / 365.0 * std::f64::consts::TAU).sin() * 8.0;
+            let temp = 12.0 + 8.0 * diurnal + seasonal + normal(&mut r, 0.0, 1.5);
+            // solar radiation: daylight curve, correlated with temperature
+            let sun = (((hour_of_day - 6.0) / 12.0) * std::f64::consts::PI).sin();
+            let solar = if (6.0..=18.0).contains(&hour_of_day) {
+                (sun * 750.0 + (temp - 12.0) * 10.0 + normal(&mut r, 0.0, 40.0)).max(0.0)
+            } else {
+                0.0
+            };
+            let humidity = (95.0 - 2.2 * temp + normal(&mut r, 0.0, 5.0)).clamp(5.0, 100.0);
+            let precipitation = if r.gen_range(0.0..1.0) < 0.08 {
+                r.gen_range(0.1..12.0)
+            } else {
+                0.0
+            };
+            weather
+                .push_row(vec![
+                    Value::Timestamp(t),
+                    Value::Location(wloc),
+                    Value::Float(temp),
+                    Value::Float(humidity),
+                    Value::Float(precipitation),
+                    Value::Float(solar),
+                ])
+                .expect("schema-conforming row");
+            temps.push(temp);
+            solars.push(solar);
+        }
+        for h in 0..cfg.hours {
+            let t = (h * 3600) as i64 + cfg.pollution_clock_offset;
+            // ozone responds to temperature & radiation `lag` hours ago
+            let (t_past, s_past) = if h >= lag {
+                (temps[h - lag], solars[h - lag])
+            } else {
+                (temps[0], solars[0])
+            };
+            let ozone =
+                (20.0 + 2.2 * (t_past - 10.0).max(0.0) + 0.06 * s_past + normal(&mut r, 0.0, 6.0))
+                    .max(0.0);
+            let co = (0.4 + 0.02 * (25.0 - t_past).max(0.0) + normal(&mut r, 0.0, 0.1)).max(0.0);
+            let so2 = (8.0 + normal(&mut r, 0.0, 2.0)).max(0.0);
+            let no2 = (25.0 + 0.01 * s_past + normal(&mut r, 0.0, 5.0)).max(0.0);
+            pollution
+                .push_row(vec![
+                    Value::Timestamp(t),
+                    Value::Location(ploc),
+                    Value::Float(co),
+                    Value::Float(so2),
+                    Value::Float(no2),
+                    Value::Float(ozone),
+                ])
+                .expect("schema-conforming row");
+        }
+        // plant hot spots for station 0 only (deterministic positions)
+        if s == 0 {
+            for k in 0..cfg.hot_spots {
+                let h = (cfg.hours / (cfg.hot_spots + 1)) * (k + 1);
+                truth.hot_spot_rows.push(h);
+            }
+        }
+    }
+
+    // overwrite the planted rows with extreme ozone (single exceptional
+    // data items, §2.2 "hot spots")
+    if !truth.hot_spot_rows.is_empty() {
+        let rows: Vec<usize> = (0..pollution.len()).collect();
+        let mut replacement = Table::new("Air-Pollution", pollution_schema());
+        for &i in &rows {
+            let mut row = pollution.row(i).expect("in range");
+            if truth.hot_spot_rows.contains(&i) {
+                row[5] = Value::Float(480.0 + (i % 7) as f64); // extreme ozone
+            }
+            replacement.push_row(row).expect("same schema");
+        }
+        pollution = replacement;
+    }
+
+    let mut db = Database::new("environment");
+    db.add_table(weather);
+    db.add_table(pollution);
+
+    let mut registry = ConnectionRegistry::new();
+    registry.declare(ConnectionDef {
+        name: "with-time-diff".into(),
+        left_table: "Air-Pollution".into(),
+        right_table: "Weather".into(),
+        kind: ConnectionKind::TimeDiff {
+            left: AttrRef::qualified("Air-Pollution", "DateTime"),
+            right: AttrRef::qualified("Weather", "DateTime"),
+        },
+    });
+    registry.declare(ConnectionDef {
+        name: "at-same-time".into(),
+        left_table: "Air-Pollution".into(),
+        right_table: "Weather".into(),
+        kind: ConnectionKind::Equi {
+            left: AttrRef::qualified("Air-Pollution", "DateTime"),
+            right: AttrRef::qualified("Weather", "DateTime"),
+        },
+    });
+    registry.declare(ConnectionDef {
+        name: "at-same-location".into(),
+        left_table: "Air-Pollution".into(),
+        right_table: "Weather".into(),
+        kind: ConnectionKind::SpatialWithin {
+            left: AttrRef::qualified("Air-Pollution", "Location"),
+            right: AttrRef::qualified("Weather", "Location"),
+        },
+    });
+
+    EnvData {
+        db,
+        registry,
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EnvData {
+        generate_environmental(&EnvConfig {
+            hours: 24 * 7,
+            stations: 2,
+            seed: 1,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let d1 = small();
+        let d2 = small();
+        let w = d1.db.table("Weather").unwrap();
+        let p = d1.db.table("Air-Pollution").unwrap();
+        assert_eq!(w.len(), 24 * 7 * 2);
+        assert_eq!(p.len(), 24 * 7 * 2);
+        assert_eq!(
+            d2.db.table("Weather").unwrap().row(17).unwrap(),
+            w.row(17).unwrap()
+        );
+        assert_eq!(d1.registry.len(), 3);
+    }
+
+    #[test]
+    fn hot_spots_are_extreme() {
+        let d = small();
+        let p = d.db.table("Air-Pollution").unwrap();
+        let ozone = p.column_by_name("Ozone").unwrap();
+        // collect non-hotspot max
+        let mut regular_max = f64::NEG_INFINITY;
+        for i in 0..p.len() {
+            if !d.truth.hot_spot_rows.contains(&i) {
+                regular_max = regular_max.max(ozone.get_f64(i).unwrap());
+            }
+        }
+        for &i in &d.truth.hot_spot_rows {
+            let v = ozone.get_f64(i).unwrap();
+            assert!(v > regular_max + 50.0, "hot spot {i} = {v}, regular max {regular_max}");
+        }
+    }
+
+    #[test]
+    fn ozone_lag_correlation_is_planted() {
+        let d = generate_environmental(&EnvConfig {
+            hours: 24 * 60,
+            stations: 1,
+            hot_spots: 0,
+            seed: 3,
+            ..Default::default()
+        });
+        let w = d.db.table("Weather").unwrap();
+        let p = d.db.table("Air-Pollution").unwrap();
+        let temp = w.column_by_name("Temperature").unwrap();
+        let ozone = p.column_by_name("Ozone").unwrap();
+        let n = w.len();
+        let corr_at = |lag: usize| {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for h in lag..n {
+                xs.push(temp.get_f64(h - lag).unwrap());
+                ys.push(ozone.get_f64(h).unwrap());
+            }
+            let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+            let my = ys.iter().sum::<f64>() / ys.len() as f64;
+            let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+            let sx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum::<f64>().sqrt();
+            let sy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum::<f64>().sqrt();
+            cov / (sx * sy)
+        };
+        let lag2 = corr_at(2);
+        let lag12 = corr_at(12);
+        assert!(lag2 > 0.8, "lag-2 correlation {lag2}");
+        assert!(lag2 > lag12 + 0.1, "lag-2 {lag2} should beat lag-12 {lag12}");
+    }
+
+    #[test]
+    fn exact_joins_fail_but_approximate_would_succeed() {
+        let d = small();
+        let w = d.db.table("Weather").unwrap();
+        let p = d.db.table("Air-Pollution").unwrap();
+        let wt = w.column_by_name("DateTime").unwrap();
+        let pt = p.column_by_name("DateTime").unwrap();
+        // no pollution timestamp equals any weather timestamp (offset 600s)
+        for i in 0..p.len().min(100) {
+            let t = pt.get_f64(i).unwrap();
+            for j in 0..w.len().min(100) {
+                assert_ne!(t, wt.get_f64(j).unwrap());
+            }
+        }
+        // but every pollution timestamp is within 600s of some weather one
+        let t0 = pt.get_f64(0).unwrap();
+        let close = (0..w.len()).any(|j| (wt.get_f64(j).unwrap() - t0).abs() <= 600.0);
+        assert!(close);
+    }
+
+    #[test]
+    fn humidity_anticorrelates_with_temperature() {
+        let d = small();
+        let w = d.db.table("Weather").unwrap();
+        let temp = w.column_by_name("Temperature").unwrap();
+        let hum = w.column_by_name("Humidity").unwrap();
+        let n = w.len();
+        let mx = (0..n).map(|i| temp.get_f64(i).unwrap()).sum::<f64>() / n as f64;
+        let my = (0..n).map(|i| hum.get_f64(i).unwrap()).sum::<f64>() / n as f64;
+        let cov: f64 = (0..n)
+            .map(|i| (temp.get_f64(i).unwrap() - mx) * (hum.get_f64(i).unwrap() - my))
+            .sum();
+        assert!(cov < 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Geographic points-of-interest workload.
+//!
+//! The paper's fig 4/5 images come from "a large database of geographical
+//! information" (§4.5), and its spatial connections (`at-same-location`,
+//! `with-distance(m)`) need location-bearing relations. This generator
+//! produces two POI tables — measurement `Stations` and nearby `Sites` of
+//! interest — with ground-truth pairings at known distances, exercising
+//! the `SpatialWithin` join and the geo distance functions.
+
+use rand::Rng;
+
+use visdb_query::ast::AttrRef;
+use visdb_query::connection::{ConnectionDef, ConnectionKind, ConnectionRegistry};
+use visdb_storage::{Database, Table};
+use visdb_types::{Column, DataType, Location, Schema, TypeClass, Value};
+
+use crate::distributions::rng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GeoConfig {
+    /// Number of stations.
+    pub stations: usize,
+    /// Sites paired with a station (placed at a known offset).
+    pub paired_sites: usize,
+    /// Unpaired sites scattered uniformly.
+    pub scattered_sites: usize,
+    /// Distance of each paired site from its station, in meters.
+    pub pair_distance_m: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeoConfig {
+    fn default() -> Self {
+        GeoConfig {
+            stations: 25,
+            paired_sites: 25,
+            scattered_sites: 100,
+            pair_distance_m: 400.0,
+            seed: 1234,
+        }
+    }
+}
+
+/// The generated workload.
+#[derive(Debug, Clone)]
+pub struct GeoData {
+    /// Catalog with `Stations` and `Sites`.
+    pub db: Database,
+    /// Declared spatial connection (`near`).
+    pub registry: ConnectionRegistry,
+    /// True pairs `(station row, site row)` at `pair_distance_m`.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+fn stations_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("StationId", DataType::Int),
+        Column::new("Location", DataType::Location),
+        Column::new("Elevation", DataType::Float).with_unit("m"),
+    ])
+}
+
+fn sites_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("SiteId", DataType::Int),
+        Column::new("Location", DataType::Location),
+        Column::new("Kind", DataType::Str).with_class(TypeClass::Nominal),
+    ])
+}
+
+const KINDS: &[&str] = &["factory", "park", "school", "hospital", "landfill"];
+
+/// Generate the workload. Stations sit on a jittered grid around Munich;
+/// each paired site is placed `pair_distance_m` due east of its station.
+pub fn generate_geographic(cfg: &GeoConfig) -> GeoData {
+    let mut r = rng(cfg.seed);
+    let mut stations = Table::new("Stations", stations_schema());
+    let mut sites = Table::new("Sites", sites_schema());
+    let mut pairs = Vec::new();
+
+    let side = (cfg.stations as f64).sqrt().ceil() as usize;
+    let mut station_locs = Vec::with_capacity(cfg.stations);
+    for i in 0..cfg.stations {
+        let lat = 48.0 + (i / side) as f64 * 0.05 + r.gen_range(-0.005..0.005);
+        let lon = 11.3 + (i % side) as f64 * 0.05 + r.gen_range(-0.005..0.005);
+        let loc = Location::new(lat, lon);
+        stations
+            .push_row(vec![
+                Value::Int(i as i64),
+                Value::Location(loc),
+                Value::Float(r.gen_range(450.0..700.0)),
+            ])
+            .expect("schema-conforming row");
+        station_locs.push(loc);
+    }
+    // meters east -> degrees longitude at this latitude
+    let m_to_deg_lon = |lat: f64, m: f64| m / (111_320.0 * lat.to_radians().cos());
+    for (k, &sloc) in station_locs.iter().take(cfg.paired_sites).enumerate() {
+        let loc = Location::new(sloc.lat, sloc.lon + m_to_deg_lon(sloc.lat, cfg.pair_distance_m));
+        let site_row = sites.len();
+        sites
+            .push_row(vec![
+                Value::Int(1000 + k as i64),
+                Value::Location(loc),
+                Value::Str(KINDS[k % KINDS.len()].to_string()),
+            ])
+            .expect("schema-conforming row");
+        pairs.push((k, site_row));
+    }
+    for j in 0..cfg.scattered_sites {
+        let loc = Location::new(r.gen_range(47.5..48.8), r.gen_range(10.8..12.2));
+        sites
+            .push_row(vec![
+                Value::Int(2000 + j as i64),
+                Value::Location(loc),
+                Value::Str(KINDS[j % KINDS.len()].to_string()),
+            ])
+            .expect("schema-conforming row");
+    }
+
+    let mut db = Database::new("geo");
+    db.add_table(stations);
+    db.add_table(sites);
+
+    let mut registry = ConnectionRegistry::new();
+    registry.declare(ConnectionDef {
+        name: "near".into(),
+        left_table: "Stations".into(),
+        right_table: "Sites".into(),
+        kind: ConnectionKind::SpatialWithin {
+            left: AttrRef::qualified("Stations", "Location"),
+            right: AttrRef::qualified("Sites", "Location"),
+        },
+    });
+
+    GeoData { db, registry, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visdb_distance::geo::haversine_m;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let cfg = GeoConfig::default();
+        let a = generate_geographic(&cfg);
+        let b = generate_geographic(&cfg);
+        assert_eq!(a.db.table("Stations").unwrap().len(), cfg.stations);
+        assert_eq!(
+            a.db.table("Sites").unwrap().len(),
+            cfg.paired_sites + cfg.scattered_sites
+        );
+        assert_eq!(a.pairs.len(), cfg.paired_sites);
+        assert_eq!(
+            a.db.table("Sites").unwrap().row(7).unwrap(),
+            b.db.table("Sites").unwrap().row(7).unwrap()
+        );
+        assert_eq!(a.registry.len(), 1);
+    }
+
+    #[test]
+    fn paired_sites_sit_at_the_configured_distance() {
+        let cfg = GeoConfig {
+            pair_distance_m: 400.0,
+            ..Default::default()
+        };
+        let d = generate_geographic(&cfg);
+        let stations = d.db.table("Stations").unwrap();
+        let sites = d.db.table("Sites").unwrap();
+        let sl = stations.column_by_name("Location").unwrap();
+        let tl = sites.column_by_name("Location").unwrap();
+        for &(si, ti) in d.pairs.iter().take(10) {
+            let dist = haversine_m(sl.get_location(si).unwrap(), tl.get_location(ti).unwrap());
+            assert!(
+                (dist - 400.0).abs() < 5.0,
+                "pair ({si},{ti}) is {dist:.1} m apart"
+            );
+        }
+    }
+
+    #[test]
+    fn all_locations_valid() {
+        let d = generate_geographic(&GeoConfig::default());
+        for t in ["Stations", "Sites"] {
+            let table = d.db.table(t).unwrap();
+            let col = table.column_by_name("Location").unwrap();
+            for i in 0..table.len() {
+                assert!(col.get_location(i).unwrap().is_valid());
+            }
+        }
+    }
+}

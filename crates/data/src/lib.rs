@@ -1,0 +1,31 @@
+//! # visdb-data
+//!
+//! Synthetic workload generators standing in for the paper's data sets
+//! (see DESIGN.md §2 for the substitution rationale).
+//!
+//! * [`environmental`] — the running example of §3/§4: hourly weather and
+//!   air-pollution measurement series with a *planted* 2-hour time-lagged
+//!   ozone response, planted single-item hot spots, per-station location
+//!   jitter and a measurement-interval offset so that exact equality
+//!   joins fail while approximate joins succeed (§4.4).
+//! * [`cad`] — the CAD similarity-retrieval application of §4.5: parts
+//!   described by 27 parameters, generated as clusters of similar parts
+//!   plus near-miss singletons.
+//! * [`geographic`] — points-of-interest tables with ground-truth
+//!   station/site pairings at known distances, for the spatial
+//!   (`with-distance(m)`) joins.
+//! * [`multidb`] — the multi-database correspondence application of
+//!   §4.5: two customer tables whose join keys are misspelled variants.
+//! * [`distributions`] — seedable samplers (normal via Box–Muller,
+//!   mixtures) shared by the generators and the figure-2 bench.
+
+pub mod cad;
+pub mod distributions;
+pub mod environmental;
+pub mod geographic;
+pub mod multidb;
+
+pub use cad::{generate_cad, CadConfig, CadData};
+pub use environmental::{generate_environmental, EnvConfig, EnvData};
+pub use geographic::{generate_geographic, GeoConfig, GeoData};
+pub use multidb::{generate_multidb, MultiDbConfig, MultiDbData};

@@ -1,0 +1,221 @@
+//! The multi-database correspondence workload (§4.5).
+//!
+//! "in multi-database systems ... it is often a problem to find
+//! corresponding data items in multiple independent databases. If a
+//! distance function for the two attributes to be joined can be defined,
+//! our system will help the user to identify closely related data items."
+//!
+//! We generate two customer tables whose names refer to the same
+//! entities but were entered independently: the second copy carries
+//! typos (edit distance 1–2), so equality joins fail while approximate
+//! string joins recover the correspondence.
+
+use rand::Rng;
+
+use visdb_query::ast::AttrRef;
+use visdb_query::connection::{ConnectionDef, ConnectionKind, ConnectionRegistry};
+use visdb_storage::{Database, Table};
+use visdb_types::{Column, DataType, Schema, Value};
+
+use crate::distributions::rng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct MultiDbConfig {
+    /// Number of corresponding customer pairs.
+    pub customers: usize,
+    /// Extra unmatched rows in each table.
+    pub unmatched_per_side: usize,
+    /// Typos applied to each matched name in table B (1..=2 sensible).
+    pub typos: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultiDbConfig {
+    fn default() -> Self {
+        MultiDbConfig {
+            customers: 60,
+            unmatched_per_side: 20,
+            typos: 1,
+            seed: 99,
+        }
+    }
+}
+
+/// The generated workload plus the true correspondence.
+#[derive(Debug, Clone)]
+pub struct MultiDbData {
+    /// Catalog holding `CustomersA` and `CustomersB`.
+    pub db: Database,
+    /// Declared approximate-join connection on the name columns.
+    pub registry: ConnectionRegistry,
+    /// True pairs `(row in A, row in B)`.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+const FIRST: &[&str] = &[
+    "anna", "bernd", "clara", "dieter", "elena", "frank", "greta", "heinz", "ines", "jakob",
+    "karin", "lars", "marta", "nils", "olga", "paul", "rosa", "stefan", "tina", "ulrich",
+];
+const LAST: &[&str] = &[
+    "keim", "kriegel", "seidl", "maier", "huber", "schmid", "weber", "wagner", "becker", "wolf",
+    "schulz", "koch", "bauer", "richter", "klein", "neumann", "schwarz", "zimmer", "kraus", "lang",
+];
+
+fn customers_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("CustomerId", DataType::Int),
+        Column::new("Name", DataType::Str),
+        Column::new("Balance", DataType::Float),
+    ])
+}
+
+fn make_name<R: Rng>(r: &mut R) -> String {
+    format!(
+        "{} {}",
+        FIRST[r.gen_range(0..FIRST.len())],
+        LAST[r.gen_range(0..LAST.len())]
+    )
+}
+
+/// Apply `n` random single-character substitutions/insertions/deletions.
+fn corrupt<R: Rng>(r: &mut R, name: &str, n: usize) -> String {
+    let mut chars: Vec<char> = name.chars().collect();
+    for _ in 0..n {
+        if chars.is_empty() {
+            break;
+        }
+        let pos = r.gen_range(0..chars.len());
+        match r.gen_range(0..3) {
+            0 => chars[pos] = (b'a' + r.gen_range(0..26u8)) as char, // substitute
+            1 => chars.insert(pos, (b'a' + r.gen_range(0..26u8)) as char), // insert
+            _ => {
+                chars.remove(pos); // delete
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Generate the workload.
+pub fn generate_multidb(cfg: &MultiDbConfig) -> MultiDbData {
+    let mut r = rng(cfg.seed);
+    let mut a = Table::new("CustomersA", customers_schema());
+    let mut b = Table::new("CustomersB", customers_schema());
+    let mut pairs = Vec::with_capacity(cfg.customers);
+
+    for i in 0..cfg.customers {
+        let name = make_name(&mut r);
+        let corrupted = loop {
+            let c = corrupt(&mut r, &name, cfg.typos);
+            if c != name {
+                break c;
+            }
+        };
+        a.push_row(vec![
+            Value::Int(i as i64),
+            Value::Str(name),
+            Value::Float(r.gen_range(-500.0..5000.0)),
+        ])
+        .expect("schema-conforming row");
+        b.push_row(vec![
+            Value::Int(1000 + i as i64),
+            Value::Str(corrupted),
+            Value::Float(r.gen_range(-500.0..5000.0)),
+        ])
+        .expect("schema-conforming row");
+        pairs.push((i, i));
+    }
+    for j in 0..cfg.unmatched_per_side {
+        a.push_row(vec![
+            Value::Int((cfg.customers + j) as i64),
+            Value::Str(format!("unmatched-a-{j:03}")),
+            Value::Float(0.0),
+        ])
+        .expect("schema-conforming row");
+        b.push_row(vec![
+            Value::Int((2000 + j) as i64),
+            Value::Str(format!("unmatched-b-{j:03}")),
+            Value::Float(0.0),
+        ])
+        .expect("schema-conforming row");
+    }
+
+    let mut db = Database::new("multidb");
+    db.add_table(a);
+    db.add_table(b);
+
+    let mut registry = ConnectionRegistry::new();
+    registry.declare(ConnectionDef {
+        name: "same-customer".into(),
+        left_table: "CustomersA".into(),
+        right_table: "CustomersB".into(),
+        kind: ConnectionKind::Equi {
+            left: AttrRef::qualified("CustomersA", "Name"),
+            right: AttrRef::qualified("CustomersB", "Name"),
+        },
+    });
+
+    MultiDbData { db, registry, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_pairs() {
+        let cfg = MultiDbConfig::default();
+        let d = generate_multidb(&cfg);
+        let a = d.db.table("CustomersA").unwrap();
+        let b = d.db.table("CustomersB").unwrap();
+        assert_eq!(a.len(), cfg.customers + cfg.unmatched_per_side);
+        assert_eq!(b.len(), cfg.customers + cfg.unmatched_per_side);
+        assert_eq!(d.pairs.len(), cfg.customers);
+    }
+
+    #[test]
+    fn matched_names_differ_but_are_close() {
+        let d = generate_multidb(&MultiDbConfig::default());
+        let a = d.db.table("CustomersA").unwrap();
+        let b = d.db.table("CustomersB").unwrap();
+        let an = a.column_by_name("Name").unwrap();
+        let bn = b.column_by_name("Name").unwrap();
+        for &(i, j) in d.pairs.iter().take(20) {
+            let x = an.get_str(i).unwrap();
+            let y = bn.get_str(j).unwrap();
+            assert_ne!(x, y, "pair ({i},{j}) should differ");
+            // 1 typo -> edit distance at most 2 (insert counts once)
+            let dist = levenshtein(x, y);
+            assert!(dist <= 2, "'{x}' vs '{y}' distance {dist}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate_multidb(&MultiDbConfig::default());
+        let b = generate_multidb(&MultiDbConfig::default());
+        assert_eq!(
+            a.db.table("CustomersA").unwrap().row(3).unwrap(),
+            b.db.table("CustomersA").unwrap().row(3).unwrap()
+        );
+    }
+
+    // local copy to avoid a dev-dependency on visdb-distance
+    fn levenshtein(a: &str, b: &str) -> usize {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=bc.len()).collect();
+        let mut cur = vec![0usize; bc.len() + 1];
+        for (i, &ca) in ac.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, &cb) in bc.iter().enumerate() {
+                let sub = prev[j] + usize::from(ca != cb);
+                cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[bc.len()]
+    }
+}

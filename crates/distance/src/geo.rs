@@ -1,0 +1,85 @@
+//! Geographic distance functions for the spatial connections
+//! (`at-same-location`, `with-distance(m)`; §4.4: "Special joins, e.g. to
+//! relate geographical locations ... require more complex distance
+//! functions").
+
+use visdb_types::Location;
+
+use crate::Distance;
+
+/// Mean Earth radius in meters (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Great-circle (haversine) distance in meters.
+pub fn haversine_m(a: Location, b: Location) -> f64 {
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().asin()
+}
+
+/// Fast equirectangular approximation in meters — adequate for the
+/// station-proximity joins of the environmental workload (distances well
+/// under 100 km) and ~5x cheaper than haversine.
+pub fn equirectangular_m(a: Location, b: Location) -> f64 {
+    let x = (b.lon - a.lon).to_radians() * ((a.lat + b.lat) / 2.0).to_radians().cos();
+    let y = (b.lat - a.lat).to_radians();
+    EARTH_RADIUS_M * (x * x + y * y).sqrt()
+}
+
+/// Distance of a location pair from fulfilling "within `radius_m` meters":
+/// 0 inside the radius, otherwise the excess in meters. Radius 0 encodes
+/// `at-same-location`. Undefined for invalid coordinates.
+pub fn within_m(a: Location, b: Location, radius_m: f64) -> Distance {
+    if !a.is_valid() || !b.is_valid() || !radius_m.is_finite() || radius_m < 0.0 {
+        return None;
+    }
+    let d = haversine_m(a, b);
+    Some((d - radius_m).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MUNICH: Location = Location { lat: 48.137, lon: 11.575 };
+    const BERLIN: Location = Location { lat: 52.52, lon: 13.405 };
+
+    #[test]
+    fn munich_berlin_is_about_504_km() {
+        let d = haversine_m(MUNICH, BERLIN);
+        assert!((d - 504_000.0).abs() < 5_000.0, "got {d}");
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        assert_eq!(haversine_m(MUNICH, MUNICH), 0.0);
+        assert_eq!(equirectangular_m(MUNICH, MUNICH), 0.0);
+    }
+
+    #[test]
+    fn equirectangular_close_to_haversine_for_short_hops() {
+        let near = Location::new(48.140, 11.580);
+        let h = haversine_m(MUNICH, near);
+        let e = equirectangular_m(MUNICH, near);
+        assert!((h - e).abs() / h < 0.01, "h={h} e={e}");
+    }
+
+    #[test]
+    fn within_semantics() {
+        assert_eq!(within_m(MUNICH, MUNICH, 0.0), Some(0.0));
+        let d = within_m(MUNICH, BERLIN, 600_000.0).unwrap();
+        assert_eq!(d, 0.0);
+        let d = within_m(MUNICH, BERLIN, 100_000.0).unwrap();
+        assert!(d > 300_000.0);
+        assert_eq!(within_m(Location::new(f64::NAN, 0.0), BERLIN, 10.0), None);
+        assert_eq!(within_m(MUNICH, BERLIN, -1.0), None);
+    }
+
+    #[test]
+    fn symmetry() {
+        assert!((haversine_m(MUNICH, BERLIN) - haversine_m(BERLIN, MUNICH)).abs() < 1e-9);
+    }
+}

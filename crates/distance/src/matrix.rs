@@ -1,0 +1,202 @@
+//! Distance matrices for ordinal and nominal datatypes (§3).
+//!
+//! A [`DistanceMatrix`] enumerates a domain of category values and stores
+//! a full pairwise distance table. For ordinal domains the rank difference
+//! is the natural default ([`DistanceMatrix::ordinal`]); for nominal
+//! domains the 0/1 discrete metric ([`DistanceMatrix::discrete`]) — but
+//! the application may provide any table (e.g. perceptual color
+//! similarity, ICD diagnosis proximity).
+
+use std::collections::HashMap;
+
+use visdb_types::{Error, Result};
+
+use crate::Distance;
+
+/// A symmetric distance table over an enumerated string domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    values: Vec<String>,
+    index: HashMap<String, usize>,
+    /// Row-major `values.len() × values.len()` table.
+    table: Vec<f64>,
+    /// Whether the domain is ordered (enables signed distances).
+    ordinal: bool,
+}
+
+impl DistanceMatrix {
+    /// Build from an explicit table. The table must be square, zero on the
+    /// diagonal and symmetric.
+    pub fn new(values: Vec<String>, table: Vec<f64>, ordinal: bool) -> Result<Self> {
+        let n = values.len();
+        if table.len() != n * n {
+            return Err(Error::invalid_parameter(
+                "table",
+                format!("expected {}x{} entries, got {}", n, n, table.len()),
+            ));
+        }
+        for i in 0..n {
+            if table[i * n + i] != 0.0 {
+                return Err(Error::invalid_parameter(
+                    "table",
+                    format!("diagonal entry ({i},{i}) must be 0"),
+                ));
+            }
+            for j in 0..i {
+                if (table[i * n + j] - table[j * n + i]).abs() > 1e-12 {
+                    return Err(Error::invalid_parameter(
+                        "table",
+                        format!("asymmetric entries at ({i},{j})"),
+                    ));
+                }
+            }
+        }
+        let mut index = HashMap::with_capacity(n);
+        for (i, v) in values.iter().enumerate() {
+            if index.insert(v.clone(), i).is_some() {
+                return Err(Error::invalid_parameter(
+                    "values",
+                    format!("duplicate domain value '{v}'"),
+                ));
+            }
+        }
+        Ok(DistanceMatrix {
+            values,
+            index,
+            table,
+            ordinal,
+        })
+    }
+
+    /// Ordinal domain: distance = rank difference.
+    pub fn ordinal<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let values: Vec<String> = values.into_iter().map(Into::into).collect();
+        let n = values.len();
+        let mut table = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                table[i * n + j] = (i as f64 - j as f64).abs();
+            }
+        }
+        DistanceMatrix::new(values, table, true).expect("rank table is valid")
+    }
+
+    /// Nominal domain: the discrete 0/1 metric.
+    pub fn discrete<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let values: Vec<String> = values.into_iter().map(Into::into).collect();
+        let n = values.len();
+        let mut table = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    table[i * n + j] = 1.0;
+                }
+            }
+        }
+        DistanceMatrix::new(values, table, false).expect("discrete table is valid")
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for an empty domain.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether signed distances are meaningful (ordinal domains).
+    pub fn is_ordinal(&self) -> bool {
+        self.ordinal
+    }
+
+    /// Rank of a domain value.
+    pub fn rank(&self, value: &str) -> Option<usize> {
+        self.index.get(value).copied()
+    }
+
+    /// Distance between two domain values. For ordinal domains the result
+    /// is signed by rank order (`a` below `b` → negative); for nominal
+    /// domains it is the unsigned table entry. Unknown values → undefined.
+    pub fn distance(&self, a: &str, b: &str) -> Distance {
+        let (i, j) = (self.rank(a)?, self.rank(b)?);
+        let d = self.table[i * self.len() + j];
+        if self.ordinal {
+            Some(if i < j { -d } else { d })
+        } else {
+            Some(d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinal_rank_distance_is_signed() {
+        let m = DistanceMatrix::ordinal(["low", "medium", "high", "extreme"]);
+        assert_eq!(m.distance("low", "high"), Some(-2.0));
+        assert_eq!(m.distance("extreme", "medium"), Some(2.0));
+        assert_eq!(m.distance("low", "low"), Some(0.0));
+        assert!(m.is_ordinal());
+    }
+
+    #[test]
+    fn discrete_metric() {
+        let m = DistanceMatrix::discrete(["red", "green", "blue"]);
+        assert_eq!(m.distance("red", "blue"), Some(1.0));
+        assert_eq!(m.distance("red", "red"), Some(0.0));
+        assert!(!m.is_ordinal());
+    }
+
+    #[test]
+    fn unknown_values_are_undefined() {
+        let m = DistanceMatrix::discrete(["a"]);
+        assert_eq!(m.distance("a", "zzz"), None);
+    }
+
+    #[test]
+    fn custom_table_validation() {
+        // non-square
+        assert!(DistanceMatrix::new(vec!["a".into(), "b".into()], vec![0.0; 3], false).is_err());
+        // nonzero diagonal
+        assert!(DistanceMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec![1.0, 2.0, 2.0, 0.0],
+            false
+        )
+        .is_err());
+        // asymmetric
+        assert!(DistanceMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec![0.0, 2.0, 3.0, 0.0],
+            false
+        )
+        .is_err());
+        // duplicate values
+        assert!(DistanceMatrix::new(
+            vec!["a".into(), "a".into()],
+            vec![0.0, 1.0, 1.0, 0.0],
+            false
+        )
+        .is_err());
+        // valid custom table
+        let m = DistanceMatrix::new(
+            vec!["sunny".into(), "cloudy".into()],
+            vec![0.0, 0.5, 0.5, 0.0],
+            false,
+        )
+        .unwrap();
+        assert_eq!(m.distance("sunny", "cloudy"), Some(0.5));
+    }
+}

@@ -1,0 +1,151 @@
+//! Numeric (metric) distance functions.
+//!
+//! These are the paper's "numerical difference (for metric types)" (§3),
+//! extended to all comparison operators, ranges, and the "medium value ±
+//! deviation" slider form.
+
+use crate::Distance;
+
+/// Distance of `value` from fulfilling `value > threshold` (or `>=`).
+///
+/// Fulfilled → 0. Otherwise the signed shortfall `value - threshold`
+/// (negative: the value is *below* where it should be).
+///
+/// `>` and `>=` are deliberately not distinguished for distance purposes:
+/// on continuous domains the boundary has measure zero, and the exact
+/// boolean check (`visdb-baseline`) handles strictness.
+pub fn greater_than(value: f64, threshold: f64) -> Distance {
+    if value.is_nan() || threshold.is_nan() {
+        return None;
+    }
+    if value >= threshold {
+        Some(0.0)
+    } else {
+        Some(value - threshold)
+    }
+}
+
+/// Distance of `value` from fulfilling `value < threshold` (or `<=`).
+/// Positive when the value overshoots the bound.
+pub fn less_than(value: f64, threshold: f64) -> Distance {
+    if value.is_nan() || threshold.is_nan() {
+        return None;
+    }
+    if value <= threshold {
+        Some(0.0)
+    } else {
+        Some(value - threshold)
+    }
+}
+
+/// Distance of `value` from fulfilling `value = target`: the signed
+/// numerical difference (§3).
+pub fn equal_to(value: f64, target: f64) -> Distance {
+    if value.is_nan() || target.is_nan() {
+        return None;
+    }
+    Some(value - target)
+}
+
+/// Distance of `value` from fulfilling `value <> target`.
+///
+/// When already different the distance is 0; when equal there is no
+/// continuous "direction" to escape — we report a unit distance whose
+/// scale is normalized away later (§5.2 normalizes every predicate's
+/// distances to a fixed range).
+pub fn not_equal_to(value: f64, target: f64) -> Distance {
+    if value.is_nan() || target.is_nan() {
+        return None;
+    }
+    if value != target {
+        Some(0.0)
+    } else {
+        Some(1.0)
+    }
+}
+
+/// Distance of `value` from the inclusive range `[low, high]`: 0 inside,
+/// signed distance to the violated bound outside.
+pub fn in_range(value: f64, low: f64, high: f64) -> Distance {
+    if value.is_nan() || low.is_nan() || high.is_nan() {
+        return None;
+    }
+    if value < low {
+        Some(value - low)
+    } else if value > high {
+        Some(value - high)
+    } else {
+        Some(0.0)
+    }
+}
+
+/// Distance of `value` from `center ± deviation` (the §4.3 slider with a
+/// "medium value and some allowed deviation"): 0 within the allowance,
+/// otherwise the signed excess beyond it.
+pub fn around(value: f64, center: f64, deviation: f64) -> Distance {
+    if value.is_nan() || center.is_nan() || deviation.is_nan() || deviation < 0.0 {
+        return None;
+    }
+    let diff = value - center;
+    if diff.abs() <= deviation {
+        Some(0.0)
+    } else {
+        Some(diff - deviation.copysign(diff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greater_than_semantics() {
+        assert_eq!(greater_than(20.0, 15.0), Some(0.0));
+        assert_eq!(greater_than(15.0, 15.0), Some(0.0));
+        assert_eq!(greater_than(10.0, 15.0), Some(-5.0));
+        assert_eq!(greater_than(f64::NAN, 1.0), None);
+    }
+
+    #[test]
+    fn less_than_semantics() {
+        assert_eq!(less_than(50.0, 60.0), Some(0.0));
+        assert_eq!(less_than(70.0, 60.0), Some(10.0));
+    }
+
+    #[test]
+    fn equal_is_signed_difference() {
+        assert_eq!(equal_to(12.0, 10.0), Some(2.0));
+        assert_eq!(equal_to(8.0, 10.0), Some(-2.0));
+        assert_eq!(equal_to(10.0, 10.0), Some(0.0));
+    }
+
+    #[test]
+    fn not_equal_unit_distance_when_equal() {
+        assert_eq!(not_equal_to(1.0, 1.0), Some(1.0));
+        assert_eq!(not_equal_to(2.0, 1.0), Some(0.0));
+    }
+
+    #[test]
+    fn range_distance() {
+        assert_eq!(in_range(5.0, 0.0, 10.0), Some(0.0));
+        assert_eq!(in_range(-3.0, 0.0, 10.0), Some(-3.0));
+        assert_eq!(in_range(12.5, 0.0, 10.0), Some(2.5));
+        assert_eq!(in_range(0.0, 0.0, 10.0), Some(0.0));
+        assert_eq!(in_range(10.0, 0.0, 10.0), Some(0.0));
+    }
+
+    #[test]
+    fn around_distance() {
+        assert_eq!(around(10.0, 10.0, 2.0), Some(0.0));
+        assert_eq!(around(11.9, 10.0, 2.0), Some(0.0));
+        assert_eq!(around(13.0, 10.0, 2.0), Some(1.0));
+        assert_eq!(around(6.5, 10.0, 2.0), Some(-1.5));
+        assert_eq!(around(1.0, 0.0, -1.0), None);
+    }
+
+    #[test]
+    fn around_with_zero_deviation_is_equality() {
+        assert_eq!(around(12.0, 10.0, 0.0), Some(2.0));
+        assert_eq!(around(10.0, 10.0, 0.0), Some(0.0));
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-column distance configuration.
+//!
+//! "Our approach ... requires no knowledge on the application other than
+//! the distance and weighting functions" (§6): applications plug in
+//! distance behaviour per column, and everything else is generic. The
+//! [`DistanceResolver`] is that plug-in point — it decides, for a given
+//! `(table, column)`, which [`ColumnDistance`] applies, and computes
+//! value-to-value distances.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use visdb_types::{DataType, TypeClass, Value};
+
+use crate::geo;
+use crate::matrix::DistanceMatrix;
+use crate::numeric;
+use crate::string::StringDistance;
+use crate::Distance;
+
+/// The distance behaviour of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnDistance {
+    /// Metric: signed numerical difference.
+    Numeric,
+    /// Enumerated domain with a distance matrix (ordinal or nominal).
+    Matrix(Arc<DistanceMatrix>),
+    /// String distance of the given kind.
+    String(StringDistance),
+    /// Geographic: haversine meters (unsigned).
+    Geo,
+}
+
+impl ColumnDistance {
+    /// Distance between two values under this behaviour.
+    /// NULL or type-incompatible operands are undefined.
+    pub fn value_distance(&self, a: &Value, b: &Value) -> Distance {
+        match self {
+            ColumnDistance::Numeric => numeric::equal_to(a.as_f64()?, b.as_f64()?),
+            ColumnDistance::Matrix(m) => m.distance(a.as_str()?, b.as_str()?),
+            ColumnDistance::String(kind) => Some(kind.distance(a.as_str()?, b.as_str()?)),
+            ColumnDistance::Geo => {
+                let (la, lb) = (a.as_location()?, b.as_location()?);
+                if !la.is_valid() || !lb.is_valid() {
+                    return None;
+                }
+                Some(geo::haversine_m(la, lb))
+            }
+        }
+    }
+
+    /// Whether distances of this behaviour are signed (have a direction).
+    pub fn is_signed(&self) -> bool {
+        match self {
+            ColumnDistance::Numeric => true,
+            ColumnDistance::Matrix(m) => m.is_ordinal(),
+            ColumnDistance::String(_) | ColumnDistance::Geo => false,
+        }
+    }
+}
+
+/// Resolves `(table, column)` to a [`ColumnDistance`], with sensible
+/// defaults derived from the column's [`DataType`] / [`TypeClass`].
+#[derive(Debug, Clone, Default)]
+pub struct DistanceResolver {
+    overrides: HashMap<(String, String), ColumnDistance>,
+    default_string: StringDistance,
+}
+
+impl DistanceResolver {
+    /// Resolver with default behaviour everywhere.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the default string distance (initially [`StringDistance::Edit`]).
+    pub fn with_default_string(mut self, kind: StringDistance) -> Self {
+        self.default_string = kind;
+        self
+    }
+
+    /// Override the behaviour of one column.
+    pub fn set(
+        &mut self,
+        table: impl Into<String>,
+        column: impl Into<String>,
+        dist: ColumnDistance,
+    ) {
+        self.overrides.insert((table.into(), column.into()), dist);
+    }
+
+    /// Resolve the behaviour for a column.
+    pub fn resolve(
+        &self,
+        table: &str,
+        column: &str,
+        data_type: DataType,
+        class: TypeClass,
+    ) -> ColumnDistance {
+        if let Some(d) = self
+            .overrides
+            .get(&(table.to_string(), column.to_string()))
+        {
+            return d.clone();
+        }
+        match (data_type, class) {
+            (DataType::Location, _) => ColumnDistance::Geo,
+            (DataType::Str, _) => ColumnDistance::String(self.default_string),
+            (_, TypeClass::Metric) => ColumnDistance::Numeric,
+            // ordinal/nominal numeric codes without a declared matrix fall
+            // back to numeric difference — the least surprising default
+            _ => ColumnDistance::Numeric,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visdb_types::Location;
+
+    #[test]
+    fn numeric_value_distance() {
+        let d = ColumnDistance::Numeric;
+        assert_eq!(d.value_distance(&Value::Float(12.0), &Value::Int(10)), Some(2.0));
+        assert_eq!(d.value_distance(&Value::Null, &Value::Int(10)), None);
+        assert_eq!(d.value_distance(&Value::from("x"), &Value::Int(10)), None);
+        assert!(d.is_signed());
+    }
+
+    #[test]
+    fn string_value_distance() {
+        let d = ColumnDistance::String(StringDistance::Edit);
+        assert_eq!(d.value_distance(&Value::from("abc"), &Value::from("abd")), Some(1.0));
+        assert!(!d.is_signed());
+    }
+
+    #[test]
+    fn matrix_value_distance_signedness() {
+        let ord = ColumnDistance::Matrix(Arc::new(DistanceMatrix::ordinal(["s", "m", "l"])));
+        assert!(ord.is_signed());
+        assert_eq!(ord.value_distance(&Value::from("s"), &Value::from("l")), Some(-2.0));
+        let nom = ColumnDistance::Matrix(Arc::new(DistanceMatrix::discrete(["a", "b"])));
+        assert!(!nom.is_signed());
+    }
+
+    #[test]
+    fn geo_value_distance() {
+        let d = ColumnDistance::Geo;
+        let a = Value::Location(Location::new(48.0, 11.0));
+        let b = Value::Location(Location::new(48.0, 11.0));
+        assert_eq!(d.value_distance(&a, &b), Some(0.0));
+        let bad = Value::Location(Location::new(99.0, 0.0));
+        assert_eq!(d.value_distance(&a, &bad), None);
+    }
+
+    #[test]
+    fn resolver_defaults_and_overrides() {
+        let mut r = DistanceResolver::new();
+        let d = r.resolve("W", "Temperature", DataType::Float, TypeClass::Metric);
+        assert!(matches!(d, ColumnDistance::Numeric));
+        let d = r.resolve("W", "Station", DataType::Str, TypeClass::Nominal);
+        assert!(matches!(d, ColumnDistance::String(StringDistance::Edit)));
+        r.set(
+            "W",
+            "Station",
+            ColumnDistance::String(StringDistance::Phonetic),
+        );
+        let d = r.resolve("W", "Station", DataType::Str, TypeClass::Nominal);
+        assert!(matches!(d, ColumnDistance::String(StringDistance::Phonetic)));
+    }
+
+    #[test]
+    fn resolver_default_string_kind() {
+        let r = DistanceResolver::new().with_default_string(StringDistance::Substring);
+        let d = r.resolve("T", "c", DataType::Str, TypeClass::Nominal);
+        assert!(matches!(d, ColumnDistance::String(StringDistance::Substring)));
+    }
+}

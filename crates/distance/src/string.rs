@@ -1,0 +1,255 @@
+//! String distance functions: "lexicographical, character-wise, substring
+//! or phonetic difference (for strings)" (§3), plus edit distance as used
+//! throughout the IR literature the paper builds on ([HD 80]).
+//!
+//! String distances are unsigned (there is no meaningful direction), so
+//! they always return non-negative values.
+
+/// Which string distance to use for a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StringDistance {
+    /// First-difference lexicographic distance.
+    Lexicographic,
+    /// Positional character difference (Hamming with length penalty).
+    CharacterWise,
+    /// Substring containment distance.
+    Substring,
+    /// Phonetic (Soundex code) distance.
+    Phonetic,
+    /// Levenshtein edit distance (the default: most broadly applicable).
+    #[default]
+    Edit,
+}
+
+impl StringDistance {
+    /// Dispatch to the chosen function.
+    pub fn distance(self, a: &str, b: &str) -> f64 {
+        match self {
+            StringDistance::Lexicographic => lexicographic(a, b),
+            StringDistance::CharacterWise => character_wise(a, b),
+            StringDistance::Substring => substring(a, b),
+            StringDistance::Phonetic => phonetic(a, b),
+            StringDistance::Edit => levenshtein(a, b) as f64,
+        }
+    }
+}
+
+/// Lexicographic distance: 0 for equal strings; otherwise the byte
+/// difference at the first differing position, damped by that position
+/// (differences early in the string matter more), plus 1 so that any
+/// proper-prefix relation still yields a nonzero distance.
+pub fn lexicographic(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let ab = a.as_bytes();
+    let bb = b.as_bytes();
+    let n = ab.len().min(bb.len());
+    for i in 0..n {
+        if ab[i] != bb[i] {
+            let diff = (f64::from(ab[i]) - f64::from(bb[i])).abs();
+            return 1.0 + diff / (i as f64 + 1.0);
+        }
+    }
+    // one is a proper prefix of the other
+    1.0 + (ab.len().abs_diff(bb.len())) as f64 / (n as f64 + 1.0)
+}
+
+/// Character-wise distance: number of positions (over the longer length)
+/// where the characters differ — a Hamming distance where length overhang
+/// counts as mismatches.
+pub fn character_wise(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let n = ac.len().max(bc.len());
+    let mut d = 0usize;
+    for i in 0..n {
+        if ac.get(i) != bc.get(i) {
+            d += 1;
+        }
+    }
+    d as f64
+}
+
+/// Longest common substring length (dynamic programming, O(|a|·|b|)).
+fn longest_common_substring(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut best = 0usize;
+    for &ca in a {
+        let mut cur = vec![0usize; b.len() + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            if ca == cb {
+                cur[j + 1] = prev[j] + 1;
+                best = best.max(cur[j + 1]);
+            }
+        }
+        prev = cur;
+    }
+    best
+}
+
+/// Substring distance of pattern `a` against text `b`: 0 if `a` occurs in
+/// `b`, otherwise the number of pattern characters *not* covered by the
+/// longest common substring.
+pub fn substring(a: &str, b: &str) -> f64 {
+    if a.is_empty() || b.contains(a) {
+        return 0.0;
+    }
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    (ac.len() - longest_common_substring(&ac, &bc)) as f64
+}
+
+/// Classic 4-character Soundex code (letter + 3 digits).
+pub fn soundex(s: &str) -> [u8; 4] {
+    fn code(c: u8) -> u8 {
+        match c {
+            b'b' | b'f' | b'p' | b'v' => b'1',
+            b'c' | b'g' | b'j' | b'k' | b'q' | b's' | b'x' | b'z' => b'2',
+            b'd' | b't' => b'3',
+            b'l' => b'4',
+            b'm' | b'n' => b'5',
+            b'r' => b'6',
+            _ => 0, // vowels, h, w, y and non-letters
+        }
+    }
+    let lower = s.to_ascii_lowercase();
+    let letters: Vec<u8> = lower.bytes().filter(u8::is_ascii_lowercase).collect();
+    let mut out = [b'0'; 4];
+    let Some(&first) = letters.first() else {
+        return out;
+    };
+    out[0] = first.to_ascii_uppercase();
+    let mut prev = code(first);
+    let mut n = 1;
+    for &c in &letters[1..] {
+        if n >= 4 {
+            break;
+        }
+        let k = code(c);
+        // 'h' and 'w' do not reset the previous code (standard Soundex)
+        if c == b'h' || c == b'w' {
+            continue;
+        }
+        if k != 0 && k != prev {
+            out[n] = k;
+            n += 1;
+        }
+        prev = k;
+    }
+    out
+}
+
+/// Phonetic distance: Hamming distance between Soundex codes (0..=4).
+pub fn phonetic(a: &str, b: &str) -> f64 {
+    let ca = soundex(a);
+    let cb = soundex(b);
+    ca.iter().zip(cb.iter()).filter(|(x, y)| x != y).count() as f64
+}
+
+/// Levenshtein edit distance (two-row DP, O(|a|·|b|) time, O(|b|) space).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    if ac.is_empty() {
+        return bc.len();
+    }
+    if bc.is_empty() {
+        return ac.len();
+    }
+    let mut prev: Vec<usize> = (0..=bc.len()).collect();
+    let mut cur = vec![0usize; bc.len() + 1];
+    for (i, &ca) in ac.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in bc.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[bc.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_classics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn soundex_classics() {
+        assert_eq!(&soundex("Robert"), b"R163");
+        assert_eq!(&soundex("Rupert"), b"R163");
+        assert_eq!(&soundex("Tymczak"), b"T522");
+        assert_eq!(&soundex("Pfister"), b"P236");
+        assert_eq!(&soundex("Ashcraft"), b"A261");
+        assert_eq!(&soundex(""), b"0000");
+    }
+
+    #[test]
+    fn phonetic_distance_zero_for_homophones() {
+        assert_eq!(phonetic("Robert", "Rupert"), 0.0);
+        assert!(phonetic("Smith", "Jones") > 0.0);
+    }
+
+    #[test]
+    fn substring_containment_is_zero() {
+        assert_eq!(substring("ozon", "ozone level"), 0.0);
+        assert_eq!(substring("", "anything"), 0.0);
+        assert_eq!(substring("abc", "xbcy"), 1.0); // "bc" covered, 'a' not
+        assert_eq!(substring("abc", "zzz"), 3.0);
+    }
+
+    #[test]
+    fn character_wise_counts_positions() {
+        assert_eq!(character_wise("abc", "abc"), 0.0);
+        assert_eq!(character_wise("abc", "abd"), 1.0);
+        assert_eq!(character_wise("abc", "abcdef"), 3.0);
+        assert_eq!(character_wise("", ""), 0.0);
+    }
+
+    #[test]
+    fn lexicographic_orders_by_first_difference() {
+        assert_eq!(lexicographic("x", "x"), 0.0);
+        // early differences weigh more than late ones
+        assert!(lexicographic("aaa", "zaa") > lexicographic("aaa", "aaz"));
+        // prefix relation is nonzero
+        assert!(lexicographic("abc", "abcdef") > 0.0);
+    }
+
+    #[test]
+    fn all_kinds_are_symmetric_enough() {
+        // edit / character-wise / phonetic are symmetric by construction
+        for kind in [
+            StringDistance::Edit,
+            StringDistance::CharacterWise,
+            StringDistance::Phonetic,
+            StringDistance::Lexicographic,
+        ] {
+            assert_eq!(kind.distance("house", "mouse"), kind.distance("mouse", "house"));
+        }
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        for kind in [
+            StringDistance::Edit,
+            StringDistance::CharacterWise,
+            StringDistance::Phonetic,
+            StringDistance::Lexicographic,
+            StringDistance::Substring,
+        ] {
+            assert_eq!(kind.distance("alpha", "alpha"), 0.0, "{kind:?}");
+        }
+    }
+}

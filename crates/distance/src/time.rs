@@ -1,0 +1,63 @@
+//! Temporal distance functions for the `with-time-diff(c)` connection
+//! (fig 3) and time-based predicates.
+//!
+//! The paper's example query requires "between recording temperature and
+//! ozone there is a time difference of two hours" (§4.1) — a
+//! *parameterised* join whose distance is how far the actual time
+//! difference deviates from the expected offset.
+
+use visdb_types::Timestamp;
+
+use crate::Distance;
+
+/// Signed distance of a timestamp pair from an expected offset:
+/// `(left - right) - expected`. Zero iff the recordings are exactly
+/// `expected` seconds apart (in the declared direction); the sign says
+/// whether `left` is too late (+) or too early (−).
+pub fn time_diff(left: Timestamp, right: Timestamp, expected: f64) -> Distance {
+    if !expected.is_finite() {
+        return None;
+    }
+    Some((left - right) as f64 - expected)
+}
+
+/// Distance from simultaneity within a tolerance window of ± `tol`
+/// seconds: 0 inside, signed excess outside. `with-time-diff(c)` joins
+/// that accept a window rather than an exact lag use this form.
+pub fn within_window(left: Timestamp, right: Timestamp, expected: f64, tol: f64) -> Distance {
+    if !expected.is_finite() || !tol.is_finite() || tol < 0.0 {
+        return None;
+    }
+    let diff = (left - right) as f64 - expected;
+    if diff.abs() <= tol {
+        Some(0.0)
+    } else {
+        Some(diff - tol.copysign(diff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_lag_is_zero() {
+        // ozone recorded 2h after temperature
+        assert_eq!(time_diff(7200, 0, 7200.0), Some(0.0));
+        assert_eq!(time_diff(0, 0, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn sign_encodes_direction() {
+        assert_eq!(time_diff(8000, 0, 7200.0), Some(800.0)); // too late
+        assert_eq!(time_diff(7000, 0, 7200.0), Some(-200.0)); // too early
+    }
+
+    #[test]
+    fn window_tolerance() {
+        assert_eq!(within_window(7300, 0, 7200.0, 150.0), Some(0.0));
+        assert_eq!(within_window(7500, 0, 7200.0, 150.0), Some(150.0));
+        assert_eq!(within_window(6900, 0, 7200.0, 150.0), Some(-150.0));
+        assert_eq!(within_window(0, 0, 0.0, -1.0), None);
+    }
+}

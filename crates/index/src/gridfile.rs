@@ -1,0 +1,230 @@
+//! A grid file: equi-width directory over the data's bounding box.
+//!
+//! The classic multidimensional file structure of the era (Nievergelt et
+//! al. 1984) and the natural comparator for the k-d tree in the index
+//! ablation. Cells hold point-index buckets; a range query visits only
+//! the directory cells overlapping the query box.
+
+use visdb_types::{Error, Result};
+
+use crate::{check_box, RangeIndex};
+
+/// A grid file over `n` points with `resolution` cells per dimension.
+#[derive(Debug, Clone)]
+pub struct GridFile {
+    dims: usize,
+    resolution: usize,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    /// Flattened directory: cell -> bucket of point indices.
+    cells: Vec<Vec<u32>>,
+    points: Vec<Vec<f64>>,
+}
+
+impl GridFile {
+    /// Build with `resolution` cells per dimension (≥ 1). Dimensionality
+    /// is capped so the directory stays in memory
+    /// (`resolution^dims ≤ 2^24`).
+    pub fn build(points: Vec<Vec<f64>>, resolution: usize) -> Result<Self> {
+        let dims = points.first().map_or(0, Vec::len);
+        if resolution == 0 {
+            return Err(Error::invalid_parameter("resolution", "must be >= 1"));
+        }
+        if dims > 0 {
+            let cells = (resolution as u128).pow(dims as u32);
+            if cells > 1 << 24 {
+                return Err(Error::invalid_parameter(
+                    "resolution",
+                    format!("directory too large: {resolution}^{dims} cells"),
+                ));
+            }
+        }
+        let mut mins = vec![f64::INFINITY; dims];
+        let mut maxs = vec![f64::NEG_INFINITY; dims];
+        for (i, p) in points.iter().enumerate() {
+            if p.len() != dims {
+                return Err(Error::invalid_parameter(
+                    "points",
+                    format!("point {i} has {} dims, expected {dims}", p.len()),
+                ));
+            }
+            for d in 0..dims {
+                if p[d].is_nan() {
+                    return Err(Error::invalid_parameter("points", format!("point {i} has NaN")));
+                }
+                mins[d] = mins[d].min(p[d]);
+                maxs[d] = maxs[d].max(p[d]);
+            }
+        }
+        let n_cells = if dims == 0 { 0 } else { resolution.pow(dims as u32) };
+        let mut gf = GridFile {
+            dims,
+            resolution,
+            mins,
+            maxs,
+            cells: vec![Vec::new(); n_cells],
+            points,
+        };
+        for i in 0..gf.points.len() {
+            let c = gf.cell_of(i);
+            gf.cells[c].push(i as u32);
+        }
+        Ok(gf)
+    }
+
+    #[inline]
+    fn coord_to_cell(&self, d: usize, x: f64) -> usize {
+        let span = self.maxs[d] - self.mins[d];
+        if span <= 0.0 {
+            return 0;
+        }
+        let f = ((x - self.mins[d]) / span * self.resolution as f64) as usize;
+        f.min(self.resolution - 1)
+    }
+
+    fn cell_of(&self, point: usize) -> usize {
+        let p = &self.points[point];
+        let mut idx = 0usize;
+        for (d, &x) in p.iter().enumerate().take(self.dims) {
+            idx = idx * self.resolution + self.coord_to_cell(d, x);
+        }
+        idx
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// Number of directory cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn visit_cells(
+        &self,
+        d: usize,
+        prefix: usize,
+        lo_cells: &[usize],
+        hi_cells: &[usize],
+        out: &mut Vec<usize>,
+    ) {
+        if d == self.dims {
+            out.push(prefix);
+            return;
+        }
+        for c in lo_cells[d]..=hi_cells[d] {
+            self.visit_cells(d + 1, prefix * self.resolution + c, lo_cells, hi_cells, out);
+        }
+    }
+}
+
+impl RangeIndex for GridFile {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn range_query(&self, low: &[f64], high: &[f64]) -> Result<Vec<usize>> {
+        check_box(self.dims, low, high)?;
+        if self.points.is_empty() {
+            return Ok(Vec::new());
+        }
+        let lo_cells: Vec<usize> = (0..self.dims)
+            .map(|d| self.coord_to_cell(d, low[d].max(self.mins[d])))
+            .collect();
+        let hi_cells: Vec<usize> = (0..self.dims)
+            .map(|d| self.coord_to_cell(d, high[d].min(self.maxs[d])))
+            .collect();
+        // empty intersection with the data's bounding box?
+        for d in 0..self.dims {
+            if high[d] < self.mins[d] || low[d] > self.maxs[d] {
+                return Ok(Vec::new());
+            }
+        }
+        let mut cell_ids = Vec::new();
+        self.visit_cells(0, 0, &lo_cells, &hi_cells, &mut cell_ids);
+        let mut out = Vec::new();
+        for c in cell_ids {
+            for &pi in &self.cells[c] {
+                let p = &self.points[pi as usize];
+                if (0..self.dims).all(|d| low[d] <= p[d] && p[d] <= high[d]) {
+                    out.push(pi as usize);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cloud() -> Vec<Vec<f64>> {
+        (0..400)
+            .map(|i| vec![(i % 20) as f64, (i / 20) as f64])
+            .collect()
+    }
+
+    #[test]
+    fn range_query_exact() {
+        let g = GridFile::build(cloud(), 8).unwrap();
+        let mut hits = g.range_query(&[3.0, 4.0], &[6.0, 7.0]).unwrap();
+        hits.sort_unstable();
+        assert_eq!(hits.len(), 16);
+        for &i in &hits {
+            let p = &g.points()[i];
+            assert!((3.0..=6.0).contains(&p[0]) && (4.0..=7.0).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn query_outside_bounding_box() {
+        let g = GridFile::build(cloud(), 4).unwrap();
+        assert!(g.range_query(&[-10.0, -10.0], &[-5.0, -5.0]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let g = GridFile::build(vec![vec![5.0, 5.0]], 4).unwrap();
+        assert_eq!(g.range_query(&[0.0, 0.0], &[10.0, 10.0]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn build_validation() {
+        assert!(GridFile::build(cloud(), 0).is_err());
+        assert!(GridFile::build(vec![vec![1.0], vec![1.0, 2.0]], 4).is_err());
+        // directory size cap: 4096^3 > 2^24
+        assert!(GridFile::build(vec![vec![0.0; 3]], 4096).is_err());
+        let empty = GridFile::build(Vec::new(), 4).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.range_query(&[], &[]).unwrap(), Vec::<usize>::new());
+    }
+
+    proptest! {
+        /// Grid file agrees with brute force.
+        #[test]
+        fn prop_matches_bruteforce(
+            pts in prop::collection::vec(
+                prop::collection::vec(-100.0f64..100.0, 2), 1..150),
+            bounds in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2),
+            res in 1usize..16,
+        ) {
+            let low: Vec<f64> = bounds.iter().map(|(a, b)| a.min(*b)).collect();
+            let high: Vec<f64> = bounds.iter().map(|(a, b)| a.max(*b)).collect();
+            let g = GridFile::build(pts.clone(), res).unwrap();
+            let mut got = g.range_query(&low, &high).unwrap();
+            got.sort_unstable();
+            let mut want: Vec<usize> = (0..pts.len())
+                .filter(|&i| (0..2).all(|d| low[d] <= pts[i][d] && pts[i][d] <= high[d]))
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

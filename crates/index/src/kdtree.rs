@@ -1,0 +1,269 @@
+//! A median-split k-d tree.
+//!
+//! Built once over the full point set (bulk loading by repeated median
+//! partitioning, O(n log n)); supports orthogonal range queries and
+//! nearest-neighbour lookups. Nodes are stored in a flat array — no
+//! per-node allocation.
+
+use visdb_types::{Error, Result};
+
+use crate::{check_box, RangeIndex};
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index into the permuted `order` array: this node's point.
+    point: usize,
+    /// Split dimension.
+    dim: usize,
+    left: Option<u32>,
+    right: Option<u32>,
+}
+
+/// A k-d tree over `n` points of fixed dimensionality.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    dims: usize,
+    points: Vec<Vec<f64>>,
+    nodes: Vec<Node>,
+    root: Option<u32>,
+}
+
+impl KdTree {
+    /// Bulk-load from points. All points must share one dimensionality
+    /// ≥ 1 and contain no NaNs.
+    pub fn build(points: Vec<Vec<f64>>) -> Result<Self> {
+        let dims = points.first().map_or(0, Vec::len);
+        if points.is_empty() || dims == 0 {
+            return Ok(KdTree {
+                dims,
+                points,
+                nodes: Vec::new(),
+                root: None,
+            });
+        }
+        for (i, p) in points.iter().enumerate() {
+            if p.len() != dims {
+                return Err(Error::invalid_parameter(
+                    "points",
+                    format!("point {i} has {} dims, expected {dims}", p.len()),
+                ));
+            }
+            if p.iter().any(|x| x.is_nan()) {
+                return Err(Error::invalid_parameter("points", format!("point {i} has NaN")));
+            }
+        }
+        let mut tree = KdTree {
+            dims,
+            nodes: Vec::with_capacity(points.len()),
+            points,
+            root: None,
+        };
+        let mut order: Vec<usize> = (0..tree.points.len()).collect();
+        tree.root = tree.build_rec(&mut order, 0);
+        Ok(tree)
+    }
+
+    fn build_rec(&mut self, slice: &mut [usize], depth: usize) -> Option<u32> {
+        if slice.is_empty() {
+            return None;
+        }
+        let dim = depth % self.dims;
+        let mid = slice.len() / 2;
+        slice.select_nth_unstable_by(mid, |&a, &b| {
+            self.points[a][dim]
+                .partial_cmp(&self.points[b][dim])
+                .expect("no NaNs")
+        });
+        let point = slice[mid];
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            point,
+            dim,
+            left: None,
+            right: None,
+        });
+        let (left_slice, rest) = slice.split_at_mut(mid);
+        let right_slice = &mut rest[1..];
+        let left = self.build_rec(left_slice, depth + 1);
+        let right = self.build_rec(right_slice, depth + 1);
+        self.nodes[id as usize].left = left;
+        self.nodes[id as usize].right = right;
+        Some(id)
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// Nearest neighbour (Euclidean) of a query point; `None` on an empty
+    /// tree or dimension mismatch.
+    pub fn nearest(&self, query: &[f64]) -> Option<usize> {
+        if query.len() != self.dims || self.root.is_none() {
+            return None;
+        }
+        let mut best = (f64::INFINITY, usize::MAX);
+        self.nearest_rec(self.root, query, &mut best);
+        (best.1 != usize::MAX).then_some(best.1)
+    }
+
+    fn nearest_rec(&self, node: Option<u32>, query: &[f64], best: &mut (f64, usize)) {
+        let Some(id) = node else { return };
+        let n = &self.nodes[id as usize];
+        let p = &self.points[n.point];
+        let d2: f64 = p.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum();
+        if d2 < best.0 {
+            *best = (d2, n.point);
+        }
+        let delta = query[n.dim] - p[n.dim];
+        let (near, far) = if delta < 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
+        self.nearest_rec(near, query, best);
+        if delta * delta < best.0 {
+            self.nearest_rec(far, query, best);
+        }
+    }
+
+    fn range_rec(&self, node: Option<u32>, low: &[f64], high: &[f64], out: &mut Vec<usize>) {
+        let Some(id) = node else { return };
+        let n = &self.nodes[id as usize];
+        let p = &self.points[n.point];
+        if p.iter()
+            .zip(low.iter().zip(high))
+            .all(|(x, (lo, hi))| *lo <= *x && *x <= *hi)
+        {
+            out.push(n.point);
+        }
+        let v = p[n.dim];
+        if low[n.dim] <= v {
+            self.range_rec(n.left, low, high, out);
+        }
+        if v <= high[n.dim] {
+            self.range_rec(n.right, low, high, out);
+        }
+    }
+}
+
+impl RangeIndex for KdTree {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn range_query(&self, low: &[f64], high: &[f64]) -> Result<Vec<usize>> {
+        check_box(self.dims, low, high)?;
+        let mut out = Vec::new();
+        self.range_rec(self.root, low, high, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid_points(n: usize) -> Vec<Vec<f64>> {
+        // n x n integer grid
+        (0..n * n)
+            .map(|i| vec![(i % n) as f64, (i / n) as f64])
+            .collect()
+    }
+
+    #[test]
+    fn range_query_matches_grid_expectation() {
+        let t = KdTree::build(grid_points(10)).unwrap();
+        let hits = t.range_query(&[2.0, 3.0], &[4.0, 5.0]).unwrap();
+        assert_eq!(hits.len(), 9); // 3 x 3 cells
+        for &i in &hits {
+            let p = &t.points()[i];
+            assert!(p[0] >= 2.0 && p[0] <= 4.0 && p[1] >= 3.0 && p[1] <= 5.0);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_ranges() {
+        let t = KdTree::build(grid_points(5)).unwrap();
+        assert!(t.range_query(&[100.0, 100.0], &[200.0, 200.0]).unwrap().is_empty());
+        // point query
+        let hits = t.range_query(&[2.0, 2.0], &[2.0, 2.0]).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn invalid_boxes_rejected() {
+        let t = KdTree::build(grid_points(3)).unwrap();
+        assert!(t.range_query(&[1.0], &[2.0, 2.0]).is_err());
+        assert!(t.range_query(&[3.0, 3.0], &[1.0, 1.0]).is_err());
+        assert!(t.range_query(&[f64::NAN, 0.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn build_validation() {
+        assert!(KdTree::build(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(KdTree::build(vec![vec![f64::NAN]]).is_err());
+        let empty = KdTree::build(Vec::new()).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.nearest(&[1.0]), None);
+    }
+
+    #[test]
+    fn nearest_neighbour_on_grid() {
+        let t = KdTree::build(grid_points(10)).unwrap();
+        let nn = t.nearest(&[3.2, 6.8]).unwrap();
+        assert_eq!(t.points()[nn], vec![3.0, 7.0]);
+        let nn = t.nearest(&[0.0, 0.0]).unwrap();
+        assert_eq!(t.points()[nn], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn duplicate_points_all_found() {
+        let pts = vec![vec![1.0, 1.0]; 7];
+        let t = KdTree::build(pts).unwrap();
+        let hits = t.range_query(&[0.0, 0.0], &[2.0, 2.0]).unwrap();
+        assert_eq!(hits.len(), 7);
+    }
+
+    proptest! {
+        /// k-d tree range query agrees with a brute-force filter.
+        #[test]
+        fn prop_matches_bruteforce(
+            pts in prop::collection::vec(
+                prop::collection::vec(-100.0f64..100.0, 3), 1..200),
+            bounds in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3),
+        ) {
+            let low: Vec<f64> = bounds.iter().map(|(a, b)| a.min(*b)).collect();
+            let high: Vec<f64> = bounds.iter().map(|(a, b)| a.max(*b)).collect();
+            let t = KdTree::build(pts.clone()).unwrap();
+            let mut got = t.range_query(&low, &high).unwrap();
+            got.sort_unstable();
+            let mut want: Vec<usize> = (0..pts.len())
+                .filter(|&i| (0..3).all(|d| low[d] <= pts[i][d] && pts[i][d] <= high[d]))
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        /// nearest() returns a true nearest neighbour.
+        #[test]
+        fn prop_nearest_is_nearest(
+            pts in prop::collection::vec(
+                prop::collection::vec(-50.0f64..50.0, 2), 1..100),
+            q in prop::collection::vec(-50.0f64..50.0, 2),
+        ) {
+            let t = KdTree::build(pts.clone()).unwrap();
+            let nn = t.nearest(&q).unwrap();
+            let d2 = |p: &[f64]| -> f64 {
+                p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            let best = pts.iter().map(|p| d2(p)).fold(f64::INFINITY, f64::min);
+            prop_assert!((d2(&pts[nn]) - best).abs() < 1e-9);
+        }
+    }
+}

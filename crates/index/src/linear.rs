@@ -1,0 +1,73 @@
+//! Linear scan baseline implementing [`RangeIndex`] — what a 1994 DBMS
+//! without multidimensional support effectively did, and the baseline
+//! the index ablation bench compares against.
+
+use visdb_types::{Error, Result};
+
+use crate::{check_box, RangeIndex};
+
+/// A "no index": every range query scans all points.
+#[derive(Debug, Clone)]
+pub struct LinearScan {
+    dims: usize,
+    points: Vec<Vec<f64>>,
+}
+
+impl LinearScan {
+    /// Wrap a point set.
+    pub fn new(points: Vec<Vec<f64>>) -> Result<Self> {
+        let dims = points.first().map_or(0, Vec::len);
+        for (i, p) in points.iter().enumerate() {
+            if p.len() != dims {
+                return Err(Error::invalid_parameter(
+                    "points",
+                    format!("point {i} has {} dims, expected {dims}", p.len()),
+                ));
+            }
+        }
+        Ok(LinearScan { dims, points })
+    }
+
+    /// The wrapped points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+}
+
+impl RangeIndex for LinearScan {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn range_query(&self, low: &[f64], high: &[f64]) -> Result<Vec<usize>> {
+        check_box(self.dims, low, high)?;
+        Ok((0..self.points.len())
+            .filter(|&i| {
+                let p = &self.points[i];
+                (0..self.dims).all(|d| low[d] <= p[d] && p[d] <= high[d])
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_filters() {
+        let s = LinearScan::new(vec![vec![1.0], vec![5.0], vec![9.0]]).unwrap();
+        assert_eq!(s.range_query(&[2.0], &[9.0]).unwrap(), vec![1, 2]);
+        assert_eq!(s.dims(), 1);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn ragged_points_rejected() {
+        assert!(LinearScan::new(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+}

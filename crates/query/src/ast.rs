@@ -1,0 +1,426 @@
+//! The query AST.
+
+use std::fmt;
+
+use visdb_types::Value;
+
+use crate::connection::ConnectionUse;
+
+/// Reference to an attribute, optionally qualified by table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttrRef {
+    /// Table name; `None` means "resolve against the single source table
+    /// or the unique table containing the column".
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl AttrRef {
+    /// Unqualified reference.
+    pub fn new(column: impl Into<String>) -> Self {
+        AttrRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        AttrRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Comparison operators of the Tool Box (fig 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CompareOp {
+    /// The inverted operator, used for negation: §4.4 allows distances for
+    /// `not (a1 op a2)` only "where the comparison operator may be
+    /// inverted".
+    pub fn inverted(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Ne,
+            CompareOp::Ne => CompareOp::Eq,
+            CompareOp::Lt => CompareOp::Ge,
+            CompareOp::Le => CompareOp::Gt,
+            CompareOp::Gt => CompareOp::Le,
+            CompareOp::Ge => CompareOp::Lt,
+        }
+    }
+
+    /// Exact boolean semantics given a three-way comparison result.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CompareOp::Eq => ord == Equal,
+            CompareOp::Ne => ord != Equal,
+            CompareOp::Lt => ord == Less,
+            CompareOp::Le => ord != Greater,
+            CompareOp::Gt => ord == Greater,
+            CompareOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a selection predicate compares the attribute against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredicateTarget {
+    /// `attr op literal` — the standard form.
+    Compare {
+        /// Comparison operator.
+        op: CompareOp,
+        /// Literal operand.
+        value: Value,
+    },
+    /// `attr BETWEEN low AND high` — the two-handle slider (fig 4/5 shows
+    /// `query range` with upper and lower limit).
+    Range {
+        /// Inclusive lower bound.
+        low: Value,
+        /// Inclusive upper bound.
+        high: Value,
+    },
+    /// "medium value and some allowed deviation can be manipulated
+    /// graphically" (§4.3, rightmost slider in fig 4).
+    Around {
+        /// Target value.
+        center: Value,
+        /// Allowed absolute deviation (distance 0 inside).
+        deviation: f64,
+    },
+}
+
+/// A selection predicate: one slider in the modification panel, one
+/// visualization window (§4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// The attribute the predicate restricts.
+    pub attr: AttrRef,
+    /// The comparison target.
+    pub target: PredicateTarget,
+}
+
+impl Predicate {
+    /// `attr op value` predicate.
+    pub fn compare(attr: AttrRef, op: CompareOp, value: impl Into<Value>) -> Self {
+        Predicate {
+            attr,
+            target: PredicateTarget::Compare {
+                op,
+                value: value.into(),
+            },
+        }
+    }
+
+    /// `attr BETWEEN low AND high` predicate.
+    pub fn range(attr: AttrRef, low: impl Into<Value>, high: impl Into<Value>) -> Self {
+        Predicate {
+            attr,
+            target: PredicateTarget::Range {
+                low: low.into(),
+                high: high.into(),
+            },
+        }
+    }
+
+    /// `attr ≈ center ± deviation` predicate.
+    pub fn around(attr: AttrRef, center: impl Into<Value>, deviation: f64) -> Self {
+        Predicate {
+            attr,
+            target: PredicateTarget::Around {
+                center: center.into(),
+                deviation,
+            },
+        }
+    }
+
+    /// A short label for window titles and slider captions.
+    pub fn label(&self) -> String {
+        match &self.target {
+            PredicateTarget::Compare { op, value } => format!("{} {op} {value}", self.attr),
+            PredicateTarget::Range { low, high } => {
+                format!("{} in [{low}, {high}]", self.attr)
+            }
+            PredicateTarget::Around { center, deviation } => {
+                format!("{} ~ {center} ± {deviation}", self.attr)
+            }
+        }
+    }
+}
+
+/// How a subquery is linked to the outer query (§4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubqueryLink {
+    /// `EXISTS (subquery)` — fulfilled if any inner row (approximately)
+    /// matches; the distance is the minimum over the approximate join.
+    Exists,
+    /// `outer_attr IN (subquery yielding inner_attr)`.
+    In {
+        /// Attribute of the outer relation.
+        outer: AttrRef,
+        /// Attribute of the inner relation the subquery projects.
+        inner: AttrRef,
+    },
+}
+
+/// A node of the condition tree together with its weighting factor
+/// (§4.1: "weighting factors may be defined by selecting condition or
+/// subquery boxes and assigning weighting factors to them").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weighted {
+    /// The condition.
+    pub node: ConditionNode,
+    /// Relative importance, in `[0, 1]` by convention (§5.2).
+    pub weight: f64,
+}
+
+impl Weighted {
+    /// Wrap a node with weight 1.0 (the default importance).
+    pub fn unit(node: ConditionNode) -> Self {
+        Weighted { node, weight: 1.0 }
+    }
+
+    /// Wrap a node with an explicit weight.
+    pub fn new(node: ConditionNode, weight: f64) -> Self {
+        Weighted { node, weight }
+    }
+}
+
+/// A node in the boolean condition tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConditionNode {
+    /// A simple selection predicate (single box in fig 3).
+    Predicate(Predicate),
+    /// `AND` of weighted children.
+    And(Vec<Weighted>),
+    /// `OR` of weighted children.
+    Or(Vec<Weighted>),
+    /// Negation. Only invertible comparisons yield distances (§4.4).
+    Not(Box<ConditionNode>),
+    /// A named join condition between two tables (double-lined boxes in
+    /// fig 3 are subqueries; connections are the labelled edges).
+    Connection(ConnectionUse),
+    /// A nested subquery (double box in fig 3).
+    Subquery {
+        /// How the subquery attaches to the outer query.
+        link: SubqueryLink,
+        /// The inner query.
+        query: Box<Query>,
+    },
+}
+
+impl ConditionNode {
+    /// Number of *top-level* selection predicates — the paper generates
+    /// "a separate window for each selection predicate of the query" (§3),
+    /// where the top level of an `AND`/`OR` counts each direct child once.
+    pub fn top_level_arity(&self) -> usize {
+        match self {
+            ConditionNode::And(cs) | ConditionNode::Or(cs) => cs.len(),
+            _ => 1,
+        }
+    }
+
+    /// Total number of leaf predicates/connections/subqueries in the tree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            ConditionNode::And(cs) | ConditionNode::Or(cs) => {
+                cs.iter().map(|w| w.node.leaf_count()).sum()
+            }
+            ConditionNode::Not(inner) => inner.leaf_count(),
+            _ => 1,
+        }
+    }
+
+    /// Depth of the tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            ConditionNode::And(cs) | ConditionNode::Or(cs) => {
+                1 + cs.iter().map(|w| w.node.depth()).max().unwrap_or(0)
+            }
+            ConditionNode::Not(inner) => 1 + inner.depth(),
+            _ => 1,
+        }
+    }
+
+    /// Visit every node (pre-order). Used by validation and by the session
+    /// drill-down navigation (double-clicking a boolean operator box opens
+    /// a window for that subtree, §4.4).
+    pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a ConditionNode)) {
+        f(self);
+        match self {
+            ConditionNode::And(cs) | ConditionNode::Or(cs) => {
+                for w in cs {
+                    w.node.visit(f);
+                }
+            }
+            ConditionNode::Not(inner) => inner.visit(f),
+            _ => {}
+        }
+    }
+
+    /// Navigate to a subtree by child-index path (empty path = self).
+    pub fn descend(&self, path: &[usize]) -> Option<&ConditionNode> {
+        let mut cur = self;
+        for &i in path {
+            cur = match cur {
+                ConditionNode::And(cs) | ConditionNode::Or(cs) => &cs.get(i)?.node,
+                ConditionNode::Not(inner) if i == 0 => inner,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+}
+
+/// A complete query: tables, projection, condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Source tables (fig 3: `from Weather, Air-Pollution`).
+    pub tables: Vec<String>,
+    /// Projected attributes (the Result List). Empty means "all".
+    pub projection: Vec<AttrRef>,
+    /// The weighted condition tree. `None` means "no condition" — every
+    /// row is an exact answer.
+    pub condition: Option<Weighted>,
+}
+
+impl Query {
+    /// A query over tables with no condition and full projection.
+    pub fn scan(tables: Vec<String>) -> Self {
+        Query {
+            tables,
+            projection: Vec::new(),
+            condition: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(name: &str) -> ConditionNode {
+        ConditionNode::Predicate(Predicate::compare(
+            AttrRef::new(name),
+            CompareOp::Gt,
+            Value::Float(1.0),
+        ))
+    }
+
+    #[test]
+    fn operator_inversion_round_trips() {
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
+            assert_eq!(op.inverted().inverted(), op);
+        }
+    }
+
+    #[test]
+    fn operator_eval_semantics() {
+        use std::cmp::Ordering::*;
+        assert!(CompareOp::Le.eval(Equal));
+        assert!(CompareOp::Le.eval(Less));
+        assert!(!CompareOp::Le.eval(Greater));
+        assert!(CompareOp::Ne.eval(Greater));
+        // inverted op is the logical complement on every ordering
+        for op in [CompareOp::Eq, CompareOp::Lt, CompareOp::Ge] {
+            for ord in [Less, Equal, Greater] {
+                assert_eq!(op.eval(ord), !op.inverted().eval(ord));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_metrics() {
+        let tree = ConditionNode::And(vec![
+            Weighted::unit(ConditionNode::Or(vec![
+                Weighted::unit(pred("a")),
+                Weighted::unit(pred("b")),
+                Weighted::unit(pred("c")),
+            ])),
+            Weighted::unit(pred("d")),
+        ]);
+        assert_eq!(tree.top_level_arity(), 2);
+        assert_eq!(tree.leaf_count(), 4);
+        assert_eq!(tree.depth(), 3);
+    }
+
+    #[test]
+    fn descend_navigates_paths() {
+        let or = ConditionNode::Or(vec![Weighted::unit(pred("a")), Weighted::unit(pred("b"))]);
+        let tree = ConditionNode::And(vec![Weighted::unit(or), Weighted::unit(pred("d"))]);
+        assert!(matches!(
+            tree.descend(&[0]),
+            Some(ConditionNode::Or(cs)) if cs.len() == 2
+        ));
+        assert!(matches!(
+            tree.descend(&[0, 1]),
+            Some(ConditionNode::Predicate(p)) if p.attr.column == "b"
+        ));
+        assert!(tree.descend(&[5]).is_none());
+        assert!(tree.descend(&[]).is_some());
+    }
+
+    #[test]
+    fn visit_covers_all_nodes() {
+        let tree = ConditionNode::Not(Box::new(pred("a")));
+        let mut n = 0;
+        tree.visit(&mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn predicate_labels() {
+        let p = Predicate::compare(AttrRef::new("Temperature"), CompareOp::Gt, 15.0);
+        assert_eq!(p.label(), "Temperature > 15");
+        let p = Predicate::around(AttrRef::new("Humidity"), 50.0, 10.0);
+        assert_eq!(p.label(), "Humidity ~ 50 ± 10");
+    }
+}

@@ -1,0 +1,261 @@
+//! A fluent query builder — the programmatic analog of GRADI's
+//! incremental, mouse-driven query specification (§4.1): "we allow the
+//! user to specify all parts of the query independently and to combine
+//! them at a later stage".
+
+use visdb_types::Value;
+
+use crate::ast::{
+    AttrRef, CompareOp, ConditionNode, Predicate, Query, SubqueryLink, Weighted,
+};
+use crate::connection::ConnectionUse;
+
+/// Fluent builder for [`Query`].
+///
+/// ```
+/// use visdb_query::{QueryBuilder, CompareOp};
+///
+/// let q = QueryBuilder::from_tables(["Weather"])
+///     .select(["Temperature", "Humidity"])
+///     .cmp("Temperature", CompareOp::Gt, 15.0)
+///     .cmp("Humidity", CompareOp::Lt, 60.0)
+///     .all() // AND them
+///     .build();
+/// assert_eq!(q.tables, vec!["Weather"]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    tables: Vec<String>,
+    projection: Vec<AttrRef>,
+    /// Parts specified so far but not yet combined.
+    parts: Vec<Weighted>,
+}
+
+impl QueryBuilder {
+    /// Start from a set of tables.
+    pub fn from_tables<I, S>(tables: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        QueryBuilder {
+            tables: tables.into_iter().map(Into::into).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Add attributes to the result list.
+    pub fn select<I, S>(mut self, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.projection
+            .extend(attrs.into_iter().map(|a| AttrRef::new(a)));
+        self
+    }
+
+    /// Add an independent condition part (weight 1).
+    pub fn part(mut self, node: ConditionNode) -> Self {
+        self.parts.push(Weighted::unit(node));
+        self
+    }
+
+    /// Add an independent condition part with a weight.
+    pub fn weighted_part(mut self, node: ConditionNode, weight: f64) -> Self {
+        self.parts.push(Weighted::new(node, weight));
+        self
+    }
+
+    /// Shorthand: add an `attr op value` predicate part.
+    pub fn cmp(self, attr: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
+        self.part(ConditionNode::Predicate(Predicate::compare(
+            AttrRef::new(attr),
+            op,
+            value,
+        )))
+    }
+
+    /// Shorthand: add a weighted `attr op value` predicate part.
+    pub fn cmp_weighted(
+        self,
+        attr: impl Into<String>,
+        op: CompareOp,
+        value: impl Into<Value>,
+        weight: f64,
+    ) -> Self {
+        self.weighted_part(
+            ConditionNode::Predicate(Predicate::compare(AttrRef::new(attr), op, value)),
+            weight,
+        )
+    }
+
+    /// Shorthand: add a range predicate part.
+    pub fn between(
+        self,
+        attr: impl Into<String>,
+        low: impl Into<Value>,
+        high: impl Into<Value>,
+    ) -> Self {
+        self.part(ConditionNode::Predicate(Predicate::range(
+            AttrRef::new(attr),
+            low,
+            high,
+        )))
+    }
+
+    /// Shorthand: add an `attr ≈ center ± deviation` predicate part.
+    pub fn around(self, attr: impl Into<String>, center: impl Into<Value>, deviation: f64) -> Self {
+        self.part(ConditionNode::Predicate(Predicate::around(
+            AttrRef::new(attr),
+            center,
+            deviation,
+        )))
+    }
+
+    /// Add a connection (approximate join) part.
+    pub fn connect(self, conn: ConnectionUse) -> Self {
+        self.part(ConditionNode::Connection(conn))
+    }
+
+    /// Add an `EXISTS (subquery)` part.
+    pub fn exists(self, sub: Query) -> Self {
+        self.part(ConditionNode::Subquery {
+            link: SubqueryLink::Exists,
+            query: Box::new(sub),
+        })
+    }
+
+    /// Add an `outer IN (subquery → inner)` part.
+    pub fn is_in(self, outer: impl Into<String>, inner: impl Into<String>, sub: Query) -> Self {
+        self.part(ConditionNode::Subquery {
+            link: SubqueryLink::In {
+                outer: AttrRef::new(outer),
+                inner: AttrRef::new(inner),
+            },
+            query: Box::new(sub),
+        })
+    }
+
+    /// Negate the most recently added part.
+    pub fn negate_last(mut self) -> Self {
+        if let Some(w) = self.parts.pop() {
+            self.parts
+                .push(Weighted::new(ConditionNode::Not(Box::new(w.node)), w.weight));
+        }
+        self
+    }
+
+    /// Combine all accumulated parts with `AND` into a single part.
+    /// With zero parts this is a no-op; a single part stays as-is.
+    pub fn all(mut self) -> Self {
+        if self.parts.len() > 1 {
+            let parts = std::mem::take(&mut self.parts);
+            self.parts.push(Weighted::unit(ConditionNode::And(parts)));
+        }
+        self
+    }
+
+    /// Combine all accumulated parts with `OR` into a single part.
+    pub fn any(mut self) -> Self {
+        if self.parts.len() > 1 {
+            let parts = std::mem::take(&mut self.parts);
+            self.parts.push(Weighted::unit(ConditionNode::Or(parts)));
+        }
+        self
+    }
+
+    /// Finish. Multiple remaining parts are implicitly `AND`-combined
+    /// (matching fig 3, where the top-level operator of the example query
+    /// is `AND`).
+    pub fn build(mut self) -> Query {
+        self = self.all();
+        Query {
+            tables: self.tables,
+            projection: self.projection,
+            condition: self.parts.pop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_or_nesting() {
+        // The paper's running example: (T > 15 OR S > 600 OR H < 60) AND conn
+        let q = QueryBuilder::from_tables(["Weather", "Air-Pollution"])
+            .select(["Temperature", "Solar-Radiation", "Humidity", "Ozone"])
+            .cmp("Temperature", CompareOp::Gt, 15.0)
+            .cmp("Solar-Radiation", CompareOp::Gt, 600.0)
+            .cmp("Humidity", CompareOp::Lt, 60.0)
+            .any()
+            .between("Ozone", 0.0, 300.0)
+            .build();
+        let cond = q.condition.unwrap();
+        match &cond.node {
+            ConditionNode::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0].node, ConditionNode::Or(ref v) if v.len() == 3));
+            }
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_part_is_not_wrapped() {
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("a", CompareOp::Eq, 1)
+            .build();
+        assert!(matches!(
+            q.condition.unwrap().node,
+            ConditionNode::Predicate(_)
+        ));
+    }
+
+    #[test]
+    fn empty_condition() {
+        let q = QueryBuilder::from_tables(["T"]).build();
+        assert!(q.condition.is_none());
+    }
+
+    #[test]
+    fn weights_are_preserved() {
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp_weighted("a", CompareOp::Gt, 1.0, 0.25)
+            .cmp_weighted("b", CompareOp::Lt, 2.0, 0.75)
+            .build();
+        match q.condition.unwrap().node {
+            ConditionNode::And(parts) => {
+                assert_eq!(parts[0].weight, 0.25);
+                assert_eq!(parts[1].weight, 0.75);
+            }
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negate_last_wraps_in_not() {
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("a", CompareOp::Gt, 1.0)
+            .negate_last()
+            .build();
+        assert!(matches!(q.condition.unwrap().node, ConditionNode::Not(_)));
+    }
+
+    #[test]
+    fn subquery_parts() {
+        let inner = QueryBuilder::from_tables(["U"])
+            .cmp("x", CompareOp::Gt, 0.0)
+            .build();
+        let q = QueryBuilder::from_tables(["T"]).exists(inner).build();
+        assert!(matches!(
+            q.condition.unwrap().node,
+            ConditionNode::Subquery {
+                link: SubqueryLink::Exists,
+                ..
+            }
+        ));
+    }
+}

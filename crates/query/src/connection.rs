@@ -1,0 +1,278 @@
+//! Connections — pre-declared, named, possibly parameterised joins.
+//!
+//! "'Connections' are joins which are defined and named by the database
+//! designer (or the user) prior to their actual use. It may have
+//! parameters." (§4.1). The Connections window of fig 3 lists entries such
+//! as `Air-Pollution at-same-location Weather` and
+//! `Air-Pollution with-time-diff(min) Weather`.
+//!
+//! A [`ConnectionDef`] is the declared template; a [`ConnectionUse`] is an
+//! instantiation inside a query (with actual parameter values, e.g.
+//! `with-time-diff(120)`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use visdb_types::{Error, Result};
+
+use crate::ast::{AttrRef, CompareOp};
+
+/// The join semantics of a connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConnectionKind {
+    /// Plain equi-join `left = right`; approximate distance is the
+    /// attribute distance between the operands.
+    Equi {
+        /// Left join attribute.
+        left: AttrRef,
+        /// Right join attribute.
+        right: AttrRef,
+    },
+    /// Non-equijoin `left op right` (§4.4 "the distance functions for
+    /// non-equijoins (a1 < a2) ... may be determined" analogously).
+    NonEqui {
+        /// Left join attribute.
+        left: AttrRef,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Right join attribute.
+        right: AttrRef,
+    },
+    /// Parameterised timestamp join `|left - right - offset| = 0`, the
+    /// `with-time-diff(min)` connection of fig 3. The parameter is the
+    /// expected time difference in **seconds** at use time.
+    TimeDiff {
+        /// Left timestamp attribute.
+        left: AttrRef,
+        /// Right timestamp attribute.
+        right: AttrRef,
+    },
+    /// Spatial join on two location attributes within a radius parameter
+    /// in **meters** (`with-distance(m)`); radius 0 is `at-same-location`.
+    SpatialWithin {
+        /// Left location attribute.
+        left: AttrRef,
+        /// Right location attribute.
+        right: AttrRef,
+    },
+    /// Foreign-key join: exact matching only. "the distances on foreign
+    /// keys may not have any semantics. In such cases, only those data
+    /// items that fulfill the join condition should be considered and no
+    /// visualization for the join condition needs to be generated" (§4.4).
+    ForeignKey {
+        /// Referencing attribute.
+        left: AttrRef,
+        /// Referenced key attribute.
+        right: AttrRef,
+    },
+}
+
+impl ConnectionKind {
+    /// Number of numeric parameters the kind expects at use time.
+    pub fn arity(&self) -> usize {
+        match self {
+            ConnectionKind::TimeDiff { .. } | ConnectionKind::SpatialWithin { .. } => 1,
+            _ => 0,
+        }
+    }
+
+    /// Whether a distance visualization window makes sense (§4.4).
+    pub fn is_approximable(&self) -> bool {
+        !matches!(self, ConnectionKind::ForeignKey { .. })
+    }
+
+    /// The two attributes joined.
+    pub fn attrs(&self) -> (&AttrRef, &AttrRef) {
+        match self {
+            ConnectionKind::Equi { left, right }
+            | ConnectionKind::NonEqui { left, right, .. }
+            | ConnectionKind::TimeDiff { left, right }
+            | ConnectionKind::SpatialWithin { left, right }
+            | ConnectionKind::ForeignKey { left, right } => (left, right),
+        }
+    }
+}
+
+/// A declared connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionDef {
+    /// Name (e.g. `with-time-diff`).
+    pub name: String,
+    /// Left table.
+    pub left_table: String,
+    /// Right table.
+    pub right_table: String,
+    /// Join semantics.
+    pub kind: ConnectionKind,
+}
+
+impl ConnectionDef {
+    /// Instantiate the connection with parameter values.
+    pub fn instantiate(&self, params: Vec<f64>) -> Result<ConnectionUse> {
+        if params.len() != self.kind.arity() {
+            return Err(Error::invalid_query(format!(
+                "connection '{}' expects {} parameter(s), got {}",
+                self.name,
+                self.kind.arity(),
+                params.len()
+            )));
+        }
+        Ok(ConnectionUse {
+            def: self.clone(),
+            params,
+        })
+    }
+}
+
+impl fmt::Display for ConnectionDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left_table, self.name, self.right_table)
+    }
+}
+
+/// An instantiated connection inside a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionUse {
+    /// The declared template.
+    pub def: ConnectionDef,
+    /// Actual parameter values (`with-time-diff(120)` → `[120.0]`,
+    /// interpreted in the unit the kind documents).
+    pub params: Vec<f64>,
+}
+
+impl ConnectionUse {
+    /// Short label for window titles (fig 4 shows e.g.
+    /// `W. with-time-diff(120) Air-P.`).
+    pub fn label(&self) -> String {
+        if self.params.is_empty() {
+            format!(
+                "{} {} {}",
+                self.def.left_table, self.def.name, self.def.right_table
+            )
+        } else {
+            let args: Vec<String> = self.params.iter().map(|p| format!("{p}")).collect();
+            format!(
+                "{} {}({}) {}",
+                self.def.left_table,
+                self.def.name,
+                args.join(","),
+                self.def.right_table
+            )
+        }
+    }
+}
+
+/// The Connections window: all declared connections, looked up by name
+/// and filtered by the tables a query selects ("all 'connections'
+/// involving at least one of the selected tables will appear", §4.1).
+#[derive(Debug, Clone, Default)]
+pub struct ConnectionRegistry {
+    defs: BTreeMap<String, Vec<ConnectionDef>>,
+}
+
+impl ConnectionRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a connection. Multiple definitions may share a name as long
+    /// as they join different table pairs.
+    pub fn declare(&mut self, def: ConnectionDef) {
+        self.defs.entry(def.name.clone()).or_default().push(def);
+    }
+
+    /// Look up a definition by name and table pair (order-sensitive).
+    pub fn lookup(&self, name: &str, left: &str, right: &str) -> Result<&ConnectionDef> {
+        self.defs
+            .get(name)
+            .and_then(|v| {
+                v.iter()
+                    .find(|d| d.left_table == left && d.right_table == right)
+            })
+            .ok_or_else(|| Error::UnknownConnection(format!("{left} {name} {right}")))
+    }
+
+    /// All connections involving at least one of the given tables.
+    pub fn involving(&self, tables: &[String]) -> Vec<&ConnectionDef> {
+        self.defs
+            .values()
+            .flatten()
+            .filter(|d| {
+                tables.contains(&d.left_table) || tables.contains(&d.right_table)
+            })
+            .collect()
+    }
+
+    /// Total declared connections.
+    pub fn len(&self) -> usize {
+        self.defs.values().map(Vec::len).sum()
+    }
+
+    /// True if no connections are declared.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn time_diff_def() -> ConnectionDef {
+        ConnectionDef {
+            name: "with-time-diff".into(),
+            left_table: "Air-Pollution".into(),
+            right_table: "Weather".into(),
+            kind: ConnectionKind::TimeDiff {
+                left: AttrRef::qualified("Air-Pollution", "DateTime"),
+                right: AttrRef::qualified("Weather", "DateTime"),
+            },
+        }
+    }
+
+    #[test]
+    fn instantiate_checks_arity() {
+        let def = time_diff_def();
+        assert!(def.instantiate(vec![]).is_err());
+        let u = def.instantiate(vec![7200.0]).unwrap();
+        assert_eq!(u.params, vec![7200.0]);
+        assert_eq!(u.label(), "Air-Pollution with-time-diff(7200) Weather");
+    }
+
+    #[test]
+    fn registry_lookup_and_involving() {
+        let mut reg = ConnectionRegistry::new();
+        reg.declare(time_diff_def());
+        reg.declare(ConnectionDef {
+            name: "at-same-location".into(),
+            left_table: "Air-Pollution".into(),
+            right_table: "Weather".into(),
+            kind: ConnectionKind::SpatialWithin {
+                left: AttrRef::qualified("Air-Pollution", "Location"),
+                right: AttrRef::qualified("Weather", "Location"),
+            },
+        });
+        assert_eq!(reg.len(), 2);
+        assert!(reg
+            .lookup("with-time-diff", "Air-Pollution", "Weather")
+            .is_ok());
+        assert!(reg.lookup("with-time-diff", "Weather", "Air-Pollution").is_err());
+        assert_eq!(reg.involving(&["Weather".into()]).len(), 2);
+        assert_eq!(reg.involving(&["Nope".into()]).len(), 0);
+    }
+
+    #[test]
+    fn foreign_keys_are_not_approximable() {
+        let k = ConnectionKind::ForeignKey {
+            left: AttrRef::new("fk"),
+            right: AttrRef::new("id"),
+        };
+        assert!(!k.is_approximable());
+        assert!(ConnectionKind::TimeDiff {
+            left: AttrRef::new("a"),
+            right: AttrRef::new("b"),
+        }
+        .is_approximable());
+    }
+}

@@ -1,0 +1,35 @@
+//! # visdb-query
+//!
+//! The VisDB query model (§4.1, §4.4 of the paper).
+//!
+//! A query is a set of tables, a projection list, and a *condition tree* of
+//! arbitrarily nested `AND`/`OR` combinations of
+//!
+//! * **selection predicates** — `attr op literal`, ranges, and the
+//!   "medium value ± allowed deviation" slider form,
+//! * **connections** — joins that "are defined and named by the database
+//!   designer prior to their actual use", possibly parameterised
+//!   (`with-time-diff(120)`, `at-same-location`, `with-distance(m)`),
+//! * **subqueries** — `EXISTS` / `IN` linked through an approximate join,
+//! * **negation** — which only yields distances for invertible comparison
+//!   operators (§4.4: otherwise "no coloring is possible").
+//!
+//! Every node carries a *weighting factor* expressing its relative
+//! importance (§5.2). Three front-ends construct the AST:
+//! [`builder::QueryBuilder`] (the GRADI analog), [`parser`] (a mini SQL
+//! dialect), and direct construction.
+
+pub mod ast;
+pub mod builder;
+pub mod connection;
+pub mod parser;
+pub mod printer;
+pub mod validate;
+
+pub use ast::{
+    AttrRef, CompareOp, ConditionNode, Predicate, PredicateTarget, Query, SubqueryLink, Weighted,
+};
+pub use builder::QueryBuilder;
+pub use connection::{ConnectionDef, ConnectionKind, ConnectionRegistry, ConnectionUse};
+pub use parser::parse_query;
+pub use validate::validate;

@@ -1,0 +1,635 @@
+//! A mini SQL dialect for VisDB queries.
+//!
+//! The paper lets users specify queries graphically (GRADI) *or* with
+//! "traditional query languages such as SQL" (§4.1). This module is that
+//! textual front-end. Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query     := SELECT projs FROM tables [WHERE or_expr]
+//! projs     := '*' | attr (',' attr)*
+//! tables    := ident (',' ident)*
+//! or_expr   := and_expr (OR and_expr)*
+//! and_expr  := unary (AND unary)*
+//! unary     := NOT unary
+//!            | '(' or_expr ')' [WEIGHT num]
+//!            | EXISTS '(' query ')' [WEIGHT num]
+//!            | attr IN '(' query ')' [WEIGHT num]
+//!            | CONNECT name ['(' num {',' num} ')'] ON ident ',' ident [WEIGHT num]
+//!            | attr BETWEEN lit AND lit [WEIGHT num]
+//!            | attr AROUND lit DEV num [WEIGHT num]
+//!            | attr op lit [WEIGHT num]
+//! op        := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+//! lit       := number | 'string' | TRUE | FALSE | NULL
+//! ```
+//!
+//! Identifiers may contain `-` (the paper uses `Solar-Radiation`,
+//! `Air-Pollution`); a `-` starts a number only at literal position.
+
+use visdb_types::{Error, Result, Value};
+
+use crate::ast::{
+    AttrRef, CompareOp, ConditionNode, Predicate, Query, SubqueryLink, Weighted,
+};
+use crate::connection::ConnectionRegistry;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Symbol(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse {
+            position: Some(self.pos),
+            message: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Ok(Tok::Eof);
+        }
+        let c = self.src[self.pos];
+        // multi-char symbols first
+        for sym in ["<=", ">=", "<>", "!="] {
+            if self.src[self.pos..].starts_with(sym.as_bytes()) {
+                self.pos += 2;
+                return Ok(Tok::Symbol(match sym {
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    _ => "<>",
+                }));
+            }
+        }
+        match c {
+            b'(' | b')' | b',' | b'=' | b'<' | b'>' | b'*' | b'.' => {
+                self.pos += 1;
+                let s = match c {
+                    b'(' => "(",
+                    b')' => ")",
+                    b',' => ",",
+                    b'=' => "=",
+                    b'<' => "<",
+                    b'>' => ">",
+                    b'*' => "*",
+                    _ => ".",
+                };
+                Ok(Tok::Symbol(s))
+            }
+            b'\'' => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(self.err("unterminated string literal"));
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?
+                    .to_string();
+                self.pos += 1;
+                Ok(Tok::Str(s))
+            }
+            b'0'..=b'9' | b'-' | b'+' => self.number(),
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.src.len() {
+                    let c = self.src[self.pos];
+                    // '-' continues an identifier when followed by a letter
+                    // (Solar-Radiation) but not a digit (T - 5 is not valid
+                    // anyway; we have no arithmetic).
+                    let cont = c.is_ascii_alphanumeric()
+                        || c == b'_'
+                        || (c == b'-'
+                            && self
+                                .src
+                                .get(self.pos + 1)
+                                .is_some_and(|n| n.is_ascii_alphabetic()));
+                    if !cont {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii identifier")
+                    .to_string();
+                Ok(Tok::Ident(s))
+            }
+            other => Err(self.err(format!("unexpected character '{}'", other as char))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok> {
+        let start = self.pos;
+        if matches!(self.src[self.pos], b'-' | b'+') {
+            self.pos += 1;
+        }
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_digit()
+                || self.src[self.pos] == b'.'
+                || self.src[self.pos] == b'e'
+                || self.src[self.pos] == b'E'
+                || ((self.src[self.pos] == b'-' || self.src[self.pos] == b'+')
+                    && matches!(self.src[self.pos - 1], b'e' | b'E')))
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+        s.parse::<f64>()
+            .map(Tok::Number)
+            .map_err(|e| self.err(format!("bad number '{s}': {e}")))
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    idx: usize,
+    registry: &'a ConnectionRegistry,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &str, registry: &'a ConnectionRegistry) -> Result<Self> {
+        let mut lx = Lexer::new(src);
+        let mut toks = Vec::new();
+        loop {
+            let t = lx.next()?;
+            let eof = t == Tok::Eof;
+            toks.push(t);
+            if eof {
+                break;
+            }
+        }
+        Ok(Parser {
+            toks,
+            idx: 0,
+            registry,
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.idx.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.idx.min(self.toks.len() - 1)].clone();
+        if self.idx < self.toks.len() - 1 {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse {
+            position: Some(self.idx),
+            message: format!("{} (near token {:?})", msg.into(), self.peek()),
+        }
+    }
+
+    fn keyword(&self) -> Option<String> {
+        if let Tok::Ident(s) = self.peek() {
+            Some(s.to_ascii_uppercase())
+        } else {
+            None
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.keyword().as_deref() == Some(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        if matches!(self.peek(), Tok::Symbol(s) if *s == sym) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{sym}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            t => Err(self.err(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn attr(&mut self) -> Result<AttrRef> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Tok::Symbol(".")) {
+            self.bump();
+            let col = self.ident()?;
+            Ok(AttrRef::qualified(first, col))
+        } else {
+            Ok(AttrRef::new(first))
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.bump() {
+            Tok::Number(n) => Ok(if n.fract() == 0.0 && n.abs() < 9e15 {
+                // integer-looking literals stay comparable with Int columns
+                Value::Float(n)
+            } else {
+                Value::Float(n)
+            }),
+            Tok::Str(s) => Ok(Value::Str(s)),
+            Tok::Ident(s) => match s.to_ascii_uppercase().as_str() {
+                "TRUE" => Ok(Value::Bool(true)),
+                "FALSE" => Ok(Value::Bool(false)),
+                "NULL" => Ok(Value::Null),
+                _ => Err(self.err(format!("expected literal, found identifier '{s}'"))),
+            },
+            t => Err(self.err(format!("expected literal, found {t:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.bump() {
+            Tok::Number(n) => Ok(n),
+            t => Err(self.err(format!("expected number, found {t:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let mut projection = Vec::new();
+        if matches!(self.peek(), Tok::Symbol("*")) {
+            self.bump();
+        } else {
+            loop {
+                projection.push(self.attr()?);
+                if matches!(self.peek(), Tok::Symbol(",")) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let mut tables = Vec::new();
+        loop {
+            tables.push(self.ident()?);
+            if matches!(self.peek(), Tok::Symbol(",")) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let condition = if self.eat_keyword("WHERE") {
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            tables,
+            projection,
+            condition,
+        })
+    }
+
+    fn or_expr(&mut self) -> Result<Weighted> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat_keyword("OR") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Weighted::unit(ConditionNode::Or(parts))
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Weighted> {
+        let mut parts = vec![self.unary()?];
+        while self.eat_keyword("AND") {
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Weighted::unit(ConditionNode::And(parts))
+        })
+    }
+
+    fn weight_suffix(&mut self, mut w: Weighted) -> Result<Weighted> {
+        if self.eat_keyword("WEIGHT") {
+            w.weight = self.number()?;
+        }
+        Ok(w)
+    }
+
+    fn unary(&mut self) -> Result<Weighted> {
+        if self.eat_keyword("NOT") {
+            let inner = self.unary()?;
+            return Ok(Weighted::new(
+                ConditionNode::Not(Box::new(inner.node)),
+                inner.weight,
+            ));
+        }
+        if matches!(self.peek(), Tok::Symbol("(")) {
+            self.bump();
+            let e = self.or_expr()?;
+            self.expect_symbol(")")?;
+            return self.weight_suffix(e);
+        }
+        if self.eat_keyword("EXISTS") {
+            self.expect_symbol("(")?;
+            let sub = self.query()?;
+            self.expect_symbol(")")?;
+            return self.weight_suffix(Weighted::unit(ConditionNode::Subquery {
+                link: SubqueryLink::Exists,
+                query: Box::new(sub),
+            }));
+        }
+        if self.eat_keyword("CONNECT") {
+            return self.connection();
+        }
+        // attr-led forms
+        let attr = self.attr()?;
+        if self.eat_keyword("IN") {
+            self.expect_symbol("(")?;
+            let sub = self.query()?;
+            self.expect_symbol(")")?;
+            let inner = sub
+                .projection
+                .first()
+                .cloned()
+                .ok_or_else(|| self.err("IN subquery must project an attribute"))?;
+            return self.weight_suffix(Weighted::unit(ConditionNode::Subquery {
+                link: SubqueryLink::In { outer: attr, inner },
+                query: Box::new(sub),
+            }));
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.literal()?;
+            self.expect_keyword("AND")?;
+            let high = self.literal()?;
+            return self.weight_suffix(Weighted::unit(ConditionNode::Predicate(
+                Predicate::range(attr, low, high),
+            )));
+        }
+        if self.eat_keyword("AROUND") {
+            let center = self.literal()?;
+            self.expect_keyword("DEV")?;
+            let dev = self.number()?;
+            return self.weight_suffix(Weighted::unit(ConditionNode::Predicate(
+                Predicate::around(attr, center, dev),
+            )));
+        }
+        let op = match self.bump() {
+            Tok::Symbol("=") => CompareOp::Eq,
+            Tok::Symbol("<>") => CompareOp::Ne,
+            Tok::Symbol("<") => CompareOp::Lt,
+            Tok::Symbol("<=") => CompareOp::Le,
+            Tok::Symbol(">") => CompareOp::Gt,
+            Tok::Symbol(">=") => CompareOp::Ge,
+            t => return Err(self.err(format!("expected comparison operator, found {t:?}"))),
+        };
+        let lit = self.literal()?;
+        self.weight_suffix(Weighted::unit(ConditionNode::Predicate(
+            Predicate::compare(attr, op, lit),
+        )))
+    }
+
+    /// `CONNECT name ['(' params ')'] ON left ',' right`
+    fn connection(&mut self) -> Result<Weighted> {
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if matches!(self.peek(), Tok::Symbol("(")) {
+            self.bump();
+            if !matches!(self.peek(), Tok::Symbol(")")) {
+                loop {
+                    params.push(self.number()?);
+                    if matches!(self.peek(), Tok::Symbol(",")) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect_symbol(")")?;
+        }
+        self.expect_keyword("ON")?;
+        let left = self.ident()?;
+        self.expect_symbol(",")?;
+        let right = self.ident()?;
+        let def = self.registry.lookup(&name, &left, &right)?.clone();
+        let use_ = def.instantiate(params)?;
+        self.weight_suffix(Weighted::unit(ConditionNode::Connection(use_)))
+    }
+}
+
+/// Parse a query string against a connection registry.
+pub fn parse_query(src: &str, registry: &ConnectionRegistry) -> Result<Query> {
+    let mut p = Parser::new(src, registry)?;
+    let q = p.query()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection::{ConnectionDef, ConnectionKind};
+
+    fn registry() -> ConnectionRegistry {
+        let mut reg = ConnectionRegistry::new();
+        reg.declare(ConnectionDef {
+            name: "with-time-diff".into(),
+            left_table: "Air-Pollution".into(),
+            right_table: "Weather".into(),
+            kind: ConnectionKind::TimeDiff {
+                left: AttrRef::qualified("Air-Pollution", "DateTime"),
+                right: AttrRef::qualified("Weather", "DateTime"),
+            },
+        });
+        reg
+    }
+
+    #[test]
+    fn parses_the_papers_example_query() {
+        // §4.1: select temperature, solar radiation, humidity and ozone if
+        // (T > 15 OR S > 600 OR H < 60) AND time-diff of 2 hours.
+        let q = parse_query(
+            "SELECT Temperature, Solar-Radiation, Humidity, Ozone \
+             FROM Weather, Air-Pollution \
+             WHERE (Temperature > 15 OR Solar-Radiation > 600 OR Humidity < 60) \
+             AND CONNECT with-time-diff(7200) ON Air-Pollution, Weather",
+            &registry(),
+        )
+        .unwrap();
+        assert_eq!(q.tables, vec!["Weather", "Air-Pollution"]);
+        assert_eq!(q.projection.len(), 4);
+        let cond = q.condition.unwrap();
+        match cond.node {
+            ConditionNode::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(&parts[0].node, ConditionNode::Or(v) if v.len() == 3));
+                assert!(matches!(&parts[1].node, ConditionNode::Connection(u) if u.params == vec![7200.0]));
+            }
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weight_suffix() {
+        let q = parse_query(
+            "SELECT * FROM T WHERE a > 1 WEIGHT 0.3 AND b < 2 WEIGHT 0.7",
+            &registry(),
+        )
+        .unwrap();
+        match q.condition.unwrap().node {
+            ConditionNode::And(parts) => {
+                assert_eq!(parts[0].weight, 0.3);
+                assert_eq!(parts[1].weight, 0.7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_and_around() {
+        let q = parse_query(
+            "SELECT * FROM T WHERE a BETWEEN 1 AND 5 AND b AROUND 10 DEV 2",
+            &registry(),
+        )
+        .unwrap();
+        assert_eq!(q.condition.unwrap().node.leaf_count(), 2);
+    }
+
+    #[test]
+    fn not_and_nested_parens() {
+        let q = parse_query(
+            "SELECT * FROM T WHERE NOT (a > 1 OR b < 2) AND c = 'x'",
+            &registry(),
+        )
+        .unwrap();
+        match q.condition.unwrap().node {
+            ConditionNode::And(parts) => {
+                assert!(matches!(parts[0].node, ConditionNode::Not(_)));
+                assert!(matches!(parts[1].node, ConditionNode::Predicate(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_and_in_subqueries() {
+        let q = parse_query(
+            "SELECT * FROM T WHERE EXISTS (SELECT x FROM U WHERE x > 0) \
+             AND id IN (SELECT ref FROM V)",
+            &registry(),
+        )
+        .unwrap();
+        match q.condition.unwrap().node {
+            ConditionNode::And(parts) => {
+                assert!(matches!(
+                    parts[0].node,
+                    ConditionNode::Subquery {
+                        link: SubqueryLink::Exists,
+                        ..
+                    }
+                ));
+                assert!(matches!(
+                    &parts[1].node,
+                    ConditionNode::Subquery {
+                        link: SubqueryLink::In { inner, .. },
+                        ..
+                    } if inner.column == "ref"
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hyphenated_identifiers_lex_correctly() {
+        let q = parse_query(
+            "SELECT Solar-Radiation FROM Weather WHERE Solar-Radiation > 600",
+            &registry(),
+        )
+        .unwrap();
+        assert_eq!(q.projection[0].column, "Solar-Radiation");
+    }
+
+    #[test]
+    fn negative_literals() {
+        let q = parse_query("SELECT * FROM T WHERE a > -5.5", &registry()).unwrap();
+        match q.condition.unwrap().node {
+            ConditionNode::Predicate(p) => match p.target {
+                crate::ast::PredicateTarget::Compare { value, .. } => {
+                    assert_eq!(value.as_f64(), Some(-5.5));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_query("SELECT FROM", &registry()).is_err());
+        assert!(parse_query("SELECT * FROM T WHERE", &registry()).is_err());
+        assert!(parse_query("SELECT * FROM T WHERE a >", &registry()).is_err());
+        assert!(parse_query("SELECT * FROM T trailing", &registry()).is_err());
+        assert!(parse_query(
+            "SELECT * FROM T WHERE CONNECT nope ON A, B",
+            &registry()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse_query("SELECT * FROM T WHERE a = 'oops", &registry()).is_err());
+    }
+
+    #[test]
+    fn qualified_attributes() {
+        let q = parse_query(
+            "SELECT Weather.Temperature FROM Weather WHERE Weather.Temperature > 0",
+            &registry(),
+        )
+        .unwrap();
+        assert_eq!(q.projection[0].table.as_deref(), Some("Weather"));
+    }
+}

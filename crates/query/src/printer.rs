@@ -1,0 +1,153 @@
+//! Textual rendering of the Query Representation window (fig 3).
+//!
+//! "In the Query Representation window the query is displayed graphically.
+//! Each part of the query is represented by a small box, simple conditions
+//! by a single, subqueries by a double box, and the connecting lines are
+//! labeled with the type of connection used." (§4.1)
+//!
+//! We render the same structure as an indented ASCII tree: `[cond]` for
+//! simple conditions, `[[subquery]]` for subqueries, operator nodes for
+//! `AND`/`OR`/`NOT`, and connection labels on their own boxes.
+
+use std::fmt::Write as _;
+
+use crate::ast::{ConditionNode, Query, SubqueryLink, Weighted};
+
+/// Render a full query as the ASCII query-representation tree.
+pub fn render_query(q: &Query) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Result List: {}", render_projection(q));
+    let _ = writeln!(out, "from {}", q.tables.join(", "));
+    match &q.condition {
+        Some(w) => render_node(&w.node, w.weight, 0, &mut out),
+        None => out.push_str("(no condition)\n"),
+    }
+    out
+}
+
+fn render_projection(q: &Query) -> String {
+    if q.projection.is_empty() {
+        "*".to_string()
+    } else {
+        q.projection
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn weight_suffix(weight: f64) -> String {
+    if (weight - 1.0).abs() < f64::EPSILON {
+        String::new()
+    } else {
+        format!(" (weight {weight})")
+    }
+}
+
+fn render_node(node: &ConditionNode, weight: f64, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match node {
+        ConditionNode::Predicate(p) => {
+            let _ = writeln!(out, "[{}]{}", p.label(), weight_suffix(weight));
+        }
+        ConditionNode::Connection(c) => {
+            let _ = writeln!(out, "[{}]{}", c.label(), weight_suffix(weight));
+        }
+        ConditionNode::And(children) => {
+            let _ = writeln!(out, "AND{}", weight_suffix(weight));
+            render_children(children, depth + 1, out);
+        }
+        ConditionNode::Or(children) => {
+            let _ = writeln!(out, "OR{}", weight_suffix(weight));
+            render_children(children, depth + 1, out);
+        }
+        ConditionNode::Not(inner) => {
+            let _ = writeln!(out, "NOT{}", weight_suffix(weight));
+            render_node(inner, 1.0, depth + 1, out);
+        }
+        ConditionNode::Subquery { link, query } => {
+            let head = match link {
+                SubqueryLink::Exists => "[[EXISTS]]".to_string(),
+                SubqueryLink::In { outer, inner } => {
+                    format!("[[{outer} IN ... -> {inner}]]")
+                }
+            };
+            let _ = writeln!(out, "{head}{}", weight_suffix(weight));
+            // the inner query, indented one level
+            for line in render_query(query).lines() {
+                indent(depth + 1, out);
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+}
+
+fn render_children(children: &[Weighted], depth: usize, out: &mut String) {
+    for w in children {
+        render_node(&w.node, w.weight, depth, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CompareOp;
+    use crate::builder::QueryBuilder;
+
+    #[test]
+    fn renders_the_example_query_shape() {
+        let q = QueryBuilder::from_tables(["Weather", "Air-Pollution"])
+            .select(["Temperature", "Ozone"])
+            .cmp("Temperature", CompareOp::Gt, 15.0)
+            .cmp("Solar-Radiation", CompareOp::Gt, 600.0)
+            .cmp("Humidity", CompareOp::Lt, 60.0)
+            .any()
+            .between("Ozone", 0.0, 300.0)
+            .build();
+        let s = render_query(&q);
+        assert!(s.contains("Result List: Temperature, Ozone"));
+        assert!(s.contains("from Weather, Air-Pollution"));
+        assert!(s.contains("AND"));
+        assert!(s.contains("OR"));
+        assert!(s.contains("[Temperature > 15]"));
+        // OR children are indented two levels under AND
+        assert!(s.contains("    [Humidity < 60]"));
+    }
+
+    #[test]
+    fn weights_are_shown_when_not_unit() {
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp_weighted("a", CompareOp::Gt, 1.0, 0.25)
+            .cmp("b", CompareOp::Lt, 2.0)
+            .build();
+        let s = render_query(&q);
+        assert!(s.contains("(weight 0.25)"));
+        assert!(!s.contains("[b < 2] (weight"));
+    }
+
+    #[test]
+    fn subqueries_use_double_boxes() {
+        let inner = QueryBuilder::from_tables(["U"])
+            .select(["x"])
+            .cmp("x", CompareOp::Gt, 0.0)
+            .build();
+        let q = QueryBuilder::from_tables(["T"]).exists(inner).build();
+        let s = render_query(&q);
+        assert!(s.contains("[[EXISTS]]"));
+        assert!(s.contains("from U"));
+    }
+
+    #[test]
+    fn no_condition_renders_placeholder() {
+        let q = QueryBuilder::from_tables(["T"]).build();
+        assert!(render_query(&q).contains("(no condition)"));
+    }
+}

@@ -1,0 +1,340 @@
+//! Query validation against a database catalog.
+//!
+//! Checks, before any distance evaluation starts:
+//! * all referenced tables exist,
+//! * all attributes resolve to a unique column of a selected table,
+//! * predicate literals are type-compatible with their columns,
+//! * weights are finite and non-negative,
+//! * boolean operators have at least one child,
+//! * connection tables are among (or joinable with) the query tables.
+
+use visdb_storage::Database;
+use visdb_types::{DataType, Error, Result};
+
+use crate::ast::{AttrRef, ConditionNode, PredicateTarget, Query, Weighted};
+
+/// Resolve an attribute reference to `(table, column index, datatype)`.
+pub fn resolve_attr<'a>(
+    db: &'a Database,
+    tables: &[String],
+    attr: &AttrRef,
+) -> Result<(&'a str, usize, DataType)> {
+    match &attr.table {
+        Some(t) => {
+            if !tables.iter().any(|x| x == t) {
+                return Err(Error::invalid_query(format!(
+                    "attribute '{attr}' references table '{t}' which is not in the FROM list"
+                )));
+            }
+            let table = db.table(t)?;
+            let id = table.schema().require(t, &attr.column)?;
+            Ok((
+                table.name(),
+                id,
+                table.schema().column(id).expect("resolved").data_type,
+            ))
+        }
+        None => {
+            let mut found: Option<(&str, usize, DataType)> = None;
+            for t in tables {
+                let table = db.table(t)?;
+                if let Some(id) = table.schema().index_of(&attr.column) {
+                    if found.is_some() {
+                        return Err(Error::invalid_query(format!(
+                            "attribute '{}' is ambiguous across tables",
+                            attr.column
+                        )));
+                    }
+                    found = Some((
+                        table.name(),
+                        id,
+                        table.schema().column(id).expect("resolved").data_type,
+                    ));
+                }
+            }
+            found.ok_or_else(|| Error::UnknownColumn {
+                table: tables.join(","),
+                column: attr.column.clone(),
+            })
+        }
+    }
+}
+
+/// Validate a query against the database. Returns `Ok(())` or the first
+/// problem found.
+pub fn validate(db: &Database, query: &Query) -> Result<()> {
+    if query.tables.is_empty() {
+        return Err(Error::invalid_query("query must reference at least one table"));
+    }
+    for t in &query.tables {
+        db.table(t)?;
+    }
+    for p in &query.projection {
+        resolve_attr(db, &query.tables, p)?;
+    }
+    if let Some(w) = &query.condition {
+        validate_node(db, &query.tables, w)?;
+    }
+    Ok(())
+}
+
+fn validate_weight(weight: f64) -> Result<()> {
+    if !weight.is_finite() || weight < 0.0 {
+        return Err(Error::invalid_parameter(
+            "weight",
+            format!("must be finite and >= 0, got {weight}"),
+        ));
+    }
+    Ok(())
+}
+
+fn validate_node(db: &Database, tables: &[String], w: &Weighted) -> Result<()> {
+    validate_weight(w.weight)?;
+    match &w.node {
+        ConditionNode::Predicate(p) => {
+            let (_, _, dt) = resolve_attr(db, tables, &p.attr)?;
+            match &p.target {
+                PredicateTarget::Compare { value, .. } => {
+                    if !value.is_null() && !dt.is_compatible(value.data_type()) {
+                        return Err(Error::TypeMismatch {
+                            expected: dt.to_string(),
+                            found: value.data_type().to_string(),
+                        });
+                    }
+                }
+                PredicateTarget::Range { low, high } => {
+                    for v in [low, high] {
+                        if !v.is_null() && !dt.is_compatible(v.data_type()) {
+                            return Err(Error::TypeMismatch {
+                                expected: dt.to_string(),
+                                found: v.data_type().to_string(),
+                            });
+                        }
+                    }
+                    if let Some(ord) = low.partial_cmp_value(high) {
+                        if ord == std::cmp::Ordering::Greater {
+                            return Err(Error::invalid_query(format!(
+                                "range low {low} exceeds high {high}"
+                            )));
+                        }
+                    }
+                }
+                PredicateTarget::Around { center, deviation } => {
+                    if !dt.is_numeric() {
+                        return Err(Error::invalid_query(format!(
+                            "AROUND requires a numeric attribute, '{}' is {dt}",
+                            p.attr
+                        )));
+                    }
+                    if center.as_f64().is_none() {
+                        return Err(Error::TypeMismatch {
+                            expected: "numeric".into(),
+                            found: center.data_type().to_string(),
+                        });
+                    }
+                    if !deviation.is_finite() || *deviation < 0.0 {
+                        return Err(Error::invalid_parameter(
+                            "deviation",
+                            "must be finite and >= 0",
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+        ConditionNode::And(children) | ConditionNode::Or(children) => {
+            if children.is_empty() {
+                return Err(Error::invalid_query("boolean operator with no children"));
+            }
+            for c in children {
+                validate_node(db, tables, c)?;
+            }
+            Ok(())
+        }
+        ConditionNode::Not(inner) => validate_node(db, tables, &Weighted::unit((**inner).clone())),
+        ConditionNode::Connection(u) => {
+            // both endpoints must resolve (against their declared tables)
+            let (l, r) = u.def.kind.attrs();
+            let l_tables = vec![u.def.left_table.clone()];
+            let r_tables = vec![u.def.right_table.clone()];
+            resolve_attr(db, &l_tables, l)?;
+            resolve_attr(db, &r_tables, r)?;
+            // and the joined tables must participate in the query
+            for t in [&u.def.left_table, &u.def.right_table] {
+                if !tables.iter().any(|x| x == t) {
+                    return Err(Error::invalid_query(format!(
+                        "connection '{}' joins table '{t}' which is not in the FROM list",
+                        u.def.name
+                    )));
+                }
+            }
+            Ok(())
+        }
+        ConditionNode::Subquery { query, .. } => validate(db, query),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CompareOp;
+    use crate::builder::QueryBuilder;
+    use crate::connection::{ConnectionDef, ConnectionKind};
+    use visdb_storage::TableBuilder;
+    use visdb_types::{Column, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new("env");
+        db.add_table(
+            TableBuilder::new(
+                "Weather",
+                vec![
+                    Column::new("DateTime", DataType::Timestamp),
+                    Column::new("Temperature", DataType::Float),
+                    Column::new("Humidity", DataType::Float),
+                ],
+            )
+            .row(vec![
+                Value::Timestamp(0),
+                Value::Float(15.0),
+                Value::Float(50.0),
+            ])
+            .unwrap()
+            .build(),
+        );
+        db.add_table(
+            TableBuilder::new(
+                "Air-Pollution",
+                vec![
+                    Column::new("DateTime", DataType::Timestamp),
+                    Column::new("Ozone", DataType::Float),
+                ],
+            )
+            .row(vec![Value::Timestamp(0), Value::Float(30.0)])
+            .unwrap()
+            .build(),
+        );
+        db
+    }
+
+    #[test]
+    fn valid_query_passes() {
+        let q = QueryBuilder::from_tables(["Weather"])
+            .select(["Temperature"])
+            .cmp("Temperature", CompareOp::Gt, 15.0)
+            .build();
+        assert!(validate(&db(), &q).is_ok());
+    }
+
+    #[test]
+    fn unknown_table_and_column_fail() {
+        let q = QueryBuilder::from_tables(["Nope"]).build();
+        assert!(validate(&db(), &q).is_err());
+        let q = QueryBuilder::from_tables(["Weather"])
+            .cmp("Nope", CompareOp::Gt, 1.0)
+            .build();
+        assert!(validate(&db(), &q).is_err());
+    }
+
+    #[test]
+    fn ambiguous_attribute_fails() {
+        let q = QueryBuilder::from_tables(["Weather", "Air-Pollution"])
+            .cmp("DateTime", CompareOp::Gt, 0)
+            .build();
+        let err = validate(&db(), &q).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn qualified_attribute_disambiguates() {
+        let q = QueryBuilder::from_tables(["Weather", "Air-Pollution"])
+            .part(ConditionNode::Predicate(crate::ast::Predicate::compare(
+                AttrRef::qualified("Weather", "DateTime"),
+                CompareOp::Gt,
+                Value::Timestamp(0),
+            )))
+            .build();
+        assert!(validate(&db(), &q).is_ok());
+    }
+
+    #[test]
+    fn type_mismatch_fails() {
+        let q = QueryBuilder::from_tables(["Weather"])
+            .cmp("Temperature", CompareOp::Eq, "warm")
+            .build();
+        assert!(matches!(
+            validate(&db(), &q),
+            Err(Error::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inverted_range_fails() {
+        let q = QueryBuilder::from_tables(["Weather"])
+            .between("Temperature", 30.0, 10.0)
+            .build();
+        assert!(validate(&db(), &q).is_err());
+    }
+
+    #[test]
+    fn bad_weight_fails() {
+        let q = QueryBuilder::from_tables(["Weather"])
+            .cmp_weighted("Temperature", CompareOp::Gt, 1.0, -0.5)
+            .build();
+        assert!(validate(&db(), &q).is_err());
+        let q = QueryBuilder::from_tables(["Weather"])
+            .cmp_weighted("Temperature", CompareOp::Gt, 1.0, f64::NAN)
+            .build();
+        assert!(validate(&db(), &q).is_err());
+    }
+
+    #[test]
+    fn connection_tables_must_be_in_from_list() {
+        let def = ConnectionDef {
+            name: "same-time".into(),
+            left_table: "Air-Pollution".into(),
+            right_table: "Weather".into(),
+            kind: ConnectionKind::Equi {
+                left: AttrRef::qualified("Air-Pollution", "DateTime"),
+                right: AttrRef::qualified("Weather", "DateTime"),
+            },
+        };
+        let u = def.instantiate(vec![]).unwrap();
+        let q = QueryBuilder::from_tables(["Weather"]).connect(u.clone()).build();
+        assert!(validate(&db(), &q).is_err());
+        let q = QueryBuilder::from_tables(["Weather", "Air-Pollution"])
+            .connect(u)
+            .build();
+        assert!(validate(&db(), &q).is_ok());
+    }
+
+    #[test]
+    fn around_requires_numeric() {
+        let mut database = db();
+        database.add_table(
+            TableBuilder::new("S", vec![Column::new("name", DataType::Str)])
+                .row(vec![Value::from("a")])
+                .unwrap()
+                .build(),
+        );
+        let q = QueryBuilder::from_tables(["S"]).around("name", 1.0, 1.0).build();
+        assert!(validate(&database, &q).is_err());
+    }
+
+    #[test]
+    fn subqueries_validate_recursively() {
+        let inner = QueryBuilder::from_tables(["NoSuchTable"]).build();
+        let q = QueryBuilder::from_tables(["Weather"]).exists(inner).build();
+        assert!(validate(&db(), &q).is_err());
+    }
+
+    #[test]
+    fn empty_boolean_operator_fails() {
+        let q = Query {
+            tables: vec!["Weather".into()],
+            projection: vec![],
+            condition: Some(Weighted::unit(ConditionNode::And(vec![]))),
+        };
+        assert!(validate(&db(), &q).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Incremental recalculation across query modifications (§6).
+//!
+//! "Our idea is to retrieve more data than necessary in the beginning and
+//! to retrieve only the additional portion of the data that is needed for
+//! a slightly modified query later on."
+//!
+//! At the pipeline level the expensive artefact is the per-window *raw
+//! distance vector* (one O(n) pass per predicate — or O(n·m) for
+//! subqueries). A slider modification changes exactly one window; the
+//! other windows' distances are bit-identical and can be reused. The
+//! [`PipelineCache`] stores `(condition subtree, NodeEval)` pairs keyed by
+//! structural equality of the subtree, fingerprinted by the base relation
+//! and the display budget (nested combining normalizes with the budget,
+//! so a budget change invalidates too).
+
+use visdb_query::ast::ConditionNode;
+use visdb_storage::Table;
+
+use crate::pipeline::PredicateWindow;
+
+/// Cache of evaluated top-level windows.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineCache {
+    /// (table name, row count, display budget).
+    fingerprint: Option<(String, usize, usize)>,
+    entries: Vec<(ConditionNode, PredicateWindow)>,
+    /// Windows served from the cache.
+    pub hits: usize,
+    /// Windows that had to be evaluated.
+    pub misses: usize,
+}
+
+impl PipelineCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check the cache against the current base relation / budget; clears
+    /// stored entries when anything changed. The fingerprint cannot see
+    /// every base change (e.g. different join sampling options can yield
+    /// same-size tables) — callers must [`PipelineCache::invalidate`]
+    /// explicitly in those cases.
+    pub fn validate(&mut self, table: &Table, display_budget: usize) {
+        let fp = (table.name().to_string(), table.len(), display_budget);
+        if self.fingerprint.as_ref() != Some(&fp) {
+            self.entries.clear();
+            self.fingerprint = Some(fp);
+        }
+    }
+
+    /// Drop everything (base relation changed in a way the fingerprint
+    /// cannot detect).
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+        self.fingerprint = None;
+    }
+
+    /// Look up a window by its condition subtree and weight (the weight
+    /// participates in the §5.2 weight-proportional normalization, so a
+    /// weight change invalidates the window).
+    pub fn lookup(&mut self, node: &ConditionNode, weight: f64) -> Option<PredicateWindow> {
+        let found = self
+            .entries
+            .iter()
+            .find(|(n, e)| n == node && e.weight == weight)
+            .map(|(_, e)| e.clone());
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Replace the stored windows with this evaluation round's results.
+    pub fn store(&mut self, windows: Vec<(ConditionNode, PredicateWindow)>) {
+        self.entries = windows;
+    }
+
+    /// Number of cached windows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit rate over the cache's lifetime.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::normalize::NormParams;
+    use visdb_query::ast::{AttrRef, CompareOp, Predicate};
+    use visdb_storage::TableBuilder;
+    use visdb_types::{Column, DataType, Value};
+
+    fn node(threshold: f64) -> ConditionNode {
+        ConditionNode::Predicate(Predicate::compare(
+            AttrRef::new("x"),
+            CompareOp::Ge,
+            threshold,
+        ))
+    }
+
+    fn eval(n: usize) -> PredicateWindow {
+        PredicateWindow {
+            label: "t".into(),
+            signed: true,
+            weight: 1.0,
+            raw: Arc::new(vec![Some(0.0); n]),
+            normalized: Arc::new(vec![Some(0.0); n]),
+            norm_params: NormParams { dmin: 0.0, dmax: 0.0 },
+        }
+    }
+
+    fn table(n: usize) -> Table {
+        let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+        for i in 0..n {
+            b = b.row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn lookup_by_structural_equality() {
+        let mut c = PipelineCache::new();
+        let t = table(3);
+        c.validate(&t, 100);
+        c.store(vec![(node(5.0), eval(3))]);
+        assert!(c.lookup(&node(5.0), 1.0).is_some());
+        assert!(c.lookup(&node(6.0), 1.0).is_none());
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn fingerprint_changes_clear_entries() {
+        let mut c = PipelineCache::new();
+        let t = table(3);
+        c.validate(&t, 100);
+        c.store(vec![(node(5.0), eval(3))]);
+        // same everything: entries survive
+        c.validate(&t, 100);
+        assert_eq!(c.len(), 1);
+        // explicit invalidation: cleared
+        c.invalidate();
+        assert!(c.is_empty());
+        // different budget: cleared
+        c.validate(&t, 100);
+        c.store(vec![(node(5.0), eval(3))]);
+        c.validate(&t, 200);
+        assert!(c.is_empty());
+        // different table size: cleared
+        c.store(vec![(node(5.0), eval(3))]);
+        c.validate(&table(4), 200);
+        assert!(c.is_empty());
+    }
+}

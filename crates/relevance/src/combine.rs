@@ -1,0 +1,257 @@
+//! Combining normalized distances across predicates (§5.2).
+//!
+//! "we use e.g. the weighted arithmetic mean for 'AND'-connected condition
+//! parts and the weighted geometric mean for 'OR'-connected condition
+//! parts":
+//!
+//! * AND: `dᵢ = Σⱼ wⱼ · dᵢⱼ` — every unfulfilled predicate hurts, in
+//!   proportion to its weight; the result is 0 only if *all* parts are 0.
+//! * OR: `dᵢ = Πⱼ dᵢⱼ^wⱼ` — a single fulfilled part (distance 0) zeroes
+//!   the product, exactly matching OR semantics; far misses multiply up.
+//!
+//! Undefined (`None`) children:
+//! * under AND the item's combined distance is undefined (we cannot bound
+//!   how bad the missing part is),
+//! * under OR a missing part simply cannot help — it contributes the
+//!   maximum normalized distance; only if *all* parts are undefined is
+//!   the result undefined.
+//!
+//! Inputs are expected to be normalized to `[0, NORM_MAX]`
+//! ([`crate::normalize`]); outputs are *not* re-normalized here — the
+//! caller normalizes "before a calculated combined distance is used as a
+//! parameter for combining other distances".
+
+use visdb_types::{Error, Result};
+
+use crate::normalize::NORM_MAX;
+
+fn check<C: AsRef<[Option<f64>]>>(children: &[C], weights: &[f64]) -> Result<usize> {
+    if children.is_empty() {
+        return Err(Error::invalid_query("combine of zero children"));
+    }
+    if children.len() != weights.len() {
+        return Err(Error::Internal(format!(
+            "{} children but {} weights",
+            children.len(),
+            weights.len()
+        )));
+    }
+    let n = children[0].as_ref().len();
+    if children.iter().any(|c| c.as_ref().len() != n) {
+        return Err(Error::Internal("ragged child distance vectors".into()));
+    }
+    Ok(n)
+}
+
+/// Weighted arithmetic mean — `AND` semantics.
+pub fn combine_and<C: AsRef<[Option<f64>]>>(
+    children: &[C],
+    weights: &[f64],
+) -> Result<Vec<Option<f64>>> {
+    let n = check(children, weights)?;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut sum = 0.0;
+        let mut ok = true;
+        for (c, &w) in children.iter().zip(weights) {
+            match c.as_ref()[i] {
+                Some(d) => sum += w * d,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        out.push(if ok { Some(sum) } else { None });
+    }
+    Ok(out)
+}
+
+/// Weighted geometric mean — `OR` semantics.
+///
+/// `0^0` (zero distance, zero weight) is defined as 1 (no influence), so a
+/// weightless fulfilled part neither helps nor hurts.
+pub fn combine_or<C: AsRef<[Option<f64>]>>(
+    children: &[C],
+    weights: &[f64],
+) -> Result<Vec<Option<f64>>> {
+    let n = check(children, weights)?;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut prod = 1.0f64;
+        let mut any_defined = false;
+        for (c, &w) in children.iter().zip(weights) {
+            let d = match c.as_ref()[i] {
+                Some(d) => {
+                    any_defined = true;
+                    d
+                }
+                None => NORM_MAX, // an undefined part cannot help an OR
+            };
+            if w == 0.0 {
+                continue;
+            }
+            prod *= d.powf(w);
+            if prod == 0.0 {
+                break;
+            }
+        }
+        out.push(if any_defined { Some(prod) } else { None });
+    }
+    Ok(out)
+}
+
+/// Ablation comparators (DESIGN.md decision 1): fuzzy-logic `min`/`max`
+/// combiners, benchmarked against the paper's means.
+pub mod ablation {
+    use visdb_types::Result;
+
+    use super::check;
+
+    /// Fuzzy AND: the worst (largest) child distance.
+    pub fn combine_and_max<C: AsRef<[Option<f64>]>>(
+        children: &[C],
+        weights: &[f64],
+    ) -> Result<Vec<Option<f64>>> {
+        let n = check(children, weights)?;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut best: Option<f64> = Some(f64::NEG_INFINITY);
+            for (c, &w) in children.iter().zip(weights) {
+                match (best, c.as_ref()[i]) {
+                    (Some(b), Some(d)) => best = Some(b.max(w * d)),
+                    _ => {
+                        best = None;
+                        break;
+                    }
+                }
+            }
+            out.push(best.filter(|b| b.is_finite()));
+        }
+        Ok(out)
+    }
+
+    /// Fuzzy OR: the best (smallest) child distance.
+    pub fn combine_or_min<C: AsRef<[Option<f64>]>>(
+        children: &[C],
+        weights: &[f64],
+    ) -> Result<Vec<Option<f64>>> {
+        let n = check(children, weights)?;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut best: Option<f64> = None;
+            for (c, &w) in children.iter().zip(weights) {
+                if let Some(d) = c.as_ref()[i] {
+                    let v = w * d;
+                    best = Some(best.map_or(v, |b: f64| b.min(v)));
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(xs: &[f64]) -> Vec<Option<f64>> {
+        xs.iter().map(|&x| Some(x)).collect()
+    }
+
+    #[test]
+    fn and_is_weighted_sum() {
+        let out = combine_and(&[v(&[0.0, 100.0]), v(&[50.0, 200.0])], &[1.0, 0.5]).unwrap();
+        assert_eq!(out, vec![Some(25.0), Some(200.0)]);
+    }
+
+    #[test]
+    fn and_zero_only_when_all_zero() {
+        let out = combine_and(&[v(&[0.0]), v(&[0.0])], &[1.0, 1.0]).unwrap();
+        assert_eq!(out, vec![Some(0.0)]);
+        let out = combine_and(&[v(&[0.0]), v(&[1.0])], &[1.0, 1.0]).unwrap();
+        assert!(out[0].unwrap() > 0.0);
+    }
+
+    #[test]
+    fn or_zero_when_any_zero() {
+        let out = combine_or(&[v(&[0.0]), v(&[255.0])], &[1.0, 1.0]).unwrap();
+        assert_eq!(out, vec![Some(0.0)]);
+    }
+
+    #[test]
+    fn or_is_weighted_product() {
+        let out = combine_or(&[v(&[4.0]), v(&[9.0])], &[0.5, 0.5]).unwrap();
+        assert!((out[0].unwrap() - 6.0).abs() < 1e-12); // sqrt(4)*sqrt(9)
+    }
+
+    #[test]
+    fn and_propagates_none() {
+        let out = combine_and(&[vec![None], v(&[1.0])], &[1.0, 1.0]).unwrap();
+        assert_eq!(out, vec![None]);
+    }
+
+    #[test]
+    fn or_substitutes_max_for_none() {
+        // one undefined part, one fulfilled part: still fulfilled
+        let out = combine_or(&[vec![None], v(&[0.0])], &[1.0, 1.0]).unwrap();
+        assert_eq!(out, vec![Some(0.0)]);
+        // all undefined: undefined
+        let out = combine_or(&[vec![None], vec![None]], &[1.0, 1.0]).unwrap();
+        assert_eq!(out, vec![None]);
+    }
+
+    #[test]
+    fn zero_weight_or_child_has_no_influence() {
+        let out = combine_or(&[v(&[0.0]), v(&[100.0])], &[0.0, 1.0]).unwrap();
+        assert_eq!(out, vec![Some(100.0)]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(combine_and(&[] as &[Vec<Option<f64>>], &[]).is_err());
+        assert!(combine_and(&[v(&[1.0])], &[1.0, 2.0]).is_err());
+        assert!(combine_and(&[v(&[1.0]), v(&[1.0, 2.0])], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn ablation_min_max() {
+        let out =
+            ablation::combine_and_max(&[v(&[10.0, 0.0]), v(&[5.0, 0.0])], &[1.0, 1.0]).unwrap();
+        assert_eq!(out, vec![Some(10.0), Some(0.0)]);
+        let out =
+            ablation::combine_or_min(&[v(&[10.0]), vec![None]], &[1.0, 1.0]).unwrap();
+        assert_eq!(out, vec![Some(10.0)]);
+    }
+
+    proptest! {
+        /// AND monotonicity: increasing any child distance never decreases
+        /// the combined distance.
+        #[test]
+        fn prop_and_monotone(d1 in 0.0f64..255.0, d2 in 0.0f64..255.0,
+                             bump in 0.0f64..50.0, w1 in 0.01f64..1.0, w2 in 0.01f64..1.0) {
+            let a = combine_and(&[v(&[d1]), v(&[d2])], &[w1, w2]).unwrap()[0].unwrap();
+            let b = combine_and(&[v(&[d1 + bump]), v(&[d2])], &[w1, w2]).unwrap()[0].unwrap();
+            prop_assert!(b >= a);
+        }
+
+        /// OR absorbing zero: any fulfilled part makes the item an exact
+        /// OR answer regardless of the other parts.
+        #[test]
+        fn prop_or_absorbs_zero(d in 0.0f64..255.0, w1 in 0.01f64..1.0, w2 in 0.01f64..1.0) {
+            let out = combine_or(&[v(&[0.0]), v(&[d])], &[w1, w2]).unwrap();
+            prop_assert_eq!(out[0], Some(0.0));
+        }
+
+        /// Both combiners agree on the fully-fulfilled row.
+        #[test]
+        fn prop_fulfilled_row_is_zero(w1 in 0.01f64..1.0, w2 in 0.01f64..1.0) {
+            let and = combine_and(&[v(&[0.0]), v(&[0.0])], &[w1, w2]).unwrap();
+            let or = combine_or(&[v(&[0.0]), v(&[0.0])], &[w1, w2]).unwrap();
+            prop_assert_eq!(and[0], Some(0.0));
+            prop_assert_eq!(or[0], Some(0.0));
+        }
+    }
+}

@@ -1,0 +1,739 @@
+//! Distance evaluation of condition trees over a data context.
+//!
+//! For every data item (row of the base relation — possibly a
+//! materialised cross product for multi-table queries, §4.4) and every
+//! node of the condition tree, compute the signed distance from
+//! fulfilling that node. Leaves use `visdb-distance`; inner `AND`/`OR`
+//! nodes normalize their children and combine them (§5.2, see
+//! [`crate::combine`]).
+
+use visdb_distance::registry::{ColumnDistance, DistanceResolver};
+use visdb_distance::{geo, numeric, string::levenshtein, time};
+use visdb_query::ast::{
+    AttrRef, CompareOp, ConditionNode, Predicate, PredicateTarget, Query, SubqueryLink,
+};
+use visdb_query::connection::{ConnectionKind, ConnectionUse};
+use visdb_storage::{ColumnData, Database, Table};
+use visdb_types::{DataType, Error, Result, TypeClass, Value};
+
+use crate::combine::{combine_and, combine_or};
+use crate::normalize::normalize_improved;
+
+/// Everything needed to evaluate distances.
+pub struct EvalContext<'a> {
+    /// The catalog (needed to evaluate subqueries over their own tables).
+    pub db: &'a Database,
+    /// The base relation the distances are computed over. For multi-table
+    /// queries this is the (bounded) cross product materialised by the
+    /// session layer.
+    pub table: &'a Table,
+    /// Per-column distance configuration.
+    pub resolver: &'a DistanceResolver,
+    /// Display budget in items (the `r` of §5.1/§5.2), used by the
+    /// weight-proportional normalization inside `AND`/`OR` combining.
+    pub display_budget: usize,
+}
+
+/// The evaluated distances of one condition node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeEval {
+    /// Window title (predicate label, connection label, operator name).
+    pub label: String,
+    /// Whether the distances carry meaningful signs.
+    pub signed: bool,
+    /// Per-row signed distance; `None` = undefined (§4.4 negation rules,
+    /// NULL operands).
+    pub distances: Vec<Option<f64>>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Resolve an attribute against the context table. Qualified names try
+    /// `Table.Column` first (cross products prefix colliding columns),
+    /// then the bare column name.
+    pub fn column(&self, attr: &AttrRef) -> Result<(&'a ColumnData, DataType, TypeClass, String)> {
+        let schema = self.table.schema();
+        let tried: Vec<String> = match &attr.table {
+            Some(t) => vec![format!("{t}.{}", attr.column), attr.column.clone()],
+            None => vec![attr.column.clone()],
+        };
+        for name in &tried {
+            if let Some(id) = schema.index_of(name) {
+                let col = schema.column(id).expect("resolved");
+                return Ok((
+                    self.table.column(id)?,
+                    col.data_type,
+                    col.type_class,
+                    name.clone(),
+                ));
+            }
+        }
+        Err(Error::UnknownColumn {
+            table: self.table.name().to_string(),
+            column: tried.join(" / "),
+        })
+    }
+
+    fn distance_for(&self, attr: &AttrRef, dt: DataType, class: TypeClass) -> ColumnDistance {
+        let table_hint = attr.table.as_deref().unwrap_or(self.table.name());
+        self.resolver.resolve(table_hint, &attr.column, dt, class)
+    }
+
+    /// Evaluate any condition node, returning per-row signed distances.
+    pub fn eval_node(&self, node: &ConditionNode) -> Result<NodeEval> {
+        match node {
+            ConditionNode::Predicate(p) => self.eval_predicate(p, false),
+            ConditionNode::Not(inner) => self.eval_not(inner),
+            ConditionNode::Connection(c) => self.eval_connection(c),
+            ConditionNode::Subquery { link, query } => self.eval_subquery(link, query),
+            ConditionNode::And(children) => {
+                let evals: Vec<NodeEval> = children
+                    .iter()
+                    .map(|w| self.eval_node(&w.node))
+                    .collect::<Result<_>>()?;
+                let normed: Vec<Vec<Option<f64>>> = evals
+                    .iter()
+                    .zip(children.iter())
+                    .map(|(e, w)| normalize_improved(&e.distances, w.weight, self.display_budget).0)
+                    .collect();
+                let weights: Vec<f64> = children.iter().map(|w| w.weight).collect();
+                Ok(NodeEval {
+                    label: "AND".to_string(),
+                    signed: false,
+                    distances: combine_and(&normed, &weights)?,
+                })
+            }
+            ConditionNode::Or(children) => {
+                let evals: Vec<NodeEval> = children
+                    .iter()
+                    .map(|w| self.eval_node(&w.node))
+                    .collect::<Result<_>>()?;
+                let normed: Vec<Vec<Option<f64>>> = evals
+                    .iter()
+                    .zip(children.iter())
+                    .map(|(e, w)| normalize_improved(&e.distances, w.weight, self.display_budget).0)
+                    .collect();
+                let weights: Vec<f64> = children.iter().map(|w| w.weight).collect();
+                Ok(NodeEval {
+                    label: "OR".to_string(),
+                    signed: false,
+                    distances: combine_or(&normed, &weights)?,
+                })
+            }
+        }
+    }
+
+    /// Negation (§4.4): invertible comparison predicates get their
+    /// operator inverted and keep graded distances. For every other node
+    /// only boolean information survives: rows that *fail* the inner
+    /// condition fulfil the negation (distance 0); rows that fulfil it
+    /// have no meaningful distance (`None` — "no coloring is possible").
+    fn eval_not(&self, inner: &ConditionNode) -> Result<NodeEval> {
+        if let ConditionNode::Predicate(p) = inner {
+            if let PredicateTarget::Compare { op, value } = &p.target {
+                let flipped = Predicate {
+                    attr: p.attr.clone(),
+                    target: PredicateTarget::Compare {
+                        op: op.inverted(),
+                        value: value.clone(),
+                    },
+                };
+                let mut e = self.eval_predicate(&flipped, false)?;
+                e.label = format!("NOT {}", p.label());
+                return Ok(e);
+            }
+        }
+        let e = self.eval_node(inner)?;
+        let distances = e
+            .distances
+            .iter()
+            .map(|d| match d {
+                Some(x) if *x != 0.0 => Some(0.0),
+                _ => None,
+            })
+            .collect();
+        Ok(NodeEval {
+            label: format!("NOT {}", e.label),
+            signed: false,
+            distances,
+        })
+    }
+
+    fn eval_predicate(&self, p: &Predicate, negated_label: bool) -> Result<NodeEval> {
+        let (col, dt, class, _) = self.column(&p.attr)?;
+        let cd = self.distance_for(&p.attr, dt, class);
+        let n = self.table.len();
+        let mut out = Vec::with_capacity(n);
+        match &p.target {
+            PredicateTarget::Compare { op, value } => {
+                for i in 0..n {
+                    out.push(compare_distance(col, i, *op, value, &cd));
+                }
+            }
+            PredicateTarget::Range { low, high } => {
+                for i in 0..n {
+                    out.push(range_distance(col, i, low, high, &cd));
+                }
+            }
+            PredicateTarget::Around { center, deviation } => {
+                let c = center.expect_f64()?;
+                for i in 0..n {
+                    out.push(match col.get_f64(i) {
+                        Some(v) => numeric::around(v, c, *deviation),
+                        None => None,
+                    });
+                }
+            }
+        }
+        let label = if negated_label {
+            format!("NOT {}", p.label())
+        } else {
+            p.label()
+        };
+        Ok(NodeEval {
+            label,
+            signed: cd.is_signed(),
+            distances: out,
+        })
+    }
+
+    fn eval_connection(&self, c: &ConnectionUse) -> Result<NodeEval> {
+        let n = self.table.len();
+        let (left_attr, right_attr) = c.def.kind.attrs();
+        let mut out = Vec::with_capacity(n);
+        match &c.def.kind {
+            ConnectionKind::Equi { .. } => {
+                let (lc, ldt, lcl, _) = self.column(left_attr)?;
+                let (rc, ..) = self.column(right_attr)?;
+                let cd = self.distance_for(left_attr, ldt, lcl);
+                for i in 0..n {
+                    out.push(cd.value_distance(&lc.get(i), &rc.get(i)));
+                }
+                Ok(NodeEval {
+                    label: c.label(),
+                    signed: cd.is_signed(),
+                    distances: out,
+                })
+            }
+            ConnectionKind::NonEqui { op, .. } => {
+                let (lc, ldt, lcl, _) = self.column(left_attr)?;
+                let (rc, ..) = self.column(right_attr)?;
+                let cd = self.distance_for(left_attr, ldt, lcl);
+                for i in 0..n {
+                    let (a, b) = (lc.get(i), rc.get(i));
+                    let d = match a.partial_cmp_value(&b) {
+                        None => None,
+                        Some(ord) if op.eval(ord) => Some(0.0),
+                        Some(_) => cd.value_distance(&a, &b),
+                    };
+                    out.push(d);
+                }
+                Ok(NodeEval {
+                    label: c.label(),
+                    signed: cd.is_signed(),
+                    distances: out,
+                })
+            }
+            ConnectionKind::TimeDiff { .. } => {
+                let expected = *c.params.first().unwrap_or(&0.0);
+                let (lc, ..) = self.column(left_attr)?;
+                let (rc, ..) = self.column(right_attr)?;
+                for i in 0..n {
+                    let d = match (lc.get_f64(i), rc.get_f64(i)) {
+                        (Some(a), Some(b)) => time::time_diff(a as i64, b as i64, expected),
+                        _ => None,
+                    };
+                    out.push(d);
+                }
+                Ok(NodeEval {
+                    label: c.label(),
+                    signed: true,
+                    distances: out,
+                })
+            }
+            ConnectionKind::SpatialWithin { .. } => {
+                let radius = *c.params.first().unwrap_or(&0.0);
+                let (lc, ..) = self.column(left_attr)?;
+                let (rc, ..) = self.column(right_attr)?;
+                for i in 0..n {
+                    let d = match (lc.get_location(i), rc.get_location(i)) {
+                        (Some(a), Some(b)) => geo::within_m(a, b, radius),
+                        _ => None,
+                    };
+                    out.push(d);
+                }
+                Ok(NodeEval {
+                    label: c.label(),
+                    signed: false,
+                    distances: out,
+                })
+            }
+            ConnectionKind::ForeignKey { .. } => {
+                // Exact matching only; "no visualization for the join
+                // condition needs to be generated" (§4.4) — fulfilled rows
+                // get 0, everything else is undefined.
+                let (lc, ..) = self.column(left_attr)?;
+                let (rc, ..) = self.column(right_attr)?;
+                for i in 0..n {
+                    let d = if lc.get(i) == rc.get(i) && !lc.get(i).is_null() {
+                        Some(0.0)
+                    } else {
+                        None
+                    };
+                    out.push(d);
+                }
+                Ok(NodeEval {
+                    label: c.label(),
+                    signed: false,
+                    distances: out,
+                })
+            }
+        }
+    }
+
+    /// Subquery distance (§4.4): "the color corresponding to the distance
+    /// of the data item most closely fulfilling the subquery condition ...
+    /// determined by the minimum distance in performing an approximate
+    /// join of the inner and the outer relation(s)".
+    fn eval_subquery(&self, link: &SubqueryLink, query: &Query) -> Result<NodeEval> {
+        let inner_table_name = query.tables.first().ok_or_else(|| {
+            Error::invalid_query("subquery must reference at least one table")
+        })?;
+        let inner_table = self.db.table(inner_table_name)?;
+        let inner_ctx = EvalContext {
+            db: self.db,
+            table: inner_table,
+            resolver: self.resolver,
+            display_budget: self.display_budget,
+        };
+        // combined (normalized) distance of the inner condition per inner row
+        let inner_cond: Vec<Option<f64>> = match &query.condition {
+            Some(w) => {
+                let e = inner_ctx.eval_node(&w.node)?;
+                normalize_improved(&e.distances, w.weight, self.display_budget).0
+            }
+            None => vec![Some(0.0); inner_table.len()],
+        };
+        let n = self.table.len();
+        let mut out = Vec::with_capacity(n);
+        match link {
+            SubqueryLink::Exists => {
+                // Uncorrelated EXISTS: the best inner distance is the same
+                // for every outer row.
+                let best = inner_cond
+                    .iter()
+                    .flatten()
+                    .fold(None::<f64>, |acc, &d| Some(acc.map_or(d, |a| a.min(d))));
+                out.resize(n, best);
+                Ok(NodeEval {
+                    label: "EXISTS(...)".to_string(),
+                    signed: false,
+                    distances: out,
+                })
+            }
+            SubqueryLink::In { outer, inner } => {
+                let (oc, odt, ocl, _) = self.column(outer)?;
+                let (ic, ..) = inner_ctx.column(inner)?;
+                let cd = self.distance_for(outer, odt, ocl);
+                let m = inner_table.len();
+                for i in 0..n {
+                    let ov = oc.get(i);
+                    if ov.is_null() {
+                        out.push(None);
+                        continue;
+                    }
+                    let mut best: Option<f64> = None;
+                    for (j, &cond_j) in inner_cond.iter().enumerate().take(m) {
+                        let join_d = cd.value_distance(&ov, &ic.get(j));
+                        let total = match (join_d, cond_j) {
+                            (Some(jd), Some(cdist)) => Some(jd.abs() + cdist),
+                            _ => None,
+                        };
+                        if let Some(t) = total {
+                            best = Some(best.map_or(t, |b: f64| b.min(t)));
+                            if t == 0.0 {
+                                break;
+                            }
+                        }
+                    }
+                    out.push(best);
+                }
+                Ok(NodeEval {
+                    label: format!("{outer} IN (...)"),
+                    signed: false,
+                    distances: out,
+                })
+            }
+        }
+    }
+}
+
+/// Distance of row `i` of `col` from fulfilling `col op value`.
+fn compare_distance(
+    col: &ColumnData,
+    i: usize,
+    op: CompareOp,
+    value: &Value,
+    cd: &ColumnDistance,
+) -> Option<f64> {
+    let v = col.get(i);
+    if v.is_null() || value.is_null() {
+        return None;
+    }
+    match cd {
+        ColumnDistance::Numeric => {
+            let (x, t) = (v.as_f64()?, value.as_f64()?);
+            match op {
+                CompareOp::Gt | CompareOp::Ge => numeric::greater_than(x, t),
+                CompareOp::Lt | CompareOp::Le => numeric::less_than(x, t),
+                CompareOp::Eq => numeric::equal_to(x, t),
+                CompareOp::Ne => numeric::not_equal_to(x, t),
+            }
+        }
+        ColumnDistance::Geo => match op {
+            CompareOp::Eq => cd.value_distance(&v, value),
+            CompareOp::Ne => {
+                let d = cd.value_distance(&v, value)?;
+                Some(if d != 0.0 { 0.0 } else { 1.0 })
+            }
+            _ => None,
+        },
+        ColumnDistance::Matrix(m) => {
+            let (a, b) = (v.as_str()?, value.as_str()?);
+            let (ra, rb) = (m.rank(a)?, m.rank(b)?);
+            let raw = m.distance(a, b)?;
+            match op {
+                CompareOp::Eq => Some(raw),
+                CompareOp::Ne => Some(if ra != rb { 0.0 } else { 1.0 }),
+                _ if !m.is_ordinal() => None, // order undefined on nominal
+                CompareOp::Gt | CompareOp::Ge => {
+                    Some(if ra >= rb { 0.0 } else { raw })
+                }
+                CompareOp::Lt | CompareOp::Le => {
+                    Some(if ra <= rb { 0.0 } else { raw })
+                }
+            }
+        }
+        ColumnDistance::String(kind) => {
+            let (a, b) = (v.as_str()?, value.as_str()?);
+            match op {
+                CompareOp::Eq => Some(kind.distance(a, b)),
+                CompareOp::Ne => Some(if a != b { 0.0 } else { 1.0 }),
+                CompareOp::Gt | CompareOp::Ge => {
+                    Some(if a >= b { 0.0 } else { kind.distance(a, b) })
+                }
+                CompareOp::Lt | CompareOp::Le => {
+                    Some(if a <= b { 0.0 } else { kind.distance(a, b) })
+                }
+            }
+        }
+    }
+}
+
+/// Distance of row `i` from the inclusive range `[low, high]`, generalised
+/// beyond numerics: inside → 0, outside → signed distance to the violated
+/// bound under the column's distance behaviour.
+fn range_distance(
+    col: &ColumnData,
+    i: usize,
+    low: &Value,
+    high: &Value,
+    cd: &ColumnDistance,
+) -> Option<f64> {
+    let v = col.get(i);
+    if v.is_null() || low.is_null() || high.is_null() {
+        return None;
+    }
+    if let (ColumnDistance::Numeric, Some(x), Some(l), Some(h)) =
+        (cd, v.as_f64(), low.as_f64(), high.as_f64())
+    {
+        return numeric::in_range(x, l, h);
+    }
+    use std::cmp::Ordering::*;
+    let below = matches!(v.partial_cmp_value(low), Some(Less));
+    let above = matches!(v.partial_cmp_value(high), Some(Greater));
+    if below {
+        Some(-cd.value_distance(&v, low)?.abs())
+    } else if above {
+        Some(cd.value_distance(&v, high)?.abs())
+    } else {
+        // inside or incomparable: incomparable is undefined
+        match (v.partial_cmp_value(low), v.partial_cmp_value(high)) {
+            (Some(_), Some(_)) => Some(0.0),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience used by tests and the baseline crate: edit distance of two
+/// strings as f64 (re-exported to avoid a dependency cycle).
+pub fn edit_distance(a: &str, b: &str) -> f64 {
+    levenshtein(a, b) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visdb_query::ast::Weighted;
+    use visdb_query::builder::QueryBuilder;
+    use visdb_query::connection::ConnectionDef;
+    use visdb_storage::TableBuilder;
+    use visdb_types::{Column, Location};
+
+    fn weather_db() -> Database {
+        let mut db = Database::new("env");
+        db.add_table(
+            TableBuilder::new(
+                "Weather",
+                vec![
+                    Column::new("DateTime", DataType::Timestamp),
+                    Column::new("Temperature", DataType::Float),
+                    Column::new("Humidity", DataType::Float),
+                    Column::new("Station", DataType::Str),
+                    Column::new("Loc", DataType::Location),
+                ],
+            )
+            .row(vec![
+                Value::Timestamp(0),
+                Value::Float(20.0),
+                Value::Float(50.0),
+                Value::from("munich"),
+                Value::Location(Location::new(48.1, 11.6)),
+            ])
+            .unwrap()
+            .row(vec![
+                Value::Timestamp(3600),
+                Value::Float(10.0),
+                Value::Float(80.0),
+                Value::from("berlin"),
+                Value::Location(Location::new(52.5, 13.4)),
+            ])
+            .unwrap()
+            .row(vec![
+                Value::Timestamp(7200),
+                Value::Null,
+                Value::Float(65.0),
+                Value::from("hamburg"),
+                Value::Location(Location::new(53.6, 10.0)),
+            ])
+            .unwrap()
+            .build(),
+        );
+        db
+    }
+
+    fn ctx<'a>(db: &'a Database, resolver: &'a DistanceResolver) -> EvalContext<'a> {
+        EvalContext {
+            db,
+            table: db.table("Weather").unwrap(),
+            resolver,
+            display_budget: 100,
+        }
+    }
+
+    #[test]
+    fn predicate_distances_signed() {
+        let db = weather_db();
+        let r = DistanceResolver::new();
+        let c = ctx(&db, &r);
+        let p = ConditionNode::Predicate(Predicate::compare(
+            AttrRef::new("Temperature"),
+            CompareOp::Gt,
+            15.0,
+        ));
+        let e = c.eval_node(&p).unwrap();
+        assert_eq!(e.distances, vec![Some(0.0), Some(-5.0), None]);
+        assert!(e.signed);
+    }
+
+    #[test]
+    fn and_combines_with_normalization() {
+        let db = weather_db();
+        let r = DistanceResolver::new();
+        let c = ctx(&db, &r);
+        let node = ConditionNode::And(vec![
+            Weighted::unit(ConditionNode::Predicate(Predicate::compare(
+                AttrRef::new("Temperature"),
+                CompareOp::Gt,
+                15.0,
+            ))),
+            Weighted::unit(ConditionNode::Predicate(Predicate::compare(
+                AttrRef::new("Humidity"),
+                CompareOp::Lt,
+                60.0,
+            ))),
+        ]);
+        let e = c.eval_node(&node).unwrap();
+        // row 0 fulfils both -> 0; row 1 fails both; row 2 has NULL temp -> None
+        assert_eq!(e.distances[0], Some(0.0));
+        assert!(e.distances[1].unwrap() > 0.0);
+        assert_eq!(e.distances[2], None);
+    }
+
+    #[test]
+    fn or_fulfilled_when_any_child_is() {
+        let db = weather_db();
+        let r = DistanceResolver::new();
+        let c = ctx(&db, &r);
+        let node = ConditionNode::Or(vec![
+            Weighted::unit(ConditionNode::Predicate(Predicate::compare(
+                AttrRef::new("Temperature"),
+                CompareOp::Gt,
+                100.0, // nobody fulfils
+            ))),
+            Weighted::unit(ConditionNode::Predicate(Predicate::compare(
+                AttrRef::new("Humidity"),
+                CompareOp::Lt,
+                60.0, // row 0 fulfils
+            ))),
+        ]);
+        let e = c.eval_node(&node).unwrap();
+        assert_eq!(e.distances[0], Some(0.0));
+        assert!(e.distances[1].unwrap() > 0.0);
+    }
+
+    #[test]
+    fn not_inverts_comparison_predicates() {
+        let db = weather_db();
+        let r = DistanceResolver::new();
+        let c = ctx(&db, &r);
+        let node = ConditionNode::Not(Box::new(ConditionNode::Predicate(Predicate::compare(
+            AttrRef::new("Temperature"),
+            CompareOp::Gt,
+            15.0,
+        ))));
+        let e = c.eval_node(&node).unwrap();
+        // NOT (T > 15) == T <= 15: row 0 (20.0) fails by 5, row 1 fulfils
+        assert_eq!(e.distances[0], Some(5.0));
+        assert_eq!(e.distances[1], Some(0.0));
+        assert!(e.label.starts_with("NOT"));
+    }
+
+    #[test]
+    fn not_of_complex_node_is_boolean_only() {
+        let db = weather_db();
+        let r = DistanceResolver::new();
+        let c = ctx(&db, &r);
+        let node = ConditionNode::Not(Box::new(ConditionNode::Or(vec![Weighted::unit(
+            ConditionNode::Predicate(Predicate::compare(
+                AttrRef::new("Humidity"),
+                CompareOp::Lt,
+                60.0,
+            )),
+        )])));
+        let e = c.eval_node(&node).unwrap();
+        // row 0 fulfils the inner OR -> negation undefined; rows 1,2 fail
+        // the inner -> negation fulfilled
+        assert_eq!(e.distances[0], None);
+        assert_eq!(e.distances[1], Some(0.0));
+        assert_eq!(e.distances[2], Some(0.0));
+    }
+
+    #[test]
+    fn string_predicate_uses_edit_distance() {
+        let db = weather_db();
+        let r = DistanceResolver::new();
+        let c = ctx(&db, &r);
+        let node = ConditionNode::Predicate(Predicate::compare(
+            AttrRef::new("Station"),
+            CompareOp::Eq,
+            "munich",
+        ));
+        let e = c.eval_node(&node).unwrap();
+        assert_eq!(e.distances[0], Some(0.0));
+        assert!(e.distances[1].unwrap() > 0.0);
+        assert!(!e.signed);
+    }
+
+    #[test]
+    fn range_distance_generalises() {
+        let db = weather_db();
+        let r = DistanceResolver::new();
+        let c = ctx(&db, &r);
+        let node = ConditionNode::Predicate(Predicate::range(
+            AttrRef::new("Humidity"),
+            55.0,
+            70.0,
+        ));
+        let e = c.eval_node(&node).unwrap();
+        assert_eq!(e.distances[0], Some(-5.0)); // 50 below 55
+        assert_eq!(e.distances[1], Some(10.0)); // 80 above 70
+        assert_eq!(e.distances[2], Some(0.0)); // 65 inside
+    }
+
+    #[test]
+    fn in_subquery_min_distance() {
+        let mut db = weather_db();
+        db.add_table(
+            TableBuilder::new("Alerts", vec![Column::new("AlertTemp", DataType::Float)])
+                .row(vec![Value::Float(9.0)])
+                .unwrap()
+                .row(vec![Value::Float(19.0)])
+                .unwrap()
+                .build(),
+        );
+        let r = DistanceResolver::new();
+        let c = ctx(&db, &r);
+        let sub = QueryBuilder::from_tables(["Alerts"]).select(["AlertTemp"]).build();
+        let node = ConditionNode::Subquery {
+            link: SubqueryLink::In {
+                outer: AttrRef::new("Temperature"),
+                inner: AttrRef::new("AlertTemp"),
+            },
+            query: Box::new(sub),
+        };
+        let e = c.eval_node(&node).unwrap();
+        // row 0: T=20, nearest alert 19 -> 1; row 1: T=10, nearest 9 -> 1
+        assert_eq!(e.distances[0], Some(1.0));
+        assert_eq!(e.distances[1], Some(1.0));
+        assert_eq!(e.distances[2], None); // NULL temperature
+    }
+
+    #[test]
+    fn exists_subquery_best_inner() {
+        let db = weather_db();
+        let r = DistanceResolver::new();
+        let c = ctx(&db, &r);
+        let sub = QueryBuilder::from_tables(["Weather"])
+            .cmp("Temperature", CompareOp::Gt, 25.0)
+            .build();
+        let node = ConditionNode::Subquery {
+            link: SubqueryLink::Exists,
+            query: Box::new(sub),
+        };
+        let e = c.eval_node(&node).unwrap();
+        // nobody has T > 25; best shortfall is 20 -> normalized minimum > 0,
+        // identical for all outer rows
+        assert!(e.distances[0].unwrap() >= 0.0);
+        assert_eq!(e.distances[0], e.distances[1]);
+    }
+
+    #[test]
+    fn connection_eval_over_cross_product() {
+        let db = weather_db();
+        let weather = db.table("Weather").unwrap();
+        let cross = weather.cross_product(weather, "WxW");
+        let r = DistanceResolver::new();
+        let c = EvalContext {
+            db: &db,
+            table: &cross,
+            resolver: &r,
+            display_budget: 100,
+        };
+        let def = ConnectionDef {
+            name: "with-time-diff".into(),
+            left_table: "Weather".into(),
+            right_table: "Weather".into(),
+            kind: ConnectionKind::TimeDiff {
+                left: AttrRef::new("DateTime"),
+                right: AttrRef::qualified("Weather", "DateTime"),
+            },
+        };
+        let u = def.instantiate(vec![3600.0]).unwrap();
+        let e = c.eval_node(&ConditionNode::Connection(u)).unwrap();
+        assert_eq!(e.distances.len(), 9);
+        // pair (row1, row0): 3600 - 0 - 3600 = 0 -> fulfilled
+        assert_eq!(e.distances[3], Some(0.0));
+        // pair (row0, row0): 0 - 0 - 3600 = -3600
+        assert_eq!(e.distances[0], Some(-3600.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! # visdb-relevance
+//!
+//! The mathematical core of VisDB (§5 of the paper): turning a query and a
+//! data set into per-item **relevance factors**.
+//!
+//! The pipeline implemented here:
+//!
+//! 1. **Distance evaluation** ([`eval`]) — for every selection predicate,
+//!    connection and subquery, compute a signed distance per data item
+//!    (0 = fulfilled), using the datatype-dependent functions of
+//!    `visdb-distance`.
+//! 2. **Reduction** ([`quantile`], [`reduction`]) — decide how many items
+//!    can be displayed: the α-quantile rule `p = r / (n·(#sp+1))` (§5.1),
+//!    its two-sided variant for signed distances, or the multi-peak *gap
+//!    heuristic* `sᵢ = Σ_{j=i−z}^{i+z} |dᵢ − dⱼ|` that cuts the display at
+//!    the largest density gap.
+//! 3. **Normalization** ([`normalize`]) — map each predicate's distances
+//!    to the fixed range `[0, 255]`, either naively over `[dmin, dmax]`
+//!    or with the paper's improved weight-proportional pre-reduction that
+//!    keeps single outliers from flattening a predicate's contribution.
+//! 4. **Combining** ([`combine`]) — weighted arithmetic mean for `AND`
+//!    parts, weighted geometric mean for `OR` parts, applied recursively
+//!    over the condition tree with re-normalization between levels (§5.2).
+//! 5. **Relevance** — the relevance factor is "the inverse of that
+//!    distance value": exact answers get the maximum relevance and larger
+//!    combined distances monotonically smaller ones.
+//!
+//! The end-to-end driver is [`pipeline::run_pipeline`].
+
+pub mod cache;
+pub mod combine;
+pub mod metric_combine;
+pub mod eval;
+pub mod normalize;
+pub mod pipeline;
+pub mod quantile;
+pub mod reduction;
+
+pub use eval::{EvalContext, NodeEval};
+pub use normalize::{normalize_improved, normalize_naive, NormParams, NORM_MAX};
+pub use cache::PipelineCache;
+pub use pipeline::{run_pipeline, run_pipeline_cached, DisplayPolicy, PipelineOutput, PredicateWindow};
+pub use quantile::{display_fraction, quantile, two_sided_range};
+pub use reduction::{gap_cutoff, gap_cutoff_naive};

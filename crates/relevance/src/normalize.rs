@@ -1,0 +1,225 @@
+//! Distance normalization (§5.2).
+//!
+//! Distances from different predicates live on incommensurable scales
+//! ("a distance of 1g/dl for Haemoglobin may be very large and a distance
+//! of 1,000 per dl for Erythrocyte may be very small"). Before combining,
+//! each predicate's distances are mapped to the fixed range `[0, 255]`.
+//!
+//! * [`normalize_naive`] — linear transform of `[dmin, dmax]`. Sensitive
+//!   to outliers: "a single data item with an exceptionally high or low
+//!   value may cause a completely different transformation".
+//! * [`normalize_improved`] — the paper's fix: first reduce the items
+//!   considered for the predicate to a count proportional to `r / wⱼ`
+//!   ("proportional to r/(n·wⱼ)" as a fraction of n), *then* normalize
+//!   over the remaining range. Lightly-weighted predicates keep more
+//!   far-away items (they matter less, so a coarser scale is fine);
+//!   heavily-weighted predicates get their resolution concentrated near
+//!   the query.
+
+use crate::quantile::smallest_k_indices;
+
+/// The fixed upper bound of normalized distances.
+pub const NORM_MAX: f64 = 255.0;
+
+/// Parameters of a fitted normalization, so sliders can map colors back
+/// to attribute values ("the possibility to get the specific values
+/// corresponding to the different colors", §4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormParams {
+    /// Smallest absolute distance in the fitted set.
+    pub dmin: f64,
+    /// Largest absolute distance in the fitted set (values beyond clamp).
+    pub dmax: f64,
+}
+
+impl NormParams {
+    /// Map an absolute distance to `[0, NORM_MAX]` (clamping overshoot).
+    #[inline]
+    pub fn apply(&self, d: f64) -> f64 {
+        if !d.is_finite() {
+            return NORM_MAX;
+        }
+        let range = self.dmax - self.dmin;
+        if range <= 0.0 {
+            // degenerate: all fitted distances equal; they normalize to 0
+            return if d <= self.dmax { 0.0 } else { NORM_MAX };
+        }
+        (((d - self.dmin) / range) * NORM_MAX).clamp(0.0, NORM_MAX)
+    }
+
+    /// Inverse map from a normalized value back to an absolute distance.
+    #[inline]
+    pub fn invert(&self, norm: f64) -> f64 {
+        self.dmin + (norm / NORM_MAX) * (self.dmax - self.dmin)
+    }
+}
+
+// NOTE on `dmin`: the paper describes "a linear transformation of the
+// range [dmin, dmax]". We anchor the transform at 0 instead of the
+// observed minimum — otherwise a query with *no* exact answers would map
+// its closest approximate answer to normalized distance 0, making it
+// indistinguishable from an exact answer (wrong yellow region, wrong
+// `# results`). Anchoring at zero preserves the invariant
+// `normalized == 0 ⇔ raw == 0` that the whole display semantics rest on.
+fn fit(values: &[Option<f64>], consider: Option<&[usize]>) -> NormParams {
+    let dmin = 0.0f64;
+    let mut dmax = f64::NEG_INFINITY;
+    let mut seen = false;
+    let mut scan = |d: f64| {
+        if d.is_finite() {
+            dmax = dmax.max(d);
+            seen = true;
+        }
+    };
+    match consider {
+        Some(idx) => {
+            for &i in idx {
+                if let Some(d) = values[i] {
+                    scan(d.abs());
+                }
+            }
+        }
+        None => {
+            for d in values.iter().flatten() {
+                scan(d.abs());
+            }
+        }
+    }
+    if !seen {
+        return NormParams { dmin: 0.0, dmax: 0.0 };
+    }
+    NormParams { dmin, dmax }
+}
+
+/// Naive normalization: fit `[dmin, dmax]` over *all* defined distances
+/// and map absolute values to `[0, NORM_MAX]`. Undefined stays undefined.
+pub fn normalize_naive(values: &[Option<f64>]) -> (Vec<Option<f64>>, NormParams) {
+    let params = fit(values, None);
+    let out = values
+        .iter()
+        .map(|v| v.map(|d| params.apply(d.abs())))
+        .collect();
+    (out, params)
+}
+
+/// Improved normalization (§5.2): fit the transform only over the
+/// `k = min(n, r / max(w, ε))` smallest absolute distances, where `r` is
+/// the display budget (items) and `w ∈ (0, 1]` the predicate weight; then
+/// apply it to all values, clamping beyond-range items to `NORM_MAX`.
+///
+/// This realises the paper's intent: an exceptional outlier no longer
+/// stretches the scale, and the predicate retains its "impact on the
+/// overall answer".
+pub fn normalize_improved(
+    values: &[Option<f64>],
+    weight: f64,
+    display_budget: usize,
+) -> (Vec<Option<f64>>, NormParams) {
+    let n = values.len();
+    let w = if weight.is_finite() && weight > 0.0 {
+        weight.min(1.0)
+    } else {
+        // zero/invalid weight: keep everything (the predicate hardly
+        // matters, so the coarsest scale is acceptable)
+        let (out, params) = normalize_naive(values);
+        return (out, params);
+    };
+    let k = ((display_budget as f64 / w).ceil() as usize).clamp(1, n.max(1));
+    if k >= n {
+        return normalize_naive(values);
+    }
+    let abs: Vec<Option<f64>> = values.iter().map(|v| v.map(f64::abs)).collect();
+    let keep = smallest_k_indices(&abs, k);
+    let params = fit(values, Some(&keep));
+    let out = values
+        .iter()
+        .map(|v| v.map(|d| params.apply(d.abs())))
+        .collect();
+    (out, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_maps_to_fixed_range() {
+        let v = vec![Some(0.0), Some(5.0), Some(10.0), None];
+        let (out, p) = normalize_naive(&v);
+        assert_eq!(out[0], Some(0.0));
+        assert_eq!(out[1], Some(127.5));
+        assert_eq!(out[2], Some(255.0));
+        assert_eq!(out[3], None);
+        assert_eq!(p.dmin, 0.0);
+        assert_eq!(p.dmax, 10.0);
+    }
+
+    #[test]
+    fn naive_uses_absolute_values() {
+        let v = vec![Some(-10.0), Some(0.0), Some(5.0)];
+        let (out, _) = normalize_naive(&v);
+        assert_eq!(out[0], Some(255.0));
+        assert_eq!(out[1], Some(0.0));
+        assert_eq!(out[2], Some(127.5));
+    }
+
+    #[test]
+    fn degenerate_all_equal_normalizes_to_max() {
+        // equal nonzero distances are all equally (maximally) far — the
+        // zero anchor keeps them distinct from exact answers
+        let v = vec![Some(3.0), Some(3.0)];
+        let (out, _) = normalize_naive(&v);
+        assert_eq!(out, vec![Some(255.0), Some(255.0)]);
+        // while equal *zero* distances stay exact
+        let v = vec![Some(0.0), Some(0.0)];
+        let (out, _) = normalize_naive(&v);
+        assert_eq!(out, vec![Some(0.0), Some(0.0)]);
+    }
+
+    #[test]
+    fn outlier_flattens_naive_but_not_improved() {
+        // 99 distances in [0,1], one outlier at 1000
+        let mut v: Vec<Option<f64>> = (0..99).map(|i| Some(i as f64 / 99.0)).collect();
+        v.push(Some(1000.0));
+        let (naive, _) = normalize_naive(&v);
+        // under naive normalization the regular values are crushed to ~0
+        assert!(naive[98].unwrap() < 1.0);
+        // improved with budget 50, weight 1: fit over the 50 smallest
+        let (better, p) = normalize_improved(&v, 1.0, 50);
+        assert!(better[49].unwrap() > 200.0, "{:?}", better[49]);
+        // outlier clamps to the max
+        assert_eq!(better[99], Some(NORM_MAX));
+        assert!(p.dmax < 2.0);
+    }
+
+    #[test]
+    fn lower_weight_keeps_more_items() {
+        let v: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64)).collect();
+        let (_, p_heavy) = normalize_improved(&v, 1.0, 20); // keeps 20
+        let (_, p_light) = normalize_improved(&v, 0.25, 20); // keeps 80
+        assert!(p_light.dmax > p_heavy.dmax);
+    }
+
+    #[test]
+    fn invalid_weight_falls_back_to_naive() {
+        let v = vec![Some(1.0), Some(2.0)];
+        let (out, _) = normalize_improved(&v, 0.0, 1);
+        let (naive, _) = normalize_naive(&v);
+        assert_eq!(out, naive);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let p = NormParams { dmin: 2.0, dmax: 12.0 };
+        for d in [2.0, 5.0, 12.0] {
+            let n = p.apply(d);
+            assert!((p.invert(n) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn infinite_distance_clamps() {
+        let p = NormParams { dmin: 0.0, dmax: 1.0 };
+        assert_eq!(p.apply(f64::INFINITY), NORM_MAX);
+    }
+}

@@ -1,0 +1,652 @@
+//! The end-to-end relevance pipeline: distances → reduction →
+//! normalization → combining → relevance factors → display selection.
+//!
+//! This is the computational spine of VisDB. Complexity is O(#sp · n) for
+//! the distance passes plus O(n log n) for the final sort — matching the
+//! paper's efficiency claim ("For simple queries and standard distance
+//! functions the complexity is O(n logn) ... query processing time is
+//! dominated by the time needed for sorting", §3).
+
+use std::sync::Arc;
+
+use visdb_distance::registry::DistanceResolver;
+use visdb_query::ast::{ConditionNode, Weighted};
+use visdb_storage::{Database, Table};
+use visdb_types::{Error, Result};
+
+use crate::combine::{combine_and, combine_or};
+use crate::eval::{EvalContext, NodeEval};
+use crate::normalize::{normalize_improved, normalize_naive, NormParams, NORM_MAX};
+use crate::quantile::display_fraction;
+use crate::reduction::gap_cutoff;
+
+/// How to choose the number of displayed data items (§5.1, §4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DisplayPolicy {
+    /// "simply presenting as many data items as fit on the screen": a
+    /// pixel budget shared by the overall window and one window per
+    /// predicate, each item taking 1, 4 or 16 pixels.
+    FitScreen {
+        /// Total pixels available across windows.
+        pixels: usize,
+        /// Pixels per data item (1, 4 or 16).
+        pixels_per_item: usize,
+    },
+    /// "a user given percentage of the data" (0..=100].
+    Percentage(f64),
+    /// The multi-peak gap heuristic (§5.1): display up to the largest
+    /// density gap between `rmin` and `rmax`, window constant `z`.
+    GapHeuristic {
+        /// Smallest acceptable display count.
+        rmin: usize,
+        /// Largest acceptable display count.
+        rmax: usize,
+        /// Gap window size (`2 < z << rmax - rmin`).
+        z: usize,
+    },
+    /// The two-sided variant for *signed* distances (§5.1): "the range of
+    /// values presented to the user is given by
+    /// [α₀·(1−p)-quantile, (α₀·(1−p)+p)-quantile] where α₀ is determined
+    /// by α₀-quantile = 0". Items are selected around the zero crossing
+    /// of the first window's signed raw distances, so the display keeps
+    /// under- and over-shooting items in proportion to the data. Falls
+    /// back to the one-sided percentage rule when the distances carry no
+    /// signs.
+    TwoSidedPercentage(f64),
+}
+
+impl DisplayPolicy {
+    /// An indicative item budget used for weight-proportional
+    /// normalization before the display count is finally known.
+    fn budget(&self, n: usize) -> usize {
+        match self {
+            DisplayPolicy::FitScreen {
+                pixels,
+                pixels_per_item,
+            } => (pixels / pixels_per_item.max(&1)).max(1),
+            DisplayPolicy::Percentage(p) => {
+                ((n as f64 * (p / 100.0)).ceil() as usize).clamp(1, n.max(1))
+            }
+            DisplayPolicy::GapHeuristic { rmax, .. } => (*rmax).max(1),
+            DisplayPolicy::TwoSidedPercentage(p) => {
+                ((n as f64 * (p / 100.0)).ceil() as usize).clamp(1, n.max(1))
+            }
+        }
+    }
+}
+
+/// One per-predicate visualization window (§4.2): the raw signed
+/// distances, the `[0,255]` normalization, and the fitted parameters so
+/// sliders can map colors back to attribute values.
+#[derive(Debug, Clone)]
+pub struct PredicateWindow {
+    /// Window title.
+    pub label: String,
+    /// Whether the raw distances are signed.
+    pub signed: bool,
+    /// Weight of this predicate in the query.
+    pub weight: f64,
+    /// Raw signed distances per item (shared with the incremental cache;
+    /// cloning a window is cheap).
+    pub raw: Arc<Vec<Option<f64>>>,
+    /// Normalized absolute distances (`[0, 255]`).
+    pub normalized: Arc<Vec<Option<f64>>>,
+    /// The fitted normalization (for color → value lookups).
+    pub norm_params: NormParams,
+}
+
+/// The pipeline result.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// Number of data items considered.
+    pub n: usize,
+    /// Normalized combined distance per item (`[0, 255]`, `None` =
+    /// undefined / not colorable).
+    pub combined: Vec<Option<f64>>,
+    /// Relevance factor per item: the inverse of the combined distance,
+    /// realised as `NORM_MAX - combined` so exact answers score 255.
+    pub relevance: Vec<Option<f64>>,
+    /// Item indices sorted by descending relevance (undefined excluded).
+    /// This sort is the pipeline's O(n log n) term.
+    pub order: Vec<usize>,
+    /// The prefix of `order` selected for display by the policy.
+    pub displayed: Vec<usize>,
+    /// Number of exact answers (combined distance 0).
+    pub num_exact: usize,
+    /// One window per top-level selection predicate.
+    pub windows: Vec<PredicateWindow>,
+}
+
+impl PipelineOutput {
+    /// Fraction of items displayed (the `% displayed` panel field).
+    pub fn displayed_fraction(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.displayed.len() as f64 / self.n as f64
+        }
+    }
+}
+
+/// Run the pipeline over a base relation.
+///
+/// `condition = None` marks every item an exact answer (a pure scan).
+pub fn run_pipeline(
+    db: &Database,
+    table: &Table,
+    resolver: &DistanceResolver,
+    condition: Option<&Weighted>,
+    policy: &DisplayPolicy,
+) -> Result<PipelineOutput> {
+    run_pipeline_cached(db, table, resolver, condition, policy, None)
+}
+
+/// [`run_pipeline`] with incremental recalculation (§6): top-level window
+/// evaluations whose condition subtree is unchanged since the previous
+/// run are served from `cache` instead of re-evaluated. Pass the same
+/// cache across interactive modifications; see
+/// [`crate::cache::PipelineCache`].
+pub fn run_pipeline_cached(
+    db: &Database,
+    table: &Table,
+    resolver: &DistanceResolver,
+    condition: Option<&Weighted>,
+    policy: &DisplayPolicy,
+    mut cache: Option<&mut crate::cache::PipelineCache>,
+) -> Result<PipelineOutput> {
+    let n = table.len();
+    let Some(cond) = condition else {
+        let combined = vec![Some(0.0); n];
+        let order: Vec<usize> = (0..n).collect();
+        let displayed = select_display(&combined, &order, policy, 0, None)?;
+        return Ok(PipelineOutput {
+            n,
+            relevance: vec![Some(NORM_MAX); n],
+            order,
+            displayed,
+            num_exact: n,
+            windows: Vec::new(),
+            combined,
+        });
+    };
+
+    if let DisplayPolicy::Percentage(p) | DisplayPolicy::TwoSidedPercentage(p) = policy {
+        if !(0.0..=100.0).contains(p) || *p <= 0.0 {
+            return Err(Error::invalid_parameter(
+                "percentage",
+                format!("must be in (0, 100], got {p}"),
+            ));
+        }
+    }
+
+    let ctx = EvalContext {
+        db,
+        table,
+        resolver,
+        display_budget: policy.budget(n),
+    };
+
+    // Top-level windows: the direct children of a root AND/OR, otherwise
+    // the root itself (§3: "we generate a separate window for each
+    // selection predicate of the query").
+    let top: Vec<&Weighted> = match &cond.node {
+        ConditionNode::And(cs) | ConditionNode::Or(cs) => cs.iter().collect(),
+        _ => vec![cond],
+    };
+
+    // Serve structurally-unchanged windows (same subtree AND weight)
+    // from the incremental cache; evaluate + normalize the rest (in
+    // parallel when large). Window data is Arc-shared, so cache hits
+    // avoid both the O(n) distance pass and the O(n log n)
+    // weight-proportional normalization.
+    let mut slots: Vec<Option<PredicateWindow>> = match &mut cache {
+        Some(cache) => {
+            cache.validate(table, ctx.display_budget);
+            top.iter()
+                .map(|w| cache.lookup(&w.node, w.weight))
+                .collect()
+        }
+        None => vec![None; top.len()],
+    };
+    let missing: Vec<&Weighted> = top
+        .iter()
+        .zip(&slots)
+        .filter(|(_, got)| got.is_none())
+        .map(|(w, _)| *w)
+        .collect();
+    let fresh = eval_windows(&ctx, &missing)?;
+    let mut fresh_it = fresh.into_iter();
+    for (slot, w) in slots.iter_mut().zip(top.iter()) {
+        if slot.is_none() {
+            let e = fresh_it.next().expect("one eval per missing window");
+            let (normalized, params) =
+                normalize_improved(&e.distances, w.weight, ctx.display_budget);
+            *slot = Some(PredicateWindow {
+                label: e.label,
+                signed: e.signed,
+                weight: w.weight,
+                raw: Arc::new(e.distances),
+                normalized: Arc::new(normalized),
+                norm_params: params,
+            });
+        }
+    }
+    let windows: Vec<PredicateWindow> =
+        slots.into_iter().map(|s| s.expect("filled above")).collect();
+    if let Some(cache) = &mut cache {
+        cache.store(
+            top.iter()
+                .map(|w| w.node.clone())
+                .zip(windows.iter().cloned())
+                .collect(),
+        );
+    }
+
+    // Combine at the root, then bring the result back onto [0, 255].
+    let weights: Vec<f64> = top.iter().map(|w| w.weight).collect();
+    let normed_children: Vec<&[Option<f64>]> =
+        windows.iter().map(|w| w.normalized.as_slice()).collect();
+    let combined_raw = match &cond.node {
+        ConditionNode::Or(_) => combine_or(&normed_children, &weights)?,
+        ConditionNode::And(_) => combine_and(&normed_children, &weights)?,
+        _ => normed_children[0].to_vec(),
+    };
+    let (combined, _) = normalize_combined(&combined_raw);
+
+    let relevance: Vec<Option<f64>> = combined.iter().map(|d| d.map(|x| NORM_MAX - x)).collect();
+    let num_exact = combined_raw
+        .iter()
+        .filter(|d| matches!(d, Some(x) if *x == 0.0))
+        .count();
+
+    // The dominant O(n log n) sort: rank items by combined distance.
+    let mut order: Vec<usize> = (0..n).filter(|&i| combined[i].is_some()).collect();
+    order.sort_by(|&a, &b| {
+        combined[a]
+            .partial_cmp(&combined[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let displayed = select_display(&combined, &order, policy, windows.len(), Some(&windows))?;
+
+    Ok(PipelineOutput {
+        n,
+        combined,
+        relevance,
+        order,
+        displayed,
+        num_exact,
+        windows,
+    })
+}
+
+/// Above this many items, independent predicate windows are evaluated on
+/// separate threads (crossbeam scoped threads). Distance passes are
+/// embarrassingly parallel across predicates; the threshold keeps small
+/// interactive queries free of spawn overhead.
+pub const PARALLEL_THRESHOLD: usize = 50_000;
+
+/// Evaluate the top-level windows, in parallel when the data is large
+/// enough and there is more than one window.
+fn eval_windows(ctx: &EvalContext<'_>, top: &[&Weighted]) -> Result<Vec<NodeEval>> {
+    if top.len() < 2 || ctx.table.len() < PARALLEL_THRESHOLD {
+        return top.iter().map(|w| ctx.eval_node(&w.node)).collect();
+    }
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = top
+            .iter()
+            .map(|w| s.spawn(move |_| ctx.eval_node(&w.node)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("window evaluation must not panic"))
+            .collect::<Result<Vec<_>>>()
+    })
+    .map_err(|_| Error::Internal("parallel window evaluation panicked".into()))?
+}
+
+/// Normalize a combined vector while *preserving* exact zeros (an exact
+/// answer must stay exactly 0 so `num_exact` and the yellow region are
+/// stable even when every item is an exact match).
+fn normalize_combined(raw: &[Option<f64>]) -> (Vec<Option<f64>>, NormParams) {
+    let any_nonzero = raw.iter().flatten().any(|&d| d != 0.0);
+    if !any_nonzero {
+        // all exact (or undefined): keep zeros
+        return (
+            raw.to_vec(),
+            NormParams {
+                dmin: 0.0,
+                dmax: 0.0,
+            },
+        );
+    }
+    normalize_naive(raw)
+}
+
+fn select_display(
+    combined: &[Option<f64>],
+    order: &[usize],
+    policy: &DisplayPolicy,
+    num_windows: usize,
+    windows: Option<&[PredicateWindow]>,
+) -> Result<Vec<usize>> {
+    if let DisplayPolicy::TwoSidedPercentage(p) = policy {
+        return select_two_sided(combined, order, *p, windows);
+    }
+    let n = combined.len();
+    let defined = order.len();
+    let k = match policy {
+        DisplayPolicy::FitScreen {
+            pixels,
+            pixels_per_item,
+        } => {
+            let p = display_fraction(*pixels, n, num_windows, *pixels_per_item);
+            ((p * n as f64).floor() as usize).min(defined)
+        }
+        DisplayPolicy::Percentage(p) => {
+            (((p / 100.0) * n as f64).round() as usize).min(defined)
+        }
+        DisplayPolicy::TwoSidedPercentage(_) => unreachable!("handled above"),
+        DisplayPolicy::GapHeuristic { rmin, rmax, z } => {
+            if defined == 0 {
+                0
+            } else {
+                let sorted: Vec<f64> = order.iter().map(|&i| combined[i].expect("ordered")).collect();
+                let rmax_eff = (*rmax).min(defined - 1);
+                let rmin_eff = (*rmin).min(rmax_eff);
+                gap_cutoff(&sorted, rmin_eff, rmax_eff, *z)? + 1
+            }
+        }
+    };
+    Ok(order[..k.min(defined)].to_vec())
+}
+
+/// Two-sided display selection (§5.1): choose items whose *signed* raw
+/// distance on the primary window lies between the
+/// `α₀·(1−p)`- and `(α₀·(1−p)+p)`-quantiles, where `α₀` is the fraction
+/// of negative distances. Exact answers (distance 0) always display.
+fn select_two_sided(
+    combined: &[Option<f64>],
+    order: &[usize],
+    p: f64,
+    windows: Option<&[PredicateWindow]>,
+) -> Result<Vec<usize>> {
+    let fallback = |combined: &[Option<f64>], order: &[usize]| {
+        let defined = order.len();
+        let k = (((p / 100.0) * combined.len() as f64).round() as usize).min(defined);
+        Ok(order[..k].to_vec())
+    };
+    let Some(win) = windows.and_then(|w| w.first()) else {
+        return fallback(combined, order);
+    };
+    if !win.signed {
+        return fallback(combined, order);
+    }
+    let signed: Vec<f64> = win.raw.iter().flatten().copied().collect();
+    if signed.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (lo_level, hi_level) = crate::quantile::two_sided_range(&signed, p / 100.0)?;
+    let lo = crate::quantile::quantile(&signed, lo_level)?;
+    let hi = crate::quantile::quantile(&signed, hi_level)?;
+    Ok(order
+        .iter()
+        .copied()
+        .filter(|&i| match win.raw[i] {
+            Some(d) => (d >= lo && d <= hi) || d == 0.0,
+            None => false,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visdb_query::ast::{AttrRef, CompareOp, Predicate};
+    use visdb_query::builder::QueryBuilder;
+    use visdb_storage::TableBuilder;
+    use visdb_types::{Column, DataType, Value};
+
+    fn db_with_ramp(n: usize) -> Database {
+        let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+        for i in 0..n {
+            b = b.row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        let mut db = Database::new("d");
+        db.add_table(b.build());
+        db
+    }
+
+    fn cond(op: CompareOp, v: f64) -> Weighted {
+        Weighted::unit(ConditionNode::Predicate(Predicate::compare(
+            AttrRef::new("x"),
+            op,
+            v,
+        )))
+    }
+
+    #[test]
+    fn exact_answers_rank_first() {
+        let db = db_with_ramp(100);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let c = cond(CompareOp::Ge, 90.0);
+        let out = run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::Percentage(50.0)).unwrap();
+        assert_eq!(out.n, 100);
+        assert_eq!(out.num_exact, 10); // x in 90..=99
+        // the first 10 in order are the exact answers
+        for &i in &out.order[..10] {
+            assert_eq!(out.combined[i], Some(0.0));
+            assert_eq!(out.relevance[i], Some(NORM_MAX));
+        }
+        // order is monotone in combined distance
+        for w in out.order.windows(2) {
+            assert!(out.combined[w[0]] <= out.combined[w[1]]);
+        }
+        assert_eq!(out.displayed.len(), 50);
+    }
+
+    #[test]
+    fn percentage_policy_counts() {
+        let db = db_with_ramp(200);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let c = cond(CompareOp::Ge, 100.0);
+        let out = run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::Percentage(10.0)).unwrap();
+        assert_eq!(out.displayed.len(), 20);
+        assert!(run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::Percentage(0.0)).is_err());
+        assert!(run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::Percentage(150.0)).is_err());
+    }
+
+    #[test]
+    fn fit_screen_policy_divides_budget_among_windows() {
+        let db = db_with_ramp(1000);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        // two predicates -> 3 windows total (overall + 2)
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, 500.0)
+            .cmp("x", CompareOp::Lt, 600.0)
+            .build();
+        let c = q.condition.unwrap();
+        let out = run_pipeline(
+            &db,
+            t,
+            &r,
+            Some(&c),
+            &DisplayPolicy::FitScreen {
+                pixels: 900,
+                pixels_per_item: 1,
+            },
+        )
+        .unwrap();
+        // p = 900 / (1000 * 3) = 0.3 -> 300 items
+        assert_eq!(out.displayed.len(), 300);
+        assert_eq!(out.windows.len(), 2);
+    }
+
+    #[test]
+    fn gap_policy_cuts_at_the_gap() {
+        // two clusters: 50 near answers, 50 far answers
+        let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+        for i in 0..50 {
+            b = b.row(vec![Value::Float(10.0 + i as f64 * 0.01)]).unwrap();
+        }
+        for i in 0..50 {
+            b = b.row(vec![Value::Float(1000.0 + i as f64)]).unwrap();
+        }
+        let mut db = Database::new("d");
+        db.add_table(b.build());
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let c = cond(CompareOp::Le, 10.0);
+        let out = run_pipeline(
+            &db,
+            t,
+            &r,
+            Some(&c),
+            &DisplayPolicy::GapHeuristic {
+                rmin: 10,
+                rmax: 90,
+                z: 5,
+            },
+        )
+        .unwrap();
+        // the cut should land near the cluster boundary (50)
+        assert!(
+            (45..=55).contains(&out.displayed.len()),
+            "displayed {} items",
+            out.displayed.len()
+        );
+    }
+
+    #[test]
+    fn no_condition_is_all_exact() {
+        let db = db_with_ramp(10);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let out = run_pipeline(&db, t, &r, None, &DisplayPolicy::Percentage(100.0)).unwrap();
+        assert_eq!(out.num_exact, 10);
+        assert_eq!(out.displayed.len(), 10);
+        assert!(out.windows.is_empty());
+    }
+
+    #[test]
+    fn windows_carry_signed_raw_distances() {
+        let db = db_with_ramp(10);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, 5.0)
+            .cmp("x", CompareOp::Lt, 7.0)
+            .build();
+        let c = q.condition.unwrap();
+        let out = run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::Percentage(100.0)).unwrap();
+        assert_eq!(out.windows.len(), 2);
+        let w0 = &out.windows[0];
+        assert!(w0.signed);
+        assert_eq!(w0.raw[0], Some(-5.0)); // x=0 misses `>= 5` by 5
+        assert_eq!(w0.raw[5], Some(0.0));
+        // normalized values live in [0, 255]
+        for v in w0.normalized.iter().flatten() {
+            assert!((0.0..=NORM_MAX).contains(v));
+        }
+        // distance-exact AND answers: x in 5..=7 (distance functions do
+        // not distinguish < from <=, see visdb_distance::numeric) -> 3
+        assert_eq!(out.num_exact, 3);
+    }
+
+    #[test]
+    fn two_sided_policy_straddles_zero() {
+        // target x = 500 on a 0..999 ramp: signed distances are negative
+        // below and positive above; a 20% two-sided display must keep
+        // items on BOTH sides of the target
+        let db = db_with_ramp(1000);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let c = cond(CompareOp::Eq, 500.0);
+        let out = run_pipeline(
+            &db,
+            t,
+            &r,
+            Some(&c),
+            &DisplayPolicy::TwoSidedPercentage(20.0),
+        )
+        .unwrap();
+        assert!(!out.displayed.is_empty());
+        let below = out.displayed.iter().filter(|&&i| i < 500).count();
+        let above = out.displayed.iter().filter(|&&i| i > 500).count();
+        assert!(below > 0 && above > 0, "below={below} above={above}");
+        // roughly balanced for a symmetric ramp
+        let ratio = below as f64 / above.max(1) as f64;
+        assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+        // ~20% of 1000 items
+        assert!((150..=260).contains(&out.displayed.len()), "{}", out.displayed.len());
+        // invalid percentages rejected
+        assert!(run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::TwoSidedPercentage(0.0)).is_err());
+    }
+
+    #[test]
+    fn two_sided_falls_back_for_unsigned_windows() {
+        // a string-distance window carries no signs -> one-sided rule
+        let mut b = TableBuilder::new("S", vec![Column::new("name", DataType::Str)]);
+        for i in 0..10 {
+            b = b.row(vec![Value::Str(format!("name{i}"))]).unwrap();
+        }
+        let mut db = Database::new("d");
+        db.add_table(b.build());
+        let t = db.table("S").unwrap();
+        let r = DistanceResolver::new();
+        let q = QueryBuilder::from_tables(["S"])
+            .cmp("name", CompareOp::Eq, "name0")
+            .build();
+        let c = q.condition.unwrap();
+        let out = run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::TwoSidedPercentage(50.0))
+            .unwrap();
+        assert_eq!(out.displayed.len(), 5);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        // above PARALLEL_THRESHOLD the windows are evaluated on threads;
+        // results must be identical to the small-data sequential path
+        let n = super::PARALLEL_THRESHOLD + 1_000;
+        let db = db_with_ramp(n);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, n as f64 * 0.9)
+            .cmp("x", CompareOp::Lt, n as f64 * 0.95)
+            .build();
+        let c = q.condition.unwrap();
+        let out = run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::Percentage(10.0)).unwrap();
+        // sequential reference: evaluate each child by hand
+        let ctx = crate::eval::EvalContext {
+            db: &db,
+            table: t,
+            resolver: &r,
+            display_budget: (n as f64 * 0.1).ceil() as usize,
+        };
+        if let ConditionNode::And(children) = &c.node {
+            for (win, child) in out.windows.iter().zip(children) {
+                let seq = ctx.eval_node(&child.node).unwrap();
+                assert_eq!(*win.raw, seq.distances);
+            }
+        } else {
+            panic!("expected AND root");
+        }
+        assert_eq!(out.windows.len(), 2);
+    }
+
+    #[test]
+    fn all_exact_stays_zero_after_normalization() {
+        let db = db_with_ramp(5);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let c = cond(CompareOp::Ge, 0.0); // everything fulfils
+        let out = run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::Percentage(100.0)).unwrap();
+        assert_eq!(out.num_exact, 5);
+        assert!(out.combined.iter().all(|d| *d == Some(0.0)));
+    }
+}

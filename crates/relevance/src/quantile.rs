@@ -1,0 +1,155 @@
+//! α-quantiles and the display-fraction rule of §5.1.
+//!
+//! "The exact way is to use a statistical parameter, namely the
+//! α-quantile. ... only data items with an absolute distance in the range
+//! [0, p-quantile] are chosen to be presented to the user where p equals
+//! r/(n·(#sp+1))."
+
+use visdb_types::{Error, Result};
+
+/// The empirical α-quantile of a slice (nearest-rank definition: the
+/// smallest value `ξ` with `F(ξ) ≥ α`). NaNs are ignored.
+///
+/// Runs in O(n) expected time via `select_nth_unstable` — no full sort is
+/// required just to threshold the display set.
+pub fn quantile(values: &[f64], alpha: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(Error::invalid_parameter(
+            "alpha",
+            format!("quantile level must be in [0,1], got {alpha}"),
+        ));
+    }
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return Err(Error::invalid_parameter("values", "no finite values"));
+    }
+    let n = v.len();
+    // nearest-rank: k = ceil(alpha * n), clamped to [1, n]
+    let k = ((alpha * n as f64).ceil() as usize).clamp(1, n);
+    let (_, kth, _) = v.select_nth_unstable_by(k - 1, |a, b| {
+        a.partial_cmp(b).expect("NaNs filtered")
+    });
+    Ok(*kth)
+}
+
+/// The display fraction `p = r / (n·(#sp+1))` (§5.1): `r` pixels shared
+/// between the overall-result window and one window per selection
+/// predicate. When several pixels represent one item, divide `r` first
+/// (`pixels_per_item`, §5.1: "the number of presentable data items needs
+/// to be divided by the corresponding factor (4 or 16)").
+pub fn display_fraction(r: usize, n: usize, num_predicates: usize, pixels_per_item: usize) -> f64 {
+    if n == 0 || pixels_per_item == 0 {
+        return 0.0;
+    }
+    let r_items = r / pixels_per_item;
+    let p = r_items as f64 / (n as f64 * (num_predicates + 1) as f64);
+    p.clamp(0.0, 1.0)
+}
+
+/// Two-sided display range for signed distances (§5.1): returns
+/// `(lo, hi)` quantile *levels* `[α₀·(1−p), α₀·(1−p)+p]` where `α₀` is the
+/// level at which the distances cross zero (the fraction of negative
+/// values). Items whose distance quantile-level lies inside the range are
+/// displayed, so the window straddles zero proportionally to the sign
+/// balance of the data.
+pub fn two_sided_range(values: &[f64], p: f64) -> Result<(f64, f64)> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(Error::invalid_parameter(
+            "p",
+            format!("display fraction must be in [0,1], got {p}"),
+        ));
+    }
+    let n = values.iter().filter(|x| !x.is_nan()).count();
+    if n == 0 {
+        return Err(Error::invalid_parameter("values", "no finite values"));
+    }
+    let neg = values.iter().filter(|x| !x.is_nan() && **x < 0.0).count();
+    let alpha0 = neg as f64 / n as f64;
+    let lo = alpha0 * (1.0 - p);
+    let hi = lo + p;
+    Ok((lo, hi.min(1.0)))
+}
+
+/// Select the indices of the `k` smallest values (by key), tolerating
+/// `None` keys which sort last. Deterministic: ties broken by index.
+/// O(n log n) — this *is* the sort the paper says dominates.
+pub fn smallest_k_indices(keys: &[Option<f64>], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by(|&a, &b| match (keys[a], keys[b]) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b)),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => a.cmp(&b),
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&v, 0.2).unwrap(), 1.0);
+        assert_eq!(quantile(&v, 0.21).unwrap(), 2.0);
+        assert_eq!(quantile(&v, 0.5).unwrap(), 3.0);
+        assert_eq!(quantile(&v, 1.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_inputs() {
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[f64::NAN], 0.5).is_err());
+    }
+
+    #[test]
+    fn quantile_ignores_nans() {
+        let v = [f64::NAN, 2.0, 1.0];
+        assert_eq!(quantile(&v, 1.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn display_fraction_formula() {
+        // r = 4000 pixels, n = 10000 items, 3 predicates, 1 px/item:
+        // p = 4000 / (10000 * 4) = 0.1
+        assert_eq!(display_fraction(4000, 10_000, 3, 1), 0.1);
+        // 4 pixels per item quarter the budget
+        assert_eq!(display_fraction(4000, 10_000, 3, 4), 0.025);
+        // degenerate inputs
+        assert_eq!(display_fraction(100, 0, 3, 1), 0.0);
+        // p clamps to 1 when the screen fits everything
+        assert_eq!(display_fraction(1_000_000, 10, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn two_sided_range_balances_signs() {
+        // 40% negative values -> alpha0 = 0.4; p = 0.5
+        let v = [-2.0, -1.0, 1.0, 2.0, 3.0];
+        let (lo, hi) = two_sided_range(&v, 0.5).unwrap();
+        assert!((lo - 0.2).abs() < 1e-12);
+        assert!((hi - 0.7).abs() < 1e-12);
+        // all positive -> starts at 0
+        let v = [1.0, 2.0];
+        let (lo, hi) = two_sided_range(&v, 0.5).unwrap();
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 0.5);
+    }
+
+    #[test]
+    fn smallest_k_indices_handles_nones() {
+        let keys = vec![Some(3.0), None, Some(1.0), Some(2.0)];
+        assert_eq!(smallest_k_indices(&keys, 2), vec![2, 3]);
+        assert_eq!(smallest_k_indices(&keys, 10), vec![2, 3, 0, 1]);
+        assert!(smallest_k_indices(&keys, 0).is_empty());
+    }
+
+    #[test]
+    fn smallest_k_ties_broken_by_index() {
+        let keys = vec![Some(1.0), Some(1.0), Some(1.0)];
+        assert_eq!(smallest_k_indices(&keys, 2), vec![0, 1]);
+    }
+}

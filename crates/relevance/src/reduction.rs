@@ -1,0 +1,223 @@
+//! The multi-peak gap heuristic of §5.1.
+//!
+//! "Depending on the distribution of values, in many cases it will be
+//! better to present less data items, especially if the density function
+//! of the distance values has multiple peaks. ... for each
+//! `xi ∈ {x_rmin, ..., x_rmax}` we calculate `sᵢ = Σ_{j=i−z}^{i+z}
+//! |dᵢ − dⱼ|`, with z being a heuristically determined data dependent
+//! constant ... we choose the data item with the highest sᵢ to be the
+//! last data item that is displayed."
+//!
+//! The sᵢ statistic is a local *spread* measure: it peaks where the sorted
+//! distance values jump (the gap between the near group and the far group
+//! in fig 2b). The paper notes the naive cost `z·(rmax−rmin)` "can be
+//! easily optimized to ... (z + rmax − rmin) by successively calculating
+//! the sᵢ" — [`gap_cutoff`] implements that incremental version and
+//! [`gap_cutoff_naive`] the direct definition (kept for testing).
+
+use visdb_types::{Error, Result};
+
+fn check_params(sorted: &[f64], rmin: usize, rmax: usize, z: usize) -> Result<()> {
+    if sorted.is_empty() {
+        return Err(Error::invalid_parameter("sorted", "empty distance vector"));
+    }
+    if rmin > rmax || rmax >= sorted.len() {
+        return Err(Error::invalid_parameter(
+            "rmin/rmax",
+            format!(
+                "need rmin <= rmax < n, got rmin={rmin} rmax={rmax} n={}",
+                sorted.len()
+            ),
+        ));
+    }
+    if z < 2 {
+        return Err(Error::invalid_parameter(
+            "z",
+            "the paper requires 2 < z << rmax - rmin; z >= 2 enforced",
+        ));
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "distances must be sorted ascending"
+    );
+    Ok(())
+}
+
+/// Window sum `sᵢ = Σ_{j=i−z}^{i+z} |dᵢ − dⱼ|` with the window clipped to
+/// the array bounds.
+fn s_at(sorted: &[f64], i: usize, z: usize) -> f64 {
+    let lo = i.saturating_sub(z);
+    let hi = (i + z).min(sorted.len() - 1);
+    let di = sorted[i];
+    sorted[lo..=hi].iter().map(|dj| (di - dj).abs()).sum()
+}
+
+/// Both implementations cut at the *start* of the near-maximal plateau:
+/// around a gap, every index whose window straddles the jump has almost
+/// the same spread (the far side slightly more, since far groups tend to
+/// be wider). Taking the first index within `PLATEAU` of the maximum puts
+/// the cut on the *near* side of the gap, so the display — and therefore
+/// the normalization range — ends before the far group begins.
+const PLATEAU: f64 = 0.95;
+
+fn plateau_start(s_values: &[f64], rmin: usize) -> usize {
+    let max = s_values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let threshold = max * PLATEAU;
+    for (k, &s) in s_values.iter().enumerate() {
+        // handles max <= 0 too (all-equal distances): first index wins
+        if s >= threshold {
+            return rmin + k;
+        }
+    }
+    rmin
+}
+
+/// Direct O(z·(rmax−rmin)) evaluation of the cutoff. Returns the index
+/// (into `sorted`) of the last item to display.
+pub fn gap_cutoff_naive(sorted: &[f64], rmin: usize, rmax: usize, z: usize) -> Result<usize> {
+    check_params(sorted, rmin, rmax, z)?;
+    let s_values: Vec<f64> = (rmin..=rmax).map(|i| s_at(sorted, i, z)).collect();
+    Ok(plateau_start(&s_values, rmin))
+}
+
+/// Incremental O(z + rmax − rmin) evaluation (§5.1's optimization).
+///
+/// Because the values are sorted, the window sum splits into a left part
+/// `Σ_{j<i} (dᵢ−dⱼ)` and right part `Σ_{j>i} (dⱼ−dᵢ)`; moving `i → i+1`
+/// updates both parts with O(1) work given running window sums.
+pub fn gap_cutoff(sorted: &[f64], rmin: usize, rmax: usize, z: usize) -> Result<usize> {
+    check_params(sorted, rmin, rmax, z)?;
+    let n = sorted.len();
+    let win_lo = |i: usize| i.saturating_sub(z);
+    let win_hi = |i: usize| (i + z).min(n - 1);
+
+    // running sums of the window halves for the current i
+    let mut i = rmin;
+    let mut left_sum: f64 = sorted[win_lo(i)..i].iter().sum(); // Σ d_j, j in [lo, i)
+    let mut left_cnt = i - win_lo(i);
+    let mut right_sum: f64 = sorted[i + 1..=win_hi(i)].iter().sum(); // Σ d_j, j in (i, hi]
+    let mut right_cnt = win_hi(i) - i;
+
+    let s_of = |di: f64, ls: f64, lc: usize, rs: f64, rc: usize| {
+        (di * lc as f64 - ls) + (rs - di * rc as f64)
+    };
+
+    let mut s_values = Vec::with_capacity(rmax - rmin + 1);
+    s_values.push(s_of(sorted[i], left_sum, left_cnt, right_sum, right_cnt));
+
+    while i < rmax {
+        // advance i -> i+1
+        let new_i = i + 1;
+        // element i moves from "center" into the left half
+        left_sum += sorted[i];
+        left_cnt += 1;
+        // element new_i leaves the right half (it becomes the center)
+        right_sum -= sorted[new_i];
+        right_cnt -= 1;
+        // left window lower bound may advance
+        let old_lo = win_lo(i);
+        let new_lo = win_lo(new_i);
+        if new_lo > old_lo {
+            left_sum -= sorted[old_lo];
+            left_cnt -= 1;
+        }
+        // right window upper bound may advance
+        let old_hi = win_hi(i);
+        let new_hi = win_hi(new_i);
+        if new_hi > old_hi {
+            right_sum += sorted[new_hi];
+            right_cnt += 1;
+        }
+        i = new_i;
+        s_values.push(s_of(sorted[i], left_sum, left_cnt, right_sum, right_cnt));
+    }
+    Ok(plateau_start(&s_values, rmin))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Fig 2b: two well-separated groups; the cutoff should land at the
+    /// edge of the gap so only the lower group is displayed.
+    #[test]
+    fn cutoff_finds_the_gap() {
+        let mut d: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect(); // 0..5
+        d.extend((0..50).map(|i| 100.0 + i as f64 * 0.1)); // 100..105
+        let cut = gap_cutoff(&d, 10, 90, 5).unwrap();
+        // s_i peaks for items adjacent to the jump (indices 45..54)
+        assert!((45..=54).contains(&cut), "cut={cut}");
+    }
+
+    /// Fig 2a: a unimodal smooth distribution has no dominant gap; the
+    /// heuristic still returns something inside [rmin, rmax].
+    #[test]
+    fn cutoff_stays_in_bounds_for_smooth_data() {
+        let d: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).powi(2)).collect();
+        let cut = gap_cutoff(&d, 20, 80, 4).unwrap();
+        assert!((20..=80).contains(&cut));
+    }
+
+    #[test]
+    fn incremental_matches_naive() {
+        let d: Vec<f64> = (0..200)
+            .map(|i| if i < 120 { i as f64 } else { 1000.0 + i as f64 * 2.0 })
+            .collect();
+        for z in [2, 3, 7, 20] {
+            assert_eq!(
+                gap_cutoff(&d, 5, 190, z).unwrap(),
+                gap_cutoff_naive(&d, 5, 190, z).unwrap(),
+                "z={z}"
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let d = vec![1.0, 2.0, 3.0];
+        assert!(gap_cutoff(&d, 0, 5, 2).is_err()); // rmax out of range
+        assert!(gap_cutoff(&d, 2, 1, 2).is_err()); // rmin > rmax
+        assert!(gap_cutoff(&d, 0, 2, 1).is_err()); // z too small
+        assert!(gap_cutoff(&[], 0, 0, 2).is_err());
+    }
+
+    #[test]
+    fn constant_distances_pick_rmin() {
+        let d = vec![5.0; 50];
+        // all s_i are 0; the first index wins
+        assert_eq!(gap_cutoff(&d, 10, 40, 3).unwrap(), 10);
+    }
+
+    proptest! {
+        /// The O(z+r) incremental algorithm agrees with the naive
+        /// definition on arbitrary sorted inputs.
+        #[test]
+        fn prop_incremental_equals_naive(
+            mut values in prop::collection::vec(0.0f64..1e6, 10..200),
+            z in 2usize..20,
+        ) {
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = values.len();
+            let rmin = n / 10;
+            let rmax = n - 1 - n / 10;
+            prop_assume!(rmin <= rmax);
+            let a = gap_cutoff(&values, rmin, rmax, z).unwrap();
+            let b = gap_cutoff_naive(&values, rmin, rmax, z).unwrap();
+            // both must land on the near-maximal plateau; FP noise in the
+            // incremental sums may shift the plateau entry by an index
+            let max_s = (rmin..=rmax)
+                .map(|i| super::s_at(&values, i, z))
+                .fold(f64::NEG_INFINITY, f64::max);
+            for (name, idx) in [("incremental", a), ("naive", b)] {
+                let s = super::s_at(&values, idx, z);
+                prop_assert!(
+                    s >= super::PLATEAU * max_s - 1e-6 * max_s.abs().max(1.0),
+                    "{name} cut {idx} has s={s}, max={max_s}"
+                );
+            }
+            prop_assert!(a.abs_diff(b) <= 1,
+                "plateau starts disagree: incremental {a}, naive {b}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! ASCII preview of a framebuffer for terminal-only environments.
+//!
+//! Maps pixel luma to a density ramp so examples can show their output
+//! inline. Downsamples by simple box averaging; each output character
+//! covers `scale × (2·scale)` pixels (characters are ~twice as tall as
+//! wide).
+
+use crate::framebuffer::Framebuffer;
+
+/// Dark-to-bright character ramp.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render the framebuffer as ASCII art, at most `max_cols` characters
+/// wide.
+pub fn to_ascii(fb: &Framebuffer, max_cols: usize) -> String {
+    if fb.width() == 0 || fb.height() == 0 || max_cols == 0 {
+        return String::new();
+    }
+    let scale = fb.width().div_ceil(max_cols).max(1);
+    let cols = fb.width().div_ceil(scale);
+    let rows = fb.height().div_ceil(scale * 2);
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in 0..rows {
+        for col in 0..cols {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for dy in 0..scale * 2 {
+                for dx in 0..scale {
+                    if let Some(p) = fb.get(col * scale + dx, row * scale * 2 + dy) {
+                        sum += p.luma();
+                        n += 1;
+                    }
+                }
+            }
+            let luma = if n == 0 { 0.0 } else { sum / n as f64 };
+            let idx = ((luma / 255.0) * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visdb_color::Rgb;
+
+    #[test]
+    fn bright_maps_to_dense_chars() {
+        let fb = Framebuffer::new(4, 4, Rgb::new(255, 255, 255));
+        let s = to_ascii(&fb, 10);
+        assert!(s.contains('@'));
+        assert!(!s.contains(' ') || s.trim_end().contains('@'));
+    }
+
+    #[test]
+    fn dark_maps_to_sparse_chars() {
+        let fb = Framebuffer::new(4, 4, Rgb::new(0, 0, 0));
+        let s = to_ascii(&fb, 10);
+        assert!(s.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    fn width_is_bounded() {
+        let fb = Framebuffer::new(200, 20, Rgb::new(128, 128, 128));
+        let s = to_ascii(&fb, 40);
+        for line in s.lines() {
+            assert!(line.len() <= 40);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let fb = Framebuffer::new(0, 0, Rgb::default());
+        assert_eq!(to_ascii(&fb, 10), "");
+    }
+}

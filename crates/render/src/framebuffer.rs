@@ -1,0 +1,148 @@
+//! A plain RGB framebuffer.
+
+use visdb_color::Rgb;
+
+/// A `width × height` RGB pixel buffer, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Framebuffer {
+    width: usize,
+    height: usize,
+    pixels: Vec<Rgb>,
+}
+
+impl Framebuffer {
+    /// New framebuffer filled with a background color.
+    pub fn new(width: usize, height: usize, fill: Rgb) -> Self {
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![fill; width * height],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`; out of range returns `None`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Option<Rgb> {
+        if x < self.width && y < self.height {
+            Some(self.pixels[y * self.width + x])
+        } else {
+            None
+        }
+    }
+
+    /// Set a pixel (silently ignores out-of-range writes — clipping).
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, c: Rgb) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = c;
+        }
+    }
+
+    /// Fill an axis-aligned rectangle (clipped).
+    pub fn fill_rect(&mut self, x: usize, y: usize, w: usize, h: usize, c: Rgb) {
+        for yy in y..(y + h).min(self.height) {
+            for xx in x..(x + w).min(self.width) {
+                self.pixels[yy * self.width + xx] = c;
+            }
+        }
+    }
+
+    /// Draw a 1-pixel rectangle border (clipped).
+    pub fn stroke_rect(&mut self, x: usize, y: usize, w: usize, h: usize, c: Rgb) {
+        if w == 0 || h == 0 {
+            return;
+        }
+        for xx in x..(x + w).min(self.width) {
+            self.set(xx, y, c);
+            self.set(xx, y + h - 1, c);
+        }
+        for yy in y..(y + h).min(self.height) {
+            self.set(x, yy, c);
+            self.set(x + w - 1, yy, c);
+        }
+    }
+
+    /// Copy another framebuffer into this one at `(x, y)` (clipped).
+    pub fn blit(&mut self, src: &Framebuffer, x: usize, y: usize) {
+        for sy in 0..src.height {
+            let dy = y + sy;
+            if dy >= self.height {
+                break;
+            }
+            for sx in 0..src.width {
+                let dx = x + sx;
+                if dx >= self.width {
+                    break;
+                }
+                self.pixels[dy * self.width + dx] = src.pixels[sy * src.width + sx];
+            }
+        }
+    }
+
+    /// Raw pixels, row-major.
+    pub fn pixels(&self) -> &[Rgb] {
+        &self.pixels
+    }
+
+    /// Count pixels equal to a color (test/diagnostic helper).
+    pub fn count_color(&self, c: Rgb) -> usize {
+        self.pixels.iter().filter(|p| **p == c).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RED: Rgb = Rgb::new(255, 0, 0);
+    const BLACK: Rgb = Rgb::new(0, 0, 0);
+
+    #[test]
+    fn new_is_filled() {
+        let fb = Framebuffer::new(4, 3, RED);
+        assert_eq!(fb.count_color(RED), 12);
+        assert_eq!(fb.get(3, 2), Some(RED));
+        assert_eq!(fb.get(4, 0), None);
+    }
+
+    #[test]
+    fn set_and_clip() {
+        let mut fb = Framebuffer::new(2, 2, BLACK);
+        fb.set(1, 1, RED);
+        fb.set(5, 5, RED); // clipped, no panic
+        assert_eq!(fb.count_color(RED), 1);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut fb = Framebuffer::new(4, 4, BLACK);
+        fb.fill_rect(2, 2, 10, 10, RED);
+        assert_eq!(fb.count_color(RED), 4);
+    }
+
+    #[test]
+    fn stroke_rect_draws_border_only() {
+        let mut fb = Framebuffer::new(5, 5, BLACK);
+        fb.stroke_rect(0, 0, 5, 5, RED);
+        assert_eq!(fb.count_color(RED), 16);
+        assert_eq!(fb.get(2, 2), Some(BLACK));
+    }
+
+    #[test]
+    fn blit_copies_with_clipping() {
+        let mut dst = Framebuffer::new(4, 4, BLACK);
+        let src = Framebuffer::new(3, 3, RED);
+        dst.blit(&src, 2, 2);
+        assert_eq!(dst.count_color(RED), 4); // 2x2 visible
+    }
+}

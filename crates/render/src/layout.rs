@@ -1,0 +1,132 @@
+//! Multi-window layout: the fig 4/5 "Visualization" panel.
+//!
+//! "In the 'Visualization' part, the user receives a visual
+//! representation for the overall result and for each selection
+//! predicate" (§4.3) — windows of equal size tiled in a grid with thin
+//! borders, the overall result in the upper left.
+
+use visdb_arrange::{ItemGrid, PixelsPerItem};
+use visdb_color::{Rgb, BACKGROUND, HIGHLIGHT};
+
+use crate::framebuffer::Framebuffer;
+
+/// Border color between windows.
+const BORDER: Rgb = Rgb::new(90, 90, 90);
+
+/// One window to compose: an item grid plus a per-item color lookup.
+pub struct WindowSpec<'a> {
+    /// The item placement.
+    pub grid: &'a ItemGrid,
+    /// Color of each data item (indexed by item id); `None` renders as
+    /// background (undefined distance).
+    pub colors: &'a dyn Fn(u32) -> Option<Rgb>,
+    /// Items to highlight (drawn in [`HIGHLIGHT`]).
+    pub highlighted: &'a [u32],
+}
+
+/// Render one item window to pixels, scaling each item cell to the
+/// `pixels_per_item` block size.
+pub fn render_item_window(spec: &WindowSpec<'_>, ppi: PixelsPerItem) -> Framebuffer {
+    let s = ppi.side();
+    let mut fb = Framebuffer::new(spec.grid.width() * s, spec.grid.height() * s, BACKGROUND);
+    for (x, y, item) in spec.grid.iter_items() {
+        let color = if spec.highlighted.contains(&item) {
+            HIGHLIGHT
+        } else {
+            (spec.colors)(item).unwrap_or(BACKGROUND)
+        };
+        fb.fill_rect(x * s, y * s, s, s, color);
+    }
+    fb
+}
+
+/// Tile frames into a grid with `cols` columns, 1-pixel borders and
+/// `margin` pixels of background between windows. Frames may have
+/// different sizes; each grid cell is sized to the largest frame.
+pub fn compose_grid(frames: &[Framebuffer], cols: usize, margin: usize) -> Framebuffer {
+    if frames.is_empty() || cols == 0 {
+        return Framebuffer::new(0, 0, BACKGROUND);
+    }
+    let cell_w = frames.iter().map(Framebuffer::width).max().unwrap_or(0) + 2;
+    let cell_h = frames.iter().map(Framebuffer::height).max().unwrap_or(0) + 2;
+    let rows = frames.len().div_ceil(cols);
+    let total_w = cols * cell_w + (cols + 1) * margin;
+    let total_h = rows * cell_h + (rows + 1) * margin;
+    let mut fb = Framebuffer::new(total_w, total_h, BACKGROUND);
+    for (i, frame) in frames.iter().enumerate() {
+        let (cx, cy) = (i % cols, i / cols);
+        let x = margin + cx * (cell_w + margin);
+        let y = margin + cy * (cell_h + margin);
+        fb.stroke_rect(x, y, frame.width() + 2, frame.height() + 2, BORDER);
+        fb.blit(frame, x + 1, y + 1);
+    }
+    fb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visdb_arrange::arrange_overall;
+
+    #[test]
+    fn window_scales_with_pixels_per_item() {
+        let grid = arrange_overall(&[0, 1, 2, 3], 2, 2);
+        let yellow = Rgb::new(255, 230, 30);
+        let colors = |_item: u32| Some(yellow);
+        let spec = WindowSpec {
+            grid: &grid,
+            colors: &colors,
+            highlighted: &[],
+        };
+        let fb1 = render_item_window(&spec, PixelsPerItem::One);
+        assert_eq!((fb1.width(), fb1.height()), (2, 2));
+        let fb4 = render_item_window(&spec, PixelsPerItem::Four);
+        assert_eq!((fb4.width(), fb4.height()), (4, 4));
+        assert_eq!(fb4.count_color(yellow), 16);
+    }
+
+    #[test]
+    fn highlight_wins_over_item_color() {
+        let grid = arrange_overall(&[7], 1, 1);
+        let colors = |_item: u32| Some(Rgb::new(1, 2, 3));
+        let spec = WindowSpec {
+            grid: &grid,
+            colors: &colors,
+            highlighted: &[7],
+        };
+        let fb = render_item_window(&spec, PixelsPerItem::One);
+        assert_eq!(fb.get(0, 0), Some(HIGHLIGHT));
+    }
+
+    #[test]
+    fn undefined_items_render_as_background() {
+        let grid = arrange_overall(&[7], 1, 1);
+        let colors = |_item: u32| None;
+        let spec = WindowSpec {
+            grid: &grid,
+            colors: &colors,
+            highlighted: &[],
+        };
+        let fb = render_item_window(&spec, PixelsPerItem::One);
+        assert_eq!(fb.get(0, 0), Some(BACKGROUND));
+    }
+
+    #[test]
+    fn compose_grid_tiles_with_borders() {
+        let a = Framebuffer::new(4, 4, Rgb::new(255, 0, 0));
+        let b = Framebuffer::new(4, 4, Rgb::new(0, 255, 0));
+        let fb = compose_grid(&[a, b], 2, 3);
+        // width: 2 cells of 6 (4+2 border) + 3 margins of 3 = 21
+        assert_eq!(fb.width(), 2 * 6 + 3 * 3);
+        assert_eq!(fb.height(), 6 + 2 * 3);
+        assert_eq!(fb.count_color(Rgb::new(255, 0, 0)), 16);
+        assert_eq!(fb.count_color(Rgb::new(0, 255, 0)), 16);
+        assert!(fb.count_color(BORDER) > 0);
+    }
+
+    #[test]
+    fn compose_empty_is_empty() {
+        let fb = compose_grid(&[], 2, 1);
+        assert_eq!(fb.width(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # visdb-render
+//!
+//! Headless rendering of VisDB visualizations.
+//!
+//! The paper's prototype drew on a 1024×1280 19″ display; this crate is
+//! the display substitute: an RGB [`framebuffer::Framebuffer`], P6/P3 PPM
+//! and PGM writers ([`ppm`]) so every figure can be regenerated as an
+//! image file, a multi-window [`layout`] compositor reproducing the
+//! fig 4/5 "Visualization" panel, slider color-spectrum strips
+//! ([`legend`]) and an ASCII terminal preview ([`ascii`]).
+
+pub mod ascii;
+pub mod framebuffer;
+pub mod layout;
+pub mod legend;
+pub mod ppm;
+
+pub use framebuffer::Framebuffer;
+pub use layout::{compose_grid, render_item_window, WindowSpec};
+pub use legend::render_spectrum;
+pub use ppm::{write_pgm, write_ppm, write_ppm_ascii};

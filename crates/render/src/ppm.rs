@@ -1,0 +1,130 @@
+//! PPM/PGM image writers (and a P6 reader for round-trip tests).
+//!
+//! Hand-rolled because the figures only need the simplest portable
+//! formats; no external image crates required.
+
+use std::io::{BufRead, Write};
+
+use visdb_color::Rgb;
+use visdb_types::{Error, Result};
+
+use crate::framebuffer::Framebuffer;
+
+/// Write binary PPM (P6).
+pub fn write_ppm<W: Write>(fb: &Framebuffer, mut w: W) -> Result<()> {
+    writeln!(w, "P6\n{} {}\n255", fb.width(), fb.height())?;
+    let mut buf = Vec::with_capacity(fb.pixels().len() * 3);
+    for p in fb.pixels() {
+        buf.extend_from_slice(&[p.r, p.g, p.b]);
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Write ASCII PPM (P3) — human-inspectable, used in docs/tests.
+pub fn write_ppm_ascii<W: Write>(fb: &Framebuffer, mut w: W) -> Result<()> {
+    writeln!(w, "P3\n{} {}\n255", fb.width(), fb.height())?;
+    for row in 0..fb.height() {
+        let mut line = String::new();
+        for col in 0..fb.width() {
+            let p = fb.get(col, row).expect("in range");
+            line.push_str(&format!("{} {} {} ", p.r, p.g, p.b));
+        }
+        writeln!(w, "{}", line.trim_end())?;
+    }
+    Ok(())
+}
+
+/// Write binary PGM (P5) using Rec. 601 luma — the gray-scale baseline
+/// export.
+pub fn write_pgm<W: Write>(fb: &Framebuffer, mut w: W) -> Result<()> {
+    writeln!(w, "P5\n{} {}\n255", fb.width(), fb.height())?;
+    let buf: Vec<u8> = fb
+        .pixels()
+        .iter()
+        .map(|p| p.luma().round().clamp(0.0, 255.0) as u8)
+        .collect();
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Read a binary PPM (P6) back into a framebuffer (test helper; minimal:
+/// no comment support).
+pub fn read_ppm<R: BufRead>(mut r: R) -> Result<Framebuffer> {
+    let mut header = String::new();
+    // magic
+    r.read_line(&mut header)?;
+    if header.trim() != "P6" {
+        return Err(Error::parse(format!("expected P6, got '{}'", header.trim())));
+    }
+    let mut dims = String::new();
+    r.read_line(&mut dims)?;
+    let mut it = dims.split_whitespace();
+    let w: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::parse("bad width"))?;
+    let h: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::parse("bad height"))?;
+    let mut maxval = String::new();
+    r.read_line(&mut maxval)?;
+    if maxval.trim() != "255" {
+        return Err(Error::parse("only maxval 255 supported"));
+    }
+    let mut buf = vec![0u8; w * h * 3];
+    r.read_exact(&mut buf)?;
+    let mut fb = Framebuffer::new(w, h, Rgb::default());
+    for (i, px) in buf.chunks_exact(3).enumerate() {
+        fb.set(i % w, i / w, Rgb::new(px[0], px[1], px[2]));
+    }
+    Ok(fb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Framebuffer {
+        let mut fb = Framebuffer::new(3, 2, Rgb::new(10, 20, 30));
+        fb.set(2, 1, Rgb::new(200, 100, 50));
+        fb
+    }
+
+    #[test]
+    fn p6_round_trip() {
+        let fb = fixture();
+        let mut out = Vec::new();
+        write_ppm(&fb, &mut out).unwrap();
+        let back = read_ppm(out.as_slice()).unwrap();
+        assert_eq!(back, fb);
+    }
+
+    #[test]
+    fn p3_contains_expected_values() {
+        let fb = fixture();
+        let mut out = Vec::new();
+        write_ppm_ascii(&fb, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("P3\n3 2\n255\n"));
+        assert!(s.contains("200 100 50"));
+    }
+
+    #[test]
+    fn pgm_is_grayscale_sized() {
+        let fb = fixture();
+        let mut out = Vec::new();
+        write_pgm(&fb, &mut out).unwrap();
+        // header + 6 bytes of payload
+        let payload = &out[out.len() - 6..];
+        assert_eq!(payload.len(), 6);
+        assert!(String::from_utf8_lossy(&out[..3]).starts_with("P5"));
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(read_ppm("P3\n1 1\n255\n0 0 0\n".as_bytes()).is_err());
+        assert!(read_ppm("P6\nxx yy\n255\n".as_bytes()).is_err());
+    }
+}

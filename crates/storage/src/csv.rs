@@ -1,0 +1,167 @@
+//! Minimal CSV import/export.
+//!
+//! Good enough for the synthetic workloads and examples (no quoting of
+//! embedded separators is needed there); strings containing the separator
+//! are rejected at export time rather than silently corrupted.
+
+use std::io::{BufRead, Write};
+
+use visdb_types::{DataType, Error, Location, Result, Schema, Value};
+
+use crate::table::Table;
+
+/// Parse a single CSV cell according to the target type. Empty cells are
+/// NULL. Locations are encoded as `lat;lon`.
+pub fn parse_cell(cell: &str, dt: DataType) -> Result<Value> {
+    let cell = cell.trim();
+    if cell.is_empty() {
+        return Ok(Value::Null);
+    }
+    let bad = |m: &str| Error::parse(format!("cannot parse '{cell}' as {dt}: {m}"));
+    match dt {
+        DataType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| bad(&e.to_string())),
+        DataType::Float | DataType::Unknown => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| bad(&e.to_string())),
+        DataType::Bool => match cell {
+            "true" | "1" | "t" => Ok(Value::Bool(true)),
+            "false" | "0" | "f" => Ok(Value::Bool(false)),
+            _ => Err(bad("expected true/false")),
+        },
+        DataType::Str => Ok(Value::Str(cell.to_string())),
+        DataType::Timestamp => cell
+            .parse::<i64>()
+            .map(Value::Timestamp)
+            .map_err(|e| bad(&e.to_string())),
+        DataType::Location => {
+            let (lat, lon) = cell
+                .split_once(';')
+                .ok_or_else(|| bad("expected 'lat;lon'"))?;
+            let lat = lat.trim().parse::<f64>().map_err(|e| bad(&e.to_string()))?;
+            let lon = lon.trim().parse::<f64>().map_err(|e| bad(&e.to_string()))?;
+            Ok(Value::Location(Location::new(lat, lon)))
+        }
+    }
+}
+
+/// Format a value as a CSV cell (inverse of [`parse_cell`]).
+pub fn format_cell(v: &Value) -> Result<String> {
+    Ok(match v {
+        Value::Null => String::new(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f}"),
+        Value::Str(s) => {
+            if s.contains(',') || s.contains('\n') {
+                return Err(Error::parse(format!(
+                    "string '{s}' contains a separator; quoting is unsupported"
+                )));
+            }
+            s.clone()
+        }
+        Value::Timestamp(t) => t.to_string(),
+        Value::Location(l) => format!("{};{}", l.lat, l.lon),
+    })
+}
+
+/// Read a headerless CSV body into a table with the given schema.
+pub fn read_csv<R: BufRead>(name: &str, schema: Schema, reader: R) -> Result<Table> {
+    let mut table = Table::new(name, schema);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != table.schema().len() {
+            return Err(Error::Parse {
+                position: Some(lineno + 1),
+                message: format!(
+                    "expected {} cells, found {}",
+                    table.schema().len(),
+                    cells.len()
+                ),
+            });
+        }
+        let row: Result<Vec<Value>> = cells
+            .iter()
+            .zip(table.schema().columns().iter().map(|c| c.data_type))
+            .map(|(cell, dt)| parse_cell(cell, dt))
+            .collect();
+        table.push_row(row?)?;
+    }
+    Ok(table)
+}
+
+/// Write a table as headerless CSV.
+pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> Result<()> {
+    for i in 0..table.len() {
+        let row = table.row(i)?;
+        let cells: Result<Vec<String>> = row.iter().map(format_cell).collect();
+        writeln!(writer, "{}", cells?.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visdb_types::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("t", DataType::Timestamp),
+            Column::new("temp", DataType::Float),
+            Column::new("loc", DataType::Location),
+            Column::new("tag", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let csv = "0,15.5,48.1;11.6,munich\n3600,,48.2;11.7,berlin\n";
+        let t = read_csv("W", schema(), csv.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(1).unwrap()[1], Value::Null);
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), csv);
+    }
+
+    #[test]
+    fn bad_cell_reports_line() {
+        let csv = "0,ok?,48.1;11.6,x\n";
+        let err = read_csv("W", schema(), csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("ok?"));
+    }
+
+    #[test]
+    fn wrong_arity_reports_line_number() {
+        let csv = "0,1.0\n";
+        let err = read_csv("W", schema(), csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("at 1"));
+    }
+
+    #[test]
+    fn separator_in_string_rejected_on_export() {
+        assert!(format_cell(&Value::from("a,b")).is_err());
+    }
+
+    #[test]
+    fn bool_cells() {
+        assert_eq!(parse_cell("true", DataType::Bool).unwrap(), Value::Bool(true));
+        assert_eq!(parse_cell("0", DataType::Bool).unwrap(), Value::Bool(false));
+        assert!(parse_cell("yep", DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let csv = "\n0,1.0,1;2,x\n\n";
+        let t = read_csv("W", schema(), csv.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Column statistics for the slider UI model.
+//!
+//! The query modification panel (fig 4/5, §4.3) shows for every attribute
+//! the database-wide `min:` and `max:`, and the slider's color spectrum is
+//! a histogram-like rendering of the distance distribution. This module
+//! computes those per-column summaries in one O(n) pass.
+
+use crate::column::ColumnData;
+
+/// Summary statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Rows scanned.
+    pub count: usize,
+    /// NULL rows.
+    pub nulls: usize,
+    /// Minimum numeric value (None for non-numeric or all-NULL columns).
+    pub min: Option<f64>,
+    /// Maximum numeric value.
+    pub max: Option<f64>,
+    /// Arithmetic mean of non-NULL numeric values.
+    pub mean: Option<f64>,
+    /// Population standard deviation of non-NULL numeric values.
+    pub std_dev: Option<f64>,
+    /// Equi-width histogram over [min, max] (empty for non-numeric).
+    pub histogram: Vec<usize>,
+}
+
+/// Number of histogram buckets: enough resolution for slider spectra while
+/// staying cheap to render.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+impl ColumnStats {
+    /// One-pass (plus one histogram pass) computation.
+    pub fn compute(col: &ColumnData) -> ColumnStats {
+        let count = col.len();
+        let nulls = col.null_count();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut n = 0usize;
+        for i in 0..count {
+            if let Some(x) = col.get_f64(i) {
+                if x.is_nan() {
+                    continue;
+                }
+                min = min.min(x);
+                max = max.max(x);
+                sum += x;
+                sum_sq += x * x;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return ColumnStats {
+                count,
+                nulls,
+                min: None,
+                max: None,
+                mean: None,
+                std_dev: None,
+                histogram: Vec::new(),
+            };
+        }
+        let mean = sum / n as f64;
+        let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+        let mut histogram = vec![0usize; HISTOGRAM_BUCKETS];
+        let width = (max - min).max(f64::MIN_POSITIVE);
+        for i in 0..count {
+            if let Some(x) = col.get_f64(i) {
+                if x.is_nan() {
+                    continue;
+                }
+                let b = (((x - min) / width) * HISTOGRAM_BUCKETS as f64) as usize;
+                histogram[b.min(HISTOGRAM_BUCKETS - 1)] += 1;
+            }
+        }
+        ColumnStats {
+            count,
+            nulls,
+            min: Some(min),
+            max: Some(max),
+            mean: Some(mean),
+            std_dev: Some(var.sqrt()),
+            histogram,
+        }
+    }
+
+    /// Value range (max - min), 0 for degenerate columns.
+    pub fn range(&self) -> f64 {
+        match (self.min, self.max) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visdb_types::{DataType, Value};
+
+    fn float_col(values: &[f64]) -> ColumnData {
+        let mut c = ColumnData::new(DataType::Float);
+        for &v in values {
+            c.push(Value::Float(v)).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn basic_moments() {
+        let s = ColumnStats::compute(&float_col(&[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(4.0));
+        assert_eq!(s.mean, Some(2.5));
+        assert!((s.std_dev.unwrap() - 1.118033988749895).abs() < 1e-12);
+        assert_eq!(s.histogram.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn nulls_are_excluded() {
+        let mut c = float_col(&[10.0]);
+        c.push(Value::Null).unwrap();
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.mean, Some(10.0));
+    }
+
+    #[test]
+    fn non_numeric_columns_have_no_moments() {
+        let mut c = ColumnData::new(DataType::Str);
+        c.push(Value::from("a")).unwrap();
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.min, None);
+        assert!(s.histogram.is_empty());
+        assert_eq!(s.range(), 0.0);
+    }
+
+    #[test]
+    fn nan_values_are_skipped() {
+        let s = ColumnStats::compute(&float_col(&[1.0, f64::NAN, 3.0]));
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(3.0));
+        assert_eq!(s.mean, Some(2.0));
+    }
+
+    #[test]
+    fn histogram_extremes_land_in_first_and_last_bucket() {
+        let s = ColumnStats::compute(&float_col(&[0.0, 100.0]));
+        assert_eq!(s.histogram[0], 1);
+        assert_eq!(*s.histogram.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn constant_column_is_degenerate_but_finite() {
+        let s = ColumnStats::compute(&float_col(&[5.0, 5.0, 5.0]));
+        assert_eq!(s.range(), 0.0);
+        assert_eq!(s.histogram.iter().sum::<usize>(), 3);
+        assert_eq!(s.std_dev, Some(0.0));
+    }
+}

@@ -1,0 +1,145 @@
+//! The datatype lattice.
+//!
+//! The paper (§3) classifies attributes by the *kind* of distance function
+//! they admit: "numerical difference (for metric types), distance matrices
+//! (for ordinal and nominal types), lexicographical, character-wise,
+//! substring or phonetic difference (for strings)". [`DataType`] is the
+//! physical type; [`TypeClass`] is that measurement-theoretic class.
+
+use std::fmt;
+
+/// Physical datatype of a column or value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Seconds since the Unix epoch.
+    Timestamp,
+    /// Geographic (lat, lon) pair.
+    Location,
+    /// The type of `NULL`; compatible with everything.
+    Unknown,
+}
+
+impl DataType {
+    /// The default measurement class of the physical type. Columns may
+    /// override this (e.g. an `Int` column holding nominal category codes);
+    /// see [`crate::schema::Column::type_class`].
+    pub fn default_class(self) -> TypeClass {
+        match self {
+            DataType::Bool => TypeClass::Nominal,
+            DataType::Int | DataType::Float | DataType::Timestamp => TypeClass::Metric,
+            DataType::Str => TypeClass::Nominal,
+            DataType::Location => TypeClass::Spatial,
+            DataType::Unknown => TypeClass::Nominal,
+        }
+    }
+
+    /// Whether two physical types can be compared / measured against each
+    /// other. Numeric types are mutually compatible; everything else only
+    /// with itself. `Unknown` (the NULL type) is compatible with all.
+    pub fn is_compatible(self, other: DataType) -> bool {
+        use DataType::*;
+        if self == Unknown || other == Unknown {
+            return true;
+        }
+        match (self, other) {
+            (Int | Float | Timestamp, Int | Float | Timestamp) => true,
+            (a, b) => a == b,
+        }
+    }
+
+    /// True for types with a meaningful numeric projection.
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            DataType::Int | DataType::Float | DataType::Timestamp | DataType::Bool
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Timestamp => "timestamp",
+            DataType::Location => "location",
+            DataType::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Measurement-theoretic class of an attribute, which determines which
+/// distance functions are admissible and which slider style the interactive
+/// interface offers (§4.3: "Different types of sliders are provided for
+/// different datatypes and different distance functions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeClass {
+    /// Quantitative with meaningful differences: numeric difference applies.
+    Metric,
+    /// Ordered categories: distance = rank difference or a distance matrix.
+    Ordinal,
+    /// Unordered categories: distance matrix or 0/1 discrete metric.
+    Nominal,
+    /// Two-dimensional spatial data: geodesic / Euclidean distance.
+    Spatial,
+}
+
+impl TypeClass {
+    /// Whether attributes of this class produce *signed* distances (needed
+    /// for the fig 1b two-attribute axis arrangement, which separates
+    /// negative from positive deviations).
+    pub fn supports_signed_distance(self) -> bool {
+        matches!(self, TypeClass::Metric | TypeClass::Ordinal)
+    }
+}
+
+impl fmt::Display for TypeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TypeClass::Metric => "metric",
+            TypeClass::Ordinal => "ordinal",
+            TypeClass::Nominal => "nominal",
+            TypeClass::Spatial => "spatial",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_types_are_mutually_compatible() {
+        assert!(DataType::Int.is_compatible(DataType::Float));
+        assert!(DataType::Float.is_compatible(DataType::Timestamp));
+        assert!(!DataType::Str.is_compatible(DataType::Int));
+        assert!(DataType::Unknown.is_compatible(DataType::Location));
+    }
+
+    #[test]
+    fn default_classes_follow_the_paper() {
+        assert_eq!(DataType::Float.default_class(), TypeClass::Metric);
+        assert_eq!(DataType::Str.default_class(), TypeClass::Nominal);
+        assert_eq!(DataType::Location.default_class(), TypeClass::Spatial);
+    }
+
+    #[test]
+    fn signed_distance_support() {
+        assert!(TypeClass::Metric.supports_signed_distance());
+        assert!(TypeClass::Ordinal.supports_signed_distance());
+        assert!(!TypeClass::Nominal.supports_signed_distance());
+        assert!(!TypeClass::Spatial.supports_signed_distance());
+    }
+}

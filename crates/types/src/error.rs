@@ -1,0 +1,156 @@
+//! Error type shared by all VisDB crates.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced anywhere in the VisDB pipeline.
+///
+/// A single error enum (rather than per-crate error types) keeps the
+/// pipeline plumbing simple: every stage — storage, query validation,
+/// distance evaluation, rendering — returns `visdb_types::Result`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A value had the wrong type for an operation.
+    TypeMismatch {
+        /// What the operation needed.
+        expected: String,
+        /// What it got.
+        found: String,
+    },
+    /// Reference to a table that does not exist in the catalog.
+    UnknownTable(String),
+    /// Reference to a column that does not exist in a table.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// Column requested.
+        column: String,
+    },
+    /// Reference to a named connection (pre-declared join) that is unknown.
+    UnknownConnection(String),
+    /// Row index out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Table length.
+        len: usize,
+    },
+    /// Inserted row arity does not match the schema.
+    ArityMismatch {
+        /// Schema width.
+        expected: usize,
+        /// Row width.
+        found: usize,
+    },
+    /// A query is structurally invalid (empty OR, negation without
+    /// invertible operator, weight out of range, ...).
+    InvalidQuery(String),
+    /// A distance function was asked for an unsupported value pairing.
+    DistanceUndefined(String),
+    /// A parameter (quantile, percentage, window size, ...) is out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: String,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// Text parsing (CSV / mini query language) failed.
+    Parse {
+        /// Byte or line position, when known.
+        position: Option<usize>,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure (message-only so the error stays `Clone`).
+    Io(String),
+    /// Something not expressible above.
+    Internal(String),
+}
+
+impl Error {
+    /// Shorthand for [`Error::InvalidQuery`].
+    pub fn invalid_query(msg: impl Into<String>) -> Self {
+        Error::InvalidQuery(msg.into())
+    }
+
+    /// Shorthand for [`Error::InvalidParameter`].
+    pub fn invalid_parameter(name: impl Into<String>, message: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            name: name.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for [`Error::Parse`] without a position.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse {
+            position: None,
+            message: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            Error::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            Error::UnknownConnection(c) => write!(f, "unknown connection '{c}'"),
+            Error::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds (table has {len} rows)")
+            }
+            Error::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, row has {found}")
+            }
+            Error::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            Error::DistanceUndefined(m) => write!(f, "distance undefined: {m}"),
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter '{name}': {message}")
+            }
+            Error::Parse { position, message } => match position {
+                Some(p) => write!(f, "parse error at {p}: {message}"),
+                None => write!(f, "parse error: {message}"),
+            },
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::UnknownColumn {
+            table: "Weather".into(),
+            column: "Ozone".into(),
+        };
+        assert_eq!(e.to_string(), "unknown column 'Ozone' in table 'Weather'");
+        let e = Error::invalid_parameter("percentage", "must be in (0, 100]");
+        assert!(e.to_string().contains("percentage"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

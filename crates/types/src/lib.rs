@@ -1,0 +1,21 @@
+//! # visdb-types
+//!
+//! Foundational types for the VisDB reproduction: the dynamic [`Value`]
+//! model, the [`DataType`] lattice used by distance functions, relational
+//! [`Schema`] descriptions, and the crate-spanning [`Error`] type.
+//!
+//! VisDB (Keim & Kriegel, ICDE 1994) is datatype-driven: every selection
+//! predicate carries a *distance function* whose choice depends on whether
+//! the attribute is metric, ordinal, nominal, a string, a timestamp or a
+//! geographic location (§3 of the paper). This crate defines that datatype
+//! vocabulary once so that storage, query and distance layers agree.
+
+pub mod datatype;
+pub mod error;
+pub mod schema;
+pub mod value;
+
+pub use datatype::{DataType, TypeClass};
+pub use error::{Error, Result};
+pub use schema::{Column, ColumnId, Schema, TableName};
+pub use value::{Location, Timestamp, Value};

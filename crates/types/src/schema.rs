@@ -1,0 +1,205 @@
+//! Relational schema descriptions.
+//!
+//! A [`Schema`] is an ordered list of [`Column`]s. Besides the physical
+//! [`DataType`], each column records its [`TypeClass`] (which distance
+//! functions are admissible) and optional domain bounds used by the slider
+//! UI model ("Outside the color spectrums the minimum and maximum value of
+//! the attribute in the database are displayed", §4.3).
+
+use std::fmt;
+
+use crate::datatype::{DataType, TypeClass};
+use crate::error::{Error, Result};
+
+/// Index of a column within its table's schema.
+pub type ColumnId = usize;
+
+/// Name of a table in the catalog.
+pub type TableName = String;
+
+/// Description of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Attribute name (e.g. `Temperature`).
+    pub name: String,
+    /// Physical storage type.
+    pub data_type: DataType,
+    /// Measurement class; defaults to `data_type.default_class()`.
+    pub type_class: TypeClass,
+    /// Optional unit label, shown in slider panels (`°C`, `watt/m2`, `%`).
+    pub unit: Option<String>,
+}
+
+impl Column {
+    /// New column with the type's default measurement class.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            name: name.into(),
+            data_type,
+            type_class: data_type.default_class(),
+            unit: None,
+        }
+    }
+
+    /// Override the measurement class (e.g. an `Int` column of ordinal
+    /// severity grades, or a `Str` column with ordinal sizes S < M < L).
+    pub fn with_class(mut self, class: TypeClass) -> Self {
+        self.type_class = class;
+        self
+    }
+
+    /// Attach a display unit.
+    pub fn with_unit(mut self, unit: impl Into<String>) -> Self {
+        self.unit = Some(unit.into());
+        self
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)?;
+        if let Some(u) = &self.unit {
+            write!(f, " [{u}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Ordered collection of columns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns. Column names must be unique
+    /// (case-sensitive); duplicates are a caller bug and panic in debug
+    /// builds via the returned error in [`Schema::try_new`].
+    pub fn new(columns: Vec<Column>) -> Self {
+        Self::try_new(columns).expect("duplicate column names in schema")
+    }
+
+    /// Fallible constructor that rejects duplicate column names.
+    pub fn try_new(columns: Vec<Column>) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(Error::invalid_query(format!(
+                    "duplicate column name '{}'",
+                    c.name
+                )));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by position.
+    pub fn column(&self, id: ColumnId) -> Option<&Column> {
+        self.columns.get(id)
+    }
+
+    /// Position of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<ColumnId> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Position of a column by name, with a typed error naming the table.
+    pub fn require(&self, table: &str, name: &str) -> Result<ColumnId> {
+        self.index_of(name).ok_or_else(|| Error::UnknownColumn {
+            table: table.to_string(),
+            column: name.to_string(),
+        })
+    }
+
+    /// Concatenate two schemas (used for cross products in approximate
+    /// joins, §4.4). Colliding names are disambiguated with a `right.`
+    /// prefix style: `left_name` stays, collisions become `{prefix}.{name}`.
+    pub fn join(&self, other: &Schema, prefix: &str) -> Schema {
+        let mut cols = self.columns.clone();
+        for c in &other.columns {
+            let mut c = c.clone();
+            if cols.iter().any(|e| e.name == c.name) {
+                c.name = format!("{prefix}.{}", c.name);
+            }
+            cols.push(c);
+        }
+        Schema { columns: cols }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weather_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("DateTime", DataType::Timestamp),
+            Column::new("Location", DataType::Location),
+            Column::new("Temperature", DataType::Float).with_unit("°C"),
+            Column::new("Humidity", DataType::Float).with_unit("%"),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = weather_schema();
+        assert_eq!(s.index_of("Temperature"), Some(2));
+        assert_eq!(s.index_of("Ozone"), None);
+        assert!(s.require("Weather", "Ozone").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let cols = vec![
+            Column::new("A", DataType::Int),
+            Column::new("A", DataType::Float),
+        ];
+        assert!(Schema::try_new(cols).is_err());
+    }
+
+    #[test]
+    fn join_disambiguates_collisions() {
+        let a = weather_schema();
+        let b = Schema::new(vec![
+            Column::new("DateTime", DataType::Timestamp),
+            Column::new("Ozone", DataType::Float),
+        ]);
+        let j = a.join(&b, "AirPollution");
+        assert_eq!(j.len(), 6);
+        assert!(j.index_of("AirPollution.DateTime").is_some());
+        assert!(j.index_of("Ozone").is_some());
+    }
+
+    #[test]
+    fn class_override() {
+        let c = Column::new("Severity", DataType::Int).with_class(TypeClass::Ordinal);
+        assert_eq!(c.type_class, TypeClass::Ordinal);
+    }
+}

@@ -1,0 +1,292 @@
+//! The dynamic value model.
+//!
+//! VisDB operates over heterogeneous relational data. [`Value`] is the
+//! lingua franca between the storage layer (which stores columns natively)
+//! and the query/distance layers (which need a uniform runtime
+//! representation for literals, selected tuples and slider endpoints).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::datatype::DataType;
+use crate::error::{Error, Result};
+
+/// Seconds since the Unix epoch. The paper's environmental workload records
+/// hourly measurements; second resolution is sufficient and keeps the type
+/// `Copy` and totally ordered.
+pub type Timestamp = i64;
+
+/// A geographic location in degrees. Used by the `at-same-location` and
+/// `with-distance(m)` connections of the paper's example query (fig 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Location {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl Location {
+    /// Create a new location, normalizing nothing: callers are expected to
+    /// provide coordinates in valid ranges (checked by [`Location::is_valid`]).
+    pub fn new(lat: f64, lon: f64) -> Self {
+        Location { lat, lon }
+    }
+
+    /// True if the coordinates are within the usual WGS84 ranges.
+    pub fn is_valid(&self) -> bool {
+        self.lat.is_finite()
+            && self.lon.is_finite()
+            && (-90.0..=90.0).contains(&self.lat)
+            && (-180.0..=180.0).contains(&self.lon)
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.5}, {:.5})", self.lat, self.lon)
+    }
+}
+
+/// A single dynamically-typed value.
+///
+/// `Null` is a first-class member because the paper is explicitly motivated
+/// by "NULL results" (§1) — queries whose exact answer set is empty — and
+/// because real measurement series have gaps. Distance functions treat
+/// `Null` as *maximally distant* (see `visdb-distance`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unknown value.
+    Null,
+    /// Boolean value (used for already-evaluated predicates).
+    Bool(bool),
+    /// 64-bit signed integer (metric).
+    Int(i64),
+    /// 64-bit float (metric).
+    Float(f64),
+    /// UTF-8 string (nominal by default; distance functions may impose
+    /// lexicographic, edit, substring or phonetic structure).
+    Str(String),
+    /// Seconds since the Unix epoch (metric, but rendered as date-time).
+    Timestamp(Timestamp),
+    /// Geographic coordinates (requires a 2-D distance function).
+    Location(Location),
+}
+
+impl Value {
+    /// The runtime datatype of this value. `Null` has no type of its own and
+    /// reports [`DataType::Unknown`].
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Unknown,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+            Value::Timestamp(_) => DataType::Timestamp,
+            Value::Location(_) => DataType::Location,
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: `Int`, `Float`, `Timestamp` and `Bool` all have a
+    /// meaningful numeric projection; everything else is `None`.
+    ///
+    /// This is the workhorse of the metric distance functions: the paper
+    /// uses "numerical difference (for metric types)" (§3).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Timestamp(t) => Some(*t as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view (exact for `Int`/`Timestamp`/`Bool`, truncating for
+    /// `Float` if it is finite and within `i64` range).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Timestamp(t) => Some(*t),
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::Float(f) if f.is_finite() && f.abs() < i64::MAX as f64 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// String view (only for `Str`).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Location view (only for `Location`).
+    pub fn as_location(&self) -> Option<Location> {
+        match self {
+            Value::Location(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Strict numeric coercion, returning a typed error rather than `None`;
+    /// used by query validation where a non-numeric operand is a user error.
+    pub fn expect_f64(&self) -> Result<f64> {
+        self.as_f64().ok_or_else(|| Error::TypeMismatch {
+            expected: "numeric".to_string(),
+            found: self.data_type().to_string(),
+        })
+    }
+
+    /// Total ordering between two values of compatible types. Values of
+    /// incompatible types are unordered (`None`), as are NaNs and locations
+    /// (which have no natural 1-D order).
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, Value::Null) => Some(Ordering::Equal),
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Location(_), _) | (_, Value::Location(_)) => None,
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+            Value::Location(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Location> for Value {
+    fn from(v: Location) -> Self {
+        Value::Location(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views_agree() {
+        assert_eq!(Value::Int(5).as_f64(), Some(5.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Timestamp(7200).as_f64(), Some(7200.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn as_i64_truncates_floats() {
+        assert_eq!(Value::Float(2.9).as_i64(), Some(2));
+        assert_eq!(Value::Float(f64::NAN).as_i64(), None);
+        assert_eq!(Value::Float(f64::INFINITY).as_i64(), None);
+    }
+
+    #[test]
+    fn ordering_across_numeric_types() {
+        assert_eq!(
+            Value::Int(3).partial_cmp_value(&Value::Float(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).partial_cmp_value(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn ordering_strings_is_lexicographic() {
+        assert_eq!(
+            Value::from("abc").partial_cmp_value(&Value::from("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn null_is_unordered_against_values() {
+        assert_eq!(Value::Null.partial_cmp_value(&Value::Int(0)), None);
+        assert_eq!(
+            Value::Null.partial_cmp_value(&Value::Null),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn locations_are_unordered() {
+        let a = Value::Location(Location::new(48.1, 11.6));
+        let b = Value::Location(Location::new(48.2, 11.7));
+        assert_eq!(a.partial_cmp_value(&b), None);
+    }
+
+    #[test]
+    fn location_validity() {
+        assert!(Location::new(48.1, 11.6).is_valid());
+        assert!(!Location::new(95.0, 11.6).is_valid());
+        assert!(!Location::new(f64::NAN, 0.0).is_valid());
+    }
+
+    #[test]
+    fn expect_f64_reports_type_error() {
+        let err = Value::from("hi").expect_f64().unwrap_err();
+        assert!(err.to_string().contains("numeric"));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::from("a").to_string(), "'a'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a tiny table, run a visual feedback query, inspect
+//! the panel, and write the visualization to `out/quickstart.ppm`.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use visdb::prelude::*;
+use visdb::render::ascii::to_ascii;
+
+fn main() -> Result<()> {
+    // 1. A small sensor table.
+    let mut db = Database::new("demo");
+    let mut t = TableBuilder::new(
+        "Readings",
+        vec![
+            Column::new("Hour", DataType::Int),
+            Column::new("Temperature", DataType::Float).with_unit("°C"),
+            Column::new("Humidity", DataType::Float).with_unit("%"),
+        ],
+    );
+    for h in 0..24 * 14 {
+        let temp = 12.0 + 9.0 * (((h % 24) as f64 - 14.0) / 24.0 * std::f64::consts::TAU).cos()
+            + (h as f64 * 0.37).sin();
+        let hum = (90.0 - 2.0 * temp + (h as f64 * 0.11).cos() * 6.0).clamp(10.0, 100.0);
+        t = t.row(vec![
+            Value::Int(h),
+            Value::Float(temp),
+            Value::Float(hum),
+        ])?;
+    }
+    db.add_table(t.build());
+
+    // 2. A query with two weighted predicates. Exact answers are rare;
+    //    the visual feedback shows how close everything else comes.
+    let mut session = Session::new(db, ConnectionRegistry::new());
+    session.set_window_size(24, 24)?;
+    session.set_display_policy(DisplayPolicy::Percentage(60.0))?;
+    session.set_query(
+        QueryBuilder::from_tables(["Readings"])
+            .cmp_weighted("Temperature", CompareOp::Gt, 20.0, 1.0)
+            .cmp_weighted("Humidity", CompareOp::Lt, 50.0, 0.5)
+            .build(),
+    )?;
+
+    // 3. The numbers of the modification panel (fig 4/5, right side).
+    let panel = session.panel()?;
+    println!("{panel}");
+
+    // 4. The visualization part: overall window + one per predicate.
+    let fb = render_session(&mut session, &RenderOptions::default())?;
+    println!("{}", to_ascii(&fb, 72));
+    std::fs::create_dir_all("out")?;
+    let file = File::create("out/quickstart.ppm")?;
+    write_ppm(&fb, BufWriter::new(file))?;
+    println!("wrote out/quickstart.ppm ({}x{})", fb.width(), fb.height());
+
+    // 5. Interactive modification: relax the temperature slider and watch
+    //    the yellow region grow.
+    let before = session.result()?.pipeline.num_exact;
+    session.set_predicate_target(
+        0,
+        PredicateTarget::Compare {
+            op: CompareOp::Gt,
+            value: Value::Float(16.0),
+        },
+    )?;
+    let after = session.result()?.pipeline.num_exact;
+    println!("exact answers: {before} -> {after} after relaxing Temperature > 20 to > 16");
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Cross-crate property-based tests: pipeline invariants on arbitrary
+//! data and queries.
+
+use proptest::prelude::*;
+use visdb::prelude::*;
+
+fn table_from(values: &[f64]) -> Database {
+    let mut t = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+    for &v in values {
+        t = t.row(vec![Value::Float(v)]).unwrap();
+    }
+    let mut db = Database::new("d");
+    db.add_table(t.build());
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pipeline invariants hold for arbitrary data and thresholds.
+    #[test]
+    fn pipeline_invariants(
+        values in prop::collection::vec(-1e4f64..1e4, 1..300),
+        threshold in -1e4f64..1e4,
+        pct in 1.0f64..100.0,
+    ) {
+        let db = table_from(&values);
+        let t = db.table("T").unwrap();
+        let resolver = DistanceResolver::new();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, threshold)
+            .build();
+        let out = run_pipeline(&db, t, &resolver, q.condition.as_ref(),
+            &DisplayPolicy::Percentage(pct)).unwrap();
+
+        // exact count matches the straight count
+        let expect_exact = values.iter().filter(|&&v| v >= threshold).count();
+        prop_assert_eq!(out.num_exact, expect_exact);
+
+        // combined distances normalized into [0, 255]
+        for d in out.combined.iter().flatten() {
+            prop_assert!((0.0..=255.0).contains(d));
+        }
+        // relevance is the mirror of combined
+        for i in 0..out.n {
+            match (out.combined[i], out.relevance[i]) {
+                (Some(c), Some(r)) => prop_assert!((c + r - 255.0).abs() < 1e-9),
+                (None, None) => {}
+                other => prop_assert!(false, "mismatched defined-ness {other:?}"),
+            }
+        }
+        // order sorted ascending by combined, displayed a prefix
+        for w in out.order.windows(2) {
+            prop_assert!(out.combined[w[0]] <= out.combined[w[1]]);
+        }
+        prop_assert_eq!(&out.order[..out.displayed.len()], &out.displayed[..]);
+        // display count respects the percentage
+        let max_k = ((pct / 100.0) * values.len() as f64).round() as usize;
+        prop_assert!(out.displayed.len() <= max_k.max(1));
+    }
+
+    /// AND is never more permissive than its parts; OR never less.
+    #[test]
+    fn boolean_semantics_of_exact_answers(
+        values in prop::collection::vec(-100f64..100.0, 1..200),
+        lo in -100f64..100.0,
+        hi in -100f64..100.0,
+    ) {
+        let db = table_from(&values);
+        let t = db.table("T").unwrap();
+        let resolver = DistanceResolver::new();
+        let run = |q: Query| {
+            run_pipeline(&db, t, &resolver, q.condition.as_ref(),
+                &DisplayPolicy::Percentage(100.0)).unwrap().num_exact
+        };
+        let a = run(QueryBuilder::from_tables(["T"]).cmp("x", CompareOp::Ge, lo).build());
+        let b = run(QueryBuilder::from_tables(["T"]).cmp("x", CompareOp::Le, hi).build());
+        let and = run(QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, lo)
+            .cmp("x", CompareOp::Le, hi)
+            .all().build());
+        let or = run(QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, lo)
+            .cmp("x", CompareOp::Le, hi)
+            .any().build());
+        prop_assert!(and <= a.min(b));
+        prop_assert!(or >= a.max(b));
+        // inclusion-exclusion for these two complementary-ish predicates
+        prop_assert_eq!(and + or, a + b);
+    }
+
+    /// The spiral arrangement places the displayed prefix without loss
+    /// (window large enough) and rank 0 at the center cell.
+    #[test]
+    fn arrangement_preserves_displayed_items(
+        n in 1usize..150,
+        side in 13usize..20,
+    ) {
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let db = table_from(&values);
+        let t = db.table("T").unwrap();
+        let resolver = DistanceResolver::new();
+        let q = QueryBuilder::from_tables(["T"]).cmp("x", CompareOp::Ge, 0.0).build();
+        let out = run_pipeline(&db, t, &resolver, q.condition.as_ref(),
+            &DisplayPolicy::Percentage(100.0)).unwrap();
+        let grid = arrange_overall(&out.displayed, side, side);
+        prop_assert_eq!(grid.occupied(), out.displayed.len().min(side * side));
+        if !out.displayed.is_empty() {
+            let c = (side - 1) / 2;
+            prop_assert_eq!(grid.get(c, c), Some(out.displayed[0] as u32));
+        }
+    }
+
+    /// Boolean baseline and distance pipeline agree on which items are
+    /// exact answers for >= / <= predicates (no strictness mismatch).
+    #[test]
+    fn baseline_agrees_with_distance_zero(
+        values in prop::collection::vec(-50f64..50.0, 1..100),
+        threshold in -50f64..50.0,
+    ) {
+        use visdb::baseline::evaluate_boolean;
+        let db = table_from(&values);
+        let t = db.table("T").unwrap();
+        let q = QueryBuilder::from_tables(["T"]).cmp("x", CompareOp::Ge, threshold).build();
+        let cond = q.condition.as_ref().unwrap();
+        let exact = evaluate_boolean(&db, t, &cond.node).unwrap();
+        let resolver = DistanceResolver::new();
+        let out = run_pipeline(&db, t, &resolver, q.condition.as_ref(),
+            &DisplayPolicy::Percentage(100.0)).unwrap();
+        for (i, &e) in exact.iter().enumerate() {
+            prop_assert_eq!(e, out.combined[i] == Some(0.0), "row {}", i);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Failure injection: the pipeline must degrade gracefully — never panic,
+//! never fabricate exact answers — on hostile data (NULL floods, NaN,
+//! infinities, empty tables, degenerate windows, all-undefined queries).
+
+use visdb::prelude::*;
+
+fn db_from_rows(rows: Vec<Vec<Value>>) -> Database {
+    let mut t = TableBuilder::new(
+        "T",
+        vec![
+            Column::new("x", DataType::Float),
+            Column::new("s", DataType::Str),
+        ],
+    );
+    for r in rows {
+        t = t.row(r).unwrap();
+    }
+    let mut db = Database::new("d");
+    db.add_table(t.build());
+    db
+}
+
+fn run(db: &Database, q: Query, pct: f64) -> Result<PipelineOutput> {
+    let t = db.table("T")?;
+    let resolver = DistanceResolver::new();
+    run_pipeline(
+        db,
+        t,
+        &resolver,
+        q.condition.as_ref(),
+        &DisplayPolicy::Percentage(pct),
+    )
+}
+
+#[test]
+fn all_null_column_yields_no_answers_but_no_panic() {
+    let db = db_from_rows(vec![
+        vec![Value::Null, Value::from("a")],
+        vec![Value::Null, Value::from("b")],
+    ]);
+    let q = QueryBuilder::from_tables(["T"])
+        .cmp("x", CompareOp::Gt, 1.0)
+        .build();
+    let out = run(&db, q, 100.0).unwrap();
+    assert_eq!(out.num_exact, 0);
+    assert!(out.order.is_empty(), "undefined items must not be ranked");
+    assert!(out.displayed.is_empty());
+    assert!(out.combined.iter().all(Option::is_none));
+}
+
+#[test]
+fn nan_values_are_undefined_not_poisonous() {
+    let db = db_from_rows(vec![
+        vec![Value::Float(f64::NAN), Value::from("a")],
+        vec![Value::Float(1.0), Value::from("b")],
+        vec![Value::Float(f64::NAN), Value::from("c")],
+    ]);
+    let q = QueryBuilder::from_tables(["T"])
+        .cmp("x", CompareOp::Ge, 1.0)
+        .build();
+    let out = run(&db, q, 100.0).unwrap();
+    assert_eq!(out.num_exact, 1);
+    assert_eq!(out.order, vec![1]);
+    assert_eq!(out.combined[0], None);
+    assert_eq!(out.combined[2], None);
+}
+
+#[test]
+fn infinities_clamp_into_the_color_range() {
+    let db = db_from_rows(vec![
+        vec![Value::Float(f64::INFINITY), Value::from("a")],
+        vec![Value::Float(5.0), Value::from("b")],
+        vec![Value::Float(f64::NEG_INFINITY), Value::from("c")],
+    ]);
+    let q = QueryBuilder::from_tables(["T"])
+        .cmp("x", CompareOp::Ge, 5.0)
+        .build();
+    let out = run(&db, q, 100.0).unwrap();
+    // every defined combined distance stays colorable
+    for d in out.combined.iter().flatten() {
+        assert!((0.0..=255.0).contains(d), "{d}");
+    }
+    // +inf fulfils >= 5 exactly; -inf is infinitely far but clamps
+    assert!(out.num_exact >= 1);
+}
+
+#[test]
+fn empty_table_short_circuits() {
+    let db = db_from_rows(vec![]);
+    let q = QueryBuilder::from_tables(["T"])
+        .cmp("x", CompareOp::Ge, 0.0)
+        .build();
+    let out = run(&db, q, 50.0).unwrap();
+    assert_eq!(out.n, 0);
+    assert!(out.displayed.is_empty());
+    // arrangement of nothing is an empty grid
+    let grid = arrange_overall(&out.displayed, 8, 8);
+    assert_eq!(grid.occupied(), 0);
+}
+
+#[test]
+fn mixed_defined_and_undefined_windows_combine_sanely() {
+    // AND of a NULL-poisoned predicate and a healthy one: items with a
+    // NULL on either side are undefined, the rest rank normally
+    let db = db_from_rows(vec![
+        vec![Value::Float(1.0), Value::from("hit")],
+        vec![Value::Null, Value::from("hit")],
+        vec![Value::Float(3.0), Value::from("miss")],
+    ]);
+    let q = QueryBuilder::from_tables(["T"])
+        .cmp("x", CompareOp::Ge, 0.0)
+        .cmp("s", CompareOp::Eq, "hit")
+        .build();
+    let out = run(&db, q, 100.0).unwrap();
+    assert_eq!(out.combined[1], None); // NULL x under AND
+    assert_eq!(out.num_exact, 1); // row 0 only
+    assert_eq!(out.order[0], 0);
+}
+
+#[test]
+fn session_survives_adversarial_interaction_sequence() {
+    let env = generate_environmental(&EnvConfig {
+        hours: 48,
+        stations: 1,
+        ..Default::default()
+    });
+    let mut s = Session::new(env.db, env.registry);
+    // garbage first
+    assert!(s.set_query_text("SELECT").is_err());
+    assert!(s.recalculate().is_err());
+    assert!(s.select_tuple(0).is_err()); // result() fails without a query
+    // then a real query
+    s.set_query_text("SELECT Temperature FROM Weather WHERE Temperature > 1000")
+        .unwrap();
+    // NULL-result query: nothing exact, everything approximate
+    assert_eq!(s.result().unwrap().pipeline.num_exact, 0);
+    // out-of-range interactions are typed errors, not panics
+    assert!(s.select_tuple(10_000_000).is_err());
+    assert!(s.select_color_range(0, -5.0, 10.0).is_err());
+    assert!(s.select_color_range(42, 0.0, 255.0).is_err());
+    assert!(s.set_weight(3, 1.0).is_err());
+    assert!(s.drilldown(&[0, 0, 0, 0], false).is_err());
+    // after all that, the session still works
+    s.set_query_text("SELECT Temperature FROM Weather WHERE Temperature > 10")
+        .unwrap();
+    assert!(s.result().unwrap().pipeline.num_exact > 0);
+}
+
+#[test]
+fn one_by_one_window_renders() {
+    let db = db_from_rows(vec![vec![Value::Float(1.0), Value::from("a")]]);
+    let mut s = Session::new(db, ConnectionRegistry::new());
+    s.set_window_size(1, 1).unwrap();
+    s.set_display_policy(DisplayPolicy::Percentage(100.0)).unwrap();
+    s.set_query(
+        QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, 1.0)
+            .build(),
+    )
+    .unwrap();
+    let fb = visdb::core::render_session(&mut s, &Default::default()).unwrap();
+    assert!(fb.width() > 0 && fb.height() > 0);
+}
+
+#[test]
+fn huge_weights_and_tiny_weights_stay_finite() {
+    let db = db_from_rows(vec![
+        vec![Value::Float(1.0), Value::from("a")],
+        vec![Value::Float(100.0), Value::from("b")],
+    ]);
+    let q = QueryBuilder::from_tables(["T"])
+        .cmp_weighted("x", CompareOp::Ge, 50.0, 1e6)
+        .cmp_weighted("x", CompareOp::Le, 50.0, 1e-9)
+        .build();
+    let out = run(&db, q, 100.0).unwrap();
+    for d in out.combined.iter().flatten() {
+        assert!(d.is_finite());
+        assert!((0.0..=255.0).contains(d));
+    }
+}
+
+#[test]
+fn degenerate_single_value_column() {
+    let db = db_from_rows(vec![
+        vec![Value::Float(7.0), Value::from("a")],
+        vec![Value::Float(7.0), Value::from("b")],
+        vec![Value::Float(7.0), Value::from("c")],
+    ]);
+    // everything exact
+    let q = QueryBuilder::from_tables(["T"])
+        .cmp("x", CompareOp::Eq, 7.0)
+        .build();
+    let out = run(&db, q, 100.0).unwrap();
+    assert_eq!(out.num_exact, 3);
+    assert!(out.combined.iter().all(|d| *d == Some(0.0)));
+    // nothing exact, all equally distant
+    let q = QueryBuilder::from_tables(["T"])
+        .cmp("x", CompareOp::Eq, 0.0)
+        .build();
+    let out = run(&db, q, 100.0).unwrap();
+    assert_eq!(out.num_exact, 0);
+    // all displayed anyway (equal distances), all the same color
+    assert_eq!(out.displayed.len(), 3);
+    let d0 = out.combined[0];
+    assert!(out.combined.iter().all(|d| *d == d0));
+}
+
+#[test]
+fn csv_with_malformed_rows_fails_cleanly() {
+    use visdb::storage::csv::read_csv;
+    let schema = Schema::new(vec![Column::new("x", DataType::Float)]);
+    for bad in ["not-a-number\n", "1.0,extra\n", "\u{0}\n"] {
+        let r = read_csv("T", schema.clone(), bad.as_bytes());
+        assert!(r.is_err(), "input {bad:?} should fail");
+    }
+}
