@@ -109,9 +109,9 @@ pub fn arrange_grouped2d(items: &[Item2D], width: usize, height: usize) -> ItemG
         _ => (cx1, width),
     };
     let y_span = |sy: i8| match sy {
-        1 => (0, cy0),          // positive: top
-        0 => (cy0, cy1),        // zero: middle band
-        _ => (cy1, height),     // negative: bottom
+        1 => (0, cy0),      // positive: top
+        0 => (cy0, cy1),    // zero: middle band
+        _ => (cy1, height), // negative: bottom
     };
     // the seed corner of each region is the one facing the center block
     let x_corner = |sx: i8, (x0, x1): (usize, usize)| match sx {

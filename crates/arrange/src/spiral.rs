@@ -150,7 +150,10 @@ mod tests {
         let mut max_r = 0i64;
         for (x, y) in spiral_coords(n, n) {
             let r = (x as i64 - c).abs().max((y as i64 - c).abs());
-            assert!(r >= max_r - 1, "cell ({x},{y}) radius {r} after band {max_r}");
+            assert!(
+                r >= max_r - 1,
+                "cell ({x},{y}) radius {r} after band {max_r}"
+            );
             max_r = max_r.max(r);
         }
     }

@@ -117,17 +117,19 @@ impl ItemGrid {
 
     /// Iterate `(x, y, item)` over occupied cells.
     pub fn iter_items(&self) -> impl Iterator<Item = (usize, usize, u32)> + '_ {
-        self.cells.iter().enumerate().filter_map(move |(i, c)| {
-            c.map(|item| (i % self.width, i / self.width, item))
-        })
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, c)| c.map(|item| (i % self.width, i / self.width, item)))
     }
 
     /// Position of a given item, if placed (linear scan — used for
     /// highlighting single selected tuples, §4.3).
     pub fn position_of(&self, item: u32) -> Option<(usize, usize)> {
-        self.cells.iter().position(|c| *c == Some(item)).map(|i| {
-            (i % self.width, i / self.width)
-        })
+        self.cells
+            .iter()
+            .position(|c| *c == Some(item))
+            .map(|i| (i % self.width, i / self.width))
     }
 }
 

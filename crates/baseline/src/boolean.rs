@@ -84,12 +84,10 @@ fn eval_predicate(table: &Table, p: &Predicate) -> Result<Vec<bool>> {
                 );
                 ge && le
             }
-            PredicateTarget::Around { center, deviation } => {
-                match (v.as_f64(), center.as_f64()) {
-                    (Some(x), Some(c)) => (x - c).abs() <= *deviation,
-                    _ => false,
-                }
-            }
+            PredicateTarget::Around { center, deviation } => match (v.as_f64(), center.as_f64()) {
+                (Some(x), Some(c)) => (x - c).abs() <= *deviation,
+                _ => false,
+            },
         };
         out.push(b);
     }
@@ -153,7 +151,10 @@ fn eval_subquery(
             let any = inner_match.iter().any(|b| *b);
             Ok(vec![any; n])
         }
-        SubqueryLink::In { outer, inner: inner_attr } => {
+        SubqueryLink::In {
+            outer,
+            inner: inner_attr,
+        } => {
             let oc = resolve(table, outer)?;
             let ic = resolve(inner, inner_attr)?;
             let matching_values: Vec<Value> = (0..inner.len())
@@ -203,10 +204,14 @@ mod tests {
     fn strict_comparison_semantics() {
         let db = db();
         let t = db.table("T").unwrap();
-        let q = QueryBuilder::from_tables(["T"]).cmp("x", CompareOp::Lt, 5.0).build();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Lt, 5.0)
+            .build();
         let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
         assert_eq!(v, vec![true, false, false]); // strict <, NULL -> false
-        let q = QueryBuilder::from_tables(["T"]).cmp("x", CompareOp::Le, 5.0).build();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Le, 5.0)
+            .build();
         let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
         assert_eq!(v, vec![true, true, false]);
     }
@@ -234,10 +239,14 @@ mod tests {
     fn range_and_around() {
         let db = db();
         let t = db.table("T").unwrap();
-        let q = QueryBuilder::from_tables(["T"]).between("x", 0.0, 2.0).build();
+        let q = QueryBuilder::from_tables(["T"])
+            .between("x", 0.0, 2.0)
+            .build();
         let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
         assert_eq!(v, vec![true, false, false]);
-        let q = QueryBuilder::from_tables(["T"]).around("x", 4.0, 1.5).build();
+        let q = QueryBuilder::from_tables(["T"])
+            .around("x", 4.0, 1.5)
+            .build();
         let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
         assert_eq!(v, vec![false, true, false]);
     }
@@ -252,7 +261,9 @@ mod tests {
                 .build(),
         );
         let sub = QueryBuilder::from_tables(["U"]).select(["y"]).build();
-        let q = QueryBuilder::from_tables(["T"]).is_in("x", "y", sub).build();
+        let q = QueryBuilder::from_tables(["T"])
+            .is_in("x", "y", sub)
+            .build();
         let t = database.table("T").unwrap();
         let v = evaluate_boolean(&database, t, &q.condition.unwrap().node).unwrap();
         assert_eq!(v, vec![false, true, false]);
@@ -262,7 +273,9 @@ mod tests {
     fn exists_subquery_exact() {
         let db = db();
         let t = db.table("T").unwrap();
-        let sub = QueryBuilder::from_tables(["T"]).cmp("x", CompareOp::Gt, 100.0).build();
+        let sub = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Gt, 100.0)
+            .build();
         let q = QueryBuilder::from_tables(["T"]).exists(sub).build();
         let v = evaluate_boolean(&db, t, &q.condition.unwrap().node).unwrap();
         assert_eq!(v, vec![false; 3]);

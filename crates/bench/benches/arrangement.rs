@@ -33,7 +33,9 @@ fn arrangement(c: &mut Criterion) {
     // quality report (printed once; recorded in EXPERIMENTS.md)
     let mut r = rng(41);
     let n = 96 * 96;
-    let mut dist: Vec<f64> = (0..n).map(|_| normal(&mut r, 128.0, 50.0).clamp(0.0, 255.0)).collect();
+    let mut dist: Vec<f64> = (0..n)
+        .map(|_| normal(&mut r, 128.0, 50.0).clamp(0.0, 255.0))
+        .collect();
     let unsorted: Vec<usize> = (0..n).collect();
     let grid_unsorted = arrange_overall(&unsorted, 96, 96);
     let mut order: Vec<usize> = (0..n).collect();

@@ -9,11 +9,7 @@ const N: usize = 100_000;
 
 fn children(fan_in: usize) -> (Vec<Vec<Option<f64>>>, Vec<f64>) {
     let cs: Vec<Vec<Option<f64>>> = (0..fan_in)
-        .map(|k| {
-            (0..N)
-                .map(|i| Some(((i * (k + 3)) % 256) as f64))
-                .collect()
-        })
+        .map(|k| (0..N).map(|i| Some(((i * (k + 3)) % 256) as f64)).collect())
         .collect();
     let ws = vec![1.0 / fan_in as f64; fan_in];
     (cs, ws)
@@ -39,11 +35,9 @@ fn combining(c: &mut Criterion) {
             &fan_in,
             |b, _| b.iter(|| ablation::combine_and_max(&cs, &ws).expect("combine").len()),
         );
-        group.bench_with_input(
-            BenchmarkId::new("or_fuzzy_min", fan_in),
-            &fan_in,
-            |b, _| b.iter(|| ablation::combine_or_min(&cs, &ws).expect("combine").len()),
-        );
+        group.bench_with_input(BenchmarkId::new("or_fuzzy_min", fan_in), &fan_in, |b, _| {
+            b.iter(|| ablation::combine_or_min(&cs, &ws).expect("combine").len())
+        });
     }
     group.finish();
 }

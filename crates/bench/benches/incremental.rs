@@ -65,21 +65,25 @@ fn retrieval_level(c: &mut Criterion) {
                 .len()
         })
     });
-    group.bench_with_input(BenchmarkId::new("cached_nudge_over_kdtree", n), &n, |b, _| {
-        let kd2 = KdTree::build(pts.clone()).expect("kdtree");
-        let mut cache = IncrementalCache::new(kd2, 0.5);
-        cache
-            .range_query(&[200.0, 200.0], &[400.0, 400.0])
-            .expect("warmup");
-        let mut shift = 0.0;
-        b.iter(|| {
-            shift = (shift + 1.0) % 50.0;
+    group.bench_with_input(
+        BenchmarkId::new("cached_nudge_over_kdtree", n),
+        &n,
+        |b, _| {
+            let kd2 = KdTree::build(pts.clone()).expect("kdtree");
+            let mut cache = IncrementalCache::new(kd2, 0.5);
             cache
-                .range_query(&[200.0 + shift, 200.0], &[400.0 + shift, 400.0])
-                .expect("query")
-                .len()
-        })
-    });
+                .range_query(&[200.0, 200.0], &[400.0, 400.0])
+                .expect("warmup");
+            let mut shift = 0.0;
+            b.iter(|| {
+                shift = (shift + 1.0) % 50.0;
+                cache
+                    .range_query(&[200.0 + shift, 200.0], &[400.0 + shift, 400.0])
+                    .expect("query")
+                    .len()
+            })
+        },
+    );
     group.finish();
 }
 
@@ -95,9 +99,15 @@ fn pipeline_level(c: &mut Criterion) {
 
     group.bench_function("full_recalculation", |b| {
         b.iter(|| {
-            run_pipeline(&db, table, &resolver, base_query.condition.as_ref(), &policy)
-                .expect("pipeline")
-                .num_exact
+            run_pipeline(
+                &db,
+                table,
+                &resolver,
+                base_query.condition.as_ref(),
+                &policy,
+            )
+            .expect("pipeline")
+            .num_exact
         })
     });
     group.bench_function("one_slider_moved_cached", |b| {
@@ -127,9 +137,16 @@ fn pipeline_level(c: &mut Criterion) {
                     )));
                 }
             }
-            run_pipeline_cached(&db, table, &resolver, q.condition.as_ref(), &policy, Some(&mut cache))
-                .expect("pipeline")
-                .num_exact
+            run_pipeline_cached(
+                &db,
+                table,
+                &resolver,
+                q.condition.as_ref(),
+                &policy,
+                Some(&mut cache),
+            )
+            .expect("pipeline")
+            .num_exact
         })
     });
     group.finish();

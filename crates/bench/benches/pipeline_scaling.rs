@@ -23,14 +23,8 @@ fn pipeline_scaling(c: &mut Criterion) {
         group.sample_size(10);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                run_pipeline(
-                    &db,
-                    table,
-                    &resolver,
-                    query.condition.as_ref(),
-                    &policy,
-                )
-                .expect("pipeline")
+                run_pipeline(&db, table, &resolver, query.condition.as_ref(), &policy)
+                    .expect("pipeline")
             })
         });
     }

@@ -1,0 +1,94 @@
+//! Serving-layer throughput: requests/sec through the `visdb-service`
+//! worker pool at 1, 4 and 8 workers.
+//!
+//! Sixteen sessions share one `Arc<Database>`; each measured iteration
+//! drags every session's slider to a fresh value and fetches the
+//! re-rendered frame (2 requests × 16 sessions). Slider values never
+//! repeat, so neither the per-session incremental cache nor the shared
+//! query cache can short-circuit the work — the numbers measure the
+//! parallel pipeline itself, and on multi-core hardware the 1→4→8 worker
+//! progression shows the pool scaling the paper's single-user
+//! recalculation loop across cores (on a single-core box the progression
+//! instead measures the pool's scheduling overhead). The shared cache is
+//! disabled; with it on, repeated-query workloads are faster still — see
+//! `tests/service.rs`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use visdb_bench::ramp_db;
+use visdb_query::ast::CompareOp;
+use visdb_query::connection::ConnectionRegistry;
+use visdb_service::{PendingResponse, RenderFormat, Request, Response, Service, ServiceConfig};
+
+const SESSIONS: usize = 16;
+const ROWS: usize = 30_000;
+
+fn service_throughput(c: &mut Criterion) {
+    let db = Arc::new(ramp_db(ROWS));
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((SESSIONS * 2) as u64));
+
+    for workers in [1usize, 4, 8] {
+        let service = Service::new(ServiceConfig {
+            workers,
+            cache_capacity: 0, // measure the pipeline, not the cache
+            ..Default::default()
+        });
+        service.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
+        let sessions: Vec<_> = (0..SESSIONS)
+            .map(|i| {
+                let id = service.create_session("ramp").expect("registered");
+                for req in [
+                    Request::SetWindowSize { w: 32, h: 32 },
+                    Request::SetQueryText(format!("SELECT * FROM T WHERE x >= {}", ROWS / 2 + i)),
+                ] {
+                    assert_eq!(service.submit(id, req).expect("live"), Response::Ok);
+                }
+                id
+            })
+            .collect();
+
+        let mut round = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                round += 1;
+                let pending: Vec<PendingResponse> = sessions
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, &id)| {
+                        // a never-repeating slider target defeats every
+                        // cache layer: all 16 renders do full pipeline work
+                        let value = (round * 101 + (i as u64) * 31) % (ROWS as u64 / 2);
+                        [
+                            service
+                                .submit_async(
+                                    id,
+                                    Request::MoveSlider {
+                                        window: 0,
+                                        op: CompareOp::Ge,
+                                        value: value as f64,
+                                    },
+                                )
+                                .expect("live session"),
+                            service
+                                .submit_async(id, Request::Render(RenderFormat::Ascii))
+                                .expect("live session"),
+                        ]
+                    })
+                    .collect();
+                for p in pending {
+                    match p.wait().expect("worker reply") {
+                        Response::Ok | Response::Frame { .. } => {}
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, service_throughput);
+criterion_main!(benches);

@@ -9,15 +9,13 @@
 use visdb_baseline::{evaluate_boolean, hot_spot_ranks, kmeans};
 use visdb_color::{count_jnds, Colormap, ColormapKind};
 use visdb_core::materialize_base;
-use visdb_data::{
-    generate_environmental, generate_multidb, EnvConfig, MultiDbConfig,
-};
+use visdb_data::{generate_environmental, generate_multidb, EnvConfig, MultiDbConfig};
 use visdb_distance::DistanceResolver;
 use visdb_query::ast::CompareOp;
 use visdb_query::builder::QueryBuilder;
 use visdb_relevance::pipeline::{run_pipeline, DisplayPolicy};
-use visdb_relevance::reduction::gap_cutoff;
 use visdb_relevance::quantile::quantile;
+use visdb_relevance::reduction::gap_cutoff;
 use visdb_types::Result;
 
 fn c2_hot_spots() -> Result<()> {
@@ -42,7 +40,10 @@ fn c2_hot_spots() -> Result<()> {
     )?;
     let ranks = hot_spot_ranks(&out.order, &env.truth.hot_spot_rows);
     println!("  query: Ozone > 1500 over {} rows", pollution.len());
-    println!("  boolean baseline rows: {}", exact.iter().filter(|b| **b).count());
+    println!(
+        "  boolean baseline rows: {}",
+        exact.iter().filter(|b| **b).count()
+    );
     println!(
         "  visual-feedback ranks of {} planted hot spots: {:?}",
         env.truth.hot_spot_rows.len(),
@@ -90,7 +91,10 @@ fn c3_clustering() -> Result<()> {
 fn c4_jnds() {
     println!("\n== C4: colormap JNDs vs gray scale ==");
     for (name, kind) in [
-        ("visdb (yellow->green->blue->red->black)", ColormapKind::VisDb),
+        (
+            "visdb (yellow->green->blue->red->black)",
+            ColormapKind::VisDb,
+        ),
         ("grayscale (white->black)", ColormapKind::Grayscale),
         ("heat (white->yellow->red->black)", ColormapKind::Heat),
     ] {

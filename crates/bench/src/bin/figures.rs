@@ -8,6 +8,7 @@
 
 use std::fs::File;
 use std::io::BufWriter;
+use std::sync::Arc;
 
 use visdb_arrange::{arrange_grouped2d, arrange_overall, grouped2d::Item2D, PixelsPerItem};
 use visdb_color::{Colormap, Rgb, BACKGROUND};
@@ -47,9 +48,8 @@ fn fig1a() -> Result<()> {
     let ranked: Vec<usize> = (0..n).collect();
     let grid = arrange_overall(&ranked, 60, 60);
     let map = Colormap::default();
-    let colors = |item: u32| -> Option<Rgb> {
-        map.color_for_distance(distances[item as usize]).ok()
-    };
+    let colors =
+        |item: u32| -> Option<Rgb> { map.color_for_distance(distances[item as usize]).ok() };
     let fb = render_item_window(
         &WindowSpec {
             grid: &grid,
@@ -103,7 +103,9 @@ fn fig1b() -> Result<()> {
 /// with the gap-heuristic cut point printed for each.
 fn fig2() -> Result<()> {
     let mut r = rng(17);
-    let unimodal: Vec<f64> = (0..4000).map(|_| normal(&mut r, 100.0, 25.0).max(0.0)).collect();
+    let unimodal: Vec<f64> = (0..4000)
+        .map(|_| normal(&mut r, 100.0, 25.0).max(0.0))
+        .collect();
     let bimodal: Vec<f64> = (0..4000)
         .map(|_| mixture(&mut r, 0.55, (40.0, 10.0), (200.0, 12.0)).max(0.0))
         .collect();
@@ -168,7 +170,7 @@ fn fig4_and_5() -> Result<()> {
     });
     fig3(&env.registry)?;
 
-    let mut session = Session::new(env.db, env.registry);
+    let mut session = Session::new(Arc::new(env.db), env.registry);
     session.set_window_size(48, 48)?;
     session.set_display_policy(DisplayPolicy::Percentage(40.0))?;
     session.set_join_options(JoinOptions {

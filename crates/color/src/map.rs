@@ -120,11 +120,7 @@ fn visdb_path(t: f64) -> Rgb {
     let (t0, h0, s0, v0) = KEYS[k];
     let (t1, h1, s1, v1) = KEYS[k + 1];
     let u = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
-    hsv_to_rgb(
-        h0 + u * (h1 - h0),
-        s0 + u * (s1 - s0),
-        v0 + u * (v1 - v0),
-    )
+    hsv_to_rgb(h0 + u * (h1 - h0), s0 + u * (s1 - s0), v0 + u * (v1 - v0))
 }
 
 /// White → yellow → red → black heat path.
@@ -143,11 +139,7 @@ fn heat_path(t: f64) -> Rgb {
     let (t0, h0, s0, v0) = KEYS[k];
     let (t1, h1, s1, v1) = KEYS[k + 1];
     let u = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
-    hsv_to_rgb(
-        h0 + u * (h1 - h0),
-        s0 + u * (s1 - s0),
-        v0 + u * (v1 - v0),
-    )
+    hsv_to_rgb(h0 + u * (h1 - h0), s0 + u * (s1 - s0), v0 + u * (v1 - v0))
 }
 
 #[cfg(test)]

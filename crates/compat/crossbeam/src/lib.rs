@@ -1,0 +1,354 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! mirror, so the workspace resolves the `crossbeam` dependency name to
+//! this shim (see the root `Cargo.toml`). It implements exactly the API
+//! surface the workspace uses, on top of `std`:
+//!
+//! * [`thread::scope`] / [`thread::Scope::spawn`] — scoped threads,
+//!   backed by `std::thread::scope` (stable since Rust 1.63).
+//! * [`channel`] — multi-producer **multi-consumer** channels (the
+//!   property `std::sync::mpsc` lacks), backed by a `Mutex<VecDeque>`
+//!   plus a `Condvar`. Both ends are cloneable; `recv` blocks until a
+//!   message arrives or every sender is dropped.
+//!
+//! Known divergences from real crossbeam, acceptable for this workspace:
+//! the closure passed to [`thread::Scope::spawn`] receives a zero-sized
+//! placeholder instead of a re-spawnable scope handle (no nested spawns),
+//! and a panic in an unjoined scoped thread propagates as a panic instead
+//! of an `Err` from [`thread::scope`] (all call sites join every handle).
+
+pub mod thread {
+    //! Scoped threads: spawn borrowing threads that are joined before the
+    //! scope returns.
+
+    /// Result of joining a thread (`Err` carries the panic payload).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; `spawn` borrows from the enclosing environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Placeholder passed to spawned closures where real crossbeam passes
+    /// a nested scope handle. Nested spawning is not supported.
+    pub struct NestedScope {
+        _priv: (),
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&NestedScope { _priv: () })),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. All spawned threads
+    /// are joined (by the caller or implicitly) before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        available: Condvar,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (messages are distributed, not broadcast).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The channel is disconnected (no receivers); returns the message.
+    pub struct SendError<T>(pub T);
+
+    /// The channel is empty and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why `try_recv` returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// No message queued and every sender is gone.
+        Disconnected,
+    }
+
+    /// Why `recv_timeout` returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message.
+        Timeout,
+        /// No message queued and every sender is gone.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            available: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                // wake blocked receivers so they observe disconnection
+                self.shared.available.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers -= 1;
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a message; fails only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.available.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .available
+                    .wait_timeout(st, deadline - now)
+                    .expect("channel poisoned");
+                st = guard;
+            }
+        }
+
+        /// Drain messages until every sender is dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let sums = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope");
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn channel_is_fifo_and_multi_consumer() {
+        let (tx, rx) = channel::unbounded();
+        let rx2 = rx.clone();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx2.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        drop(tx);
+        let rest: Vec<i32> = rx.iter().collect();
+        assert_eq!(rest, vec![3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(rx2.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn disconnection_is_observed_on_both_ends() {
+        let (tx, rx) = channel::unbounded::<i32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+
+        let (tx, rx) = channel::unbounded::<i32>();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn workers_share_one_receiver() {
+        let (tx, rx) = channel::unbounded();
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let total = &total;
+                s.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+            for i in 1..=100usize {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+        })
+        .expect("scope");
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 5050);
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! mirror, so the workspace resolves the `rand` dependency name to this
+//! shim (see the root `Cargo.toml`). It covers the API surface
+//! `visdb-data` uses — [`Rng::gen_range`] over half-open ranges of
+//! `f64` / `usize` / `u8` / `i32` / `u32` / `u64`, plus a seedable
+//! [`rngs::StdRng`] — backed by the SplitMix64 generator. Streams are
+//! deterministic per seed but differ from real `rand`'s ChaCha-based
+//! `StdRng`; the synthetic data generators only rely on seed-stable
+//! output, not on a particular stream.
+
+use std::ops::Range;
+
+/// Raw 64-bit generator.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (blanket-implemented for any [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that knows how to sample itself uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        // 53 uniform mantissa bits in [0, 1)
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer sample range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Modulo reduction; the tiny bias is irrelevant for the
+                // synthetic-data spans (all far below 2^32) used here.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+pub mod rngs {
+    //! Named generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64 — tiny, fast, and
+    /// seed-stable, which is all the synthetic workloads need.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0), b.gen_range(0.0..1.0));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same = (0..100)
+            .filter(|_| {
+                StdRng::seed_from_u64(7);
+                a.gen_range(0..1000u64) == c.gen_range(0..1000u64)
+            })
+            .count();
+        assert!(same < 20, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let f = r.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&f));
+            let u = r.gen_range(3..17usize);
+            assert!((3..17).contains(&u));
+            let b = r.gen_range(0..26u8);
+            assert!(b < 26);
+            let i = r.gen_range(0..3);
+            assert!((0..3i32).contains(&i));
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval_covers_both_halves() {
+        let mut r = StdRng::seed_from_u64(1);
+        let draws: Vec<f64> = (0..1000).map(|_| r.gen_range(0.0..1.0)).collect();
+        assert!(draws.iter().any(|&x| x < 0.5));
+        assert!(draws.iter().any(|&x| x > 0.5));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((0.4..0.6).contains(&mean), "mean {mean}");
+    }
+}

@@ -33,7 +33,11 @@ impl Default for RenderOptions {
 /// window per selection predicate with *position-coherent* item
 /// placement.
 pub fn render_session(session: &mut Session, opts: &RenderOptions) -> Result<Framebuffer> {
-    let highlighted: Vec<u32> = session.selected_item().map(|i| i as u32).into_iter().collect();
+    let highlighted: Vec<u32> = session
+        .selected_item()
+        .map(|i| i as u32)
+        .into_iter()
+        .collect();
     let ppi = session.pixels_per_item();
     let map0 = session.colormap().clone();
     session.result()?; // ensure the cache is fresh
@@ -97,6 +101,7 @@ pub fn render_session(session: &mut Session, opts: &RenderOptions) -> Result<Fra
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use visdb_query::ast::CompareOp;
     use visdb_query::builder::QueryBuilder;
     use visdb_query::connection::ConnectionRegistry;
@@ -111,9 +116,10 @@ mod tests {
         }
         let mut db = Database::new("d");
         db.add_table(b.build());
-        let mut s = Session::new(db, ConnectionRegistry::new());
+        let mut s = Session::new(Arc::new(db), ConnectionRegistry::new());
         s.set_window_size(16, 16).unwrap();
-        s.set_display_policy(DisplayPolicy::Percentage(50.0)).unwrap();
+        s.set_display_policy(DisplayPolicy::Percentage(50.0))
+            .unwrap();
         s.set_query(
             QueryBuilder::from_tables(["T"])
                 .cmp("x", CompareOp::Ge, 390.0)
@@ -168,7 +174,8 @@ mod tests {
     fn pixels_per_item_scales_output() {
         let mut s = session();
         let fb1 = render_session(&mut s, &RenderOptions::default()).unwrap();
-        s.set_pixels_per_item(visdb_arrange::PixelsPerItem::Four).unwrap();
+        s.set_pixels_per_item(visdb_arrange::PixelsPerItem::Four)
+            .unwrap();
         let fb2 = render_session(&mut s, &RenderOptions::default()).unwrap();
         assert!(fb2.width() > fb1.width());
     }

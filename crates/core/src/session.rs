@@ -7,6 +7,8 @@
 //! 'auto recalculate off' mode where queries are only recalculated on
 //! demand."
 
+use std::sync::Arc;
+
 use visdb_arrange::{arrange_overall, ItemGrid, PixelsPerItem};
 use visdb_color::{Colormap, ColormapKind};
 use visdb_distance::registry::DistanceResolver;
@@ -46,8 +48,12 @@ pub struct DrilldownView {
 }
 
 /// An interactive VisDB session.
+///
+/// The database is held behind an [`Arc`]: any number of sessions —
+/// across threads — share one loaded dataset with zero copies, which is
+/// what the `visdb-service` serving layer builds on.
 pub struct Session {
-    db: Database,
+    db: Arc<Database>,
     registry: ConnectionRegistry,
     resolver: DistanceResolver,
     query: Option<Query>,
@@ -67,8 +73,12 @@ pub struct Session {
 }
 
 impl Session {
-    /// New session over a database and its declared connections.
-    pub fn new(db: Database, registry: ConnectionRegistry) -> Self {
+    /// New session over a shared database and its declared connections.
+    ///
+    /// Pass `Arc::new(db)` for a single-user session, or clone one
+    /// `Arc<Database>` into many sessions to multiplex users over the
+    /// same dataset (see `visdb-service`).
+    pub fn new(db: Arc<Database>, registry: ConnectionRegistry) -> Self {
         Session {
             db,
             registry,
@@ -97,6 +107,16 @@ impl Session {
     /// The underlying database.
     pub fn db(&self) -> &Database {
         &self.db
+    }
+
+    /// A new shared handle to the underlying database.
+    pub fn shared_db(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
+    }
+
+    /// The current display policy.
+    pub fn display_policy(&self) -> &DisplayPolicy {
+        &self.policy
     }
 
     /// The declared connections.
@@ -258,9 +278,9 @@ impl Session {
             .ok_or_else(|| Error::invalid_query("query has no condition"))?;
         if matches!(cond.node, ConditionNode::And(_) | ConditionNode::Or(_)) {
             match &mut cond.node {
-                ConditionNode::And(cs) | ConditionNode::Or(cs) => cs.get_mut(idx).ok_or_else(|| {
-                    Error::invalid_parameter("window", format!("no window {idx}"))
-                }),
+                ConditionNode::And(cs) | ConditionNode::Or(cs) => cs
+                    .get_mut(idx)
+                    .ok_or_else(|| Error::invalid_parameter("window", format!("no window {idx}"))),
                 _ => unreachable!("matched above"),
             }
         } else if idx == 0 {
@@ -305,7 +325,10 @@ impl Session {
     /// Set the weighting factor of the `idx`-th top-level window.
     pub fn set_weight(&mut self, idx: usize, weight: f64) -> Result<()> {
         if !weight.is_finite() || weight < 0.0 {
-            return Err(Error::invalid_parameter("weight", "must be finite and >= 0"));
+            return Err(Error::invalid_parameter(
+                "weight",
+                "must be finite and >= 0",
+            ));
         }
         {
             let query = self
@@ -384,11 +407,10 @@ impl Session {
             ));
         }
         let res = self.result()?;
-        let win = res
-            .pipeline
-            .windows
-            .get(window_idx)
-            .ok_or_else(|| Error::invalid_parameter("window", format!("no window {window_idx}")))?;
+        let win =
+            res.pipeline.windows.get(window_idx).ok_or_else(|| {
+                Error::invalid_parameter("window", format!("no window {window_idx}"))
+            })?;
         let items: Vec<usize> = res
             .pipeline
             .displayed
@@ -611,7 +633,7 @@ mod tests {
         }
         let mut db = Database::new("d");
         db.add_table(b.build());
-        Session::new(db, ConnectionRegistry::new())
+        Session::new(Arc::new(db), ConnectionRegistry::new())
     }
 
     #[test]
@@ -701,7 +723,8 @@ mod tests {
     #[test]
     fn color_range_projection() {
         let mut s = session_with_ramp(100);
-        s.set_display_policy(DisplayPolicy::Percentage(100.0)).unwrap();
+        s.set_display_policy(DisplayPolicy::Percentage(100.0))
+            .unwrap();
         s.set_query(
             QueryBuilder::from_tables(["T"])
                 .cmp("x", CompareOp::Ge, 99.0)
@@ -744,7 +767,8 @@ mod tests {
     #[test]
     fn panel_fields() {
         let mut s = session_with_ramp(100);
-        s.set_display_policy(DisplayPolicy::Percentage(50.0)).unwrap();
+        s.set_display_policy(DisplayPolicy::Percentage(50.0))
+            .unwrap();
         s.set_query(
             QueryBuilder::from_tables(["T"])
                 .cmp("x", CompareOp::Ge, 80.0)
@@ -769,19 +793,15 @@ mod tests {
         // low item may slip in — the dominant mass must be x >= 50)
         assert_eq!(sl.displayed_max, Some(99.0));
         let res = s.result().unwrap();
-        let high = res
-            .pipeline
-            .displayed
-            .iter()
-            .filter(|&&i| i >= 50)
-            .count();
+        let high = res.pipeline.displayed.iter().filter(|&&i| i >= 50).count();
         assert!(high >= 45, "only {high} of 50 displayed items are x >= 50");
     }
 
     #[test]
     fn first_last_of_color() {
         let mut s = session_with_ramp(100);
-        s.set_display_policy(DisplayPolicy::Percentage(100.0)).unwrap();
+        s.set_display_policy(DisplayPolicy::Percentage(100.0))
+            .unwrap();
         s.set_query(
             QueryBuilder::from_tables(["T"])
                 .cmp("x", CompareOp::Ge, 99.0)
@@ -794,7 +814,11 @@ mod tests {
         let sl = &panel.sliders[0];
         assert!(sl.first_of_color.is_some());
         assert!(sl.last_of_color.unwrap() <= 99.0);
-        assert!(sl.first_of_color.unwrap() >= 70.0, "{:?}", sl.first_of_color);
+        assert!(
+            sl.first_of_color.unwrap() >= 70.0,
+            "{:?}",
+            sl.first_of_color
+        );
     }
 
     #[test]
@@ -810,7 +834,7 @@ mod tests {
         let (h0, m0) = s.cache_stats();
         assert_eq!(h0, 0);
         assert_eq!(m0, 2); // first run evaluates both windows
-        // nudge only the first slider: the second window is reused
+                           // nudge only the first slider: the second window is reused
         s.set_predicate_target(
             0,
             PredicateTarget::Compare {
@@ -830,7 +854,8 @@ mod tests {
     #[test]
     fn arrange_2d_places_items_by_sign() {
         let mut s = session_with_ramp(100);
-        s.set_display_policy(DisplayPolicy::Percentage(100.0)).unwrap();
+        s.set_display_policy(DisplayPolicy::Percentage(100.0))
+            .unwrap();
         s.set_window_size(20, 20).unwrap();
         s.set_query(
             QueryBuilder::from_tables(["T"])
@@ -849,7 +874,10 @@ mod tests {
         assert!(hx >= 10 && hy < 10, "({hx},{hy})");
         // the exact answer sits in the center block
         let (cx, cy) = grid.position_of(50).unwrap();
-        assert!((8..=11).contains(&cx) && (8..=11).contains(&cy), "({cx},{cy})");
+        assert!(
+            (8..=11).contains(&cx) && (8..=11).contains(&cy),
+            "({cx},{cy})"
+        );
         assert!(s.arrange_2d(0, 7).is_err());
     }
 
@@ -865,7 +893,7 @@ mod tests {
         t = t.row(vec![Value::Float(1.0), Value::from("a")]).unwrap();
         let mut db = Database::new("d");
         db.add_table(t.build());
-        let mut s = Session::new(db, ConnectionRegistry::new());
+        let mut s = Session::new(Arc::new(db), ConnectionRegistry::new());
         s.set_query(
             QueryBuilder::from_tables(["S"])
                 .cmp("x", CompareOp::Eq, 1.0)

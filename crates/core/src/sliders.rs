@@ -84,7 +84,11 @@ impl fmt::Display for Panel {
         writeln!(f, "== Visualization and Query Modification ==")?;
         writeln!(f, "# objects    {:>10}", self.overall.num_objects)?;
         writeln!(f, "# displayed  {:>10}", self.overall.num_displayed)?;
-        writeln!(f, "% displayed  {:>9.1}%", self.overall.pct_displayed * 100.0)?;
+        writeln!(
+            f,
+            "% displayed  {:>9.1}%",
+            self.overall.pct_displayed * 100.0
+        )?;
         writeln!(f, "# results    {:>10}", self.overall.num_results)?;
         for (i, s) in self.sliders.iter().enumerate() {
             writeln!(f, "--- window {} [{}] ---", i + 1, s.label)?;
@@ -104,12 +108,9 @@ impl fmt::Display for Panel {
                 fmt_opt(s.displayed_max)
             )?;
             match s.query_range {
-                Some((lo, hi)) => writeln!(
-                    f,
-                    "  query range   {} .. {}",
-                    fmt_opt(lo),
-                    fmt_opt(hi)
-                )?,
+                Some((lo, hi)) => {
+                    writeln!(f, "  query range   {} .. {}", fmt_opt(lo), fmt_opt(hi))?
+                }
                 None => writeln!(f, "  query range   --- .. ---")?,
             }
             writeln!(f, "  weight        {:.3}", s.weight)?;

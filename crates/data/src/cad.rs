@@ -103,7 +103,11 @@ pub fn generate_cad(cfg: &CadConfig) -> CadData {
                 .collect();
             let dev = r.gen_range(0..NUM_PARAMS);
             // deviate decisively in exactly one parameter
-            params[dev] += if r.gen_range(0.0..1.0) < 0.5 { 25.0 } else { -25.0 };
+            params[dev] += if r.gen_range(0.0..1.0) < 0.5 {
+                25.0
+            } else {
+                -25.0
+            };
             let row_idx = labels.len();
             push_part(&mut table, &params, &mut next_id);
             labels.push(Some(c));
@@ -140,7 +144,10 @@ mod tests {
         assert_eq!(t.len(), expected);
         assert_eq!(t.schema().len(), NUM_PARAMS + 1);
         assert_eq!(d.labels.len(), expected);
-        assert_eq!(d.near_misses.len(), cfg.clusters * cfg.near_misses_per_cluster);
+        assert_eq!(
+            d.near_misses.len(),
+            cfg.clusters * cfg.near_misses_per_cluster
+        );
     }
 
     #[test]
@@ -155,7 +162,10 @@ mod tests {
             }
             for (p, &expected) in proto.iter().enumerate() {
                 let v = t.column(p + 1).unwrap().get_f64(row).unwrap();
-                assert!((v - expected).abs() < 5.0, "row {row} p{p}: {v} vs {expected}");
+                assert!(
+                    (v - expected).abs() < 5.0,
+                    "row {row} p{p}: {v} vs {expected}"
+                );
             }
         }
     }

@@ -20,12 +20,7 @@ pub fn normal<R: Rng>(r: &mut R, mean: f64, std_dev: f64) -> f64 {
 
 /// Sample from a two-component Gaussian mixture — the fig 2 density
 /// shapes (§5.1): `(weight1, mean1, sd1)` vs `(mean2, sd2)`.
-pub fn mixture<R: Rng>(
-    r: &mut R,
-    w1: f64,
-    (m1, s1): (f64, f64),
-    (m2, s2): (f64, f64),
-) -> f64 {
+pub fn mixture<R: Rng>(r: &mut R, w1: f64, (m1, s1): (f64, f64), (m2, s2): (f64, f64)) -> f64 {
     if r.gen_range(0.0..1.0) < w1 {
         normal(r, m1, s1)
     } else {
@@ -61,8 +56,9 @@ mod tests {
     fn mixture_is_bimodal() {
         let mut r = rng(9);
         let n = 10_000;
-        let samples: Vec<f64> =
-            (0..n).map(|_| mixture(&mut r, 0.5, (0.0, 0.5), (100.0, 0.5))).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| mixture(&mut r, 0.5, (0.0, 0.5), (100.0, 0.5)))
+            .collect();
         let low = samples.iter().filter(|x| **x < 50.0).count();
         assert!((4000..6000).contains(&low), "low={low}");
     }

@@ -126,10 +126,7 @@ pub fn generate_environmental(cfg: &EnvConfig) -> EnvData {
 
     for (s, &wloc) in base_stations.iter().enumerate() {
         // the paired pollution station sits `station_offset_m` north
-        let ploc = Location::new(
-            wloc.lat + meters_to_deg_lat(cfg.station_offset_m),
-            wloc.lon,
-        );
+        let ploc = Location::new(wloc.lat + meters_to_deg_lat(cfg.station_offset_m), wloc.lon);
         // per-station temperature/solar series, kept so ozone can look
         // back `lag` hours
         let mut temps = Vec::with_capacity(cfg.hours);
@@ -299,7 +296,10 @@ mod tests {
         }
         for &i in &d.truth.hot_spot_rows {
             let v = ozone.get_f64(i).unwrap();
-            assert!(v > regular_max + 50.0, "hot spot {i} = {v}, regular max {regular_max}");
+            assert!(
+                v > regular_max + 50.0,
+                "hot spot {i} = {v}, regular max {regular_max}"
+            );
         }
     }
 
@@ -334,7 +334,10 @@ mod tests {
         let lag2 = corr_at(2);
         let lag12 = corr_at(12);
         assert!(lag2 > 0.8, "lag-2 correlation {lag2}");
-        assert!(lag2 > lag12 + 0.1, "lag-2 {lag2} should beat lag-12 {lag12}");
+        assert!(
+            lag2 > lag12 + 0.1,
+            "lag-2 {lag2} should beat lag-12 {lag12}"
+        );
     }
 
     #[test]

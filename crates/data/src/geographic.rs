@@ -98,7 +98,10 @@ pub fn generate_geographic(cfg: &GeoConfig) -> GeoData {
     // meters east -> degrees longitude at this latitude
     let m_to_deg_lon = |lat: f64, m: f64| m / (111_320.0 * lat.to_radians().cos());
     for (k, &sloc) in station_locs.iter().take(cfg.paired_sites).enumerate() {
-        let loc = Location::new(sloc.lat, sloc.lon + m_to_deg_lon(sloc.lat, cfg.pair_distance_m));
+        let loc = Location::new(
+            sloc.lat,
+            sloc.lon + m_to_deg_lon(sloc.lat, cfg.pair_distance_m),
+        );
         let site_row = sites.len();
         sites
             .push_row(vec![
@@ -135,7 +138,11 @@ pub fn generate_geographic(cfg: &GeoConfig) -> GeoData {
         },
     });
 
-    GeoData { db, registry, pairs }
+    GeoData {
+        db,
+        registry,
+        pairs,
+    }
 }
 
 #[cfg(test)]

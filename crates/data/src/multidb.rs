@@ -157,7 +157,11 @@ pub fn generate_multidb(cfg: &MultiDbConfig) -> MultiDbData {
         },
     });
 
-    MultiDbData { db, registry, pairs }
+    MultiDbData {
+        db,
+        registry,
+        pairs,
+    }
 }
 
 #[cfg(test)]

@@ -44,8 +44,14 @@ pub fn within_m(a: Location, b: Location, radius_m: f64) -> Distance {
 mod tests {
     use super::*;
 
-    const MUNICH: Location = Location { lat: 48.137, lon: 11.575 };
-    const BERLIN: Location = Location { lat: 52.52, lon: 13.405 };
+    const MUNICH: Location = Location {
+        lat: 48.137,
+        lon: 11.575,
+    };
+    const BERLIN: Location = Location {
+        lat: 52.52,
+        lon: 13.405,
+    };
 
     #[test]
     fn munich_berlin_is_about_504_km() {

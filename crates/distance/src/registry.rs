@@ -97,10 +97,7 @@ impl DistanceResolver {
         data_type: DataType,
         class: TypeClass,
     ) -> ColumnDistance {
-        if let Some(d) = self
-            .overrides
-            .get(&(table.to_string(), column.to_string()))
-        {
+        if let Some(d) = self.overrides.get(&(table.to_string(), column.to_string())) {
             return d.clone();
         }
         match (data_type, class) {
@@ -122,7 +119,10 @@ mod tests {
     #[test]
     fn numeric_value_distance() {
         let d = ColumnDistance::Numeric;
-        assert_eq!(d.value_distance(&Value::Float(12.0), &Value::Int(10)), Some(2.0));
+        assert_eq!(
+            d.value_distance(&Value::Float(12.0), &Value::Int(10)),
+            Some(2.0)
+        );
         assert_eq!(d.value_distance(&Value::Null, &Value::Int(10)), None);
         assert_eq!(d.value_distance(&Value::from("x"), &Value::Int(10)), None);
         assert!(d.is_signed());
@@ -131,7 +131,10 @@ mod tests {
     #[test]
     fn string_value_distance() {
         let d = ColumnDistance::String(StringDistance::Edit);
-        assert_eq!(d.value_distance(&Value::from("abc"), &Value::from("abd")), Some(1.0));
+        assert_eq!(
+            d.value_distance(&Value::from("abc"), &Value::from("abd")),
+            Some(1.0)
+        );
         assert!(!d.is_signed());
     }
 
@@ -139,7 +142,10 @@ mod tests {
     fn matrix_value_distance_signedness() {
         let ord = ColumnDistance::Matrix(Arc::new(DistanceMatrix::ordinal(["s", "m", "l"])));
         assert!(ord.is_signed());
-        assert_eq!(ord.value_distance(&Value::from("s"), &Value::from("l")), Some(-2.0));
+        assert_eq!(
+            ord.value_distance(&Value::from("s"), &Value::from("l")),
+            Some(-2.0)
+        );
         let nom = ColumnDistance::Matrix(Arc::new(DistanceMatrix::discrete(["a", "b"])));
         assert!(!nom.is_signed());
     }
@@ -167,13 +173,19 @@ mod tests {
             ColumnDistance::String(StringDistance::Phonetic),
         );
         let d = r.resolve("W", "Station", DataType::Str, TypeClass::Nominal);
-        assert!(matches!(d, ColumnDistance::String(StringDistance::Phonetic)));
+        assert!(matches!(
+            d,
+            ColumnDistance::String(StringDistance::Phonetic)
+        ));
     }
 
     #[test]
     fn resolver_default_string_kind() {
         let r = DistanceResolver::new().with_default_string(StringDistance::Substring);
         let d = r.resolve("T", "c", DataType::Str, TypeClass::Nominal);
-        assert!(matches!(d, ColumnDistance::String(StringDistance::Substring)));
+        assert!(matches!(
+            d,
+            ColumnDistance::String(StringDistance::Substring)
+        ));
     }
 }

@@ -236,7 +236,10 @@ mod tests {
             StringDistance::Phonetic,
             StringDistance::Lexicographic,
         ] {
-            assert_eq!(kind.distance("house", "mouse"), kind.distance("mouse", "house"));
+            assert_eq!(
+                kind.distance("house", "mouse"),
+                kind.distance("mouse", "house")
+            );
         }
     }
 

@@ -50,13 +50,20 @@ impl GridFile {
             }
             for d in 0..dims {
                 if p[d].is_nan() {
-                    return Err(Error::invalid_parameter("points", format!("point {i} has NaN")));
+                    return Err(Error::invalid_parameter(
+                        "points",
+                        format!("point {i} has NaN"),
+                    ));
                 }
                 mins[d] = mins[d].min(p[d]);
                 maxs[d] = maxs[d].max(p[d]);
             }
         }
-        let n_cells = if dims == 0 { 0 } else { resolution.pow(dims as u32) };
+        let n_cells = if dims == 0 {
+            0
+        } else {
+            resolution.pow(dims as u32)
+        };
         let mut gf = GridFile {
             dims,
             resolution,
@@ -186,7 +193,10 @@ mod tests {
     #[test]
     fn query_outside_bounding_box() {
         let g = GridFile::build(cloud(), 4).unwrap();
-        assert!(g.range_query(&[-10.0, -10.0], &[-5.0, -5.0]).unwrap().is_empty());
+        assert!(g
+            .range_query(&[-10.0, -10.0], &[-5.0, -5.0])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

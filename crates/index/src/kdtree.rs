@@ -49,7 +49,10 @@ impl KdTree {
                 ));
             }
             if p.iter().any(|x| x.is_nan()) {
-                return Err(Error::invalid_parameter("points", format!("point {i} has NaN")));
+                return Err(Error::invalid_parameter(
+                    "points",
+                    format!("point {i} has NaN"),
+                ));
             }
         }
         let mut tree = KdTree {
@@ -190,7 +193,10 @@ mod tests {
     #[test]
     fn empty_and_degenerate_ranges() {
         let t = KdTree::build(grid_points(5)).unwrap();
-        assert!(t.range_query(&[100.0, 100.0], &[200.0, 200.0]).unwrap().is_empty());
+        assert!(t
+            .range_query(&[100.0, 100.0], &[200.0, 200.0])
+            .unwrap()
+            .is_empty());
         // point query
         let hits = t.range_query(&[2.0, 2.0], &[2.0, 2.0]).unwrap();
         assert_eq!(hits.len(), 1);

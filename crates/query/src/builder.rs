@@ -5,9 +5,7 @@
 
 use visdb_types::Value;
 
-use crate::ast::{
-    AttrRef, CompareOp, ConditionNode, Predicate, Query, SubqueryLink, Weighted,
-};
+use crate::ast::{AttrRef, CompareOp, ConditionNode, Predicate, Query, SubqueryLink, Weighted};
 use crate::connection::ConnectionUse;
 
 /// Fluent builder for [`Query`].
@@ -140,8 +138,10 @@ impl QueryBuilder {
     /// Negate the most recently added part.
     pub fn negate_last(mut self) -> Self {
         if let Some(w) = self.parts.pop() {
-            self.parts
-                .push(Weighted::new(ConditionNode::Not(Box::new(w.node)), w.weight));
+            self.parts.push(Weighted::new(
+                ConditionNode::Not(Box::new(w.node)),
+                w.weight,
+            ));
         }
         self
     }

@@ -198,9 +198,7 @@ impl ConnectionRegistry {
         self.defs
             .values()
             .flatten()
-            .filter(|d| {
-                tables.contains(&d.left_table) || tables.contains(&d.right_table)
-            })
+            .filter(|d| tables.contains(&d.left_table) || tables.contains(&d.right_table))
             .collect()
     }
 
@@ -257,7 +255,9 @@ mod tests {
         assert!(reg
             .lookup("with-time-diff", "Air-Pollution", "Weather")
             .is_ok());
-        assert!(reg.lookup("with-time-diff", "Weather", "Air-Pollution").is_err());
+        assert!(reg
+            .lookup("with-time-diff", "Weather", "Air-Pollution")
+            .is_err());
         assert_eq!(reg.involving(&["Weather".into()]).len(), 2);
         assert_eq!(reg.involving(&["Nope".into()]).len(), 0);
     }

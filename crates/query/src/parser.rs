@@ -27,9 +27,7 @@
 
 use visdb_types::{Error, Result, Value};
 
-use crate::ast::{
-    AttrRef, CompareOp, ConditionNode, Predicate, Query, SubqueryLink, Weighted,
-};
+use crate::ast::{AttrRef, CompareOp, ConditionNode, Predicate, Query, SubqueryLink, Weighted};
 use crate::connection::ConnectionRegistry;
 
 #[derive(Debug, Clone, PartialEq)]
@@ -401,9 +399,9 @@ impl<'a> Parser<'a> {
             let low = self.literal()?;
             self.expect_keyword("AND")?;
             let high = self.literal()?;
-            return self.weight_suffix(Weighted::unit(ConditionNode::Predicate(
-                Predicate::range(attr, low, high),
-            )));
+            return self.weight_suffix(Weighted::unit(ConditionNode::Predicate(Predicate::range(
+                attr, low, high,
+            ))));
         }
         if self.eat_keyword("AROUND") {
             let center = self.literal()?;
@@ -504,7 +502,9 @@ mod tests {
             ConditionNode::And(parts) => {
                 assert_eq!(parts.len(), 2);
                 assert!(matches!(&parts[0].node, ConditionNode::Or(v) if v.len() == 3));
-                assert!(matches!(&parts[1].node, ConditionNode::Connection(u) if u.params == vec![7200.0]));
+                assert!(
+                    matches!(&parts[1].node, ConditionNode::Connection(u) if u.params == vec![7200.0])
+                );
             }
             other => panic!("expected AND, got {other:?}"),
         }
@@ -611,11 +611,7 @@ mod tests {
         assert!(parse_query("SELECT * FROM T WHERE", &registry()).is_err());
         assert!(parse_query("SELECT * FROM T WHERE a >", &registry()).is_err());
         assert!(parse_query("SELECT * FROM T trailing", &registry()).is_err());
-        assert!(parse_query(
-            "SELECT * FROM T WHERE CONNECT nope ON A, B",
-            &registry()
-        )
-        .is_err());
+        assert!(parse_query("SELECT * FROM T WHERE CONNECT nope ON A, B", &registry()).is_err());
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub fn resolve_attr<'a>(
 /// problem found.
 pub fn validate(db: &Database, query: &Query) -> Result<()> {
     if query.tables.is_empty() {
-        return Err(Error::invalid_query("query must reference at least one table"));
+        return Err(Error::invalid_query(
+            "query must reference at least one table",
+        ));
     }
     for t in &query.tables {
         db.table(t)?;
@@ -300,7 +302,9 @@ mod tests {
             },
         };
         let u = def.instantiate(vec![]).unwrap();
-        let q = QueryBuilder::from_tables(["Weather"]).connect(u.clone()).build();
+        let q = QueryBuilder::from_tables(["Weather"])
+            .connect(u.clone())
+            .build();
         assert!(validate(&db(), &q).is_err());
         let q = QueryBuilder::from_tables(["Weather", "Air-Pollution"])
             .connect(u)
@@ -317,7 +321,9 @@ mod tests {
                 .unwrap()
                 .build(),
         );
-        let q = QueryBuilder::from_tables(["S"]).around("name", 1.0, 1.0).build();
+        let q = QueryBuilder::from_tables(["S"])
+            .around("name", 1.0, 1.0)
+            .build();
         assert!(validate(&database, &q).is_err());
     }
 

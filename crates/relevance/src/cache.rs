@@ -124,7 +124,10 @@ mod tests {
             weight: 1.0,
             raw: Arc::new(vec![Some(0.0); n]),
             normalized: Arc::new(vec![Some(0.0); n]),
-            norm_params: NormParams { dmin: 0.0, dmax: 0.0 },
+            norm_params: NormParams {
+                dmin: 0.0,
+                dmax: 0.0,
+            },
         }
     }
 

@@ -221,8 +221,7 @@ mod tests {
         let out =
             ablation::combine_and_max(&[v(&[10.0, 0.0]), v(&[5.0, 0.0])], &[1.0, 1.0]).unwrap();
         assert_eq!(out, vec![Some(10.0), Some(0.0)]);
-        let out =
-            ablation::combine_or_min(&[v(&[10.0]), vec![None]], &[1.0, 1.0]).unwrap();
+        let out = ablation::combine_or_min(&[v(&[10.0]), vec![None]], &[1.0, 1.0]).unwrap();
         assert_eq!(out, vec![Some(10.0)]);
     }
 

@@ -295,9 +295,10 @@ impl<'a> EvalContext<'a> {
     /// determined by the minimum distance in performing an approximate
     /// join of the inner and the outer relation(s)".
     fn eval_subquery(&self, link: &SubqueryLink, query: &Query) -> Result<NodeEval> {
-        let inner_table_name = query.tables.first().ok_or_else(|| {
-            Error::invalid_query("subquery must reference at least one table")
-        })?;
+        let inner_table_name = query
+            .tables
+            .first()
+            .ok_or_else(|| Error::invalid_query("subquery must reference at least one table"))?;
         let inner_table = self.db.table(inner_table_name)?;
         let inner_ctx = EvalContext {
             db: self.db,
@@ -405,12 +406,8 @@ fn compare_distance(
                 CompareOp::Eq => Some(raw),
                 CompareOp::Ne => Some(if ra != rb { 0.0 } else { 1.0 }),
                 _ if !m.is_ordinal() => None, // order undefined on nominal
-                CompareOp::Gt | CompareOp::Ge => {
-                    Some(if ra >= rb { 0.0 } else { raw })
-                }
-                CompareOp::Lt | CompareOp::Le => {
-                    Some(if ra <= rb { 0.0 } else { raw })
-                }
+                CompareOp::Gt | CompareOp::Ge => Some(if ra >= rb { 0.0 } else { raw }),
+                CompareOp::Lt | CompareOp::Le => Some(if ra <= rb { 0.0 } else { raw }),
             }
         }
         ColumnDistance::String(kind) => {
@@ -649,11 +646,7 @@ mod tests {
         let db = weather_db();
         let r = DistanceResolver::new();
         let c = ctx(&db, &r);
-        let node = ConditionNode::Predicate(Predicate::range(
-            AttrRef::new("Humidity"),
-            55.0,
-            70.0,
-        ));
+        let node = ConditionNode::Predicate(Predicate::range(AttrRef::new("Humidity"), 55.0, 70.0));
         let e = c.eval_node(&node).unwrap();
         assert_eq!(e.distances[0], Some(-5.0)); // 50 below 55
         assert_eq!(e.distances[1], Some(10.0)); // 80 above 70
@@ -673,7 +666,9 @@ mod tests {
         );
         let r = DistanceResolver::new();
         let c = ctx(&db, &r);
-        let sub = QueryBuilder::from_tables(["Alerts"]).select(["AlertTemp"]).build();
+        let sub = QueryBuilder::from_tables(["Alerts"])
+            .select(["AlertTemp"])
+            .build();
         let node = ConditionNode::Subquery {
             link: SubqueryLink::In {
                 outer: AttrRef::new("Temperature"),

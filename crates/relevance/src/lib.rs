@@ -29,16 +29,18 @@
 
 pub mod cache;
 pub mod combine;
-pub mod metric_combine;
 pub mod eval;
+pub mod metric_combine;
 pub mod normalize;
 pub mod pipeline;
 pub mod quantile;
 pub mod reduction;
 
+pub use cache::PipelineCache;
 pub use eval::{EvalContext, NodeEval};
 pub use normalize::{normalize_improved, normalize_naive, NormParams, NORM_MAX};
-pub use cache::PipelineCache;
-pub use pipeline::{run_pipeline, run_pipeline_cached, DisplayPolicy, PipelineOutput, PredicateWindow};
+pub use pipeline::{
+    run_pipeline, run_pipeline_cached, DisplayPolicy, PipelineOutput, PredicateWindow,
+};
 pub use quantile::{display_fraction, quantile, two_sided_range};
 pub use reduction::{gap_cutoff, gap_cutoff_naive};

@@ -92,7 +92,13 @@ pub fn combine_mahalanobis<C: AsRef<[Option<f64>]>>(
     let m = defined.len() as f64;
     let mean: Vec<f64> = children
         .iter()
-        .map(|c| defined.iter().map(|&i| c.as_ref()[i].expect("defined")).sum::<f64>() / m)
+        .map(|c| {
+            defined
+                .iter()
+                .map(|&i| c.as_ref()[i].expect("defined"))
+                .sum::<f64>()
+                / m
+        })
         .collect();
     // covariance + ridge
     let mut cov = vec![vec![0.0f64; k]; k];
@@ -122,10 +128,7 @@ pub fn combine_mahalanobis<C: AsRef<[Option<f64>]>>(
     // vector: an item with all parts fulfilled must stay at distance 0
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
-        let x: Option<Vec<f64>> = children
-            .iter()
-            .map(|c| c.as_ref()[i])
-            .collect();
+        let x: Option<Vec<f64>> = children.iter().map(|c| c.as_ref()[i]).collect();
         match x {
             Some(x) => {
                 let mut q = 0.0;
@@ -229,13 +232,17 @@ mod tests {
         let d_corr = combine_mahalanobis(&[a.clone(), corr], 1e-6).unwrap();
         let d_indep = combine_mahalanobis(&[a, indep], 1e-6).unwrap();
         // pick an item with large distances on both parts
-        let i = (0..200).max_by(|&x, &y| {
-            d_indep[x].partial_cmp(&d_indep[y]).unwrap()
-        }).unwrap();
+        let i = (0..200)
+            .max_by(|&x, &y| d_indep[x].partial_cmp(&d_indep[y]).unwrap())
+            .unwrap();
         // correlated case must not exceed the independent case by the
         // naive sqrt(2) factor an L2 would apply
-        assert!(d_corr[i].unwrap() < d_indep[i].unwrap() * 1.45,
-            "corr {:?} vs indep {:?}", d_corr[i], d_indep[i]);
+        assert!(
+            d_corr[i].unwrap() < d_indep[i].unwrap() * 1.45,
+            "corr {:?} vs indep {:?}",
+            d_corr[i],
+            d_indep[i]
+        );
     }
 
     #[test]

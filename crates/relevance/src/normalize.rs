@@ -86,7 +86,10 @@ fn fit(values: &[Option<f64>], consider: Option<&[usize]>) -> NormParams {
         }
     }
     if !seen {
-        return NormParams { dmin: 0.0, dmax: 0.0 };
+        return NormParams {
+            dmin: 0.0,
+            dmax: 0.0,
+        };
     }
     NormParams { dmin, dmax }
 }
@@ -210,7 +213,10 @@ mod tests {
 
     #[test]
     fn params_round_trip() {
-        let p = NormParams { dmin: 2.0, dmax: 12.0 };
+        let p = NormParams {
+            dmin: 2.0,
+            dmax: 12.0,
+        };
         for d in [2.0, 5.0, 12.0] {
             let n = p.apply(d);
             assert!((p.invert(n) - d).abs() < 1e-9);
@@ -219,7 +225,10 @@ mod tests {
 
     #[test]
     fn infinite_distance_clamps() {
-        let p = NormParams { dmin: 0.0, dmax: 1.0 };
+        let p = NormParams {
+            dmin: 0.0,
+            dmax: 1.0,
+        };
         assert_eq!(p.apply(f64::INFINITY), NORM_MAX);
     }
 }

@@ -231,8 +231,10 @@ pub fn run_pipeline_cached(
             });
         }
     }
-    let windows: Vec<PredicateWindow> =
-        slots.into_iter().map(|s| s.expect("filled above")).collect();
+    let windows: Vec<PredicateWindow> = slots
+        .into_iter()
+        .map(|s| s.expect("filled above"))
+        .collect();
     if let Some(cache) = &mut cache {
         cache.store(
             top.iter()
@@ -344,15 +346,16 @@ fn select_display(
             let p = display_fraction(*pixels, n, num_windows, *pixels_per_item);
             ((p * n as f64).floor() as usize).min(defined)
         }
-        DisplayPolicy::Percentage(p) => {
-            (((p / 100.0) * n as f64).round() as usize).min(defined)
-        }
+        DisplayPolicy::Percentage(p) => (((p / 100.0) * n as f64).round() as usize).min(defined),
         DisplayPolicy::TwoSidedPercentage(_) => unreachable!("handled above"),
         DisplayPolicy::GapHeuristic { rmin, rmax, z } => {
             if defined == 0 {
                 0
             } else {
-                let sorted: Vec<f64> = order.iter().map(|&i| combined[i].expect("ordered")).collect();
+                let sorted: Vec<f64> = order
+                    .iter()
+                    .map(|&i| combined[i].expect("ordered"))
+                    .collect();
                 let rmax_eff = (*rmax).min(defined - 1);
                 let rmin_eff = (*rmin).min(rmax_eff);
                 gap_cutoff(&sorted, rmin_eff, rmax_eff, *z)? + 1
@@ -435,7 +438,7 @@ mod tests {
         let out = run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::Percentage(50.0)).unwrap();
         assert_eq!(out.n, 100);
         assert_eq!(out.num_exact, 10); // x in 90..=99
-        // the first 10 in order are the exact answers
+                                       // the first 10 in order are the exact answers
         for &i in &out.order[..10] {
             assert_eq!(out.combined[i], Some(0.0));
             assert_eq!(out.relevance[i], Some(NORM_MAX));
@@ -582,9 +585,20 @@ mod tests {
         let ratio = below as f64 / above.max(1) as f64;
         assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
         // ~20% of 1000 items
-        assert!((150..=260).contains(&out.displayed.len()), "{}", out.displayed.len());
+        assert!(
+            (150..=260).contains(&out.displayed.len()),
+            "{}",
+            out.displayed.len()
+        );
         // invalid percentages rejected
-        assert!(run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::TwoSidedPercentage(0.0)).is_err());
+        assert!(run_pipeline(
+            &db,
+            t,
+            &r,
+            Some(&c),
+            &DisplayPolicy::TwoSidedPercentage(0.0)
+        )
+        .is_err());
     }
 
     #[test]
@@ -602,8 +616,14 @@ mod tests {
             .cmp("name", CompareOp::Eq, "name0")
             .build();
         let c = q.condition.unwrap();
-        let out = run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::TwoSidedPercentage(50.0))
-            .unwrap();
+        let out = run_pipeline(
+            &db,
+            t,
+            &r,
+            Some(&c),
+            &DisplayPolicy::TwoSidedPercentage(50.0),
+        )
+        .unwrap();
         assert_eq!(out.displayed.len(), 5);
     }
 

@@ -26,9 +26,8 @@ pub fn quantile(values: &[f64], alpha: f64) -> Result<f64> {
     let n = v.len();
     // nearest-rank: k = ceil(alpha * n), clamped to [1, n]
     let k = ((alpha * n as f64).ceil() as usize).clamp(1, n);
-    let (_, kth, _) = v.select_nth_unstable_by(k - 1, |a, b| {
-        a.partial_cmp(b).expect("NaNs filtered")
-    });
+    let (_, kth, _) =
+        v.select_nth_unstable_by(k - 1, |a, b| a.partial_cmp(b).expect("NaNs filtered"));
     Ok(*kth)
 }
 
@@ -76,7 +75,10 @@ pub fn two_sided_range(values: &[f64], p: f64) -> Result<(f64, f64)> {
 pub fn smallest_k_indices(keys: &[Option<f64>], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..keys.len()).collect();
     idx.sort_by(|&a, &b| match (keys[a], keys[b]) {
-        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b)),
+        (Some(x), Some(y)) => x
+            .partial_cmp(&y)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b)),
         (Some(_), None) => std::cmp::Ordering::Less,
         (None, Some(_)) => std::cmp::Ordering::Greater,
         (None, None) => a.cmp(&b),

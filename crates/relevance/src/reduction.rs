@@ -162,7 +162,13 @@ mod tests {
     #[test]
     fn incremental_matches_naive() {
         let d: Vec<f64> = (0..200)
-            .map(|i| if i < 120 { i as f64 } else { 1000.0 + i as f64 * 2.0 })
+            .map(|i| {
+                if i < 120 {
+                    i as f64
+                } else {
+                    1000.0 + i as f64 * 2.0
+                }
+            })
             .collect();
         for z in [2, 3, 7, 20] {
             assert_eq!(

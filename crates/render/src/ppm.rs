@@ -55,7 +55,10 @@ pub fn read_ppm<R: BufRead>(mut r: R) -> Result<Framebuffer> {
     // magic
     r.read_line(&mut header)?;
     if header.trim() != "P6" {
-        return Err(Error::parse(format!("expected P6, got '{}'", header.trim())));
+        return Err(Error::parse(format!(
+            "expected P6, got '{}'",
+            header.trim()
+        )));
     }
     let mut dims = String::new();
     r.read_line(&mut dims)?;

@@ -1,0 +1,621 @@
+//! The service's request/response vocabulary and the single execution
+//! path shared by the worker pool, the stdio server and tests.
+//!
+//! Every variant of [`Request`] maps to one of the paper's §4.3
+//! interactions: installing a query, dragging a predicate slider,
+//! changing a weighting factor, switching the display policy, and
+//! fetching the recalculated visualization. [`execute`] applies a request
+//! to a session; because the same function runs under the concurrent
+//! service and in a plain single-threaded harness, service responses are
+//! byte-identical to serial [`Session`] results.
+
+use std::sync::Arc;
+
+use visdb_core::{render_session, RenderOptions, Session};
+use visdb_query::ast::{CompareOp, PredicateTarget};
+use visdb_query::printer::render_query;
+use visdb_relevance::pipeline::DisplayPolicy;
+use visdb_render::ascii::to_ascii;
+use visdb_render::write_ppm;
+use visdb_types::{Error, Result, Value};
+
+use crate::cache::QueryCache;
+use crate::json::{base64_encode, Json};
+
+/// Width (in characters) of ASCII-rendered frames.
+const ASCII_COLS: usize = 80;
+
+/// Output encoding for a rendered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RenderFormat {
+    /// Terminal preview (`visdb-render::ascii`).
+    Ascii,
+    /// Binary P6 PPM bytes.
+    Ppm,
+}
+
+/// One per-session operation (§4.3 interactions, serialized per session).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check; also bumps the session's idle clock.
+    Ping,
+    /// Parse and install a query from the mini SQL dialect.
+    SetQueryText(String),
+    /// Switch the display policy (the "% of data displayed" slider).
+    SetDisplayPolicy(DisplayPolicy),
+    /// Set the weighting factor of a top-level query window.
+    SetWeight {
+        /// Top-level window index.
+        window: usize,
+        /// New weighting factor (≥ 0, finite).
+        weight: f64,
+    },
+    /// Drag a predicate slider: replace the comparison of a top-level
+    /// predicate window.
+    MoveSlider {
+        /// Top-level window index.
+        window: usize,
+        /// New comparison operator.
+        op: CompareOp,
+        /// New comparison value.
+        value: f64,
+    },
+    /// Resize the visualization windows (items per window).
+    SetWindowSize {
+        /// Width in items.
+        w: usize,
+        /// Height in items.
+        h: usize,
+    },
+    /// Fetch the modification-panel counters for the current query.
+    Summary,
+    /// Fetch the rendered visualization panel.
+    Render(RenderFormat),
+}
+
+/// The modification-panel counters (fig 4/5 right-hand side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Number of data items considered.
+    pub objects: usize,
+    /// Number of items displayed.
+    pub displayed: usize,
+    /// Number of exact answers.
+    pub exact: usize,
+    /// Number of per-predicate windows.
+    pub windows: usize,
+}
+
+/// The reply to one [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request succeeded and produces no payload.
+    Ok,
+    /// Panel counters for [`Request::Summary`].
+    Summary(SessionSummary),
+    /// A rendered frame for [`Request::Render`].
+    Frame {
+        /// Encoding of `bytes`.
+        format: RenderFormat,
+        /// Frame width in pixels.
+        width: usize,
+        /// Frame height in pixels.
+        height: usize,
+        /// ASCII text or binary PPM, per `format`.
+        bytes: Arc<Vec<u8>>,
+    },
+    /// The request failed; the session stays usable.
+    Error(String),
+}
+
+/// A session plus the dataset tag it was created over (the tag scopes
+/// shared-cache keys; the service uses `name#generation` so sessions
+/// over a replaced dataset of the same name never share entries).
+pub struct SessionState {
+    /// The underlying interactive session.
+    pub session: Session,
+    /// Cache-scope tag of the dataset the session was created over.
+    pub dataset: String,
+}
+
+/// Apply one request to a session, optionally consulting the shared
+/// query-result cache for renders.
+pub fn execute(
+    state: &mut SessionState,
+    request: &Request,
+    cache: Option<&QueryCache>,
+) -> Response {
+    match apply(state, request, cache) {
+        Ok(r) => r,
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+fn apply(
+    state: &mut SessionState,
+    request: &Request,
+    cache: Option<&QueryCache>,
+) -> Result<Response> {
+    let session = &mut state.session;
+    match request {
+        Request::Ping => Ok(Response::Ok),
+        Request::SetQueryText(text) => {
+            session.set_query_text(text)?;
+            Ok(Response::Ok)
+        }
+        Request::SetDisplayPolicy(policy) => {
+            session.set_display_policy(policy.clone())?;
+            Ok(Response::Ok)
+        }
+        Request::SetWeight { window, weight } => {
+            session.set_weight(*window, *weight)?;
+            Ok(Response::Ok)
+        }
+        Request::MoveSlider { window, op, value } => {
+            session.set_predicate_target(
+                *window,
+                PredicateTarget::Compare {
+                    op: *op,
+                    value: Value::Float(*value),
+                },
+            )?;
+            Ok(Response::Ok)
+        }
+        Request::SetWindowSize { w, h } => {
+            session.set_window_size(*w, *h)?;
+            Ok(Response::Ok)
+        }
+        Request::Summary => {
+            let res = session.result()?;
+            Ok(Response::Summary(SessionSummary {
+                objects: res.pipeline.n,
+                displayed: res.pipeline.displayed.len(),
+                exact: res.pipeline.num_exact,
+                windows: res.pipeline.windows.len(),
+            }))
+        }
+        Request::Render(format) => {
+            // a disabled cache can neither hit nor store: skip the key
+            // construction (query printing) entirely
+            let cache = cache.filter(|c| c.is_enabled());
+            let key = cache.map(|_| render_key(state, *format));
+            if let (Some(cache), Some(key)) = (cache, &key) {
+                if let Some(hit) = cache.get(key) {
+                    // identical query from another (or the same) session:
+                    // the frame is served without re-running the pipeline
+                    return Ok(hit);
+                }
+            }
+            let response = render(&mut state.session, *format)?;
+            if let (Some(cache), Some(key)) = (cache, key) {
+                cache.put(key, response.clone());
+            }
+            Ok(response)
+        }
+    }
+}
+
+fn render(session: &mut Session, format: RenderFormat) -> Result<Response> {
+    let fb = render_session(session, &RenderOptions::default())?;
+    let bytes = match format {
+        RenderFormat::Ascii => to_ascii(&fb, ASCII_COLS).into_bytes(),
+        RenderFormat::Ppm => {
+            let mut out = Vec::new();
+            write_ppm(&fb, &mut out)?;
+            out
+        }
+    };
+    Ok(Response::Frame {
+        format,
+        width: fb.width(),
+        height: fb.height(),
+        bytes: Arc::new(bytes),
+    })
+}
+
+/// The shared-cache key for a render: every session-level input that can
+/// change the produced bytes. The query is normalized through the §4.1
+/// query-representation printer, so two sessions installing structurally
+/// identical queries (even via different builder paths) share an entry.
+/// Sessions with a non-default distance resolver or join options must not
+/// share a cache (the service never customizes either).
+pub fn render_key(state: &SessionState, format: RenderFormat) -> String {
+    let session = &state.session;
+    let query = match session.query() {
+        Some(q) => render_query(q),
+        None => "(no query)".to_string(),
+    };
+    let (w, h) = session.window_size();
+    format!(
+        "{}{}\u{1f}{:?}\u{1f}{}x{}\u{1f}{:?}\u{1f}{:?}\u{1f}{:?}\u{1f}{:?}",
+        dataset_key_prefix(&state.dataset),
+        query,
+        session.display_policy(),
+        w,
+        h,
+        session.pixels_per_item(),
+        session.colormap().kind(),
+        // tuple selection renders as a highlight, so it is part of the
+        // frame identity (reachable by embedders via the Session API)
+        session.selected_item(),
+        format,
+    )
+}
+
+/// The cache-key prefix owned by one dataset name; re-registering a
+/// dataset invalidates exactly this prefix.
+pub(crate) fn dataset_key_prefix(dataset: &str) -> String {
+    format!("{dataset}\u{1f}")
+}
+
+// ----- JSON wire mapping (the visdb-server protocol) ---------------------
+
+impl RenderFormat {
+    fn parse(s: &str) -> Result<Self> {
+        match s {
+            "ascii" => Ok(RenderFormat::Ascii),
+            "ppm" => Ok(RenderFormat::Ppm),
+            other => Err(Error::invalid_parameter(
+                "format",
+                format!("unknown render format '{other}' (ascii|ppm)"),
+            )),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            RenderFormat::Ascii => "ascii",
+            RenderFormat::Ppm => "ppm",
+        }
+    }
+}
+
+fn compare_op_parse(s: &str) -> Result<CompareOp> {
+    Ok(match s {
+        "=" | "==" => CompareOp::Eq,
+        "!=" | "<>" => CompareOp::Ne,
+        "<" => CompareOp::Lt,
+        "<=" => CompareOp::Le,
+        ">" => CompareOp::Gt,
+        ">=" => CompareOp::Ge,
+        other => {
+            return Err(Error::invalid_parameter(
+                "cmp",
+                format!("unknown comparison operator '{other}'"),
+            ))
+        }
+    })
+}
+
+fn require_str<'a>(msg: &'a Json, field: &str) -> Result<&'a str> {
+    msg.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| Error::invalid_parameter(field.to_string(), "missing string field"))
+}
+
+fn require_f64(msg: &Json, field: &str) -> Result<f64> {
+    msg.get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| Error::invalid_parameter(field.to_string(), "missing numeric field"))
+}
+
+fn require_usize(msg: &Json, field: &str) -> Result<usize> {
+    msg.get(field)
+        .and_then(Json::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| Error::invalid_parameter(field.to_string(), "missing integer field"))
+}
+
+impl Request {
+    /// Decode the `op`-discriminated wire form used by `visdb-server`.
+    pub fn from_json(msg: &Json) -> Result<Request> {
+        let op = require_str(msg, "op")?;
+        Ok(match op {
+            "ping" => Request::Ping,
+            "set_query" => Request::SetQueryText(require_str(msg, "text")?.to_string()),
+            "set_policy" => {
+                let policy = if let Some(p) = msg.get("percentage").and_then(Json::as_f64) {
+                    DisplayPolicy::Percentage(p)
+                } else if let Some(p) = msg.get("two_sided").and_then(Json::as_f64) {
+                    DisplayPolicy::TwoSidedPercentage(p)
+                } else if msg.get("pixels").is_some() {
+                    DisplayPolicy::FitScreen {
+                        pixels: require_usize(msg, "pixels")?,
+                        pixels_per_item: require_usize(msg, "pixels_per_item")?,
+                    }
+                } else if msg.get("rmin").is_some() {
+                    DisplayPolicy::GapHeuristic {
+                        rmin: require_usize(msg, "rmin")?,
+                        rmax: require_usize(msg, "rmax")?,
+                        z: require_usize(msg, "z")?,
+                    }
+                } else {
+                    return Err(Error::invalid_parameter(
+                        "set_policy",
+                        "expected percentage | two_sided | pixels+pixels_per_item | rmin+rmax+z",
+                    ));
+                };
+                Request::SetDisplayPolicy(policy)
+            }
+            "set_weight" => Request::SetWeight {
+                window: require_usize(msg, "window")?,
+                weight: require_f64(msg, "weight")?,
+            },
+            "move_slider" => Request::MoveSlider {
+                window: require_usize(msg, "window")?,
+                op: compare_op_parse(require_str(msg, "cmp")?)?,
+                value: require_f64(msg, "value")?,
+            },
+            "set_window_size" => Request::SetWindowSize {
+                w: require_usize(msg, "w")?,
+                h: require_usize(msg, "h")?,
+            },
+            "summary" => Request::Summary,
+            "render" => Request::Render(RenderFormat::parse(
+                msg.get("format").and_then(Json::as_str).unwrap_or("ascii"),
+            )?),
+            other => {
+                return Err(Error::invalid_parameter(
+                    "op",
+                    format!("unknown session op '{other}'"),
+                ))
+            }
+        })
+    }
+}
+
+impl Response {
+    /// Encode the wire form used by `visdb-server`. ASCII frames travel
+    /// as plain text, PPM frames as base64.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Ok => Json::obj([("ok", Json::Bool(true))]),
+            Response::Summary(s) => Json::obj([
+                ("ok", Json::Bool(true)),
+                (
+                    "summary",
+                    Json::obj([
+                        ("objects", s.objects.into()),
+                        ("displayed", s.displayed.into()),
+                        ("exact", s.exact.into()),
+                        ("windows", s.windows.into()),
+                    ]),
+                ),
+            ]),
+            Response::Frame {
+                format,
+                width,
+                height,
+                bytes,
+            } => {
+                let data = match format {
+                    RenderFormat::Ascii => String::from_utf8_lossy(bytes).into_owned(),
+                    RenderFormat::Ppm => base64_encode(bytes),
+                };
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    (
+                        "frame",
+                        Json::obj([
+                            ("format", format.name().into()),
+                            ("width", (*width).into()),
+                            ("height", (*height).into()),
+                            ("data", data.into()),
+                        ]),
+                    ),
+                ])
+            }
+            Response::Error(msg) => {
+                Json::obj([("ok", Json::Bool(false)), ("error", msg.as_str().into())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use visdb_query::connection::ConnectionRegistry;
+    use visdb_storage::{Database, TableBuilder};
+    use visdb_types::{Column, DataType};
+
+    fn state(n: usize) -> SessionState {
+        let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+        for i in 0..n {
+            b = b.row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        let mut db = Database::new("d");
+        db.add_table(b.build());
+        SessionState {
+            session: Session::new(Arc::new(db), ConnectionRegistry::new()),
+            dataset: "d".into(),
+        }
+    }
+
+    #[test]
+    fn full_interaction_round_trip() {
+        let mut st = state(100);
+        assert_eq!(execute(&mut st, &Request::Ping, None), Response::Ok);
+        assert_eq!(
+            execute(
+                &mut st,
+                &Request::SetQueryText("SELECT * FROM T WHERE x >= 90".into()),
+                None
+            ),
+            Response::Ok
+        );
+        let summary = execute(&mut st, &Request::Summary, None);
+        assert_eq!(
+            summary,
+            Response::Summary(SessionSummary {
+                objects: 100,
+                displayed: 25,
+                exact: 10,
+                windows: 1,
+            })
+        );
+        // drag the slider down to 50: more exact answers
+        assert_eq!(
+            execute(
+                &mut st,
+                &Request::MoveSlider {
+                    window: 0,
+                    op: CompareOp::Ge,
+                    value: 50.0
+                },
+                None
+            ),
+            Response::Ok
+        );
+        match execute(&mut st, &Request::Summary, None) {
+            Response::Summary(s) => assert_eq!(s.exact, 50),
+            other => panic!("expected summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_formats_produce_frames() {
+        let mut st = state(64);
+        execute(
+            &mut st,
+            &Request::SetQueryText("SELECT * FROM T WHERE x >= 32".into()),
+            None,
+        );
+        execute(&mut st, &Request::SetWindowSize { w: 8, h: 8 }, None);
+        for format in [RenderFormat::Ascii, RenderFormat::Ppm] {
+            match execute(&mut st, &Request::Render(format), None) {
+                Response::Frame {
+                    format: f,
+                    width,
+                    height,
+                    bytes,
+                } => {
+                    assert_eq!(f, format);
+                    assert!(width >= 8 && height >= 8);
+                    assert!(!bytes.is_empty());
+                    if format == RenderFormat::Ppm {
+                        assert!(bytes.starts_with(b"P6\n"));
+                    }
+                }
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_leave_the_session_usable() {
+        let mut st = state(10);
+        // no query installed yet
+        assert!(matches!(
+            execute(&mut st, &Request::Summary, None),
+            Response::Error(_)
+        ));
+        assert!(matches!(
+            execute(&mut st, &Request::SetQueryText("SELECT".into()), None),
+            Response::Error(_)
+        ));
+        assert_eq!(
+            execute(
+                &mut st,
+                &Request::SetQueryText("SELECT * FROM T WHERE x >= 5".into()),
+                None
+            ),
+            Response::Ok
+        );
+        assert!(matches!(
+            execute(&mut st, &Request::Summary, None),
+            Response::Summary(_)
+        ));
+    }
+
+    #[test]
+    fn render_key_tracks_every_visual_input() {
+        let mut st = state(10);
+        execute(
+            &mut st,
+            &Request::SetQueryText("SELECT * FROM T WHERE x >= 5".into()),
+            None,
+        );
+        let base = render_key(&st, RenderFormat::Ascii);
+        assert!(base.contains("[x >= 5]"));
+        // a tuple selection changes the rendered highlight, so the key
+        let selected = {
+            st.session.select_tuple(7).unwrap();
+            render_key(&st, RenderFormat::Ascii)
+        };
+        assert_ne!(base, selected);
+        st.session.clear_selection();
+        assert_eq!(base, render_key(&st, RenderFormat::Ascii));
+        // a different format, policy, size or weight gives a new key
+        assert_ne!(base, render_key(&st, RenderFormat::Ppm));
+        execute(&mut st, &Request::SetWindowSize { w: 16, h: 16 }, None);
+        let resized = render_key(&st, RenderFormat::Ascii);
+        assert_ne!(base, resized);
+        execute(
+            &mut st,
+            &Request::SetDisplayPolicy(DisplayPolicy::Percentage(80.0)),
+            None,
+        );
+        assert_ne!(resized, render_key(&st, RenderFormat::Ascii));
+        execute(
+            &mut st,
+            &Request::SetWeight {
+                window: 0,
+                weight: 0.5,
+            },
+            None,
+        );
+        let reweighted = render_key(&st, RenderFormat::Ascii);
+        assert!(reweighted.contains("(weight 0.5)"));
+    }
+
+    #[test]
+    fn wire_requests_decode() {
+        let msg = parse(r#"{"op":"move_slider","window":0,"cmp":">=","value":15.5}"#).unwrap();
+        assert_eq!(
+            Request::from_json(&msg).unwrap(),
+            Request::MoveSlider {
+                window: 0,
+                op: CompareOp::Ge,
+                value: 15.5
+            }
+        );
+        let msg = parse(r#"{"op":"set_policy","percentage":40}"#).unwrap();
+        assert_eq!(
+            Request::from_json(&msg).unwrap(),
+            Request::SetDisplayPolicy(DisplayPolicy::Percentage(40.0))
+        );
+        let msg = parse(r#"{"op":"render","format":"ppm"}"#).unwrap();
+        assert_eq!(
+            Request::from_json(&msg).unwrap(),
+            Request::Render(RenderFormat::Ppm)
+        );
+        for bad in [
+            r#"{"op":"nope"}"#,
+            r#"{"op":"set_weight","window":0}"#,
+            r#"{"op":"set_policy"}"#,
+            r#"{"op":"move_slider","window":0,"cmp":"~","value":1}"#,
+            r#"{"text":"no op"}"#,
+        ] {
+            assert!(Request::from_json(&parse(bad).unwrap()).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn wire_responses_encode() {
+        let r = Response::Error("boom".into()).to_json().to_string();
+        assert_eq!(r, r#"{"error":"boom","ok":false}"#);
+        let frame = Response::Frame {
+            format: RenderFormat::Ppm,
+            width: 2,
+            height: 1,
+            bytes: Arc::new(b"P6 raw".to_vec()),
+        };
+        let encoded = frame.to_json();
+        assert_eq!(
+            encoded.get("frame").unwrap().get("data").unwrap().as_str(),
+            Some(base64_encode(b"P6 raw").as_str())
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! `visdb-server` — the VisDB query service over stdin/stdout.
+//!
+//! Speaks newline-delimited JSON (see `visdb_service::server` for the
+//! protocol). Datasets are synthetic for now: the environmental workload
+//! of §3/§4 (`env`) and a plain numeric ramp (`ramp`); a TCP/HTTP
+//! transport and externally-loaded datasets are roadmap items.
+//!
+//! ```sh
+//! printf '%s\n%s\n%s\n' \
+//!   '{"id":1,"op":"create_session","dataset":"ramp"}' \
+//!   '{"id":2,"session":1,"op":"set_query","text":"SELECT * FROM T WHERE x >= 900"}' \
+//!   '{"id":3,"session":1,"op":"summary"}' \
+//!   | cargo run --release -p visdb-service --bin visdb-server
+//! ```
+//!
+//! Options: `--workers N` (default 4), `--cache N` (default 256),
+//! `--hours N` (size of the env dataset, default 240).
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use visdb_data::{generate_environmental, EnvConfig};
+use visdb_query::connection::ConnectionRegistry;
+use visdb_service::server::handle_line;
+use visdb_service::{Service, ServiceConfig};
+use visdb_storage::{Database, TableBuilder};
+use visdb_types::{Column, DataType, Value};
+
+/// How often the request loop checks for idle sessions to evict.
+const SWEEP_EVERY: std::time::Duration = std::time::Duration::from_secs(30);
+
+fn ramp_db(n: usize) -> Database {
+    let mut t = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+    for i in 0..n {
+        t = t.row(vec![Value::Float(i as f64)]).expect("conforming row");
+    }
+    let mut db = Database::new("ramp");
+    db.add_table(t.build());
+    db
+}
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> Result<usize, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("{flag} needs an integer argument")),
+        None => Ok(default),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (workers, cache, hours) = match (
+        parse_flag(&args, "--workers", 4),
+        parse_flag(&args, "--cache", 256),
+        parse_flag(&args, "--hours", 240),
+    ) {
+        (Ok(w), Ok(c), Ok(h)) => (w, c, h),
+        (w, c, h) => {
+            for e in [w.err(), c.err(), h.err()].into_iter().flatten() {
+                eprintln!("visdb-server: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let service = Service::new(ServiceConfig {
+        workers,
+        cache_capacity: cache,
+        ..Default::default()
+    });
+
+    let env = generate_environmental(&EnvConfig {
+        hours,
+        stations: 1,
+        ..Default::default()
+    });
+    service.register_dataset("env", Arc::new(env.db), env.registry);
+    service.register_dataset("ramp", Arc::new(ramp_db(10_000)), ConnectionRegistry::new());
+
+    eprintln!(
+        "visdb-server ready: datasets {:?}, {workers} workers (one JSON request per line)",
+        service.dataset_names()
+    );
+
+    let stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+    let mut last_sweep = std::time::Instant::now();
+    for line in stdin.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // abandoned sessions (created, never closed) are reaped so the
+        // configured idle timeout is honored, not just the LRU cap
+        if last_sweep.elapsed() >= SWEEP_EVERY {
+            let evicted = service.evict_idle_sessions();
+            if evicted > 0 {
+                eprintln!("visdb-server: evicted {evicted} idle session(s)");
+            }
+            last_sweep = std::time::Instant::now();
+        }
+        let response = handle_line(&service, &line);
+        if writeln!(stdout, "{response}")
+            .and_then(|()| stdout.flush())
+            .is_err()
+        {
+            break; // client went away
+        }
+    }
+    ExitCode::SUCCESS
+}

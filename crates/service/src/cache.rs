@@ -1,0 +1,203 @@
+//! The shared query-result cache.
+//!
+//! Identical renders from *different* users are the common case under
+//! heavy traffic (everyone starts from the same default query of a
+//! dashboard). The cache is keyed by the full visual input — dataset,
+//! normalized query text and display parameters (see
+//! [`crate::api::render_key`]) — and stores complete [`Response::Frame`]
+//! values, so a hit skips the whole pipeline: materialisation, distance
+//! passes, normalization, combining, sorting and rasterisation.
+//!
+//! Eviction is least-recently-used via a logical clock. Frame bytes are
+//! `Arc`-shared, so hits hand out cheap clones.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::api::Response;
+
+/// Hit/miss counters for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Renders served from the cache.
+    pub hits: usize,
+    /// Renders that ran the pipeline.
+    pub misses: usize,
+}
+
+struct Entry {
+    response: Response,
+    last_used: u64,
+}
+
+/// A bounded LRU map from render keys to finished responses.
+pub struct QueryCache {
+    entries: Mutex<(HashMap<String, Entry>, u64)>,
+    capacity: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl QueryCache {
+    /// Cache holding at most `capacity` responses; zero disables caching
+    /// (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            entries: Mutex::new((HashMap::new(), 0)),
+            capacity,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether lookups can ever succeed (capacity > 0). Callers skip
+    /// key construction entirely for a disabled cache.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Look up a finished response, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Response> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut guard = match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let (map, clock) = &mut *guard;
+        *clock += 1;
+        match map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = *clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.response.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a finished response, evicting the LRU entry at capacity.
+    pub fn put(&self, key: String, response: Response) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut guard = match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let (map, clock) = &mut *guard;
+        *clock += 1;
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            if let Some(lru) = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&lru);
+            }
+        }
+        map.insert(
+            key,
+            Entry {
+                response,
+                last_used: *clock,
+            },
+        );
+    }
+
+    /// Drop every entry whose key starts with `prefix` (dataset
+    /// re-registration invalidates that dataset's cached frames).
+    pub fn invalidate_prefix(&self, prefix: &str) {
+        let mut guard = match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.0.retain(|k, _| !k.starts_with(prefix));
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        match self.entries.lock() {
+            Ok(g) => g.0.len(),
+            Err(poisoned) => poisoned.into_inner().0.len(),
+        }
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put() {
+        let c = QueryCache::new(4);
+        assert_eq!(c.get("k"), None);
+        c.put("k".into(), Response::Ok);
+        assert_eq!(c.get("k"), Some(Response::Ok));
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let c = QueryCache::new(2);
+        c.put("a".into(), Response::Ok);
+        c.put("b".into(), Response::Ok);
+        assert!(c.get("a").is_some()); // refresh a; b becomes LRU
+        c.put("c".into(), Response::Ok);
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none(), "LRU entry must be evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let c = QueryCache::new(2);
+        c.put("a".into(), Response::Ok);
+        c.put("b".into(), Response::Ok);
+        c.put("a".into(), Response::Error("new".into()));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a"), Some(Response::Error("new".into())));
+        assert!(c.get("b").is_some());
+    }
+
+    #[test]
+    fn prefix_invalidation_scopes_to_one_dataset() {
+        let c = QueryCache::new(8);
+        c.put("env\u{1f}q1".into(), Response::Ok);
+        c.put("env\u{1f}q2".into(), Response::Ok);
+        c.put("ramp\u{1f}q1".into(), Response::Ok);
+        c.invalidate_prefix("env\u{1f}");
+        assert_eq!(c.len(), 1);
+        assert!(c.get("env\u{1f}q1").is_none());
+        assert!(c.get("ramp\u{1f}q1").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = QueryCache::new(0);
+        c.put("a".into(), Response::Ok);
+        assert!(c.is_empty());
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.stats().hits, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! # visdb-service
+//!
+//! A concurrent, multi-session query service over shared VisDB databases
+//! — the serving layer the 1994 paper never needed but a
+//! millions-of-users deployment does.
+//!
+//! The paper's system is single-user: one session owns the database and
+//! recalculates the visualization after every slider drag (§4.3, §6).
+//! This crate multiplexes that interaction loop:
+//!
+//! * **Shared data** — datasets are registered once as `Arc<Database>`;
+//!   every session references the same immutable storage with zero
+//!   copies ([`Session::new`](visdb_core::Session::new) takes the `Arc`).
+//! * **Sessions** — a [`SessionManager`] issues [`SessionId`]s and evicts
+//!   by LRU when at capacity or when idle past a timeout.
+//! * **Requests** — the [`Request`]/[`Response`] enums cover the §4.3
+//!   interactions: install a query, drag a slider, change a weight,
+//!   switch the display policy, fetch the rendered frame as ASCII or PPM
+//!   bytes.
+//! * **Parallelism** — a fixed worker pool drains a crossbeam channel of
+//!   scheduled sessions; requests for one session apply in FIFO order
+//!   while distinct sessions run in parallel ([`service`] module docs
+//!   describe the mailbox scheduling).
+//! * **Cross-user caching** — a shared [`QueryCache`] keyed by (dataset,
+//!   normalized query text, display parameters) serves identical renders
+//!   from different users without re-running the pipeline.
+//!
+//! The `visdb-server` binary speaks this API as newline-delimited JSON
+//! over stdin/stdout; programmatic callers use [`Service`] directly:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use visdb_service::{Request, Response, Service, ServiceConfig};
+//! use visdb_query::connection::ConnectionRegistry;
+//! use visdb_storage::{Database, TableBuilder};
+//! use visdb_types::{Column, DataType, Value};
+//!
+//! let mut t = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+//! for i in 0..100 {
+//!     t = t.row(vec![Value::Float(i as f64)]).unwrap();
+//! }
+//! let mut db = Database::new("demo");
+//! db.add_table(t.build());
+//!
+//! let service = Service::new(ServiceConfig::default());
+//! service.register_dataset("demo", Arc::new(db), ConnectionRegistry::new());
+//!
+//! let user = service.create_session("demo").unwrap();
+//! service
+//!     .submit(user, Request::SetQueryText("SELECT * FROM T WHERE x >= 90".into()))
+//!     .unwrap();
+//! match service.submit(user, Request::Summary).unwrap() {
+//!     Response::Summary(s) => assert_eq!(s.exact, 10),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+pub mod api;
+pub mod cache;
+pub mod json;
+pub mod manager;
+pub mod server;
+pub mod service;
+
+pub use api::{execute, RenderFormat, Request, Response, SessionState, SessionSummary};
+pub use cache::{CacheStats, QueryCache};
+pub use manager::{SessionId, SessionManager};
+pub use service::{PendingResponse, Service, ServiceConfig};

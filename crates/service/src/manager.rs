@@ -1,0 +1,273 @@
+//! Session bookkeeping: IDs, lookup, mailboxes, and the LRU /
+//! idle-eviction policy.
+//!
+//! The manager owns every live session as an [`Arc<SessionSlot>`]. A slot
+//! bundles the session state with a FIFO *mailbox* and a `scheduled`
+//! flag: the service's worker pool schedules a slot at most once at a
+//! time and drains its mailbox in order, so requests *within* one session
+//! apply in submission order while distinct sessions proceed in parallel
+//! — the paper's single-user recalculation loop, multiplexed.
+//!
+//! Eviction only unlinks a slot from the table: a worker still draining
+//! the mailbox holds its own `Arc`, finishes the in-flight requests
+//! against the detached state, and later submissions get an
+//! unknown-session error.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Sender;
+use visdb_core::Session;
+use visdb_query::connection::ConnectionRegistry;
+use visdb_storage::Database;
+
+use crate::api::{Request, Response, SessionState};
+
+/// Opaque handle to a live session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// One queued request and where to deliver its response.
+pub struct Envelope {
+    /// The request to execute.
+    pub request: Request,
+    /// Reply channel (a dropped receiver just discards the response).
+    pub reply: Sender<Response>,
+}
+
+/// A live session plus its scheduling state.
+pub struct SessionSlot {
+    /// The session state; locked by the one worker draining the mailbox.
+    pub state: Mutex<SessionState>,
+    /// FIFO queue of not-yet-executed requests.
+    pub mailbox: Mutex<VecDeque<Envelope>>,
+    /// Whether the slot is currently queued for (or being drained by) a
+    /// worker. Guards against double-scheduling.
+    pub scheduled: AtomicBool,
+}
+
+struct TableEntry {
+    slot: Arc<SessionSlot>,
+    last_used: Instant,
+}
+
+struct Table {
+    entries: HashMap<u64, TableEntry>,
+    next_id: u64,
+}
+
+/// Creates, resolves and evicts sessions.
+pub struct SessionManager {
+    table: Mutex<Table>,
+    max_sessions: usize,
+    idle_timeout: Duration,
+}
+
+impl SessionManager {
+    /// Manager holding at most `max_sessions` (≥ 1) live sessions, with
+    /// sessions idle longer than `idle_timeout` eligible for eviction.
+    pub fn new(max_sessions: usize, idle_timeout: Duration) -> Self {
+        SessionManager {
+            table: Mutex::new(Table {
+                entries: HashMap::new(),
+                next_id: 1,
+            }),
+            max_sessions: max_sessions.max(1),
+            idle_timeout,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Table> {
+        // a poisoned table only means a panic mid-insert/remove; the map
+        // itself is still structurally sound
+        match self.table.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Create a session over a shared database. When the manager is at
+    /// capacity the least-recently-used session is evicted first.
+    pub fn create(
+        &self,
+        dataset: impl Into<String>,
+        db: Arc<Database>,
+        registry: ConnectionRegistry,
+    ) -> SessionId {
+        let mut session = Session::new(db, registry);
+        // service sessions compute lazily: a burst of slider moves costs
+        // one recalculation at the next fetch, not one per move (§4.3's
+        // "auto recalculate off" mode)
+        session.set_auto_recalculate(false);
+        let slot = Arc::new(SessionSlot {
+            state: Mutex::new(SessionState {
+                session,
+                dataset: dataset.into(),
+            }),
+            mailbox: Mutex::new(VecDeque::new()),
+            scheduled: AtomicBool::new(false),
+        });
+        let mut table = self.lock();
+        if table.entries.len() >= self.max_sessions {
+            if let Some((&lru, _)) = table
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+            {
+                table.entries.remove(&lru);
+            }
+        }
+        let id = table.next_id;
+        table.next_id += 1;
+        table.entries.insert(
+            id,
+            TableEntry {
+                slot,
+                last_used: Instant::now(),
+            },
+        );
+        SessionId(id)
+    }
+
+    /// Resolve a session, marking it used now. `None` after eviction or
+    /// explicit removal.
+    pub fn get(&self, id: SessionId) -> Option<Arc<SessionSlot>> {
+        let mut table = self.lock();
+        let entry = table.entries.get_mut(&id.0)?;
+        entry.last_used = Instant::now();
+        Some(Arc::clone(&entry.slot))
+    }
+
+    /// Drop a session explicitly. Returns whether it was present.
+    pub fn remove(&self, id: SessionId) -> bool {
+        self.lock().entries.remove(&id.0).is_some()
+    }
+
+    /// Evict every session idle longer than the configured timeout.
+    /// Returns how many were evicted.
+    pub fn evict_idle(&self) -> usize {
+        self.evict_idle_older_than(self.idle_timeout)
+    }
+
+    /// Evict sessions idle longer than `max_idle` (tests use short
+    /// horizons without waiting out the configured timeout).
+    pub fn evict_idle_older_than(&self, max_idle: Duration) -> usize {
+        let mut table = self.lock();
+        let now = Instant::now();
+        let before = table.entries.len();
+        table
+            .entries
+            .retain(|_, entry| now.duration_since(entry.last_used) <= max_idle);
+        before - table.entries.len()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visdb_storage::TableBuilder;
+    use visdb_types::{Column, DataType, Value};
+
+    fn db() -> Arc<Database> {
+        let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+        for i in 0..4 {
+            b = b.row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        let mut d = Database::new("d");
+        d.add_table(b.build());
+        Arc::new(d)
+    }
+
+    fn manager(cap: usize) -> SessionManager {
+        SessionManager::new(cap, Duration::from_secs(3600))
+    }
+
+    #[test]
+    fn create_get_remove() {
+        let m = manager(8);
+        let db = db();
+        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new());
+        let b = m.create("d", db, ConnectionRegistry::new());
+        assert_ne!(a, b);
+        assert_eq!(m.len(), 2);
+        assert!(m.get(a).is_some());
+        assert!(m.remove(a));
+        assert!(!m.remove(a));
+        assert!(m.get(a).is_none());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn sessions_share_the_database_without_copies() {
+        let m = manager(8);
+        let db = db();
+        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new());
+        let b = m.create("d", Arc::clone(&db), ConnectionRegistry::new());
+        let sa = m.get(a).unwrap();
+        let sb = m.get(b).unwrap();
+        let da = sa.state.lock().unwrap().session.shared_db();
+        let db_b = sb.state.lock().unwrap().session.shared_db();
+        assert!(Arc::ptr_eq(&da, &db_b), "sessions must share one Arc");
+        // 1 local + 2 sessions + 2 accessor clones
+        assert_eq!(Arc::strong_count(&db), 5);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let m = manager(2);
+        let db = db();
+        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new());
+        let b = m.create("d", Arc::clone(&db), ConnectionRegistry::new());
+        // touch `a` so `b` becomes the LRU
+        assert!(m.get(a).is_some());
+        let c = m.create("d", db, ConnectionRegistry::new());
+        assert_eq!(m.len(), 2);
+        assert!(m.get(a).is_some(), "recently-used session survives");
+        assert!(m.get(b).is_none(), "LRU session was evicted");
+        assert!(m.get(c).is_some());
+    }
+
+    #[test]
+    fn idle_eviction_removes_only_stale_sessions() {
+        let m = manager(8);
+        let db = db();
+        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new());
+        let b = m.create("d", db, ConnectionRegistry::new());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(m.get(b).is_some()); // refresh b's idle clock
+        assert_eq!(m.evict_idle_older_than(Duration::from_millis(15)), 1);
+        assert!(m.get(a).is_none());
+        assert!(m.get(b).is_some());
+        // nothing idle at a generous horizon
+        assert_eq!(m.evict_idle_older_than(Duration::from_secs(60)), 0);
+    }
+
+    #[test]
+    fn eviction_does_not_kill_in_flight_handles() {
+        let m = manager(8);
+        let a = m.create("d", db(), ConnectionRegistry::new());
+        let handle = m.get(a).unwrap();
+        assert!(m.remove(a));
+        // the detached state is still usable through the Arc
+        assert_eq!(handle.state.lock().unwrap().dataset, "d");
+    }
+}

@@ -1,0 +1,207 @@
+//! The newline-delimited JSON protocol spoken by the `visdb-server`
+//! binary.
+//!
+//! One request object per line on stdin, one response object per line on
+//! stdout. Service-level operations carry an `op` and no `session`:
+//!
+//! ```text
+//! {"id":1,"op":"datasets"}
+//! {"id":2,"op":"create_session","dataset":"env"}
+//! {"id":3,"op":"close_session","session":1}
+//! {"id":4,"op":"stats"}
+//! ```
+//!
+//! Everything else is a per-session request (see
+//! [`Request::from_json`](crate::api::Request::from_json)) addressed with
+//! a `session` field:
+//!
+//! ```text
+//! {"id":5,"session":1,"op":"set_query","text":"SELECT * FROM T WHERE x >= 5"}
+//! {"id":6,"session":1,"op":"move_slider","window":0,"cmp":">=","value":3}
+//! {"id":7,"session":1,"op":"render","format":"ascii"}
+//! ```
+//!
+//! Responses echo `id` (when given) and carry `"ok"`; errors are data,
+//! never a dropped connection: `{"id":7,"ok":false,"error":"..."}`.
+//! The dispatch logic lives here (testable without a process); the
+//! binary is a thin stdin/stdout loop around [`handle_line`].
+
+use crate::api::Request;
+use crate::json::{parse, Json};
+use crate::manager::SessionId;
+use crate::service::Service;
+use visdb_types::Result;
+
+/// Process one protocol line against a service; always yields a response
+/// object (parse and execution errors become `"ok": false` replies).
+pub fn handle_line(service: &Service, line: &str) -> Json {
+    let (id, result) = match parse(line) {
+        Ok(msg) => (msg.get("id").cloned(), dispatch(service, &msg)),
+        Err(e) => (None, Err(e)),
+    };
+    let mut response = match result {
+        Ok(r) => r,
+        Err(e) => Json::obj([("ok", Json::Bool(false)), ("error", e.to_string().into())]),
+    };
+    if let (Some(id), Json::Obj(map)) = (id, &mut response) {
+        map.insert("id".into(), id);
+    }
+    response
+}
+
+fn dispatch(service: &Service, msg: &Json) -> Result<Json> {
+    let op = msg.get("op").and_then(Json::as_str).unwrap_or_default();
+    match op {
+        "datasets" => Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "datasets",
+                Json::Arr(
+                    service
+                        .dataset_names()
+                        .into_iter()
+                        .map(Json::from)
+                        .collect(),
+                ),
+            ),
+        ])),
+        "create_session" => {
+            let dataset = msg.get("dataset").and_then(Json::as_str).ok_or_else(|| {
+                visdb_types::Error::invalid_parameter("dataset", "missing string field")
+            })?;
+            let id = service.create_session(dataset)?;
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("session", id.0.into()),
+            ]))
+        }
+        "close_session" => {
+            let id = session_id(msg)?;
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("closed", service.close_session(id).into()),
+            ]))
+        }
+        "stats" => {
+            let cache = service.cache_stats();
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("sessions", service.session_count().into()),
+                ("workers", service.workers().into()),
+                (
+                    "cache",
+                    Json::obj([("hits", cache.hits.into()), ("misses", cache.misses.into())]),
+                ),
+            ]))
+        }
+        _ => {
+            // a per-session request: route through the worker pool
+            let id = session_id(msg)?;
+            let request = Request::from_json(msg)?;
+            let response = service.submit(id, request)?;
+            Ok(response.to_json())
+        }
+    }
+}
+
+fn session_id(msg: &Json) -> Result<SessionId> {
+    msg.get("session")
+        .and_then(Json::as_u64)
+        .map(SessionId)
+        .ok_or_else(|| visdb_types::Error::invalid_parameter("session", "missing integer field"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use std::sync::Arc;
+    use visdb_query::connection::ConnectionRegistry;
+    use visdb_storage::{Database, TableBuilder};
+    use visdb_types::{Column, DataType, Value};
+
+    fn service() -> Service {
+        let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+        for i in 0..50 {
+            b = b.row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        let mut db = Database::new("demo");
+        db.add_table(b.build());
+        let s = Service::new(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        s.register_dataset("demo", Arc::new(db), ConnectionRegistry::new());
+        s
+    }
+
+    #[test]
+    fn full_protocol_conversation() {
+        let s = service();
+        let r = handle_line(&s, r#"{"id":1,"op":"datasets"}"#);
+        assert_eq!(r.to_string(), r#"{"datasets":["demo"],"id":1,"ok":true}"#);
+        let r = handle_line(&s, r#"{"id":2,"op":"create_session","dataset":"demo"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        let session = r.get("session").unwrap().as_u64().unwrap();
+
+        let line = format!(
+            r#"{{"id":3,"session":{session},"op":"set_query","text":"SELECT * FROM T WHERE x >= 40"}}"#
+        );
+        assert_eq!(handle_line(&s, &line).get("ok"), Some(&Json::Bool(true)));
+
+        let line = format!(r#"{{"id":4,"session":{session},"op":"summary"}}"#);
+        let r = handle_line(&s, &line);
+        assert_eq!(
+            r.get("summary").unwrap().get("exact").unwrap().as_u64(),
+            Some(10)
+        );
+
+        let line = format!(r#"{{"id":5,"session":{session},"op":"render","format":"ascii"}}"#);
+        let r = handle_line(&s, &line);
+        let frame = r.get("frame").unwrap();
+        assert_eq!(frame.get("format").unwrap().as_str(), Some("ascii"));
+        assert!(!frame.get("data").unwrap().as_str().unwrap().is_empty());
+
+        let line = format!(r#"{{"id":6,"op":"close_session","session":{session}}}"#);
+        let r = handle_line(&s, &line);
+        assert_eq!(r.get("closed"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let s = service();
+        let r = handle_line(&s, r#"{"op":"stats"}"#);
+        assert_eq!(r.get("sessions").unwrap().as_u64(), Some(0));
+        assert_eq!(r.get("workers").unwrap().as_u64(), Some(2));
+        handle_line(&s, r#"{"op":"create_session","dataset":"demo"}"#);
+        let r = handle_line(&s, r#"{"op":"stats"}"#);
+        assert_eq!(r.get("sessions").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn errors_are_responses_not_crashes() {
+        let s = service();
+        for (line, needle) in [
+            ("not json at all", "parse"),
+            (r#"{"op":"create_session"}"#, "dataset"),
+            (
+                r#"{"op":"create_session","dataset":"nope"}"#,
+                "unknown dataset",
+            ),
+            (r#"{"op":"summary"}"#, "session"),
+            (r#"{"op":"summary","session":99}"#, "unknown or evicted"),
+            (r#"{"op":"frobnicate","session":1}"#, "session"),
+        ] {
+            let r = handle_line(&s, line);
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "line: {line}");
+            let err = r.get("error").unwrap().as_str().unwrap();
+            assert!(
+                err.contains(needle),
+                "error {err:?} should mention {needle:?}"
+            );
+        }
+        // the id is echoed even on failures
+        let r = handle_line(&s, r#"{"id":42,"op":"summary"}"#);
+        assert_eq!(r.get("id").unwrap().as_u64(), Some(42));
+    }
+}

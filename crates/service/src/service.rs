@@ -1,0 +1,484 @@
+//! The concurrent query service: datasets, worker pool, dispatch.
+//!
+//! A [`Service`] owns
+//!
+//! * a registry of named datasets (`Arc<Database>` + connections) shared
+//!   by every session at zero copy cost,
+//! * a [`SessionManager`] handing out [`SessionId`]s with LRU /
+//!   idle eviction,
+//! * a fixed pool of worker threads draining one crossbeam channel
+//!   (the long-lived sibling of the scoped-thread fan-out inside
+//!   `visdb_relevance::pipeline`), and
+//! * a shared [`QueryCache`] so identical renders from different users
+//!   skip the pipeline entirely.
+//!
+//! ## Scheduling
+//!
+//! The channel carries *session slots*, not individual requests. A
+//! submission enqueues the request in the session's FIFO mailbox and
+//! schedules the slot unless it already is; the worker that picks the
+//! slot drains the mailbox in order. The result: at most one worker
+//! executes a given session at a time (so a slider drag followed by a
+//! render observes the drag — the paper's interactive semantics), while
+//! distinct sessions run on as many workers as the pool has.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use visdb_query::connection::ConnectionRegistry;
+use visdb_storage::Database;
+use visdb_types::{Error, Result};
+
+use crate::api::{execute, Request, Response};
+use crate::cache::{CacheStats, QueryCache};
+use crate::manager::{Envelope, SessionId, SessionManager, SessionSlot};
+
+/// Tuning knobs for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing requests (≥ 1).
+    pub workers: usize,
+    /// Maximum live sessions before LRU eviction.
+    pub max_sessions: usize,
+    /// Idle horizon for [`Service::evict_idle_sessions`].
+    pub idle_timeout: Duration,
+    /// Shared query-result cache capacity (0 disables it).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            max_sessions: 1024,
+            idle_timeout: Duration::from_secs(300),
+            cache_capacity: 256,
+        }
+    }
+}
+
+struct Dataset {
+    db: Arc<Database>,
+    registry: ConnectionRegistry,
+    /// Cache scope: `name#generation`. Generations are unique per
+    /// service, so sessions created over a *replaced* dataset of the
+    /// same name can never share cache entries with sessions still
+    /// holding the old data (they keep their old scope).
+    scope: String,
+}
+
+/// A response that has been dispatched but not necessarily produced yet.
+pub struct PendingResponse {
+    rx: Receiver<Response>,
+}
+
+impl PendingResponse {
+    /// Block until the worker produces the response.
+    pub fn wait(self) -> Result<Response> {
+        self.rx
+            .recv()
+            .map_err(|_| Error::Internal("service worker dropped a reply".into()))
+    }
+}
+
+/// A concurrent multi-session query service over shared databases.
+pub struct Service {
+    datasets: Mutex<std::collections::HashMap<String, Dataset>>,
+    generations: std::sync::atomic::AtomicU64,
+    manager: SessionManager,
+    cache: Arc<QueryCache>,
+    injector: Option<Sender<Arc<SessionSlot>>>,
+    worker_count: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start the worker pool.
+    pub fn new(config: ServiceConfig) -> Self {
+        let worker_count = config.workers.max(1);
+        let cache = Arc::new(QueryCache::new(config.cache_capacity));
+        let (tx, rx) = channel::unbounded::<Arc<SessionSlot>>();
+        let workers = (0..worker_count)
+            .map(|i| {
+                let rx = rx.clone();
+                let cache = Arc::clone(&cache);
+                std::thread::Builder::new()
+                    .name(format!("visdb-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(slot) = rx.recv() {
+                            drain_mailbox(&slot, &cache);
+                        }
+                    })
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service {
+            datasets: Mutex::new(std::collections::HashMap::new()),
+            generations: std::sync::atomic::AtomicU64::new(1),
+            manager: SessionManager::new(config.max_sessions, config.idle_timeout),
+            cache,
+            injector: Some(tx),
+            worker_count,
+            workers,
+        }
+    }
+
+    /// Make a database available to sessions under `name` (replacing any
+    /// previous dataset of that name for *new* sessions; existing
+    /// sessions keep their Arc).
+    pub fn register_dataset(
+        &self,
+        name: impl Into<String>,
+        db: Arc<Database>,
+        registry: ConnectionRegistry,
+    ) {
+        let name = name.into();
+        // stale-frame protection is the generation in the cache scope;
+        // dropping the replaced dataset's entries just frees memory
+        self.cache.invalidate_prefix(&format!("{name}#"));
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        let scope = format!("{name}#{generation}");
+        self.datasets
+            .lock()
+            .expect("dataset registry poisoned")
+            .insert(
+                name,
+                Dataset {
+                    db,
+                    registry,
+                    scope,
+                },
+            );
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .datasets
+            .lock()
+            .expect("dataset registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Open a session over a registered dataset.
+    pub fn create_session(&self, dataset: &str) -> Result<SessionId> {
+        let guard = self.datasets.lock().expect("dataset registry poisoned");
+        let ds = guard.get(dataset).ok_or_else(|| {
+            Error::invalid_parameter("dataset", format!("unknown dataset '{dataset}'"))
+        })?;
+        Ok(self
+            .manager
+            .create(ds.scope.clone(), Arc::clone(&ds.db), ds.registry.clone()))
+    }
+
+    /// Close a session explicitly. Returns whether it was live.
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.manager.remove(id)
+    }
+
+    /// Dispatch a request and block for its response.
+    pub fn submit(&self, id: SessionId, request: Request) -> Result<Response> {
+        self.submit_async(id, request)?.wait()
+    }
+
+    /// Dispatch a request without waiting. Requests for one session apply
+    /// in submission order; distinct sessions run in parallel.
+    pub fn submit_async(&self, id: SessionId, request: Request) -> Result<PendingResponse> {
+        let slot = self.manager.get(id).ok_or_else(|| {
+            Error::invalid_parameter("session", format!("unknown or evicted {id}"))
+        })?;
+        let (reply, rx) = channel::unbounded();
+        slot.mailbox
+            .lock()
+            .expect("mailbox poisoned")
+            .push_back(Envelope { request, reply });
+        if !slot.scheduled.swap(true, Ordering::SeqCst) {
+            let injector = self
+                .injector
+                .as_ref()
+                .expect("injector lives as long as the service");
+            injector
+                .send(slot)
+                .map_err(|_| Error::Internal("service worker pool is gone".into()))?;
+        }
+        Ok(PendingResponse { rx })
+    }
+
+    /// Evict sessions idle longer than the configured timeout; returns
+    /// how many were evicted.
+    pub fn evict_idle_sessions(&self) -> usize {
+        self.manager.evict_idle()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.manager.len()
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Shared query-result cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // closing the injector disconnects the channel; workers finish
+        // the slots already queued and exit
+        self.injector.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Execute a session's queued requests in FIFO order. Exactly one worker
+/// runs this for a given slot at a time (`scheduled` guards entry); the
+/// handshake at the empty-mailbox exit ensures a request that raced with
+/// the exit is picked up — by this worker or by a rescheduled slot.
+fn drain_mailbox(slot: &Arc<SessionSlot>, cache: &QueryCache) {
+    loop {
+        let envelope = slot.mailbox.lock().expect("mailbox poisoned").pop_front();
+        let Some(envelope) = envelope else {
+            slot.scheduled.store(false, Ordering::SeqCst);
+            let refilled = !slot.mailbox.lock().expect("mailbox poisoned").is_empty();
+            // if a submitter slipped in after the pop but before the
+            // store, either it saw scheduled=true (we must keep going) or
+            // it re-sent the slot (another worker owns it; stop)
+            if refilled && !slot.scheduled.swap(true, Ordering::SeqCst) {
+                continue;
+            }
+            return;
+        };
+        // a panic must not unwind through the worker loop: it would kill
+        // the thread and strand the slot with `scheduled` stuck at true,
+        // wedging the session and hanging every waiting submitter
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut state = match slot.state.lock() {
+                Ok(g) => g,
+                // a previous request panicked mid-execution; the session
+                // is suspect but the server must keep serving others
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            execute(&mut state, &envelope.request, Some(cache))
+        }))
+        .unwrap_or_else(|_| Response::Error("internal error: request execution panicked".into()));
+        // a dropped PendingResponse just means nobody wants the answer
+        let _ = envelope.reply.send(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::RenderFormat;
+    use visdb_storage::TableBuilder;
+    use visdb_types::{Column, DataType, Value};
+
+    fn ramp_db(n: usize) -> Arc<Database> {
+        let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+        for i in 0..n {
+            b = b.row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        let mut db = Database::new("ramp");
+        db.add_table(b.build());
+        Arc::new(db)
+    }
+
+    fn service(workers: usize) -> Service {
+        let s = Service::new(ServiceConfig {
+            workers,
+            ..Default::default()
+        });
+        s.register_dataset("ramp", ramp_db(200), ConnectionRegistry::new());
+        s
+    }
+
+    #[test]
+    fn end_to_end_query_over_the_pool() {
+        let s = service(2);
+        let id = s.create_session("ramp").unwrap();
+        assert_eq!(s.submit(id, Request::Ping).unwrap(), Response::Ok);
+        assert_eq!(
+            s.submit(
+                id,
+                Request::SetQueryText("SELECT * FROM T WHERE x >= 150".into())
+            )
+            .unwrap(),
+            Response::Ok
+        );
+        match s.submit(id, Request::Summary).unwrap() {
+            Response::Summary(sum) => {
+                assert_eq!(sum.objects, 200);
+                assert_eq!(sum.exact, 50);
+            }
+            other => panic!("expected summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_and_session_are_errors() {
+        let s = service(1);
+        assert!(s.create_session("nope").is_err());
+        assert!(s.submit(SessionId(999), Request::Ping).is_err());
+        let id = s.create_session("ramp").unwrap();
+        assert!(s.close_session(id));
+        assert!(s.submit(id, Request::Ping).is_err());
+    }
+
+    #[test]
+    fn async_submissions_for_one_session_apply_in_order() {
+        let s = service(4);
+        let id = s.create_session("ramp").unwrap();
+        let pending: Vec<PendingResponse> = vec![
+            s.submit_async(
+                id,
+                Request::SetQueryText("SELECT * FROM T WHERE x >= 100".into()),
+            )
+            .unwrap(),
+            s.submit_async(
+                id,
+                Request::MoveSlider {
+                    window: 0,
+                    op: visdb_query::ast::CompareOp::Ge,
+                    value: 180.0,
+                },
+            )
+            .unwrap(),
+            s.submit_async(id, Request::Summary).unwrap(),
+        ];
+        let mut responses = pending.into_iter().map(|p| p.wait().unwrap());
+        assert_eq!(responses.next().unwrap(), Response::Ok);
+        assert_eq!(responses.next().unwrap(), Response::Ok);
+        match responses.next().unwrap() {
+            // the summary observes the slider move (20 exact answers),
+            // not the original query (100)
+            Response::Summary(sum) => assert_eq!(sum.exact, 20),
+            other => panic!("expected summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_request_burst_across_sessions_all_completes() {
+        let s = service(4);
+        let ids: Vec<SessionId> = (0..16).map(|_| s.create_session("ramp").unwrap()).collect();
+        let pending: Vec<(usize, PendingResponse)> = ids
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &id)| {
+                let threshold = 10 * i;
+                [
+                    (
+                        i,
+                        s.submit_async(
+                            id,
+                            Request::SetQueryText(format!(
+                                "SELECT * FROM T WHERE x >= {threshold}"
+                            )),
+                        )
+                        .unwrap(),
+                    ),
+                    (i, s.submit_async(id, Request::Summary).unwrap()),
+                ]
+            })
+            .collect();
+        for (i, p) in pending {
+            match p.wait().unwrap() {
+                Response::Ok => {}
+                Response::Summary(sum) => assert_eq!(sum.exact, 200 - 10 * i),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reregistering_a_dataset_invalidates_its_cached_frames() {
+        let s = service(2);
+        let a = s.create_session("ramp").unwrap();
+        s.submit(
+            a,
+            Request::SetQueryText("SELECT * FROM T WHERE x >= 150".into()),
+        )
+        .unwrap();
+        let old_frame = s.submit(a, Request::Render(RenderFormat::Ppm)).unwrap();
+
+        // same name, different data: 400 rows instead of 200
+        s.register_dataset("ramp", ramp_db(400), ConnectionRegistry::new());
+        let b = s.create_session("ramp").unwrap();
+        s.submit(
+            b,
+            Request::SetQueryText("SELECT * FROM T WHERE x >= 150".into()),
+        )
+        .unwrap();
+        let new_frame = s.submit(b, Request::Render(RenderFormat::Ppm)).unwrap();
+
+        assert_eq!(s.cache_stats().hits, 0, "stale frame must not be served");
+        assert_ne!(old_frame, new_frame);
+        match s.submit(b, Request::Summary).unwrap() {
+            Response::Summary(sum) => assert_eq!(sum.objects, 400),
+            other => panic!("expected summary, got {other:?}"),
+        }
+
+        // session A (still holding the old 200-row Arc) renders again,
+        // re-populating the cache — its generation-scoped key must not
+        // leak to a fresh session over the new data
+        let old_again = s.submit(a, Request::Render(RenderFormat::Ppm)).unwrap();
+        assert_eq!(old_again, old_frame);
+        let c = s.create_session("ramp").unwrap();
+        s.submit(
+            c,
+            Request::SetQueryText("SELECT * FROM T WHERE x >= 150".into()),
+        )
+        .unwrap();
+        let hits_before = s.cache_stats().hits;
+        let newest = s.submit(c, Request::Render(RenderFormat::Ppm)).unwrap();
+        assert_eq!(newest, new_frame);
+        // c's render hit b's (same-generation) entry, never a's
+        assert_eq!(s.cache_stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn shared_cache_serves_identical_renders_across_sessions() {
+        let s = service(2);
+        let a = s.create_session("ramp").unwrap();
+        let b = s.create_session("ramp").unwrap();
+        for id in [a, b] {
+            s.submit(
+                id,
+                Request::SetQueryText("SELECT * FROM T WHERE x >= 150".into()),
+            )
+            .unwrap();
+        }
+        let fa = s.submit(a, Request::Render(RenderFormat::Ppm)).unwrap();
+        let before = s.cache_stats();
+        let fb = s.submit(b, Request::Render(RenderFormat::Ppm)).unwrap();
+        let after = s.cache_stats();
+        assert_eq!(fa, fb, "cached frame must be identical");
+        assert_eq!(after.hits, before.hits + 1);
+    }
+
+    #[test]
+    fn dropping_the_service_joins_workers_cleanly() {
+        let s = service(4);
+        let id = s.create_session("ramp").unwrap();
+        let _ = s
+            .submit_async(
+                id,
+                Request::SetQueryText("SELECT * FROM T WHERE x >= 1".into()),
+            )
+            .unwrap();
+        drop(s); // must not hang or panic
+    }
+}

@@ -266,7 +266,11 @@ impl ColumnData {
         for &i in indices {
             // gather of an out-of-range index yields NULL rather than a
             // panic: callers construct indices from row counts they own.
-            let v = if i < self.len() { self.get(i) } else { Value::Null };
+            let v = if i < self.len() {
+                self.get(i)
+            } else {
+                Value::Null
+            };
             out.push(v).expect("gather preserves column type");
         }
         out

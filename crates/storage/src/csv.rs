@@ -153,7 +153,10 @@ mod tests {
 
     #[test]
     fn bool_cells() {
-        assert_eq!(parse_cell("true", DataType::Bool).unwrap(), Value::Bool(true));
+        assert_eq!(
+            parse_cell("true", DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(parse_cell("0", DataType::Bool).unwrap(), Value::Bool(false));
         assert!(parse_cell("yep", DataType::Bool).is_err());
     }

@@ -107,7 +107,10 @@ impl fmt::Display for Error {
                 write!(f, "row {row} out of bounds (table has {len} rows)")
             }
             Error::ArityMismatch { expected, found } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {found}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {found}"
+                )
             }
             Error::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             Error::DistanceUndefined(m) => write!(f, "distance undefined: {m}"),

@@ -13,6 +13,8 @@
 //! cargo run --example cad_similarity
 //! ```
 
+use std::sync::Arc;
+
 use visdb::baseline::evaluate_boolean;
 use visdb::data::cad::NUM_PARAMS;
 use visdb::prelude::*;
@@ -48,14 +50,17 @@ fn main() -> Result<()> {
         .copied()
         .filter(|r| !exact_rows.contains(r))
         .collect();
-    println!("boolean query with ±{allowance} allowances: {} matches", exact_rows.len());
+    println!(
+        "boolean query with ±{allowance} allowances: {} matches",
+        exact_rows.len()
+    );
     println!(
         "planted near-miss parts {planted:?}: baseline misses {:?}",
         missed
     );
 
     // visual feedback query: relevance ranking over the same predicates
-    let mut session = Session::new(cad.db.clone(), ConnectionRegistry::new());
+    let mut session = Session::new(Arc::new(cad.db.clone()), ConnectionRegistry::new());
     session.set_display_policy(DisplayPolicy::Percentage(25.0))?;
     session.set_query(query)?;
     let res = session.result()?;
@@ -63,13 +68,21 @@ fn main() -> Result<()> {
     let mut report: Vec<(usize, usize)> = missed
         .iter()
         .map(|&row| {
-            let rank = res.pipeline.order.iter().position(|&i| i == row).unwrap_or(usize::MAX);
+            let rank = res
+                .pipeline
+                .order
+                .iter()
+                .position(|&i| i == row)
+                .unwrap_or(usize::MAX);
             (row, rank)
         })
         .collect();
     report.sort_by_key(|&(_, rank)| rank);
     println!("\nrelevance ranking over {} parts:", res.pipeline.n);
-    println!("  exact matches (yellow region): {}", res.pipeline.num_exact);
+    println!(
+        "  exact matches (yellow region): {}",
+        res.pipeline.num_exact
+    );
     for (row, rank) in &report {
         println!("  near-miss part at row {row}: relevance rank {rank}");
     }

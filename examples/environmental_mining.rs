@@ -17,6 +17,7 @@
 
 use std::fs::File;
 use std::io::BufWriter;
+use std::sync::Arc;
 
 use visdb::baseline::{evaluate_boolean, hot_spot_ranks};
 use visdb::core::JoinOptions;
@@ -30,6 +31,8 @@ fn main() -> Result<()> {
         ..Default::default()
     });
     let truth = env.truth.clone();
+    // one shared handle; both sessions below reference the same dataset
+    let db = Arc::new(env.db.clone());
 
     // ---- part 1: the §4.1 query through the SQL front-end --------------
     let query_text = "SELECT Temperature, Solar-Radiation, Humidity, Ozone \
@@ -37,9 +40,12 @@ fn main() -> Result<()> {
          WHERE (Temperature > 15 OR Solar-Radiation > 600 OR Humidity < 60) \
          AND CONNECT with-time-diff(7200) ON Air-Pollution, Weather";
     let query = parse_query(query_text, &env.registry)?;
-    println!("--- Query Representation (fig 3) ---\n{}", render_query(&query));
+    println!(
+        "--- Query Representation (fig 3) ---\n{}",
+        render_query(&query)
+    );
 
-    let mut session = Session::new(env.db.clone(), env.registry.clone());
+    let mut session = Session::new(Arc::clone(&db), env.registry.clone());
     session.set_window_size(48, 48)?;
     session.set_display_policy(DisplayPolicy::Percentage(40.0))?;
     session.set_join_options(JoinOptions {
@@ -53,7 +59,10 @@ fn main() -> Result<()> {
 
     std::fs::create_dir_all("out")?;
     let fb = render_session(&mut session, &RenderOptions::default())?;
-    write_ppm(&fb, BufWriter::new(File::create("out/environmental_fig4.ppm")?))?;
+    write_ppm(
+        &fb,
+        BufWriter::new(File::create("out/environmental_fig4.ppm")?),
+    )?;
     println!("wrote out/environmental_fig4.ppm");
 
     // ---- part 2: drill into the OR part (fig 5) ------------------------
@@ -79,7 +88,7 @@ fn main() -> Result<()> {
     println!("\n--- hot-spot hunt: Ozone > 1000 ---");
     println!("boolean baseline returns {exact_count} rows (a NULL result)");
 
-    let mut hunt_session = Session::new(env.db.clone(), env.registry.clone());
+    let mut hunt_session = Session::new(Arc::clone(&db), env.registry.clone());
     hunt_session.set_display_policy(DisplayPolicy::Percentage(10.0))?;
     hunt_session.set_query(hunt)?;
     let res = hunt_session.result()?;

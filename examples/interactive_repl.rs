@@ -24,6 +24,7 @@
 //! ```
 
 use std::io::BufRead;
+use std::sync::Arc;
 
 use visdb::prelude::*;
 use visdb::render::ascii::to_ascii;
@@ -110,7 +111,7 @@ fn main() -> Result<()> {
         stations: 1,
         ..Default::default()
     });
-    let mut session = Session::new(env.db, env.registry);
+    let mut session = Session::new(Arc::new(env.db), env.registry);
     session.set_window_size(32, 32)?;
     session.set_display_policy(DisplayPolicy::Percentage(30.0))?;
     println!("VisDB interactive session over the environmental database");

@@ -1,0 +1,120 @@
+//! Many users, one database: the serving layer in action.
+//!
+//! Twelve simulated users hammer a shared environmental dataset through
+//! a 4-worker `Service`. Half of them start from the same "dashboard"
+//! query — exactly the situation the shared query-result cache exists
+//! for — while the rest explore on their own. The demo prints the
+//! aggregate throughput, the cache hit rate, and one user's rendered
+//! window.
+//!
+//! ```sh
+//! cargo run --release --example multi_user_service
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use visdb::prelude::*;
+
+const USERS: usize = 12;
+const ROUNDS: usize = 5;
+const DASHBOARD_QUERY: &str = "SELECT Temperature FROM Weather WHERE Temperature > 20";
+
+fn main() -> Result<()> {
+    let env = generate_environmental(&EnvConfig {
+        hours: 24 * 30,
+        stations: 1,
+        ..Default::default()
+    });
+    let db = Arc::new(env.db);
+    println!(
+        "dataset: {} tables, {} rows, shared by {USERS} sessions via one Arc",
+        db.len(),
+        db.total_rows()
+    );
+
+    let service = Service::new(ServiceConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    service.register_dataset("env", Arc::clone(&db), env.registry);
+
+    let started = Instant::now();
+    let mut requests = 0usize;
+
+    // every user on its own thread, like independent clients
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..USERS)
+            .map(|user| {
+                let service = &service;
+                scope.spawn(move || {
+                    let id = service.create_session("env").expect("dataset registered");
+                    let mut sent = 0usize;
+                    let mut ask = |req: Request| {
+                        sent += 1;
+                        service.submit(id, req).expect("live session")
+                    };
+                    ask(Request::SetWindowSize { w: 24, h: 24 });
+                    // users 0..6: the common dashboard query; others explore
+                    let query = if user < USERS / 2 {
+                        DASHBOARD_QUERY.to_string()
+                    } else {
+                        format!(
+                            "SELECT Temperature FROM Weather WHERE Temperature > {}",
+                            10 + user
+                        )
+                    };
+                    ask(Request::SetQueryText(query));
+                    for round in 0..ROUNDS {
+                        let frame = ask(Request::Render(RenderFormat::Ascii));
+                        assert!(matches!(frame, Response::Frame { .. }));
+                        if user >= USERS / 2 {
+                            // explorers drag their slider between renders
+                            ask(Request::MoveSlider {
+                                window: 0,
+                                op: CompareOp::Gt,
+                                value: (10 + user + round) as f64,
+                            });
+                        }
+                    }
+                    let summary = ask(Request::Summary);
+                    (sent, summary)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (sent, summary) = h.join().expect("user thread");
+            requests += sent;
+            if let Response::Summary(s) = summary {
+                assert!(s.objects > 0);
+            }
+        }
+    });
+
+    let elapsed = started.elapsed();
+    let stats = service.cache_stats();
+    println!(
+        "served {requests} requests in {elapsed:.2?} ({:.0} req/s on {} workers)",
+        requests as f64 / elapsed.as_secs_f64(),
+        service.workers(),
+    );
+    println!(
+        "shared query cache: {} hits / {} misses — {} pipeline runs saved by \
+         users looking at the same dashboard",
+        stats.hits, stats.misses, stats.hits
+    );
+    println!("live sessions: {}", service.session_count());
+
+    // one more user peeks at the dashboard: a pure cache hit by now
+    let viewer = service.create_session("env")?;
+    service.submit(viewer, Request::SetWindowSize { w: 24, h: 24 })?;
+    service.submit(viewer, Request::SetQueryText(DASHBOARD_QUERY.into()))?;
+    match service.submit(viewer, Request::Render(RenderFormat::Ascii))? {
+        Response::Frame { bytes, .. } => {
+            println!("\nthe shared dashboard window (exact answers bright):");
+            println!("{}", String::from_utf8_lossy(&bytes));
+        }
+        other => println!("unexpected response: {other:?}"),
+    }
+    Ok(())
+}

@@ -10,6 +10,8 @@
 //! cargo run --example multidb_join
 //! ```
 
+use std::sync::Arc;
+
 use visdb::baseline::evaluate_boolean;
 use visdb::core::JoinOptions;
 use visdb::prelude::*;
@@ -37,7 +39,7 @@ fn main() -> Result<()> {
     );
 
     // approximate join: rank pairs by name distance
-    let mut session = Session::new(data.db.clone(), data.registry.clone());
+    let mut session = Session::new(Arc::new(data.db.clone()), data.registry.clone());
     session.set_display_policy(DisplayPolicy::Percentage(5.0))?;
     session.set_query(query)?;
     let res = session.result()?;

@@ -7,6 +7,7 @@
 
 use std::fs::File;
 use std::io::BufWriter;
+use std::sync::Arc;
 
 use visdb::prelude::*;
 use visdb::render::ascii::to_ascii;
@@ -23,20 +24,17 @@ fn main() -> Result<()> {
         ],
     );
     for h in 0..24 * 14 {
-        let temp = 12.0 + 9.0 * (((h % 24) as f64 - 14.0) / 24.0 * std::f64::consts::TAU).cos()
+        let temp = 12.0
+            + 9.0 * (((h % 24) as f64 - 14.0) / 24.0 * std::f64::consts::TAU).cos()
             + (h as f64 * 0.37).sin();
         let hum = (90.0 - 2.0 * temp + (h as f64 * 0.11).cos() * 6.0).clamp(10.0, 100.0);
-        t = t.row(vec![
-            Value::Int(h),
-            Value::Float(temp),
-            Value::Float(hum),
-        ])?;
+        t = t.row(vec![Value::Int(h), Value::Float(temp), Value::Float(hum)])?;
     }
     db.add_table(t.build());
 
     // 2. A query with two weighted predicates. Exact answers are rare;
     //    the visual feedback shows how close everything else comes.
-    let mut session = Session::new(db, ConnectionRegistry::new());
+    let mut session = Session::new(Arc::new(db), ConnectionRegistry::new());
     session.set_window_size(24, 24)?;
     session.set_display_policy(DisplayPolicy::Percentage(60.0))?;
     session.set_query(

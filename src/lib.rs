@@ -16,6 +16,7 @@
 //! ## Quick start
 //!
 //! ```
+//! use std::sync::Arc;
 //! use visdb::prelude::*;
 //!
 //! // a tiny table
@@ -28,8 +29,9 @@
 //! }
 //! db.add_table(t.build());
 //!
-//! // an approximate query: Temperature > 15
-//! let mut session = Session::new(db, ConnectionRegistry::new());
+//! // an approximate query: Temperature > 15. The database sits behind an
+//! // `Arc` so any number of sessions can share it without copying.
+//! let mut session = Session::new(Arc::new(db), ConnectionRegistry::new());
 //! session.set_display_policy(DisplayPolicy::Percentage(100.0)).unwrap();
 //! session.set_query(
 //!     QueryBuilder::from_tables(["Readings"])
@@ -61,6 +63,38 @@
 //! | [`core`] | `visdb-core` | sessions, approximate joins, sliders, rendering |
 //! | [`data`] | `visdb-data` | synthetic workloads (environmental, CAD, multi-DB) |
 //! | [`baseline`] | `visdb-baseline` | exact boolean queries, k-means |
+//! | [`service`] | `visdb-service` | concurrent multi-session query service |
+//!
+//! ## Serving layer
+//!
+//! The paper's system is single-user. The [`service`] module multiplexes
+//! its interaction loop for many concurrent users: sessions share one
+//! `Arc<Database>` (zero copies), a fixed worker pool executes requests
+//! for distinct sessions in parallel (FIFO within a session), a shared
+//! query-result cache answers identical queries from different users
+//! without re-running the pipeline, and idle sessions are LRU-evicted.
+//! The `visdb-server` binary exposes it as newline-delimited JSON over
+//! stdin/stdout:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use visdb::prelude::*;
+//!
+//! let mut db = Database::new("demo");
+//! let mut t = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+//! for i in 0..32 {
+//!     t = t.row(vec![Value::Float(i as f64)]).unwrap();
+//! }
+//! db.add_table(t.build());
+//!
+//! let service = Service::new(ServiceConfig::default());
+//! service.register_dataset("demo", Arc::new(db), ConnectionRegistry::new());
+//! let user = service.create_session("demo").unwrap();
+//! let reply = service
+//!     .submit(user, Request::SetQueryText("SELECT * FROM T WHERE x >= 16".into()))
+//!     .unwrap();
+//! assert_eq!(reply, Response::Ok);
+//! ```
 
 pub use visdb_arrange as arrange;
 pub use visdb_baseline as baseline;
@@ -72,6 +106,7 @@ pub use visdb_index as index;
 pub use visdb_query as query;
 pub use visdb_relevance as relevance;
 pub use visdb_render as render;
+pub use visdb_service as service;
 pub use visdb_storage as storage;
 pub use visdb_types as types;
 
@@ -80,8 +115,7 @@ pub mod prelude {
     pub use visdb_arrange::{arrange_grouped2d, arrange_overall, ItemGrid, PixelsPerItem};
     pub use visdb_color::{Colormap, ColormapKind, Rgb};
     pub use visdb_core::{
-        materialize_base, render_session, JoinOptions, Panel, RenderOptions, Session,
-        SessionResult,
+        materialize_base, render_session, JoinOptions, Panel, RenderOptions, Session, SessionResult,
     };
     pub use visdb_data::{
         generate_cad, generate_environmental, generate_geographic, generate_multidb, CadConfig,
@@ -95,6 +129,9 @@ pub mod prelude {
     };
     pub use visdb_relevance::{run_pipeline, DisplayPolicy, PipelineOutput};
     pub use visdb_render::{write_ppm, Framebuffer};
+    pub use visdb_service::{
+        RenderFormat, Request, Response, Service, ServiceConfig, SessionId, SessionSummary,
+    };
     pub use visdb_storage::{ColumnStats, Database, Row, Table, TableBuilder};
     pub use visdb_types::{
         Column, DataType, Error, Location, Result, Schema, Timestamp, TypeClass, Value,

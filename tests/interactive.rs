@@ -1,6 +1,8 @@
 //! Integration tests for the §4.3 interaction loop: sliders, weights,
 //! percentage, color ranges, selections, auto-recalculate.
 
+use std::sync::Arc;
+
 use visdb::prelude::*;
 
 fn ramp_session(n: usize) -> Session {
@@ -18,9 +20,10 @@ fn ramp_session(n: usize) -> Session {
     }
     let mut db = Database::new("d");
     db.add_table(t.build());
-    let mut s = Session::new(db, ConnectionRegistry::new());
+    let mut s = Session::new(Arc::new(db), ConnectionRegistry::new());
     s.set_window_size(20, 20).unwrap();
-    s.set_display_policy(DisplayPolicy::Percentage(100.0)).unwrap();
+    s.set_display_policy(DisplayPolicy::Percentage(100.0))
+        .unwrap();
     s
 }
 
@@ -63,9 +66,11 @@ fn percentage_slider_changes_normalization() {
             .build(),
     )
     .unwrap();
-    s.set_display_policy(DisplayPolicy::Percentage(10.0)).unwrap();
+    s.set_display_policy(DisplayPolicy::Percentage(10.0))
+        .unwrap();
     let narrow = s.result().unwrap().pipeline.windows[0].norm_params;
-    s.set_display_policy(DisplayPolicy::Percentage(100.0)).unwrap();
+    s.set_display_policy(DisplayPolicy::Percentage(100.0))
+        .unwrap();
     let wide = s.result().unwrap().pipeline.windows[0].norm_params;
     assert!(wide.dmax > narrow.dmax, "{wide:?} vs {narrow:?}");
 }
@@ -90,7 +95,10 @@ fn weights_shift_the_combined_ranking() {
     s.set_weight(0, 0.05).unwrap();
     s.set_weight(1, 1.0).unwrap();
     let top_y = s.result().unwrap().pipeline.order[0];
-    assert!(top_x > top_y, "x-heavy top {top_x} should be a high-x row, y-heavy {top_y} a low-x row");
+    assert!(
+        top_x > top_y,
+        "x-heavy top {top_x} should be a high-x row, y-heavy {top_y} a low-x row"
+    );
 }
 
 #[test]
@@ -182,7 +190,8 @@ fn gap_policy_in_a_session() {
 #[test]
 fn set_query_text_round_trip() {
     let mut s = ramp_session(10);
-    s.set_query_text("SELECT x FROM T WHERE x BETWEEN 2 AND 4").unwrap();
+    s.set_query_text("SELECT x FROM T WHERE x BETWEEN 2 AND 4")
+        .unwrap();
     assert_eq!(s.result().unwrap().pipeline.num_exact, 3);
     assert!(s.set_query_text("SELECT nope FROM T").is_err());
     assert!(s.set_query_text("garbage").is_err());

@@ -1,6 +1,8 @@
 //! End-to-end integration tests: the paper's running example through the
 //! whole stack (parser → joins → distances → relevance → arrangement).
 
+use std::sync::Arc;
+
 use visdb::core::JoinOptions;
 use visdb::prelude::*;
 
@@ -11,9 +13,10 @@ fn env_session() -> (Session, visdb::data::environmental::GroundTruth) {
         ..Default::default()
     });
     let truth = env.truth.clone();
-    let mut s = Session::new(env.db, env.registry);
+    let mut s = Session::new(Arc::new(env.db), env.registry);
     s.set_window_size(32, 32).unwrap();
-    s.set_display_policy(DisplayPolicy::Percentage(30.0)).unwrap();
+    s.set_display_policy(DisplayPolicy::Percentage(30.0))
+        .unwrap();
     s.set_join_options(JoinOptions {
         row_cap: 30_000,
         ..Default::default()
@@ -70,7 +73,10 @@ fn window_positions_are_coherent() {
     // rank 0 of the displayed list sits at the spiral center
     let (w, h) = (res.grid.width(), res.grid.height());
     let center_item = res.grid.get((w - 1) / 2, (h - 1) / 2);
-    assert_eq!(center_item, res.pipeline.displayed.first().map(|&i| i as u32));
+    assert_eq!(
+        center_item,
+        res.pipeline.displayed.first().map(|&i| i as u32)
+    );
 }
 
 #[test]
@@ -126,7 +132,7 @@ fn hot_spots_surface_in_the_relevance_order() {
         ..Default::default()
     });
     let truth = env.truth.clone();
-    let mut s = Session::new(env.db, env.registry);
+    let mut s = Session::new(Arc::new(env.db), env.registry);
     s.set_query(
         QueryBuilder::from_tables(["Air-Pollution"])
             .cmp("Ozone", CompareOp::Gt, 2000.0)

@@ -2,6 +2,8 @@
 //! never fabricate exact answers — on hostile data (NULL floods, NaN,
 //! infinities, empty tables, degenerate windows, all-undefined queries).
 
+use std::sync::Arc;
+
 use visdb::prelude::*;
 
 fn db_from_rows(rows: Vec<Vec<Value>>) -> Database {
@@ -124,12 +126,12 @@ fn session_survives_adversarial_interaction_sequence() {
         stations: 1,
         ..Default::default()
     });
-    let mut s = Session::new(env.db, env.registry);
+    let mut s = Session::new(Arc::new(env.db), env.registry);
     // garbage first
     assert!(s.set_query_text("SELECT").is_err());
     assert!(s.recalculate().is_err());
     assert!(s.select_tuple(0).is_err()); // result() fails without a query
-    // then a real query
+                                         // then a real query
     s.set_query_text("SELECT Temperature FROM Weather WHERE Temperature > 1000")
         .unwrap();
     // NULL-result query: nothing exact, everything approximate
@@ -149,9 +151,10 @@ fn session_survives_adversarial_interaction_sequence() {
 #[test]
 fn one_by_one_window_renders() {
     let db = db_from_rows(vec![vec![Value::Float(1.0), Value::from("a")]]);
-    let mut s = Session::new(db, ConnectionRegistry::new());
+    let mut s = Session::new(Arc::new(db), ConnectionRegistry::new());
     s.set_window_size(1, 1).unwrap();
-    s.set_display_policy(DisplayPolicy::Percentage(100.0)).unwrap();
+    s.set_display_policy(DisplayPolicy::Percentage(100.0))
+        .unwrap();
     s.set_query(
         QueryBuilder::from_tables(["T"])
             .cmp("x", CompareOp::Ge, 1.0)

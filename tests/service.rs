@@ -1,0 +1,212 @@
+//! Integration tests for the serving layer: many concurrent sessions
+//! over one shared database must behave exactly like the single-user
+//! `Session` of the paper, and the shared query-result cache must serve
+//! repeated queries without re-running the pipeline.
+
+use std::sync::Arc;
+
+use visdb::prelude::*;
+use visdb::service::{execute, SessionState};
+
+/// One client's §4.3 interaction script, parameterized so distinct
+/// clients exercise distinct queries (and two chosen clients collide on
+/// purpose to hit the shared cache).
+fn script(threshold: usize) -> Vec<Request> {
+    vec![
+        Request::SetWindowSize { w: 16, h: 16 },
+        Request::SetDisplayPolicy(DisplayPolicy::Percentage(50.0)),
+        Request::SetQueryText(format!("SELECT * FROM T WHERE x >= {threshold}")),
+        Request::Summary,
+        Request::Render(RenderFormat::Ascii),
+        // drag the slider and look again
+        Request::MoveSlider {
+            window: 0,
+            op: CompareOp::Ge,
+            value: (threshold / 2) as f64,
+        },
+        Request::Summary,
+        Request::Render(RenderFormat::Ppm),
+    ]
+}
+
+fn ramp_db(n: usize) -> Arc<Database> {
+    let mut t = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+    for i in 0..n {
+        t = t.row(vec![Value::Float(i as f64)]).unwrap();
+    }
+    let mut db = Database::new("ramp");
+    db.add_table(t.build());
+    Arc::new(db)
+}
+
+/// Run a client's script on a plain single-threaded session — the
+/// paper's original mode — through the exact same execution path the
+/// service workers use (minus pool and cache).
+fn serial_reference(db: &Arc<Database>, script: &[Request]) -> Vec<Response> {
+    let mut session = Session::new(Arc::clone(db), ConnectionRegistry::new());
+    session.set_auto_recalculate(false); // the service's lazy mode
+    let mut state = SessionState {
+        session,
+        dataset: "ramp".into(),
+    };
+    script
+        .iter()
+        .map(|req| execute(&mut state, req, None))
+        .collect()
+}
+
+#[test]
+fn concurrent_sessions_match_serial_sessions_byte_for_byte() {
+    const CLIENTS: usize = 8;
+    let db = ramp_db(2_000);
+    let service = Service::new(ServiceConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    service.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
+
+    // clients 0 and 1 run identical scripts (the shared-cache case);
+    // the rest are distinct
+    let thresholds: Vec<usize> = (0..CLIENTS)
+        .map(|c| {
+            if c == 1 {
+                client_threshold(0)
+            } else {
+                client_threshold(c)
+            }
+        })
+        .collect();
+
+    // every client on its own thread, all sessions over one Arc<Database>
+    let concurrent: Vec<Vec<Response>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = thresholds
+            .iter()
+            .map(|&threshold| {
+                let service = &service;
+                scope.spawn(move || {
+                    let id = service.create_session("ramp").expect("registered dataset");
+                    script(threshold)
+                        .into_iter()
+                        .map(|req| service.submit(id, req).expect("live session"))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    assert_eq!(service.session_count(), CLIENTS);
+    for (client, (&threshold, responses)) in thresholds.iter().zip(&concurrent).enumerate() {
+        let expected = serial_reference(&db, &script(threshold));
+        assert_eq!(
+            responses, &expected,
+            "client {client} diverged from the serial session"
+        );
+        // sanity: the script produced real payloads, not errors
+        assert!(matches!(responses[3], Response::Summary(_)));
+        assert!(
+            matches!(&responses[7], Response::Frame { bytes, .. } if bytes.starts_with(b"P6\n"))
+        );
+    }
+}
+
+fn client_threshold(client: usize) -> usize {
+    1_000 + client * 97
+}
+
+#[test]
+fn repeated_query_is_served_from_the_shared_cache() {
+    let db = ramp_db(500);
+    let service = Service::new(ServiceConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    service.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
+
+    let first = service.create_session("ramp").unwrap();
+    let second = service.create_session("ramp").unwrap();
+    let ask = |id, req| service.submit(id, req).unwrap();
+
+    for id in [first, second] {
+        assert_eq!(
+            ask(
+                id,
+                Request::SetQueryText("SELECT * FROM T WHERE x >= 400".into())
+            ),
+            Response::Ok
+        );
+    }
+    let miss = ask(first, Request::Render(RenderFormat::Ppm));
+    let stats_after_miss = service.cache_stats();
+    assert_eq!(stats_after_miss.hits, 0);
+    assert_eq!(stats_after_miss.misses, 1);
+
+    // the second user repeats the query: served from the cache, no
+    // pipeline run
+    let hit = ask(second, Request::Render(RenderFormat::Ppm));
+    let stats_after_hit = service.cache_stats();
+    assert_eq!(
+        stats_after_hit.hits, 1,
+        "repeated render must hit the cache"
+    );
+    assert_eq!(stats_after_hit.misses, 1, "no second pipeline run");
+    assert_eq!(miss, hit, "cached response must be identical");
+
+    // ...and it still matches a from-scratch serial computation
+    let serial = serial_reference(
+        &db,
+        &[
+            Request::SetQueryText("SELECT * FROM T WHERE x >= 400".into()),
+            Request::Render(RenderFormat::Ppm),
+        ],
+    );
+    assert_eq!(serial[1], hit);
+
+    // a *different* query does not collide with the cached entry
+    assert_eq!(
+        ask(
+            second,
+            Request::MoveSlider {
+                window: 0,
+                op: CompareOp::Ge,
+                value: 100.0
+            }
+        ),
+        Response::Ok
+    );
+    let other = ask(second, Request::Render(RenderFormat::Ppm));
+    assert_ne!(other, hit);
+    assert_eq!(service.cache_stats().misses, 2);
+}
+
+#[test]
+fn sessions_survive_errors_and_eviction_frees_capacity() {
+    let service = Service::new(ServiceConfig {
+        workers: 2,
+        max_sessions: 2,
+        ..Default::default()
+    });
+    service.register_dataset("ramp", ramp_db(100), ConnectionRegistry::new());
+
+    let a = service.create_session("ramp").unwrap();
+    let b = service.create_session("ramp").unwrap();
+    // a bad query is an error response, not a dead session
+    assert!(matches!(
+        service
+            .submit(a, Request::SetQueryText("SELECT".into()))
+            .unwrap(),
+        Response::Error(_)
+    ));
+    assert_eq!(service.submit(a, Request::Ping).unwrap(), Response::Ok);
+
+    // at capacity, creating a third session LRU-evicts the stalest (b:
+    // `a` was touched by the ping just now)
+    let c = service.create_session("ramp").unwrap();
+    assert_eq!(service.session_count(), 2);
+    assert!(service.submit(b, Request::Ping).is_err(), "b was evicted");
+    assert_eq!(service.submit(a, Request::Ping).unwrap(), Response::Ok);
+    assert_eq!(service.submit(c, Request::Ping).unwrap(), Response::Ok);
+}
