@@ -11,7 +11,7 @@ use visdb_bench::{ramp_db, three_predicate_query};
 use visdb_distance::DistanceResolver;
 use visdb_query::ast::{ConditionNode, Weighted};
 use visdb_relevance::combine::combine_and;
-use visdb_relevance::eval::EvalContext;
+use visdb_relevance::eval::{EvalContext, ExecMode};
 use visdb_relevance::normalize::normalize_improved;
 
 const N: usize = 100_000;
@@ -31,6 +31,7 @@ fn phases(c: &mut Criterion) {
         table,
         resolver: &resolver,
         display_budget: N / 4,
+        mode: ExecMode::Vectorized,
     };
     // pre-compute inputs for the later phases
     let evals: Vec<_> = children

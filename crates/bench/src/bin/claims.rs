@@ -38,7 +38,7 @@ fn c2_hot_spots() -> Result<()> {
         q.condition.as_ref(),
         &DisplayPolicy::Percentage(10.0),
     )?;
-    let ranks = hot_spot_ranks(&out.order, &env.truth.hot_spot_rows);
+    let ranks = hot_spot_ranks(&out.order[..out.sorted_len], &env.truth.hot_spot_rows);
     println!("  query: Ozone > 1500 over {} rows", pollution.len());
     println!(
         "  boolean baseline rows: {}",
@@ -126,7 +126,7 @@ fn c5_approx_join() -> Result<()> {
     )?;
     let m = data.db.table("CustomersB")?.len();
     let truth: Vec<usize> = data.pairs.iter().map(|&(i, j)| i * m + j).collect();
-    let top = &out.order[..truth.len().min(out.order.len())];
+    let top = &out.order[..truth.len().min(out.sorted_len)];
     let recovered = truth.iter().filter(|t| top.contains(t)).count();
     println!("  cross product: {} pairs", base.len());
     println!(

@@ -1,0 +1,216 @@
+//! Machine-readable perf record of the relevance hot path: scalar
+//! (per-tuple, full-sort) vs vectorized (columnar kernels, chunked
+//! data-parallel execution, top-k selection) rows/sec, plus isolated
+//! top-k-vs-full-sort timings. Results are written to
+//! `BENCH_pipeline.json` so future PRs can track the perf trajectory.
+//!
+//! ```sh
+//! cargo run --release -p visdb-bench --bin pipeline_perf            # full (n up to 1M)
+//! cargo run --release -p visdb-bench --bin pipeline_perf -- --smoke # CI: tiny n, asserts only
+//! ```
+//!
+//! In both modes the binary *asserts* that the vectorized outputs are
+//! identical to the scalar reference before it times anything — a kernel
+//! regression that changes results or panics fails the run regardless of
+//! timing noise.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use visdb_bench::ramp_db;
+use visdb_distance::DistanceResolver;
+use visdb_query::ast::CompareOp;
+use visdb_query::builder::QueryBuilder;
+use visdb_relevance::pipeline::{run_pipeline, run_pipeline_scalar, DisplayPolicy, PipelineOutput};
+use visdb_storage::Database;
+
+struct SizeResult {
+    n: usize,
+    scalar_rows_per_sec: f64,
+    vectorized_rows_per_sec: f64,
+    speedup: f64,
+    full_sort_ms: f64,
+    topk_ms: f64,
+    topk_k: usize,
+}
+
+/// Time `f` until it has run at least `min_reps` times *and* ~0.5 s has
+/// elapsed; returns seconds per call.
+fn time_per_call<T>(min_reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    let mut reps = 0usize;
+    loop {
+        std::hint::black_box(f());
+        reps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if reps >= min_reps && (elapsed >= 0.5 || reps >= 50) {
+            return elapsed / reps as f64;
+        }
+    }
+}
+
+fn assert_identical(fast: &PipelineOutput, slow: &PipelineOutput, n: usize) {
+    assert_eq!(fast.combined, slow.combined, "combined diverges at n={n}");
+    assert_eq!(
+        fast.num_exact, slow.num_exact,
+        "num_exact diverges at n={n}"
+    );
+    assert_eq!(
+        fast.displayed, slow.displayed,
+        "displayed diverges at n={n}"
+    );
+    assert_eq!(
+        fast.order[..fast.sorted_len],
+        slow.order[..fast.sorted_len],
+        "sorted order prefix diverges at n={n}"
+    );
+    assert!(
+        fast.sorted_len < fast.order.len(),
+        "top-k selection must engage when the display count < n (n={n})"
+    );
+    for (f, s) in fast.windows.iter().zip(&slow.windows) {
+        assert_eq!(*f.raw, *s.raw, "window raw diverges at n={n}");
+        assert_eq!(
+            *f.normalized, *s.normalized,
+            "window norm diverges at n={n}"
+        );
+    }
+}
+
+/// Deterministic pseudo-random combined-distance vector for the sort
+/// micro-benchmark (xorshift; no `rand` in the timed path).
+fn synthetic_combined(n: usize, seed: u64) -> Vec<Option<f64>> {
+    let mut state = seed.max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Some((state >> 11) as f64 / (1u64 << 53) as f64 * 255.0)
+        })
+        .collect()
+}
+
+fn rank_cmp(combined: &[Option<f64>], a: usize, b: usize) -> std::cmp::Ordering {
+    combined[a]
+        .partial_cmp(&combined[b])
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.cmp(&b))
+}
+
+fn bench_size(n: usize, smoke: bool) -> SizeResult {
+    // the acceptance workload: one numeric predicate over a float ramp,
+    // displaying 1% (so top-k selection replaces the full sort)
+    let db: Database = ramp_db(n);
+    let table = db.table("T").expect("ramp table");
+    let resolver = DistanceResolver::new();
+    let q = QueryBuilder::from_tables(["T"])
+        .cmp("x", CompareOp::Ge, n as f64 * 0.9)
+        .build();
+    let cond = q.condition.as_ref();
+    let policy = DisplayPolicy::Percentage(1.0);
+
+    let fast = run_pipeline(&db, table, &resolver, cond, &policy).expect("vectorized");
+    let slow = run_pipeline_scalar(&db, table, &resolver, cond, &policy).expect("scalar");
+    assert_identical(&fast, &slow, n);
+
+    let min_reps = if smoke { 1 } else { 3 };
+    let scalar_s = time_per_call(min_reps, || {
+        run_pipeline_scalar(&db, table, &resolver, cond, &policy).expect("scalar")
+    });
+    let vector_s = time_per_call(min_reps, || {
+        run_pipeline(&db, table, &resolver, cond, &policy).expect("vectorized")
+    });
+
+    // top-k vs full sort on the same synthetic ranking problem
+    let combined = synthetic_combined(n, 0x5eed ^ n as u64);
+    let k = (n / 100).max(1);
+    let full_sort_s = time_per_call(min_reps, || {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| rank_cmp(&combined, a, b));
+        idx
+    });
+    let topk_s = time_per_call(min_reps, || {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.select_nth_unstable_by(k - 1, |&a, &b| rank_cmp(&combined, a, b));
+        idx[..k].sort_unstable_by(|&a, &b| rank_cmp(&combined, a, b));
+        idx
+    });
+
+    SizeResult {
+        n,
+        scalar_rows_per_sec: n as f64 / scalar_s,
+        vectorized_rows_per_sec: n as f64 / vector_s,
+        speedup: scalar_s / vector_s,
+        full_sort_ms: full_sort_s * 1e3,
+        topk_ms: topk_s * 1e3,
+        topk_k: k,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke {
+        &[2_000, 40_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+
+    let mut results = Vec::new();
+    for &n in sizes {
+        let r = bench_size(n, smoke);
+        println!(
+            "n={:>9}: scalar {:>12.0} rows/s | vectorized {:>12.0} rows/s | speedup {:>5.2}x | \
+             sort {:>8.2} ms vs top-{} {:>7.3} ms",
+            r.n,
+            r.scalar_rows_per_sec,
+            r.vectorized_rows_per_sec,
+            r.speedup,
+            r.full_sort_ms,
+            r.topk_k,
+            r.topk_ms,
+        );
+        results.push(r);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"pipeline\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"x >= 0.9n numeric predicate over a float ramp, Percentage(1) display\","
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"scalar_rows_per_sec\": {:.0}, \"vectorized_rows_per_sec\": {:.0}, \
+             \"speedup\": {:.3}, \"full_sort_ms\": {:.3}, \"topk_ms\": {:.3}, \"topk_k\": {}}}{}",
+            r.n,
+            r.scalar_rows_per_sec,
+            r.vectorized_rows_per_sec,
+            r.speedup,
+            r.full_sort_ms,
+            r.topk_ms,
+            r.topk_k,
+            if i + 1 < results.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = "BENCH_pipeline.json";
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {path}");
+
+    if !smoke {
+        if let Some(big) = results.iter().max_by_key(|r| r.n) {
+            assert!(
+                big.speedup >= 2.0,
+                "acceptance: vectorized must be >= 2x scalar rows/sec at n={} (got {:.2}x)",
+                big.n,
+                big.speedup
+            );
+        }
+    }
+}

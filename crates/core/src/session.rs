@@ -16,8 +16,10 @@ use visdb_query::ast::{ConditionNode, PredicateTarget, Query, Weighted};
 use visdb_query::connection::ConnectionRegistry;
 use visdb_query::parser::parse_query;
 use visdb_query::validate::validate;
-use visdb_relevance::cache::PipelineCache;
-use visdb_relevance::pipeline::{run_pipeline, run_pipeline_cached, DisplayPolicy, PipelineOutput};
+use visdb_relevance::cache::{PipelineCache, WindowSource};
+use visdb_relevance::pipeline::{
+    run_pipeline, run_pipeline_opts, DisplayPolicy, PipelineOptions, PipelineOutput, SharedWindows,
+};
 use visdb_storage::{Database, Row, Table};
 use visdb_types::{Error, Result, Value};
 
@@ -70,6 +72,10 @@ pub struct Session {
     /// §6 incremental recalculation: unchanged predicate windows are
     /// reused across query modifications.
     pipeline_cache: PipelineCache,
+    /// Cross-session predicate-window reuse: a cache shared with other
+    /// sessions over the same dataset generation (see
+    /// [`Session::set_shared_windows`]).
+    shared_windows: Option<(String, Arc<dyn WindowSource>)>,
 }
 
 impl Session {
@@ -95,13 +101,33 @@ impl Session {
             color_range: None,
             result: None,
             pipeline_cache: PipelineCache::new(),
+            shared_windows: None,
         }
     }
 
     /// Replace the distance resolver (application-specific distances).
+    /// A custom resolver changes distance semantics, so any shared
+    /// window cache attached earlier is detached — its entries would no
+    /// longer be valid for this session.
     pub fn with_resolver(mut self, resolver: DistanceResolver) -> Self {
         self.resolver = resolver;
+        self.shared_windows = None;
         self
+    }
+
+    /// Attach a predicate-window cache shared with other sessions (§6
+    /// incremental reuse made cross-session: another user's slider drag
+    /// leaves every unchanged window pre-evaluated for this one).
+    ///
+    /// `scope` must uniquely identify the dataset *generation* — the
+    /// serving layer uses `name#generation` so sessions over a replaced
+    /// dataset of the same name never share entries. Sessions with a
+    /// non-default distance resolver must not share a cache (attaching
+    /// one and then calling [`Session::with_resolver`] detaches it).
+    /// Multi-table (sampled cross-product) bases never consult the
+    /// shared cache — their row content is not identified by the key.
+    pub fn set_shared_windows(&mut self, scope: impl Into<String>, cache: Arc<dyn WindowSource>) {
+        self.shared_windows = Some((scope.into(), cache));
     }
 
     /// The underlying database.
@@ -239,13 +265,28 @@ impl Session {
             .as_ref()
             .ok_or_else(|| Error::invalid_query("no query installed"))?;
         let base = materialize_base(&self.db, query, &self.join_opts)?;
-        let pipeline = run_pipeline_cached(
+        // the shared cache key identifies the base by (table, row count);
+        // sampled cross products can collide on both, so only plain
+        // single-table bases participate
+        let shared = self
+            .shared_windows
+            .as_ref()
+            .filter(|_| query.tables.len() == 1)
+            .map(|(scope, cache)| SharedWindows {
+                scope,
+                cache: cache.as_ref(),
+            });
+        let pipeline = run_pipeline_opts(
             &self.db,
             &base,
             &self.resolver,
             query.condition.as_ref(),
             &self.policy,
-            Some(&mut self.pipeline_cache),
+            PipelineOptions {
+                cache: Some(&mut self.pipeline_cache),
+                shared,
+                ..Default::default()
+            },
         )?;
         let grid = arrange_overall(&pipeline.displayed, self.window_w, self.window_h);
         self.result = Some(SessionResult {

@@ -21,6 +21,7 @@
 //!   relevance layer treats undefined as "maximally distant / not
 //!   displayable".
 
+pub mod batch;
 pub mod geo;
 pub mod matrix;
 pub mod numeric;

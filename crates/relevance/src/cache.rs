@@ -18,6 +18,56 @@ use visdb_storage::Table;
 
 use crate::pipeline::PredicateWindow;
 
+/// A cache of evaluated predicate windows shared *across* sessions (and
+/// threads) — the cross-session sibling of the per-session
+/// [`PipelineCache`]. The serving layer implements this over a bounded
+/// LRU map (`visdb_service::WindowCache`), so one user's slider drag
+/// leaves every *unchanged* window pre-evaluated for everyone else.
+///
+/// Implementations must be safe to call concurrently; entries are handed
+/// out as cheap [`PredicateWindow`] clones (the heavy vectors are
+/// `Arc`-shared).
+///
+/// Correctness rests on the key ([`window_key`]) covering every input of
+/// a window evaluation **except** the distance resolver and the base
+/// relation's row *content* — the scope string must therefore uniquely
+/// identify the dataset generation, and sessions with a non-default
+/// resolver (or sampled cross products) must not share a cache.
+pub trait WindowSource: Send + Sync {
+    /// Return a previously stored window for this exact key, if any.
+    fn lookup(&self, key: &str) -> Option<PredicateWindow>;
+    /// Store a freshly evaluated window under its key.
+    fn store(&self, key: String, window: PredicateWindow);
+}
+
+/// The exact cache key of one predicate-window evaluation: dataset scope
+/// (name + generation), base relation identity, row count, display
+/// budget (normalization input), window weight, and the condition
+/// subtree (structural identity — two sessions building the same
+/// subtree through different paths share an entry).
+///
+/// The subtree is encoded via its derived `Debug` form, which is
+/// injective for this purpose: string literals are quote-escaped (a
+/// crafted literal cannot forge another tree's encoding), nested weights
+/// appear exactly, and floats print in shortest-roundtrip form (all
+/// NaNs collide, but every NaN yields identical distances). The
+/// human-oriented query *printer* is deliberately not used here — its
+/// output elides unit weights and does not escape literals.
+pub fn window_key(
+    scope: &str,
+    table: &Table,
+    display_budget: usize,
+    weight: f64,
+    node: &ConditionNode,
+) -> String {
+    format!(
+        "{scope}\u{1f}{}\u{1f}{}\u{1f}{display_budget}\u{1f}{:016x}\u{1f}{node:?}",
+        table.name(),
+        table.len(),
+        weight.to_bits(),
+    )
+}
+
 /// Cache of evaluated top-level windows.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineCache {
@@ -137,6 +187,32 @@ mod tests {
             b = b.row(vec![Value::Float(i as f64)]).unwrap();
         }
         b.build()
+    }
+
+    #[test]
+    fn window_keys_cannot_be_forged_by_string_literals() {
+        use visdb_query::ast::Weighted;
+        let t = table(3);
+        let pred = |col: &str, lit: &str| {
+            ConditionNode::Predicate(Predicate::compare(AttrRef::new(col), CompareOp::Eq, lit))
+        };
+        // a single predicate whose literal mimics the *rendered* form of
+        // a two-predicate AND must not share a key with the real AND
+        let forged = ConditionNode::And(vec![Weighted::unit(pred("s", "a']\n  [t = 'b"))]);
+        let genuine = ConditionNode::And(vec![
+            Weighted::unit(pred("s", "a")),
+            Weighted::unit(pred("t", "b")),
+        ]);
+        let key = |n: &ConditionNode| window_key("d#1", &t, 10, 1.0, n);
+        assert_ne!(key(&forged), key(&genuine));
+        // nested weights within epsilon of 1.0 (which the human-oriented
+        // printer elides) are part of the key too
+        let almost_one = f64::from_bits(1.0f64.to_bits() - 1);
+        let w1 = ConditionNode::And(vec![Weighted::new(pred("s", "a"), 1.0)]);
+        let w2 = ConditionNode::And(vec![Weighted::new(pred("s", "a"), almost_one)]);
+        assert_ne!(key(&w1), key(&w2));
+        // identical trees built through different paths share a key
+        assert_eq!(key(&genuine), key(&genuine.clone()));
     }
 
     #[test]

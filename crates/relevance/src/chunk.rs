@@ -1,0 +1,137 @@
+//! Chunked data-parallel execution over row ranges.
+//!
+//! The pipeline's hot passes (distance kernels, normalization-apply,
+//! combining) are embarrassingly parallel over rows: every output row
+//! depends only on the same row of its inputs. This module splits an
+//! output slice into fixed-size chunks and fans the chunks out across a
+//! scoped worker pool, so a single large query parallelizes over rows —
+//! the previous pipeline only parallelized across predicate windows,
+//! leaving one-predicate queries single-threaded.
+//!
+//! Determinism: each chunk writes only its own disjoint sub-slice and
+//! reads only shared immutable inputs, so results are independent of
+//! thread count and scheduling — the parallel walk is bit-identical to
+//! the serial one.
+//!
+//! Threads are crossbeam-*scoped* (spawned per walk, joined before it
+//! returns), not a persistent pool: the scoped lifetime is what lets
+//! tasks borrow the output vectors without `Arc`/channel plumbing, and
+//! the [`PAR_MIN_ROWS`] floor keeps spawn cost (~tens of µs) far below
+//! the work it buys. The known cost is oversubscription when several
+//! service workers each run a large query concurrently — a shared
+//! persistent pool (or a global in-flight thread budget) is the
+//! ROADMAP's follow-up once multi-core deployments make it measurable.
+
+/// Rows per chunk. Large enough to amortise spawn/dispatch overhead,
+/// small enough to load-balance across a worker pool.
+pub const CHUNK_ROWS: usize = 16_384;
+
+/// Minimum total rows before a chunk walk fans out across threads;
+/// smaller inputs run serially (spawn overhead would dominate the §4.3
+/// interactive latencies the chunking is meant to protect).
+pub const PAR_MIN_ROWS: usize = 32_768;
+
+/// Worker threads available to a chunk walk (capped: the pipeline is
+/// memory-bound well before 16 cores).
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Run `f` once per task, striping tasks across up to [`max_threads`]
+/// scoped workers when `parallel` is set (and there is more than one task
+/// and core). Tasks carry their own mutable state (typically disjoint
+/// `&mut` sub-slices), which is what makes the fan-out safe.
+pub fn run_striped<T: Send>(tasks: Vec<T>, parallel: bool, f: impl Fn(T) + Sync) {
+    let threads = if parallel {
+        max_threads().min(tasks.len())
+    } else {
+        1
+    };
+    if threads <= 1 {
+        for task in tasks {
+            f(task);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        buckets[i % threads].push(task);
+    }
+    let f = &f;
+    crossbeam::thread::scope(|s| {
+        for bucket in buckets {
+            s.spawn(move |_| {
+                for task in bucket {
+                    f(task);
+                }
+            });
+        }
+    })
+    .expect("chunk workers must not panic");
+}
+
+/// Walk `out` in [`CHUNK_ROWS`]-sized chunks, calling `f(offset, chunk)`
+/// for each, fanning the chunks out across the worker pool when
+/// `parallel` is set and the slice is at least [`PAR_MIN_ROWS`] long.
+pub fn for_each_chunk<T: Send>(out: &mut [T], parallel: bool, f: impl Fn(usize, &mut [T]) + Sync) {
+    if out.is_empty() {
+        return;
+    }
+    let fan_out = parallel && out.len() >= PAR_MIN_ROWS;
+    let tasks: Vec<(usize, &mut [T])> = out
+        .chunks_mut(CHUNK_ROWS)
+        .enumerate()
+        .map(|(i, c)| (i * CHUNK_ROWS, c))
+        .collect();
+    run_striped(tasks, fan_out, |(offset, chunk)| f(offset, chunk));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_every_row_exactly_once() {
+        let n = PAR_MIN_ROWS + CHUNK_ROWS / 2;
+        let mut out = vec![0usize; n];
+        for_each_chunk(&mut out, true, |offset, chunk| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = offset + j;
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_walks_agree() {
+        let n = PAR_MIN_ROWS + 123;
+        let fill = |parallel: bool| {
+            let mut out = vec![0.0f64; n];
+            for_each_chunk(&mut out, parallel, |offset, chunk| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let i = (offset + j) as f64;
+                    *slot = i * 1.5 - 3.0;
+                }
+            });
+            out
+        };
+        assert_eq!(fill(false), fill(true));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_run_serially() {
+        let mut empty: Vec<u8> = Vec::new();
+        for_each_chunk(&mut empty, true, |_, _| panic!("no chunks expected"));
+        let mut one = vec![0u8];
+        for_each_chunk(&mut one, true, |offset, chunk| {
+            assert_eq!(offset, 0);
+            chunk[0] = 7;
+        });
+        assert_eq!(one, vec![7]);
+    }
+}

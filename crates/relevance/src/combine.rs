@@ -43,26 +43,62 @@ fn check<C: AsRef<[Option<f64>]>>(children: &[C], weights: &[f64]) -> Result<usi
     Ok(n)
 }
 
+/// One row of the weighted arithmetic mean (`AND`): the per-row kernel
+/// shared by [`combine_and`] and the pipeline's fused chunk walk.
+#[inline]
+pub fn and_row(vals: &[Option<f64>], weights: &[f64]) -> Option<f64> {
+    let mut sum = 0.0;
+    for (v, &w) in vals.iter().zip(weights) {
+        match v {
+            Some(d) => sum += w * d,
+            None => return None,
+        }
+    }
+    Some(sum)
+}
+
+/// One row of the weighted geometric mean (`OR`): the per-row kernel
+/// shared by [`combine_or`] and the pipeline's fused chunk walk.
+#[inline]
+pub fn or_row(vals: &[Option<f64>], weights: &[f64]) -> Option<f64> {
+    let mut prod = 1.0f64;
+    let mut any_defined = false;
+    for (v, &w) in vals.iter().zip(weights) {
+        let d = match v {
+            Some(d) => {
+                any_defined = true;
+                *d
+            }
+            None => NORM_MAX, // an undefined part cannot help an OR
+        };
+        if w == 0.0 {
+            continue;
+        }
+        prod *= d.powf(w);
+        if prod == 0.0 {
+            break;
+        }
+    }
+    if any_defined {
+        Some(prod)
+    } else {
+        None
+    }
+}
+
 /// Weighted arithmetic mean — `AND` semantics.
 pub fn combine_and<C: AsRef<[Option<f64>]>>(
     children: &[C],
     weights: &[f64],
 ) -> Result<Vec<Option<f64>>> {
     let n = check(children, weights)?;
+    let mut row = vec![None; children.len()];
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
-        let mut sum = 0.0;
-        let mut ok = true;
-        for (c, &w) in children.iter().zip(weights) {
-            match c.as_ref()[i] {
-                Some(d) => sum += w * d,
-                None => {
-                    ok = false;
-                    break;
-                }
-            }
+        for (slot, c) in row.iter_mut().zip(children) {
+            *slot = c.as_ref()[i];
         }
-        out.push(if ok { Some(sum) } else { None });
+        out.push(and_row(&row, weights));
     }
     Ok(out)
 }
@@ -76,27 +112,13 @@ pub fn combine_or<C: AsRef<[Option<f64>]>>(
     weights: &[f64],
 ) -> Result<Vec<Option<f64>>> {
     let n = check(children, weights)?;
+    let mut row = vec![None; children.len()];
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
-        let mut prod = 1.0f64;
-        let mut any_defined = false;
-        for (c, &w) in children.iter().zip(weights) {
-            let d = match c.as_ref()[i] {
-                Some(d) => {
-                    any_defined = true;
-                    d
-                }
-                None => NORM_MAX, // an undefined part cannot help an OR
-            };
-            if w == 0.0 {
-                continue;
-            }
-            prod *= d.powf(w);
-            if prod == 0.0 {
-                break;
-            }
+        for (slot, c) in row.iter_mut().zip(children) {
+            *slot = c.as_ref()[i];
         }
-        out.push(if any_defined { Some(prod) } else { None });
+        out.push(or_row(&row, weights));
     }
     Ok(out)
 }

@@ -7,17 +7,35 @@
 //! nodes normalize their children and combine them (§5.2, see
 //! [`crate::combine`]).
 
+use visdb_distance::batch::{self, CompareKernel, NumericKernel};
 use visdb_distance::registry::{ColumnDistance, DistanceResolver};
 use visdb_distance::{geo, numeric, string::levenshtein, time};
 use visdb_query::ast::{
     AttrRef, CompareOp, ConditionNode, Predicate, PredicateTarget, Query, SubqueryLink,
 };
 use visdb_query::connection::{ConnectionKind, ConnectionUse};
-use visdb_storage::{ColumnData, Database, Table};
+use visdb_storage::{ColumnData, Database, NumericSlice, Table};
 use visdb_types::{DataType, Error, Result, TypeClass, Value};
 
+use crate::chunk;
 use crate::combine::{combine_and, combine_or};
 use crate::normalize::normalize_improved;
+
+/// How distances are computed.
+///
+/// The two modes are **bit identical** in their results (property-tested
+/// across policies, column types and NULL patterns); `Scalar` is kept as
+/// the reference and benchmark baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Per-tuple reference path: one [`Value`] materialisation and enum
+    /// dispatch per row, sequential, full final sort in the pipeline.
+    Scalar,
+    /// Columnar fast path: typed batch kernels over native column
+    /// slices, chunked row-parallel execution, top-k display selection.
+    #[default]
+    Vectorized,
+}
 
 /// Everything needed to evaluate distances.
 pub struct EvalContext<'a> {
@@ -32,6 +50,8 @@ pub struct EvalContext<'a> {
     /// Display budget in items (the `r` of §5.1/§5.2), used by the
     /// weight-proportional normalization inside `AND`/`OR` combining.
     pub display_budget: usize,
+    /// Columnar fast path vs per-tuple reference path.
+    pub mode: ExecMode,
 }
 
 /// The evaluated distances of one condition node.
@@ -158,29 +178,112 @@ impl<'a> EvalContext<'a> {
         })
     }
 
+    /// Whether chunk walks may fan out across threads.
+    fn parallel(&self) -> bool {
+        self.mode == ExecMode::Vectorized
+    }
+
+    /// Fill `out[i] = f(i)` for every row. In `Vectorized` mode the rows
+    /// are walked in chunks fanned out across the worker pool; the
+    /// `Scalar` reference runs the identical loop sequentially.
+    fn fill_rows(&self, out: &mut [Option<f64>], f: impl Fn(usize) -> Option<f64> + Sync) {
+        chunk::for_each_chunk(out, self.parallel(), |offset, rows| {
+            for (j, slot) in rows.iter_mut().enumerate() {
+                *slot = f(offset + j);
+            }
+        });
+    }
+
+    /// Run a typed batch kernel over the column, chunk-parallel. Returns
+    /// `false` when the column has no native numeric buffer (the caller
+    /// falls back to the per-tuple path).
+    fn run_kernel(&self, col: &ColumnData, kernel: NumericKernel, out: &mut [Option<f64>]) -> bool {
+        let Some((slice, mask)) = col.numeric_slice() else {
+            return false;
+        };
+        match slice {
+            NumericSlice::F64(xs) => self.run_kernel_typed(xs, mask, kernel, out),
+            NumericSlice::I64(xs) => self.run_kernel_typed(xs, mask, kernel, out),
+        }
+        true
+    }
+
+    fn run_kernel_typed<T: batch::NativeNumeric>(
+        &self,
+        xs: &[T],
+        mask: Option<&[bool]>,
+        kernel: NumericKernel,
+        out: &mut [Option<f64>],
+    ) {
+        chunk::for_each_chunk(out, self.parallel(), |offset, rows| {
+            let end = offset + rows.len();
+            batch::run(
+                &xs[offset..end],
+                mask.map(|m| &m[offset..end]),
+                kernel,
+                rows,
+            );
+        });
+    }
+
+    /// The batch kernel equivalent to a predicate target, when one exists
+    /// under the column's distance behaviour. `None` falls back to the
+    /// generic per-tuple path (strings, matrices, geo, bool columns, and
+    /// any application-supplied distance override).
+    fn kernel_for(cd: &ColumnDistance, target: &PredicateTarget) -> Option<NumericKernel> {
+        if !matches!(cd, ColumnDistance::Numeric) {
+            return None;
+        }
+        match target {
+            PredicateTarget::Compare { op, value } => {
+                let kind = match op {
+                    CompareOp::Gt | CompareOp::Ge => CompareKernel::Greater,
+                    CompareOp::Lt | CompareOp::Le => CompareKernel::Less,
+                    CompareOp::Eq => CompareKernel::Equal,
+                    CompareOp::Ne => CompareKernel::NotEqual,
+                };
+                // a NULL or non-numeric literal makes every distance
+                // undefined — same as the scalar path's `as_f64()?`
+                Some(NumericKernel::Compare(kind, value.as_f64()))
+            }
+            PredicateTarget::Range { low, high } => match (low.as_f64(), high.as_f64()) {
+                (Some(l), Some(h)) => Some(NumericKernel::InRange(l, h)),
+                // non-numeric bounds take the generalised ordering path
+                _ => None,
+            },
+            // `Around` is handled by the caller (it must error on a
+            // non-numeric center before any distances are computed)
+            PredicateTarget::Around { .. } => None,
+        }
+    }
+
     fn eval_predicate(&self, p: &Predicate, negated_label: bool) -> Result<NodeEval> {
         let (col, dt, class, _) = self.column(&p.attr)?;
         let cd = self.distance_for(&p.attr, dt, class);
         let n = self.table.len();
-        let mut out = Vec::with_capacity(n);
-        match &p.target {
-            PredicateTarget::Compare { op, value } => {
-                for i in 0..n {
-                    out.push(compare_distance(col, i, *op, value, &cd));
+        let mut out = vec![None; n];
+        let vectorized = self.mode == ExecMode::Vectorized
+            && Self::kernel_for(&cd, &p.target)
+                .map(|kernel| self.run_kernel(col, kernel, &mut out))
+                .unwrap_or(false);
+        if !vectorized {
+            match &p.target {
+                PredicateTarget::Compare { op, value } => {
+                    self.fill_rows(&mut out, |i| compare_distance(col, i, *op, value, &cd));
                 }
-            }
-            PredicateTarget::Range { low, high } => {
-                for i in 0..n {
-                    out.push(range_distance(col, i, low, high, &cd));
+                PredicateTarget::Range { low, high } => {
+                    self.fill_rows(&mut out, |i| range_distance(col, i, low, high, &cd));
                 }
-            }
-            PredicateTarget::Around { center, deviation } => {
-                let c = center.expect_f64()?;
-                for i in 0..n {
-                    out.push(match col.get_f64(i) {
-                        Some(v) => numeric::around(v, c, *deviation),
-                        None => None,
-                    });
+                PredicateTarget::Around { center, deviation } => {
+                    let c = center.expect_f64()?;
+                    let d = *deviation;
+                    if self.mode != ExecMode::Vectorized
+                        || !self.run_kernel(col, NumericKernel::Around(c, d), &mut out)
+                    {
+                        self.fill_rows(&mut out, |i| {
+                            col.get_f64(i).and_then(|v| numeric::around(v, c, d))
+                        });
+                    }
                 }
             }
         }
@@ -199,15 +302,13 @@ impl<'a> EvalContext<'a> {
     fn eval_connection(&self, c: &ConnectionUse) -> Result<NodeEval> {
         let n = self.table.len();
         let (left_attr, right_attr) = c.def.kind.attrs();
-        let mut out = Vec::with_capacity(n);
+        let mut out = vec![None; n];
         match &c.def.kind {
             ConnectionKind::Equi { .. } => {
                 let (lc, ldt, lcl, _) = self.column(left_attr)?;
                 let (rc, ..) = self.column(right_attr)?;
                 let cd = self.distance_for(left_attr, ldt, lcl);
-                for i in 0..n {
-                    out.push(cd.value_distance(&lc.get(i), &rc.get(i)));
-                }
+                self.fill_rows(&mut out, |i| cd.value_distance(&lc.get(i), &rc.get(i)));
                 Ok(NodeEval {
                     label: c.label(),
                     signed: cd.is_signed(),
@@ -218,15 +319,14 @@ impl<'a> EvalContext<'a> {
                 let (lc, ldt, lcl, _) = self.column(left_attr)?;
                 let (rc, ..) = self.column(right_attr)?;
                 let cd = self.distance_for(left_attr, ldt, lcl);
-                for i in 0..n {
+                self.fill_rows(&mut out, |i| {
                     let (a, b) = (lc.get(i), rc.get(i));
-                    let d = match a.partial_cmp_value(&b) {
+                    match a.partial_cmp_value(&b) {
                         None => None,
                         Some(ord) if op.eval(ord) => Some(0.0),
                         Some(_) => cd.value_distance(&a, &b),
-                    };
-                    out.push(d);
-                }
+                    }
+                });
                 Ok(NodeEval {
                     label: c.label(),
                     signed: cd.is_signed(),
@@ -237,13 +337,10 @@ impl<'a> EvalContext<'a> {
                 let expected = *c.params.first().unwrap_or(&0.0);
                 let (lc, ..) = self.column(left_attr)?;
                 let (rc, ..) = self.column(right_attr)?;
-                for i in 0..n {
-                    let d = match (lc.get_f64(i), rc.get_f64(i)) {
-                        (Some(a), Some(b)) => time::time_diff(a as i64, b as i64, expected),
-                        _ => None,
-                    };
-                    out.push(d);
-                }
+                self.fill_rows(&mut out, |i| match (lc.get_f64(i), rc.get_f64(i)) {
+                    (Some(a), Some(b)) => time::time_diff(a as i64, b as i64, expected),
+                    _ => None,
+                });
                 Ok(NodeEval {
                     label: c.label(),
                     signed: true,
@@ -254,13 +351,12 @@ impl<'a> EvalContext<'a> {
                 let radius = *c.params.first().unwrap_or(&0.0);
                 let (lc, ..) = self.column(left_attr)?;
                 let (rc, ..) = self.column(right_attr)?;
-                for i in 0..n {
-                    let d = match (lc.get_location(i), rc.get_location(i)) {
+                self.fill_rows(&mut out, |i| {
+                    match (lc.get_location(i), rc.get_location(i)) {
                         (Some(a), Some(b)) => geo::within_m(a, b, radius),
                         _ => None,
-                    };
-                    out.push(d);
-                }
+                    }
+                });
                 Ok(NodeEval {
                     label: c.label(),
                     signed: false,
@@ -273,14 +369,13 @@ impl<'a> EvalContext<'a> {
                 // get 0, everything else is undefined.
                 let (lc, ..) = self.column(left_attr)?;
                 let (rc, ..) = self.column(right_attr)?;
-                for i in 0..n {
-                    let d = if lc.get(i) == rc.get(i) && !lc.get(i).is_null() {
+                self.fill_rows(&mut out, |i| {
+                    if lc.get(i) == rc.get(i) && !lc.get(i).is_null() {
                         Some(0.0)
                     } else {
                         None
-                    };
-                    out.push(d);
-                }
+                    }
+                });
                 Ok(NodeEval {
                     label: c.label(),
                     signed: false,
@@ -305,6 +400,7 @@ impl<'a> EvalContext<'a> {
             table: inner_table,
             resolver: self.resolver,
             display_budget: self.display_budget,
+            mode: self.mode,
         };
         // combined (normalized) distance of the inner condition per inner row
         let inner_cond: Vec<Option<f64>> = match &query.condition {
@@ -315,7 +411,6 @@ impl<'a> EvalContext<'a> {
             None => vec![Some(0.0); inner_table.len()],
         };
         let n = self.table.len();
-        let mut out = Vec::with_capacity(n);
         match link {
             SubqueryLink::Exists => {
                 // Uncorrelated EXISTS: the best inner distance is the same
@@ -324,11 +419,10 @@ impl<'a> EvalContext<'a> {
                     .iter()
                     .flatten()
                     .fold(None::<f64>, |acc, &d| Some(acc.map_or(d, |a| a.min(d))));
-                out.resize(n, best);
                 Ok(NodeEval {
                     label: "EXISTS(...)".to_string(),
                     signed: false,
-                    distances: out,
+                    distances: vec![best; n],
                 })
             }
             SubqueryLink::In { outer, inner } => {
@@ -336,11 +430,12 @@ impl<'a> EvalContext<'a> {
                 let (ic, ..) = inner_ctx.column(inner)?;
                 let cd = self.distance_for(outer, odt, ocl);
                 let m = inner_table.len();
-                for i in 0..n {
+                let mut out = vec![None; n];
+                // the O(n·m) approximate join parallelizes over outer rows
+                self.fill_rows(&mut out, |i| {
                     let ov = oc.get(i);
                     if ov.is_null() {
-                        out.push(None);
-                        continue;
+                        return None;
                     }
                     let mut best: Option<f64> = None;
                     for (j, &cond_j) in inner_cond.iter().enumerate().take(m) {
@@ -356,8 +451,8 @@ impl<'a> EvalContext<'a> {
                             }
                         }
                     }
-                    out.push(best);
-                }
+                    best
+                });
                 Ok(NodeEval {
                     label: format!("{outer} IN (...)"),
                     signed: false,
@@ -524,6 +619,55 @@ mod tests {
             table: db.table("Weather").unwrap(),
             resolver,
             display_budget: 100,
+            mode: ExecMode::Vectorized,
+        }
+    }
+
+    /// Every eval test asserts on the vectorized path; this helper
+    /// re-checks any node against the scalar reference.
+    fn assert_modes_agree(db: &Database, node: &ConditionNode) {
+        let r = DistanceResolver::new();
+        let mut c = ctx(db, &r);
+        let vec_eval = c.eval_node(node).unwrap();
+        c.mode = ExecMode::Scalar;
+        let scalar_eval = c.eval_node(node).unwrap();
+        assert_eq!(vec_eval, scalar_eval);
+    }
+
+    #[test]
+    fn vectorized_and_scalar_modes_agree_on_every_node_kind() {
+        let db = weather_db();
+        for node in [
+            ConditionNode::Predicate(Predicate::compare(
+                AttrRef::new("Temperature"),
+                CompareOp::Gt,
+                15.0,
+            )),
+            ConditionNode::Predicate(Predicate::compare(
+                AttrRef::new("Station"),
+                CompareOp::Eq,
+                "munich",
+            )),
+            ConditionNode::Predicate(Predicate::range(AttrRef::new("Humidity"), 55.0, 70.0)),
+            ConditionNode::Not(Box::new(ConditionNode::Predicate(Predicate::compare(
+                AttrRef::new("Temperature"),
+                CompareOp::Le,
+                12.0,
+            )))),
+            ConditionNode::And(vec![
+                Weighted::unit(ConditionNode::Predicate(Predicate::compare(
+                    AttrRef::new("Temperature"),
+                    CompareOp::Gt,
+                    15.0,
+                ))),
+                Weighted::unit(ConditionNode::Predicate(Predicate::compare(
+                    AttrRef::new("Humidity"),
+                    CompareOp::Lt,
+                    60.0,
+                ))),
+            ]),
+        ] {
+            assert_modes_agree(&db, &node);
         }
     }
 
@@ -713,6 +857,7 @@ mod tests {
             table: &cross,
             resolver: &r,
             display_budget: 100,
+            mode: ExecMode::Vectorized,
         };
         let def = ConnectionDef {
             name: "with-time-diff".into(),

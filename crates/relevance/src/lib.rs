@@ -28,6 +28,7 @@
 //! The end-to-end driver is [`pipeline::run_pipeline`].
 
 pub mod cache;
+pub mod chunk;
 pub mod combine;
 pub mod eval;
 pub mod metric_combine;
@@ -36,11 +37,12 @@ pub mod pipeline;
 pub mod quantile;
 pub mod reduction;
 
-pub use cache::PipelineCache;
-pub use eval::{EvalContext, NodeEval};
-pub use normalize::{normalize_improved, normalize_naive, NormParams, NORM_MAX};
+pub use cache::{window_key, PipelineCache, WindowSource};
+pub use eval::{EvalContext, ExecMode, NodeEval};
+pub use normalize::{fit_improved, normalize_improved, normalize_naive, NormParams, NORM_MAX};
 pub use pipeline::{
-    run_pipeline, run_pipeline_cached, DisplayPolicy, PipelineOutput, PredicateWindow,
+    run_pipeline, run_pipeline_cached, run_pipeline_opts, run_pipeline_scalar, DisplayPolicy,
+    PipelineOptions, PipelineOutput, PredicateWindow, SharedWindows,
 };
 pub use quantile::{display_fraction, quantile, two_sided_range};
 pub use reduction::{gap_cutoff, gap_cutoff_naive};

@@ -16,8 +16,6 @@
 //!   heavily-weighted predicates get their resolution concentrated near
 //!   the query.
 
-use crate::quantile::smallest_k_indices;
-
 /// The fixed upper bound of normalized distances.
 pub const NORM_MAX: f64 = 255.0;
 
@@ -61,43 +59,68 @@ impl NormParams {
 // indistinguishable from an exact answer (wrong yellow region, wrong
 // `# results`). Anchoring at zero preserves the invariant
 // `normalized == 0 ⇔ raw == 0` that the whole display semantics rest on.
-fn fit(values: &[Option<f64>], consider: Option<&[usize]>) -> NormParams {
-    let dmin = 0.0f64;
-    let mut dmax = f64::NEG_INFINITY;
-    let mut seen = false;
-    let mut scan = |d: f64| {
-        if d.is_finite() {
-            dmax = dmax.max(d);
-            seen = true;
-        }
-    };
-    match consider {
-        Some(idx) => {
-            for &i in idx {
-                if let Some(d) = values[i] {
-                    scan(d.abs());
-                }
-            }
-        }
-        None => {
-            for d in values.iter().flatten() {
-                scan(d.abs());
-            }
-        }
-    }
-    if !seen {
-        return NormParams {
+fn params_from_max(dmax: f64) -> NormParams {
+    if dmax.is_finite() {
+        NormParams { dmin: 0.0, dmax }
+    } else {
+        NormParams {
             dmin: 0.0,
             dmax: 0.0,
-        };
+        }
     }
-    NormParams { dmin, dmax }
+}
+
+fn fit(values: &[Option<f64>]) -> NormParams {
+    let dmax = values
+        .iter()
+        .flatten()
+        .map(|d| d.abs())
+        .filter(|d| d.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    params_from_max(dmax)
+}
+
+/// Fit the improved (§5.2) normalization *without* applying it: the
+/// transform range is `[0, k-th smallest absolute distance]` with
+/// `k = min(n, r / max(w, ε))`. Runs in O(n) expected time via
+/// `select_nth_unstable_by` — the pipeline calls this per window, so a
+/// full sort here would silently re-introduce the O(n log n) term the
+/// top-k display selection removes.
+pub fn fit_improved(values: &[Option<f64>], weight: f64, display_budget: usize) -> NormParams {
+    let n = values.len();
+    let w = if weight.is_finite() && weight > 0.0 {
+        weight.min(1.0)
+    } else {
+        // zero/invalid weight: keep everything (the predicate hardly
+        // matters, so the coarsest scale is acceptable)
+        return fit(values);
+    };
+    let k = ((display_budget as f64 / w).ceil() as usize).clamp(1, n.max(1));
+    if k >= n {
+        return fit(values);
+    }
+    let mut abs: Vec<f64> = values.iter().flatten().map(|d| d.abs()).collect();
+    if abs.is_empty() {
+        return params_from_max(f64::NEG_INFINITY);
+    }
+    let k = k.min(abs.len());
+    if k < abs.len() {
+        abs.select_nth_unstable_by(k - 1, |a, b| {
+            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+    let dmax = abs[..k]
+        .iter()
+        .copied()
+        .filter(|d| d.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    params_from_max(dmax)
 }
 
 /// Naive normalization: fit `[dmin, dmax]` over *all* defined distances
 /// and map absolute values to `[0, NORM_MAX]`. Undefined stays undefined.
 pub fn normalize_naive(values: &[Option<f64>]) -> (Vec<Option<f64>>, NormParams) {
-    let params = fit(values, None);
+    let params = fit(values);
     let out = values
         .iter()
         .map(|v| v.map(|d| params.apply(d.abs())))
@@ -118,22 +141,7 @@ pub fn normalize_improved(
     weight: f64,
     display_budget: usize,
 ) -> (Vec<Option<f64>>, NormParams) {
-    let n = values.len();
-    let w = if weight.is_finite() && weight > 0.0 {
-        weight.min(1.0)
-    } else {
-        // zero/invalid weight: keep everything (the predicate hardly
-        // matters, so the coarsest scale is acceptable)
-        let (out, params) = normalize_naive(values);
-        return (out, params);
-    };
-    let k = ((display_budget as f64 / w).ceil() as usize).clamp(1, n.max(1));
-    if k >= n {
-        return normalize_naive(values);
-    }
-    let abs: Vec<Option<f64>> = values.iter().map(|v| v.map(f64::abs)).collect();
-    let keep = smallest_k_indices(&abs, k);
-    let params = fit(values, Some(&keep));
+    let params = fit_improved(values, weight, display_budget);
     let out = values
         .iter()
         .map(|v| v.map(|d| params.apply(d.abs())))
@@ -201,6 +209,40 @@ mod tests {
         let (_, p_heavy) = normalize_improved(&v, 1.0, 20); // keeps 20
         let (_, p_light) = normalize_improved(&v, 0.25, 20); // keeps 80
         assert!(p_light.dmax > p_heavy.dmax);
+    }
+
+    #[test]
+    fn fit_improved_matches_a_sort_based_reference() {
+        // the O(n) selection must agree with the obvious "sort every
+        // absolute distance, take the max of the k smallest" definition
+        let values: Vec<Option<f64>> = (0..200)
+            .map(|i| {
+                if i % 7 == 0 {
+                    None
+                } else {
+                    Some(((i * 37) % 113) as f64 - 50.0)
+                }
+            })
+            .collect();
+        for (weight, budget) in [(1.0, 20), (0.5, 20), (0.1, 3), (1.0, 500), (0.0, 10)] {
+            let got = fit_improved(&values, weight, budget);
+            let mut abs: Vec<f64> = values.iter().flatten().map(|d| d.abs()).collect();
+            abs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let k = if weight > 0.0 {
+                ((budget as f64 / weight.min(1.0)).ceil() as usize)
+                    .clamp(1, values.len())
+                    .min(abs.len())
+            } else {
+                abs.len()
+            };
+            let expect = if k >= values.len() || weight <= 0.0 {
+                abs.last().copied().unwrap()
+            } else {
+                abs[k - 1]
+            };
+            assert_eq!(got.dmax, expect, "weight={weight} budget={budget}");
+            assert_eq!(got.dmin, 0.0);
+        }
     }
 
     #[test]

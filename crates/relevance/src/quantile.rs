@@ -69,24 +69,6 @@ pub fn two_sided_range(values: &[f64], p: f64) -> Result<(f64, f64)> {
     Ok((lo, hi.min(1.0)))
 }
 
-/// Select the indices of the `k` smallest values (by key), tolerating
-/// `None` keys which sort last. Deterministic: ties broken by index.
-/// O(n log n) — this *is* the sort the paper says dominates.
-pub fn smallest_k_indices(keys: &[Option<f64>], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..keys.len()).collect();
-    idx.sort_by(|&a, &b| match (keys[a], keys[b]) {
-        (Some(x), Some(y)) => x
-            .partial_cmp(&y)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b)),
-        (Some(_), None) => std::cmp::Ordering::Less,
-        (None, Some(_)) => std::cmp::Ordering::Greater,
-        (None, None) => a.cmp(&b),
-    });
-    idx.truncate(k);
-    idx
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,19 +121,5 @@ mod tests {
         let (lo, hi) = two_sided_range(&v, 0.5).unwrap();
         assert_eq!(lo, 0.0);
         assert_eq!(hi, 0.5);
-    }
-
-    #[test]
-    fn smallest_k_indices_handles_nones() {
-        let keys = vec![Some(3.0), None, Some(1.0), Some(2.0)];
-        assert_eq!(smallest_k_indices(&keys, 2), vec![2, 3]);
-        assert_eq!(smallest_k_indices(&keys, 10), vec![2, 3, 0, 1]);
-        assert!(smallest_k_indices(&keys, 0).is_empty());
-    }
-
-    #[test]
-    fn smallest_k_ties_broken_by_index() {
-        let keys = vec![Some(1.0), Some(1.0), Some(1.0)];
-        assert_eq!(smallest_k_indices(&keys, 2), vec![0, 1]);
     }
 }

@@ -15,6 +15,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use visdb_relevance::{PredicateWindow, WindowSource};
+
 use crate::api::Response;
 
 /// Hit/miss counters for observability and tests.
@@ -143,9 +145,272 @@ impl QueryCache {
     }
 }
 
+struct WindowEntry {
+    window: PredicateWindow,
+    rows: usize,
+    last_used: u64,
+}
+
+/// The mutex-guarded state of a [`WindowCache`]. `total_rows` is
+/// maintained incrementally on insert/remove so eviction never rescans
+/// the whole map while holding the lock every query contends on.
+#[derive(Default)]
+struct WindowMap {
+    map: HashMap<String, WindowEntry>,
+    clock: u64,
+    total_rows: usize,
+}
+
+impl WindowMap {
+    fn insert(&mut self, key: String, entry: WindowEntry) {
+        self.total_rows += entry.rows;
+        if let Some(old) = self.map.insert(key, entry) {
+            self.total_rows -= old.rows;
+        }
+    }
+
+    fn remove(&mut self, key: &str) {
+        if let Some(old) = self.map.remove(key) {
+            self.total_rows -= old.rows;
+        }
+    }
+}
+
+/// The shared **predicate-window** cache: finer-grained than
+/// [`QueryCache`], it caches one evaluated + normalized window per
+/// condition subtree (keyed by `visdb_relevance::window_key`: dataset
+/// generation, base relation, display budget, weight and the rendered
+/// subtree). Where the query cache only helps when the *entire* render
+/// is identical, this cache makes a slider drag that changes one
+/// predicate reuse every other window — across sessions, so one user's
+/// drag is cheap for everyone (the §6 incremental idea, cross-session).
+///
+/// Window payloads are `Arc`-shared; hits hand out cheap clones.
+/// Eviction is least-recently-used via a logical clock.
+pub struct WindowCache {
+    entries: Mutex<WindowMap>,
+    capacity: usize,
+    row_budget: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// Default bound on the *total rows* cached across all windows. Entry
+/// count alone is no memory bound — one window over a 1M-row relation
+/// holds two `Vec<Option<f64>>` of that length (~32 MB) — so eviction
+/// also honours a row budget: 8M rows ≈ 256 MB resident worst case.
+pub const DEFAULT_WINDOW_ROW_BUDGET: usize = 8_000_000;
+
+impl WindowCache {
+    /// Cache holding at most `capacity` windows (zero disables caching)
+    /// and at most [`DEFAULT_WINDOW_ROW_BUDGET`] total rows.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_row_budget(capacity, DEFAULT_WINDOW_ROW_BUDGET)
+    }
+
+    /// [`WindowCache::new`] with an explicit total-row budget. The most
+    /// recently stored window is always retained (even alone over
+    /// budget), so one giant relation degrades to single-window reuse
+    /// rather than disabling the cache.
+    pub fn with_row_budget(capacity: usize, row_budget: usize) -> Self {
+        WindowCache {
+            entries: Mutex::new(WindowMap::default()),
+            capacity,
+            row_budget,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WindowMap> {
+        match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Whether lookups can ever succeed (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Drop every entry whose key starts with `prefix` (dataset
+    /// re-registration frees the replaced generation's windows; the
+    /// generation-scoped keys already prevent stale hits).
+    pub fn invalidate_prefix(&self, prefix: &str) {
+        let mut guard = self.lock();
+        let mut dropped = 0;
+        guard.map.retain(|k, e| {
+            let keep = !k.starts_with(prefix);
+            if !keep {
+                dropped += e.rows;
+            }
+            keep
+        });
+        guard.total_rows -= dropped;
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached windows.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl WindowSource for WindowCache {
+    fn lookup(&self, key: &str) -> Option<PredicateWindow> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut guard = self.lock();
+        guard.clock += 1;
+        let clock = guard.clock;
+        match guard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.window.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: String, window: PredicateWindow) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut guard = self.lock();
+        guard.clock += 1;
+        let clock = guard.clock;
+        let rows = window.raw.len();
+        guard.insert(
+            key,
+            WindowEntry {
+                window,
+                rows,
+                last_used: clock,
+            },
+        );
+        // evict LRU entries until both the entry-count cap and the
+        // total-row budget hold (the just-stored entry is never evicted);
+        // `total_rows` is a running counter, so each round costs one
+        // O(entries) LRU scan, not a full row re-sum
+        while guard.map.len() > 1
+            && (guard.map.len() > self.capacity || guard.total_rows > self.row_budget)
+        {
+            let lru = guard
+                .map
+                .iter()
+                .filter(|(_, e)| e.last_used != clock)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match lru {
+                Some(lru) => guard.remove(&lru),
+                None => break,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use visdb_relevance::NormParams;
+
+    fn window(tag: f64) -> PredicateWindow {
+        PredicateWindow {
+            label: format!("w{tag}"),
+            signed: true,
+            weight: 1.0,
+            raw: Arc::new(vec![Some(tag)]),
+            normalized: Arc::new(vec![Some(0.0)]),
+            norm_params: NormParams {
+                dmin: 0.0,
+                dmax: tag,
+            },
+        }
+    }
+
+    #[test]
+    fn window_cache_hit_miss_and_lru() {
+        let c = WindowCache::new(2);
+        assert!(c.lookup("a").is_none());
+        c.store("a".into(), window(1.0));
+        c.store("b".into(), window(2.0));
+        assert_eq!(c.lookup("a").unwrap().norm_params.dmax, 1.0);
+        c.store("c".into(), window(3.0)); // evicts b (LRU)
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup("b").is_none());
+        assert!(c.lookup("a").is_some());
+        assert!(c.lookup("c").is_some());
+        let stats = c.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn window_cache_row_budget_bounds_memory() {
+        fn wide(tag: f64, rows: usize) -> PredicateWindow {
+            PredicateWindow {
+                raw: Arc::new(vec![Some(tag); rows]),
+                normalized: Arc::new(vec![Some(0.0); rows]),
+                ..window(tag)
+            }
+        }
+        // budget of 100 rows: two 60-row windows cannot coexist
+        let c = WindowCache::with_row_budget(8, 100);
+        c.store("a".into(), wide(1.0, 60));
+        c.store("b".into(), wide(2.0, 60));
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup("a").is_none(), "LRU evicted for the row budget");
+        assert!(c.lookup("b").is_some());
+        // a single over-budget window is still retained (degrades to
+        // single-window reuse, never disables the cache)
+        c.store("huge".into(), wide(3.0, 1_000));
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup("huge").is_some());
+        // small windows accumulate up to the entry cap as before
+        let c = WindowCache::with_row_budget(3, 100);
+        for (i, key) in ["a", "b", "c", "d"].iter().enumerate() {
+            c.store((*key).into(), wide(i as f64, 10));
+        }
+        assert_eq!(c.len(), 3);
+        assert!(c.lookup("a").is_none());
+    }
+
+    #[test]
+    fn window_cache_prefix_invalidation_and_disable() {
+        let c = WindowCache::new(8);
+        c.store("ramp#1\u{1f}k1".into(), window(1.0));
+        c.store("ramp#1\u{1f}k2".into(), window(2.0));
+        c.store("env#2\u{1f}k1".into(), window(3.0));
+        c.invalidate_prefix("ramp#1\u{1f}");
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup("env#2\u{1f}k1").is_some());
+
+        let off = WindowCache::new(0);
+        assert!(!off.is_enabled());
+        off.store("x".into(), window(1.0));
+        assert!(off.is_empty());
+        assert!(off.lookup("x").is_none());
+    }
 
     #[test]
     fn hit_after_put() {

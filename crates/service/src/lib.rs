@@ -23,7 +23,10 @@
 //!   describe the mailbox scheduling).
 //! * **Cross-user caching** — a shared [`QueryCache`] keyed by (dataset,
 //!   normalized query text, display parameters) serves identical renders
-//!   from different users without re-running the pipeline.
+//!   from different users without re-running the pipeline, and a shared
+//!   [`WindowCache`] of per-predicate window evaluations makes a slider
+//!   drag that changes one predicate reuse every *other* window across
+//!   sessions (the §6 incremental idea, cross-session).
 //!
 //! The `visdb-server` binary speaks this API as newline-delimited JSON
 //! over stdin/stdout; programmatic callers use [`Service`] directly:
@@ -63,6 +66,6 @@ pub mod server;
 pub mod service;
 
 pub use api::{execute, RenderFormat, Request, Response, SessionState, SessionSummary};
-pub use cache::{CacheStats, QueryCache};
+pub use cache::{CacheStats, QueryCache, WindowCache};
 pub use manager::{SessionId, SessionManager};
 pub use service::{PendingResponse, Service, ServiceConfig};

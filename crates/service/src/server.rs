@@ -84,6 +84,7 @@ fn dispatch(service: &Service, msg: &Json) -> Result<Json> {
         }
         "stats" => {
             let cache = service.cache_stats();
+            let windows = service.window_cache_stats();
             Ok(Json::obj([
                 ("ok", Json::Bool(true)),
                 ("sessions", service.session_count().into()),
@@ -91,6 +92,13 @@ fn dispatch(service: &Service, msg: &Json) -> Result<Json> {
                 (
                     "cache",
                     Json::obj([("hits", cache.hits.into()), ("misses", cache.misses.into())]),
+                ),
+                (
+                    "window_cache",
+                    Json::obj([
+                        ("hits", windows.hits.into()),
+                        ("misses", windows.misses.into()),
+                    ]),
                 ),
             ]))
         }

@@ -33,7 +33,7 @@ use visdb_storage::Database;
 use visdb_types::{Error, Result};
 
 use crate::api::{execute, Request, Response};
-use crate::cache::{CacheStats, QueryCache};
+use crate::cache::{CacheStats, QueryCache, WindowCache};
 use crate::manager::{Envelope, SessionId, SessionManager, SessionSlot};
 
 /// Tuning knobs for a [`Service`].
@@ -47,6 +47,9 @@ pub struct ServiceConfig {
     pub idle_timeout: Duration,
     /// Shared query-result cache capacity (0 disables it).
     pub cache_capacity: usize,
+    /// Shared predicate-window cache capacity in windows (0 disables
+    /// cross-session window reuse).
+    pub window_cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -56,6 +59,7 @@ impl Default for ServiceConfig {
             max_sessions: 1024,
             idle_timeout: Duration::from_secs(300),
             cache_capacity: 256,
+            window_cache_capacity: 512,
         }
     }
 }
@@ -90,6 +94,7 @@ pub struct Service {
     generations: std::sync::atomic::AtomicU64,
     manager: SessionManager,
     cache: Arc<QueryCache>,
+    window_cache: Arc<WindowCache>,
     injector: Option<Sender<Arc<SessionSlot>>>,
     worker_count: usize,
     workers: Vec<JoinHandle<()>>,
@@ -100,6 +105,7 @@ impl Service {
     pub fn new(config: ServiceConfig) -> Self {
         let worker_count = config.workers.max(1);
         let cache = Arc::new(QueryCache::new(config.cache_capacity));
+        let window_cache = Arc::new(WindowCache::new(config.window_cache_capacity));
         let (tx, rx) = channel::unbounded::<Arc<SessionSlot>>();
         let workers = (0..worker_count)
             .map(|i| {
@@ -120,6 +126,7 @@ impl Service {
             generations: std::sync::atomic::AtomicU64::new(1),
             manager: SessionManager::new(config.max_sessions, config.idle_timeout),
             cache,
+            window_cache,
             injector: Some(tx),
             worker_count,
             workers,
@@ -136,9 +143,10 @@ impl Service {
         registry: ConnectionRegistry,
     ) {
         let name = name.into();
-        // stale-frame protection is the generation in the cache scope;
+        // stale protection is the generation in the cache scopes;
         // dropping the replaced dataset's entries just frees memory
         self.cache.invalidate_prefix(&format!("{name}#"));
+        self.window_cache.invalidate_prefix(&format!("{name}#"));
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
         let scope = format!("{name}#{generation}");
         self.datasets
@@ -173,9 +181,16 @@ impl Service {
         let ds = guard.get(dataset).ok_or_else(|| {
             Error::invalid_parameter("dataset", format!("unknown dataset '{dataset}'"))
         })?;
-        Ok(self
-            .manager
-            .create(ds.scope.clone(), Arc::clone(&ds.db), ds.registry.clone()))
+        let windows = self
+            .window_cache
+            .is_enabled()
+            .then(|| Arc::clone(&self.window_cache));
+        Ok(self.manager.create(
+            ds.scope.clone(),
+            Arc::clone(&ds.db),
+            ds.registry.clone(),
+            windows,
+        ))
     }
 
     /// Close a session explicitly. Returns whether it was live.
@@ -230,6 +245,11 @@ impl Service {
     /// Shared query-result cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Shared predicate-window cache counters (cross-session §6 reuse).
+    pub fn window_cache_stats(&self) -> CacheStats {
+        self.window_cache.stats()
     }
 }
 

@@ -48,6 +48,25 @@ impl Validity {
             .as_ref()
             .map_or(0, |m| m.iter().filter(|v| !**v).count())
     }
+
+    /// The raw validity bitmap: `None` means every row is valid. Borrowed
+    /// by the vectorized distance kernels so NULL handling stays a slice
+    /// lookup instead of a per-row method call.
+    pub fn mask(&self) -> Option<&[bool]> {
+        self.mask.as_deref()
+    }
+}
+
+/// A borrowed view of a numeric column's native buffer, handed to the
+/// vectorized distance kernels (`visdb_distance::batch`). Keeping the
+/// native element type visible lets the kernels monomorphize per type
+/// instead of dispatching on [`Value`] per tuple.
+#[derive(Debug, Clone, Copy)]
+pub enum NumericSlice<'a> {
+    /// A float column's buffer.
+    F64(&'a [f64]),
+    /// An integer or timestamp column's buffer.
+    I64(&'a [i64]),
 }
 
 /// A typed column of values.
@@ -259,6 +278,22 @@ impl ColumnData {
         }
     }
 
+    /// Borrow the native numeric buffer and validity bitmap, when this
+    /// column has one. This is the entry point of the columnar fast path:
+    /// distance kernels iterate the returned slice directly, with no
+    /// per-tuple [`Value`] materialisation. Bool columns are excluded
+    /// (they take the generic per-tuple path, preserving the
+    /// `false -> 0.0` / `true -> 1.0` projection of [`ColumnData::get_f64`]).
+    pub fn numeric_slice(&self) -> Option<(NumericSlice<'_>, Option<&[bool]>)> {
+        match self {
+            ColumnData::Float(v, m) => Some((NumericSlice::F64(v), m.mask())),
+            ColumnData::Int(v, m) | ColumnData::Timestamp(v, m) => {
+                Some((NumericSlice::I64(v), m.mask()))
+            }
+            _ => None,
+        }
+    }
+
     /// Gather rows by index into a new column (used to materialise query
     /// results and cross-product slices).
     pub fn gather(&self, indices: &[usize]) -> ColumnData {
@@ -336,6 +371,38 @@ mod tests {
         assert_eq!(g.get(0), Value::from("b"));
         assert_eq!(g.get(1), Value::from("a"));
         assert_eq!(g.get(2), Value::Null);
+    }
+
+    #[test]
+    fn numeric_slice_exposes_native_buffers() {
+        let mut f = ColumnData::new(DataType::Float);
+        f.push(Value::Float(1.5)).unwrap();
+        f.push(Value::Null).unwrap();
+        match f.numeric_slice() {
+            Some((NumericSlice::F64(xs), Some(mask))) => {
+                assert_eq!(xs, &[1.5, 0.0]);
+                assert_eq!(mask, &[true, false]);
+            }
+            other => panic!("unexpected view {other:?}"),
+        }
+        let mut i = ColumnData::new(DataType::Int);
+        i.push(Value::Int(7)).unwrap();
+        match i.numeric_slice() {
+            Some((NumericSlice::I64(xs), None)) => assert_eq!(xs, &[7]),
+            other => panic!("unexpected view {other:?}"),
+        }
+        let mut t = ColumnData::new(DataType::Timestamp);
+        t.push(Value::Timestamp(3600)).unwrap();
+        assert!(matches!(
+            t.numeric_slice(),
+            Some((NumericSlice::I64(_), None))
+        ));
+        // strings, bools and locations take the per-tuple path
+        assert!(ColumnData::new(DataType::Str).numeric_slice().is_none());
+        assert!(ColumnData::new(DataType::Bool).numeric_slice().is_none());
+        assert!(ColumnData::new(DataType::Location)
+            .numeric_slice()
+            .is_none());
     }
 
     #[test]

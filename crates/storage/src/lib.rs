@@ -25,6 +25,6 @@ pub mod stats;
 pub mod table;
 
 pub use catalog::Database;
-pub use column::ColumnData;
+pub use column::{ColumnData, NumericSlice, Validity};
 pub use stats::ColumnStats;
 pub use table::{Row, Table, TableBuilder};

@@ -68,12 +68,7 @@ fn main() -> Result<()> {
     let mut report: Vec<(usize, usize)> = missed
         .iter()
         .map(|&row| {
-            let rank = res
-                .pipeline
-                .order
-                .iter()
-                .position(|&i| i == row)
-                .unwrap_or(usize::MAX);
+            let rank = res.pipeline.rank_of(row).unwrap_or(usize::MAX);
             (row, rank)
         })
         .collect();
@@ -106,12 +101,18 @@ fn main() -> Result<()> {
             .expect("planted row");
         session.set_weight(dev, 0.05)?;
         let res = session.result()?;
-        let new_rank = res.pipeline.order.iter().position(|&i| i == row).unwrap();
-        println!(
-            "after down-weighting parameter p{dev:02} to 0.05, row {row} ranks {new_rank} \
-             (of {} displayed)",
-            res.pipeline.displayed.len()
-        );
+        match res.pipeline.rank_of(row) {
+            Some(new_rank) => println!(
+                "after down-weighting parameter p{dev:02} to 0.05, row {row} ranks {new_rank} \
+                 (of {} displayed)",
+                res.pipeline.displayed.len()
+            ),
+            None => println!(
+                "after down-weighting parameter p{dev:02} to 0.05, row {row} still ranks beyond \
+                 the top {}",
+                res.pipeline.sorted_len
+            ),
+        }
     }
     let _ = NUM_PARAMS;
     Ok(())

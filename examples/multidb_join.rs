@@ -51,7 +51,7 @@ fn main() -> Result<()> {
     let top_k = truth.len();
     let recovered = truth
         .iter()
-        .filter(|&&flat| res.pipeline.order[..top_k.min(res.pipeline.order.len())].contains(&flat))
+        .filter(|&&flat| res.pipeline.order[..top_k.min(res.pipeline.sorted_len)].contains(&flat))
         .count();
     println!(
         "approximate join: {recovered}/{} true correspondences rank in the top {top_k} \
@@ -66,7 +66,7 @@ fn main() -> Result<()> {
     let names_b = data.db.table("CustomersB")?;
     let nb = names_b.column_by_name("Name")?;
     println!("\nclosest non-identical pairs:");
-    for &item in res.pipeline.order.iter().take(8) {
+    for &item in res.pipeline.order[..res.pipeline.sorted_len].iter().take(8) {
         let (i, j) = (item / m, item % m);
         let d = res.pipeline.windows[0].raw[item];
         println!(

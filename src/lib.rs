@@ -127,7 +127,9 @@ pub mod prelude {
         ConnectionRegistry, ConnectionUse, Predicate, PredicateTarget, Query, QueryBuilder,
         SubqueryLink, Weighted,
     };
-    pub use visdb_relevance::{run_pipeline, DisplayPolicy, PipelineOutput};
+    pub use visdb_relevance::{
+        run_pipeline, run_pipeline_scalar, DisplayPolicy, ExecMode, PipelineOutput,
+    };
     pub use visdb_render::{write_ppm, Framebuffer};
     pub use visdb_service::{
         RenderFormat, Request, Response, Service, ServiceConfig, SessionId, SessionSummary,

@@ -30,7 +30,7 @@ fn c2_null_results_become_ranked_answers() {
         &DisplayPolicy::Percentage(10.0),
     )
     .unwrap();
-    let ranks = hot_spot_ranks(&out.order, &env.truth.hot_spot_rows);
+    let ranks = hot_spot_ranks(&out.order[..out.sorted_len], &env.truth.hot_spot_rows);
     for r in &ranks {
         assert!(r.unwrap() < env.truth.hot_spot_rows.len());
     }
@@ -85,7 +85,7 @@ fn c3_cluster_analysis_cannot_isolate_hot_spots() {
     )
     .unwrap();
     for h in &hot {
-        let rank = out.order.iter().position(|i| i == h).unwrap();
+        let rank = out.rank_of(*h).unwrap();
         assert!(rank < hot.len(), "hot spot {h} ranked {rank}");
     }
     // and the ranking is a strict order (distinct relevance values)
@@ -206,7 +206,7 @@ fn c2b_near_miss_parts_rank_directly_after_exact_matches() {
         &DisplayPolicy::Percentage(30.0),
     )
     .unwrap();
-    let rank = out.order.iter().position(|&i| i == near_miss_row).unwrap();
+    let rank = out.rank_of(near_miss_row).unwrap();
     let exact_count = exact.iter().filter(|b| **b).count();
     assert!(
         rank <= exact_count + 3,

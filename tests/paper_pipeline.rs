@@ -52,8 +52,18 @@ fn order_is_sorted_by_combined_distance() {
     s.set_query_text(PAPER_QUERY).unwrap();
     let res = s.result().unwrap();
     let c = &res.pipeline.combined;
-    for w in res.pipeline.order.windows(2) {
-        assert!(c[w[0]] <= c[w[1]], "order not monotone");
+    // the sorted prefix (top-k selection) is monotone and covers the
+    // display set; the tail holds the remaining defined items unsorted
+    let k = res.pipeline.sorted_len;
+    assert!(k >= res.pipeline.displayed.len());
+    for w in res.pipeline.order[..k].windows(2) {
+        assert!(c[w[0]] <= c[w[1]], "sorted prefix not monotone");
+    }
+    // every unsorted-tail item really belongs after the prefix
+    if let Some(&last) = res.pipeline.order[..k].last() {
+        for &i in &res.pipeline.order[k..] {
+            assert!(c[i] >= c[last], "tail item {i} beats the prefix");
+        }
     }
     // displayed is a prefix of order
     assert_eq!(

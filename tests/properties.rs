@@ -14,8 +14,178 @@ fn table_from(values: &[f64]) -> Database {
     db
 }
 
+/// A two-column table where `tag` steers NULL placement: `tag == 0`
+/// nulls the numeric column, `tag == 1` nulls the string column, so the
+/// vectorized kernels see every validity shape (including NULL-heavy
+/// inputs) and string windows see NULL operands.
+fn table_with_nulls(rows: &[(f64, u8)]) -> Database {
+    let mut t = TableBuilder::new(
+        "T",
+        vec![
+            Column::new("x", DataType::Float),
+            Column::new("s", DataType::Str),
+        ],
+    );
+    for (i, &(v, tag)) in rows.iter().enumerate() {
+        let x = if tag == 0 {
+            Value::Null
+        } else {
+            Value::Float(v)
+        };
+        let s = if tag == 1 {
+            Value::Null
+        } else {
+            Value::Str(format!("s{}", i % 5))
+        };
+        t = t.row(vec![x, s]).unwrap();
+    }
+    let mut db = Database::new("d");
+    db.add_table(t.build());
+    db
+}
+
+/// The first field where two pipeline outputs diverge, or `None` when
+/// they are equivalent. `order` is compared on the vectorized sorted
+/// prefix (the scalar reference sorts everything) — except under the
+/// two-sided policy, whose prefix is the displayed *band* rather than
+/// the global top-k (already covered by the `displayed` comparison).
+fn first_divergence(
+    fast: &PipelineOutput,
+    slow: &PipelineOutput,
+    policy: &DisplayPolicy,
+) -> Option<String> {
+    if fast.n != slow.n {
+        return Some(format!("n: {} != {}", fast.n, slow.n));
+    }
+    if fast.combined != slow.combined {
+        return Some("combined distances diverge".into());
+    }
+    if fast.relevance != slow.relevance {
+        return Some("relevance factors diverge".into());
+    }
+    if fast.num_exact != slow.num_exact {
+        return Some(format!(
+            "num_exact: {} != {}",
+            fast.num_exact, slow.num_exact
+        ));
+    }
+    if fast.displayed != slow.displayed {
+        return Some(format!(
+            "displayed: {:?} != {:?}",
+            fast.displayed, slow.displayed
+        ));
+    }
+    if fast.order.len() != slow.order.len() {
+        return Some("order length diverges".into());
+    }
+    if !matches!(policy, DisplayPolicy::TwoSidedPercentage(_))
+        && fast.order[..fast.sorted_len] != slow.order[..fast.sorted_len]
+    {
+        return Some("sorted order prefix diverges".into());
+    }
+    if fast.windows.len() != slow.windows.len() {
+        return Some("window count diverges".into());
+    }
+    for (i, (f, s)) in fast.windows.iter().zip(&slow.windows).enumerate() {
+        if f.label != s.label || f.signed != s.signed || f.weight != s.weight {
+            return Some(format!("window {i} metadata diverges"));
+        }
+        if *f.raw != *s.raw {
+            return Some(format!("window {i} raw distances diverge"));
+        }
+        if *f.normalized != *s.normalized {
+            return Some(format!("window {i} normalized distances diverge"));
+        }
+        if f.norm_params != s.norm_params {
+            return Some(format!("window {i} norm params diverge"));
+        }
+    }
+    None
+}
+
+fn pick_policy(pick: usize, pct: f64) -> DisplayPolicy {
+    match pick % 4 {
+        0 => DisplayPolicy::Percentage(pct),
+        1 => DisplayPolicy::FitScreen {
+            pixels: 64,
+            pixels_per_item: 1 + pick % 3,
+        },
+        2 => DisplayPolicy::GapHeuristic {
+            rmin: 1,
+            rmax: 30,
+            z: 3,
+        },
+        _ => DisplayPolicy::TwoSidedPercentage(pct),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The vectorized path (columnar kernels, chunked execution, fused
+    /// normalize+combine, top-k selection) is byte-identical to the
+    /// per-tuple full-sort scalar reference, across display policies and
+    /// NULL/validity-heavy columns.
+    #[test]
+    fn vectorized_pipeline_matches_scalar_reference(
+        rows in prop::collection::vec((-1e4f64..1e4, 0u8..4), 1..250),
+        threshold in -1e4f64..1e4,
+        lo in -1e4f64..1e4,
+        span in 0.0f64..5e3,
+        pct in 1.0f64..100.0,
+        pick in 0usize..4,
+    ) {
+        let db = table_with_nulls(&rows);
+        let t = db.table("T").unwrap();
+        let resolver = DistanceResolver::new();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, threshold)
+            .between("x", lo, lo + span)
+            .build();
+        let policy = pick_policy(pick, pct);
+        let fast = run_pipeline(&db, t, &resolver, q.condition.as_ref(), &policy);
+        let slow = run_pipeline_scalar(&db, t, &resolver, q.condition.as_ref(), &policy);
+        match (fast, slow) {
+            (Ok(fast), Ok(slow)) => {
+                let diff = first_divergence(&fast, &slow, &policy);
+                prop_assert!(diff.is_none(), "{} under {:?}", diff.unwrap(), policy);
+                prop_assert!(fast.sorted_len >= fast.displayed.len());
+            }
+            (Err(_), Err(_)) => {} // both reject (e.g. gap params vs tiny n)
+            (f, s) => prop_assert!(false, "one mode errored: {f:?} vs {s:?}"),
+        }
+    }
+
+    /// Same equivalence for an OR query with an (unsigned) string window
+    /// — exercises the per-tuple fallback kernel, the two-sided policy's
+    /// fallback, and NULL string operands.
+    #[test]
+    fn vectorized_matches_scalar_on_string_or_queries(
+        rows in prop::collection::vec((-100f64..100.0, 0u8..5), 1..200),
+        threshold in -100f64..100.0,
+        pct in 1.0f64..100.0,
+        pick in 0usize..4,
+    ) {
+        let db = table_with_nulls(&rows);
+        let t = db.table("T").unwrap();
+        let resolver = DistanceResolver::new();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("s", CompareOp::Eq, "s2")
+            .cmp("x", CompareOp::Lt, threshold)
+            .any()
+            .build();
+        let policy = pick_policy(pick, pct);
+        let fast = run_pipeline(&db, t, &resolver, q.condition.as_ref(), &policy);
+        let slow = run_pipeline_scalar(&db, t, &resolver, q.condition.as_ref(), &policy);
+        match (fast, slow) {
+            (Ok(fast), Ok(slow)) => {
+                let diff = first_divergence(&fast, &slow, &policy);
+                prop_assert!(diff.is_none(), "{} under {:?}", diff.unwrap(), policy);
+            }
+            (Err(_), Err(_)) => {}
+            (f, s) => prop_assert!(false, "one mode errored: {f:?} vs {s:?}"),
+        }
+    }
 
     /// Pipeline invariants hold for arbitrary data and thresholds.
     #[test]
@@ -49,9 +219,16 @@ proptest! {
                 other => prop_assert!(false, "mismatched defined-ness {other:?}"),
             }
         }
-        // order sorted ascending by combined, displayed a prefix
-        for w in out.order.windows(2) {
+        // the sorted prefix is ascending in combined distance, covers
+        // the display set, and dominates the unsorted tail
+        prop_assert!(out.sorted_len >= out.displayed.len());
+        for w in out.order[..out.sorted_len].windows(2) {
             prop_assert!(out.combined[w[0]] <= out.combined[w[1]]);
+        }
+        if let Some(&last) = out.order[..out.sorted_len].last() {
+            for &i in &out.order[out.sorted_len..] {
+                prop_assert!(out.combined[i] >= out.combined[last]);
+            }
         }
         prop_assert_eq!(&out.order[..out.displayed.len()], &out.displayed[..]);
         // display count respects the percentage

@@ -210,3 +210,72 @@ fn sessions_survive_errors_and_eviction_frees_capacity() {
     assert_eq!(service.submit(a, Request::Ping).unwrap(), Response::Ok);
     assert_eq!(service.submit(c, Request::Ping).unwrap(), Response::Ok);
 }
+
+#[test]
+fn shared_windows_are_reused_across_sessions_and_stay_byte_identical() {
+    // Two sessions issue overlapping two-predicate queries that differ
+    // in exactly one predicate: the unchanged `x < 150` window must be
+    // served from the shared predicate-window cache for the second
+    // session, and its responses must be byte-identical to a cold run.
+    let db = ramp_db(200);
+    let q1 = "SELECT * FROM T WHERE x >= 100 AND x < 150";
+    let q2 = "SELECT * FROM T WHERE x >= 120 AND x < 150";
+    let drive = |service: &Service, text: &str| -> Vec<Response> {
+        let id = service.create_session("ramp").unwrap();
+        [
+            Request::SetQueryText(text.into()),
+            Request::Summary,
+            Request::Render(RenderFormat::Ppm),
+        ]
+        .into_iter()
+        .map(|req| service.submit(id, req).unwrap())
+        .collect()
+    };
+
+    let service = Service::new(ServiceConfig {
+        workers: 2,
+        cache_capacity: 0, // isolate the *window* cache from frame hits
+        ..Default::default()
+    });
+    service.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
+
+    let warm_q1 = drive(&service, q1);
+    let after_first = service.window_cache_stats();
+    assert_eq!(after_first.hits, 0, "first session must evaluate fresh");
+
+    let warm_q2 = drive(&service, q2);
+    let after_second = service.window_cache_stats();
+    assert_eq!(
+        after_second.hits, 1,
+        "the shared `x < 150` window must be a cache hit"
+    );
+
+    // a third session repeating q1 verbatim reuses both of its windows
+    let warm_q1_again = drive(&service, q1);
+    assert_eq!(service.window_cache_stats().hits, 3);
+    assert_eq!(warm_q1_again, warm_q1);
+
+    // cold reference: window sharing disabled entirely
+    let cold = Service::new(ServiceConfig {
+        workers: 2,
+        cache_capacity: 0,
+        window_cache_capacity: 0,
+        ..Default::default()
+    });
+    cold.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
+    assert_eq!(drive(&cold, q1), warm_q1, "q1 must be byte-identical cold");
+    assert_eq!(drive(&cold, q2), warm_q2, "q2 must be byte-identical cold");
+    assert_eq!(cold.window_cache_stats().hits, 0);
+
+    // re-registering the dataset rotates the generation: no stale reuse
+    let bigger = ramp_db(400);
+    service.register_dataset("ramp", bigger, ConnectionRegistry::new());
+    let hits_before = service.window_cache_stats().hits;
+    let fresh = drive(&service, q1);
+    assert_eq!(
+        service.window_cache_stats().hits,
+        hits_before,
+        "windows of the replaced dataset must not be reused"
+    );
+    assert_ne!(fresh, warm_q1, "400-row frames differ from 200-row frames");
+}
