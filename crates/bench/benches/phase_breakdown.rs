@@ -32,6 +32,7 @@ fn phases(c: &mut Criterion) {
         resolver: &resolver,
         display_budget: N / 4,
         mode: ExecMode::Vectorized,
+        partitions: None,
     };
     // pre-compute inputs for the later phases
     let evals: Vec<_> = children

@@ -76,6 +76,9 @@ pub struct Session {
     /// sessions over the same dataset generation (see
     /// [`Session::set_shared_windows`]).
     shared_windows: Option<(String, Arc<dyn WindowSource>)>,
+    /// Horizontal partitions per pipeline run (0/1 = unpartitioned).
+    /// A pure scheduling knob: outputs are bit-identical either way.
+    partitions: usize,
 }
 
 impl Session {
@@ -102,6 +105,7 @@ impl Session {
             result: None,
             pipeline_cache: PipelineCache::new(),
             shared_windows: None,
+            partitions: 0,
         }
     }
 
@@ -128,6 +132,15 @@ impl Session {
     /// shared cache — their row content is not identified by the key.
     pub fn set_shared_windows(&mut self, scope: impl Into<String>, cache: Arc<dyn WindowSource>) {
         self.shared_windows = Some((scope.into(), cache));
+    }
+
+    /// Run the pipeline over `parts` horizontal partitions of the base
+    /// relation (0 or 1 restores the unpartitioned walk). Results are
+    /// bit-identical either way — partitioning only changes how the
+    /// work is scheduled on the shared runtime — so the cached result
+    /// stays valid.
+    pub fn set_partitions(&mut self, parts: usize) {
+        self.partitions = parts;
     }
 
     /// The underlying database.
@@ -276,6 +289,7 @@ impl Session {
                 scope,
                 cache: cache.as_ref(),
             });
+        let partitioning = (self.partitions > 1).then(|| base.partitions(self.partitions));
         let pipeline = run_pipeline_opts(
             &self.db,
             &base,
@@ -285,6 +299,7 @@ impl Session {
             PipelineOptions {
                 cache: Some(&mut self.pipeline_cache),
                 shared,
+                partitions: partitioning.as_ref(),
                 ..Default::default()
             },
         )?;

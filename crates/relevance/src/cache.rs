@@ -13,8 +13,14 @@
 //! and the display budget (nested combining normalizes with the budget,
 //! so a budget change invalidates too).
 
-use visdb_query::ast::ConditionNode;
+use std::fmt::Write as _;
+
+use visdb_query::ast::{
+    AttrRef, CompareOp, ConditionNode, Predicate, PredicateTarget, Query, SubqueryLink, Weighted,
+};
+use visdb_query::connection::{ConnectionKind, ConnectionUse};
 use visdb_storage::Table;
+use visdb_types::Value;
 
 use crate::pipeline::PredicateWindow;
 
@@ -46,13 +52,24 @@ pub trait WindowSource: Send + Sync {
 /// subtree (structural identity — two sessions building the same
 /// subtree through different paths share an entry).
 ///
-/// The subtree is encoded via its derived `Debug` form, which is
-/// injective for this purpose: string literals are quote-escaped (a
-/// crafted literal cannot forge another tree's encoding), nested weights
-/// appear exactly, and floats print in shortest-roundtrip form (all
-/// NaNs collide, but every NaN yields identical distances). The
-/// human-oriented query *printer* is deliberately not used here — its
-/// output elides unit weights and does not escape literals.
+/// The subtree is rendered by [`encode_node`], an explicit canonical
+/// visitor with **length-prefixed strings**: every user-controlled
+/// string (column names, string literals, connection names) is written
+/// as `len:bytes`, every list with a count prefix, and every float as
+/// its exact bit pattern. The **scope and table name are length-prefixed
+/// too** — both are user-controllable now that datasets can be
+/// registered from CSV text, so a crafted dataset or table name must not
+/// be able to shift bytes across field boundaries any more than a
+/// crafted literal can. Injectivity therefore never depends on escaping
+/// or on any formatting a crafted input could imitate — the failure
+/// mode of naive `Display`/join encodings, where a literal like
+/// `"a = b"` inside one tree can render identically to two separate
+/// fields of another (regression-tested below). Neither the
+/// human-oriented query printer (elides unit weights, no escaping) nor
+/// derived `Debug` (stable only by accident of the derive) is used.
+/// All NaN literals share a bit-pattern class per NaN, which is
+/// harmless: a NaN predicate yields identical (all-undefined) distances
+/// regardless of payload.
 pub fn window_key(
     scope: &str,
     table: &Table,
@@ -60,12 +77,217 @@ pub fn window_key(
     weight: f64,
     node: &ConditionNode,
 ) -> String {
-    format!(
-        "{scope}\u{1f}{}\u{1f}{}\u{1f}{display_budget}\u{1f}{:016x}\u{1f}{node:?}",
-        table.name(),
+    let mut key = String::new();
+    encode_str(&mut key, scope);
+    encode_str(&mut key, table.name());
+    let _ = write!(
+        key,
+        "{};{display_budget};{:016x};",
         table.len(),
-        weight.to_bits(),
-    )
+        weight.to_bits()
+    );
+    encode_node(&mut key, node);
+    key
+}
+
+/// The scope string a [`window_key`] (or any key starting with an
+/// [`encode_str`]-framed scope) was built under, or `None` for a
+/// malformed key. Cache implementations use this to invalidate every
+/// entry of one dataset without relying on raw prefix matching — which
+/// a scope containing the match bytes could defeat.
+pub fn key_scope(key: &str) -> Option<&str> {
+    let (len, rest) = key.split_once(':')?;
+    let len: usize = len.parse().ok()?;
+    rest.get(..len)
+}
+
+/// Append `s` as `len:bytes` — the length prefix is what makes every
+/// downstream composite encoding injective regardless of the bytes a
+/// user-controlled string contains.
+fn encode_str(out: &mut String, s: &str) {
+    let _ = write!(out, "{}:", s.len());
+    out.push_str(s);
+}
+
+fn encode_f64(out: &mut String, v: f64) {
+    let _ = write!(out, "{:016x}", v.to_bits());
+}
+
+fn encode_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push('N'),
+        Value::Bool(b) => out.push_str(if *b { "B1" } else { "B0" }),
+        Value::Int(i) => {
+            let _ = write!(out, "I{i};");
+        }
+        Value::Float(f) => {
+            out.push('F');
+            encode_f64(out, *f);
+        }
+        Value::Str(s) => {
+            out.push('S');
+            encode_str(out, s);
+        }
+        Value::Timestamp(t) => {
+            let _ = write!(out, "T{t};");
+        }
+        Value::Location(l) => {
+            out.push('L');
+            encode_f64(out, l.lat);
+            encode_f64(out, l.lon);
+        }
+    }
+}
+
+fn encode_attr(out: &mut String, attr: &AttrRef) {
+    out.push('a');
+    match &attr.table {
+        Some(t) => {
+            out.push('1');
+            encode_str(out, t);
+        }
+        None => out.push('0'),
+    }
+    encode_str(out, &attr.column);
+}
+
+fn encode_op(out: &mut String, op: CompareOp) {
+    out.push(match op {
+        CompareOp::Eq => '=',
+        CompareOp::Ne => '≠',
+        CompareOp::Lt => '<',
+        CompareOp::Le => '≤',
+        CompareOp::Gt => '>',
+        CompareOp::Ge => '≥',
+    });
+}
+
+fn encode_predicate(out: &mut String, p: &Predicate) {
+    out.push('p');
+    encode_attr(out, &p.attr);
+    match &p.target {
+        PredicateTarget::Compare { op, value } => {
+            out.push('C');
+            encode_op(out, *op);
+            encode_value(out, value);
+        }
+        PredicateTarget::Range { low, high } => {
+            out.push('R');
+            encode_value(out, low);
+            encode_value(out, high);
+        }
+        PredicateTarget::Around { center, deviation } => {
+            out.push('A');
+            encode_value(out, center);
+            encode_f64(out, *deviation);
+        }
+    }
+}
+
+fn encode_weighted_list(out: &mut String, children: &[Weighted]) {
+    let _ = write!(out, "{}(", children.len());
+    for w in children {
+        encode_f64(out, w.weight);
+        encode_node(out, &w.node);
+    }
+    out.push(')');
+}
+
+fn encode_connection(out: &mut String, c: &ConnectionUse) {
+    out.push('c');
+    encode_str(out, &c.def.name);
+    encode_str(out, &c.def.left_table);
+    encode_str(out, &c.def.right_table);
+    match &c.def.kind {
+        ConnectionKind::Equi { left, right } => {
+            out.push('E');
+            encode_attr(out, left);
+            encode_attr(out, right);
+        }
+        ConnectionKind::NonEqui { left, op, right } => {
+            out.push('O');
+            encode_attr(out, left);
+            encode_op(out, *op);
+            encode_attr(out, right);
+        }
+        ConnectionKind::TimeDiff { left, right } => {
+            out.push('T');
+            encode_attr(out, left);
+            encode_attr(out, right);
+        }
+        ConnectionKind::SpatialWithin { left, right } => {
+            out.push('S');
+            encode_attr(out, left);
+            encode_attr(out, right);
+        }
+        ConnectionKind::ForeignKey { left, right } => {
+            out.push('F');
+            encode_attr(out, left);
+            encode_attr(out, right);
+        }
+    }
+    let _ = write!(out, "{}(", c.params.len());
+    for p in &c.params {
+        encode_f64(out, *p);
+    }
+    out.push(')');
+}
+
+fn encode_query(out: &mut String, q: &Query) {
+    out.push('Q');
+    let _ = write!(out, "{}(", q.tables.len());
+    for t in &q.tables {
+        encode_str(out, t);
+    }
+    out.push(')');
+    let _ = write!(out, "{}(", q.projection.len());
+    for a in &q.projection {
+        encode_attr(out, a);
+    }
+    out.push(')');
+    match &q.condition {
+        Some(w) => {
+            out.push('1');
+            encode_f64(out, w.weight);
+            encode_node(out, &w.node);
+        }
+        None => out.push('0'),
+    }
+}
+
+/// The canonical condition-subtree encoder behind [`window_key`]: an
+/// explicit visitor over the full AST with length-prefixed strings and
+/// count-prefixed lists, so structurally distinct trees can never share
+/// an encoding no matter what bytes their literals contain.
+pub fn encode_node(out: &mut String, node: &ConditionNode) {
+    match node {
+        ConditionNode::Predicate(p) => encode_predicate(out, p),
+        ConditionNode::And(children) => {
+            out.push('&');
+            encode_weighted_list(out, children);
+        }
+        ConditionNode::Or(children) => {
+            out.push('|');
+            encode_weighted_list(out, children);
+        }
+        ConditionNode::Not(inner) => {
+            out.push('!');
+            encode_node(out, inner);
+        }
+        ConditionNode::Connection(c) => encode_connection(out, c),
+        ConditionNode::Subquery { link, query } => {
+            out.push('q');
+            match link {
+                SubqueryLink::Exists => out.push('E'),
+                SubqueryLink::In { outer, inner } => {
+                    out.push('I');
+                    encode_attr(out, outer);
+                    encode_attr(out, inner);
+                }
+            }
+            encode_query(out, query);
+        }
+    }
 }
 
 /// Cache of evaluated top-level windows.
@@ -213,6 +435,82 @@ mod tests {
         assert_ne!(key(&w1), key(&w2));
         // identical trees built through different paths share a key
         assert_eq!(key(&genuine), key(&genuine.clone()));
+    }
+
+    #[test]
+    fn crafted_literals_that_collide_under_naive_formatting_get_distinct_keys() {
+        use visdb_query::ast::Weighted;
+        let t = table(3);
+        let key = |n: &ConditionNode| window_key("d#1", &t, 10, 1.0, n);
+        let pred = |col: &str, lit: &str| {
+            ConditionNode::Predicate(Predicate::compare(AttrRef::new(col), CompareOp::Eq, lit))
+        };
+
+        // Naive `Display` formatting joins fields with separators the
+        // fields themselves may contain: a column named "a = 'b'"
+        // compared to "c" renders exactly like column "a" compared to
+        // the crafted literal "b' = 'c" (no escaping in the printer).
+        let shifted_left = pred("a = 'b'", "c");
+        let shifted_right = pred("a", "b' = 'c");
+        if let (ConditionNode::Predicate(l), ConditionNode::Predicate(r)) =
+            (&shifted_left, &shifted_right)
+        {
+            assert_eq!(l.label(), r.label(), "the naive rendering collides");
+        }
+        assert_ne!(key(&shifted_left), key(&shifted_right));
+
+        // A literal that embeds the canonical encoder's own length
+        // prefixes and tags cannot splice extra structure into the key:
+        // `S5:helloS3:abc` as *one* literal differs from two fields.
+        let spliced = pred("s", "hello3:abc");
+        let two = ConditionNode::And(vec![
+            Weighted::unit(pred("s", "hello")),
+            Weighted::unit(pred("s", "abc")),
+        ]);
+        assert_ne!(key(&spliced), key(&two));
+
+        // Unit-separator bytes in a literal do not leak into the key
+        // framing of the scope/table/budget prefix.
+        let sep = pred("s", "x\u{1f}y");
+        let plain = pred("s", "x");
+        assert_ne!(key(&sep), key(&plain));
+
+        // Range vs Compare with identical operands stay distinct, as do
+        // empty-vs-missing table qualifiers.
+        let range = ConditionNode::Predicate(Predicate::range(AttrRef::new("x"), 1.0, 2.0));
+        let cmp =
+            ConditionNode::Predicate(Predicate::compare(AttrRef::new("x"), CompareOp::Eq, 1.0));
+        assert_ne!(key(&range), key(&cmp));
+        let qualified = ConditionNode::Predicate(Predicate::compare(
+            AttrRef::qualified("", "x"),
+            CompareOp::Eq,
+            1.0,
+        ));
+        assert_ne!(key(&qualified), key(&cmp));
+    }
+
+    #[test]
+    fn scope_and_table_name_are_framed_not_joined() {
+        // identical concatenations split differently must not collide:
+        // (scope "ab", table "T") vs (scope "a", table "bT")
+        let mk_table = |name: &str| {
+            TableBuilder::new(name, vec![Column::new("x", DataType::Float)])
+                .row(vec![Value::Float(0.0)])
+                .unwrap()
+                .build()
+        };
+        let n = node(1.0);
+        let k1 = window_key("ab", &mk_table("T"), 10, 1.0, &n);
+        let k2 = window_key("a", &mk_table("bT"), 10, 1.0, &n);
+        assert_ne!(k1, k2);
+        // scopes carrying separators, '#' or digit-colon patterns parse
+        // back exactly — this is what dataset invalidation matches on
+        for scope in ["ramp#1", "a\u{1f}b#2", "7:x#3", ""] {
+            let key = window_key(scope, &mk_table("T"), 10, 1.0, &n);
+            assert_eq!(key_scope(&key), Some(scope));
+        }
+        assert_eq!(key_scope("garbage"), None);
+        assert_eq!(key_scope("99:short"), None);
     }
 
     #[test]

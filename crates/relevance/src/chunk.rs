@@ -3,53 +3,93 @@
 //! The pipeline's hot passes (distance kernels, normalization-apply,
 //! combining) are embarrassingly parallel over rows: every output row
 //! depends only on the same row of its inputs. This module splits an
-//! output slice into fixed-size chunks and fans the chunks out across a
-//! scoped worker pool, so a single large query parallelizes over rows —
-//! the previous pipeline only parallelized across predicate windows,
-//! leaving one-predicate queries single-threaded.
+//! output slice into row ranges — fixed-size chunks, or the ranges of a
+//! horizontal [`Partitioning`] — and fans them out across the shared
+//! [`visdb_exec`] runtime, so a single large query parallelizes over
+//! rows while the whole process stays inside one global thread budget.
 //!
-//! Determinism: each chunk writes only its own disjoint sub-slice and
+//! Determinism: each task writes only its own disjoint sub-slice and
 //! reads only shared immutable inputs, so results are independent of
 //! thread count and scheduling — the parallel walk is bit-identical to
 //! the serial one.
 //!
-//! Threads are crossbeam-*scoped* (spawned per walk, joined before it
-//! returns), not a persistent pool: the scoped lifetime is what lets
-//! tasks borrow the output vectors without `Arc`/channel plumbing, and
-//! the [`PAR_MIN_ROWS`] floor keeps spawn cost (~tens of µs) far below
-//! the work it buys. The known cost is oversubscription when several
-//! service workers each run a large query concurrently — a shared
-//! persistent pool (or a global in-flight thread budget) is the
-//! ROADMAP's follow-up once multi-core deployments make it measurable.
+//! Execution runs on the *persistent* pool of the caller's current
+//! runtime (the service's own pool when called from a service worker,
+//! the global pool otherwise); the caller participates in its own batch,
+//! so fork-join never waits on pool capacity and the former
+//! per-walk scoped spawns — which oversubscribed multi-core boxes under
+//! concurrent large queries — are gone. A scoped-spawn walk survives
+//! only as the benchmark baseline ([`run_striped_scoped`]) and the
+//! [`with_scoped_spawns`] escape hatch that the `pipeline_perf` binary
+//! uses to measure pooled-vs-scoped end to end.
 
-/// Rows per chunk. Large enough to amortise spawn/dispatch overhead,
-/// small enough to load-balance across a worker pool.
+use std::cell::Cell;
+
+use visdb_storage::Partitioning;
+
+/// Rows per chunk. Large enough to amortise dispatch overhead, small
+/// enough to load-balance across the worker pool.
 pub const CHUNK_ROWS: usize = 16_384;
 
 /// Minimum total rows before a chunk walk fans out across threads;
-/// smaller inputs run serially (spawn overhead would dominate the §4.3
-/// interactive latencies the chunking is meant to protect).
+/// smaller inputs run serially (dispatch overhead would dominate the
+/// §4.3 interactive latencies the chunking is meant to protect).
 pub const PAR_MIN_ROWS: usize = 32_768;
 
-/// Worker threads available to a chunk walk (capped: the pipeline is
-/// memory-bound well before 16 cores).
+/// Worker threads a chunk walk can occupy at most: the current exec
+/// runtime's budget, capped (the pipeline is memory-bound well before
+/// 16 cores).
 pub fn max_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(16)
+    visdb_exec::current_budget().min(16)
 }
 
-/// Run `f` once per task, striping tasks across up to [`max_threads`]
-/// scoped workers when `parallel` is set (and there is more than one task
-/// and core). Tasks carry their own mutable state (typically disjoint
-/// `&mut` sub-slices), which is what makes the fan-out safe.
+thread_local! {
+    /// Bench-only override: route fan-out through per-walk scoped spawns
+    /// instead of the shared pool (see [`with_scoped_spawns`]).
+    static FORCE_SCOPED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `f` with chunk fan-out forced onto per-walk scoped spawns — the
+/// pre-runtime execution strategy, kept **only** as the measurable
+/// baseline for the `pipeline_perf` pooled-vs-scoped comparison.
+/// Nests and unwinds cleanly: the previous mode is restored on exit
+/// even if `f` panics.
+pub fn with_scoped_spawns<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_SCOPED.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCE_SCOPED.with(|s| s.replace(true)));
+    f()
+}
+
+/// Run `f` once per task, fanning the tasks out across the shared
+/// runtime when `parallel` is set (and there is more than one task).
+/// Tasks carry their own mutable state (typically disjoint `&mut`
+/// sub-slices), which is what makes the fan-out safe.
 pub fn run_striped<T: Send>(tasks: Vec<T>, parallel: bool, f: impl Fn(T) + Sync) {
-    let threads = if parallel {
-        max_threads().min(tasks.len())
-    } else {
-        1
-    };
+    if !parallel || tasks.len() <= 1 {
+        for task in tasks {
+            f(task);
+        }
+        return;
+    }
+    if FORCE_SCOPED.with(|s| s.get()) {
+        run_striped_scoped(tasks, f);
+        return;
+    }
+    visdb_exec::run_tasks(tasks, f);
+}
+
+/// The pre-runtime fan-out: stripe tasks across up to [`max_threads`]
+/// crossbeam-scoped threads spawned for this walk alone. Spawning per
+/// walk is exactly the oversubscription the shared runtime eliminates;
+/// this survives as the benchmark baseline and is not used by the
+/// pipeline.
+pub fn run_striped_scoped<T: Send>(tasks: Vec<T>, f: impl Fn(T) + Sync) {
+    let threads = max_threads().min(tasks.len());
     if threads <= 1 {
         for task in tasks {
             f(task);
@@ -73,20 +113,85 @@ pub fn run_striped<T: Send>(tasks: Vec<T>, parallel: bool, f: impl Fn(T) + Sync)
     .expect("chunk workers must not panic");
 }
 
-/// Walk `out` in [`CHUNK_ROWS`]-sized chunks, calling `f(offset, chunk)`
-/// for each, fanning the chunks out across the worker pool when
-/// `parallel` is set and the slice is at least [`PAR_MIN_ROWS`] long.
-pub fn for_each_chunk<T: Send>(out: &mut [T], parallel: bool, f: impl Fn(usize, &mut [T]) + Sync) {
+/// The row ranges of one pass: [`CHUNK_ROWS`]-sized chunks of `n` rows,
+/// or — under a horizontal [`Partitioning`] — per-partition ranges
+/// sub-chunked by [`CHUNK_ROWS`] so no task ever crosses a partition
+/// boundary (each task reads only bytes its partition owns, the
+/// invariant multi-box sharding will inherit).
+pub fn ranges(n: usize, partitions: Option<&Partitioning>) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    match partitions {
+        None => {
+            let mut offset = 0;
+            while offset < n {
+                let len = CHUNK_ROWS.min(n - offset);
+                out.push((offset, len));
+                offset += len;
+            }
+        }
+        Some(p) => {
+            debug_assert_eq!(p.rows(), n, "partitioning must cover the relation");
+            for part in p.partitions() {
+                let mut offset = part.offset;
+                let end = part.offset + part.len;
+                while offset < end {
+                    let len = CHUNK_ROWS.min(end - offset);
+                    out.push((offset, len));
+                    offset += len;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Split `out` into the given contiguous `ranges` (which must cover it
+/// in order), returning one mutable sub-slice per range.
+pub fn split_ranges<'a, T>(out: &'a mut [T], ranges: &[(usize, usize)]) -> Vec<&'a mut [T]> {
+    let mut parts = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    let mut consumed = 0;
+    for &(offset, len) in ranges {
+        debug_assert_eq!(offset, consumed, "ranges must be contiguous");
+        let (head, tail) = rest.split_at_mut(len);
+        parts.push(head);
+        rest = tail;
+        consumed += len;
+    }
+    debug_assert!(rest.is_empty(), "ranges must cover the slice");
+    parts
+}
+
+/// Walk `out` range by range, calling `f(offset, range)` for each, with
+/// the ranges taken from `partitions` (or plain chunking) and fanned out
+/// across the runtime when `parallel` is set and the slice is at least
+/// [`PAR_MIN_ROWS`] long.
+pub fn for_each_range<T: Send>(
+    out: &mut [T],
+    partitions: Option<&Partitioning>,
+    parallel: bool,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
     if out.is_empty() {
         return;
     }
     let fan_out = parallel && out.len() >= PAR_MIN_ROWS;
-    let tasks: Vec<(usize, &mut [T])> = out
-        .chunks_mut(CHUNK_ROWS)
-        .enumerate()
-        .map(|(i, c)| (i * CHUNK_ROWS, c))
+    // every range is non-empty by construction (empty partitions emit
+    // no range), so ranges and sub-slices pair up one to one
+    let ranges = ranges(out.len(), partitions);
+    let tasks: Vec<(usize, &mut [T])> = ranges
+        .iter()
+        .map(|&(offset, _)| offset)
+        .zip(split_ranges(out, &ranges))
         .collect();
     run_striped(tasks, fan_out, |(offset, chunk)| f(offset, chunk));
+}
+
+/// Walk `out` in [`CHUNK_ROWS`]-sized chunks, calling `f(offset, chunk)`
+/// for each, fanning the chunks out across the worker pool when
+/// `parallel` is set and the slice is at least [`PAR_MIN_ROWS`] long.
+pub fn for_each_chunk<T: Send>(out: &mut [T], parallel: bool, f: impl Fn(usize, &mut [T]) + Sync) {
+    for_each_range(out, None, parallel, f);
 }
 
 #[cfg(test)]
@@ -133,5 +238,78 @@ mod tests {
             chunk[0] = 7;
         });
         assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn partitioned_ranges_respect_boundaries() {
+        let p = Partitioning::even(CHUNK_ROWS * 3 + 100, 2);
+        let rs = ranges(p.rows(), Some(&p));
+        // no range crosses a partition boundary
+        for part in p.partitions() {
+            let inside: usize = rs
+                .iter()
+                .filter(|&&(o, l)| o >= part.offset && o + l <= part.offset + part.len)
+                .map(|&(_, l)| l)
+                .sum();
+            assert_eq!(inside, part.len);
+        }
+        // and together they cover every row exactly once, in order
+        let mut next = 0;
+        for &(o, l) in &rs {
+            assert_eq!(o, next);
+            next += l;
+        }
+        assert_eq!(next, p.rows());
+    }
+
+    #[test]
+    fn partitioned_walk_matches_chunked_walk() {
+        let n = PAR_MIN_ROWS + 77;
+        let fill = |partitions: Option<&Partitioning>| {
+            let mut out = vec![0.0f64; n];
+            for_each_range(&mut out, partitions, true, |offset, chunk| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (offset + j) as f64 * 0.5 + 1.0;
+                }
+            });
+            out
+        };
+        let plain = fill(None);
+        for parts in [1, 2, 7, 16, 100] {
+            let p = Partitioning::even(n, parts);
+            assert_eq!(fill(Some(&p)), plain, "{parts} partitions");
+        }
+        // more partitions than rows: empty partitions are skipped
+        let tiny = 5;
+        let p = Partitioning::even(tiny, 16);
+        let mut out = vec![0u8; tiny];
+        for_each_range(&mut out, Some(&p), true, |_, chunk| {
+            for slot in chunk.iter_mut() {
+                *slot = 1;
+            }
+        });
+        assert_eq!(out, vec![1; tiny]);
+    }
+
+    #[test]
+    fn scoped_baseline_agrees_with_pooled() {
+        let n = PAR_MIN_ROWS * 2;
+        let run = |scoped: bool| {
+            let mut out = vec![0usize; n];
+            let walk = |out: &mut Vec<usize>| {
+                for_each_chunk(out, true, |offset, chunk| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (offset + j) * 3;
+                    }
+                });
+            };
+            if scoped {
+                with_scoped_spawns(|| walk(&mut out));
+            } else {
+                walk(&mut out);
+            }
+            out
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -14,7 +14,7 @@ use visdb_query::ast::{
     AttrRef, CompareOp, ConditionNode, Predicate, PredicateTarget, Query, SubqueryLink,
 };
 use visdb_query::connection::{ConnectionKind, ConnectionUse};
-use visdb_storage::{ColumnData, Database, NumericSlice, Table};
+use visdb_storage::{ColumnData, Database, NumericSlice, Partitioning, Table};
 use visdb_types::{DataType, Error, Result, TypeClass, Value};
 
 use crate::chunk;
@@ -52,6 +52,12 @@ pub struct EvalContext<'a> {
     pub display_budget: usize,
     /// Columnar fast path vs per-tuple reference path.
     pub mode: ExecMode,
+    /// Horizontal partitioning of the base relation: when set (and the
+    /// mode is vectorized), every O(n) pass is scheduled as per-partition
+    /// runtime tasks whose kernel inputs come from
+    /// [`ColumnData::numeric_slice_at`] — no task reads bytes outside its
+    /// partition. Results are bit-identical to the unpartitioned walk.
+    pub partitions: Option<&'a Partitioning>,
 }
 
 /// The evaluated distances of one condition node.
@@ -183,47 +189,47 @@ impl<'a> EvalContext<'a> {
         self.mode == ExecMode::Vectorized
     }
 
+    /// The partitioning of the base relation, if any (scalar mode keeps
+    /// the strictly sequential reference walk).
+    fn partitioning(&self) -> Option<&'a Partitioning> {
+        match self.mode {
+            ExecMode::Vectorized => self.partitions,
+            ExecMode::Scalar => None,
+        }
+    }
+
     /// Fill `out[i] = f(i)` for every row. In `Vectorized` mode the rows
-    /// are walked in chunks fanned out across the worker pool; the
-    /// `Scalar` reference runs the identical loop sequentially.
+    /// are walked range by range — per-partition ranges under a
+    /// [`Partitioning`], plain chunks otherwise — fanned out across the
+    /// shared runtime; the `Scalar` reference runs the identical loop
+    /// sequentially.
     fn fill_rows(&self, out: &mut [Option<f64>], f: impl Fn(usize) -> Option<f64> + Sync) {
-        chunk::for_each_chunk(out, self.parallel(), |offset, rows| {
+        chunk::for_each_range(out, self.partitioning(), self.parallel(), |offset, rows| {
             for (j, slot) in rows.iter_mut().enumerate() {
                 *slot = f(offset + j);
             }
         });
     }
 
-    /// Run a typed batch kernel over the column, chunk-parallel. Returns
-    /// `false` when the column has no native numeric buffer (the caller
-    /// falls back to the per-tuple path).
+    /// Run a typed batch kernel over the column, range-parallel: every
+    /// task slices the column's native buffer and validity mask for its
+    /// own row range ([`ColumnData::numeric_slice_at`]). Returns `false`
+    /// when the column has no native numeric buffer (the caller falls
+    /// back to the per-tuple path).
     fn run_kernel(&self, col: &ColumnData, kernel: NumericKernel, out: &mut [Option<f64>]) -> bool {
-        let Some((slice, mask)) = col.numeric_slice() else {
+        if col.numeric_slice().is_none() {
             return false;
-        };
-        match slice {
-            NumericSlice::F64(xs) => self.run_kernel_typed(xs, mask, kernel, out),
-            NumericSlice::I64(xs) => self.run_kernel_typed(xs, mask, kernel, out),
         }
-        true
-    }
-
-    fn run_kernel_typed<T: batch::NativeNumeric>(
-        &self,
-        xs: &[T],
-        mask: Option<&[bool]>,
-        kernel: NumericKernel,
-        out: &mut [Option<f64>],
-    ) {
-        chunk::for_each_chunk(out, self.parallel(), |offset, rows| {
-            let end = offset + rows.len();
-            batch::run(
-                &xs[offset..end],
-                mask.map(|m| &m[offset..end]),
-                kernel,
-                rows,
-            );
+        chunk::for_each_range(out, self.partitioning(), self.parallel(), |offset, rows| {
+            let (slice, mask) = col
+                .numeric_slice_at(offset, rows.len())
+                .expect("numeric buffer checked above");
+            match slice {
+                NumericSlice::F64(xs) => batch::run(xs, mask, kernel, rows),
+                NumericSlice::I64(xs) => batch::run(xs, mask, kernel, rows),
+            }
         });
+        true
     }
 
     /// The batch kernel equivalent to a predicate target, when one exists
@@ -401,6 +407,9 @@ impl<'a> EvalContext<'a> {
             resolver: self.resolver,
             display_budget: self.display_budget,
             mode: self.mode,
+            // the partitioning covers the *outer* base relation; the
+            // inner table has its own row count
+            partitions: None,
         };
         // combined (normalized) distance of the inner condition per inner row
         let inner_cond: Vec<Option<f64>> = match &query.condition {
@@ -620,6 +629,7 @@ mod tests {
             resolver,
             display_budget: 100,
             mode: ExecMode::Vectorized,
+            partitions: None,
         }
     }
 
@@ -858,6 +868,7 @@ mod tests {
             resolver: &r,
             display_budget: 100,
             mode: ExecMode::Vectorized,
+            partitions: None,
         };
         let def = ConnectionDef {
             name: "with-time-diff".into(),

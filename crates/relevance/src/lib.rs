@@ -37,12 +37,13 @@ pub mod pipeline;
 pub mod quantile;
 pub mod reduction;
 
-pub use cache::{window_key, PipelineCache, WindowSource};
+pub use cache::{key_scope, window_key, PipelineCache, WindowSource};
 pub use eval::{EvalContext, ExecMode, NodeEval};
 pub use normalize::{fit_improved, normalize_improved, normalize_naive, NormParams, NORM_MAX};
 pub use pipeline::{
-    run_pipeline, run_pipeline_cached, run_pipeline_opts, run_pipeline_scalar, DisplayPolicy,
-    PipelineOptions, PipelineOutput, PredicateWindow, SharedWindows,
+    run_pipeline, run_pipeline_cached, run_pipeline_opts, run_pipeline_partitioned,
+    run_pipeline_scalar, DisplayPolicy, PipelineOptions, PipelineOutput, PredicateWindow,
+    SharedWindows,
 };
 pub use quantile::{display_fraction, quantile, two_sided_range};
 pub use reduction::{gap_cutoff, gap_cutoff_naive};

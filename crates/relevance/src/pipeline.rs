@@ -12,12 +12,20 @@
 //!   slices ([`visdb_distance::batch`]), not per-tuple [`Value`]
 //!   dispatch;
 //! * every O(n) pass — kernels, normalization-apply fused with
-//!   combining — walks the rows in chunks fanned out across a scoped
-//!   worker pool ([`crate::chunk`]), so one large query parallelizes
-//!   over rows rather than only across predicate windows;
+//!   combining — walks the rows in chunks fanned out across the shared
+//!   budgeted runtime ([`crate::chunk`] over `visdb-exec`), so one
+//!   large query parallelizes over rows rather than only across
+//!   predicate windows, without ever exceeding the global thread
+//!   budget;
 //! * the final full sort is replaced by `select_nth_unstable_by` top-k
 //!   selection plus a sort of only the displayed prefix whenever the
-//!   display policy keeps fewer than n items.
+//!   display policy keeps fewer than n items;
+//! * under a horizontal [`Partitioning`]
+//!   ([`PipelineOptions::partitions`] / [`run_pipeline_partitioned`]),
+//!   every pass is scheduled as per-partition tasks over
+//!   partition-sliced column buffers and ranking becomes per-partition
+//!   top-k selections merged k-way by relevance rank — bit-identical
+//!   output, sharding-shaped scheduling.
 //!
 //! [`ExecMode::Scalar`] preserves the per-tuple, full-sort reference
 //! path; both modes produce bit-identical distances, windows and display
@@ -27,7 +35,7 @@ use std::sync::Arc;
 
 use visdb_distance::registry::DistanceResolver;
 use visdb_query::ast::{ConditionNode, Weighted};
-use visdb_storage::{Database, Table};
+use visdb_storage::{Database, Partitioning, Table};
 use visdb_types::{Error, Result};
 
 use crate::cache::{window_key, PipelineCache, WindowSource};
@@ -195,6 +203,15 @@ pub struct PipelineOptions<'a> {
     pub shared: Option<SharedWindows<'a>>,
     /// Columnar fast path (default) vs per-tuple reference path.
     pub mode: ExecMode,
+    /// Horizontal partitioning of the base relation. When set (and the
+    /// mode is vectorized), every O(n) pass runs as per-partition
+    /// runtime tasks over partition-sliced column buffers, and ranking
+    /// becomes per-partition top-k selections merged k-way by relevance
+    /// rank. Results are **bit-identical** to the unpartitioned path
+    /// (property-tested) — partitioning is purely a scheduling/sharding
+    /// decision. Ignored under [`ExecMode::Scalar`], which stays the
+    /// strictly sequential reference.
+    pub partitions: Option<&'a Partitioning>,
 }
 
 /// Run the pipeline over a base relation.
@@ -267,6 +284,33 @@ pub fn run_pipeline_cached(
     )
 }
 
+/// [`run_pipeline`] over `parts` horizontal partitions of the base
+/// relation: per-partition distance/normalize/combine passes scheduled
+/// as runtime tasks, per-partition top-k selections merged k-way by
+/// relevance rank. Output is bit-identical to the unpartitioned path —
+/// this is the single-box rehearsal of multi-box sharding.
+pub fn run_pipeline_partitioned(
+    db: &Database,
+    table: &Table,
+    resolver: &DistanceResolver,
+    condition: Option<&Weighted>,
+    policy: &DisplayPolicy,
+    parts: usize,
+) -> Result<PipelineOutput> {
+    let partitioning = table.partitions(parts);
+    run_pipeline_opts(
+        db,
+        table,
+        resolver,
+        condition,
+        policy,
+        PipelineOptions {
+            partitions: Some(&partitioning),
+            ..Default::default()
+        },
+    )
+}
+
 /// The fully-optioned pipeline entry point.
 pub fn run_pipeline_opts(
     db: &Database,
@@ -280,8 +324,23 @@ pub fn run_pipeline_opts(
         mut cache,
         shared,
         mode,
+        partitions,
     } = opts;
     let n = table.len();
+    // partitioning is a vectorized-only scheduling decision; a single
+    // partition is the unpartitioned walk
+    let partitions = match partitions {
+        Some(p) if mode == ExecMode::Vectorized => {
+            if p.rows() != n {
+                return Err(Error::invalid_parameter(
+                    "partitions",
+                    format!("partitioning covers {} rows, relation has {n}", p.rows()),
+                ));
+            }
+            (p.len() > 1).then_some(p)
+        }
+        _ => None,
+    };
     let Some(cond) = condition else {
         // pure scan: every item is an exact answer; (0..n) is already the
         // relevance order (all-zero distances, index tiebreak)
@@ -315,6 +374,7 @@ pub fn run_pipeline_opts(
         resolver,
         display_budget: policy.budget(n),
         mode,
+        partitions,
     };
 
     // Top-level windows: the direct children of a root AND/OR, otherwise
@@ -404,9 +464,10 @@ pub fn run_pipeline_opts(
 
     // Rank and select. The scalar reference pays the paper's dominant
     // O(n log n) full sort; the vectorized path selects the policy's
-    // top k and sorts only that prefix.
-    let (order, displayed, sorted_len) = match mode {
-        ExecMode::Scalar => {
+    // top k and sorts only that prefix; the partitioned path selects
+    // per partition and merges the selections k-way by relevance rank.
+    let (order, displayed, sorted_len) = match (mode, partitions) {
+        (ExecMode::Scalar, _) => {
             let mut order: Vec<usize> = (0..n).filter(|&i| combined[i].is_some()).collect();
             order.sort_by(|&a, &b| rank_cmp(&combined, a, b));
             let displayed =
@@ -414,7 +475,12 @@ pub fn run_pipeline_opts(
             let sorted_len = order.len();
             (order, displayed, sorted_len)
         }
-        ExecMode::Vectorized => rank_and_select(&combined, &windows, policy, windows.len())?,
+        (ExecMode::Vectorized, None) => {
+            rank_and_select(&combined, &windows, policy, windows.len())?
+        }
+        (ExecMode::Vectorized, Some(p)) => {
+            rank_and_select_partitioned(&combined, &windows, policy, windows.len(), p)?
+        }
     };
 
     Ok(PipelineOutput {
@@ -544,22 +610,25 @@ fn combine_vectorized(
         /// normalized output.
         type FusedTask<'a> = (usize, &'a mut [Option<f64>], Vec<&'a mut [Option<f64>]>);
 
-        // chunk the combined vector and every fresh normalized vector in
-        // lockstep, so one task owns the same row range of all outputs
+        // split the combined vector and every fresh normalized vector in
+        // lockstep — by partition-respecting ranges, so one task owns the
+        // same row range of all outputs and never crosses a partition
+        let ranges = chunk::ranges(n, ctx.partitions);
         let mut fresh_iters: Vec<_> = fresh_norm
             .iter_mut()
-            .map(|v| v.chunks_mut(chunk::CHUNK_ROWS))
+            .map(|v| chunk::split_ranges(v, &ranges).into_iter())
             .collect();
         let mut tasks: Vec<FusedTask<'_>> = Vec::new();
-        let mut offset = 0;
-        for comb in combined_raw.chunks_mut(chunk::CHUNK_ROWS) {
-            let len = comb.len();
+        for ((offset, _), comb) in ranges
+            .iter()
+            .copied()
+            .zip(chunk::split_ranges(&mut combined_raw, &ranges))
+        {
             let parts: Vec<&mut [Option<f64>]> = fresh_iters
                 .iter_mut()
                 .map(|it| it.next().expect("lockstep chunking"))
                 .collect();
             tasks.push((offset, comb, parts));
-            offset += len;
         }
         let srcs = &srcs;
         let weights = &weights;
@@ -762,6 +831,153 @@ fn rank_and_select(
             let mut order = selected;
             order.extend(rest);
             Ok((order, displayed, sorted_len))
+        }
+    }
+}
+
+/// Per-partition top-k selection plus a k-way merge by relevance rank:
+/// sort each partition's index list to its own top-`k` prefix (scheduled
+/// as runtime tasks), then repeatedly take the globally smallest head.
+/// Because [`rank_cmp`] is a total order (index tiebreak), the merged
+/// prefix is exactly the prefix a global sort would produce — the
+/// property that makes partitioning (and later, multi-box sharding)
+/// invisible in the output. Returns the full order: the merged top-`k`
+/// followed by every remaining defined item (unspecified, deterministic
+/// order).
+fn select_and_merge(mut parts: Vec<Vec<usize>>, k: usize, combined: &[Option<f64>]) -> Vec<usize> {
+    {
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let tasks: Vec<&mut Vec<usize>> = parts.iter_mut().filter(|p| !p.is_empty()).collect();
+        chunk::run_striped(tasks, total >= chunk::PAR_MIN_ROWS, |idx| {
+            let prefix = k.min(idx.len());
+            sort_prefix(idx, prefix, combined);
+        });
+    }
+    let limits: Vec<usize> = parts.iter().map(|p| k.min(p.len())).collect();
+    let mut cursors = vec![0usize; parts.len()];
+    let mut merged: Vec<usize> = Vec::with_capacity(k);
+    while merged.len() < k {
+        // k-way merge head scan (partition counts are small)
+        let mut best: Option<(usize, usize)> = None; // (part, item)
+        for (pi, part) in parts.iter().enumerate() {
+            if cursors[pi] < limits[pi] {
+                let cand = part[cursors[pi]];
+                best = match best {
+                    Some((_, b)) if rank_cmp(combined, b, cand) != std::cmp::Ordering::Greater => {
+                        best
+                    }
+                    _ => Some((pi, cand)),
+                };
+            }
+        }
+        let Some((pi, item)) = best else {
+            break;
+        };
+        merged.push(item);
+        cursors[pi] += 1;
+    }
+    let mut order = merged;
+    for (pi, part) in parts.into_iter().enumerate() {
+        order.extend(part.into_iter().skip(cursors[pi]));
+    }
+    order
+}
+
+/// Partitioned ranking + display selection: compute per-partition
+/// defined-index lists and top-k selections as runtime tasks, then merge
+/// them k-way by relevance rank ([`select_and_merge`]). Bit-identical to
+/// [`rank_and_select`] and the scalar full sort in everything the
+/// display semantics observe (`displayed`, the sorted prefix,
+/// `sorted_len`).
+fn rank_and_select_partitioned(
+    combined: &[Option<f64>],
+    windows: &[PredicateWindow],
+    policy: &DisplayPolicy,
+    num_windows: usize,
+    partitioning: &Partitioning,
+) -> Result<(Vec<usize>, Vec<usize>, usize)> {
+    let n = combined.len();
+    let bounds = partitioning.partitions();
+    let mut defined_parts: Vec<Vec<usize>> = vec![Vec::new(); bounds.len()];
+    {
+        let tasks: Vec<(&mut Vec<usize>, visdb_storage::Partition)> = defined_parts
+            .iter_mut()
+            .zip(bounds.iter().copied())
+            .filter(|(_, p)| p.len > 0)
+            .collect();
+        chunk::run_striped(tasks, n >= chunk::PAR_MIN_ROWS, |(slot, part)| {
+            *slot = (part.offset..part.offset + part.len)
+                .filter(|&i| combined[i].is_some())
+                .collect();
+        });
+    }
+    let m: usize = defined_parts.iter().map(Vec::len).sum();
+    let top_k = |defined_parts: Vec<Vec<usize>>, k: usize| {
+        let order = select_and_merge(defined_parts, k, combined);
+        let displayed = order[..k].to_vec();
+        Ok((order, displayed, k))
+    };
+    match policy {
+        DisplayPolicy::Percentage(p) => top_k(defined_parts, percentage_count(*p, n, m)),
+        DisplayPolicy::FitScreen {
+            pixels,
+            pixels_per_item,
+        } => top_k(
+            defined_parts,
+            fit_screen_count(*pixels, *pixels_per_item, n, num_windows, m),
+        ),
+        DisplayPolicy::GapHeuristic { rmin, rmax, z } => {
+            if m == 0 {
+                return Ok((Vec::new(), Vec::new(), 0));
+            }
+            let (rmin_eff, rmax_eff) = gap_bounds(*rmin, *rmax, m);
+            let sorted_len = m.min(rmax_eff.saturating_add(*z).saturating_add(1));
+            let order = select_and_merge(defined_parts, sorted_len, combined);
+            let sorted: Vec<f64> = order[..sorted_len]
+                .iter()
+                .map(|&i| combined[i].expect("ordered"))
+                .collect();
+            let cut = gap_cutoff(&sorted, rmin_eff, rmax_eff, *z)? + 1;
+            let displayed = order[..cut].to_vec();
+            Ok((order, displayed, sorted_len))
+        }
+        DisplayPolicy::TwoSidedPercentage(p) => {
+            let Some(win) = windows.first().filter(|w| w.signed) else {
+                return top_k(defined_parts, percentage_count(*p, n, m));
+            };
+            let Some((lo, hi)) = two_sided_band(win, *p)? else {
+                return Ok((defined_parts.concat(), Vec::new(), 0));
+            };
+            // per-partition band split (selected stays to be rank-sorted
+            // by the merge; rest keeps ascending index order, matching
+            // the unpartitioned selection exactly)
+            let mut selected_parts: Vec<Vec<usize>> = vec![Vec::new(); defined_parts.len()];
+            let mut rest_parts: Vec<Vec<usize>> = vec![Vec::new(); defined_parts.len()];
+            {
+                let tasks: Vec<(&mut Vec<usize>, &mut Vec<usize>, &Vec<usize>)> = selected_parts
+                    .iter_mut()
+                    .zip(rest_parts.iter_mut())
+                    .zip(defined_parts.iter())
+                    .map(|((s, r), d)| (s, r, d))
+                    .filter(|(_, _, d)| !d.is_empty())
+                    .collect();
+                chunk::run_striped(tasks, n >= chunk::PAR_MIN_ROWS, |(sel, rest, defined)| {
+                    for &i in defined.iter() {
+                        if in_two_sided_band(win, lo, hi, i) {
+                            sel.push(i);
+                        } else {
+                            rest.push(i);
+                        }
+                    }
+                });
+            }
+            let total: usize = selected_parts.iter().map(Vec::len).sum();
+            let mut order = select_and_merge(selected_parts, total, combined);
+            let displayed = order.clone();
+            for rest in rest_parts {
+                order.extend(rest);
+            }
+            Ok((order, displayed, total))
         }
     }
 }
@@ -1105,6 +1321,7 @@ mod tests {
             resolver: &r,
             display_budget: (n as f64 * 0.1).ceil() as usize,
             mode: ExecMode::Scalar,
+            partitions: None,
         };
         if let ConditionNode::And(children) = &c.node {
             for (win, child) in out.windows.iter().zip(children) {
@@ -1164,6 +1381,77 @@ mod tests {
                 assert_eq!(fw.norm_params, sw.norm_params);
             }
         }
+    }
+
+    #[test]
+    fn partitioned_matches_scalar_and_vectorized_across_policies() {
+        let db = db_with_ramp(3000);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, 2500.0)
+            .cmp("x", CompareOp::Lt, 2800.0)
+            .build();
+        let c = q.condition.unwrap();
+        for policy in [
+            DisplayPolicy::Percentage(20.0),
+            DisplayPolicy::FitScreen {
+                pixels: 900,
+                pixels_per_item: 4,
+            },
+            DisplayPolicy::GapHeuristic {
+                rmin: 10,
+                rmax: 200,
+                z: 5,
+            },
+            DisplayPolicy::TwoSidedPercentage(15.0),
+        ] {
+            let slow = run_pipeline_scalar(&db, t, &r, Some(&c), &policy).unwrap();
+            let fast = run_pipeline(&db, t, &r, Some(&c), &policy).unwrap();
+            for parts in [1, 2, 7, 16] {
+                let part = run_pipeline_partitioned(&db, t, &r, Some(&c), &policy, parts).unwrap();
+                assert_eq!(part.combined, slow.combined, "{policy:?} x{parts}");
+                assert_eq!(part.relevance, slow.relevance);
+                assert_eq!(part.num_exact, slow.num_exact);
+                assert_eq!(part.displayed, slow.displayed, "{policy:?} x{parts}");
+                assert_eq!(part.sorted_len, fast.sorted_len, "{policy:?} x{parts}");
+                if matches!(policy, DisplayPolicy::TwoSidedPercentage(_)) {
+                    // the two-sided prefix is the displayed band, not the
+                    // global top-k: compare against the vectorized path
+                    assert_eq!(
+                        part.order[..part.sorted_len],
+                        fast.order[..fast.sorted_len],
+                        "{policy:?} x{parts}"
+                    );
+                } else {
+                    assert_eq!(
+                        part.order[..part.sorted_len],
+                        slow.order[..part.sorted_len],
+                        "{policy:?} x{parts}"
+                    );
+                }
+                assert_eq!(part.order.len(), slow.order.len());
+                for (pw, sw) in part.windows.iter().zip(&slow.windows) {
+                    assert_eq!(*pw.raw, *sw.raw);
+                    assert_eq!(*pw.normalized, *sw.normalized);
+                    assert_eq!(pw.norm_params, sw.norm_params);
+                }
+            }
+        }
+        // a partitioning that does not cover the relation is rejected
+        let stale = Partitioning::even(2999, 4);
+        let err = run_pipeline_opts(
+            &db,
+            t,
+            &r,
+            Some(&c),
+            &DisplayPolicy::Percentage(20.0),
+            PipelineOptions {
+                partitions: Some(&stale),
+                ..Default::default()
+            },
+        );
+        assert!(err.is_err());
     }
 
     #[test]

@@ -217,8 +217,13 @@ fn render(session: &mut Session, format: RenderFormat) -> Result<Response> {
 /// change the produced bytes. The query is normalized through the §4.1
 /// query-representation printer, so two sessions installing structurally
 /// identical queries (even via different builder paths) share an entry.
-/// Sessions with a non-default distance resolver or join options must not
-/// share a cache (the service never customizes either).
+/// The two user-controlled strings — the dataset scope and the rendered
+/// query — are length-prefixed, so neither a crafted dataset name nor a
+/// crafted string literal inside the query can shift bytes into the
+/// following fields (the remaining fields are service-controlled
+/// numerics/enums). Sessions with a non-default distance resolver or
+/// join options must not share a cache (the service never customizes
+/// either).
 pub fn render_key(state: &SessionState, format: RenderFormat) -> String {
     let session = &state.session;
     let query = match session.query() {
@@ -227,9 +232,9 @@ pub fn render_key(state: &SessionState, format: RenderFormat) -> String {
     };
     let (w, h) = session.window_size();
     format!(
-        "{}{}\u{1f}{:?}\u{1f}{}x{}\u{1f}{:?}\u{1f}{:?}\u{1f}{:?}\u{1f}{:?}",
+        "{}{}:{query}\u{1f}{:?}\u{1f}{}x{}\u{1f}{:?}\u{1f}{:?}\u{1f}{:?}\u{1f}{:?}",
         dataset_key_prefix(&state.dataset),
-        query,
+        query.len(),
         session.display_policy(),
         w,
         h,
@@ -242,10 +247,13 @@ pub fn render_key(state: &SessionState, format: RenderFormat) -> String {
     )
 }
 
-/// The cache-key prefix owned by one dataset name; re-registering a
-/// dataset invalidates exactly this prefix.
+/// The cache-key scope header owned by one dataset: the same
+/// length-prefixed framing as `visdb_relevance::window_key`, so
+/// [`crate::cache::QueryCache::invalidate_dataset`] can parse the scope
+/// back out (`visdb_relevance::key_scope`) instead of raw-prefix
+/// matching a user-controlled name.
 pub(crate) fn dataset_key_prefix(dataset: &str) -> String {
-    format!("{dataset}\u{1f}")
+    format!("{}:{dataset}\u{1f}", dataset.len())
 }
 
 // ----- JSON wire mapping (the visdb-server protocol) ---------------------

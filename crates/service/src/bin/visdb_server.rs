@@ -13,8 +13,10 @@
 //!   | cargo run --release -p visdb-service --bin visdb-server
 //! ```
 //!
-//! Options: `--workers N` (default 4), `--cache N` (default 256),
-//! `--hours N` (size of the env dataset, default 240).
+//! Options: `--workers N` (global thread budget, default 4), `--cache N`
+//! (default 256), `--hours N` (size of the env dataset, default 240),
+//! `--partitions N` (horizontal partitions per pipeline run, default 0 =
+//! unpartitioned; outputs are bit-identical either way).
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -52,14 +54,15 @@ fn parse_flag(args: &[String], flag: &str, default: usize) -> Result<usize, Stri
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (workers, cache, hours) = match (
+    let (workers, cache, hours, partitions) = match (
         parse_flag(&args, "--workers", 4),
         parse_flag(&args, "--cache", 256),
         parse_flag(&args, "--hours", 240),
+        parse_flag(&args, "--partitions", 0),
     ) {
-        (Ok(w), Ok(c), Ok(h)) => (w, c, h),
-        (w, c, h) => {
-            for e in [w.err(), c.err(), h.err()].into_iter().flatten() {
+        (Ok(w), Ok(c), Ok(h), Ok(p)) => (w, c, h, p),
+        (w, c, h, p) => {
+            for e in [w.err(), c.err(), h.err(), p.err()].into_iter().flatten() {
                 eprintln!("visdb-server: {e}");
             }
             return ExitCode::FAILURE;
@@ -69,6 +72,7 @@ fn main() -> ExitCode {
     let service = Service::new(ServiceConfig {
         workers,
         cache_capacity: cache,
+        partitions,
         ..Default::default()
     });
 

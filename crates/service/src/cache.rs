@@ -28,6 +28,16 @@ pub struct CacheStats {
     pub misses: usize,
 }
 
+/// Whether a cache key's scope (`{name}#{generation}`, length-prefix
+/// framed — see [`visdb_relevance::key_scope`]) belongs to dataset
+/// `name`: the generation suffix is split off at the **last** `#` and
+/// the name compared exactly.
+fn scope_is_dataset(key: &str, name: &str) -> bool {
+    visdb_relevance::key_scope(key)
+        .and_then(|scope| scope.rsplit_once('#'))
+        .is_some_and(|(scope_name, _)| scope_name == name)
+}
+
 struct Entry {
     response: Response,
     last_used: u64,
@@ -113,14 +123,20 @@ impl QueryCache {
         );
     }
 
-    /// Drop every entry whose key starts with `prefix` (dataset
-    /// re-registration invalidates that dataset's cached frames).
-    pub fn invalidate_prefix(&self, prefix: &str) {
+    /// Drop every entry belonging to dataset `name` (any generation) —
+    /// dataset re-registration invalidates that dataset's cached
+    /// frames. The dataset is recovered from the key by parsing the
+    /// length-prefixed scope ([`visdb_relevance::key_scope`]) and
+    /// splitting off the service-appended `#generation` suffix, then
+    /// compared **exactly**, so a crafted dataset name (e.g. `"env#1"`)
+    /// can neither dodge its own invalidation nor trigger another
+    /// dataset's.
+    pub fn invalidate_dataset(&self, name: &str) {
         let mut guard = match self.entries.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        guard.0.retain(|k, _| !k.starts_with(prefix));
+        guard.0.retain(|k, _| !scope_is_dataset(k, name));
     }
 
     /// Hit/miss counters since construction.
@@ -234,14 +250,15 @@ impl WindowCache {
         self.capacity > 0
     }
 
-    /// Drop every entry whose key starts with `prefix` (dataset
-    /// re-registration frees the replaced generation's windows; the
-    /// generation-scoped keys already prevent stale hits).
-    pub fn invalidate_prefix(&self, prefix: &str) {
+    /// Drop every entry belonging to dataset `name`, any generation
+    /// (exact-match semantics of [`QueryCache::invalidate_dataset`]) —
+    /// dataset re-registration frees the replaced generation's windows;
+    /// the generation-scoped keys already prevent stale hits.
+    pub fn invalidate_dataset(&self, name: &str) {
         let mut guard = self.lock();
         let mut dropped = 0;
         guard.map.retain(|k, e| {
-            let keep = !k.starts_with(prefix);
+            let keep = !scope_is_dataset(k, name);
             if !keep {
                 dropped += e.rows;
             }
@@ -395,15 +412,29 @@ mod tests {
         assert!(c.lookup("a").is_none());
     }
 
+    /// A key framed the way `visdb_relevance::window_key` frames scopes:
+    /// `len:scope` followed by the rest.
+    fn scoped_key(scope: &str, rest: &str) -> String {
+        format!("{}:{scope}{rest}", scope.len())
+    }
+
     #[test]
-    fn window_cache_prefix_invalidation_and_disable() {
+    fn window_cache_dataset_invalidation_and_disable() {
         let c = WindowCache::new(8);
-        c.store("ramp#1\u{1f}k1".into(), window(1.0));
-        c.store("ramp#1\u{1f}k2".into(), window(2.0));
-        c.store("env#2\u{1f}k1".into(), window(3.0));
-        c.invalidate_prefix("ramp#1\u{1f}");
-        assert_eq!(c.len(), 1);
-        assert!(c.lookup("env#2\u{1f}k1").is_some());
+        c.store(scoped_key("ramp#1", "k1"), window(1.0));
+        c.store(scoped_key("ramp#1", "k2"), window(2.0));
+        c.store(scoped_key("env#2", "k1"), window(3.0));
+        // crafted dataset names are matched exactly, never by raw key
+        // or scope prefix: a dataset literally named "ramp#1" (scope
+        // "ramp#1#7") and one whose key merely *contains* the bytes
+        // both survive dataset "ramp"'s invalidation
+        c.store(scoped_key("ramp#1#7", "k1"), window(4.0));
+        c.store(scoped_key("evil#3", "ramp#1suffix"), window(5.0));
+        c.invalidate_dataset("ramp");
+        assert_eq!(c.len(), 3);
+        assert!(c.lookup(&scoped_key("env#2", "k1")).is_some());
+        assert!(c.lookup(&scoped_key("ramp#1#7", "k1")).is_some());
+        assert!(c.lookup(&scoped_key("evil#3", "ramp#1suffix")).is_some());
 
         let off = WindowCache::new(0);
         assert!(!off.is_enabled());
@@ -446,15 +477,19 @@ mod tests {
     }
 
     #[test]
-    fn prefix_invalidation_scopes_to_one_dataset() {
+    fn dataset_invalidation_scopes_to_one_dataset() {
         let c = QueryCache::new(8);
-        c.put("env\u{1f}q1".into(), Response::Ok);
-        c.put("env\u{1f}q2".into(), Response::Ok);
-        c.put("ramp\u{1f}q1".into(), Response::Ok);
-        c.invalidate_prefix("env\u{1f}");
-        assert_eq!(c.len(), 1);
-        assert!(c.get("env\u{1f}q1").is_none());
-        assert!(c.get("ramp\u{1f}q1").is_some());
+        c.put(scoped_key("env#1", "\u{1f}q1"), Response::Ok);
+        c.put(scoped_key("env#1", "\u{1f}q2"), Response::Ok);
+        c.put(scoped_key("ramp#2", "\u{1f}q1"), Response::Ok);
+        // a *distinct* dataset named "env#1" (scope "env#1#3") is not
+        // collateral damage of reloading dataset "env"
+        c.put(scoped_key("env#1#3", "\u{1f}q1"), Response::Ok);
+        c.invalidate_dataset("env");
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&scoped_key("env#1", "\u{1f}q1")).is_none());
+        assert!(c.get(&scoped_key("ramp#2", "\u{1f}q1")).is_some());
+        assert!(c.get(&scoped_key("env#1#3", "\u{1f}q1")).is_some());
     }
 
     #[test]

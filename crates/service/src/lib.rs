@@ -17,10 +17,16 @@
 //!   interactions: install a query, drag a slider, change a weight,
 //!   switch the display policy, fetch the rendered frame as ASCII or PPM
 //!   bytes.
-//! * **Parallelism** — a fixed worker pool drains a crossbeam channel of
-//!   scheduled sessions; requests for one session apply in FIFO order
-//!   while distinct sessions run in parallel ([`service`] module docs
-//!   describe the mailbox scheduling).
+//! * **Parallelism** — a budgeted [`visdb_exec::Runtime`] shared from
+//!   request dispatch down to the pipeline's chunked row walks: session
+//!   drains are runtime jobs, chunk fan-out steals from the same pool,
+//!   and the live thread count never exceeds the configured budget no
+//!   matter how many large queries run concurrently ([`service`] module
+//!   docs describe the mailbox scheduling).
+//! * **Partitioned execution** — `ServiceConfig::partitions` runs every
+//!   pipeline over horizontal partitions of the base relation with
+//!   per-partition top-k selections merged by relevance rank;
+//!   bit-identical outputs, sharding-shaped scheduling.
 //! * **Cross-user caching** — a shared [`QueryCache`] keyed by (dataset,
 //!   normalized query text, display parameters) serves identical renders
 //!   from different users without re-running the pipeline, and a shared

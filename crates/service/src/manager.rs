@@ -98,13 +98,16 @@ impl SessionManager {
     /// Create a session over a shared database. When the manager is at
     /// capacity the least-recently-used session is evicted first.
     /// `windows` attaches the service's shared predicate-window cache,
-    /// scoped to the dataset generation the session was created over.
+    /// scoped to the dataset generation the session was created over;
+    /// `partitions` configures partitioned pipeline execution (0/1 =
+    /// unpartitioned; outputs are bit-identical either way).
     pub fn create(
         &self,
         dataset: impl Into<String>,
         db: Arc<Database>,
         registry: ConnectionRegistry,
         windows: Option<Arc<crate::cache::WindowCache>>,
+        partitions: usize,
     ) -> SessionId {
         let dataset = dataset.into();
         let mut session = Session::new(db, registry);
@@ -112,6 +115,7 @@ impl SessionManager {
         // one recalculation at the next fetch, not one per move (§4.3's
         // "auto recalculate off" mode)
         session.set_auto_recalculate(false);
+        session.set_partitions(partitions);
         if let Some(cache) = windows {
             session.set_shared_windows(dataset.clone(), cache);
         }
@@ -209,8 +213,8 @@ mod tests {
     fn create_get_remove() {
         let m = manager(8);
         let db = db();
-        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None);
-        let b = m.create("d", db, ConnectionRegistry::new(), None);
+        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
+        let b = m.create("d", db, ConnectionRegistry::new(), None, 0);
         assert_ne!(a, b);
         assert_eq!(m.len(), 2);
         assert!(m.get(a).is_some());
@@ -224,8 +228,8 @@ mod tests {
     fn sessions_share_the_database_without_copies() {
         let m = manager(8);
         let db = db();
-        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None);
-        let b = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None);
+        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
+        let b = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
         let sa = m.get(a).unwrap();
         let sb = m.get(b).unwrap();
         let da = sa.state.lock().unwrap().session.shared_db();
@@ -239,11 +243,11 @@ mod tests {
     fn capacity_evicts_least_recently_used() {
         let m = manager(2);
         let db = db();
-        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None);
-        let b = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None);
+        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
+        let b = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
         // touch `a` so `b` becomes the LRU
         assert!(m.get(a).is_some());
-        let c = m.create("d", db, ConnectionRegistry::new(), None);
+        let c = m.create("d", db, ConnectionRegistry::new(), None, 0);
         assert_eq!(m.len(), 2);
         assert!(m.get(a).is_some(), "recently-used session survives");
         assert!(m.get(b).is_none(), "LRU session was evicted");
@@ -254,8 +258,8 @@ mod tests {
     fn idle_eviction_removes_only_stale_sessions() {
         let m = manager(8);
         let db = db();
-        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None);
-        let b = m.create("d", db, ConnectionRegistry::new(), None);
+        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
+        let b = m.create("d", db, ConnectionRegistry::new(), None, 0);
         std::thread::sleep(Duration::from_millis(30));
         assert!(m.get(b).is_some()); // refresh b's idle clock
         assert_eq!(m.evict_idle_older_than(Duration::from_millis(15)), 1);
@@ -268,7 +272,7 @@ mod tests {
     #[test]
     fn eviction_does_not_kill_in_flight_handles() {
         let m = manager(8);
-        let a = m.create("d", db(), ConnectionRegistry::new(), None);
+        let a = m.create("d", db(), ConnectionRegistry::new(), None, 0);
         let handle = m.get(a).unwrap();
         assert!(m.remove(a));
         // the detached state is still usable through the Arc

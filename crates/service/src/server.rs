@@ -9,7 +9,14 @@
 //! {"id":2,"op":"create_session","dataset":"env"}
 //! {"id":3,"op":"close_session","session":1}
 //! {"id":4,"op":"stats"}
+//! {"id":5,"op":"load_csv","dataset":"ext","table":"T","csv":"x,y\n1,2.5\n"}
 //! ```
+//!
+//! `load_csv` registers an external dataset from CSV text whose first
+//! line names the columns; column types are inferred
+//! ([`visdb_storage::csv::read_csv_infer`]). `table` defaults to the
+//! dataset name. Re-loading an existing dataset name replaces it for
+//! new sessions (generation-scoped caches prevent stale reuse).
 //!
 //! Everything else is a per-session request (see
 //! [`Request::from_json`](crate::api::Request::from_json)) addressed with
@@ -26,10 +33,14 @@
 //! The dispatch logic lives here (testable without a process); the
 //! binary is a thin stdin/stdout loop around [`handle_line`].
 
+use std::sync::Arc;
+
 use crate::api::Request;
 use crate::json::{parse, Json};
 use crate::manager::SessionId;
 use crate::service::Service;
+use visdb_query::connection::ConnectionRegistry;
+use visdb_storage::{csv::read_csv_infer, Database};
 use visdb_types::Result;
 
 /// Process one protocol line against a service; always yields a response
@@ -80,6 +91,33 @@ fn dispatch(service: &Service, msg: &Json) -> Result<Json> {
             Ok(Json::obj([
                 ("ok", Json::Bool(true)),
                 ("closed", service.close_session(id).into()),
+            ]))
+        }
+        "load_csv" => {
+            let require = |field: &str| {
+                msg.get(field).and_then(Json::as_str).ok_or_else(|| {
+                    visdb_types::Error::invalid_parameter(field.to_string(), "missing string field")
+                })
+            };
+            let dataset = require("dataset")?;
+            let table_name = msg
+                .get("table")
+                .and_then(Json::as_str)
+                .unwrap_or(dataset)
+                .to_string();
+            let csv = require("csv")?;
+            let table = read_csv_infer(&table_name, csv.as_bytes())?;
+            let rows = table.len();
+            let columns = table.schema().len();
+            let mut db = Database::new(dataset);
+            db.add_table(table);
+            service.register_dataset(dataset, Arc::new(db), ConnectionRegistry::new());
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("dataset", dataset.into()),
+                ("table", table_name.as_str().into()),
+                ("rows", rows.into()),
+                ("columns", columns.into()),
             ]))
         }
         "stats" => {
@@ -173,6 +211,39 @@ mod tests {
         let line = format!(r#"{{"id":6,"op":"close_session","session":{session}}}"#);
         let r = handle_line(&s, &line);
         assert_eq!(r.get("closed"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn load_csv_registers_a_queryable_dataset() {
+        let s = service();
+        // header + inferred schema: t:Int, temp:Float, tag:Str
+        let line = r#"{"id":1,"op":"load_csv","dataset":"ext","table":"W","csv":"t,temp,tag\n0,15.5,munich\n3600,9.0,berlin\n7200,,hamburg\n"}"#;
+        let r = handle_line(&s, line);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+        assert_eq!(r.get("rows").unwrap().as_u64(), Some(3));
+        assert_eq!(r.get("columns").unwrap().as_u64(), Some(3));
+
+        let r = handle_line(&s, r#"{"op":"datasets"}"#);
+        let names = r.get("datasets").unwrap().to_string();
+        assert!(names.contains("ext"), "{names}");
+
+        let r = handle_line(&s, r#"{"op":"create_session","dataset":"ext"}"#);
+        let session = r.get("session").unwrap().as_u64().unwrap();
+        let line = format!(
+            r#"{{"session":{session},"op":"set_query","text":"SELECT * FROM W WHERE temp >= 10"}}"#
+        );
+        assert_eq!(handle_line(&s, &line).get("ok"), Some(&Json::Bool(true)));
+        let line = format!(r#"{{"session":{session},"op":"summary"}}"#);
+        let r = handle_line(&s, &line);
+        let summary = r.get("summary").unwrap();
+        assert_eq!(summary.get("objects").unwrap().as_u64(), Some(3));
+        assert_eq!(summary.get("exact").unwrap().as_u64(), Some(1));
+
+        // malformed CSV is an error response, not a crash
+        let r = handle_line(&s, r#"{"op":"load_csv","dataset":"bad","csv":""}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        let r = handle_line(&s, r#"{"op":"load_csv","csv":"a\n1\n"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The concurrent query service: datasets, worker pool, dispatch.
+//! The concurrent query service: datasets, shared runtime, dispatch.
 //!
 //! A [`Service`] owns
 //!
@@ -6,28 +6,35 @@
 //!   by every session at zero copy cost,
 //! * a [`SessionManager`] handing out [`SessionId`]s with LRU /
 //!   idle eviction,
-//! * a fixed pool of worker threads draining one crossbeam channel
-//!   (the long-lived sibling of the scoped-thread fan-out inside
-//!   `visdb_relevance::pipeline`), and
+//! * a budgeted [`visdb_exec::Runtime`] — the **same** pool that
+//!   executes `visdb_relevance`'s chunked row walks, so request
+//!   dispatch and pipeline fan-out share one global thread budget
+//!   instead of multiplying (the pre-runtime design had a fixed
+//!   service pool *plus* per-walk scoped spawns, which oversubscribed
+//!   multi-core boxes under concurrent large queries), and
 //! * a shared [`QueryCache`] so identical renders from different users
 //!   skip the pipeline entirely.
 //!
 //! ## Scheduling
 //!
-//! The channel carries *session slots*, not individual requests. A
+//! Work items are *session drains*, not individual requests. A
 //! submission enqueues the request in the session's FIFO mailbox and
-//! schedules the slot unless it already is; the worker that picks the
-//! slot drains the mailbox in order. The result: at most one worker
-//! executes a given session at a time (so a slider drag followed by a
-//! render observes the drag — the paper's interactive semantics), while
-//! distinct sessions run on as many workers as the pool has.
+//! spawns one drain job on the runtime unless the slot is already
+//! scheduled; the worker running the drain empties the mailbox in
+//! order. The result: at most one worker executes a given session at a
+//! time (so a slider drag followed by a render observes the drag — the
+//! paper's interactive semantics), while distinct sessions run on as
+//! many workers as the budget allows. When a drain reaches a chunked
+//! pipeline pass, the fan-out lands on the *same* runtime: the draining
+//! worker participates in its own batch and idle siblings steal, so the
+//! thread count stays pinned at the budget end to end.
 
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver};
+use visdb_exec::Runtime;
 use visdb_query::connection::ConnectionRegistry;
 use visdb_storage::Database;
 use visdb_types::{Error, Result};
@@ -39,8 +46,16 @@ use crate::manager::{Envelope, SessionId, SessionManager, SessionSlot};
 /// Tuning knobs for a [`Service`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads executing requests (≥ 1).
+    /// The service's global thread budget (≥ 1): worker threads in the
+    /// shared runtime that executes *both* request dispatch and the
+    /// pipeline's chunked row walks. No request — however many large
+    /// queries run concurrently — can push the live thread count past
+    /// this.
     pub workers: usize,
+    /// Horizontal partitions per pipeline run (0 or 1 disables
+    /// partitioned execution). Outputs are bit-identical either way;
+    /// partitioning only changes how the work is scheduled.
+    pub partitions: usize,
     /// Maximum live sessions before LRU eviction.
     pub max_sessions: usize,
     /// Idle horizon for [`Service::evict_idle_sessions`].
@@ -56,6 +71,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             workers: 4,
+            partitions: 0,
             max_sessions: 1024,
             idle_timeout: Duration::from_secs(300),
             cache_capacity: 256,
@@ -95,41 +111,25 @@ pub struct Service {
     manager: SessionManager,
     cache: Arc<QueryCache>,
     window_cache: Arc<WindowCache>,
-    injector: Option<Sender<Arc<SessionSlot>>>,
-    worker_count: usize,
-    workers: Vec<JoinHandle<()>>,
+    partitions: usize,
+    /// The shared budgeted runtime. Dropping the service shuts it down;
+    /// workers finish already-queued drains first.
+    runtime: Runtime,
 }
 
 impl Service {
-    /// Start the worker pool.
+    /// Start the shared runtime.
     pub fn new(config: ServiceConfig) -> Self {
-        let worker_count = config.workers.max(1);
         let cache = Arc::new(QueryCache::new(config.cache_capacity));
         let window_cache = Arc::new(WindowCache::new(config.window_cache_capacity));
-        let (tx, rx) = channel::unbounded::<Arc<SessionSlot>>();
-        let workers = (0..worker_count)
-            .map(|i| {
-                let rx = rx.clone();
-                let cache = Arc::clone(&cache);
-                std::thread::Builder::new()
-                    .name(format!("visdb-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(slot) = rx.recv() {
-                            drain_mailbox(&slot, &cache);
-                        }
-                    })
-                    .expect("spawn service worker")
-            })
-            .collect();
         Service {
             datasets: Mutex::new(std::collections::HashMap::new()),
             generations: std::sync::atomic::AtomicU64::new(1),
             manager: SessionManager::new(config.max_sessions, config.idle_timeout),
             cache,
             window_cache,
-            injector: Some(tx),
-            worker_count,
-            workers,
+            partitions: config.partitions,
+            runtime: Runtime::new(config.workers.max(1)),
         }
     }
 
@@ -145,8 +145,8 @@ impl Service {
         let name = name.into();
         // stale protection is the generation in the cache scopes;
         // dropping the replaced dataset's entries just frees memory
-        self.cache.invalidate_prefix(&format!("{name}#"));
-        self.window_cache.invalidate_prefix(&format!("{name}#"));
+        self.cache.invalidate_dataset(&name);
+        self.window_cache.invalidate_dataset(&name);
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
         let scope = format!("{name}#{generation}");
         self.datasets
@@ -190,6 +190,7 @@ impl Service {
             Arc::clone(&ds.db),
             ds.registry.clone(),
             windows,
+            self.partitions,
         ))
     }
 
@@ -215,13 +216,8 @@ impl Service {
             .expect("mailbox poisoned")
             .push_back(Envelope { request, reply });
         if !slot.scheduled.swap(true, Ordering::SeqCst) {
-            let injector = self
-                .injector
-                .as_ref()
-                .expect("injector lives as long as the service");
-            injector
-                .send(slot)
-                .map_err(|_| Error::Internal("service worker pool is gone".into()))?;
+            let cache = Arc::clone(&self.cache);
+            self.runtime.spawn(move || drain_mailbox(&slot, &cache));
         }
         Ok(PendingResponse { rx })
     }
@@ -237,9 +233,15 @@ impl Service {
         self.manager.len()
     }
 
-    /// Worker threads in the pool.
+    /// The global thread budget (worker threads in the shared runtime).
     pub fn workers(&self) -> usize {
-        self.worker_count
+        self.runtime.budget()
+    }
+
+    /// The shared execution runtime (exposed for observability and the
+    /// oversubscription regression tests).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
     }
 
     /// Shared query-result cache counters.
@@ -250,17 +252,6 @@ impl Service {
     /// Shared predicate-window cache counters (cross-session §6 reuse).
     pub fn window_cache_stats(&self) -> CacheStats {
         self.window_cache.stats()
-    }
-}
-
-impl Drop for Service {
-    fn drop(&mut self) {
-        // closing the injector disconnects the channel; workers finish
-        // the slots already queued and exit
-        self.injector.take();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
     }
 }
 

@@ -294,6 +294,25 @@ impl ColumnData {
         }
     }
 
+    /// [`ColumnData::numeric_slice`] restricted to one horizontal
+    /// partition: the native buffer and validity mask of rows
+    /// `offset..offset + len`. This is how a
+    /// [`Partitioning`](crate::partition::Partitioning) view turns into
+    /// per-partition kernel inputs without copying anything.
+    pub fn numeric_slice_at(
+        &self,
+        offset: usize,
+        len: usize,
+    ) -> Option<(NumericSlice<'_>, Option<&[bool]>)> {
+        let (slice, mask) = self.numeric_slice()?;
+        let end = offset + len;
+        let slice = match slice {
+            NumericSlice::F64(xs) => NumericSlice::F64(&xs[offset..end]),
+            NumericSlice::I64(xs) => NumericSlice::I64(&xs[offset..end]),
+        };
+        Some((slice, mask.map(|m| &m[offset..end])))
+    }
+
     /// Gather rows by index into a new column (used to materialise query
     /// results and cross-product slices).
     pub fn gather(&self, indices: &[usize]) -> ColumnData {

@@ -6,7 +6,7 @@
 
 use std::io::{BufRead, Write};
 
-use visdb_types::{DataType, Error, Location, Result, Schema, Value};
+use visdb_types::{Column, DataType, Error, Location, Result, Schema, Value};
 
 use crate::table::Table;
 
@@ -97,6 +97,92 @@ pub fn read_csv<R: BufRead>(name: &str, schema: Schema, reader: R) -> Result<Tab
     Ok(table)
 }
 
+/// Infer the narrowest [`DataType`] that parses every non-empty cell.
+/// Empty cells are NULLs and constrain nothing; an all-empty column
+/// defaults to `Float` (any representation can hold only-NULLs). The
+/// ladder is `Int` → `Bool` → `Float` → `Location` → `Str`, so e.g. a
+/// `0/1` column reads as integers and mixed `1`/`2.5` as floats.
+/// Timestamps are indistinguishable from integers in plain CSV; callers
+/// wanting timestamp semantics supply an explicit schema to
+/// [`read_csv`].
+pub fn infer_type<'a>(cells: impl IntoIterator<Item = &'a str>) -> DataType {
+    let mut seen = false;
+    let mut candidates = [
+        (DataType::Int, true),
+        (DataType::Bool, true),
+        (DataType::Float, true),
+        (DataType::Location, true),
+    ];
+    for cell in cells {
+        let cell = cell.trim();
+        if cell.is_empty() {
+            continue;
+        }
+        seen = true;
+        for (dt, ok) in candidates.iter_mut() {
+            if *ok && parse_cell(cell, *dt).is_err() {
+                *ok = false;
+            }
+        }
+    }
+    if !seen {
+        return DataType::Float;
+    }
+    candidates
+        .into_iter()
+        .find_map(|(dt, ok)| ok.then_some(dt))
+        .unwrap_or(DataType::Str)
+}
+
+/// Read CSV whose **first non-empty line is a header** of column names,
+/// inferring each column's type from the data ([`infer_type`]) — the
+/// schema-inference pass behind external dataset registration. Each row
+/// is split exactly once; the split cells feed both inference and the
+/// typed parse.
+pub fn read_csv_infer<R: BufRead>(name: &str, reader: R) -> Result<Table> {
+    let mut lines = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if !line.trim().is_empty() {
+            lines.push(line);
+        }
+    }
+    let Some((header, data)) = lines.split_first() else {
+        return Err(Error::parse("CSV is empty: expected a header line"));
+    };
+    let names: Vec<&str> = header.split(',').map(str::trim).collect();
+    if names.iter().any(|n| n.is_empty()) {
+        return Err(Error::parse("CSV header has an empty column name"));
+    }
+    let rows: Vec<Vec<&str>> = data.iter().map(|row| row.split(',').collect()).collect();
+    for (lineno, cells) in rows.iter().enumerate() {
+        if cells.len() != names.len() {
+            return Err(Error::Parse {
+                // +2: 1-based, counting the header line
+                position: Some(lineno + 2),
+                message: format!("expected {} cells, found {}", names.len(), cells.len()),
+            });
+        }
+    }
+    let columns: Vec<Column> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Column::new(*name, infer_type(rows.iter().map(|cells| cells[i]))))
+        .collect();
+    // headers come from untrusted input (the load_csv server op), so a
+    // duplicate column name must surface as an error, never a panic
+    let mut table = Table::new(name, Schema::try_new(columns)?);
+    for cells in &rows {
+        let row: Result<Vec<Value>> = cells
+            .iter()
+            .zip(table.schema().columns().iter().map(|c| c.data_type))
+            .map(|(cell, dt)| parse_cell(cell, dt))
+            .collect();
+        table.push_row(row?)?;
+    }
+    Ok(table)
+}
+
 /// Write a table as headerless CSV.
 pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> Result<()> {
     for i in 0..table.len() {
@@ -159,6 +245,43 @@ mod tests {
         );
         assert_eq!(parse_cell("0", DataType::Bool).unwrap(), Value::Bool(false));
         assert!(parse_cell("yep", DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn schema_inference_picks_the_narrowest_type() {
+        assert_eq!(infer_type(["1", "2", ""]), DataType::Int);
+        assert_eq!(infer_type(["1", "2.5"]), DataType::Float);
+        assert_eq!(infer_type(["true", "0"]), DataType::Bool);
+        assert_eq!(infer_type(["1", "0"]), DataType::Int); // ambiguous -> Int
+        assert_eq!(infer_type(["48.1;11.6"]), DataType::Location);
+        assert_eq!(infer_type(["48.1;11.6", "x"]), DataType::Str);
+        assert_eq!(infer_type(["abc", "1"]), DataType::Str);
+        assert_eq!(infer_type(["", ""]), DataType::Float); // all NULL
+    }
+
+    #[test]
+    fn read_with_header_infers_schema() {
+        let csv = "t,temp,loc,tag\n0,15.5,48.1;11.6,munich\n3600,,48.2;11.7,berlin\n";
+        let t = read_csv_infer("W", csv.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        let s = t.schema();
+        assert_eq!(s.column(0).unwrap().data_type, DataType::Int);
+        assert_eq!(s.column(1).unwrap().data_type, DataType::Float);
+        assert_eq!(s.column(2).unwrap().data_type, DataType::Location);
+        assert_eq!(s.column(3).unwrap().data_type, DataType::Str);
+        assert!(s.index_of("temp").is_some());
+        assert_eq!(t.row(1).unwrap()[1], Value::Null);
+        // header-only input yields an empty but queryable table
+        let empty = read_csv_infer("E", "a,b\n".as_bytes()).unwrap();
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.schema().len(), 2);
+        // no header at all is an error
+        assert!(read_csv_infer("E", "".as_bytes()).is_err());
+        // ragged data rows are rejected with a position
+        assert!(read_csv_infer("E", "a,b\n1\n".as_bytes()).is_err());
+        // duplicate header names are an error, not a panic (the header
+        // is remote input via the load_csv server op)
+        assert!(read_csv_infer("E", "a,a\n1,2\n".as_bytes()).is_err());
     }
 
     #[test]

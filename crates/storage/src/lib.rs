@@ -13,7 +13,11 @@
 //! * [`stats::ColumnStats`] — min/max/mean/histograms feeding the slider UI
 //!   model ("the minimum and maximum value of the attribute in the
 //!   database are displayed", §4.3),
-//! * [`csv`] — plain-text import/export so example datasets are inspectable.
+//! * [`csv`] — plain-text import/export (with schema inference) so
+//!   example and external datasets are inspectable,
+//! * [`partition`] — zero-copy horizontal [`Partitioning`] views slicing
+//!   every column's native buffer + validity mask, the substrate for
+//!   partition-parallel pipelines and (eventually) multi-box sharding.
 //!
 //! The relevance pipeline reads columns through [`table::Table::column`] and
 //! never materialises row structs on the hot path.
@@ -21,10 +25,12 @@
 pub mod catalog;
 pub mod column;
 pub mod csv;
+pub mod partition;
 pub mod stats;
 pub mod table;
 
 pub use catalog::Database;
 pub use column::{ColumnData, NumericSlice, Validity};
+pub use partition::{Partition, Partitioning};
 pub use stats::ColumnStats;
 pub use table::{Row, Table, TableBuilder};

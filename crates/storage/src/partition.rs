@@ -1,0 +1,143 @@
+//! Horizontal partitioning of the base relation.
+//!
+//! A [`Partitioning`] is a *view*: it never copies data, it only names
+//! contiguous row ranges of a table. Each range slices every column's
+//! native buffer (and validity mask) via
+//! [`ColumnData::numeric_slice_at`](crate::column::ColumnData::numeric_slice_at),
+//! so a per-partition pipeline pass works on exactly the bytes a real
+//! shard would own — which is what makes single-box partitioned
+//! execution the rehearsal for multi-box sharding: moving a partition to
+//! another machine changes where the range lives, not how the pipeline
+//! walks it.
+
+/// One contiguous horizontal partition: a row offset and length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// First row of the partition.
+    pub offset: usize,
+    /// Number of rows.
+    pub len: usize,
+}
+
+/// A division of `rows` table rows into contiguous partitions covering
+/// every row exactly once, in row order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    rows: usize,
+    parts: Vec<Partition>,
+}
+
+impl Partitioning {
+    /// Split `rows` rows into `parts.max(1)` contiguous partitions whose
+    /// sizes differ by at most one (the first `rows % parts` partitions
+    /// take the extra row). More partitions than rows yields trailing
+    /// empty partitions — harmless, and exactly what a fixed shard count
+    /// over a small relation looks like.
+    pub fn even(rows: usize, parts: usize) -> Partitioning {
+        let parts = parts.max(1);
+        let base = rows / parts;
+        let extra = rows % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut offset = 0;
+        for i in 0..parts {
+            let len = base + usize::from(i < extra);
+            ranges.push(Partition { offset, len });
+            offset += len;
+        }
+        Partitioning {
+            rows,
+            parts: ranges,
+        }
+    }
+
+    /// Total rows covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of partitions (≥ 1).
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the covered relation is empty (a partitioning always has
+    /// at least one — possibly empty — partition).
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The partitions, in row order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::NumericSlice;
+    use crate::table::TableBuilder;
+    use visdb_types::{Column, DataType, Value};
+
+    #[test]
+    fn even_partitioning_covers_rows_exactly_once() {
+        for (rows, parts) in [(10, 3), (10, 1), (3, 7), (0, 4), (16, 16), (1000, 7)] {
+            let p = Partitioning::even(rows, parts);
+            assert_eq!(p.len(), parts.max(1));
+            assert_eq!(p.rows(), rows);
+            let mut next = 0;
+            for part in p.partitions() {
+                assert_eq!(part.offset, next, "{rows} rows / {parts} parts");
+                next += part.len;
+            }
+            assert_eq!(next, rows);
+            // sizes differ by at most one
+            let lens: Vec<usize> = p.partitions().iter().map(|r| r.len).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn zero_parts_degrades_to_one() {
+        let p = Partitioning::even(5, 0);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.partitions()[0], Partition { offset: 0, len: 5 });
+    }
+
+    #[test]
+    fn partitions_slice_native_buffers_and_masks() {
+        let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+        for i in 0..10 {
+            let v = if i == 4 {
+                Value::Null
+            } else {
+                Value::Float(i as f64)
+            };
+            b = b.row(vec![v]).unwrap();
+        }
+        let t = b.build();
+        let col = t.column_by_name("x").unwrap();
+        let p = t.partitions(3); // 4 + 3 + 3
+        assert_eq!(p.len(), 3);
+        let part = p.partitions()[1];
+        match col.numeric_slice_at(part.offset, part.len) {
+            Some((NumericSlice::F64(xs), Some(mask))) => {
+                assert_eq!(xs, &[0.0, 5.0, 6.0]); // NULL slot holds the default
+                assert_eq!(mask, &[false, true, true]);
+            }
+            other => panic!("unexpected view {other:?}"),
+        }
+        // an all-valid column has no mask to slice
+        let mut b = TableBuilder::new("U", vec![Column::new("n", DataType::Int)]);
+        for i in 0..6 {
+            b = b.row(vec![Value::Int(i)]).unwrap();
+        }
+        let u = b.build();
+        let col = u.column_by_name("n").unwrap();
+        match col.numeric_slice_at(2, 2) {
+            Some((NumericSlice::I64(xs), None)) => assert_eq!(xs, &[2, 3]),
+            other => panic!("unexpected view {other:?}"),
+        }
+    }
+}

@@ -60,6 +60,7 @@
 //! | [`color`] | `visdb-color` | the VisDB colormap, CIELAB, JND counting |
 //! | [`render`] | `visdb-render` | framebuffer, PPM/PGM, layout, spectra |
 //! | [`index`] | `visdb-index` | k-d tree, grid file, incremental cache |
+//! | [`exec`] | `visdb-exec` | shared budgeted worker pool: scoped fork-join + task queue |
 //! | [`core`] | `visdb-core` | sessions, approximate joins, sliders, rendering |
 //! | [`data`] | `visdb-data` | synthetic workloads (environmental, CAD, multi-DB) |
 //! | [`baseline`] | `visdb-baseline` | exact boolean queries, k-means |
@@ -69,8 +70,9 @@
 //!
 //! The paper's system is single-user. The [`service`] module multiplexes
 //! its interaction loop for many concurrent users: sessions share one
-//! `Arc<Database>` (zero copies), a fixed worker pool executes requests
-//! for distinct sessions in parallel (FIFO within a session), a shared
+//! `Arc<Database>` (zero copies), a budgeted [`exec`] runtime executes
+//! requests for distinct sessions in parallel (FIFO within a session)
+//! and absorbs the pipeline's chunked row walks on the same threads, a shared
 //! query-result cache answers identical queries from different users
 //! without re-running the pipeline, and idle sessions are LRU-evicted.
 //! The `visdb-server` binary exposes it as newline-delimited JSON over
@@ -102,6 +104,7 @@ pub use visdb_color as color;
 pub use visdb_core as core;
 pub use visdb_data as data;
 pub use visdb_distance as distance;
+pub use visdb_exec as exec;
 pub use visdb_index as index;
 pub use visdb_query as query;
 pub use visdb_relevance as relevance;
@@ -128,13 +131,14 @@ pub mod prelude {
         SubqueryLink, Weighted,
     };
     pub use visdb_relevance::{
-        run_pipeline, run_pipeline_scalar, DisplayPolicy, ExecMode, PipelineOutput,
+        run_pipeline, run_pipeline_partitioned, run_pipeline_scalar, DisplayPolicy, ExecMode,
+        PipelineOutput,
     };
     pub use visdb_render::{write_ppm, Framebuffer};
     pub use visdb_service::{
         RenderFormat, Request, Response, Service, ServiceConfig, SessionId, SessionSummary,
     };
-    pub use visdb_storage::{ColumnStats, Database, Row, Table, TableBuilder};
+    pub use visdb_storage::{ColumnStats, Database, Partitioning, Row, Table, TableBuilder};
     pub use visdb_types::{
         Column, DataType, Error, Location, Result, Schema, Timestamp, TypeClass, Value,
     };

@@ -156,6 +156,53 @@ proptest! {
         }
     }
 
+    /// Partitioned execution (per-partition passes + k-way merge of
+    /// per-partition top-k selections) is bit-identical to the
+    /// `ExecMode::Scalar` reference AND the unpartitioned vectorized
+    /// path, across display policies, partition counts (1, 2, 7, 16) —
+    /// including counts exceeding the row count — and NULL-heavy
+    /// columns.
+    #[test]
+    fn partitioned_pipeline_matches_scalar_and_vectorized(
+        rows in prop::collection::vec((-1e4f64..1e4, 0u8..4), 1..250),
+        threshold in -1e4f64..1e4,
+        lo in -1e4f64..1e4,
+        span in 0.0f64..5e3,
+        pct in 1.0f64..100.0,
+        pick in 0usize..4,
+    ) {
+        let db = table_with_nulls(&rows);
+        let t = db.table("T").unwrap();
+        let resolver = DistanceResolver::new();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, threshold)
+            .between("x", lo, lo + span)
+            .build();
+        let policy = pick_policy(pick, pct);
+        let slow = run_pipeline_scalar(&db, t, &resolver, q.condition.as_ref(), &policy);
+        let fast = run_pipeline(&db, t, &resolver, q.condition.as_ref(), &policy);
+        for parts in [1usize, 2, 7, 16] {
+            let part = run_pipeline_partitioned(
+                &db, t, &resolver, q.condition.as_ref(), &policy, parts);
+            match (&part, &slow, &fast) {
+                (Ok(part), Ok(slow), Ok(fast)) => {
+                    let diff = first_divergence(part, slow, &policy);
+                    prop_assert!(
+                        diff.is_none(),
+                        "{} vs scalar under {:?} with {} partitions",
+                        diff.unwrap(), policy, parts
+                    );
+                    prop_assert_eq!(part.sorted_len, fast.sorted_len);
+                    prop_assert_eq!(&part.displayed, &fast.displayed);
+                    prop_assert!(part.sorted_len >= part.displayed.len());
+                }
+                (Err(_), Err(_), Err(_)) => {}
+                (p, s, f) => prop_assert!(
+                    false, "modes disagree on failure: {p:?} vs {s:?} vs {f:?}"),
+            }
+        }
+    }
+
     /// Same equivalence for an OR query with an (unsigned) string window
     /// — exercises the per-tuple fallback kernel, the two-sided policy's
     /// fallback, and NULL string operands.
