@@ -12,7 +12,7 @@ use visdb_distance::DistanceResolver;
 use visdb_query::ast::{ConditionNode, Weighted};
 use visdb_relevance::combine::combine_and;
 use visdb_relevance::eval::{EvalContext, ExecMode};
-use visdb_relevance::normalize::normalize_improved;
+use visdb_relevance::normalize::normalize_frame;
 
 const N: usize = 100_000;
 
@@ -42,7 +42,11 @@ fn phases(c: &mut Criterion) {
     let normed: Vec<Vec<Option<f64>>> = evals
         .iter()
         .zip(children.iter())
-        .map(|(e, w)| normalize_improved(&e.distances, w.weight, N / 4).0)
+        .map(|(e, w)| {
+            normalize_frame(&e.distances, &e.stats, w.weight, N / 4)
+                .0
+                .to_options()
+        })
         .collect();
     let weights: Vec<f64> = children.iter().map(|w| w.weight).collect();
     let combined = combine_and(&normed, &weights).expect("combine");
@@ -64,7 +68,11 @@ fn phases(c: &mut Criterion) {
             evals
                 .iter()
                 .zip(children.iter())
-                .map(|(e, w)| normalize_improved(&e.distances, w.weight, N / 4).0.len())
+                .map(|(e, w)| {
+                    normalize_frame(&e.distances, &e.stats, w.weight, N / 4)
+                        .0
+                        .len()
+                })
                 .sum::<usize>()
         })
     });

@@ -2,9 +2,13 @@
 //! (per-tuple, full-sort) vs vectorized (columnar kernels, chunked
 //! data-parallel execution, top-k selection) vs partitioned (per-
 //! partition passes + k-way merged top-k) rows/sec, pooled-vs-scoped
-//! fan-out timings, plus isolated top-k-vs-full-sort timings. Results
-//! are written to `BENCH_pipeline.json` so future PRs can track the
-//! perf trajectory.
+//! fan-out timings, isolated top-k-vs-full-sort timings, a **per-phase
+//! breakdown** (distance / fit / normalize+combine / rank), the
+//! **packed-vs-Option** representation A/B, and the **slider-drag**
+//! micro-bench (sorted-projection incremental path vs full recompute).
+//! Results are written to `BENCH_pipeline.json` so future PRs can track
+//! the perf trajectory — and see where the time goes, not just one
+//! end-to-end number.
 //!
 //! ```sh
 //! cargo run --release -p visdb-bench --bin pipeline_perf            # full (n up to 1M)
@@ -12,22 +16,31 @@
 //! ```
 //!
 //! In both modes the binary *asserts* that the vectorized **and
-//! partitioned** outputs are identical to the scalar reference before
-//! it times anything — a kernel or merge regression that changes
-//! results or panics fails the run regardless of timing noise.
+//! partitioned** outputs are identical to the scalar reference — and
+//! the incremental slider drag identical to a full recompute — before
+//! it times anything; a regression that changes results fails the run
+//! regardless of timing noise.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use visdb_bench::ramp_db;
+use visdb_core::Session;
+use visdb_distance::batch::{self, CompareKernel, NumericKernel};
+use visdb_distance::frame::DistanceFrame;
 use visdb_distance::DistanceResolver;
-use visdb_query::ast::CompareOp;
+use visdb_query::ast::{CompareOp, PredicateTarget};
 use visdb_query::builder::QueryBuilder;
+use visdb_query::connection::ConnectionRegistry;
 use visdb_relevance::chunk;
+use visdb_relevance::normalize::{fit_frame, fit_improved};
 use visdb_relevance::pipeline::{
-    run_pipeline, run_pipeline_partitioned, run_pipeline_scalar, DisplayPolicy, PipelineOutput,
+    run_pipeline, run_pipeline_opts, run_pipeline_partitioned, run_pipeline_scalar, DisplayPolicy,
+    PhaseTimings, PipelineOptions, PipelineOutput,
 };
 use visdb_storage::Database;
+use visdb_types::Value;
 
 /// Partition count for the timed partitioned runs (smoke identity
 /// checks additionally cover 1, 2, 7 and 16).
@@ -49,6 +62,139 @@ struct SizeResult {
     full_sort_ms: f64,
     topk_ms: f64,
     topk_k: usize,
+    /// Per-phase breakdown of one vectorized run (milliseconds).
+    phase_distance_ms: f64,
+    phase_fit_ms: f64,
+    phase_normalize_combine_ms: f64,
+    phase_rank_ms: f64,
+    /// Representation A/B on the same single-threaded workload:
+    /// `Vec<Option<f64>>` three-pass baseline vs packed `DistanceFrame`
+    /// fused pass, in rows/sec.
+    option_repr_rows_per_sec: f64,
+    packed_repr_rows_per_sec: f64,
+    packed_vs_option: f64,
+    /// Slider drag: sorted-projection incremental path vs full pipeline
+    /// recompute for a contained bound modification.
+    drag_incremental_us: f64,
+    drag_full_us: f64,
+    drag_speedup: f64,
+}
+
+/// The pre-packed intermediate representation, reconstructed locally as
+/// the A/B baseline: three passes over 16-byte `Option<f64>` elements
+/// (distance fill, fit re-collect + selection, normalize + combine +
+/// exact count) — exactly the pass structure the pipeline had before
+/// packed frames. Returns a checksum so the optimizer keeps it honest.
+fn option_repr_pipeline(xs: &[f64], t: f64, budget: usize) -> (usize, f64) {
+    let n = xs.len();
+    let kernel = NumericKernel::Compare(CompareKernel::Greater, Some(t));
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    batch::run(xs, None, kernel, &mut dist);
+    let params = fit_improved(&dist, 1.0, budget);
+    let mut exact = 0usize;
+    let mut sum = 0.0f64;
+    let mut combined: Vec<Option<f64>> = vec![None; n];
+    for (o, d) in combined.iter_mut().zip(&dist) {
+        if let Some(d) = d {
+            if *d == 0.0 {
+                exact += 1;
+            }
+            let v = params.apply(d.abs());
+            sum += v;
+            *o = Some(v);
+        }
+    }
+    (exact, sum)
+}
+
+/// The packed equivalent: one fused distance+stats pass writing 8-byte
+/// values plus a byte mask, a stats-served (or 8-byte-selection) fit,
+/// and one fused normalize walk over the packed buffers.
+fn packed_repr_pipeline(xs: &[f64], t: f64, budget: usize) -> (usize, f64) {
+    let n = xs.len();
+    let kernel = NumericKernel::Compare(CompareKernel::Greater, Some(t));
+    let mut frame = DistanceFrame::undefined(n);
+    let stats = {
+        let (vals, mask) = frame.parts_mut();
+        batch::run_frame(xs, None, kernel, vals, mask)
+    };
+    let params = fit_frame(&frame, &stats, 1.0, budget);
+    let mut exact = 0usize;
+    let mut sum = 0.0f64;
+    let mut out = DistanceFrame::undefined(n);
+    {
+        let (ovals, omask) = out.parts_mut();
+        for (((ov, om), &d), &ok) in ovals
+            .iter_mut()
+            .zip(omask.iter_mut())
+            .zip(frame.values())
+            .zip(frame.validity().as_slice())
+        {
+            if ok {
+                if d == 0.0 {
+                    exact += 1;
+                }
+                let v = params.apply(d.abs());
+                sum += v;
+                *ov = v;
+                *om = true;
+            }
+        }
+    }
+    (exact, sum)
+}
+
+/// Slider-drag micro-bench: a warm session alternates between two
+/// contained bound modifications, once through the sorted-projection
+/// incremental path ([`Session::drag_slider`]) and once through a full
+/// eager recompute ([`Session::set_predicate_target`]). Asserts the two
+/// paths agree before timing.
+fn bench_slider(db: &Arc<Database>, n: usize, min_reps: usize) -> (f64, f64) {
+    // contained tightenings within the exact region (k <= num_exact):
+    // the common interactive case, and one the fast path serves in
+    // O(log n + k) regardless of normalization plateaus
+    let targets = [n as f64 * 0.97, n as f64 * 0.975];
+    let target = |t: f64| PredicateTarget::Compare {
+        op: CompareOp::Ge,
+        value: Value::Float(t),
+    };
+    let make = || {
+        let mut s = Session::new(Arc::clone(db), ConnectionRegistry::new());
+        s.set_display_policy(DisplayPolicy::Percentage(1.0))
+            .expect("policy");
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, n as f64 * 0.9)
+                .build(),
+        )
+        .expect("query");
+        s
+    };
+    // correctness first: the incremental drag must equal a full recompute
+    let mut inc = make();
+    for &t in &targets {
+        let drag = inc.drag_slider(0, target(t)).expect("drag");
+        assert!(drag.incremental, "fast path must engage at n={n}");
+        let mut full = make();
+        full.set_predicate_target(0, target(t)).expect("set");
+        let res = full.result().expect("result");
+        assert_eq!(drag.displayed, res.pipeline.displayed, "drag diverges");
+        assert_eq!(drag.num_exact, res.pipeline.num_exact);
+    }
+    // timed: alternate contained drags (projection + cache stay warm)
+    let mut flip = 0usize;
+    let inc_s = time_per_call(min_reps.max(3), || {
+        flip += 1;
+        inc.drag_slider(0, target(targets[flip % 2])).expect("drag")
+    });
+    let mut full = make();
+    let mut flip = 0usize;
+    let full_s = time_per_call(min_reps, || {
+        flip += 1;
+        full.set_predicate_target(0, target(targets[flip % 2]))
+            .expect("set");
+    });
+    (inc_s, full_s)
 }
 
 /// Time `f` until it has run at least `min_reps` times *and* ~0.5 s has
@@ -118,7 +264,7 @@ fn rank_cmp(combined: &[Option<f64>], a: usize, b: usize) -> std::cmp::Ordering 
 fn bench_size(n: usize, smoke: bool) -> SizeResult {
     // the acceptance workload: one numeric predicate over a float ramp,
     // displaying 1% (so top-k selection replaces the full sort)
-    let db: Database = ramp_db(n);
+    let db: Arc<Database> = Arc::new(ramp_db(n));
     let table = db.table("T").expect("ramp table");
     let resolver = DistanceResolver::new();
     let q = QueryBuilder::from_tables(["T"])
@@ -172,6 +318,42 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
         idx
     });
 
+    // per-phase breakdown of one vectorized run (averaged over the reps)
+    let mut phases = PhaseTimings::default();
+    let phase_reps = min_reps.max(3);
+    for _ in 0..phase_reps {
+        let out = run_pipeline_opts(
+            &db,
+            table,
+            &resolver,
+            cond,
+            &policy,
+            PipelineOptions {
+                timings: Some(&mut phases),
+                ..Default::default()
+            },
+        )
+        .expect("timed vectorized");
+        std::hint::black_box(out);
+    }
+    let per_ms = |d: std::time::Duration| d.as_secs_f64() * 1e3 / phase_reps as f64;
+
+    // representation A/B: identical single-threaded workload, only the
+    // intermediate representation differs
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let t = n as f64 * 0.9;
+    let budget = (n / 100).max(1);
+    assert_eq!(
+        option_repr_pipeline(&xs, t, budget),
+        packed_repr_pipeline(&xs, t, budget),
+        "representation A/B must agree at n={n}"
+    );
+    let option_s = time_per_call(min_reps, || option_repr_pipeline(&xs, t, budget));
+    let packed_s = time_per_call(min_reps, || packed_repr_pipeline(&xs, t, budget));
+
+    // slider drag: incremental sorted-projection path vs full recompute
+    let (drag_inc_s, drag_full_s) = bench_slider(&db, n, min_reps);
+
     SizeResult {
         n,
         scalar_rows_per_sec: n as f64 / scalar_s,
@@ -184,6 +366,16 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
         full_sort_ms: full_sort_s * 1e3,
         topk_ms: topk_s * 1e3,
         topk_k: k,
+        phase_distance_ms: per_ms(phases.distance),
+        phase_fit_ms: per_ms(phases.fit),
+        phase_normalize_combine_ms: per_ms(phases.normalize_combine),
+        phase_rank_ms: per_ms(phases.rank),
+        option_repr_rows_per_sec: n as f64 / option_s,
+        packed_repr_rows_per_sec: n as f64 / packed_s,
+        packed_vs_option: option_s / packed_s,
+        drag_incremental_us: drag_inc_s * 1e6,
+        drag_full_us: drag_full_s * 1e6,
+        drag_speedup: drag_full_s / drag_inc_s,
     }
 }
 
@@ -213,6 +405,21 @@ fn main() {
             r.topk_k,
             r.topk_ms,
         );
+        println!(
+            "            phases: distance {:.3} ms | fit {:.3} ms | norm+combine {:.3} ms | \
+             rank {:.3} ms",
+            r.phase_distance_ms, r.phase_fit_ms, r.phase_normalize_combine_ms, r.phase_rank_ms,
+        );
+        println!(
+            "            packed-vs-Option: {:>12.0} vs {:>12.0} rows/s ({:.2}x) | \
+             slider drag: {:>9.1} us incremental vs {:>9.1} us full ({:.1}x)",
+            r.packed_repr_rows_per_sec,
+            r.option_repr_rows_per_sec,
+            r.packed_vs_option,
+            r.drag_incremental_us,
+            r.drag_full_us,
+            r.drag_speedup,
+        );
         results.push(r);
     }
 
@@ -233,7 +440,7 @@ fn main() {
              \"partitioned_rows_per_sec\": {:.0}, \"scoped_rows_per_sec\": {:.0}, \
              \"speedup\": {:.3}, \"partitioned_vs_vectorized\": {:.3}, \
              \"pooled_vs_scoped\": {:.3}, \
-             \"full_sort_ms\": {:.3}, \"topk_ms\": {:.3}, \"topk_k\": {}}}{}",
+             \"full_sort_ms\": {:.3}, \"topk_ms\": {:.3}, \"topk_k\": {},",
             r.n,
             r.scalar_rows_per_sec,
             r.vectorized_rows_per_sec,
@@ -245,6 +452,26 @@ fn main() {
             r.full_sort_ms,
             r.topk_ms,
             r.topk_k,
+        );
+        let _ = writeln!(
+            json,
+            "     \"phase_ms\": {{\"distance\": {:.3}, \"fit\": {:.3}, \
+             \"normalize_combine\": {:.3}, \"rank\": {:.3}}},",
+            r.phase_distance_ms, r.phase_fit_ms, r.phase_normalize_combine_ms, r.phase_rank_ms,
+        );
+        let _ = writeln!(
+            json,
+            "     \"option_repr_rows_per_sec\": {:.0}, \"packed_repr_rows_per_sec\": {:.0}, \
+             \"packed_vs_option\": {:.3},",
+            r.option_repr_rows_per_sec, r.packed_repr_rows_per_sec, r.packed_vs_option,
+        );
+        let _ = writeln!(
+            json,
+            "     \"drag_incremental_us\": {:.1}, \"drag_full_us\": {:.1}, \
+             \"drag_speedup\": {:.2}}}{}",
+            r.drag_incremental_us,
+            r.drag_full_us,
+            r.drag_speedup,
             if i + 1 < results.len() { "," } else { "" },
         );
     }
@@ -275,6 +502,26 @@ fn main() {
                 "acceptance: vectorized must not regress vs scalar at n={} (got {:.2}x)",
                 big.n,
                 big.speedup
+            );
+            // The two stable representation gates: both compare the same
+            // algorithm with only the data layout / access path changed,
+            // so the ratios are far less noise-prone than end-to-end
+            // wall clock on a contended box.
+            assert!(
+                big.packed_vs_option >= 1.3,
+                "acceptance: packed frames must be >= 1.3x the Option \
+                 representation at n={} (got {:.2}x)",
+                big.n,
+                big.packed_vs_option
+            );
+            assert!(
+                big.drag_speedup >= 5.0,
+                "acceptance: the incremental sorted-projection slider drag must be \
+                 >= 5x a full recompute at n={} (got {:.2}x: {:.1} us vs {:.1} us)",
+                big.n,
+                big.drag_speedup,
+                big.drag_incremental_us,
+                big.drag_full_us
             );
         }
     }

@@ -72,8 +72,6 @@ pub fn render_session(session: &mut Session, opts: &RenderOptions) -> Result<Fra
         let colors = move |item: u32| -> Option<Rgb> {
             normalized
                 .get(item as usize)
-                .copied()
-                .flatten()
                 .and_then(|d| map.color_for_distance(d).ok())
         };
         frames.push(render_item_window(
@@ -91,7 +89,7 @@ pub fn render_session(session: &mut Session, opts: &RenderOptions) -> Result<Fra
         let width = res.grid.width() * ppi.side();
         frames.push(render_spectrum(&res.pipeline.combined, map, width, 8));
         for win in &res.pipeline.windows {
-            frames.push(render_spectrum(&win.normalized, map, width, 8));
+            frames.push(render_spectrum(&win.normalized.to_options(), map, width, 8));
         }
     }
 

@@ -11,14 +11,18 @@ use std::sync::Arc;
 
 use visdb_arrange::{arrange_overall, ItemGrid, PixelsPerItem};
 use visdb_color::{Colormap, ColormapKind};
-use visdb_distance::registry::DistanceResolver;
-use visdb_query::ast::{ConditionNode, PredicateTarget, Query, Weighted};
+use visdb_distance::registry::{ColumnDistance, DistanceResolver};
+use visdb_index::{IncrementalCache, SortedProjection};
+use visdb_query::ast::{CompareOp, ConditionNode, PredicateTarget, Query, Weighted};
 use visdb_query::connection::ConnectionRegistry;
 use visdb_query::parser::parse_query;
 use visdb_query::validate::validate;
 use visdb_relevance::cache::{PipelineCache, WindowSource};
+use visdb_relevance::eval::{EvalContext, ExecMode};
+use visdb_relevance::normalize::{fit_k, NormParams};
 use visdb_relevance::pipeline::{
-    run_pipeline, run_pipeline_opts, DisplayPolicy, PipelineOptions, PipelineOutput, SharedWindows,
+    display_count, run_pipeline, run_pipeline_opts, DisplayPolicy, PipelineOptions, PipelineOutput,
+    SharedWindows,
 };
 use visdb_storage::{Database, Row, Table};
 use visdb_types::{Error, Result, Value};
@@ -35,6 +39,43 @@ pub struct SessionResult {
     pub pipeline: PipelineOutput,
     /// The spiral arrangement of the displayed items.
     pub grid: ItemGrid,
+}
+
+/// The interactive answer of one slider drag ([`Session::drag_slider`]):
+/// everything the §4.3 panel shows after a bound modification, without
+/// the full O(n) pipeline artifacts (those are recomputed lazily by the
+/// next [`Session::result`] call).
+#[derive(Debug, Clone)]
+pub struct SliderDrag {
+    /// The items the display policy selects, in relevance order —
+    /// bit-identical to `PipelineOutput::displayed` of a full recompute.
+    pub displayed: Vec<usize>,
+    /// Exact answers (combined distance 0) of the modified query.
+    pub num_exact: usize,
+    /// The dragged window's fitted normalization.
+    pub norm_params: Option<NormParams>,
+    /// Spiral arrangement of the displayed items.
+    pub grid: ItemGrid,
+    /// True when the sorted-projection fast path served the drag
+    /// (O(log n + k) work); false means a full pipeline recompute ran.
+    pub incremental: bool,
+    /// Hit/miss counters of the §6 incremental range cache backing the
+    /// fast path (None on the full-recompute fallback).
+    pub index_stats: Option<visdb_index::CacheStats>,
+}
+
+/// The per-session sorted-projection slider index: one column's sorted
+/// permutation behind the §6 incremental range cache. Rebuilt when the
+/// dragged column (or the base relation) changes — at most **one**
+/// projection is retained per session (~20 bytes/row: coords + perm +
+/// sorted values), dropped with the session on eviction. Sharing one
+/// projection per (dataset generation, column) across sessions — like
+/// the window cache shares windows — is the noted follow-up.
+struct SliderIndex {
+    table: String,
+    rows: usize,
+    column: String,
+    cache: IncrementalCache<SortedProjection>,
 }
 
 /// A drill-down view of one query part (§4.4: double-clicking a boolean
@@ -79,6 +120,8 @@ pub struct Session {
     /// Horizontal partitions per pipeline run (0/1 = unpartitioned).
     /// A pure scheduling knob: outputs are bit-identical either way.
     partitions: usize,
+    /// Sorted-projection slider index (see [`Session::drag_slider`]).
+    slider_index: Option<SliderIndex>,
 }
 
 impl Session {
@@ -106,6 +149,7 @@ impl Session {
             pipeline_cache: PipelineCache::new(),
             shared_windows: None,
             partitions: 0,
+            slider_index: None,
         }
     }
 
@@ -378,6 +422,329 @@ impl Session {
         self.maybe_recalculate()
     }
 
+    /// A slider drag (§4.3 / §6): replace the target of the `idx`-th
+    /// top-level predicate like [`Session::set_predicate_target`], but
+    /// answer the *interactive* questions — which items display, how
+    /// many exact answers, the window's normalization — through the
+    /// sorted-projection fast path whenever the query shape allows:
+    /// a single-table, single-window monotone numeric comparison under a
+    /// top-k display policy. On that path the fit is O(log n) position
+    /// arithmetic on the column's cached sorted permutation, the
+    /// exact-answer set comes from the §6 [`IncrementalCache`] (a
+    /// *contained* bound modification re-filters the cached candidate
+    /// band — only the delta between the old and new bound is examined),
+    /// and only O(k) candidate rows are touched — no O(n) pass at all.
+    ///
+    /// The returned [`SliderDrag`] is **bit-identical** (displayed set,
+    /// exact count, norm params) to what a full recompute would produce
+    /// (property-tested in `tests/properties.rs`); the full
+    /// [`SessionResult`] artifacts are recomputed lazily on the next
+    /// [`Session::result`] call. Queries outside the fast path's shape
+    /// fall back to a full recompute of identical output.
+    pub fn drag_slider(&mut self, idx: usize, target: PredicateTarget) -> Result<SliderDrag> {
+        {
+            let query = self
+                .query
+                .as_mut()
+                .ok_or_else(|| Error::invalid_query("no query installed"))?;
+            let w = Self::top_level_mut(query, idx)?;
+            match &mut w.node {
+                ConditionNode::Predicate(p) => p.target = target,
+                _ => {
+                    return Err(Error::invalid_query(format!(
+                        "window {idx} is not a simple predicate"
+                    )))
+                }
+            }
+        }
+        let q = self.query.clone().expect("query present");
+        validate(&self.db, &q)?;
+        self.invalidate();
+        if let Some(drag) = self.try_incremental_drag()? {
+            return Ok(drag);
+        }
+        self.recalculate()?;
+        let res = self.result.as_ref().expect("just recalculated");
+        Ok(SliderDrag {
+            displayed: res.pipeline.displayed.clone(),
+            num_exact: res.pipeline.num_exact,
+            norm_params: res.pipeline.windows.get(idx).map(|w| w.norm_params),
+            grid: res.grid.clone(),
+            incremental: false,
+            index_stats: None,
+        })
+    }
+
+    /// Cumulative hit/miss counters of the slider fast path's §6
+    /// incremental range cache (None before any incremental drag).
+    pub fn slider_index_stats(&self) -> Option<visdb_index::CacheStats> {
+        self.slider_index.as_ref().map(|si| si.cache.stats())
+    }
+
+    /// The sorted-projection fast path of [`Session::drag_slider`].
+    /// Returns `Ok(None)` whenever the query, policy, column or data
+    /// shape puts bit-exactness in doubt — the caller then runs the full
+    /// pipeline instead.
+    fn try_incremental_drag(&mut self) -> Result<Option<SliderDrag>> {
+        let Some(query) = &self.query else {
+            return Ok(None);
+        };
+        if query.tables.len() != 1 {
+            return Ok(None);
+        }
+        let Some(cond) = &query.condition else {
+            return Ok(None);
+        };
+        // exactly one top-level window, a bare predicate at the root
+        let ConditionNode::Predicate(pred) = &cond.node else {
+            return Ok(None);
+        };
+        let weight = cond.weight;
+        // monotone numeric comparison with a finite threshold
+        let (greater, t) = match &pred.target {
+            PredicateTarget::Compare { op, value } => match (op, value.as_f64()) {
+                (CompareOp::Gt | CompareOp::Ge, Some(t)) if t.is_finite() => (true, t),
+                (CompareOp::Lt | CompareOp::Le, Some(t)) if t.is_finite() => (false, t),
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        // the pipeline rejects out-of-range percentages; leave that to it
+        if let DisplayPolicy::Percentage(p) | DisplayPolicy::TwoSidedPercentage(p) = &self.policy {
+            if !(0.0..=100.0).contains(p) || *p <= 0.0 {
+                return Ok(None);
+            }
+        }
+        let table = self.db.table(&query.tables[0])?;
+        let n = table.len();
+        // resolve the column and its distance behaviour through the
+        // evaluator's own logic — the fast path must see exactly the
+        // column and semantics the pipeline would, so the resolution
+        // rules live in one place (`EvalContext`), not two
+        let ctx = EvalContext {
+            db: &self.db,
+            table,
+            resolver: &self.resolver,
+            display_budget: self.policy.budget(n),
+            mode: ExecMode::Vectorized,
+            partitions: None,
+        };
+        let Ok((col, dt, class, col_name)) = ctx.column(&pred.attr) else {
+            return Ok(None);
+        };
+        // require plain numeric distance semantics (overrides change the
+        // arithmetic)
+        if !matches!(
+            ctx.distance_for(&pred.attr, dt, class),
+            ColumnDistance::Numeric
+        ) {
+            return Ok(None);
+        }
+        // build (or reuse) the sorted projection for this column
+        let reusable = matches!(
+            &self.slider_index,
+            Some(si) if si.table == table.name() && si.rows == n && si.column == col_name
+        );
+        if !reusable {
+            let proj = SortedProjection::build(n, |i| col.get_f64(i));
+            self.slider_index = Some(SliderIndex {
+                table: table.name().to_string(),
+                rows: n,
+                column: col_name,
+                cache: IncrementalCache::new(proj, 0.25),
+            });
+        }
+        let si = self.slider_index.as_mut().expect("ensured above");
+        let proj = si.cache.index();
+        if !proj.is_fully_finite() {
+            // ±inf values make non-finite distances; the position
+            // arithmetic cannot reproduce their normalization bit-exactly
+            return Ok(None);
+        }
+        let m = proj.defined();
+        let Some(k) = display_count(&self.policy, n, m, 1) else {
+            return Ok(None);
+        };
+        let budget = self.policy.budget(n);
+        let empty_drag = |grid_w: usize, grid_h: usize| SliderDrag {
+            displayed: Vec::new(),
+            num_exact: 0,
+            norm_params: Some(NormParams {
+                dmin: 0.0,
+                dmax: 0.0,
+            }),
+            grid: arrange_overall(&[], grid_w, grid_h),
+            incremental: true,
+            index_stats: None,
+        };
+        if m == 0 {
+            // nothing defined: the pipeline displays nothing and fits a
+            // degenerate normalization
+            let mut d = empty_drag(self.window_w, self.window_h);
+            d.index_stats = Some(si.cache.stats());
+            return Ok(Some(d));
+        }
+
+        // --- O(log n) position arithmetic on the sorted projection ----
+        // exact answers occupy a contiguous band of sorted positions
+        let (e, zero_from, zero_to) = if greater {
+            let p = proj.position_ge(t);
+            (m - p, p, m)
+        } else {
+            let q = proj.position_gt(t);
+            (q, 0, q)
+        };
+        let nonzero = m - e;
+        // |d| of sorted position j (only valid outside the zero band);
+        // uses the identical float ops as the distance kernels: for
+        // x < t, |x - t| == t - x exactly (rounding is sign-symmetric)
+        let abs_at = |proj: &SortedProjection, j: usize| {
+            if greater {
+                t - proj.value_at(j)
+            } else {
+                proj.value_at(j) - t
+            }
+        };
+        let max_abs = if nonzero == 0 {
+            0.0
+        } else if greater {
+            abs_at(proj, 0)
+        } else {
+            abs_at(proj, m - 1)
+        };
+        if !max_abs.is_finite() {
+            // finite column values can still overflow to an infinite
+            // distance (`t - x`); the pipeline's fit filters non-finite
+            // distances out of the transform range, which the position
+            // arithmetic cannot reproduce — fall back
+            return Ok(None);
+        }
+        // the §5.2 weight-proportional fit, by position instead of
+        // selection: the k-th smallest |d| is a binary-searchable cut
+        let dmax = match fit_k(n, weight, budget) {
+            None => max_abs,
+            Some(kf) => {
+                let kf = kf.min(m);
+                if kf == m {
+                    max_abs
+                } else {
+                    let need = kf.saturating_sub(e);
+                    if need == 0 {
+                        0.0
+                    } else if greater {
+                        abs_at(proj, zero_from - need)
+                    } else {
+                        abs_at(proj, zero_to + need - 1)
+                    }
+                }
+            }
+        };
+        let params1 = NormParams { dmin: 0.0, dmax };
+        if nonzero > 0 && dmax > 0.0 {
+            // decline when the magnitude spread risks `apply` underflowing
+            // a nonzero distance to exactly 0 (it would miscount exacts)
+            let min_pos = if greater {
+                abs_at(proj, zero_from - 1)
+            } else {
+                abs_at(proj, zero_to)
+            };
+            if min_pos < dmax * 1e-300 {
+                return Ok(None);
+            }
+        }
+        // final combined distance = the pipeline's two-stage transform:
+        // window normalization, then `normalize_combined` (skipped when
+        // every defined item is exact, exactly like the pipeline)
+        let params2 = NormParams {
+            dmin: 0.0,
+            dmax: params1.apply(max_abs),
+        };
+        let combined_of = |d_abs: f64| {
+            let c1 = params1.apply(d_abs);
+            if nonzero == 0 {
+                c1
+            } else {
+                params2.apply(c1)
+            }
+        };
+
+        // --- display selection: contiguous candidate bands -------------
+        // Work bounds that keep the drag sublinear: the exact side may
+        // gather a few multiples of the display count (it arrives
+        // pre-sorted from the cache), the tie-class band a tighter one
+        // (it must be sorted here).
+        let band_limit = (4 * k).max(1024);
+        let exact_limit = (16 * k).max(4096);
+        if e > exact_limit {
+            return Ok(None);
+        }
+        let value_box = if greater {
+            (t, proj.value_at(m - 1))
+        } else {
+            (proj.value_at(0), t)
+        };
+        let exact_rows: Vec<usize> = if e == 0 {
+            Vec::new()
+        } else {
+            // the §6 incremental cache answers the value interval of the
+            // bound; a contained drag filters the cached candidate band
+            let rows = si.cache.range_query(&[value_box.0], &[value_box.1])?;
+            debug_assert_eq!(rows.len(), e);
+            rows
+        };
+        let proj = si.cache.index();
+        let displayed = if k <= e {
+            // ranks within the zero class tie-break by row id, and the
+            // cache returns rows sorted by id
+            exact_rows[..k].to_vec()
+        } else {
+            let needed = k - e;
+            // the `needed` closest non-exact items, extended to the whole
+            // equal-combined boundary class (ties there break by row id
+            // against rows *outside* the positional band)
+            let boundary = combined_of(abs_at(
+                proj,
+                if greater {
+                    zero_from - needed
+                } else {
+                    zero_to + needed - 1
+                },
+            ));
+            let (band_lo, band_hi) = if greater {
+                // combined is non-increasing in j on [0, zero_from)
+                (
+                    partition_pos(0, zero_from, |j| combined_of(abs_at(proj, j)) > boundary),
+                    zero_from,
+                )
+            } else {
+                // combined is non-decreasing in j on [zero_to, m)
+                (
+                    zero_to,
+                    partition_pos(zero_to, m, |j| combined_of(abs_at(proj, j)) <= boundary),
+                )
+            };
+            if band_hi - band_lo > band_limit {
+                return Ok(None);
+            }
+            let mut cand: Vec<(f64, usize)> = (band_lo..band_hi)
+                .map(|j| (combined_of(abs_at(proj, j)), proj.row_at(j)))
+                .collect();
+            cand.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut out = exact_rows;
+            out.extend(cand.into_iter().take(needed).map(|(_, row)| row));
+            out
+        };
+        let grid = arrange_overall(&displayed, self.window_w, self.window_h);
+        Ok(Some(SliderDrag {
+            displayed,
+            num_exact: e,
+            norm_params: Some(params1),
+            grid,
+            incremental: true,
+            index_stats: Some(si.cache.stats()),
+        }))
+    }
+
     /// Set the weighting factor of the `idx`-th top-level window.
     pub fn set_weight(&mut self, idx: usize, weight: f64) -> Result<()> {
         if !weight.is_finite() || weight < 0.0 {
@@ -472,7 +839,7 @@ impl Session {
             .displayed
             .iter()
             .copied()
-            .filter(|&i| matches!(win.normalized[i], Some(d) if d >= lo && d <= hi))
+            .filter(|&i| matches!(win.normalized.get(i), Some(d) if d >= lo && d <= hi))
             .collect();
         self.color_range = Some((window_idx, lo, hi));
         Ok(items)
@@ -510,7 +877,7 @@ impl Session {
             .pipeline
             .displayed
             .iter()
-            .filter_map(|&i| match (wx.raw[i], wy.raw[i]) {
+            .filter_map(|&i| match (wx.raw.get(i), wy.raw.get(i)) {
                 (Some(dx), Some(dy)) => Some(visdb_arrange::grouped2d::Item2D { item: i, dx, dy }),
                 _ => None,
             })
@@ -584,7 +951,7 @@ impl Session {
             let mut s = SliderModel {
                 label: win.label.clone(),
                 weight: win.weight,
-                num_results: win.raw.iter().filter(|d| **d == Some(0.0)).count(),
+                num_results: win.raw.iter().filter(|d| *d == Some(0.0)).count(),
                 ..Default::default()
             };
             if let Some(ConditionNode::Predicate(p)) = node {
@@ -630,7 +997,7 @@ impl Session {
                             let mut vlo = f64::INFINITY;
                             let mut vhi = f64::NEG_INFINITY;
                             for &item in &res.pipeline.displayed {
-                                if let Some(d) = win.normalized[item] {
+                                if let Some(d) = win.normalized.get(item) {
                                     if d >= clo && d <= chi {
                                         if let Some(v) = col.get_f64(item) {
                                             vlo = vlo.min(v);
@@ -672,6 +1039,22 @@ impl Session {
 /// Convenience for examples: a value as `f64` or NaN.
 pub fn value_as_f64(v: &Value) -> f64 {
     v.as_f64().unwrap_or(f64::NAN)
+}
+
+/// First index in `[lo, hi)` where the monotone predicate flips to
+/// false (`pred` must be true on a prefix). The slider fast path's
+/// binary search over sorted-projection positions.
+fn partition_pos(lo: usize, hi: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut a, mut b) = (lo, hi);
+    while a < b {
+        let mid = a + (b - a) / 2;
+        if pred(mid) {
+            a = mid + 1;
+        } else {
+            b = mid;
+        }
+    }
+    a
 }
 
 #[cfg(test)]
@@ -958,6 +1341,218 @@ mod tests {
         )
         .unwrap();
         assert!(s.arrange_2d(0, 1).is_err());
+    }
+
+    /// Drag via the fast path and via a full recompute on a *fresh*
+    /// session; the interactive answers must be bit-identical.
+    fn assert_drag_matches_full(
+        make: impl Fn() -> Session,
+        targets: &[PredicateTarget],
+        expect_incremental: bool,
+    ) {
+        let mut fast = make();
+        for target in targets {
+            let drag = fast.drag_slider(0, target.clone()).unwrap();
+            assert_eq!(
+                drag.incremental, expect_incremental,
+                "fast-path engagement for {target:?}"
+            );
+            let mut full = make();
+            full.set_predicate_target(0, target.clone()).unwrap();
+            let res = full.result().unwrap();
+            assert_eq!(drag.displayed, res.pipeline.displayed, "{target:?}");
+            assert_eq!(drag.num_exact, res.pipeline.num_exact, "{target:?}");
+            assert_eq!(
+                drag.norm_params,
+                res.pipeline.windows.first().map(|w| w.norm_params),
+                "{target:?}"
+            );
+            assert_eq!(drag.grid, res.grid, "{target:?}");
+            // and the dragged session's own lazy full recompute agrees
+            let lazy = fast.result().unwrap();
+            assert_eq!(drag.displayed, lazy.pipeline.displayed);
+        }
+    }
+
+    fn ge(t: f64) -> PredicateTarget {
+        PredicateTarget::Compare {
+            op: CompareOp::Ge,
+            value: Value::Float(t),
+        }
+    }
+
+    fn lt(t: f64) -> PredicateTarget {
+        PredicateTarget::Compare {
+            op: CompareOp::Lt,
+            value: Value::Float(t),
+        }
+    }
+
+    #[test]
+    fn drag_slider_matches_full_recompute_bit_for_bit() {
+        let make = || {
+            let mut s = session_with_ramp(500);
+            s.set_display_policy(DisplayPolicy::Percentage(10.0))
+                .unwrap();
+            s.set_query(
+                QueryBuilder::from_tables(["T"])
+                    .cmp("x", CompareOp::Ge, 450.0)
+                    .build(),
+            )
+            .unwrap();
+            s
+        };
+        assert_drag_matches_full(
+            make,
+            &[
+                ge(430.0),
+                ge(470.0),
+                ge(499.0),
+                ge(600.0),
+                ge(-5.0),
+                lt(100.0),
+                lt(0.5),
+            ],
+            true,
+        );
+    }
+
+    #[test]
+    fn drag_slider_handles_nulls_nans_and_duplicates() {
+        let make = || {
+            let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+            for i in 0..400 {
+                let v = match i % 9 {
+                    0 => Value::Null,
+                    1 => Value::Float(f64::NAN),
+                    2 | 3 => Value::Float((i / 9) as f64), // duplicates
+                    _ => Value::Float(((i * 37) % 211) as f64),
+                };
+                b = b.row(vec![v]).unwrap();
+            }
+            let mut db = Database::new("d");
+            db.add_table(b.build());
+            let mut s = Session::new(Arc::new(db), ConnectionRegistry::new());
+            s.set_display_policy(DisplayPolicy::FitScreen {
+                pixels: 300,
+                pixels_per_item: 1,
+            })
+            .unwrap();
+            s.set_query(
+                QueryBuilder::from_tables(["T"])
+                    .cmp("x", CompareOp::Ge, 100.0)
+                    .build(),
+            )
+            .unwrap();
+            s
+        };
+        assert_drag_matches_full(make, &[ge(90.0), ge(120.0), ge(120.0), lt(40.0)], true);
+    }
+
+    #[test]
+    fn drag_slider_contained_nudges_hit_the_incremental_cache() {
+        let mut s = session_with_ramp(2000);
+        s.set_display_policy(DisplayPolicy::Percentage(2.0))
+            .unwrap();
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 1500.0)
+                .build(),
+        )
+        .unwrap();
+        let d0 = s.drag_slider(0, ge(1500.0)).unwrap();
+        assert!(d0.incremental);
+        // tightening drags stay inside the cached candidate band: every
+        // one is a hit that only re-filters the delta
+        for t in [1510.0, 1525.0, 1550.0, 1580.0] {
+            let d = s.drag_slider(0, ge(t)).unwrap();
+            assert!(d.incremental);
+            assert_eq!(d.num_exact, 2000 - t as usize);
+        }
+        let stats = s.slider_index_stats().unwrap();
+        assert_eq!(stats.misses, 1, "only the first drag retrieves");
+        assert_eq!(stats.hits, 4, "contained nudges filter the cached band");
+    }
+
+    #[test]
+    fn drag_slider_declines_on_distance_overflow() {
+        // finite column values whose distance overflows to +inf: the
+        // pipeline's fit filters non-finite distances, so the fast path
+        // must fall back rather than fit an infinite range
+        let make = || {
+            let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+            for v in [1e308, -1e308, 0.0, 5.0] {
+                b = b.row(vec![Value::Float(v)]).unwrap();
+            }
+            let mut db = Database::new("d");
+            db.add_table(b.build());
+            let mut s = Session::new(Arc::new(db), ConnectionRegistry::new());
+            s.set_display_policy(DisplayPolicy::Percentage(100.0))
+                .unwrap();
+            s.set_query(
+                QueryBuilder::from_tables(["T"])
+                    .cmp("x", CompareOp::Ge, 0.0)
+                    .build(),
+            )
+            .unwrap();
+            s
+        };
+        assert_drag_matches_full(make, &[ge(1e308)], false);
+    }
+
+    #[test]
+    fn drag_slider_falls_back_outside_the_fast_path() {
+        // two predicates: the combined distance mixes windows, so the
+        // fast path declines and a full recompute serves the drag
+        let make = || {
+            let mut s = session_with_ramp(300);
+            s.set_query(
+                QueryBuilder::from_tables(["T"])
+                    .cmp("x", CompareOp::Ge, 200.0)
+                    .cmp("x", CompareOp::Lt, 280.0)
+                    .build(),
+            )
+            .unwrap();
+            s
+        };
+        assert_drag_matches_full(make, &[ge(150.0)], false);
+        // equality predicates are not monotone: fallback, still correct
+        let make_eq = || {
+            let mut s = session_with_ramp(300);
+            s.set_query(
+                QueryBuilder::from_tables(["T"])
+                    .cmp("x", CompareOp::Eq, 100.0)
+                    .build(),
+            )
+            .unwrap();
+            s
+        };
+        assert_drag_matches_full(
+            make_eq,
+            &[PredicateTarget::Compare {
+                op: CompareOp::Eq,
+                value: Value::Float(120.0),
+            }],
+            false,
+        );
+        // gap-heuristic selection is not a plain top-k: fallback
+        let make_gap = || {
+            let mut s = session_with_ramp(300);
+            s.set_display_policy(DisplayPolicy::GapHeuristic {
+                rmin: 5,
+                rmax: 50,
+                z: 3,
+            })
+            .unwrap();
+            s.set_query(
+                QueryBuilder::from_tables(["T"])
+                    .cmp("x", CompareOp::Ge, 250.0)
+                    .build(),
+            )
+            .unwrap();
+            s
+        };
+        assert_drag_matches_full(make_gap, &[ge(240.0)], false);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! identical** to the per-tuple path by construction (the relevance layer
 //! property-tests this end to end).
 
+use crate::frame::FrameStats;
 use crate::numeric;
 
 /// A native numeric element the kernels can iterate directly.
@@ -131,9 +132,93 @@ pub fn run<T: NativeNumeric>(
     }
 }
 
+/// The packed-frame sibling of [`fill`]: write values and validity into
+/// the two SoA buffers of a `DistanceFrame` chunk and accumulate the
+/// per-predicate reduction stats in the same walk. Undefined rows get a
+/// canonical `0.0` value and a cleared mask bit.
+#[inline]
+fn fill_frame<T: NativeNumeric>(
+    xs: &[T],
+    validity: Option<&[bool]>,
+    vals: &mut [f64],
+    mask: &mut [bool],
+    f: impl Fn(f64) -> Option<f64>,
+) -> FrameStats {
+    debug_assert_eq!(xs.len(), vals.len());
+    debug_assert_eq!(xs.len(), mask.len());
+    let mut stats = FrameStats::default();
+    let mut write = |v: &mut f64, m: &mut bool, d: Option<f64>| match d {
+        Some(d) => {
+            *v = d;
+            *m = true;
+            stats.record(d);
+        }
+        None => {
+            *v = 0.0;
+            *m = false;
+        }
+    };
+    match validity {
+        None => {
+            for ((v, m), &x) in vals.iter_mut().zip(mask.iter_mut()).zip(xs) {
+                write(v, m, f(x.to_f64()));
+            }
+        }
+        Some(in_mask) => {
+            debug_assert_eq!(in_mask.len(), vals.len());
+            for (((v, m), &x), &valid) in vals.iter_mut().zip(mask.iter_mut()).zip(xs).zip(in_mask)
+            {
+                write(v, m, if valid { f(x.to_f64()) } else { None });
+            }
+        }
+    }
+    stats
+}
+
+/// [`run`] over a packed `DistanceFrame` chunk: one pass writes the
+/// 8-byte value buffer, the byte validity mask **and** the reduction
+/// stats the normalization fit needs — the distance pass, the stats
+/// pass and the `Option` re-collect of the old representation, fused.
+/// The per-element arithmetic still delegates to [`crate::numeric`], so
+/// results stay bit-identical to the per-tuple path.
+pub fn run_frame<T: NativeNumeric>(
+    xs: &[T],
+    validity: Option<&[bool]>,
+    kernel: NumericKernel,
+    vals: &mut [f64],
+    mask: &mut [bool],
+) -> FrameStats {
+    match kernel {
+        NumericKernel::Compare(_, None) => {
+            vals.fill(0.0);
+            mask.fill(false);
+            FrameStats::default()
+        }
+        NumericKernel::Compare(CompareKernel::Greater, Some(t)) => {
+            fill_frame(xs, validity, vals, mask, |x| numeric::greater_than(x, t))
+        }
+        NumericKernel::Compare(CompareKernel::Less, Some(t)) => {
+            fill_frame(xs, validity, vals, mask, |x| numeric::less_than(x, t))
+        }
+        NumericKernel::Compare(CompareKernel::Equal, Some(t)) => {
+            fill_frame(xs, validity, vals, mask, |x| numeric::equal_to(x, t))
+        }
+        NumericKernel::Compare(CompareKernel::NotEqual, Some(t)) => {
+            fill_frame(xs, validity, vals, mask, |x| numeric::not_equal_to(x, t))
+        }
+        NumericKernel::InRange(low, high) => fill_frame(xs, validity, vals, mask, |x| {
+            numeric::in_range(x, low, high)
+        }),
+        NumericKernel::Around(center, deviation) => fill_frame(xs, validity, vals, mask, |x| {
+            numeric::around(x, center, deviation)
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::DistanceFrame;
 
     fn run_f64(xs: &[f64], validity: Option<&[bool]>, k: NumericKernel) -> Vec<Option<f64>> {
         let mut out = vec![Some(f64::NAN); xs.len()];
@@ -196,5 +281,40 @@ mod tests {
         let mut out = vec![None; 3];
         run(&xs, None, NumericKernel::Around(10.0, 2.0), &mut out);
         assert_eq!(out, vec![Some(-1.5), Some(0.0), Some(1.0)]);
+    }
+
+    #[test]
+    fn frame_kernels_match_option_kernels_and_fuse_stats() {
+        let xs = [10.0, 15.0, 20.0, f64::NAN, -3.0];
+        let mask = [true, true, false, true, true];
+        for kernel in [
+            NumericKernel::Compare(CompareKernel::Greater, Some(14.0)),
+            NumericKernel::Compare(CompareKernel::Less, Some(14.0)),
+            NumericKernel::Compare(CompareKernel::Equal, Some(14.0)),
+            NumericKernel::Compare(CompareKernel::NotEqual, Some(14.0)),
+            NumericKernel::Compare(CompareKernel::Equal, None),
+            NumericKernel::InRange(8.0, 12.0),
+            NumericKernel::Around(10.0, 2.0),
+        ] {
+            for validity in [None, Some(&mask[..])] {
+                let mut opts = vec![Some(f64::NAN); xs.len()];
+                run(&xs, validity, kernel, &mut opts);
+                let mut frame = DistanceFrame::undefined(xs.len());
+                let (vals, valid) = frame.parts_mut();
+                let stats = run_frame(&xs, validity, kernel, vals, valid);
+                assert_eq!(frame, DistanceFrame::from_options(&opts), "{kernel:?}");
+                assert_eq!(stats.defined, opts.iter().flatten().count());
+                let finite: Vec<f64> = opts
+                    .iter()
+                    .flatten()
+                    .map(|d| d.abs())
+                    .filter(|d| d.is_finite())
+                    .collect();
+                let expect_max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let expect_min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+                assert_eq!(stats.max_abs, expect_max, "{kernel:?}");
+                assert_eq!(stats.min_abs, expect_min, "{kernel:?}");
+            }
+        }
     }
 }

@@ -22,6 +22,7 @@
 //!   displayable".
 
 pub mod batch;
+pub mod frame;
 pub mod geo;
 pub mod matrix;
 pub mod numeric;
@@ -29,6 +30,7 @@ pub mod registry;
 pub mod string;
 pub mod time;
 
+pub use frame::{Bitmap, DistanceFrame, FrameStats};
 pub use matrix::DistanceMatrix;
 pub use registry::{ColumnDistance, DistanceResolver};
 pub use string::StringDistance;

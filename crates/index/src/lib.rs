@@ -14,16 +14,21 @@
 //!   "retrieve more data than necessary in the beginning and ... retrieve
 //!   only the additional portion of the data that is needed for a
 //!   slightly modified query later on."
+//! * [`projection`] — per-column sorted permutations: O(log n) position
+//!   arithmetic for monotone single-column predicates, and the 1-D
+//!   [`RangeIndex`] the incremental cache serves slider drags from.
 
 pub mod gridfile;
 pub mod incremental;
 pub mod kdtree;
 pub mod linear;
+pub mod projection;
 
 pub use gridfile::GridFile;
-pub use incremental::{CacheStats, IncrementalCache};
+pub use incremental::{CacheStats, IncrementalCache, PointAccess};
 pub use kdtree::KdTree;
 pub use linear::LinearScan;
+pub use projection::SortedProjection;
 
 use visdb_types::Result;
 

@@ -1,0 +1,228 @@
+//! Sorted projections: a per-column sorted permutation that turns the
+//! pipeline's monotone single-column work into binary searches.
+//!
+//! For a monotone numeric predicate (`x >= t`, `x <= t` and friends) the
+//! absolute distance `|d(x, t)|` is monotone in the column value, so
+//! everything the §5 pipeline derives from the distance *distribution* —
+//! the weight-proportional normalization fit (k-th smallest `|d|`),
+//! quantile cuts, the exact-answer count, the top-k display band —
+//! becomes O(log n) position arithmetic on a sorted projection instead
+//! of O(n) selection passes. The projection is also a 1-D
+//! [`RangeIndex`] + [`PointAccess`], so it plugs straight into the §6
+//! [`crate::IncrementalCache`]: a slider drag queries the value interval
+//! of its bound, and a *contained* modification is answered from the
+//! cached candidate band — only the delta between the old and new bound
+//! is re-examined, not the base relation.
+
+use visdb_types::Result;
+
+use crate::incremental::PointAccess;
+use crate::{check_box, RangeIndex};
+
+/// A sorted permutation of one numeric column.
+///
+/// Rows whose value is NULL or NaN (both evaluate to *undefined*
+/// distances under every monotone predicate) are excluded from the
+/// permutation; `±inf` values are kept (they have defined, if
+/// non-finite, distances) but flagged so exactness-sensitive fast paths
+/// can decline.
+#[derive(Debug, Clone)]
+pub struct SortedProjection {
+    /// Total rows of the relation, including excluded ones.
+    rows: usize,
+    /// Per-row coordinate for [`PointAccess`]; NaN for excluded rows (a
+    /// NaN coordinate matches no query box).
+    coords: Vec<f64>,
+    /// Row ids sorted ascending by `(value, row)`.
+    perm: Vec<u32>,
+    /// `sorted[j]` = value of row `perm[j]`.
+    sorted: Vec<f64>,
+    /// Every projected value is finite.
+    finite: bool,
+}
+
+impl SortedProjection {
+    /// Build from a row accessor (`None` = NULL). O(n log n) once per
+    /// (dataset generation, column); every drag afterwards is
+    /// logarithmic.
+    pub fn build(rows: usize, get: impl Fn(usize) -> Option<f64>) -> Self {
+        assert!(u32::try_from(rows).is_ok(), "projection rows exceed u32");
+        let mut coords = vec![f64::NAN; rows];
+        let mut perm: Vec<u32> = Vec::with_capacity(rows);
+        let mut finite = true;
+        for (i, coord) in coords.iter_mut().enumerate() {
+            if let Some(v) = get(i) {
+                if !v.is_nan() {
+                    *coord = v;
+                    perm.push(i as u32);
+                    finite &= v.is_finite();
+                }
+            }
+        }
+        perm.sort_unstable_by(|&a, &b| {
+            coords[a as usize]
+                .total_cmp(&coords[b as usize])
+                .then(a.cmp(&b))
+        });
+        let sorted: Vec<f64> = perm.iter().map(|&i| coords[i as usize]).collect();
+        SortedProjection {
+            rows,
+            coords,
+            perm,
+            sorted,
+            finite,
+        }
+    }
+
+    /// Total rows of the underlying relation.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Rows with a defined (non-NULL, non-NaN) value — exactly the rows
+    /// a monotone predicate gives a defined distance.
+    pub fn defined(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// True when every projected value is finite (the gate for the
+    /// bit-exact slider fast path: `±inf` values produce non-finite
+    /// distances whose normalization the position arithmetic cannot
+    /// reproduce).
+    pub fn is_fully_finite(&self) -> bool {
+        self.finite
+    }
+
+    /// First position whose value is `>= t` (count of values `< t`).
+    pub fn position_ge(&self, t: f64) -> usize {
+        self.sorted.partition_point(|&v| v < t)
+    }
+
+    /// First position whose value is `> t` (count of values `<= t`).
+    pub fn position_gt(&self, t: f64) -> usize {
+        self.sorted.partition_point(|&v| v <= t)
+    }
+
+    /// Value at sorted position `j`.
+    pub fn value_at(&self, j: usize) -> f64 {
+        self.sorted[j]
+    }
+
+    /// Row id at sorted position `j`.
+    pub fn row_at(&self, j: usize) -> usize {
+        self.perm[j] as usize
+    }
+
+    /// The value of row `i`, NaN when the row is excluded.
+    pub fn coord(&self, i: usize) -> f64 {
+        self.coords[i]
+    }
+}
+
+impl RangeIndex for SortedProjection {
+    fn dims(&self) -> usize {
+        1
+    }
+
+    fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Rows whose value lies in `[low, high]`, **sorted by row id** — a
+    /// deterministic order downstream consumers (and the incremental
+    /// cache's filter-on-hit path, which preserves candidate order) can
+    /// rely on.
+    fn range_query(&self, low: &[f64], high: &[f64]) -> Result<Vec<usize>> {
+        check_box(1, low, high)?;
+        let a = self.position_ge(low[0]);
+        let b = self.position_gt(high[0]);
+        let mut out: Vec<usize> = self.perm[a..b].iter().map(|&i| i as usize).collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+impl PointAccess for SortedProjection {
+    fn point(&self, i: usize) -> &[f64] {
+        std::slice::from_ref(&self.coords[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IncrementalCache;
+
+    fn proj(values: &[Option<f64>]) -> SortedProjection {
+        SortedProjection::build(values.len(), |i| values[i])
+    }
+
+    #[test]
+    fn positions_and_rows() {
+        let p = proj(&[
+            Some(3.0),
+            None,
+            Some(1.0),
+            Some(2.0),
+            Some(2.0),
+            Some(f64::NAN),
+        ]);
+        assert_eq!(p.rows(), 6);
+        assert_eq!(p.defined(), 4);
+        assert!(p.is_fully_finite());
+        // sorted: 1.0(r2), 2.0(r3), 2.0(r4), 3.0(r0)
+        assert_eq!(p.position_ge(2.0), 1);
+        assert_eq!(p.position_gt(2.0), 3);
+        assert_eq!(p.row_at(0), 2);
+        assert_eq!((p.row_at(1), p.row_at(2)), (3, 4), "ties break by row id");
+        assert_eq!(p.value_at(3), 3.0);
+        assert!(p.coord(1).is_nan());
+        assert!(p.coord(5).is_nan(), "NaN rows are excluded like NULLs");
+    }
+
+    #[test]
+    fn infinities_flag_but_do_not_break_queries() {
+        let p = proj(&[Some(f64::NEG_INFINITY), Some(0.0), Some(f64::INFINITY)]);
+        assert!(!p.is_fully_finite());
+        assert_eq!(p.defined(), 3);
+        assert_eq!(p.range_query(&[-1.0], &[1.0]).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn range_query_matches_linear_filter_and_sorts_by_row() {
+        let values: Vec<Option<f64>> = (0..500)
+            .map(|i| {
+                if i % 11 == 0 {
+                    None
+                } else {
+                    Some(((i * 37) % 101) as f64)
+                }
+            })
+            .collect();
+        let p = proj(&values);
+        for (lo, hi) in [(10.0, 40.0), (0.0, 100.0), (99.5, 99.9), (50.0, 50.0)] {
+            let got = p.range_query(&[lo], &[hi]).unwrap();
+            let expect: Vec<usize> = (0..500)
+                .filter(|&i| matches!(values[i], Some(v) if v >= lo && v <= hi))
+                .collect();
+            assert_eq!(got, expect, "[{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn plugs_into_the_incremental_cache() {
+        let values: Vec<Option<f64>> = (0..1000).map(|i| Some((i % 100) as f64)).collect();
+        let direct = proj(&values);
+        let mut cache = IncrementalCache::new(proj(&values), 0.25);
+        // cold query, then contained slider tightenings: hits that only
+        // re-filter the cached band
+        let cold = cache.range_query(&[40.0], &[99.0]).unwrap();
+        assert_eq!(cold, direct.range_query(&[40.0], &[99.0]).unwrap());
+        for t in [41.0, 43.0, 48.0] {
+            let got = cache.range_query(&[t], &[99.0]).unwrap();
+            assert_eq!(got, direct.range_query(&[t], &[99.0]).unwrap());
+        }
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 3);
+    }
+}

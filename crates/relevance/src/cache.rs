@@ -390,12 +390,13 @@ mod tests {
     }
 
     fn eval(n: usize) -> PredicateWindow {
+        use visdb_distance::frame::DistanceFrame;
         PredicateWindow {
             label: "t".into(),
             signed: true,
             weight: 1.0,
-            raw: Arc::new(vec![Some(0.0); n]),
-            normalized: Arc::new(vec![Some(0.0); n]),
+            raw: Arc::new(DistanceFrame::from_options(&vec![Some(0.0); n])),
+            normalized: Arc::new(DistanceFrame::from_options(&vec![Some(0.0); n])),
             norm_params: NormParams {
                 dmin: 0.0,
                 dmax: 0.0,

@@ -25,6 +25,7 @@
 
 use std::cell::Cell;
 
+use visdb_distance::frame::{DistanceFrame, FrameStats};
 use visdb_storage::Partitioning;
 
 /// Rows per chunk. Large enough to amortise dispatch overhead, small
@@ -192,6 +193,45 @@ pub fn for_each_range<T: Send>(
 /// `parallel` is set and the slice is at least [`PAR_MIN_ROWS`] long.
 pub fn for_each_chunk<T: Send>(out: &mut [T], parallel: bool, f: impl Fn(usize, &mut [T]) + Sync) {
     for_each_range(out, None, parallel, f);
+}
+
+/// [`for_each_range`] over a packed [`DistanceFrame`]: each task gets
+/// the lockstep `(values, validity)` sub-slices of its row range and
+/// returns that range's [`FrameStats`]; the merged stats of the whole
+/// walk come back to the caller. Stats merging is min/max/count only, so
+/// the merged result is bit-identical regardless of chunking or thread
+/// schedule — the fused stats accumulation stays deterministic.
+pub fn for_each_frame_range(
+    frame: &mut DistanceFrame,
+    partitions: Option<&Partitioning>,
+    parallel: bool,
+    f: impl Fn(usize, &mut [f64], &mut [bool]) -> FrameStats + Sync,
+) -> FrameStats {
+    let n = frame.len();
+    if n == 0 {
+        return FrameStats::default();
+    }
+    let fan_out = parallel && n >= PAR_MIN_ROWS;
+    let ranges = ranges(n, partitions);
+    let mut stats = vec![FrameStats::default(); ranges.len()];
+    {
+        type FrameTask<'a> = (usize, (&'a mut [f64], &'a mut [bool]), &'a mut FrameStats);
+        let tasks: Vec<FrameTask<'_>> = ranges
+            .iter()
+            .map(|&(offset, _)| offset)
+            .zip(frame.split_ranges_mut(&ranges))
+            .zip(stats.iter_mut())
+            .map(|((offset, chunk), slot)| (offset, chunk, slot))
+            .collect();
+        run_striped(tasks, fan_out, |(offset, (vals, mask), slot)| {
+            *slot = f(offset, vals, mask);
+        });
+    }
+    let mut total = FrameStats::default();
+    for s in &stats {
+        total.merge(s);
+    }
+    total
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //! caller normalizes "before a calculated combined distance is used as a
 //! parameter for combining other distances".
 
+use visdb_distance::frame::{DistanceFrame, FrameStats};
 use visdb_types::{Error, Result};
 
 use crate::normalize::NORM_MAX;
@@ -121,6 +122,67 @@ pub fn combine_or<C: AsRef<[Option<f64>]>>(
         out.push(or_row(&row, weights));
     }
     Ok(out)
+}
+
+fn check_frames(children: &[&DistanceFrame], weights: &[f64]) -> Result<usize> {
+    if children.is_empty() {
+        return Err(Error::invalid_query("combine of zero children"));
+    }
+    if children.len() != weights.len() {
+        return Err(Error::Internal(format!(
+            "{} children but {} weights",
+            children.len(),
+            weights.len()
+        )));
+    }
+    let n = children[0].len();
+    if children.iter().any(|c| c.len() != n) {
+        return Err(Error::Internal("ragged child distance frames".into()));
+    }
+    Ok(n)
+}
+
+/// Combine packed child frames row-wise with `row_fn` ([`and_row`] /
+/// [`or_row`]), producing the combined frame **and** its reduction stats
+/// in the same walk — nested `AND`/`OR` nodes re-normalize their
+/// combined distances, so fusing the stats here keeps inner combining at
+/// one pass just like the leaf distance walks.
+fn combine_frames(
+    children: &[&DistanceFrame],
+    weights: &[f64],
+    row_fn: impl Fn(&[Option<f64>], &[f64]) -> Option<f64>,
+) -> Result<(DistanceFrame, FrameStats)> {
+    let n = check_frames(children, weights)?;
+    let mut out = DistanceFrame::undefined(n);
+    let mut stats = FrameStats::default();
+    let mut row = vec![None; children.len()];
+    for i in 0..n {
+        for (slot, c) in row.iter_mut().zip(children) {
+            *slot = c.get(i);
+        }
+        let d = row_fn(&row, weights);
+        if let Some(v) = d {
+            stats.record(v);
+        }
+        out.set(i, d);
+    }
+    Ok((out, stats))
+}
+
+/// [`combine_and`] over packed frames, with fused stats.
+pub fn combine_and_frames(
+    children: &[&DistanceFrame],
+    weights: &[f64],
+) -> Result<(DistanceFrame, FrameStats)> {
+    combine_frames(children, weights, and_row)
+}
+
+/// [`combine_or`] over packed frames, with fused stats.
+pub fn combine_or_frames(
+    children: &[&DistanceFrame],
+    weights: &[f64],
+) -> Result<(DistanceFrame, FrameStats)> {
+    combine_frames(children, weights, or_row)
 }
 
 /// Ablation comparators (DESIGN.md decision 1): fuzzy-logic `min`/`max`
@@ -236,6 +298,29 @@ mod tests {
         assert!(combine_and(&[] as &[Vec<Option<f64>>], &[]).is_err());
         assert!(combine_and(&[v(&[1.0])], &[1.0, 2.0]).is_err());
         assert!(combine_and(&[v(&[1.0]), v(&[1.0, 2.0])], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn frame_combiners_match_option_combiners() {
+        let a = vec![Some(0.0), Some(100.0), None, Some(30.0)];
+        let b = vec![Some(50.0), None, None, Some(0.0)];
+        let fa = DistanceFrame::from_options(&a);
+        let fb = DistanceFrame::from_options(&b);
+        let weights = [1.0, 0.5];
+        let (and_f, and_s) = combine_and_frames(&[&fa, &fb], &weights).unwrap();
+        assert_eq!(
+            and_f.to_options(),
+            combine_and(&[a.clone(), b.clone()], &weights).unwrap()
+        );
+        assert_eq!(and_s.defined, 2);
+        assert_eq!(and_s.min_abs, 25.0);
+        let (or_f, _) = combine_or_frames(&[&fa, &fb], &weights).unwrap();
+        assert_eq!(or_f.to_options(), combine_or(&[a, b], &weights).unwrap());
+        // shape errors carry over
+        assert!(combine_and_frames(&[], &[]).is_err());
+        assert!(combine_and_frames(&[&fa], &[1.0, 2.0]).is_err());
+        let short = DistanceFrame::from_options(&[Some(1.0)]);
+        assert!(combine_and_frames(&[&fa, &short], &weights).is_err());
     }
 
     #[test]

@@ -8,18 +8,19 @@
 //! [`crate::combine`]).
 
 use visdb_distance::batch::{self, CompareKernel, NumericKernel};
+use visdb_distance::frame::{DistanceFrame, FrameStats};
 use visdb_distance::registry::{ColumnDistance, DistanceResolver};
 use visdb_distance::{geo, numeric, string::levenshtein, time};
 use visdb_query::ast::{
-    AttrRef, CompareOp, ConditionNode, Predicate, PredicateTarget, Query, SubqueryLink,
+    AttrRef, CompareOp, ConditionNode, Predicate, PredicateTarget, Query, SubqueryLink, Weighted,
 };
 use visdb_query::connection::{ConnectionKind, ConnectionUse};
 use visdb_storage::{ColumnData, Database, NumericSlice, Partitioning, Table};
 use visdb_types::{DataType, Error, Result, TypeClass, Value};
 
 use crate::chunk;
-use crate::combine::{combine_and, combine_or};
-use crate::normalize::normalize_improved;
+use crate::combine::{combine_and_frames, combine_or_frames};
+use crate::normalize::normalize_frame;
 
 /// How distances are computed.
 ///
@@ -67,9 +68,12 @@ pub struct NodeEval {
     pub label: String,
     /// Whether the distances carry meaningful signs.
     pub signed: bool,
-    /// Per-row signed distance; `None` = undefined (§4.4 negation rules,
-    /// NULL operands).
-    pub distances: Vec<Option<f64>>,
+    /// Per-row signed distance in packed SoA form; an undefined row
+    /// (§4.4 negation rules, NULL operands) has its validity bit cleared.
+    pub distances: DistanceFrame,
+    /// Reduction stats accumulated during the distance walk — the fused
+    /// inputs of the §5.2 normalization fit.
+    pub stats: FrameStats,
 }
 
 impl<'a> EvalContext<'a> {
@@ -99,7 +103,11 @@ impl<'a> EvalContext<'a> {
         })
     }
 
-    fn distance_for(&self, attr: &AttrRef, dt: DataType, class: TypeClass) -> ColumnDistance {
+    /// The distance behaviour the evaluator uses for `attr` — public so
+    /// fast paths that must replicate the pipeline's semantics (the
+    /// sorted-projection slider drag) resolve through the exact same
+    /// logic instead of duplicating it.
+    pub fn distance_for(&self, attr: &AttrRef, dt: DataType, class: TypeClass) -> ColumnDistance {
         let table_hint = attr.table.as_deref().unwrap_or(self.table.name());
         self.resolver.resolve(table_hint, &attr.column, dt, class)
     }
@@ -111,41 +119,38 @@ impl<'a> EvalContext<'a> {
             ConditionNode::Not(inner) => self.eval_not(inner),
             ConditionNode::Connection(c) => self.eval_connection(c),
             ConditionNode::Subquery { link, query } => self.eval_subquery(link, query),
-            ConditionNode::And(children) => {
-                let evals: Vec<NodeEval> = children
-                    .iter()
-                    .map(|w| self.eval_node(&w.node))
-                    .collect::<Result<_>>()?;
-                let normed: Vec<Vec<Option<f64>>> = evals
-                    .iter()
-                    .zip(children.iter())
-                    .map(|(e, w)| normalize_improved(&e.distances, w.weight, self.display_budget).0)
-                    .collect();
-                let weights: Vec<f64> = children.iter().map(|w| w.weight).collect();
-                Ok(NodeEval {
-                    label: "AND".to_string(),
-                    signed: false,
-                    distances: combine_and(&normed, &weights)?,
-                })
-            }
-            ConditionNode::Or(children) => {
-                let evals: Vec<NodeEval> = children
-                    .iter()
-                    .map(|w| self.eval_node(&w.node))
-                    .collect::<Result<_>>()?;
-                let normed: Vec<Vec<Option<f64>>> = evals
-                    .iter()
-                    .zip(children.iter())
-                    .map(|(e, w)| normalize_improved(&e.distances, w.weight, self.display_budget).0)
-                    .collect();
-                let weights: Vec<f64> = children.iter().map(|w| w.weight).collect();
-                Ok(NodeEval {
-                    label: "OR".to_string(),
-                    signed: false,
-                    distances: combine_or(&normed, &weights)?,
-                })
-            }
+            ConditionNode::And(children) => self.eval_boolean(children, true),
+            ConditionNode::Or(children) => self.eval_boolean(children, false),
         }
+    }
+
+    /// Inner `AND`/`OR` combining: normalize every child frame with the
+    /// weight-proportional fit (served by the child's fused stats), then
+    /// combine row-wise — the combined frame's stats come out of the same
+    /// combine walk, ready for the parent's re-normalization.
+    fn eval_boolean(&self, children: &[Weighted], and: bool) -> Result<NodeEval> {
+        let evals: Vec<NodeEval> = children
+            .iter()
+            .map(|w| self.eval_node(&w.node))
+            .collect::<Result<_>>()?;
+        let normed: Vec<DistanceFrame> = evals
+            .iter()
+            .zip(children.iter())
+            .map(|(e, w)| normalize_frame(&e.distances, &e.stats, w.weight, self.display_budget).0)
+            .collect();
+        let refs: Vec<&DistanceFrame> = normed.iter().collect();
+        let weights: Vec<f64> = children.iter().map(|w| w.weight).collect();
+        let (distances, stats) = if and {
+            combine_and_frames(&refs, &weights)?
+        } else {
+            combine_or_frames(&refs, &weights)?
+        };
+        Ok(NodeEval {
+            label: if and { "AND" } else { "OR" }.to_string(),
+            signed: false,
+            distances,
+            stats,
+        })
     }
 
     /// Negation (§4.4): invertible comparison predicates get their
@@ -169,18 +174,19 @@ impl<'a> EvalContext<'a> {
             }
         }
         let e = self.eval_node(inner)?;
-        let distances = e
-            .distances
-            .iter()
-            .map(|d| match d {
-                Some(x) if *x != 0.0 => Some(0.0),
-                _ => None,
-            })
-            .collect();
+        let mut distances = DistanceFrame::undefined(e.distances.len());
+        let mut stats = FrameStats::default();
+        for (i, d) in e.distances.iter().enumerate() {
+            if matches!(d, Some(x) if x != 0.0) {
+                distances.set(i, Some(0.0));
+                stats.record(0.0);
+            }
+        }
         Ok(NodeEval {
             label: format!("NOT {}", e.label),
             signed: false,
             distances,
+            stats,
         })
     }
 
@@ -198,38 +204,68 @@ impl<'a> EvalContext<'a> {
         }
     }
 
-    /// Fill `out[i] = f(i)` for every row. In `Vectorized` mode the rows
-    /// are walked range by range — per-partition ranges under a
-    /// [`Partitioning`], plain chunks otherwise — fanned out across the
-    /// shared runtime; the `Scalar` reference runs the identical loop
-    /// sequentially.
-    fn fill_rows(&self, out: &mut [Option<f64>], f: impl Fn(usize) -> Option<f64> + Sync) {
-        chunk::for_each_range(out, self.partitioning(), self.parallel(), |offset, rows| {
-            for (j, slot) in rows.iter_mut().enumerate() {
-                *slot = f(offset + j);
-            }
-        });
+    /// Fill `out.set(i, f(i))` for every row, accumulating the fused
+    /// [`FrameStats`]. In `Vectorized` mode the rows are walked range by
+    /// range — per-partition ranges under a [`Partitioning`], plain
+    /// chunks otherwise — fanned out across the shared runtime; the
+    /// `Scalar` reference runs the identical loop sequentially (stats
+    /// merging is min/max/count, so both produce identical stats).
+    fn fill_rows(
+        &self,
+        out: &mut DistanceFrame,
+        f: impl Fn(usize) -> Option<f64> + Sync,
+    ) -> FrameStats {
+        chunk::for_each_frame_range(
+            out,
+            self.partitioning(),
+            self.parallel(),
+            |offset, vals, mask| {
+                let mut stats = FrameStats::default();
+                for (j, (v, m)) in vals.iter_mut().zip(mask.iter_mut()).enumerate() {
+                    match f(offset + j) {
+                        Some(d) => {
+                            *v = d;
+                            *m = true;
+                            stats.record(d);
+                        }
+                        None => {
+                            *v = 0.0;
+                            *m = false;
+                        }
+                    }
+                }
+                stats
+            },
+        )
     }
 
     /// Run a typed batch kernel over the column, range-parallel: every
     /// task slices the column's native buffer and validity mask for its
-    /// own row range ([`ColumnData::numeric_slice_at`]). Returns `false`
-    /// when the column has no native numeric buffer (the caller falls
-    /// back to the per-tuple path).
-    fn run_kernel(&self, col: &ColumnData, kernel: NumericKernel, out: &mut [Option<f64>]) -> bool {
-        if col.numeric_slice().is_none() {
-            return false;
-        }
-        chunk::for_each_range(out, self.partitioning(), self.parallel(), |offset, rows| {
-            let (slice, mask) = col
-                .numeric_slice_at(offset, rows.len())
-                .expect("numeric buffer checked above");
-            match slice {
-                NumericSlice::F64(xs) => batch::run(xs, mask, kernel, rows),
-                NumericSlice::I64(xs) => batch::run(xs, mask, kernel, rows),
-            }
-        });
-        true
+    /// own row range ([`ColumnData::numeric_slice_at`]) and writes the
+    /// packed frame buffers directly, stats fused. Returns `None` when
+    /// the column has no native numeric buffer (the caller falls back to
+    /// the per-tuple path).
+    fn run_kernel(
+        &self,
+        col: &ColumnData,
+        kernel: NumericKernel,
+        out: &mut DistanceFrame,
+    ) -> Option<FrameStats> {
+        col.numeric_slice()?;
+        Some(chunk::for_each_frame_range(
+            out,
+            self.partitioning(),
+            self.parallel(),
+            |offset, vals, mask| {
+                let (slice, col_mask) = col
+                    .numeric_slice_at(offset, vals.len())
+                    .expect("numeric buffer checked above");
+                match slice {
+                    NumericSlice::F64(xs) => batch::run_frame(xs, col_mask, kernel, vals, mask),
+                    NumericSlice::I64(xs) => batch::run_frame(xs, col_mask, kernel, vals, mask),
+                }
+            },
+        ))
     }
 
     /// The batch kernel equivalent to a predicate target, when one exists
@@ -267,32 +303,37 @@ impl<'a> EvalContext<'a> {
         let (col, dt, class, _) = self.column(&p.attr)?;
         let cd = self.distance_for(&p.attr, dt, class);
         let n = self.table.len();
-        let mut out = vec![None; n];
-        let vectorized = self.mode == ExecMode::Vectorized
-            && Self::kernel_for(&cd, &p.target)
-                .map(|kernel| self.run_kernel(col, kernel, &mut out))
-                .unwrap_or(false);
-        if !vectorized {
-            match &p.target {
+        let mut out = DistanceFrame::undefined(n);
+        let kernel_stats = if self.mode == ExecMode::Vectorized {
+            Self::kernel_for(&cd, &p.target)
+                .and_then(|kernel| self.run_kernel(col, kernel, &mut out))
+        } else {
+            None
+        };
+        let stats = match kernel_stats {
+            Some(stats) => stats,
+            None => match &p.target {
                 PredicateTarget::Compare { op, value } => {
-                    self.fill_rows(&mut out, |i| compare_distance(col, i, *op, value, &cd));
+                    self.fill_rows(&mut out, |i| compare_distance(col, i, *op, value, &cd))
                 }
                 PredicateTarget::Range { low, high } => {
-                    self.fill_rows(&mut out, |i| range_distance(col, i, low, high, &cd));
+                    self.fill_rows(&mut out, |i| range_distance(col, i, low, high, &cd))
                 }
                 PredicateTarget::Around { center, deviation } => {
                     let c = center.expect_f64()?;
                     let d = *deviation;
-                    if self.mode != ExecMode::Vectorized
-                        || !self.run_kernel(col, NumericKernel::Around(c, d), &mut out)
-                    {
-                        self.fill_rows(&mut out, |i| {
+                    let around_stats = (self.mode == ExecMode::Vectorized)
+                        .then(|| self.run_kernel(col, NumericKernel::Around(c, d), &mut out))
+                        .flatten();
+                    match around_stats {
+                        Some(stats) => stats,
+                        None => self.fill_rows(&mut out, |i| {
                             col.get_f64(i).and_then(|v| numeric::around(v, c, d))
-                        });
+                        }),
                     }
                 }
-            }
-        }
+            },
+        };
         let label = if negated_label {
             format!("NOT {}", p.label())
         } else {
@@ -302,30 +343,32 @@ impl<'a> EvalContext<'a> {
             label,
             signed: cd.is_signed(),
             distances: out,
+            stats,
         })
     }
 
     fn eval_connection(&self, c: &ConnectionUse) -> Result<NodeEval> {
         let n = self.table.len();
         let (left_attr, right_attr) = c.def.kind.attrs();
-        let mut out = vec![None; n];
+        let mut out = DistanceFrame::undefined(n);
         match &c.def.kind {
             ConnectionKind::Equi { .. } => {
                 let (lc, ldt, lcl, _) = self.column(left_attr)?;
                 let (rc, ..) = self.column(right_attr)?;
                 let cd = self.distance_for(left_attr, ldt, lcl);
-                self.fill_rows(&mut out, |i| cd.value_distance(&lc.get(i), &rc.get(i)));
+                let stats = self.fill_rows(&mut out, |i| cd.value_distance(&lc.get(i), &rc.get(i)));
                 Ok(NodeEval {
                     label: c.label(),
                     signed: cd.is_signed(),
                     distances: out,
+                    stats,
                 })
             }
             ConnectionKind::NonEqui { op, .. } => {
                 let (lc, ldt, lcl, _) = self.column(left_attr)?;
                 let (rc, ..) = self.column(right_attr)?;
                 let cd = self.distance_for(left_attr, ldt, lcl);
-                self.fill_rows(&mut out, |i| {
+                let stats = self.fill_rows(&mut out, |i| {
                     let (a, b) = (lc.get(i), rc.get(i));
                     match a.partial_cmp_value(&b) {
                         None => None,
@@ -337,13 +380,14 @@ impl<'a> EvalContext<'a> {
                     label: c.label(),
                     signed: cd.is_signed(),
                     distances: out,
+                    stats,
                 })
             }
             ConnectionKind::TimeDiff { .. } => {
                 let expected = *c.params.first().unwrap_or(&0.0);
                 let (lc, ..) = self.column(left_attr)?;
                 let (rc, ..) = self.column(right_attr)?;
-                self.fill_rows(&mut out, |i| match (lc.get_f64(i), rc.get_f64(i)) {
+                let stats = self.fill_rows(&mut out, |i| match (lc.get_f64(i), rc.get_f64(i)) {
                     (Some(a), Some(b)) => time::time_diff(a as i64, b as i64, expected),
                     _ => None,
                 });
@@ -351,13 +395,14 @@ impl<'a> EvalContext<'a> {
                     label: c.label(),
                     signed: true,
                     distances: out,
+                    stats,
                 })
             }
             ConnectionKind::SpatialWithin { .. } => {
                 let radius = *c.params.first().unwrap_or(&0.0);
                 let (lc, ..) = self.column(left_attr)?;
                 let (rc, ..) = self.column(right_attr)?;
-                self.fill_rows(&mut out, |i| {
+                let stats = self.fill_rows(&mut out, |i| {
                     match (lc.get_location(i), rc.get_location(i)) {
                         (Some(a), Some(b)) => geo::within_m(a, b, radius),
                         _ => None,
@@ -367,6 +412,7 @@ impl<'a> EvalContext<'a> {
                     label: c.label(),
                     signed: false,
                     distances: out,
+                    stats,
                 })
             }
             ConnectionKind::ForeignKey { .. } => {
@@ -375,7 +421,7 @@ impl<'a> EvalContext<'a> {
                 // get 0, everything else is undefined.
                 let (lc, ..) = self.column(left_attr)?;
                 let (rc, ..) = self.column(right_attr)?;
-                self.fill_rows(&mut out, |i| {
+                let stats = self.fill_rows(&mut out, |i| {
                     if lc.get(i) == rc.get(i) && !lc.get(i).is_null() {
                         Some(0.0)
                     } else {
@@ -386,6 +432,7 @@ impl<'a> EvalContext<'a> {
                     label: c.label(),
                     signed: false,
                     distances: out,
+                    stats,
                 })
             }
         }
@@ -412,12 +459,12 @@ impl<'a> EvalContext<'a> {
             partitions: None,
         };
         // combined (normalized) distance of the inner condition per inner row
-        let inner_cond: Vec<Option<f64>> = match &query.condition {
+        let inner_cond: DistanceFrame = match &query.condition {
             Some(w) => {
                 let e = inner_ctx.eval_node(&w.node)?;
-                normalize_improved(&e.distances, w.weight, self.display_budget).0
+                normalize_frame(&e.distances, &e.stats, w.weight, self.display_budget).0
             }
-            None => vec![Some(0.0); inner_table.len()],
+            None => DistanceFrame::from_options(&vec![Some(0.0); inner_table.len()]),
         };
         let n = self.table.len();
         match link {
@@ -427,11 +474,20 @@ impl<'a> EvalContext<'a> {
                 let best = inner_cond
                     .iter()
                     .flatten()
-                    .fold(None::<f64>, |acc, &d| Some(acc.map_or(d, |a| a.min(d))));
+                    .fold(None::<f64>, |acc, d| Some(acc.map_or(d, |a| a.min(d))));
+                let mut distances = DistanceFrame::undefined(n);
+                let mut stats = FrameStats::default();
+                if let Some(b) = best {
+                    for i in 0..n {
+                        distances.set(i, Some(b));
+                        stats.record(b);
+                    }
+                }
                 Ok(NodeEval {
                     label: "EXISTS(...)".to_string(),
                     signed: false,
-                    distances: vec![best; n],
+                    distances,
+                    stats,
                 })
             }
             SubqueryLink::In { outer, inner } => {
@@ -439,20 +495,22 @@ impl<'a> EvalContext<'a> {
                 let (ic, ..) = inner_ctx.column(inner)?;
                 let cd = self.distance_for(outer, odt, ocl);
                 let m = inner_table.len();
-                let mut out = vec![None; n];
+                let mut out = DistanceFrame::undefined(n);
+                let inner_vals = inner_cond.values();
+                let inner_mask = inner_cond.validity();
                 // the O(n·m) approximate join parallelizes over outer rows
-                self.fill_rows(&mut out, |i| {
+                let stats = self.fill_rows(&mut out, |i| {
                     let ov = oc.get(i);
                     if ov.is_null() {
                         return None;
                     }
                     let mut best: Option<f64> = None;
-                    for (j, &cond_j) in inner_cond.iter().enumerate().take(m) {
+                    for (j, &cond_j) in inner_vals.iter().enumerate().take(m) {
+                        if !inner_mask.get(j) {
+                            continue;
+                        }
                         let join_d = cd.value_distance(&ov, &ic.get(j));
-                        let total = match (join_d, cond_j) {
-                            (Some(jd), Some(cdist)) => Some(jd.abs() + cdist),
-                            _ => None,
-                        };
+                        let total = join_d.map(|jd| jd.abs() + cond_j);
                         if let Some(t) = total {
                             best = Some(best.map_or(t, |b: f64| b.min(t)));
                             if t == 0.0 {
@@ -466,6 +524,7 @@ impl<'a> EvalContext<'a> {
                     label: format!("{outer} IN (...)"),
                     signed: false,
                     distances: out,
+                    stats,
                 })
             }
         }
@@ -692,7 +751,7 @@ mod tests {
             15.0,
         ));
         let e = c.eval_node(&p).unwrap();
-        assert_eq!(e.distances, vec![Some(0.0), Some(-5.0), None]);
+        assert_eq!(e.distances.to_options(), vec![Some(0.0), Some(-5.0), None]);
         assert!(e.signed);
     }
 
@@ -715,9 +774,9 @@ mod tests {
         ]);
         let e = c.eval_node(&node).unwrap();
         // row 0 fulfils both -> 0; row 1 fails both; row 2 has NULL temp -> None
-        assert_eq!(e.distances[0], Some(0.0));
-        assert!(e.distances[1].unwrap() > 0.0);
-        assert_eq!(e.distances[2], None);
+        assert_eq!(e.distances.get(0), Some(0.0));
+        assert!(e.distances.get(1).unwrap() > 0.0);
+        assert_eq!(e.distances.get(2), None);
     }
 
     #[test]
@@ -738,8 +797,8 @@ mod tests {
             ))),
         ]);
         let e = c.eval_node(&node).unwrap();
-        assert_eq!(e.distances[0], Some(0.0));
-        assert!(e.distances[1].unwrap() > 0.0);
+        assert_eq!(e.distances.get(0), Some(0.0));
+        assert!(e.distances.get(1).unwrap() > 0.0);
     }
 
     #[test]
@@ -754,8 +813,8 @@ mod tests {
         ))));
         let e = c.eval_node(&node).unwrap();
         // NOT (T > 15) == T <= 15: row 0 (20.0) fails by 5, row 1 fulfils
-        assert_eq!(e.distances[0], Some(5.0));
-        assert_eq!(e.distances[1], Some(0.0));
+        assert_eq!(e.distances.get(0), Some(5.0));
+        assert_eq!(e.distances.get(1), Some(0.0));
         assert!(e.label.starts_with("NOT"));
     }
 
@@ -774,9 +833,9 @@ mod tests {
         let e = c.eval_node(&node).unwrap();
         // row 0 fulfils the inner OR -> negation undefined; rows 1,2 fail
         // the inner -> negation fulfilled
-        assert_eq!(e.distances[0], None);
-        assert_eq!(e.distances[1], Some(0.0));
-        assert_eq!(e.distances[2], Some(0.0));
+        assert_eq!(e.distances.get(0), None);
+        assert_eq!(e.distances.get(1), Some(0.0));
+        assert_eq!(e.distances.get(2), Some(0.0));
     }
 
     #[test]
@@ -790,8 +849,8 @@ mod tests {
             "munich",
         ));
         let e = c.eval_node(&node).unwrap();
-        assert_eq!(e.distances[0], Some(0.0));
-        assert!(e.distances[1].unwrap() > 0.0);
+        assert_eq!(e.distances.get(0), Some(0.0));
+        assert!(e.distances.get(1).unwrap() > 0.0);
         assert!(!e.signed);
     }
 
@@ -802,9 +861,9 @@ mod tests {
         let c = ctx(&db, &r);
         let node = ConditionNode::Predicate(Predicate::range(AttrRef::new("Humidity"), 55.0, 70.0));
         let e = c.eval_node(&node).unwrap();
-        assert_eq!(e.distances[0], Some(-5.0)); // 50 below 55
-        assert_eq!(e.distances[1], Some(10.0)); // 80 above 70
-        assert_eq!(e.distances[2], Some(0.0)); // 65 inside
+        assert_eq!(e.distances.get(0), Some(-5.0)); // 50 below 55
+        assert_eq!(e.distances.get(1), Some(10.0)); // 80 above 70
+        assert_eq!(e.distances.get(2), Some(0.0)); // 65 inside
     }
 
     #[test]
@@ -832,9 +891,9 @@ mod tests {
         };
         let e = c.eval_node(&node).unwrap();
         // row 0: T=20, nearest alert 19 -> 1; row 1: T=10, nearest 9 -> 1
-        assert_eq!(e.distances[0], Some(1.0));
-        assert_eq!(e.distances[1], Some(1.0));
-        assert_eq!(e.distances[2], None); // NULL temperature
+        assert_eq!(e.distances.get(0), Some(1.0));
+        assert_eq!(e.distances.get(1), Some(1.0));
+        assert_eq!(e.distances.get(2), None); // NULL temperature
     }
 
     #[test]
@@ -852,8 +911,8 @@ mod tests {
         let e = c.eval_node(&node).unwrap();
         // nobody has T > 25; best shortfall is 20 -> normalized minimum > 0,
         // identical for all outer rows
-        assert!(e.distances[0].unwrap() >= 0.0);
-        assert_eq!(e.distances[0], e.distances[1]);
+        assert!(e.distances.get(0).unwrap() >= 0.0);
+        assert_eq!(e.distances.get(0), e.distances.get(1));
     }
 
     #[test]
@@ -883,8 +942,8 @@ mod tests {
         let e = c.eval_node(&ConditionNode::Connection(u)).unwrap();
         assert_eq!(e.distances.len(), 9);
         // pair (row1, row0): 3600 - 0 - 3600 = 0 -> fulfilled
-        assert_eq!(e.distances[3], Some(0.0));
+        assert_eq!(e.distances.get(3), Some(0.0));
         // pair (row0, row0): 0 - 0 - 3600 = -3600
-        assert_eq!(e.distances[0], Some(-3600.0));
+        assert_eq!(e.distances.get(0), Some(-3600.0));
     }
 }

@@ -39,11 +39,15 @@ pub mod reduction;
 
 pub use cache::{key_scope, window_key, PipelineCache, WindowSource};
 pub use eval::{EvalContext, ExecMode, NodeEval};
-pub use normalize::{fit_improved, normalize_improved, normalize_naive, NormParams, NORM_MAX};
+pub use normalize::{
+    fit_frame, fit_improved, fit_k, normalize_frame, normalize_improved, normalize_naive,
+    NormParams, NORM_MAX,
+};
 pub use pipeline::{
-    run_pipeline, run_pipeline_cached, run_pipeline_opts, run_pipeline_partitioned,
-    run_pipeline_scalar, DisplayPolicy, PipelineOptions, PipelineOutput, PredicateWindow,
-    SharedWindows,
+    display_count, run_pipeline, run_pipeline_cached, run_pipeline_opts, run_pipeline_partitioned,
+    run_pipeline_scalar, DisplayPolicy, PhaseTimings, PipelineOptions, PipelineOutput,
+    PredicateWindow, SharedWindows,
 };
 pub use quantile::{display_fraction, quantile, two_sided_range};
 pub use reduction::{gap_cutoff, gap_cutoff_naive};
+pub use visdb_distance::frame::{Bitmap, DistanceFrame, FrameStats};

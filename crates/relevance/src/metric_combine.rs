@@ -11,7 +11,33 @@
 //! more than the arithmetic mean, L∞ (the limit) is the fuzzy max, and
 //! Mahalanobis additionally discounts correlated predicates.
 
+use visdb_distance::frame::DistanceFrame;
 use visdb_types::{Error, Result};
+
+/// [`combine_lp`] over packed frames — the frame-level entry point for
+/// callers holding pipeline windows (whose distances are packed now).
+/// Adapts through the `Option` view once per child, then reuses the
+/// reference arithmetic verbatim; nothing in the default pipeline calls
+/// this (the paper's AND/OR means do), it exists for Lp-combining
+/// experiments.
+pub fn combine_lp_frames(
+    children: &[&DistanceFrame],
+    weights: &[f64],
+    p: f64,
+) -> Result<DistanceFrame> {
+    let options: Vec<Vec<Option<f64>>> = children.iter().map(|c| c.to_options()).collect();
+    Ok(DistanceFrame::from_options(&combine_lp(
+        &options, weights, p,
+    )?))
+}
+
+/// [`combine_euclidean`] over packed frames.
+pub fn combine_euclidean_frames(
+    children: &[&DistanceFrame],
+    weights: &[f64],
+) -> Result<DistanceFrame> {
+    combine_lp_frames(children, weights, 2.0)
+}
 
 fn check<C: AsRef<[Option<f64>]>>(children: &[C]) -> Result<usize> {
     if children.is_empty() {
@@ -196,6 +222,17 @@ mod tests {
     fn euclidean_is_l2() {
         let out = combine_euclidean(&[v(&[3.0]), v(&[4.0])], &[1.0, 1.0]).unwrap();
         assert!((out[0].unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frame_adapters_match_option_combiners() {
+        let a = vec![Some(3.0), None, Some(1.0)];
+        let b = vec![Some(4.0), Some(2.0), Some(0.0)];
+        let fa = DistanceFrame::from_options(&a);
+        let fb = DistanceFrame::from_options(&b);
+        let got = combine_euclidean_frames(&[&fa, &fb], &[1.0, 1.0]).unwrap();
+        let expect = combine_euclidean(&[a, b], &[1.0, 1.0]).unwrap();
+        assert_eq!(got.to_options(), expect);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   heavily-weighted predicates get their resolution concentrated near
 //!   the query.
 
+use visdb_distance::frame::{DistanceFrame, FrameStats};
+
 /// The fixed upper bound of normalized distances.
 pub const NORM_MAX: f64 = 255.0;
 
@@ -80,41 +82,135 @@ fn fit(values: &[Option<f64>]) -> NormParams {
     params_from_max(dmax)
 }
 
-/// Fit the improved (§5.2) normalization *without* applying it: the
-/// transform range is `[0, k-th smallest absolute distance]` with
-/// `k = min(n, r / max(w, ε))`. Runs in O(n) expected time via
-/// `select_nth_unstable_by` — the pipeline calls this per window, so a
-/// full sort here would silently re-introduce the O(n log n) term the
-/// top-k display selection removes.
-pub fn fit_improved(values: &[Option<f64>], weight: f64, display_budget: usize) -> NormParams {
-    let n = values.len();
-    let w = if weight.is_finite() && weight > 0.0 {
-        weight.min(1.0)
-    } else {
+/// The improved (§5.2) fit count: how many of the smallest absolute
+/// distances the transform range is fitted over, `k = r / max(w, ε)`
+/// clamped to `[1, n]`. Returns `None` when the fit covers *everything*
+/// (zero/invalid weight, or `k >= n`) — the single source of truth for
+/// every fit implementation (Option-vector, packed-frame, and the
+/// sorted-projection O(log n) fast path), which is what keeps them
+/// bit-identical.
+pub fn fit_k(n: usize, weight: f64, display_budget: usize) -> Option<usize> {
+    if !(weight.is_finite() && weight > 0.0) {
         // zero/invalid weight: keep everything (the predicate hardly
         // matters, so the coarsest scale is acceptable)
+        return None;
+    }
+    let w = weight.min(1.0);
+    let k = ((display_budget as f64 / w).ceil() as usize).clamp(1, n.max(1));
+    (k < n).then_some(k)
+}
+
+/// `dmax` of a selected prefix: the largest *finite* absolute distance
+/// among the `k` smallest (non-finite candidates sort last under
+/// `total_cmp`, so they only enter when nothing nearer is left, and the
+/// finite filter keeps them out of the transform range either way).
+fn dmax_of_prefix(abs: &[f64]) -> f64 {
+    abs.iter()
+        .copied()
+        .filter(|d| d.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Fit the improved (§5.2) normalization *without* applying it: the
+/// transform range is `[0, k-th smallest absolute distance]` with
+/// `k = min(n, r / max(w, ε))` ([`fit_k`]). Runs in O(n) expected time
+/// via `select_nth_unstable_by` — the pipeline calls this per window, so
+/// a full sort here would silently re-introduce the O(n log n) term the
+/// top-k display selection removes.
+///
+/// NaN policy: candidates are ordered by [`f64::total_cmp`], under which
+/// NaN absolute distances sort *after* `+inf` — a NaN distance is
+/// treated as farthest-possible, never as interchangeable with its
+/// neighbours (the old `partial_cmp(..).unwrap_or(Equal)` comparator
+/// made the selection order — and therefore `dmax` — depend on pivot
+/// luck when NaNs were present).
+pub fn fit_improved(values: &[Option<f64>], weight: f64, display_budget: usize) -> NormParams {
+    let Some(k) = fit_k(values.len(), weight, display_budget) else {
         return fit(values);
     };
-    let k = ((display_budget as f64 / w).ceil() as usize).clamp(1, n.max(1));
-    if k >= n {
-        return fit(values);
-    }
     let mut abs: Vec<f64> = values.iter().flatten().map(|d| d.abs()).collect();
     if abs.is_empty() {
         return params_from_max(f64::NEG_INFINITY);
     }
     let k = k.min(abs.len());
     if k < abs.len() {
-        abs.select_nth_unstable_by(k - 1, |a, b| {
-            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        abs.select_nth_unstable_by(k - 1, f64::total_cmp);
     }
-    let dmax = abs[..k]
+    params_from_max(dmax_of_prefix(&abs[..k]))
+}
+
+/// [`fit_improved`] over a packed [`DistanceFrame`] whose reduction
+/// stats were accumulated during the distance walk: whenever the fit
+/// covers every defined item (small relations, light weights, NULL-heavy
+/// columns) the answer comes straight from the fused stats — **zero**
+/// extra passes — and otherwise the selection runs over a gather of
+/// 8-byte absolute values instead of re-collecting a 16-byte `Option`
+/// vector. Bit-identical to [`fit_improved`] on the `Option` view of the
+/// same frame (shared [`fit_k`] and `total_cmp` selection).
+pub fn fit_frame(
+    frame: &DistanceFrame,
+    stats: &FrameStats,
+    weight: f64,
+    display_budget: usize,
+) -> NormParams {
+    debug_assert_eq!(stats.defined, FrameStats::of_frame(frame).defined);
+    let Some(k) = fit_k(frame.len(), weight, display_budget) else {
+        return params_from_max(stats.max_abs);
+    };
+    if stats.defined == 0 {
+        return params_from_max(f64::NEG_INFINITY);
+    }
+    let k = k.min(stats.defined);
+    if k == stats.defined {
+        return params_from_max(stats.max_abs);
+    }
+    if stats.non_finite == 0 && stats.min_abs == stats.max_abs {
+        // all defined distances share one finite magnitude: any k of
+        // them fit the same range
+        return params_from_max(stats.max_abs);
+    }
+    let mut abs: Vec<f64> = frame
+        .values()
         .iter()
-        .copied()
-        .filter(|d| d.is_finite())
-        .fold(f64::NEG_INFINITY, f64::max);
-    params_from_max(dmax)
+        .zip(frame.validity().as_slice())
+        .filter(|&(_, &ok)| ok)
+        .map(|(&v, _)| v.abs())
+        .collect();
+    abs.select_nth_unstable_by(k - 1, f64::total_cmp);
+    params_from_max(dmax_of_prefix(&abs[..k]))
+}
+
+/// [`normalize_improved`] over a packed frame: fit via [`fit_frame`],
+/// then apply in one walk over the 8-byte buffers. Undefined stays
+/// undefined.
+pub fn normalize_frame(
+    frame: &DistanceFrame,
+    stats: &FrameStats,
+    weight: f64,
+    display_budget: usize,
+) -> (DistanceFrame, NormParams) {
+    let params = fit_frame(frame, stats, weight, display_budget);
+    (apply_frame(frame, params), params)
+}
+
+/// Apply fitted params to every defined row of a frame.
+pub fn apply_frame(frame: &DistanceFrame, params: NormParams) -> DistanceFrame {
+    let mut out = DistanceFrame::undefined(frame.len());
+    {
+        let (vals, mask) = out.parts_mut();
+        for (((v, m), &x), &ok) in vals
+            .iter_mut()
+            .zip(mask.iter_mut())
+            .zip(frame.values())
+            .zip(frame.validity().as_slice())
+        {
+            if ok {
+                *v = params.apply(x.abs());
+                *m = true;
+            }
+        }
+    }
+    out
 }
 
 /// Naive normalization: fit `[dmin, dmax]` over *all* defined distances
@@ -242,6 +338,71 @@ mod tests {
             };
             assert_eq!(got.dmax, expect, "weight={weight} budget={budget}");
             assert_eq!(got.dmin, 0.0);
+        }
+    }
+
+    #[test]
+    fn nan_distances_sort_last_and_never_destabilise_the_fit() {
+        // regression: the selection used to compare with
+        // `partial_cmp(..).unwrap_or(Equal)`, so a NaN candidate made the
+        // k-smallest prefix depend on pivot order. Under `total_cmp` the
+        // NaN policy is explicit: NaN = farthest, dmax stays finite.
+        let mut values: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64)).collect();
+        for i in (0..100).step_by(7) {
+            values[i] = Some(f64::NAN);
+        }
+        let got = fit_improved(&values, 1.0, 20);
+        // the 20 smallest non-NaN magnitudes are 1..=23 minus NaN slots;
+        // the fit must equal the sort-based reference exactly
+        let mut abs: Vec<f64> = values.iter().flatten().map(|d| d.abs()).collect();
+        abs.sort_by(f64::total_cmp);
+        let expect = abs[..20]
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(got.dmax, expect);
+        assert!(got.dmax.is_finite());
+        // all-NaN distances: nothing finite to fit, degenerate params
+        let all_nan: Vec<Option<f64>> = (0..10).map(|_| Some(f64::NAN)).collect();
+        let p = fit_improved(&all_nan, 1.0, 3);
+        assert_eq!((p.dmin, p.dmax), (0.0, 0.0));
+    }
+
+    #[test]
+    fn frame_fit_matches_option_fit_with_fused_stats() {
+        use visdb_distance::frame::{DistanceFrame, FrameStats};
+        let cases: Vec<Vec<Option<f64>>> = vec![
+            (0..200)
+                .map(|i| {
+                    if i % 7 == 0 {
+                        None
+                    } else {
+                        Some(((i * 37) % 113) as f64 - 50.0)
+                    }
+                })
+                .collect(),
+            vec![None; 50],                                  // all NULL
+            Vec::new(),                                      // zero rows
+            (0..40).map(|_| Some(f64::NAN)).collect(),       // all NaN
+            (0..40).map(|_| Some(3.0)).collect(),            // all equal
+            vec![Some(f64::INFINITY), Some(1.0), Some(0.0)], // infinities
+        ];
+        for values in cases {
+            let frame = DistanceFrame::from_options(&values);
+            let mut stats = FrameStats::default();
+            for d in values.iter().flatten() {
+                stats.record(*d);
+            }
+            for (weight, budget) in [(1.0, 20), (0.5, 20), (0.1, 3), (1.0, 500), (0.0, 10)] {
+                let a = fit_improved(&values, weight, budget);
+                let b = fit_frame(&frame, &stats, weight, budget);
+                assert_eq!(a, b, "weight={weight} budget={budget} {values:?}");
+                let (normed, p) = normalize_frame(&frame, &stats, weight, budget);
+                let (normed_ref, p_ref) = normalize_improved(&values, weight, budget);
+                assert_eq!(p, p_ref);
+                assert_eq!(normed.to_options(), normed_ref);
+            }
         }
     }
 

@@ -32,7 +32,9 @@
 //! sets (property-tested in `tests/properties.rs`).
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use visdb_distance::frame::DistanceFrame;
 use visdb_distance::registry::DistanceResolver;
 use visdb_query::ast::{ConditionNode, Weighted};
 use visdb_storage::{Database, Partitioning, Table};
@@ -40,13 +42,44 @@ use visdb_types::{Error, Result};
 
 use crate::cache::{window_key, PipelineCache, WindowSource};
 use crate::chunk;
-use crate::combine::{and_row, combine_and, combine_or, or_row};
+use crate::combine::{and_row, combine_and_frames, combine_or_frames, or_row};
 use crate::eval::{EvalContext, NodeEval};
-use crate::normalize::{fit_improved, normalize_improved, normalize_naive, NormParams, NORM_MAX};
+use crate::normalize::{apply_frame, fit_frame, normalize_naive, NormParams, NORM_MAX};
 use crate::quantile::display_fraction;
 use crate::reduction::gap_cutoff;
 
 pub use crate::eval::ExecMode;
+
+/// Wall-clock breakdown of one pipeline run, phase by phase — where the
+/// time actually goes at scale (the `pipeline_perf` bench records this
+/// in `BENCH_pipeline.json` so the perf trajectory is attributable
+/// instead of one end-to-end number).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Distance walks over the base relation (kernels or per-tuple),
+    /// including the fused per-predicate stats accumulation.
+    pub distance: Duration,
+    /// §5.2 normalization fits (stats fast path or the packed
+    /// selection).
+    pub fit: Duration,
+    /// The normalize-apply + combine walk (fused in vectorized mode)
+    /// plus the final combined normalization.
+    pub normalize_combine: Duration,
+    /// Ranking and display selection (top-k / sort / merge).
+    pub rank: Duration,
+}
+
+/// Add `elapsed` to a phase of an optional timing collector.
+macro_rules! phase_time {
+    ($timings:expr, $phase:ident, $body:expr) => {{
+        let start = $timings.as_ref().map(|_| Instant::now());
+        let out = $body;
+        if let (Some(t), Some(start)) = (&mut $timings, start) {
+            t.$phase += start.elapsed();
+        }
+        out
+    }};
+}
 
 /// How to choose the number of displayed data items (§5.1, §4.3).
 #[derive(Debug, Clone, PartialEq)]
@@ -85,8 +118,10 @@ pub enum DisplayPolicy {
 
 impl DisplayPolicy {
     /// An indicative item budget used for weight-proportional
-    /// normalization before the display count is finally known.
-    fn budget(&self, n: usize) -> usize {
+    /// normalization before the display count is finally known. Public
+    /// because the sorted-projection slider fast path must reproduce the
+    /// pipeline's fit inputs exactly.
+    pub fn budget(&self, n: usize) -> usize {
         match self {
             DisplayPolicy::FitScreen {
                 pixels,
@@ -114,11 +149,13 @@ pub struct PredicateWindow {
     pub signed: bool,
     /// Weight of this predicate in the query.
     pub weight: f64,
-    /// Raw signed distances per item (shared with the incremental cache;
-    /// cloning a window is cheap).
-    pub raw: Arc<Vec<Option<f64>>>,
-    /// Normalized absolute distances (`[0, 255]`).
-    pub normalized: Arc<Vec<Option<f64>>>,
+    /// Raw signed distances per item in packed SoA form (shared with the
+    /// incremental caches; cloning a window is cheap, and a cached
+    /// window costs ~9 bytes/row instead of the 16 of the old
+    /// `Vec<Option<f64>>`).
+    pub raw: Arc<DistanceFrame>,
+    /// Normalized absolute distances (`[0, 255]`), packed like `raw`.
+    pub normalized: Arc<DistanceFrame>,
     /// The fitted normalization (for color → value lookups).
     pub norm_params: NormParams,
 }
@@ -212,6 +249,9 @@ pub struct PipelineOptions<'a> {
     /// decision. Ignored under [`ExecMode::Scalar`], which stays the
     /// strictly sequential reference.
     pub partitions: Option<&'a Partitioning>,
+    /// When set, the run records its per-phase wall-clock breakdown
+    /// here (distance / fit / normalize+combine / rank).
+    pub timings: Option<&'a mut PhaseTimings>,
 }
 
 /// Run the pipeline over a base relation.
@@ -325,6 +365,7 @@ pub fn run_pipeline_opts(
         shared,
         mode,
         partitions,
+        mut timings,
     } = opts;
     let n = table.len();
     // partitioning is a vectorized-only scheduling decision; a single
@@ -430,11 +471,11 @@ pub fn run_pipeline_opts(
         .filter(|(_, got)| got.is_none())
         .map(|(w, _)| *w)
         .collect();
-    let fresh = eval_windows(&ctx, &missing)?;
+    let fresh = phase_time!(timings, distance, eval_windows(&ctx, &missing)?);
 
     let (windows, combined_raw) = match mode {
-        ExecMode::Scalar => combine_scalar(&ctx, cond, &top, slots, fresh)?,
-        ExecMode::Vectorized => combine_vectorized(&ctx, cond, &top, slots, fresh),
+        ExecMode::Scalar => combine_scalar(&ctx, cond, &top, slots, fresh, &mut timings)?,
+        ExecMode::Vectorized => combine_vectorized(&ctx, cond, &top, slots, fresh, &mut timings),
     };
 
     // Freshly evaluated windows feed both cache layers (keys survive
@@ -455,33 +496,39 @@ pub fn run_pipeline_opts(
         );
     }
 
-    let (combined, _) = normalize_combined(&combined_raw);
-    let relevance: Vec<Option<f64>> = combined.iter().map(|d| d.map(|x| NORM_MAX - x)).collect();
-    let num_exact = combined_raw
-        .iter()
-        .filter(|d| matches!(d, Some(x) if *x == 0.0))
-        .count();
+    let (combined, relevance, num_exact) = phase_time!(timings, normalize_combine, {
+        let (combined, _) = normalize_combined(&combined_raw);
+        let relevance: Vec<Option<f64>> =
+            combined.iter().map(|d| d.map(|x| NORM_MAX - x)).collect();
+        let num_exact = combined_raw
+            .iter()
+            .filter(|d| matches!(d, Some(x) if *x == 0.0))
+            .count();
+        (combined, relevance, num_exact)
+    });
 
     // Rank and select. The scalar reference pays the paper's dominant
     // O(n log n) full sort; the vectorized path selects the policy's
     // top k and sorts only that prefix; the partitioned path selects
     // per partition and merges the selections k-way by relevance rank.
-    let (order, displayed, sorted_len) = match (mode, partitions) {
-        (ExecMode::Scalar, _) => {
-            let mut order: Vec<usize> = (0..n).filter(|&i| combined[i].is_some()).collect();
-            order.sort_by(|&a, &b| rank_cmp(&combined, a, b));
-            let displayed =
-                select_display(&combined, &order, policy, windows.len(), Some(&windows))?;
-            let sorted_len = order.len();
-            (order, displayed, sorted_len)
+    let (order, displayed, sorted_len) = phase_time!(timings, rank, {
+        match (mode, partitions) {
+            (ExecMode::Scalar, _) => {
+                let mut order: Vec<usize> = (0..n).filter(|&i| combined[i].is_some()).collect();
+                order.sort_by(|&a, &b| rank_cmp(&combined, a, b));
+                let displayed =
+                    select_display(&combined, &order, policy, windows.len(), Some(&windows))?;
+                let sorted_len = order.len();
+                (order, displayed, sorted_len)
+            }
+            (ExecMode::Vectorized, None) => {
+                rank_and_select(&combined, &windows, policy, windows.len())?
+            }
+            (ExecMode::Vectorized, Some(p)) => {
+                rank_and_select_partitioned(&combined, &windows, policy, windows.len(), p)?
+            }
         }
-        (ExecMode::Vectorized, None) => {
-            rank_and_select(&combined, &windows, policy, windows.len())?
-        }
-        (ExecMode::Vectorized, Some(p)) => {
-            rank_and_select_partitioned(&combined, &windows, policy, windows.len(), p)?
-        }
-    };
+    });
 
     Ok(PipelineOutput {
         n,
@@ -496,21 +543,32 @@ pub fn run_pipeline_opts(
 }
 
 /// The scalar reference combine: normalize each fresh window in full,
-/// then combine whole vectors at the root — the pre-vectorization code
-/// path, kept verbatim as the correctness baseline.
+/// then combine whole frames at the root — the per-row arithmetic of the
+/// pre-vectorization code path, kept as the correctness baseline (the
+/// storage is packed now, but every row still goes through the same
+/// `fit` → `apply` → `and_row`/`or_row` sequence).
 fn combine_scalar(
     ctx: &EvalContext<'_>,
     cond: &Weighted,
     top: &[&Weighted],
     mut slots: Vec<Option<PredicateWindow>>,
     fresh: Vec<NodeEval>,
+    timings: &mut Option<&mut PhaseTimings>,
 ) -> Result<(Vec<PredicateWindow>, Vec<Option<f64>>)> {
     let mut fresh_it = fresh.into_iter();
     for (slot, w) in slots.iter_mut().zip(top.iter()) {
         if slot.is_none() {
             let e = fresh_it.next().expect("one eval per missing window");
-            let (normalized, params) =
-                normalize_improved(&e.distances, w.weight, ctx.display_budget);
+            let params = phase_time!(
+                (*timings),
+                fit,
+                fit_frame(&e.distances, &e.stats, w.weight, ctx.display_budget)
+            );
+            let normalized = phase_time!(
+                (*timings),
+                normalize_combine,
+                apply_frame(&e.distances, params)
+            );
             *slot = Some(PredicateWindow {
                 label: e.label,
                 signed: e.signed,
@@ -526,49 +584,62 @@ fn combine_scalar(
         .map(|s| s.expect("filled above"))
         .collect();
     let weights: Vec<f64> = top.iter().map(|w| w.weight).collect();
-    let normed_children: Vec<&[Option<f64>]> =
-        windows.iter().map(|w| w.normalized.as_slice()).collect();
-    let combined_raw = match &cond.node {
-        ConditionNode::Or(_) => combine_or(&normed_children, &weights)?,
-        ConditionNode::And(_) => combine_and(&normed_children, &weights)?,
-        _ => normed_children[0].to_vec(),
-    };
+    let normed_children: Vec<&DistanceFrame> =
+        windows.iter().map(|w| w.normalized.as_ref()).collect();
+    let combined_raw = phase_time!((*timings), normalize_combine, {
+        match &cond.node {
+            ConditionNode::Or(_) => combine_or_frames(&normed_children, &weights)?
+                .0
+                .to_options(),
+            ConditionNode::And(_) => combine_and_frames(&normed_children, &weights)?
+                .0
+                .to_options(),
+            _ => normed_children[0].to_options(),
+        }
+    });
     Ok((windows, combined_raw))
 }
 
-/// The vectorized combine: fit each fresh window's normalization in O(n)
-/// (`fit_improved`), then fill the normalized vectors *and* the root
-/// combination in one fused, chunk-parallel walk — each row is touched
-/// once instead of once per pass.
+/// The vectorized combine: fit each fresh window's normalization from
+/// its fused distance-walk stats ([`fit_frame`] — zero extra passes when
+/// the fit covers every defined item, an 8-byte selection otherwise),
+/// then fill the packed normalized frames *and* the root combination in
+/// one fused, chunk-parallel walk — each row is touched once instead of
+/// once per pass, and the bytes streamed per window drop from 16 to 9
+/// per row.
 fn combine_vectorized(
     ctx: &EvalContext<'_>,
     cond: &Weighted,
     top: &[&Weighted],
     slots: Vec<Option<PredicateWindow>>,
     fresh: Vec<NodeEval>,
+    timings: &mut Option<&mut PhaseTimings>,
 ) -> (Vec<PredicateWindow>, Vec<Option<f64>>) {
     let n = ctx.table.len();
     let weights: Vec<f64> = top.iter().map(|w| w.weight).collect();
 
-    /// Per-window input to the fused walk.
+    /// Per-window input to the fused walk, as raw SoA slices.
     enum Src<'a> {
         /// Cache hit: normalized values already exist.
-        Ready(&'a [Option<f64>]),
+        Ready(&'a [f64], &'a [bool]),
         /// Fresh eval: normalize into `fresh_norm[slot]` on the fly.
         Fresh {
-            raw: &'a [Option<f64>],
+            raw_vals: &'a [f64],
+            raw_mask: &'a [bool],
             params: NormParams,
             slot: usize,
         },
     }
 
-    let fresh_params: Vec<NormParams> = {
+    let fresh_params: Vec<NormParams> = phase_time!((*timings), fit, {
         let mut params = Vec::with_capacity(fresh.len());
         let mut fresh_idx = 0;
         for (slot, w) in slots.iter().zip(top.iter()) {
             if slot.is_none() {
-                params.push(fit_improved(
-                    &fresh[fresh_idx].distances,
+                let e = &fresh[fresh_idx];
+                params.push(fit_frame(
+                    &e.distances,
+                    &e.stats,
                     w.weight,
                     ctx.display_budget,
                 ));
@@ -576,8 +647,9 @@ fn combine_vectorized(
             }
         }
         params
-    };
-    let mut fresh_norm: Vec<Vec<Option<f64>>> = fresh.iter().map(|_| vec![None; n]).collect();
+    });
+    let mut fresh_norm: Vec<DistanceFrame> =
+        fresh.iter().map(|_| DistanceFrame::undefined(n)).collect();
     let mut combined_raw: Vec<Option<f64>> = vec![None; n];
 
     // 0 = single window at the root, 1 = AND, 2 = OR — mirrors the
@@ -588,15 +660,20 @@ fn combine_vectorized(
         _ => 0u8,
     };
 
-    {
+    phase_time!((*timings), normalize_combine, {
         let mut srcs: Vec<Src<'_>> = Vec::with_capacity(top.len());
         let mut fresh_idx = 0;
         for slot in &slots {
             match slot {
-                Some(w) => srcs.push(Src::Ready(w.normalized.as_slice())),
+                Some(w) => srcs.push(Src::Ready(
+                    w.normalized.values(),
+                    w.normalized.validity().as_slice(),
+                )),
                 None => {
+                    let raw = &fresh[fresh_idx].distances;
                     srcs.push(Src::Fresh {
-                        raw: &fresh[fresh_idx].distances,
+                        raw_vals: raw.values(),
+                        raw_mask: raw.validity().as_slice(),
                         params: fresh_params[fresh_idx],
                         slot: fresh_idx,
                     });
@@ -607,16 +684,20 @@ fn combine_vectorized(
 
         /// One fused-walk task: a row offset, that row range of the
         /// combined output, and the same range of every fresh window's
-        /// normalized output.
-        type FusedTask<'a> = (usize, &'a mut [Option<f64>], Vec<&'a mut [Option<f64>]>);
+        /// normalized frame buffers.
+        type FusedTask<'a> = (
+            usize,
+            &'a mut [Option<f64>],
+            Vec<(&'a mut [f64], &'a mut [bool])>,
+        );
 
-        // split the combined vector and every fresh normalized vector in
+        // split the combined vector and every fresh normalized frame in
         // lockstep — by partition-respecting ranges, so one task owns the
         // same row range of all outputs and never crosses a partition
         let ranges = chunk::ranges(n, ctx.partitions);
         let mut fresh_iters: Vec<_> = fresh_norm
             .iter_mut()
-            .map(|v| chunk::split_ranges(v, &ranges).into_iter())
+            .map(|f| f.split_ranges_mut(&ranges).into_iter())
             .collect();
         let mut tasks: Vec<FusedTask<'_>> = Vec::new();
         for ((offset, _), comb) in ranges
@@ -624,7 +705,7 @@ fn combine_vectorized(
             .copied()
             .zip(chunk::split_ranges(&mut combined_raw, &ranges))
         {
-            let parts: Vec<&mut [Option<f64>]> = fresh_iters
+            let parts: Vec<(&mut [f64], &mut [bool])> = fresh_iters
                 .iter_mut()
                 .map(|it| it.next().expect("lockstep chunking"))
                 .collect();
@@ -641,10 +722,25 @@ fn combine_vectorized(
                     let r = offset + i;
                     for (slot, src) in row.iter_mut().zip(srcs.iter()) {
                         *slot = match src {
-                            Src::Ready(normalized) => normalized[r],
-                            Src::Fresh { raw, params, slot } => {
-                                let v = raw[r].map(|d| params.apply(d.abs()));
-                                parts[*slot][i] = v;
+                            Src::Ready(vals, mask) => mask[r].then(|| vals[r]),
+                            Src::Fresh {
+                                raw_vals,
+                                raw_mask,
+                                params,
+                                slot,
+                            } => {
+                                let v = raw_mask[r].then(|| params.apply(raw_vals[r].abs()));
+                                let (out_vals, out_mask) = &mut parts[*slot];
+                                match v {
+                                    Some(x) => {
+                                        out_vals[i] = x;
+                                        out_mask[i] = true;
+                                    }
+                                    None => {
+                                        out_vals[i] = 0.0;
+                                        out_mask[i] = false;
+                                    }
+                                }
                                 v
                             }
                         };
@@ -657,7 +753,7 @@ fn combine_vectorized(
                 }
             },
         );
-    }
+    });
 
     let mut fresh_it = fresh
         .into_iter()
@@ -722,6 +818,33 @@ fn percentage_count(p: f64, n: usize, defined: usize) -> usize {
     (((p / 100.0) * n as f64).round() as usize).min(defined)
 }
 
+/// The display count a *pure top-k* policy selects over `n` items of
+/// which `defined` have a defined combined distance, or `None` for the
+/// policies whose selection is not a plain top-k (gap heuristic,
+/// two-sided band). Public so the sorted-projection slider fast path
+/// selects exactly the set the pipeline would.
+pub fn display_count(
+    policy: &DisplayPolicy,
+    n: usize,
+    defined: usize,
+    num_windows: usize,
+) -> Option<usize> {
+    match policy {
+        DisplayPolicy::Percentage(p) => Some(percentage_count(*p, n, defined)),
+        DisplayPolicy::FitScreen {
+            pixels,
+            pixels_per_item,
+        } => Some(fit_screen_count(
+            *pixels,
+            *pixels_per_item,
+            n,
+            num_windows,
+            defined,
+        )),
+        DisplayPolicy::GapHeuristic { .. } | DisplayPolicy::TwoSidedPercentage(_) => None,
+    }
+}
+
 /// `FitScreen` display count (§5.1 `p = r / (n·(#sp+1))`).
 fn fit_screen_count(
     pixels: usize,
@@ -744,7 +867,7 @@ fn gap_bounds(rmin: usize, rmax: usize, defined: usize) -> (usize, usize) {
 /// The two-sided quantile band of the primary window's signed raw
 /// distances (`None` when the window has no defined distances).
 fn two_sided_band(win: &PredicateWindow, p: f64) -> Result<Option<(f64, f64)>> {
-    let signed: Vec<f64> = win.raw.iter().flatten().copied().collect();
+    let signed: Vec<f64> = win.raw.iter().flatten().collect();
     if signed.is_empty() {
         return Ok(None);
     }
@@ -757,7 +880,7 @@ fn two_sided_band(win: &PredicateWindow, p: f64) -> Result<Option<(f64, f64)>> {
 /// Two-sided membership: inside the band, or an exact answer
 /// ("exact answers always display", §5.1).
 fn in_two_sided_band(win: &PredicateWindow, lo: f64, hi: f64, i: usize) -> bool {
-    match win.raw[i] {
+    match win.raw.get(i) {
         Some(d) => (d >= lo && d <= hi) || d == 0.0,
         None => false,
     }
@@ -1222,11 +1345,11 @@ mod tests {
         assert_eq!(out.windows.len(), 2);
         let w0 = &out.windows[0];
         assert!(w0.signed);
-        assert_eq!(w0.raw[0], Some(-5.0)); // x=0 misses `>= 5` by 5
-        assert_eq!(w0.raw[5], Some(0.0));
+        assert_eq!(w0.raw.get(0), Some(-5.0)); // x=0 misses `>= 5` by 5
+        assert_eq!(w0.raw.get(5), Some(0.0));
         // normalized values live in [0, 255]
         for v in w0.normalized.iter().flatten() {
-            assert!((0.0..=NORM_MAX).contains(v));
+            assert!((0.0..=NORM_MAX).contains(&v));
         }
         // distance-exact AND answers: x in 5..=7 (distance functions do
         // not distinguish < from <=, see visdb_distance::numeric) -> 3

@@ -31,6 +31,33 @@ pub fn quantile(values: &[f64], alpha: f64) -> Result<f64> {
     Ok(*kth)
 }
 
+/// [`quantile`] over data that is **already sorted ascending** (e.g. a
+/// `visdb_index::SortedProjection`'s value buffer): the nearest-rank cut
+/// becomes one index computation instead of an O(n) selection. Not on
+/// any pipeline path today — the slider fast path derives its cuts from
+/// positions directly — but it is the primitive a sorted-projection
+/// two-sided band would use. The slice must be NaN-free (sorted
+/// projections exclude NaN by construction); results are identical to
+/// [`quantile`] on the same multiset.
+pub fn quantile_sorted(sorted: &[f64], alpha: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(Error::invalid_parameter(
+            "alpha",
+            format!("quantile level must be in [0,1], got {alpha}"),
+        ));
+    }
+    if sorted.is_empty() {
+        return Err(Error::invalid_parameter("values", "no finite values"));
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted ascending and NaN-free"
+    );
+    let n = sorted.len();
+    let k = ((alpha * n as f64).ceil() as usize).clamp(1, n);
+    Ok(sorted[k - 1])
+}
+
 /// The display fraction `p = r / (n·(#sp+1))` (§5.1): `r` pixels shared
 /// between the overall-result window and one window per selection
 /// predicate. When several pixels represent one item, divide `r` first
@@ -94,6 +121,23 @@ mod tests {
     fn quantile_ignores_nans() {
         let v = [f64::NAN, 2.0, 1.0];
         assert_eq!(quantile(&v, 1.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn sorted_quantile_matches_selection_quantile() {
+        let mut v: Vec<f64> = (0..97).map(|i| ((i * 31) % 53) as f64).collect();
+        let mut sorted = v.clone();
+        sorted.sort_by(f64::total_cmp);
+        for alpha in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                quantile_sorted(&sorted, alpha).unwrap(),
+                quantile(&v, alpha).unwrap(),
+                "alpha={alpha}"
+            );
+        }
+        v.clear();
+        assert!(quantile_sorted(&v, 0.5).is_err());
+        assert!(quantile_sorted(&sorted, 1.5).is_err());
     }
 
     #[test]

@@ -213,8 +213,11 @@ pub struct WindowCache {
 
 /// Default bound on the *total rows* cached across all windows. Entry
 /// count alone is no memory bound — one window over a 1M-row relation
-/// holds two `Vec<Option<f64>>` of that length (~32 MB) — so eviction
-/// also honours a row budget: 8M rows ≈ 256 MB resident worst case.
+/// holds two packed `DistanceFrame`s of that length (8-byte values plus
+/// a byte validity mask, ~18 MB/window vs the ~32 MB the old
+/// `Vec<Option<f64>>` pair cost) — so eviction also honours a row
+/// budget: 8M rows ≈ 144 MB resident worst case, roughly half of what
+/// the same budget pinned before the packed representation.
 pub const DEFAULT_WINDOW_ROW_BUDGET: usize = 8_000_000;
 
 impl WindowCache {
@@ -349,15 +352,15 @@ impl WindowSource for WindowCache {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use visdb_relevance::NormParams;
+    use visdb_relevance::{DistanceFrame, NormParams};
 
     fn window(tag: f64) -> PredicateWindow {
         PredicateWindow {
             label: format!("w{tag}"),
             signed: true,
             weight: 1.0,
-            raw: Arc::new(vec![Some(tag)]),
-            normalized: Arc::new(vec![Some(0.0)]),
+            raw: Arc::new(DistanceFrame::from_options(&[Some(tag)])),
+            normalized: Arc::new(DistanceFrame::from_options(&[Some(0.0)])),
             norm_params: NormParams {
                 dmin: 0.0,
                 dmax: tag,
@@ -386,8 +389,8 @@ mod tests {
     fn window_cache_row_budget_bounds_memory() {
         fn wide(tag: f64, rows: usize) -> PredicateWindow {
             PredicateWindow {
-                raw: Arc::new(vec![Some(tag); rows]),
-                normalized: Arc::new(vec![Some(0.0); rows]),
+                raw: Arc::new(DistanceFrame::from_options(&vec![Some(tag); rows])),
+                normalized: Arc::new(DistanceFrame::from_options(&vec![Some(0.0); rows])),
                 ..window(tag)
             }
         }

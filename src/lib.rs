@@ -118,13 +118,16 @@ pub mod prelude {
     pub use visdb_arrange::{arrange_grouped2d, arrange_overall, ItemGrid, PixelsPerItem};
     pub use visdb_color::{Colormap, ColormapKind, Rgb};
     pub use visdb_core::{
-        materialize_base, render_session, JoinOptions, Panel, RenderOptions, Session, SessionResult,
+        materialize_base, render_session, JoinOptions, Panel, RenderOptions, Session,
+        SessionResult, SliderDrag,
     };
     pub use visdb_data::{
         generate_cad, generate_environmental, generate_geographic, generate_multidb, CadConfig,
         EnvConfig, GeoConfig, MultiDbConfig,
     };
     pub use visdb_distance::{ColumnDistance, DistanceMatrix, DistanceResolver, StringDistance};
+    pub use visdb_distance::{DistanceFrame, FrameStats};
+    pub use visdb_index::SortedProjection;
     pub use visdb_query::{
         parse_query, AttrRef, CompareOp, ConditionNode, ConnectionDef, ConnectionKind,
         ConnectionRegistry, ConnectionUse, Predicate, PredicateTarget, Query, QueryBuilder,

@@ -14,10 +14,11 @@ fn table_from(values: &[f64]) -> Database {
     db
 }
 
-/// A two-column table where `tag` steers NULL placement: `tag == 0`
-/// nulls the numeric column, `tag == 1` nulls the string column, so the
-/// vectorized kernels see every validity shape (including NULL-heavy
-/// inputs) and string windows see NULL operands.
+/// A two-column table where `tag` steers NULL/NaN placement: `tag == 0`
+/// nulls the numeric column, `tag == 1` nulls the string column,
+/// `tag == 2` makes the numeric value NaN — so the vectorized kernels
+/// and the packed-frame fits see every validity shape (including
+/// NULL/NaN-heavy inputs) and string windows see NULL operands.
 fn table_with_nulls(rows: &[(f64, u8)]) -> Database {
     let mut t = TableBuilder::new(
         "T",
@@ -27,10 +28,10 @@ fn table_with_nulls(rows: &[(f64, u8)]) -> Database {
         ],
     );
     for (i, &(v, tag)) in rows.iter().enumerate() {
-        let x = if tag == 0 {
-            Value::Null
-        } else {
-            Value::Float(v)
+        let x = match tag {
+            0 => Value::Null,
+            2 => Value::Float(f64::NAN),
+            _ => Value::Float(v),
         };
         let s = if tag == 1 {
             Value::Null
@@ -90,10 +91,10 @@ fn first_divergence(
         if f.label != s.label || f.signed != s.signed || f.weight != s.weight {
             return Some(format!("window {i} metadata diverges"));
         }
-        if *f.raw != *s.raw {
+        if !f.raw.bits_eq(&s.raw) {
             return Some(format!("window {i} raw distances diverge"));
         }
-        if *f.normalized != *s.normalized {
+        if !f.normalized.bits_eq(&s.normalized) {
             return Some(format!("window {i} normalized distances diverge"));
         }
         if f.norm_params != s.norm_params {
@@ -332,6 +333,63 @@ proptest! {
         if !out.displayed.is_empty() {
             let c = (side - 1) / 2;
             prop_assert_eq!(grid.get(c, c), Some(out.displayed[0] as u32));
+        }
+    }
+
+    /// The sorted-projection slider fast path serves a drag with the
+    /// exact displayed set, exact-answer count and norm params a full
+    /// pipeline recompute produces — across monotone ops, top-k display
+    /// policies, NULL/NaN-heavy columns and duplicate-heavy values, over
+    /// a *sequence* of drags (so contained modifications exercise the §6
+    /// incremental cache's filter-on-hit path too).
+    #[test]
+    fn sorted_projection_drag_matches_full_recompute(
+        rows in prop::collection::vec((-1e3f64..1e3, 0u8..5), 1..200),
+        dups in 1.0f64..200.0,
+        t0 in -1e3f64..1e3,
+        drags in prop::collection::vec((-1e3f64..1e3, 0u8..2), 1..5),
+        pct in 1.0f64..100.0,
+        fitscreen in 0u8..2,
+    ) {
+        use std::sync::Arc;
+        // quantize to force duplicate values (tie-heavy boundaries)
+        let rows: Vec<(f64, u8)> = rows
+            .into_iter()
+            .map(|(v, tag)| ((v / dups).round() * dups, tag))
+            .collect();
+        let db = table_with_nulls(&rows);
+        let policy = if fitscreen == 1 {
+            DisplayPolicy::FitScreen { pixels: 96, pixels_per_item: 1 }
+        } else {
+            DisplayPolicy::Percentage(pct)
+        };
+        let make = || {
+            let mut s = Session::new(Arc::new(db.clone()), ConnectionRegistry::new());
+            s.set_display_policy(policy.clone()).unwrap();
+            s.set_query(
+                QueryBuilder::from_tables(["T"]).cmp("x", CompareOp::Ge, t0).build(),
+            ).unwrap();
+            s
+        };
+        let mut dragged = make();
+        for &(t, greater) in &drags {
+            let greater = greater == 1;
+            let target = PredicateTarget::Compare {
+                op: if greater { CompareOp::Ge } else { CompareOp::Le },
+                value: Value::Float(t),
+            };
+            let drag = dragged.drag_slider(0, target.clone()).unwrap();
+            prop_assert!(drag.incremental, "fast path must engage for {target:?}");
+            let mut full = make();
+            full.set_predicate_target(0, target.clone()).unwrap();
+            let res = full.result().unwrap();
+            prop_assert_eq!(&drag.displayed, &res.pipeline.displayed, "{:?}", target);
+            prop_assert_eq!(drag.num_exact, res.pipeline.num_exact, "{:?}", target);
+            prop_assert_eq!(
+                drag.norm_params,
+                res.pipeline.windows.first().map(|w| w.norm_params)
+            );
+            prop_assert_eq!(&drag.grid, &res.grid);
         }
     }
 

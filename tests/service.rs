@@ -212,6 +212,81 @@ fn sessions_survive_errors_and_eviction_frees_capacity() {
 }
 
 #[test]
+fn packed_frames_survive_edge_data_through_the_window_cache() {
+    // Edge data for the packed `DistanceFrame` representation: an
+    // all-NULL column, a NaN-riddled column, and a zero-row relation.
+    // Responses must round-trip the shared window cache byte-for-byte —
+    // a cached (packed) window must reproduce exactly the frames a cold
+    // evaluation renders.
+    let mut db = Database::new("edge");
+    let mut t = TableBuilder::new(
+        "E",
+        vec![
+            Column::new("dead", DataType::Float), // all NULL
+            Column::new("x", DataType::Float),    // NaN-heavy
+        ],
+    );
+    for i in 0..120 {
+        let x = if i % 3 == 0 {
+            Value::Float(f64::NAN)
+        } else {
+            Value::Float(i as f64)
+        };
+        t = t.row(vec![Value::Null, x]).unwrap();
+    }
+    db.add_table(t.build());
+    db.add_table(TableBuilder::new("Z", vec![Column::new("x", DataType::Float)]).build());
+    let db = Arc::new(db);
+
+    let drive = |service: &Service, text: &str| -> Vec<Response> {
+        let id = service.create_session("edge").unwrap();
+        [
+            Request::SetWindowSize { w: 8, h: 8 },
+            Request::SetDisplayPolicy(DisplayPolicy::Percentage(50.0)),
+            Request::SetQueryText(text.into()),
+            Request::Summary,
+            Request::Render(RenderFormat::Ascii),
+        ]
+        .into_iter()
+        .map(|req| service.submit(id, req).unwrap())
+        .collect()
+    };
+    let queries = [
+        "SELECT * FROM E WHERE dead >= 10", // all-undefined window
+        "SELECT * FROM E WHERE x >= 60 AND x < 100", // NaN-heavy windows
+        "SELECT * FROM Z WHERE x >= 1",     // zero-row relation
+    ];
+
+    let warm = Service::new(ServiceConfig {
+        workers: 2,
+        cache_capacity: 0, // only the *window* cache may dedupe
+        ..Default::default()
+    });
+    warm.register_dataset("edge", Arc::clone(&db), ConnectionRegistry::new());
+    let cold = Service::new(ServiceConfig {
+        workers: 2,
+        cache_capacity: 0,
+        window_cache_capacity: 0,
+        ..Default::default()
+    });
+    cold.register_dataset("edge", Arc::clone(&db), ConnectionRegistry::new());
+
+    for q in queries {
+        let first = drive(&warm, q);
+        let cached = drive(&warm, q); // every window served from cache
+        assert_eq!(first, cached, "cached windows must round-trip: {q}");
+        assert_eq!(drive(&cold, q), first, "cold run must agree: {q}");
+        for r in &first {
+            assert!(!matches!(r, Response::Error(_)), "{q}: {r:?}");
+        }
+    }
+    assert!(
+        warm.window_cache_stats().hits >= 2,
+        "edge windows must actually be served from the cache"
+    );
+}
+
+#[test]
 fn shared_windows_are_reused_across_sessions_and_stay_byte_identical() {
     // Two sessions issue overlapping two-predicate queries that differ
     // in exactly one predicate: the unchanged `x < 150` window must be
