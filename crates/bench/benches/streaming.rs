@@ -1,0 +1,74 @@
+//! Streaming vs materialized pipeline execution: the same multi-window
+//! query, bit-identical outputs (asserted before timing), only the
+//! intermediate representation differs — the materialized path builds
+//! `#sp + 1` full-size packed `DistanceFrame`s, the streaming path
+//! recomputes distances in two fused chunk walks and assembles the
+//! predicate windows lazily at the displayed row ids.
+//!
+//! The authoritative A/B (with the ≥ 1.3× acceptance gate at n = 1M)
+//! lives in the `pipeline_perf` binary; this bench is the quick,
+//! CI-smoked view across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use visdb_bench::{ramp_db, three_predicate_query};
+use visdb_distance::DistanceResolver;
+use visdb_relevance::pipeline::{
+    run_pipeline_opts, run_pipeline_scalar, DisplayPolicy, Materialization, PipelineOptions,
+};
+
+fn streaming_vs_materialized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_vs_materialized");
+    for n in [10_000usize, 100_000] {
+        let db = ramp_db(n);
+        let table = db.table("T").expect("ramp table");
+        let resolver = DistanceResolver::new();
+        let q = three_predicate_query(n);
+        let cond = q.condition.as_ref();
+        let policy = DisplayPolicy::Percentage(1.0);
+        let run = |materialization: Materialization| {
+            run_pipeline_opts(
+                &db,
+                table,
+                &resolver,
+                cond,
+                &policy,
+                PipelineOptions {
+                    materialization,
+                    ..Default::default()
+                },
+            )
+            .expect("pipeline")
+        };
+        // correctness before timing: both arms bit-identical to scalar
+        let slow = run_pipeline_scalar(&db, table, &resolver, cond, &policy).expect("scalar");
+        for materialization in [Materialization::Streaming, Materialization::Materialized] {
+            let out = run(materialization);
+            assert_eq!(out.combined, slow.combined, "{materialization:?} at n={n}");
+            assert_eq!(
+                out.displayed, slow.displayed,
+                "{materialization:?} at n={n}"
+            );
+            assert_eq!(
+                out.num_exact, slow.num_exact,
+                "{materialization:?} at n={n}"
+            );
+        }
+        assert!(
+            run(Materialization::Streaming)
+                .windows
+                .iter()
+                .all(|w| w.full_frames().is_none()),
+            "streaming must engage at n={n}"
+        );
+        group.bench_with_input(BenchmarkId::new("materialized", n), &n, |b, _| {
+            b.iter(|| run(Materialization::Materialized))
+        });
+        group.bench_with_input(BenchmarkId::new("streaming", n), &n, |b, _| {
+            b.iter(|| run(Materialization::Streaming))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, streaming_vs_materialized);
+criterion_main!(benches);

@@ -168,11 +168,7 @@ fn c5_approx_join() -> Result<()> {
         query.condition.as_ref(),
         &DisplayPolicy::Percentage(10.0),
     )?;
-    let best = out
-        .order
-        .first()
-        .copied()
-        .map(|i| out.windows[0].raw.get(i));
+    let best = out.order.first().copied().map(|i| out.windows[0].raw_at(i));
     println!(
         "  environmental at-same-time join: {} exact (clock offset), closest approximate pair \
          {:?} seconds apart",

@@ -217,11 +217,10 @@ fn fig4_and_5() -> Result<()> {
         PixelsPerItem::One,
     ));
     for w in &view.pipeline.windows {
-        let normalized = w.normalized.clone();
+        let w = w.clone();
         let m2 = map.clone();
         let colors = move |item: u32| -> Option<Rgb> {
-            normalized
-                .get(item as usize)
+            w.normalized_at(item as usize)
                 .and_then(|d| m2.color_for_distance(d).ok())
         };
         frames.push(render_item_window(
@@ -267,7 +266,7 @@ fn fig4_and_5() -> Result<()> {
         .iter()
         .filter(|&&i| {
             let far_on_humidity =
-                matches!(view.pipeline.windows[hum_window].normalized.get(i), Some(d) if d > 150.0);
+                matches!(view.pipeline.windows[hum_window].normalized_at(i), Some(d) if d > 150.0);
             let good_overall = matches!(res.pipeline.combined[i], Some(d) if d < 40.0);
             far_on_humidity && good_overall
         })

@@ -4,8 +4,11 @@
 //! partition passes + k-way merged top-k) rows/sec, pooled-vs-scoped
 //! fan-out timings, isolated top-k-vs-full-sort timings, a **per-phase
 //! breakdown** (distance / fit / normalize+combine / rank), the
-//! **packed-vs-Option** representation A/B, and the **slider-drag**
-//! micro-bench (sorted-projection incremental path vs full recompute).
+//! **packed-vs-Option** representation A/B, the **slider-drag**
+//! micro-bench (sorted-projection incremental path vs full recompute),
+//! and the **streaming-vs-materialized** A/B on a 2-predicate workload
+//! (zero-materialization two-pass execution vs full-size frame
+//! intermediates) with a streaming per-phase breakdown.
 //! Results are written to `BENCH_pipeline.json` so future PRs can track
 //! the perf trajectory — and see where the time goes, not just one
 //! end-to-end number.
@@ -15,11 +18,11 @@
 //! cargo run --release -p visdb-bench --bin pipeline_perf -- --smoke # CI: tiny n, asserts only
 //! ```
 //!
-//! In both modes the binary *asserts* that the vectorized **and
-//! partitioned** outputs are identical to the scalar reference — and
-//! the incremental slider drag identical to a full recompute — before
-//! it times anything; a regression that changes results fails the run
-//! regardless of timing noise.
+//! In both modes the binary *asserts* that the streaming, materialized
+//! **and partitioned** outputs are identical to the scalar reference —
+//! and the incremental slider drag identical to a full recompute —
+//! before it times anything; a regression that changes results fails
+//! the run regardless of timing noise.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -37,7 +40,7 @@ use visdb_relevance::chunk;
 use visdb_relevance::normalize::{fit_frame, fit_improved};
 use visdb_relevance::pipeline::{
     run_pipeline, run_pipeline_opts, run_pipeline_partitioned, run_pipeline_scalar, DisplayPolicy,
-    PhaseTimings, PipelineOptions, PipelineOutput,
+    Materialization, PhaseTimings, PipelineOptions, PipelineOutput,
 };
 use visdb_storage::Database;
 use visdb_types::Value;
@@ -78,6 +81,22 @@ struct SizeResult {
     drag_incremental_us: f64,
     drag_full_us: f64,
     drag_speedup: f64,
+    /// Streaming vs materialized A/B on the 2-predicate workload: the
+    /// same query, same outputs (asserted bit-identical first), only the
+    /// execution mode differs — materialized builds `#sp + 1` full-size
+    /// frame intermediates, streaming recomputes distances in two fused
+    /// chunk walks and assembles windows lazily at the displayed rows.
+    materialized2_rows_per_sec: f64,
+    streaming2_rows_per_sec: f64,
+    streaming_vs_materialized: f64,
+    /// Per-phase breakdown of one streaming run on the 2-predicate
+    /// workload (milliseconds; distance = the stats recompute walks,
+    /// normalize_combine = the fused combine pass + final
+    /// normalization, rank includes the late window assembly).
+    streaming_phase_distance_ms: f64,
+    streaming_phase_fit_ms: f64,
+    streaming_phase_normalize_combine_ms: f64,
+    streaming_phase_rank_ms: f64,
 }
 
 /// The pre-packed intermediate representation, reconstructed locally as
@@ -232,11 +251,20 @@ fn assert_identical(fast: &PipelineOutput, slow: &PipelineOutput, n: usize) {
         "top-k selection must engage when the display count < n (n={n})"
     );
     for (f, s) in fast.windows.iter().zip(&slow.windows) {
-        assert_eq!(*f.raw, *s.raw, "window raw diverges at n={n}");
+        assert_eq!(f.norm_params, s.norm_params, "norm params diverge at n={n}");
         assert_eq!(
-            *f.normalized, *s.normalized,
-            "window norm diverges at n={n}"
+            f.zero_raw_count(),
+            s.zero_raw_count(),
+            "window exact counts diverge at n={n}"
         );
+        for &i in &fast.displayed {
+            assert_eq!(f.raw_at(i), s.raw_at(i), "window raw diverges at n={n}");
+            assert_eq!(
+                f.normalized_at(i),
+                s.normalized_at(i),
+                "window norm diverges at n={n}"
+            );
+        }
     }
 }
 
@@ -273,14 +301,52 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
     let cond = q.condition.as_ref();
     let policy = DisplayPolicy::Percentage(1.0);
 
-    let fast = run_pipeline(&db, table, &resolver, cond, &policy).expect("vectorized");
+    let run_materialized = |cond: Option<&visdb_query::ast::Weighted>,
+                            timings: Option<&mut PhaseTimings>|
+     -> PipelineOutput {
+        run_pipeline_opts(
+            &db,
+            table,
+            &resolver,
+            cond,
+            &policy,
+            PipelineOptions {
+                materialization: Materialization::Materialized,
+                timings,
+                ..Default::default()
+            },
+        )
+        .expect("materialized vectorized")
+    };
+    // `run_pipeline` without caches = the Auto planner streaming
+    let stream = run_pipeline(&db, table, &resolver, cond, &policy).expect("streaming");
+    let mat = run_materialized(cond, None);
     let slow = run_pipeline_scalar(&db, table, &resolver, cond, &policy).expect("scalar");
-    assert_identical(&fast, &slow, n);
+    assert_identical(&stream, &slow, n);
+    assert_identical(&mat, &slow, n);
     // partitioned execution must be bit-identical at every partition
-    // count, including counts that leave partitions empty
+    // count, including counts that leave partitions empty — and both
+    // with (default) streaming and materialized execution
     for parts in [1usize, 2, 7, BENCH_PARTITIONS, 16] {
         let part =
             run_pipeline_partitioned(&db, table, &resolver, cond, &policy, parts).expect("parts");
+        assert_identical(&part, &slow, n);
+    }
+    {
+        let partitioning = table.partitions(BENCH_PARTITIONS);
+        let part = run_pipeline_opts(
+            &db,
+            table,
+            &resolver,
+            cond,
+            &policy,
+            PipelineOptions {
+                materialization: Materialization::Materialized,
+                partitions: Some(&partitioning),
+                ..Default::default()
+            },
+        )
+        .expect("materialized partitioned");
         assert_identical(&part, &slow, n);
     }
 
@@ -288,20 +354,69 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
     let scalar_s = time_per_call(min_reps, || {
         run_pipeline_scalar(&db, table, &resolver, cond, &policy).expect("scalar")
     });
-    let vector_s = time_per_call(min_reps, || {
-        run_pipeline(&db, table, &resolver, cond, &policy).expect("vectorized")
-    });
+    // the vectorized/partitioned/scoped series stay on the materialized
+    // path so they remain comparable with the committed history; the
+    // streaming mode gets its own A/B below
+    let vector_s = time_per_call(min_reps, || run_materialized(cond, None));
     let partitioned_s = time_per_call(min_reps, || {
-        run_pipeline_partitioned(&db, table, &resolver, cond, &policy, BENCH_PARTITIONS)
-            .expect("partitioned")
+        let partitioning = table.partitions(BENCH_PARTITIONS);
+        run_pipeline_opts(
+            &db,
+            table,
+            &resolver,
+            cond,
+            &policy,
+            PipelineOptions {
+                materialization: Materialization::Materialized,
+                partitions: Some(&partitioning),
+                ..Default::default()
+            },
+        )
+        .expect("partitioned")
     });
     // the same vectorized pipeline with fan-out forced back onto
     // per-walk scoped spawns — the pre-runtime baseline
-    let scoped_s = chunk::with_scoped_spawns(|| {
-        time_per_call(min_reps, || {
-            run_pipeline(&db, table, &resolver, cond, &policy).expect("scoped vectorized")
-        })
-    });
+    let scoped_s =
+        chunk::with_scoped_spawns(|| time_per_call(min_reps, || run_materialized(cond, None)));
+
+    // ---- streaming vs materialized A/B: the 2-predicate workload the
+    // streaming mode targets (per-predicate frame traffic dominates) ---
+    let q2 = QueryBuilder::from_tables(["T"])
+        .cmp("x", CompareOp::Ge, n as f64 * 0.9)
+        .cmp("x", CompareOp::Lt, n as f64 * 0.95)
+        .build();
+    let cond2 = q2.condition.as_ref();
+    let run_streaming = |timings: Option<&mut PhaseTimings>| -> PipelineOutput {
+        run_pipeline_opts(
+            &db,
+            table,
+            &resolver,
+            cond2,
+            &policy,
+            PipelineOptions {
+                materialization: Materialization::Streaming,
+                timings,
+                ..Default::default()
+            },
+        )
+        .expect("streaming 2-predicate")
+    };
+    let slow2 = run_pipeline_scalar(&db, table, &resolver, cond2, &policy).expect("scalar 2-pred");
+    let stream2 = run_streaming(None);
+    assert_identical(&stream2, &slow2, n);
+    assert!(
+        stream2.windows.iter().all(|w| w.full_frames().is_none()),
+        "the A/B streaming arm must actually stream at n={n}"
+    );
+    let materialized2_s = time_per_call(min_reps, || run_materialized(cond2, None));
+    let streaming2_s = time_per_call(min_reps, || run_streaming(None));
+    let mut streaming_phases = PhaseTimings::default();
+    let streaming_phase_reps = min_reps.max(3);
+    for _ in 0..streaming_phase_reps {
+        std::hint::black_box(run_streaming(Some(&mut streaming_phases)));
+    }
+    let streaming_per_ms =
+        |d: std::time::Duration| d.as_secs_f64() * 1e3 / streaming_phase_reps as f64;
 
     // top-k vs full sort on the same synthetic ranking problem
     let combined = synthetic_combined(n, 0x5eed ^ n as u64);
@@ -376,6 +491,13 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
         drag_incremental_us: drag_inc_s * 1e6,
         drag_full_us: drag_full_s * 1e6,
         drag_speedup: drag_full_s / drag_inc_s,
+        materialized2_rows_per_sec: n as f64 / materialized2_s,
+        streaming2_rows_per_sec: n as f64 / streaming2_s,
+        streaming_vs_materialized: materialized2_s / streaming2_s,
+        streaming_phase_distance_ms: streaming_per_ms(streaming_phases.distance),
+        streaming_phase_fit_ms: streaming_per_ms(streaming_phases.fit),
+        streaming_phase_normalize_combine_ms: streaming_per_ms(streaming_phases.normalize_combine),
+        streaming_phase_rank_ms: streaming_per_ms(streaming_phases.rank),
     }
 }
 
@@ -419,6 +541,17 @@ fn main() {
             r.drag_incremental_us,
             r.drag_full_us,
             r.drag_speedup,
+        );
+        println!(
+            "            streaming-vs-materialized (2-pred): {:>12.0} vs {:>12.0} rows/s ({:.2}x) | \
+             streaming phases: distance {:.3} ms | fit {:.3} ms | norm+combine {:.3} ms | rank {:.3} ms",
+            r.streaming2_rows_per_sec,
+            r.materialized2_rows_per_sec,
+            r.streaming_vs_materialized,
+            r.streaming_phase_distance_ms,
+            r.streaming_phase_fit_ms,
+            r.streaming_phase_normalize_combine_ms,
+            r.streaming_phase_rank_ms,
         );
         results.push(r);
     }
@@ -468,10 +601,23 @@ fn main() {
         let _ = writeln!(
             json,
             "     \"drag_incremental_us\": {:.1}, \"drag_full_us\": {:.1}, \
-             \"drag_speedup\": {:.2}}}{}",
-            r.drag_incremental_us,
-            r.drag_full_us,
-            r.drag_speedup,
+             \"drag_speedup\": {:.2},",
+            r.drag_incremental_us, r.drag_full_us, r.drag_speedup,
+        );
+        let _ = writeln!(
+            json,
+            "     \"materialized2_rows_per_sec\": {:.0}, \"streaming2_rows_per_sec\": {:.0}, \
+             \"streaming_vs_materialized\": {:.3},",
+            r.materialized2_rows_per_sec, r.streaming2_rows_per_sec, r.streaming_vs_materialized,
+        );
+        let _ = writeln!(
+            json,
+            "     \"streaming_phase_ms\": {{\"distance\": {:.3}, \"fit\": {:.3}, \
+             \"normalize_combine\": {:.3}, \"rank\": {:.3}}}}}{}",
+            r.streaming_phase_distance_ms,
+            r.streaming_phase_fit_ms,
+            r.streaming_phase_normalize_combine_ms,
+            r.streaming_phase_rank_ms,
             if i + 1 < results.len() { "," } else { "" },
         );
     }
@@ -513,6 +659,15 @@ fn main() {
                  representation at n={} (got {:.2}x)",
                 big.n,
                 big.packed_vs_option
+            );
+            assert!(
+                big.streaming_vs_materialized >= 1.3,
+                "acceptance: streaming execution must be >= 1.3x the materialized \
+                 path on the 2-predicate workload at n={} (got {:.2}x: {:.0} vs {:.0} rows/s)",
+                big.n,
+                big.streaming_vs_materialized,
+                big.streaming2_rows_per_sec,
+                big.materialized2_rows_per_sec
             );
             assert!(
                 big.drag_speedup >= 5.0,

@@ -14,7 +14,14 @@ pub struct RenderOptions {
     pub columns: usize,
     /// Margin between windows in pixels.
     pub margin: usize,
-    /// Also append slider spectrum strips under the windows.
+    /// Also append slider spectrum strips under the windows. The strips
+    /// are a full-relation view: for a session running the streaming
+    /// execution mode ([`Session::set_materialization`]) the
+    /// per-window strips cover only the ranked rows its
+    /// late-materialized windows hold (the rendered windows themselves
+    /// are complete — they only ever paint displayed items).
+    ///
+    /// [`Session::set_materialization`]: crate::Session::set_materialization
     pub with_spectra: bool,
 }
 
@@ -67,11 +74,12 @@ pub fn render_session(session: &mut Session, opts: &RenderOptions) -> Result<Fra
     // per-predicate windows: same placement, window-local colors
     for win in &res.pipeline.windows {
         let grid = place_like(&res.grid);
-        let normalized = win.normalized.clone();
+        // windows cover every displayed item whether materialized or
+        // late-materialized (the grid only places displayed items)
+        let win = win.clone();
         let map = map0.clone();
         let colors = move |item: u32| -> Option<Rgb> {
-            normalized
-                .get(item as usize)
+            win.normalized_at(item as usize)
                 .and_then(|d| map.color_for_distance(d).ok())
         };
         frames.push(render_item_window(
@@ -89,7 +97,7 @@ pub fn render_session(session: &mut Session, opts: &RenderOptions) -> Result<Fra
         let width = res.grid.width() * ppi.side();
         frames.push(render_spectrum(&res.pipeline.combined, map, width, 8));
         for win in &res.pipeline.windows {
-            frames.push(render_spectrum(&win.normalized.to_options(), map, width, 8));
+            frames.push(render_spectrum(&win.normalized_options(), map, width, 8));
         }
     }
 

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use visdb_arrange::{arrange_overall, ItemGrid, PixelsPerItem};
 use visdb_color::{Colormap, ColormapKind};
 use visdb_distance::registry::{ColumnDistance, DistanceResolver};
-use visdb_index::{IncrementalCache, SortedProjection};
+use visdb_index::{IncrementalCache, ProjectionSource, SortedProjection};
 use visdb_query::ast::{CompareOp, ConditionNode, PredicateTarget, Query, Weighted};
 use visdb_query::connection::ConnectionRegistry;
 use visdb_query::parser::parse_query;
@@ -21,8 +21,8 @@ use visdb_relevance::cache::{PipelineCache, WindowSource};
 use visdb_relevance::eval::{EvalContext, ExecMode};
 use visdb_relevance::normalize::{fit_k, NormParams};
 use visdb_relevance::pipeline::{
-    display_count, run_pipeline, run_pipeline_opts, DisplayPolicy, PipelineOptions, PipelineOutput,
-    SharedWindows,
+    display_count, run_pipeline_opts, DisplayPolicy, Materialization, PipelineOptions,
+    PipelineOutput, SharedWindows,
 };
 use visdb_storage::{Database, Row, Table};
 use visdb_types::{Error, Result, Value};
@@ -66,16 +66,33 @@ pub struct SliderDrag {
 
 /// The per-session sorted-projection slider index: one column's sorted
 /// permutation behind the §6 incremental range cache. Rebuilt when the
-/// dragged column (or the base relation) changes — at most **one**
-/// projection is retained per session (~20 bytes/row: coords + perm +
-/// sorted values), dropped with the session on eviction. Sharing one
-/// projection per (dataset generation, column) across sessions — like
-/// the window cache shares windows — is the noted follow-up.
+/// dragged column (or the base relation) changes. The projection itself
+/// (~20 bytes/row: coords + perm + sorted values) lives behind an `Arc`:
+/// with a shared [`ProjectionSource`] attached
+/// ([`Session::set_shared_projections`]), N sessions dragging the same
+/// column share **one** build per (dataset generation, column) instead
+/// of paying one each; only the thin candidate-band cache stays
+/// per-session.
 struct SliderIndex {
     table: String,
     rows: usize,
     column: String,
-    cache: IncrementalCache<SortedProjection>,
+    cache: IncrementalCache<Arc<SortedProjection>>,
+}
+
+/// The shared-projection cache key: dataset-generation scope, table, row
+/// count and column, length-prefix framed exactly like
+/// [`visdb_relevance::window_key`] — so a crafted scope/table/column
+/// string cannot shift bytes across field boundaries, and the serving
+/// layer's dataset invalidation can parse the scope back out with
+/// [`visdb_relevance::key_scope`].
+pub fn projection_key(scope: &str, table: &str, rows: usize, column: &str) -> String {
+    format!(
+        "{}:{scope}{}:{table}{rows};{}:{column}",
+        scope.len(),
+        table.len(),
+        column.len()
+    )
 }
 
 /// A drill-down view of one query part (§4.4: double-clicking a boolean
@@ -117,9 +134,15 @@ pub struct Session {
     /// sessions over the same dataset generation (see
     /// [`Session::set_shared_windows`]).
     shared_windows: Option<(String, Arc<dyn WindowSource>)>,
+    /// Cross-session sorted-projection reuse for the slider fast path
+    /// (see [`Session::set_shared_projections`]).
+    shared_projections: Option<(String, Arc<dyn ProjectionSource>)>,
     /// Horizontal partitions per pipeline run (0/1 = unpartitioned).
     /// A pure scheduling knob: outputs are bit-identical either way.
     partitions: usize,
+    /// Streaming vs materialized pipeline execution (see
+    /// [`Session::set_materialization`]). Bit-identical either way.
+    materialization: Materialization,
     /// Sorted-projection slider index (see [`Session::drag_slider`]).
     slider_index: Option<SliderIndex>,
 }
@@ -148,7 +171,9 @@ impl Session {
             result: None,
             pipeline_cache: PipelineCache::new(),
             shared_windows: None,
+            shared_projections: None,
             partitions: 0,
+            materialization: Materialization::Auto,
             slider_index: None,
         }
     }
@@ -178,6 +203,22 @@ impl Session {
         self.shared_windows = Some((scope.into(), cache));
     }
 
+    /// Attach a sorted-projection cache shared with other sessions: the
+    /// slider fast path's per-column build (~20 bytes/row) is fetched
+    /// from — and contributed to — a per-(dataset generation, column)
+    /// shared store instead of being rebuilt per session.
+    ///
+    /// `scope` must uniquely identify the dataset *generation*, exactly
+    /// like [`Session::set_shared_windows`]. Projections are pure column
+    /// data, so they remain shareable under custom distance resolvers.
+    pub fn set_shared_projections(
+        &mut self,
+        scope: impl Into<String>,
+        cache: Arc<dyn ProjectionSource>,
+    ) {
+        self.shared_projections = Some((scope.into(), cache));
+    }
+
     /// Run the pipeline over `parts` horizontal partitions of the base
     /// relation (0 or 1 restores the unpartitioned walk). Results are
     /// bit-identical either way — partitioning only changes how the
@@ -185,6 +226,26 @@ impl Session {
     /// stays valid.
     pub fn set_partitions(&mut self, parts: usize) {
         self.partitions = parts;
+    }
+
+    /// Streaming vs materialized pipeline execution. `Streaming` trades
+    /// the §6 window caches for zero-materialization execution:
+    /// recalculations skip both cache layers and run the two-pass
+    /// streaming pipeline whenever the query shape allows, assembling
+    /// predicate windows lazily at the ranked (sorted-prefix) rows. The
+    /// default `Auto` keeps today's cached, materialized behaviour for
+    /// sessions (caches are attached, so the planner materializes).
+    ///
+    /// Pipeline outputs — combined distances, relevance, ranking,
+    /// display sets, window values at every ranked row — are
+    /// bit-identical in all modes. The one intentional exception: the
+    /// optional per-window spectrum strips
+    /// ([`crate::RenderOptions::with_spectra`], default off) are a
+    /// full-relation view, so under streaming they show only the ranked
+    /// rows a late-materialized window covers.
+    pub fn set_materialization(&mut self, materialization: Materialization) {
+        self.materialization = materialization;
+        self.invalidate();
     }
 
     /// The underlying database.
@@ -322,13 +383,15 @@ impl Session {
             .as_ref()
             .ok_or_else(|| Error::invalid_query("no query installed"))?;
         let base = materialize_base(&self.db, query, &self.join_opts)?;
+        let streaming = self.materialization == Materialization::Streaming;
         // the shared cache key identifies the base by (table, row count);
         // sampled cross products can collide on both, so only plain
-        // single-table bases participate
+        // single-table bases participate; forced streaming bypasses both
+        // cache layers entirely (nothing cacheable is produced)
         let shared = self
             .shared_windows
             .as_ref()
-            .filter(|_| query.tables.len() == 1)
+            .filter(|_| query.tables.len() == 1 && !streaming)
             .map(|(scope, cache)| SharedWindows {
                 scope,
                 cache: cache.as_ref(),
@@ -341,9 +404,10 @@ impl Session {
             query.condition.as_ref(),
             &self.policy,
             PipelineOptions {
-                cache: Some(&mut self.pipeline_cache),
+                cache: (!streaming).then_some(&mut self.pipeline_cache),
                 shared,
                 partitions: partitioning.as_ref(),
+                materialization: self.materialization,
                 ..Default::default()
             },
         )?;
@@ -540,13 +604,32 @@ impl Session {
         ) {
             return Ok(None);
         }
-        // build (or reuse) the sorted projection for this column
+        // build (or reuse) the sorted projection for this column: the
+        // per-session index first, then the shared per-(generation,
+        // column) cache, then a fresh build that feeds the shared cache
         let reusable = matches!(
             &self.slider_index,
             Some(si) if si.table == table.name() && si.rows == n && si.column == col_name
         );
         if !reusable {
-            let proj = SortedProjection::build(n, |i| col.get_f64(i));
+            // only plain single-table bases share projections: the key
+            // identifies rows by (scope, table, count), which sampled
+            // cross products can collide on (query.tables.len() == 1 is
+            // already guaranteed on this path)
+            let proj: Arc<SortedProjection> = match &self.shared_projections {
+                Some((scope, shared)) => {
+                    let key = projection_key(scope, table.name(), n, &col_name);
+                    match shared.lookup(&key) {
+                        Some(proj) => proj,
+                        None => {
+                            let proj = Arc::new(SortedProjection::build(n, |i| col.get_f64(i)));
+                            shared.store(key, Arc::clone(&proj));
+                            proj
+                        }
+                    }
+                }
+                None => Arc::new(SortedProjection::build(n, |i| col.get_f64(i))),
+            };
             self.slider_index = Some(SliderIndex {
                 table: table.name().to_string(),
                 rows: n,
@@ -839,7 +922,7 @@ impl Session {
             .displayed
             .iter()
             .copied()
-            .filter(|&i| matches!(win.normalized.get(i), Some(d) if d >= lo && d <= hi))
+            .filter(|&i| matches!(win.normalized_at(i), Some(d) if d >= lo && d <= hi))
             .collect();
         self.color_range = Some((window_idx, lo, hi));
         Ok(items)
@@ -877,7 +960,7 @@ impl Session {
             .pipeline
             .displayed
             .iter()
-            .filter_map(|&i| match (wx.raw.get(i), wy.raw.get(i)) {
+            .filter_map(|&i| match (wx.raw_at(i), wy.raw_at(i)) {
                 (Some(dx), Some(dy)) => Some(visdb_arrange::grouped2d::Item2D { item: i, dx, dy }),
                 _ => None,
             })
@@ -910,12 +993,19 @@ impl Session {
         let _ = self.result()?;
         let res = self.result.as_ref().expect("cached");
         let sub_weighted = Weighted::unit(sub);
-        let pipeline = run_pipeline(
+        // drill-down windows are rendered at the *parent's* displayed
+        // rows (shared arrangement), which a late-materialized window
+        // would not cover — materialize explicitly
+        let pipeline = run_pipeline_opts(
             &self.db,
             &res.base,
             &self.resolver,
             Some(&sub_weighted),
             &policy,
+            PipelineOptions {
+                materialization: Materialization::Materialized,
+                ..Default::default()
+            },
         )?;
         let grid = if independent {
             arrange_overall(&pipeline.displayed, w, h)
@@ -951,7 +1041,7 @@ impl Session {
             let mut s = SliderModel {
                 label: win.label.clone(),
                 weight: win.weight,
-                num_results: win.raw.iter().filter(|d| *d == Some(0.0)).count(),
+                num_results: win.zero_raw_count(),
                 ..Default::default()
             };
             if let Some(ConditionNode::Predicate(p)) = node {
@@ -997,7 +1087,7 @@ impl Session {
                             let mut vlo = f64::INFINITY;
                             let mut vhi = f64::NEG_INFINITY;
                             for &item in &res.pipeline.displayed {
-                                if let Some(d) = win.normalized.get(item) {
+                                if let Some(d) = win.normalized_at(item) {
                                     if d >= clo && d <= chi {
                                         if let Some(v) = col.get_f64(item) {
                                             vlo = vlo.min(v);

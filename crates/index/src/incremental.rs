@@ -140,6 +140,29 @@ pub trait PointAccess {
     fn point(&self, i: usize) -> &[f64];
 }
 
+// `Arc`-wrapped indexes delegate, so a projection shared across
+// sessions (see `crate::ProjectionSource`) plugs into the per-session
+// incremental cache without cloning the underlying build.
+impl<I: RangeIndex + ?Sized> RangeIndex for std::sync::Arc<I> {
+    fn dims(&self) -> usize {
+        (**self).dims()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn range_query(&self, low: &[f64], high: &[f64]) -> Result<Vec<usize>> {
+        (**self).range_query(low, high)
+    }
+}
+
+impl<I: PointAccess + ?Sized> PointAccess for std::sync::Arc<I> {
+    fn point(&self, i: usize) -> &[f64] {
+        (**self).point(i)
+    }
+}
+
 impl PointAccess for crate::KdTree {
     fn point(&self, i: usize) -> &[f64] {
         &self.points()[i]

@@ -30,7 +30,25 @@ pub use kdtree::KdTree;
 pub use linear::LinearScan;
 pub use projection::SortedProjection;
 
+use std::sync::Arc;
 use visdb_types::Result;
+
+/// A shared, cross-session store of built [`SortedProjection`]s, keyed
+/// by an opaque string that must cover every input of a build: the
+/// dataset *generation*, the table, the row count and the column (the
+/// serving layer's `visdb_core::projection_key`). A projection is pure
+/// column data — independent of distance resolvers and display settings
+/// — so N sessions dragging sliders on the same column can share one
+/// ~20 bytes/row build instead of paying one each.
+///
+/// Implementations must be safe to call concurrently; projections are
+/// handed out as cheap [`Arc`] clones.
+pub trait ProjectionSource: Send + Sync {
+    /// Return a previously stored projection for this exact key, if any.
+    fn lookup(&self, key: &str) -> Option<Arc<SortedProjection>>;
+    /// Store a freshly built projection under its key.
+    fn store(&self, key: String, projection: Arc<SortedProjection>);
+}
 
 /// Orthogonal range queries over a fixed set of `dims()`-dimensional
 /// points. Implementations return *row indices* of matching points.

@@ -391,17 +391,17 @@ mod tests {
 
     fn eval(n: usize) -> PredicateWindow {
         use visdb_distance::frame::DistanceFrame;
-        PredicateWindow {
-            label: "t".into(),
-            signed: true,
-            weight: 1.0,
-            raw: Arc::new(DistanceFrame::from_options(&vec![Some(0.0); n])),
-            normalized: Arc::new(DistanceFrame::from_options(&vec![Some(0.0); n])),
-            norm_params: NormParams {
+        PredicateWindow::full(
+            "t".into(),
+            true,
+            1.0,
+            Arc::new(DistanceFrame::from_options(&vec![Some(0.0); n])),
+            Arc::new(DistanceFrame::from_options(&vec![Some(0.0); n])),
+            NormParams {
                 dmin: 0.0,
                 dmax: 0.0,
             },
-        }
+        )
     }
 
     fn table(n: usize) -> Table {

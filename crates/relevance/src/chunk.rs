@@ -195,6 +195,37 @@ pub fn for_each_chunk<T: Send>(out: &mut [T], parallel: bool, f: impl Fn(usize, 
     for_each_range(out, None, parallel, f);
 }
 
+/// Map every row range of a pass to a result, without any backing output
+/// slice: `f(offset, len)` runs once per range (fanned out across the
+/// runtime under the usual conditions) and the per-range results come
+/// back **in range order**, so order-sensitive merges stay deterministic
+/// regardless of thread schedule. This is the walk shape of the
+/// streaming pipeline's stats passes, which recompute distances in
+/// registers and keep only per-range accumulators.
+pub fn map_ranges<R: Send>(
+    n: usize,
+    partitions: Option<&Partitioning>,
+    parallel: bool,
+    f: impl Fn(usize, usize) -> R + Sync,
+) -> Vec<R> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let fan_out = parallel && n >= PAR_MIN_ROWS;
+    let ranges = ranges(n, partitions);
+    let mut out: Vec<Option<R>> = ranges.iter().map(|_| None).collect();
+    {
+        let tasks: Vec<(&(usize, usize), &mut Option<R>)> =
+            ranges.iter().zip(out.iter_mut()).collect();
+        run_striped(tasks, fan_out, |(&(offset, len), slot)| {
+            *slot = Some(f(offset, len));
+        });
+    }
+    out.into_iter()
+        .map(|r| r.expect("every range produces a result"))
+        .collect()
+}
+
 /// [`for_each_range`] over a packed [`DistanceFrame`]: each task gets
 /// the lockstep `(values, validity)` sub-slices of its row range and
 /// returns that range's [`FrameStats`]; the merged stats of the whole

@@ -272,7 +272,10 @@ impl<'a> EvalContext<'a> {
     /// under the column's distance behaviour. `None` falls back to the
     /// generic per-tuple path (strings, matrices, geo, bool columns, and
     /// any application-supplied distance override).
-    fn kernel_for(cd: &ColumnDistance, target: &PredicateTarget) -> Option<NumericKernel> {
+    pub(crate) fn kernel_for(
+        cd: &ColumnDistance,
+        target: &PredicateTarget,
+    ) -> Option<NumericKernel> {
         if !matches!(cd, ColumnDistance::Numeric) {
             return None;
         }
@@ -532,7 +535,7 @@ impl<'a> EvalContext<'a> {
 }
 
 /// Distance of row `i` of `col` from fulfilling `col op value`.
-fn compare_distance(
+pub(crate) fn compare_distance(
     col: &ColumnData,
     i: usize,
     op: CompareOp,
@@ -592,7 +595,7 @@ fn compare_distance(
 /// Distance of row `i` from the inclusive range `[low, high]`, generalised
 /// beyond numerics: inside → 0, outside → signed distance to the violated
 /// bound under the column's distance behaviour.
-fn range_distance(
+pub(crate) fn range_distance(
     col: &ColumnData,
     i: usize,
     low: &Value,

@@ -36,6 +36,7 @@ pub mod normalize;
 pub mod pipeline;
 pub mod quantile;
 pub mod reduction;
+pub(crate) mod stream;
 
 pub use cache::{key_scope, window_key, PipelineCache, WindowSource};
 pub use eval::{EvalContext, ExecMode, NodeEval};
@@ -45,8 +46,8 @@ pub use normalize::{
 };
 pub use pipeline::{
     display_count, run_pipeline, run_pipeline_cached, run_pipeline_opts, run_pipeline_partitioned,
-    run_pipeline_scalar, DisplayPolicy, PhaseTimings, PipelineOptions, PipelineOutput,
-    PredicateWindow, SharedWindows,
+    run_pipeline_scalar, DisplayPolicy, DisplayedWindow, Materialization, PhaseTimings,
+    PipelineOptions, PipelineOutput, PredicateWindow, SharedWindows, WindowData,
 };
 pub use quantile::{display_fraction, quantile, two_sided_range};
 pub use reduction::{gap_cutoff, gap_cutoff_naive};

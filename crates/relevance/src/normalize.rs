@@ -61,7 +61,7 @@ impl NormParams {
 // indistinguishable from an exact answer (wrong yellow region, wrong
 // `# results`). Anchoring at zero preserves the invariant
 // `normalized == 0 ⇔ raw == 0` that the whole display semantics rest on.
-fn params_from_max(dmax: f64) -> NormParams {
+pub(crate) fn params_from_max(dmax: f64) -> NormParams {
     if dmax.is_finite() {
         NormParams { dmin: 0.0, dmax }
     } else {
@@ -104,7 +104,7 @@ pub fn fit_k(n: usize, weight: f64, display_budget: usize) -> Option<usize> {
 /// among the `k` smallest (non-finite candidates sort last under
 /// `total_cmp`, so they only enter when nothing nearer is left, and the
 /// finite filter keeps them out of the transform range either way).
-fn dmax_of_prefix(abs: &[f64]) -> f64 {
+pub(crate) fn dmax_of_prefix(abs: &[f64]) -> f64 {
     abs.iter()
         .copied()
         .filter(|d| d.is_finite())

@@ -53,7 +53,10 @@ pub use crate::eval::ExecMode;
 /// Wall-clock breakdown of one pipeline run, phase by phase — where the
 /// time actually goes at scale (the `pipeline_perf` bench records this
 /// in `BENCH_pipeline.json` so the perf trajectory is attributable
-/// instead of one end-to-end number).
+/// instead of one end-to-end number). Streaming runs attribute their
+/// stats walks to `distance`, fit merges to `fit`, the fused combine
+/// pass plus final normalization to `normalize_combine`, and ranking
+/// plus the O(k) late window assembly to `rank`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimings {
     /// Distance walks over the base relation (kernels or per-tuple),
@@ -138,6 +141,65 @@ impl DisplayPolicy {
     }
 }
 
+/// Where a [`PredicateWindow`]'s per-item distances live.
+///
+/// The materialized representation holds two full-size packed
+/// [`DistanceFrame`]s — the cacheable form every window cache stores and
+/// the §5.1 two-sided display selection requires. The streaming
+/// execution mode instead assembles windows **lazily**: only the
+/// *ranked* rows — the sorted prefix `order[..sorted_len]`, a superset
+/// of the displayed set (the gap heuristic ranks `rmax + z + 1` rows
+/// but may display fewer) — are evaluated, shrinking the per-window
+/// footprint from ~9 bytes/row to O(k) for the k ranked items. §4.2
+/// windows are position-coherent with the overall window, so ranked
+/// rows are the only rows renderers and prefix-walking callers read.
+#[derive(Debug, Clone)]
+pub enum WindowData {
+    /// Fully materialized frames (the default path; required for caching
+    /// and for full-relation reads).
+    Full {
+        /// Raw signed distances per item in packed SoA form (shared with
+        /// the incremental caches; cloning a window is cheap).
+        raw: Arc<DistanceFrame>,
+        /// Normalized absolute distances (`[0, 255]`), packed like `raw`.
+        normalized: Arc<DistanceFrame>,
+    },
+    /// Late-materialized: the ranked (sorted-prefix) rows only,
+    /// evaluated after the ranking of the streaming execution mode.
+    Displayed(Arc<DisplayedWindow>),
+}
+
+/// The late-materialized window payload of the streaming execution mode:
+/// raw distances at the ranked (sorted-prefix) row ids plus the
+/// full-relation exact-answer count (fused into the streaming combine
+/// walk, so the §4.3 panel's `# results` field never needs the full
+/// frame).
+#[derive(Debug, Clone)]
+pub struct DisplayedWindow {
+    /// Rows of the base relation (the length a full frame would have).
+    n: usize,
+    /// `(row, raw signed distance)` for every covered (ranked) row,
+    /// ascending by row id; `None` = covered but undefined.
+    rows: Vec<(usize, Option<f64>)>,
+    /// Exact answers (`raw == 0`) over the **full** relation.
+    zeros: usize,
+}
+
+impl DisplayedWindow {
+    /// Build from covered rows (must be sorted ascending by row id).
+    pub fn new(n: usize, rows: Vec<(usize, Option<f64>)>, zeros: usize) -> Self {
+        debug_assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+        DisplayedWindow { n, rows, zeros }
+    }
+
+    fn raw_at(&self, i: usize) -> Option<f64> {
+        self.rows
+            .binary_search_by_key(&i, |r| r.0)
+            .ok()
+            .and_then(|pos| self.rows[pos].1)
+    }
+}
+
 /// One per-predicate visualization window (§4.2): the raw signed
 /// distances, the `[0,255]` normalization, and the fitted parameters so
 /// sliders can map colors back to attribute values.
@@ -149,15 +211,104 @@ pub struct PredicateWindow {
     pub signed: bool,
     /// Weight of this predicate in the query.
     pub weight: f64,
-    /// Raw signed distances per item in packed SoA form (shared with the
-    /// incremental caches; cloning a window is cheap, and a cached
-    /// window costs ~9 bytes/row instead of the 16 of the old
-    /// `Vec<Option<f64>>`).
-    pub raw: Arc<DistanceFrame>,
-    /// Normalized absolute distances (`[0, 255]`), packed like `raw`.
-    pub normalized: Arc<DistanceFrame>,
+    /// The per-item distance data: materialized full frames or the
+    /// streaming mode's displayed-rows slice.
+    pub data: WindowData,
     /// The fitted normalization (for color → value lookups).
     pub norm_params: NormParams,
+}
+
+impl PredicateWindow {
+    /// A window over fully materialized frames (the cacheable form).
+    pub fn full(
+        label: String,
+        signed: bool,
+        weight: f64,
+        raw: Arc<DistanceFrame>,
+        normalized: Arc<DistanceFrame>,
+        norm_params: NormParams,
+    ) -> Self {
+        PredicateWindow {
+            label,
+            signed,
+            weight,
+            data: WindowData::Full { raw, normalized },
+            norm_params,
+        }
+    }
+
+    /// Rows of the base relation this window spans.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            WindowData::Full { raw, .. } => raw.len(),
+            WindowData::Displayed(d) => d.n,
+        }
+    }
+
+    /// True when the window spans no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Raw signed distance of row `i`. For a late-materialized window
+    /// only the ranked rows (`order[..sorted_len]`, ⊇ the displayed
+    /// set) are covered; uncovered rows read as undefined (exactly like
+    /// out-of-range reads on a full frame).
+    pub fn raw_at(&self, i: usize) -> Option<f64> {
+        match &self.data {
+            WindowData::Full { raw, .. } => raw.get(i),
+            WindowData::Displayed(d) => d.raw_at(i),
+        }
+    }
+
+    /// Normalized (`[0, 255]`) distance of row `i`; same coverage rules
+    /// as [`PredicateWindow::raw_at`]. The lazy path applies the fitted
+    /// params on the fly — the identical float op the materialized
+    /// normalize walk performs, so covered rows are bit-identical.
+    pub fn normalized_at(&self, i: usize) -> Option<f64> {
+        match &self.data {
+            WindowData::Full { normalized, .. } => normalized.get(i),
+            WindowData::Displayed(d) => d.raw_at(i).map(|v| self.norm_params.apply(v.abs())),
+        }
+    }
+
+    /// Exact answers of this window (`raw == 0`) over the full relation
+    /// — the §4.3 panel's per-slider `# results` field. The streaming
+    /// mode fuses this count into its combine walk, so it is exact even
+    /// for late-materialized windows.
+    pub fn zero_raw_count(&self) -> usize {
+        match &self.data {
+            WindowData::Full { raw, .. } => raw.iter().filter(|d| *d == Some(0.0)).count(),
+            WindowData::Displayed(d) => d.zeros,
+        }
+    }
+
+    /// The materialized frames, when this window carries them (`None`
+    /// for a late-materialized streaming window). Full-relation
+    /// consumers — the window caches, the two-sided display band, the
+    /// spectrum strips — require this representation.
+    pub fn full_frames(&self) -> Option<(&Arc<DistanceFrame>, &Arc<DistanceFrame>)> {
+        match &self.data {
+            WindowData::Full { raw, normalized } => Some((raw, normalized)),
+            WindowData::Displayed(_) => None,
+        }
+    }
+
+    /// The normalized distances as an `Option` vector over the full row
+    /// range (boundary adapters, spectrum rendering). Uncovered rows of
+    /// a late-materialized window read as undefined.
+    pub fn normalized_options(&self) -> Vec<Option<f64>> {
+        match &self.data {
+            WindowData::Full { normalized, .. } => normalized.to_options(),
+            WindowData::Displayed(d) => {
+                let mut out = vec![None; d.n];
+                for &(row, raw) in &d.rows {
+                    out[row] = raw.map(|v| self.norm_params.apply(v.abs()));
+                }
+                out
+            }
+        }
+    }
 }
 
 /// The pipeline result.
@@ -218,6 +369,39 @@ impl PipelineOutput {
     }
 }
 
+/// How the pipeline materializes its intermediates (the tentpole knob of
+/// the streaming execution mode).
+///
+/// The **materialized** path computes one full-size packed
+/// [`DistanceFrame`] pair per predicate window — the representation the
+/// window caches store and reuse across sessions. The **streaming** path
+/// never builds full-size per-predicate intermediates: it walks the
+/// chunks twice (a fused stats/fit pass that *recomputes* distances
+/// instead of storing them, then a fused distance → normalize → combine
+/// pass streaming straight into the combined vector) and assembles the
+/// per-predicate windows lazily at the displayed row ids only. Both
+/// paths are **bit-identical** in every output (property-tested); the
+/// choice trades per-query memory traffic against cache reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Materialization {
+    /// The planner decides per query: stream when no window caches are
+    /// attached (nothing could be reused or stored) and the query shape
+    /// supports it; materialize otherwise.
+    #[default]
+    Auto,
+    /// Always run the materialized path.
+    Materialized,
+    /// Stream whenever the query shape supports it (attached caches are
+    /// bypassed — neither consulted nor fed); fall back to the
+    /// materialized path otherwise. The fallback shapes are connections,
+    /// subqueries, non-invertible negations, the two-sided display
+    /// policy (its quantile band needs the primary window's full signed
+    /// distance distribution), and [`ExecMode::Scalar`] — the scalar
+    /// reference always runs its per-tuple materialized walk, so forcing
+    /// `Streaming` there is a silent no-op.
+    Streaming,
+}
+
 /// A shared cross-session window cache handle (see
 /// [`crate::cache::WindowSource`]). `scope` must uniquely identify the
 /// dataset *generation* — it anchors every key this run produces.
@@ -252,6 +436,8 @@ pub struct PipelineOptions<'a> {
     /// When set, the run records its per-phase wall-clock breakdown
     /// here (distance / fit / normalize+combine / rank).
     pub timings: Option<&'a mut PhaseTimings>,
+    /// Streaming vs materialized execution (see [`Materialization`]).
+    pub materialization: Materialization,
 }
 
 /// Run the pipeline over a base relation.
@@ -366,6 +552,7 @@ pub fn run_pipeline_opts(
         mode,
         partitions,
         mut timings,
+        materialization,
     } = opts;
     let n = table.len();
     // partitioning is a vectorized-only scheduling decision; a single
@@ -426,6 +613,27 @@ pub fn run_pipeline_opts(
         _ => vec![cond],
     };
 
+    // The streaming planner: zero-materialization execution whenever the
+    // caches could neither be consulted nor fed (Auto) or the caller
+    // explicitly asked for it, the query compiles to per-row streamable
+    // nodes, and the display policy does not need a full window frame
+    // (the two-sided band fits quantiles over the primary window's whole
+    // signed distribution). Shapes the compiler declines fall back to
+    // the materialized path below — bit-identical either way.
+    let want_stream = match materialization {
+        Materialization::Materialized => false,
+        Materialization::Streaming => true,
+        Materialization::Auto => cache.is_none() && shared.is_none(),
+    };
+    if want_stream
+        && mode == ExecMode::Vectorized
+        && !matches!(policy, DisplayPolicy::TwoSidedPercentage(_))
+    {
+        if let Some(plan) = crate::stream::compile(&ctx, cond, &top) {
+            return crate::stream::run_streaming(&ctx, &plan, policy, &mut timings);
+        }
+    }
+
     // Serve structurally-unchanged windows (same subtree AND weight) from
     // the per-session incremental cache, then from the cross-session
     // shared cache; evaluate the rest. Window data is Arc-shared, so
@@ -435,7 +643,14 @@ pub fn run_pipeline_opts(
         Some(cache) => {
             cache.validate(table, ctx.display_budget);
             top.iter()
-                .map(|w| cache.lookup(&w.node, w.weight))
+                .map(|w| {
+                    cache
+                        .lookup(&w.node, w.weight)
+                        // only materialized windows can be reused: a
+                        // late-materialized one covers displayed rows of
+                        // a *previous* display selection
+                        .filter(|w| w.full_frames().is_some())
+                })
                 .collect()
         }
         None => vec![None; top.len()],
@@ -455,7 +670,7 @@ pub fn run_pipeline_opts(
         for (slot, key) in slots.iter_mut().zip(shared_keys.iter_mut()) {
             if slot.is_none() {
                 if let Some(k) = key.as_deref() {
-                    *slot = sh.cache.lookup(k);
+                    *slot = sh.cache.lookup(k).filter(|w| w.full_frames().is_some());
                     if slot.is_some() {
                         // hit: drop the key so the post-run store loop
                         // doesn't re-insert (and re-scan) on every query
@@ -569,14 +784,14 @@ fn combine_scalar(
                 normalize_combine,
                 apply_frame(&e.distances, params)
             );
-            *slot = Some(PredicateWindow {
-                label: e.label,
-                signed: e.signed,
-                weight: w.weight,
-                raw: Arc::new(e.distances),
-                normalized: Arc::new(normalized),
-                norm_params: params,
-            });
+            *slot = Some(PredicateWindow::full(
+                e.label,
+                e.signed,
+                w.weight,
+                Arc::new(e.distances),
+                Arc::new(normalized),
+                params,
+            ));
         }
     }
     let windows: Vec<PredicateWindow> = slots
@@ -584,8 +799,15 @@ fn combine_scalar(
         .map(|s| s.expect("filled above"))
         .collect();
     let weights: Vec<f64> = top.iter().map(|w| w.weight).collect();
-    let normed_children: Vec<&DistanceFrame> =
-        windows.iter().map(|w| w.normalized.as_ref()).collect();
+    let normed_children: Vec<&DistanceFrame> = windows
+        .iter()
+        .map(|w| {
+            w.full_frames()
+                .expect("materialized path builds full windows")
+                .1
+                .as_ref()
+        })
+        .collect();
     let combined_raw = phase_time!((*timings), normalize_combine, {
         match &cond.node {
             ConditionNode::Or(_) => combine_or_frames(&normed_children, &weights)?
@@ -665,10 +887,15 @@ fn combine_vectorized(
         let mut fresh_idx = 0;
         for slot in &slots {
             match slot {
-                Some(w) => srcs.push(Src::Ready(
-                    w.normalized.values(),
-                    w.normalized.validity().as_slice(),
-                )),
+                Some(w) => {
+                    let (_, normalized) = w
+                        .full_frames()
+                        .expect("cache hits are filtered to materialized windows");
+                    srcs.push(Src::Ready(
+                        normalized.values(),
+                        normalized.validity().as_slice(),
+                    ));
+                }
                 None => {
                     let raw = &fresh[fresh_idx].distances;
                     srcs.push(Src::Fresh {
@@ -767,14 +994,14 @@ fn combine_vectorized(
             Some(win) => win,
             None => {
                 let (e, params, normalized) = fresh_it.next().expect("one eval per missing window");
-                PredicateWindow {
-                    label: e.label,
-                    signed: e.signed,
-                    weight: w.weight,
-                    raw: Arc::new(e.distances),
-                    normalized: Arc::new(normalized),
-                    norm_params: params,
-                }
+                PredicateWindow::full(
+                    e.label,
+                    e.signed,
+                    w.weight,
+                    Arc::new(e.distances),
+                    Arc::new(normalized),
+                    params,
+                )
             }
         })
         .collect();
@@ -865,9 +1092,14 @@ fn gap_bounds(rmin: usize, rmax: usize, defined: usize) -> (usize, usize) {
 }
 
 /// The two-sided quantile band of the primary window's signed raw
-/// distances (`None` when the window has no defined distances).
+/// distances (`None` when the window has no defined distances). Needs
+/// the full distance distribution, which is why the streaming planner
+/// declines the two-sided policy: only materialized windows reach here.
 fn two_sided_band(win: &PredicateWindow, p: f64) -> Result<Option<(f64, f64)>> {
-    let signed: Vec<f64> = win.raw.iter().flatten().collect();
+    let (raw, _) = win
+        .full_frames()
+        .expect("two-sided selection runs on materialized windows only");
+    let signed: Vec<f64> = raw.iter().flatten().collect();
     if signed.is_empty() {
         return Ok(None);
     }
@@ -880,7 +1112,7 @@ fn two_sided_band(win: &PredicateWindow, p: f64) -> Result<Option<(f64, f64)>> {
 /// Two-sided membership: inside the band, or an exact answer
 /// ("exact answers always display", §5.1).
 fn in_two_sided_band(win: &PredicateWindow, lo: f64, hi: f64, i: usize) -> bool {
-    match win.raw.get(i) {
+    match win.raw_at(i) {
         Some(d) => (d >= lo && d <= hi) || d == 0.0,
         None => false,
     }
@@ -890,7 +1122,7 @@ fn in_two_sided_band(win: &PredicateWindow, lo: f64, hi: f64, i: usize) -> bool 
 /// policy can display, top-k select exactly that many (plus the gap
 /// heuristic's scan window / the two-sided quantile band), and sort only
 /// the selected prefix.
-fn rank_and_select(
+pub(crate) fn rank_and_select(
     combined: &[Option<f64>],
     windows: &[PredicateWindow],
     policy: &DisplayPolicy,
@@ -1012,7 +1244,7 @@ fn select_and_merge(mut parts: Vec<Vec<usize>>, k: usize, combined: &[Option<f64
 /// [`rank_and_select`] and the scalar full sort in everything the
 /// display semantics observe (`displayed`, the sorted prefix,
 /// `sorted_len`).
-fn rank_and_select_partitioned(
+pub(crate) fn rank_and_select_partitioned(
     combined: &[Option<f64>],
     windows: &[PredicateWindow],
     policy: &DisplayPolicy,
@@ -1345,10 +1577,10 @@ mod tests {
         assert_eq!(out.windows.len(), 2);
         let w0 = &out.windows[0];
         assert!(w0.signed);
-        assert_eq!(w0.raw.get(0), Some(-5.0)); // x=0 misses `>= 5` by 5
-        assert_eq!(w0.raw.get(5), Some(0.0));
+        assert_eq!(w0.raw_at(0), Some(-5.0)); // x=0 misses `>= 5` by 5
+        assert_eq!(w0.raw_at(5), Some(0.0));
         // normalized values live in [0, 255]
-        for v in w0.normalized.iter().flatten() {
+        for v in (0..out.n).filter_map(|i| w0.normalized_at(i)) {
             assert!((0.0..=NORM_MAX).contains(&v));
         }
         // distance-exact AND answers: x in 5..=7 (distance functions do
@@ -1436,7 +1668,18 @@ mod tests {
             .cmp("x", CompareOp::Lt, n as f64 * 0.95)
             .build();
         let c = q.condition.unwrap();
-        let out = run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::Percentage(10.0)).unwrap();
+        let out = run_pipeline_opts(
+            &db,
+            t,
+            &r,
+            Some(&c),
+            &DisplayPolicy::Percentage(10.0),
+            PipelineOptions {
+                materialization: Materialization::Materialized,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // sequential reference: evaluate each child by hand
         let ctx = crate::eval::EvalContext {
             db: &db,
@@ -1449,12 +1692,26 @@ mod tests {
         if let ConditionNode::And(children) = &c.node {
             for (win, child) in out.windows.iter().zip(children) {
                 let seq = ctx.eval_node(&child.node).unwrap();
-                assert_eq!(*win.raw, seq.distances);
+                assert_eq!(
+                    *win.full_frames().expect("materialized").0.as_ref(),
+                    seq.distances
+                );
             }
         } else {
             panic!("expected AND root");
         }
         assert_eq!(out.windows.len(), 2);
+        // the (default) streaming run agrees at every displayed row and
+        // on the full-relation exact counts
+        let streamed =
+            run_pipeline(&db, t, &r, Some(&c), &DisplayPolicy::Percentage(10.0)).unwrap();
+        assert_eq!(streamed.displayed, out.displayed);
+        for (sw, mw) in streamed.windows.iter().zip(&out.windows) {
+            for &i in &streamed.displayed {
+                assert_eq!(sw.raw_at(i), mw.raw_at(i));
+            }
+            assert_eq!(sw.zero_raw_count(), mw.zero_raw_count());
+        }
     }
 
     #[test]
@@ -1480,7 +1737,7 @@ mod tests {
             },
             DisplayPolicy::TwoSidedPercentage(15.0),
         ] {
-            let fast = run_pipeline(&db, t, &r, Some(&c), &policy).unwrap();
+            let fast = run_materialized(&db, t, &r, Some(&c), &policy, None);
             let slow = run_pipeline_scalar(&db, t, &r, Some(&c), &policy).unwrap();
             assert_eq!(fast.combined, slow.combined, "{policy:?}");
             assert_eq!(fast.relevance, slow.relevance);
@@ -1499,11 +1756,150 @@ mod tests {
             assert!(fast.sorted_len < fast.order.len(), "top-k must engage");
             assert_eq!(slow.sorted_len, slow.order.len());
             for (fw, sw) in fast.windows.iter().zip(&slow.windows) {
-                assert_eq!(*fw.raw, *sw.raw);
-                assert_eq!(*fw.normalized, *sw.normalized);
+                let (fr, fn_) = fw.full_frames().expect("materialized");
+                let (sr, sn) = sw.full_frames().expect("materialized");
+                assert_eq!(*fr, *sr);
+                assert_eq!(*fn_, *sn);
                 assert_eq!(fw.norm_params, sw.norm_params);
             }
         }
+    }
+
+    /// [`run_pipeline_opts`] forced onto the materialized path (with an
+    /// optional partitioning) — the reference the streaming assertions
+    /// compare against.
+    fn run_materialized(
+        db: &Database,
+        t: &Table,
+        r: &DistanceResolver,
+        c: Option<&Weighted>,
+        policy: &DisplayPolicy,
+        partitions: Option<&Partitioning>,
+    ) -> PipelineOutput {
+        run_pipeline_opts(
+            db,
+            t,
+            r,
+            c,
+            policy,
+            PipelineOptions {
+                materialization: Materialization::Materialized,
+                partitions,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streaming_matches_materialized_and_scalar_end_to_end() {
+        let db = db_with_ramp(3000);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, 2500.0)
+            .cmp("x", CompareOp::Lt, 2800.0)
+            .build();
+        let c = q.condition.unwrap();
+        for policy in [
+            DisplayPolicy::Percentage(20.0),
+            DisplayPolicy::FitScreen {
+                pixels: 900,
+                pixels_per_item: 4,
+            },
+            DisplayPolicy::GapHeuristic {
+                rmin: 10,
+                rmax: 200,
+                z: 5,
+            },
+            // the planner falls back to materialized here — output must
+            // still be identical
+            DisplayPolicy::TwoSidedPercentage(15.0),
+        ] {
+            // `run_pipeline` without caches = the Auto planner streaming
+            let stream = run_pipeline(&db, t, &r, Some(&c), &policy).unwrap();
+            let slow = run_pipeline_scalar(&db, t, &r, Some(&c), &policy).unwrap();
+            let mat = run_materialized(&db, t, &r, Some(&c), &policy, None);
+            for (tag, out) in [("scalar", &slow), ("materialized", &mat)] {
+                assert_eq!(stream.combined, out.combined, "{policy:?} vs {tag}");
+                assert_eq!(stream.relevance, out.relevance, "{policy:?} vs {tag}");
+                assert_eq!(stream.num_exact, out.num_exact, "{policy:?} vs {tag}");
+                assert_eq!(stream.displayed, out.displayed, "{policy:?} vs {tag}");
+                for (fw, sw) in stream.windows.iter().zip(&out.windows) {
+                    assert_eq!(fw.label, sw.label);
+                    assert_eq!(fw.signed, sw.signed);
+                    assert_eq!(fw.norm_params, sw.norm_params, "{policy:?} vs {tag}");
+                    assert_eq!(fw.zero_raw_count(), sw.zero_raw_count(), "{policy:?}");
+                    for &i in &stream.displayed {
+                        assert_eq!(fw.raw_at(i), sw.raw_at(i), "{policy:?} row {i}");
+                        assert_eq!(fw.normalized_at(i), sw.normalized_at(i), "{policy:?}");
+                    }
+                }
+            }
+            if !matches!(policy, DisplayPolicy::TwoSidedPercentage(_)) {
+                assert_eq!(
+                    stream.order[..stream.sorted_len],
+                    slow.order[..stream.sorted_len],
+                    "{policy:?}"
+                );
+                // zero materialization engaged: lazy windows
+                assert!(
+                    stream.windows.iter().all(|w| w.full_frames().is_none()),
+                    "{policy:?} must stream"
+                );
+            }
+            // streaming composes with partitioned execution
+            for parts in [2usize, 7] {
+                let partitioning = t.partitions(parts);
+                let part = run_pipeline_opts(
+                    &db,
+                    t,
+                    &r,
+                    Some(&c),
+                    &policy,
+                    PipelineOptions {
+                        partitions: Some(&partitioning),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(part.combined, slow.combined, "{policy:?} x{parts}");
+                assert_eq!(part.displayed, slow.displayed, "{policy:?} x{parts}");
+                assert_eq!(part.num_exact, slow.num_exact, "{policy:?} x{parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_streaming_bypasses_attached_caches() {
+        let db = db_with_ramp(500);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let c = cond(CompareOp::Ge, 300.0);
+        let policy = DisplayPolicy::Percentage(25.0);
+        let mut cache = PipelineCache::new();
+        let out = run_pipeline_opts(
+            &db,
+            t,
+            &r,
+            Some(&c),
+            &policy,
+            PipelineOptions {
+                cache: Some(&mut cache),
+                materialization: Materialization::Streaming,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(cache.is_empty(), "forced streaming must not feed caches");
+        assert!(out.windows[0].full_frames().is_none());
+        let reference = run_pipeline_scalar(&db, t, &r, Some(&c), &policy).unwrap();
+        assert_eq!(out.combined, reference.combined);
+        assert_eq!(out.displayed, reference.displayed);
+        // with a cache attached, Auto materializes (the cacheable form)
+        let auto = run_pipeline_cached(&db, t, &r, Some(&c), &policy, Some(&mut cache)).unwrap();
+        assert!(auto.windows[0].full_frames().is_some());
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]
@@ -1530,9 +1926,17 @@ mod tests {
             DisplayPolicy::TwoSidedPercentage(15.0),
         ] {
             let slow = run_pipeline_scalar(&db, t, &r, Some(&c), &policy).unwrap();
-            let fast = run_pipeline(&db, t, &r, Some(&c), &policy).unwrap();
+            let fast = run_materialized(&db, t, &r, Some(&c), &policy, None);
             for parts in [1, 2, 7, 16] {
-                let part = run_pipeline_partitioned(&db, t, &r, Some(&c), &policy, parts).unwrap();
+                let partitioning = t.partitions(parts);
+                let part = run_materialized(
+                    &db,
+                    t,
+                    &r,
+                    Some(&c),
+                    &policy,
+                    (partitioning.len() > 1).then_some(&partitioning),
+                );
                 assert_eq!(part.combined, slow.combined, "{policy:?} x{parts}");
                 assert_eq!(part.relevance, slow.relevance);
                 assert_eq!(part.num_exact, slow.num_exact);
@@ -1555,8 +1959,10 @@ mod tests {
                 }
                 assert_eq!(part.order.len(), slow.order.len());
                 for (pw, sw) in part.windows.iter().zip(&slow.windows) {
-                    assert_eq!(*pw.raw, *sw.raw);
-                    assert_eq!(*pw.normalized, *sw.normalized);
+                    let (pr, pn) = pw.full_frames().expect("materialized");
+                    let (sr, sn) = sw.full_frames().expect("materialized");
+                    assert_eq!(*pr, *sr);
+                    assert_eq!(*pn, *sn);
                     assert_eq!(pw.norm_params, sw.norm_params);
                 }
             }

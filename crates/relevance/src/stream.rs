@@ -1,0 +1,774 @@
+//! Streaming fused execution: the zero-materialization pipeline mode.
+//!
+//! The materialized pipeline is memory-bound at scale: at n = 1M the
+//! distance kernels cost ~6 ms while reading and writing the `#sp + 1`
+//! full-size `DistanceFrame` intermediates costs ~45 ms
+//! (`BENCH_pipeline.json` phase breakdown). This module removes those
+//! intermediates entirely. The condition tree is compiled into a small
+//! arena of streamable nodes ([`compile`]) and executed in **two fused
+//! chunk walks**:
+//!
+//! 1. **Stats pass(es)** — one walk per tree level (one walk for the
+//!    common flat AND/OR of leaf predicates): every chunk recomputes the
+//!    level's distances in cache-resident scratch buffers and keeps only
+//!    the fused [`FrameStats`] plus — when the §5.2 weight-proportional
+//!    fit needs the k-th smallest `|d|` — a bounded per-chunk selection
+//!    pool with a **shared atomic threshold**: once any chunk has
+//!    gathered `k` candidates, its k-th smallest becomes a global bound
+//!    and later chunks skip every value at or above it. The merged pool
+//!    provably contains the value-multiset of the global k smallest, so
+//!    the fitted `dmax` is bit-identical to the materialized
+//!    [`crate::normalize::fit_frame`].
+//! 2. **Combine pass** — one walk recomputing each top window's
+//!    distances, normalizing and root-combining them *in registers* per
+//!    row (the identical float ops of the materialized fused walk), and
+//!    streaming only the combined raw distance into the output vector,
+//!    together with the combined reduction stats and each window's
+//!    full-relation exact-answer count.
+//!
+//! Recomputing distances is the deliberate trade: a kernel pass over the
+//! native column buffers is far cheaper than materializing, re-reading
+//! and re-writing full-size frames. Ranking then reuses the exact
+//! top-k/merge machinery of the materialized path, and per-predicate
+//! windows are assembled **lazily** at the displayed row ids only
+//! (§4.2's windows are position-coherent with the overall window, so
+//! only displayed rows are ever read) — per-query intermediates shrink
+//! from `(#sp + 1) · 9n` bytes toward `O(k · #sp)` beyond the combined
+//! output itself, which is also the payload shape multi-box sharding
+//! wants to ship.
+//!
+//! Every float op on this path is the same op the materialized
+//! vectorized path (and through it the scalar reference) performs, in
+//! the same order per row — outputs are **bit-identical** across all
+//! three, property-tested in `tests/properties.rs`. Shapes the compiler
+//! cannot stream (connections, subqueries, non-invertible negations)
+//! and the two-sided display policy (whose quantile band needs a full
+//! window frame) fall back to the materialized path at the planner.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use visdb_distance::batch::{self, CompareKernel, NumericKernel};
+use visdb_distance::frame::FrameStats;
+use visdb_distance::numeric;
+use visdb_distance::registry::ColumnDistance;
+use visdb_query::ast::{ConditionNode, Predicate, PredicateTarget, Weighted};
+use visdb_query::CompareOp;
+use visdb_storage::{ColumnData, NumericSlice};
+use visdb_types::Result;
+
+use crate::chunk;
+use crate::combine::{and_row, or_row};
+use crate::eval::{compare_distance, range_distance, EvalContext};
+use crate::normalize::{dmax_of_prefix, fit_k, params_from_max, NormParams, NORM_MAX};
+use crate::pipeline::{
+    rank_and_select, rank_and_select_partitioned, DisplayPolicy, DisplayedWindow, PhaseTimings,
+    PipelineOutput, PredicateWindow, WindowData,
+};
+
+/// The root combinator of the condition tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Root {
+    /// A single top-level window (bare predicate at the root).
+    Single,
+    /// Weighted arithmetic mean over the top windows.
+    And,
+    /// Weighted geometric mean over the top windows.
+    Or,
+}
+
+/// One compiled streamable node.
+struct Node<'a> {
+    kind: Kind<'a>,
+    label: String,
+    signed: bool,
+    /// Weight within the parent (top nodes: the window weight) — the
+    /// §5.2 weight-proportional normalization input.
+    weight: f64,
+    /// Height above the leaves (leaves 0). Nodes at depth `d` get their
+    /// stats in stats round `d`, after their children's params exist.
+    depth: usize,
+}
+
+enum Kind<'a> {
+    /// Typed batch kernel over the column's native buffer.
+    Kernel {
+        col: &'a ColumnData,
+        kernel: NumericKernel,
+    },
+    /// Generic per-row comparison (strings, matrices, geo, bool columns,
+    /// distance overrides) — the same per-row function the materialized
+    /// fallback path runs.
+    Compare {
+        col: &'a ColumnData,
+        op: CompareOp,
+        value: visdb_types::Value,
+        cd: ColumnDistance,
+    },
+    /// Generic per-row range distance.
+    Range {
+        col: &'a ColumnData,
+        low: visdb_types::Value,
+        high: visdb_types::Value,
+        cd: ColumnDistance,
+    },
+    /// `AROUND` over a column without a native numeric buffer.
+    Around {
+        col: &'a ColumnData,
+        center: f64,
+        deviation: f64,
+    },
+    /// Inner `AND`/`OR`: normalize every child with its fitted params,
+    /// combine row-wise (§5.2 recursive re-normalization).
+    Bool { and: bool, children: Vec<usize> },
+}
+
+/// A compiled streaming plan: the node arena, the top-level window node
+/// ids (in window order) and the root combinator.
+pub(crate) struct StreamPlan<'a> {
+    nodes: Vec<Node<'a>>,
+    tops: Vec<usize>,
+    root: Root,
+    depth: usize,
+}
+
+/// Compile the condition tree into a streamable plan, or `None` when any
+/// node cannot be streamed (connections, subqueries, non-invertible
+/// negations, unresolvable columns, empty boolean nodes) — the caller
+/// then falls back to the materialized path, which reproduces any error
+/// the unstreamable shape would raise.
+pub(crate) fn compile<'a>(
+    ctx: &EvalContext<'a>,
+    cond: &Weighted,
+    top: &[&Weighted],
+) -> Option<StreamPlan<'a>> {
+    let root = match &cond.node {
+        ConditionNode::And(_) => Root::And,
+        ConditionNode::Or(_) => Root::Or,
+        _ => Root::Single,
+    };
+    let mut nodes = Vec::new();
+    let tops: Vec<usize> = top
+        .iter()
+        .map(|w| compile_node(ctx, &w.node, w.weight, &mut nodes))
+        .collect::<Option<_>>()?;
+    if tops.is_empty() {
+        // an empty root AND/OR errors in the combine layer; take the
+        // materialized path so the error is identical
+        return None;
+    }
+    let depth = tops.iter().map(|&t| nodes[t].depth).max().unwrap_or(0);
+    Some(StreamPlan {
+        nodes,
+        tops,
+        root,
+        depth,
+    })
+}
+
+fn compile_node<'a>(
+    ctx: &EvalContext<'a>,
+    node: &ConditionNode,
+    weight: f64,
+    nodes: &mut Vec<Node<'a>>,
+) -> Option<usize> {
+    match node {
+        ConditionNode::Predicate(p) => compile_predicate(ctx, p, weight, None, nodes),
+        ConditionNode::Not(inner) => {
+            // §4.4 invertible negation: flip the comparison, keep graded
+            // distances (mirrors `EvalContext::eval_not`); every other
+            // negation shape falls back to the materialized path.
+            if let ConditionNode::Predicate(p) = &**inner {
+                if let PredicateTarget::Compare { op, value } = &p.target {
+                    let flipped = Predicate {
+                        attr: p.attr.clone(),
+                        target: PredicateTarget::Compare {
+                            op: op.inverted(),
+                            value: value.clone(),
+                        },
+                    };
+                    let label = format!("NOT {}", p.label());
+                    return compile_predicate(ctx, &flipped, weight, Some(label), nodes);
+                }
+            }
+            None
+        }
+        ConditionNode::And(children) | ConditionNode::Or(children) => {
+            if children.is_empty() {
+                return None;
+            }
+            let and = matches!(node, ConditionNode::And(_));
+            let ids: Vec<usize> = children
+                .iter()
+                .map(|w| compile_node(ctx, &w.node, w.weight, nodes))
+                .collect::<Option<_>>()?;
+            let depth = 1 + ids.iter().map(|&i| nodes[i].depth).max().unwrap_or(0);
+            nodes.push(Node {
+                kind: Kind::Bool { and, children: ids },
+                label: if and { "AND" } else { "OR" }.to_string(),
+                signed: false,
+                weight,
+                depth,
+            });
+            Some(nodes.len() - 1)
+        }
+        ConditionNode::Connection(_) | ConditionNode::Subquery { .. } => None,
+    }
+}
+
+fn compile_predicate<'a>(
+    ctx: &EvalContext<'a>,
+    p: &Predicate,
+    weight: f64,
+    label_override: Option<String>,
+    nodes: &mut Vec<Node<'a>>,
+) -> Option<usize> {
+    let (col, dt, class, _) = ctx.column(&p.attr).ok()?;
+    let cd = ctx.distance_for(&p.attr, dt, class);
+    let signed = cd.is_signed();
+    let label = label_override.unwrap_or_else(|| p.label());
+    let kind = match &p.target {
+        PredicateTarget::Around { center, deviation } => {
+            // a non-numeric center errors in the evaluator; decline so
+            // the materialized path raises the identical error
+            let c = center.as_f64()?;
+            if col.numeric_slice().is_some() {
+                Kind::Kernel {
+                    col,
+                    kernel: NumericKernel::Around(c, *deviation),
+                }
+            } else {
+                Kind::Around {
+                    col,
+                    center: c,
+                    deviation: *deviation,
+                }
+            }
+        }
+        target => match EvalContext::kernel_for(&cd, target) {
+            Some(kernel) if col.numeric_slice().is_some() => Kind::Kernel { col, kernel },
+            _ => match target {
+                PredicateTarget::Compare { op, value } => Kind::Compare {
+                    col,
+                    op: *op,
+                    value: value.clone(),
+                    cd,
+                },
+                PredicateTarget::Range { low, high } => Kind::Range {
+                    col,
+                    low: low.clone(),
+                    high: high.clone(),
+                    cd,
+                },
+                PredicateTarget::Around { .. } => unreachable!("handled above"),
+            },
+        },
+    };
+    nodes.push(Node {
+        kind,
+        label,
+        signed,
+        weight,
+        depth: 0,
+    });
+    Some(nodes.len() - 1)
+}
+
+/// Fill one chunk's scratch buffers with a per-row distance function,
+/// accumulating the fused stats — the streaming sibling of
+/// `EvalContext::fill_rows` (identical writes, identical stats).
+fn fill_chunk(
+    vals: &mut [f64],
+    mask: &mut [bool],
+    offset: usize,
+    f: impl Fn(usize) -> Option<f64>,
+) -> FrameStats {
+    let mut stats = FrameStats::default();
+    for (j, (v, m)) in vals.iter_mut().zip(mask.iter_mut()).enumerate() {
+        match f(offset + j) {
+            Some(d) => {
+                *v = d;
+                *m = true;
+                stats.record(d);
+            }
+            None => {
+                *v = 0.0;
+                *m = false;
+            }
+        }
+    }
+    stats
+}
+
+/// Evaluate one node over the chunk `[offset, offset + vals.len())` into
+/// the scratch buffers, returning the chunk's fused stats. Inner
+/// boolean nodes normalize their children with the already-fitted
+/// `params` (earlier stats rounds) and combine row-wise — every float op
+/// mirrors the materialized path exactly.
+fn eval_chunk(
+    plan: &StreamPlan<'_>,
+    params: &[NormParams],
+    id: usize,
+    offset: usize,
+    vals: &mut [f64],
+    mask: &mut [bool],
+) -> FrameStats {
+    let len = vals.len();
+    match &plan.nodes[id].kind {
+        Kind::Kernel { col, kernel } => {
+            let (slice, col_mask) = col
+                .numeric_slice_at(offset, len)
+                .expect("kernel nodes are compiled over native numeric buffers");
+            match slice {
+                NumericSlice::F64(xs) => batch::run_frame(xs, col_mask, *kernel, vals, mask),
+                NumericSlice::I64(xs) => batch::run_frame(xs, col_mask, *kernel, vals, mask),
+            }
+        }
+        Kind::Compare { col, op, value, cd } => fill_chunk(vals, mask, offset, |i| {
+            compare_distance(col, i, *op, value, cd)
+        }),
+        Kind::Range { col, low, high, cd } => fill_chunk(vals, mask, offset, |i| {
+            range_distance(col, i, low, high, cd)
+        }),
+        Kind::Around {
+            col,
+            center,
+            deviation,
+        } => fill_chunk(vals, mask, offset, |i| {
+            col.get_f64(i)
+                .and_then(|v| numeric::around(v, *center, *deviation))
+        }),
+        Kind::Bool { and, children } => {
+            let bufs: Vec<(Vec<f64>, Vec<bool>)> = children
+                .iter()
+                .map(|&c| {
+                    let mut v = vec![0.0; len];
+                    let mut m = vec![false; len];
+                    eval_chunk(plan, params, c, offset, &mut v, &mut m);
+                    // §5.2 re-normalization before combining — the same
+                    // `apply` the materialized `apply_frame` performs
+                    let p = params[c];
+                    for (val, ok) in v.iter_mut().zip(&m) {
+                        if *ok {
+                            *val = p.apply(val.abs());
+                        }
+                    }
+                    (v, m)
+                })
+                .collect();
+            let weights: Vec<f64> = children.iter().map(|&c| plan.nodes[c].weight).collect();
+            let mut stats = FrameStats::default();
+            let mut row = vec![None; children.len()];
+            for j in 0..len {
+                for (slot, (v, m)) in row.iter_mut().zip(&bufs) {
+                    *slot = m[j].then(|| v[j]);
+                }
+                let d = if *and {
+                    and_row(&row, &weights)
+                } else {
+                    or_row(&row, &weights)
+                };
+                match d {
+                    Some(x) => {
+                        vals[j] = x;
+                        mask[j] = true;
+                        stats.record(x);
+                    }
+                    None => {
+                        vals[j] = 0.0;
+                        mask[j] = false;
+                    }
+                }
+            }
+            stats
+        }
+    }
+}
+
+/// Evaluate one node at a single row — the late window-assembly path.
+/// Per-row reads go through `ColumnData::get_f64` / the generic distance
+/// functions, which perform the identical float ops as the chunk kernels
+/// over the same native values, so assembled rows are bit-identical to
+/// the frames a materialized run would hold.
+fn eval_row(plan: &StreamPlan<'_>, params: &[NormParams], id: usize, i: usize) -> Option<f64> {
+    match &plan.nodes[id].kind {
+        Kind::Kernel { col, kernel } => kernel_row(col, *kernel, i),
+        Kind::Compare { col, op, value, cd } => compare_distance(col, i, *op, value, cd),
+        Kind::Range { col, low, high, cd } => range_distance(col, i, low, high, cd),
+        Kind::Around {
+            col,
+            center,
+            deviation,
+        } => col
+            .get_f64(i)
+            .and_then(|v| numeric::around(v, *center, *deviation)),
+        Kind::Bool { and, children } => {
+            let row: Vec<Option<f64>> = children
+                .iter()
+                .map(|&c| eval_row(plan, params, c, i).map(|d| params[c].apply(d.abs())))
+                .collect();
+            let weights: Vec<f64> = children.iter().map(|&c| plan.nodes[c].weight).collect();
+            if *and {
+                and_row(&row, &weights)
+            } else {
+                or_row(&row, &weights)
+            }
+        }
+    }
+}
+
+/// One row of a batch kernel: the scalar functions the kernels delegate
+/// to, fed from `get_f64` (the same native value / validity the sliced
+/// buffers expose — kernel columns are Float/Int/Timestamp only).
+fn kernel_row(col: &ColumnData, kernel: NumericKernel, i: usize) -> Option<f64> {
+    let x = col.get_f64(i)?;
+    match kernel {
+        NumericKernel::Compare(_, None) => None,
+        NumericKernel::Compare(CompareKernel::Greater, Some(t)) => numeric::greater_than(x, t),
+        NumericKernel::Compare(CompareKernel::Less, Some(t)) => numeric::less_than(x, t),
+        NumericKernel::Compare(CompareKernel::Equal, Some(t)) => numeric::equal_to(x, t),
+        NumericKernel::Compare(CompareKernel::NotEqual, Some(t)) => numeric::not_equal_to(x, t),
+        NumericKernel::InRange(low, high) => numeric::in_range(x, low, high),
+        NumericKernel::Around(center, deviation) => numeric::around(x, center, deviation),
+    }
+}
+
+/// Extra candidates a chunk pool may hold beyond `k` before compacting:
+/// compaction is O(len), so a slack proportional to `k` keeps the
+/// amortized cost per offered value constant.
+const COMPACT_SLACK: usize = 4096;
+
+/// A bounded per-chunk selection pool for the k smallest `|d|` values,
+/// pruned by a shared atomic threshold. Absolute distances are
+/// non-negative, so their IEEE bit patterns order exactly like
+/// [`f64::total_cmp`] — the bound is a plain `u64` min.
+struct ChunkPool<'a> {
+    vals: Vec<f64>,
+    k: usize,
+    bound: &'a AtomicU64,
+}
+
+impl ChunkPool<'_> {
+    fn offer(&mut self, v: f64) {
+        // threshold propagation: once any chunk has compacted to k
+        // candidates, its k-th smallest bounds every later insert —
+        // values at or above it provably cannot change the fitted dmax
+        if v.to_bits() >= self.bound.load(Ordering::Relaxed) {
+            return;
+        }
+        self.vals.push(v);
+        if self.vals.len() >= self.k + self.k.max(COMPACT_SLACK) {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.vals.len() <= self.k {
+            return;
+        }
+        self.vals.select_nth_unstable_by(self.k - 1, f64::total_cmp);
+        self.vals.truncate(self.k);
+        self.bound
+            .fetch_min(self.vals[self.k - 1].to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// The §5.2 fit from fused stats plus (when needed) the merged selection
+/// pool — the streaming replica of [`crate::normalize::fit_frame`],
+/// bit-identical because the pool contains the value-multiset of the
+/// global k smallest absolute distances.
+fn fit_streaming(stats: &FrameStats, pool: Vec<f64>, select_k: Option<usize>) -> NormParams {
+    let Some(k) = select_k else {
+        return params_from_max(stats.max_abs);
+    };
+    if stats.defined == 0 {
+        return params_from_max(f64::NEG_INFINITY);
+    }
+    let k = k.min(stats.defined);
+    if k == stats.defined {
+        return params_from_max(stats.max_abs);
+    }
+    if stats.non_finite == 0 && stats.min_abs == stats.max_abs {
+        return params_from_max(stats.max_abs);
+    }
+    let mut cand = pool;
+    debug_assert!(cand.len() >= k, "selection pool must retain k candidates");
+    cand.select_nth_unstable_by(k - 1, f64::total_cmp);
+    params_from_max(dmax_of_prefix(&cand[..k]))
+}
+
+/// Per-chunk accumulator of the fused combine pass.
+struct CombineAcc {
+    /// Largest finite |combined| (the `normalize_combined` fit input).
+    max_abs: f64,
+    /// Any defined combined distance ≠ 0 (NaN counts — it is not 0).
+    any_nonzero: bool,
+    /// Defined combined distances equal to 0 (`num_exact`).
+    num_exact: usize,
+    /// Per top window: rows whose raw distance is exactly 0 (the §4.3
+    /// panel's per-slider `# results`, fused so lazy windows never need
+    /// a full frame).
+    zeros: Vec<usize>,
+}
+
+/// Run the compiled plan end to end. Only called by the pipeline planner
+/// (vectorized mode, non-two-sided policy); output is bit-identical to
+/// the materialized path.
+pub(crate) fn run_streaming(
+    ctx: &EvalContext<'_>,
+    plan: &StreamPlan<'_>,
+    policy: &DisplayPolicy,
+    timings: &mut Option<&mut PhaseTimings>,
+) -> Result<PipelineOutput> {
+    debug_assert!(
+        !matches!(policy, DisplayPolicy::TwoSidedPercentage(_)),
+        "the planner declines the two-sided policy"
+    );
+    let n = ctx.table.len();
+    let partitions = ctx.partitions;
+    let parallel = true; // the planner only streams in vectorized mode
+    let num_nodes = plan.nodes.len();
+    let budget = ctx.display_budget;
+
+    // fit-selection size per node, known before any walk: None = the
+    // stats fast path always suffices (fit covers everything)
+    let select_k: Vec<Option<usize>> = plan
+        .nodes
+        .iter()
+        .map(|nd| fit_k(n, nd.weight, budget))
+        .collect();
+    let mut params = vec![
+        NormParams {
+            dmin: 0.0,
+            dmax: 0.0
+        };
+        num_nodes
+    ];
+
+    // ---- pass 1: fused stats + fit-selection walks, one per level ----
+    for round in 0..=plan.depth {
+        let roots: Vec<usize> = (0..num_nodes)
+            .filter(|&i| plan.nodes[i].depth == round)
+            .collect();
+        if roots.is_empty() {
+            continue;
+        }
+        let start = timings.as_ref().map(|_| Instant::now());
+        let bounds: Vec<AtomicU64> = roots.iter().map(|_| AtomicU64::new(u64::MAX)).collect();
+        let params_ref = &params;
+        let per_range: Vec<Vec<(FrameStats, Vec<f64>)>> =
+            chunk::map_ranges(n, partitions, parallel, |offset, len| {
+                let mut vals = vec![0.0; len];
+                let mut mask = vec![false; len];
+                roots
+                    .iter()
+                    .enumerate()
+                    .map(|(ri, &id)| {
+                        let stats = eval_chunk(plan, params_ref, id, offset, &mut vals, &mut mask);
+                        let pool_vals = match select_k[id] {
+                            Some(k) => {
+                                let mut pool = ChunkPool {
+                                    vals: Vec::new(),
+                                    k,
+                                    bound: &bounds[ri],
+                                };
+                                for (v, ok) in vals.iter().zip(&mask) {
+                                    if *ok {
+                                        pool.offer(v.abs());
+                                    }
+                                }
+                                pool.vals
+                            }
+                            None => Vec::new(),
+                        };
+                        (stats, pool_vals)
+                    })
+                    .collect()
+            });
+        let mut merged: Vec<(FrameStats, Vec<f64>)> = roots
+            .iter()
+            .map(|_| (FrameStats::default(), Vec::new()))
+            .collect();
+        for range_out in per_range {
+            for (slot, (stats, pool)) in merged.iter_mut().zip(range_out) {
+                slot.0.merge(&stats);
+                slot.1.extend(pool);
+            }
+        }
+        if let (Some(t), Some(start)) = (timings.as_mut(), start) {
+            t.distance += start.elapsed();
+        }
+        let start = timings.as_ref().map(|_| Instant::now());
+        for (&id, (stats, pool)) in roots.iter().zip(merged) {
+            params[id] = fit_streaming(&stats, pool, select_k[id]);
+        }
+        if let (Some(t), Some(start)) = (timings.as_mut(), start) {
+            t.fit += start.elapsed();
+        }
+    }
+
+    // ---- pass 2: fused distance → normalize → combine walk -----------
+    let start = timings.as_ref().map(|_| Instant::now());
+    let weights: Vec<f64> = plan.tops.iter().map(|&t| plan.nodes[t].weight).collect();
+    let mut combined: Vec<Option<f64>> = vec![None; n];
+    let ranges = chunk::ranges(n, partitions);
+    let mut accs: Vec<CombineAcc> = ranges
+        .iter()
+        .map(|_| CombineAcc {
+            max_abs: f64::NEG_INFINITY,
+            any_nonzero: false,
+            num_exact: 0,
+            zeros: vec![0; plan.tops.len()],
+        })
+        .collect();
+    {
+        type CombineTask<'t> = (usize, &'t mut [Option<f64>], &'t mut CombineAcc);
+        let tasks: Vec<CombineTask<'_>> = ranges
+            .iter()
+            .map(|&(offset, _)| offset)
+            .zip(chunk::split_ranges(&mut combined, &ranges))
+            .zip(accs.iter_mut())
+            .map(|((offset, comb), acc)| (offset, comb, acc))
+            .collect();
+        let params_ref = &params;
+        let weights = &weights;
+        chunk::run_striped(
+            tasks,
+            parallel && n >= chunk::PAR_MIN_ROWS,
+            move |(offset, comb, acc)| {
+                let len = comb.len();
+                let bufs: Vec<(Vec<f64>, Vec<bool>)> = plan
+                    .tops
+                    .iter()
+                    .map(|&t| {
+                        let mut v = vec![0.0; len];
+                        let mut m = vec![false; len];
+                        eval_chunk(plan, params_ref, t, offset, &mut v, &mut m);
+                        (v, m)
+                    })
+                    .collect();
+                for (zeros, (v, m)) in acc.zeros.iter_mut().zip(&bufs) {
+                    *zeros = v.iter().zip(m).filter(|(x, ok)| **ok && **x == 0.0).count();
+                }
+                let mut row = vec![None; plan.tops.len()];
+                for (j, out) in comb.iter_mut().enumerate() {
+                    for ((slot, (v, m)), &t) in row.iter_mut().zip(&bufs).zip(&plan.tops) {
+                        *slot = m[j].then(|| params_ref[t].apply(v[j].abs()));
+                    }
+                    let d = match plan.root {
+                        Root::And => and_row(&row, weights),
+                        Root::Or => or_row(&row, weights),
+                        Root::Single => row[0],
+                    };
+                    *out = d;
+                    if let Some(x) = d {
+                        if x == 0.0 {
+                            acc.num_exact += 1;
+                        } else {
+                            acc.any_nonzero = true;
+                        }
+                        let a = x.abs();
+                        if a.is_finite() {
+                            acc.max_abs = acc.max_abs.max(a);
+                        }
+                    }
+                }
+            },
+        );
+    }
+    let mut zeros = vec![0usize; plan.tops.len()];
+    let mut max_abs = f64::NEG_INFINITY;
+    let mut any_nonzero = false;
+    let mut num_exact = 0usize;
+    for acc in accs {
+        max_abs = max_abs.max(acc.max_abs);
+        any_nonzero |= acc.any_nonzero;
+        num_exact += acc.num_exact;
+        for (total, z) in zeros.iter_mut().zip(acc.zeros) {
+            *total += z;
+        }
+    }
+
+    // final combined normalization (`normalize_combined` semantics:
+    // all-exact inputs keep their zeros) + the relevance mirror, fused
+    // into one chunk-parallel walk over the output vectors
+    let final_params = params_from_max(max_abs);
+    let mut relevance: Vec<Option<f64>> = vec![None; n];
+    {
+        type NormTask<'t> = (&'t mut [Option<f64>], &'t mut [Option<f64>]);
+        let tasks: Vec<NormTask<'_>> = chunk::split_ranges(&mut combined, &ranges)
+            .into_iter()
+            .zip(chunk::split_ranges(&mut relevance, &ranges))
+            .collect();
+        chunk::run_striped(
+            tasks,
+            parallel && n >= chunk::PAR_MIN_ROWS,
+            move |(comb, rel)| {
+                for (c, r) in comb.iter_mut().zip(rel.iter_mut()) {
+                    if let Some(d) = *c {
+                        let v = if any_nonzero {
+                            final_params.apply(d.abs())
+                        } else {
+                            d
+                        };
+                        *c = Some(v);
+                        *r = Some(NORM_MAX - v);
+                    }
+                }
+            },
+        );
+    }
+    if let (Some(t), Some(start)) = (timings.as_mut(), start) {
+        t.normalize_combine += start.elapsed();
+    }
+
+    // ---- rank and select: the exact machinery of the materialized
+    // path (top-k selection / per-partition k-way merge) ---------------
+    let start = timings.as_ref().map(|_| Instant::now());
+    let (order, displayed, sorted_len) = match partitions {
+        None => rank_and_select(&combined, &[], policy, plan.tops.len())?,
+        Some(p) => rank_and_select_partitioned(&combined, &[], policy, plan.tops.len(), p)?,
+    };
+
+    // ---- late window assembly: evaluate each top window only at the
+    // ranked rows — the sorted prefix `order[..sorted_len]`, a superset
+    // of `displayed` (the gap heuristic ranks rmax + z + 1 rows but may
+    // display fewer; callers legitimately read per-window distances over
+    // the whole documented prefix) ------------------------------------
+    let mut covered: Vec<usize> = order[..sorted_len].to_vec();
+    covered.sort_unstable();
+    let windows: Vec<PredicateWindow> = plan
+        .tops
+        .iter()
+        .zip(&zeros)
+        .map(|(&t, &zero_count)| {
+            let rows: Vec<(usize, Option<f64>)> = covered
+                .iter()
+                .map(|&i| (i, eval_row(plan, &params, t, i)))
+                .collect();
+            let node = &plan.nodes[t];
+            PredicateWindow {
+                label: node.label.clone(),
+                signed: node.signed,
+                weight: node.weight,
+                norm_params: params[t],
+                data: WindowData::Displayed(Arc::new(DisplayedWindow::new(n, rows, zero_count))),
+            }
+        })
+        .collect();
+    if let (Some(t), Some(start)) = (timings.as_mut(), start) {
+        t.rank += start.elapsed();
+    }
+
+    Ok(PipelineOutput {
+        n,
+        combined,
+        relevance,
+        order,
+        sorted_len,
+        displayed,
+        num_exact,
+        windows,
+    })
+}

@@ -60,6 +60,21 @@ pub enum Request {
         /// New comparison value.
         value: f64,
     },
+    /// Drag a predicate slider through the *interactive* path
+    /// ([`Session::drag_slider`]): the modification is applied like
+    /// [`Request::MoveSlider`], but the reply carries the drag's panel
+    /// counters immediately — served by the sorted-projection fast path
+    /// (O(log n + k), shared per (dataset generation, column) across
+    /// sessions) whenever the query shape allows, by a bit-identical
+    /// full recompute otherwise.
+    DragSlider {
+        /// Top-level window index.
+        window: usize,
+        /// New comparison operator.
+        op: CompareOp,
+        /// New comparison value.
+        value: f64,
+    },
     /// Resize the visualization windows (items per window).
     SetWindowSize {
         /// Width in items.
@@ -93,6 +108,15 @@ pub enum Response {
     Ok,
     /// Panel counters for [`Request::Summary`].
     Summary(SessionSummary),
+    /// The interactive answer of a [`Request::DragSlider`].
+    Drag {
+        /// Number of items the display policy selects after the drag.
+        displayed: usize,
+        /// Exact answers of the modified query.
+        exact: usize,
+        /// Whether the sorted-projection fast path served the drag.
+        incremental: bool,
+    },
     /// A rendered frame for [`Request::Render`].
     Frame {
         /// Encoding of `bytes`.
@@ -160,6 +184,20 @@ fn apply(
                 },
             )?;
             Ok(Response::Ok)
+        }
+        Request::DragSlider { window, op, value } => {
+            let drag = session.drag_slider(
+                *window,
+                PredicateTarget::Compare {
+                    op: *op,
+                    value: Value::Float(*value),
+                },
+            )?;
+            Ok(Response::Drag {
+                displayed: drag.displayed.len(),
+                exact: drag.num_exact,
+                incremental: drag.incremental,
+            })
         }
         Request::SetWindowSize { w, h } => {
             session.set_window_size(*w, *h)?;
@@ -354,6 +392,11 @@ impl Request {
                 op: compare_op_parse(require_str(msg, "cmp")?)?,
                 value: require_f64(msg, "value")?,
             },
+            "drag_slider" => Request::DragSlider {
+                window: require_usize(msg, "window")?,
+                op: compare_op_parse(require_str(msg, "cmp")?)?,
+                value: require_f64(msg, "value")?,
+            },
             "set_window_size" => Request::SetWindowSize {
                 w: require_usize(msg, "w")?,
                 h: require_usize(msg, "h")?,
@@ -387,6 +430,21 @@ impl Response {
                         ("displayed", s.displayed.into()),
                         ("exact", s.exact.into()),
                         ("windows", s.windows.into()),
+                    ]),
+                ),
+            ]),
+            Response::Drag {
+                displayed,
+                exact,
+                incremental,
+            } => Json::obj([
+                ("ok", Json::Bool(true)),
+                (
+                    "drag",
+                    Json::obj([
+                        ("displayed", (*displayed).into()),
+                        ("exact", (*exact).into()),
+                        ("incremental", Json::Bool(*incremental)),
                     ]),
                 ),
             ]),

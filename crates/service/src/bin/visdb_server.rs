@@ -16,7 +16,10 @@
 //! Options: `--workers N` (global thread budget, default 4), `--cache N`
 //! (default 256), `--hours N` (size of the env dataset, default 240),
 //! `--partitions N` (horizontal partitions per pipeline run, default 0 =
-//! unpartitioned; outputs are bit-identical either way).
+//! unpartitioned; outputs are bit-identical either way), and
+//! `--exec auto|materialized|streaming` (pipeline materialization mode,
+//! default auto; streaming trades the shared window cache for
+//! zero-materialization execution — outputs are bit-identical).
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -24,6 +27,7 @@ use std::sync::Arc;
 
 use visdb_data::{generate_environmental, EnvConfig};
 use visdb_query::connection::ConnectionRegistry;
+use visdb_relevance::Materialization;
 use visdb_service::server::handle_line;
 use visdb_service::{Service, ServiceConfig};
 use visdb_storage::{Database, TableBuilder};
@@ -52,17 +56,33 @@ fn parse_flag(args: &[String], flag: &str, default: usize) -> Result<usize, Stri
     }
 }
 
+fn parse_exec_flag(args: &[String]) -> Result<Materialization, String> {
+    match args.iter().position(|a| a == "--exec") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("auto") => Ok(Materialization::Auto),
+            Some("materialized") => Ok(Materialization::Materialized),
+            Some("streaming") => Ok(Materialization::Streaming),
+            _ => Err("--exec needs auto|materialized|streaming".to_string()),
+        },
+        None => Ok(Materialization::Auto),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (workers, cache, hours, partitions) = match (
+    let (workers, cache, hours, partitions, exec) = match (
         parse_flag(&args, "--workers", 4),
         parse_flag(&args, "--cache", 256),
         parse_flag(&args, "--hours", 240),
         parse_flag(&args, "--partitions", 0),
+        parse_exec_flag(&args),
     ) {
-        (Ok(w), Ok(c), Ok(h), Ok(p)) => (w, c, h, p),
-        (w, c, h, p) => {
-            for e in [w.err(), c.err(), h.err(), p.err()].into_iter().flatten() {
+        (Ok(w), Ok(c), Ok(h), Ok(p), Ok(e)) => (w, c, h, p, e),
+        (w, c, h, p, e) => {
+            for e in [w.err(), c.err(), h.err(), p.err(), e.err()]
+                .into_iter()
+                .flatten()
+            {
                 eprintln!("visdb-server: {e}");
             }
             return ExitCode::FAILURE;
@@ -73,6 +93,7 @@ fn main() -> ExitCode {
         workers,
         cache_capacity: cache,
         partitions,
+        materialization: exec,
         ..Default::default()
     });
 

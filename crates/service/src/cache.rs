@@ -15,6 +15,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use std::sync::Arc;
+
+use visdb_index::{ProjectionSource, SortedProjection};
 use visdb_relevance::{PredicateWindow, WindowSource};
 
 use crate::api::Response;
@@ -318,7 +321,7 @@ impl WindowSource for WindowCache {
         let mut guard = self.lock();
         guard.clock += 1;
         let clock = guard.clock;
-        let rows = window.raw.len();
+        let rows = window.len();
         guard.insert(
             key,
             WindowEntry {
@@ -348,6 +351,179 @@ impl WindowSource for WindowCache {
     }
 }
 
+struct ProjectionEntry {
+    projection: Arc<SortedProjection>,
+    rows: usize,
+    last_used: u64,
+}
+
+/// The mutex-guarded state of a [`ProjectionCache`]; `total_rows` is
+/// maintained incrementally like [`WindowMap`]'s.
+#[derive(Default)]
+struct ProjectionMap {
+    map: HashMap<String, ProjectionEntry>,
+    clock: u64,
+    total_rows: usize,
+}
+
+/// Default bound on the total rows cached across all shared projections:
+/// a projection costs ~20 bytes/row (coords + permutation + sorted
+/// values), so 8M rows ≈ 160 MB resident worst case.
+pub const DEFAULT_PROJECTION_ROW_BUDGET: usize = 8_000_000;
+
+/// The shared **sorted-projection** cache: one built
+/// [`SortedProjection`] per (dataset generation, table, row count,
+/// column), keyed by [`visdb_core::projection_key`]. The slider fast
+/// path's per-column build is the expensive part of a cold drag
+/// (O(n log n), ~20 bytes/row); sharing it means N sessions dragging the
+/// same column pay for **one** build — the per-session state that
+/// remains is only the thin §6 candidate-band cache.
+///
+/// Eviction is least-recently-used under both an entry cap and a
+/// total-row budget; dataset re-registration drops the replaced
+/// generation's projections (the generation-scoped keys already prevent
+/// stale hits).
+pub struct ProjectionCache {
+    entries: Mutex<ProjectionMap>,
+    capacity: usize,
+    row_budget: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ProjectionCache {
+    /// Cache holding at most `capacity` projections (zero disables
+    /// sharing) and at most [`DEFAULT_PROJECTION_ROW_BUDGET`] total rows.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_row_budget(capacity, DEFAULT_PROJECTION_ROW_BUDGET)
+    }
+
+    /// [`ProjectionCache::new`] with an explicit total-row budget. The
+    /// most recently stored projection is always retained, so one giant
+    /// relation degrades to single-projection reuse rather than
+    /// disabling the cache.
+    pub fn with_row_budget(capacity: usize, row_budget: usize) -> Self {
+        ProjectionCache {
+            entries: Mutex::new(ProjectionMap::default()),
+            capacity,
+            row_budget,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ProjectionMap> {
+        match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Whether lookups can ever succeed (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Drop every projection belonging to dataset `name`, any generation
+    /// (the exact-match semantics of
+    /// [`QueryCache::invalidate_dataset`]) — generation rotation frees
+    /// the replaced dataset's builds.
+    pub fn invalidate_dataset(&self, name: &str) {
+        let mut guard = self.lock();
+        let mut dropped = 0;
+        guard.map.retain(|k, e| {
+            let keep = !scope_is_dataset(k, name);
+            if !keep {
+                dropped += e.rows;
+            }
+            keep
+        });
+        guard.total_rows -= dropped;
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached projections.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ProjectionSource for ProjectionCache {
+    fn lookup(&self, key: &str) -> Option<Arc<SortedProjection>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut guard = self.lock();
+        guard.clock += 1;
+        let clock = guard.clock;
+        match guard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.projection))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: String, projection: Arc<SortedProjection>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut guard = self.lock();
+        guard.clock += 1;
+        let clock = guard.clock;
+        let rows = projection.rows();
+        guard.total_rows += rows;
+        if let Some(old) = guard.map.insert(
+            key,
+            ProjectionEntry {
+                projection,
+                rows,
+                last_used: clock,
+            },
+        ) {
+            guard.total_rows -= old.rows;
+        }
+        // evict LRU entries until both bounds hold (never the entry
+        // just stored)
+        while guard.map.len() > 1
+            && (guard.map.len() > self.capacity || guard.total_rows > self.row_budget)
+        {
+            let lru = guard
+                .map
+                .iter()
+                .filter(|(_, e)| e.last_used != clock)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match lru {
+                Some(lru) => {
+                    if let Some(old) = guard.map.remove(&lru) {
+                        guard.total_rows -= old.rows;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,17 +531,21 @@ mod tests {
     use visdb_relevance::{DistanceFrame, NormParams};
 
     fn window(tag: f64) -> PredicateWindow {
-        PredicateWindow {
-            label: format!("w{tag}"),
-            signed: true,
-            weight: 1.0,
-            raw: Arc::new(DistanceFrame::from_options(&[Some(tag)])),
-            normalized: Arc::new(DistanceFrame::from_options(&[Some(0.0)])),
-            norm_params: NormParams {
+        window_of(tag, 1)
+    }
+
+    fn window_of(tag: f64, rows: usize) -> PredicateWindow {
+        PredicateWindow::full(
+            format!("w{tag}"),
+            true,
+            1.0,
+            Arc::new(DistanceFrame::from_options(&vec![Some(tag); rows])),
+            Arc::new(DistanceFrame::from_options(&vec![Some(0.0); rows])),
+            NormParams {
                 dmin: 0.0,
                 dmax: tag,
             },
-        }
+        )
     }
 
     #[test]
@@ -388,11 +568,7 @@ mod tests {
     #[test]
     fn window_cache_row_budget_bounds_memory() {
         fn wide(tag: f64, rows: usize) -> PredicateWindow {
-            PredicateWindow {
-                raw: Arc::new(DistanceFrame::from_options(&vec![Some(tag); rows])),
-                normalized: Arc::new(DistanceFrame::from_options(&vec![Some(0.0); rows])),
-                ..window(tag)
-            }
+            window_of(tag, rows)
         }
         // budget of 100 rows: two 60-row windows cannot coexist
         let c = WindowCache::with_row_budget(8, 100);

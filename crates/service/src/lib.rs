@@ -72,6 +72,6 @@ pub mod server;
 pub mod service;
 
 pub use api::{execute, RenderFormat, Request, Response, SessionState, SessionSummary};
-pub use cache::{CacheStats, QueryCache, WindowCache};
-pub use manager::{SessionId, SessionManager};
+pub use cache::{CacheStats, ProjectionCache, QueryCache, WindowCache};
+pub use manager::{SessionId, SessionManager, SessionOptions};
 pub use service::{PendingResponse, Service, ServiceConfig};

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::Sender;
 use visdb_core::Session;
 use visdb_query::connection::ConnectionRegistry;
+use visdb_relevance::Materialization;
 use visdb_storage::Database;
 
 use crate::api::{Request, Response, SessionState};
@@ -53,6 +54,21 @@ pub struct SessionSlot {
     /// Whether the slot is currently queued for (or being drained by) a
     /// worker. Guards against double-scheduling.
     pub scheduled: AtomicBool,
+}
+
+/// Per-session wiring handed to [`SessionManager::create`]: the shared
+/// caches (scoped to one dataset generation) and the execution knobs.
+/// Defaults to no shared caches, unpartitioned, `Materialization::Auto`.
+#[derive(Default)]
+pub struct SessionOptions {
+    /// The service's shared predicate-window cache, if enabled.
+    pub windows: Option<Arc<crate::cache::WindowCache>>,
+    /// The service's shared sorted-projection cache, if enabled.
+    pub projections: Option<Arc<crate::cache::ProjectionCache>>,
+    /// Horizontal partitions per pipeline run (0/1 = unpartitioned).
+    pub partitions: usize,
+    /// Streaming vs materialized pipeline execution.
+    pub materialization: Materialization,
 }
 
 struct TableEntry {
@@ -97,17 +113,15 @@ impl SessionManager {
 
     /// Create a session over a shared database. When the manager is at
     /// capacity the least-recently-used session is evicted first.
-    /// `windows` attaches the service's shared predicate-window cache,
-    /// scoped to the dataset generation the session was created over;
-    /// `partitions` configures partitioned pipeline execution (0/1 =
-    /// unpartitioned; outputs are bit-identical either way).
+    /// `options` carries the shared caches (scoped to the dataset
+    /// generation the session was created over) and the execution knobs
+    /// — outputs are bit-identical under every combination.
     pub fn create(
         &self,
         dataset: impl Into<String>,
         db: Arc<Database>,
         registry: ConnectionRegistry,
-        windows: Option<Arc<crate::cache::WindowCache>>,
-        partitions: usize,
+        options: SessionOptions,
     ) -> SessionId {
         let dataset = dataset.into();
         let mut session = Session::new(db, registry);
@@ -115,9 +129,13 @@ impl SessionManager {
         // one recalculation at the next fetch, not one per move (§4.3's
         // "auto recalculate off" mode)
         session.set_auto_recalculate(false);
-        session.set_partitions(partitions);
-        if let Some(cache) = windows {
+        session.set_partitions(options.partitions);
+        session.set_materialization(options.materialization);
+        if let Some(cache) = options.windows {
             session.set_shared_windows(dataset.clone(), cache);
+        }
+        if let Some(cache) = options.projections {
+            session.set_shared_projections(dataset.clone(), cache);
         }
         let slot = Arc::new(SessionSlot {
             state: Mutex::new(SessionState { session, dataset }),
@@ -213,8 +231,18 @@ mod tests {
     fn create_get_remove() {
         let m = manager(8);
         let db = db();
-        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
-        let b = m.create("d", db, ConnectionRegistry::new(), None, 0);
+        let a = m.create(
+            "d",
+            Arc::clone(&db),
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
+        let b = m.create(
+            "d",
+            db,
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
         assert_ne!(a, b);
         assert_eq!(m.len(), 2);
         assert!(m.get(a).is_some());
@@ -228,8 +256,18 @@ mod tests {
     fn sessions_share_the_database_without_copies() {
         let m = manager(8);
         let db = db();
-        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
-        let b = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
+        let a = m.create(
+            "d",
+            Arc::clone(&db),
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
+        let b = m.create(
+            "d",
+            Arc::clone(&db),
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
         let sa = m.get(a).unwrap();
         let sb = m.get(b).unwrap();
         let da = sa.state.lock().unwrap().session.shared_db();
@@ -243,11 +281,26 @@ mod tests {
     fn capacity_evicts_least_recently_used() {
         let m = manager(2);
         let db = db();
-        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
-        let b = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
+        let a = m.create(
+            "d",
+            Arc::clone(&db),
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
+        let b = m.create(
+            "d",
+            Arc::clone(&db),
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
         // touch `a` so `b` becomes the LRU
         assert!(m.get(a).is_some());
-        let c = m.create("d", db, ConnectionRegistry::new(), None, 0);
+        let c = m.create(
+            "d",
+            db,
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
         assert_eq!(m.len(), 2);
         assert!(m.get(a).is_some(), "recently-used session survives");
         assert!(m.get(b).is_none(), "LRU session was evicted");
@@ -258,8 +311,18 @@ mod tests {
     fn idle_eviction_removes_only_stale_sessions() {
         let m = manager(8);
         let db = db();
-        let a = m.create("d", Arc::clone(&db), ConnectionRegistry::new(), None, 0);
-        let b = m.create("d", db, ConnectionRegistry::new(), None, 0);
+        let a = m.create(
+            "d",
+            Arc::clone(&db),
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
+        let b = m.create(
+            "d",
+            db,
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
         std::thread::sleep(Duration::from_millis(30));
         assert!(m.get(b).is_some()); // refresh b's idle clock
         assert_eq!(m.evict_idle_older_than(Duration::from_millis(15)), 1);
@@ -272,7 +335,12 @@ mod tests {
     #[test]
     fn eviction_does_not_kill_in_flight_handles() {
         let m = manager(8);
-        let a = m.create("d", db(), ConnectionRegistry::new(), None, 0);
+        let a = m.create(
+            "d",
+            db(),
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
         let handle = m.get(a).unwrap();
         assert!(m.remove(a));
         // the detached state is still usable through the Arc

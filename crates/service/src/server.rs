@@ -25,8 +25,14 @@
 //! ```text
 //! {"id":5,"session":1,"op":"set_query","text":"SELECT * FROM T WHERE x >= 5"}
 //! {"id":6,"session":1,"op":"move_slider","window":0,"cmp":">=","value":3}
-//! {"id":7,"session":1,"op":"render","format":"ascii"}
+//! {"id":7,"session":1,"op":"drag_slider","window":0,"cmp":">=","value":4}
+//! {"id":8,"session":1,"op":"render","format":"ascii"}
 //! ```
+//!
+//! `drag_slider` applies the same modification as `move_slider` but
+//! replies with the interactive drag counters immediately
+//! (`{"drag":{"displayed":..,"exact":..,"incremental":..}}`), served by
+//! the shared sorted-projection fast path when the query shape allows.
 //!
 //! Responses echo `id` (when given) and carry `"ok"`; errors are data,
 //! never a dropped connection: `{"id":7,"ok":false,"error":"..."}`.

@@ -36,12 +36,13 @@ use std::time::Duration;
 use crossbeam::channel::{self, Receiver};
 use visdb_exec::Runtime;
 use visdb_query::connection::ConnectionRegistry;
+use visdb_relevance::Materialization;
 use visdb_storage::Database;
 use visdb_types::{Error, Result};
 
 use crate::api::{execute, Request, Response};
-use crate::cache::{CacheStats, QueryCache, WindowCache};
-use crate::manager::{Envelope, SessionId, SessionManager, SessionSlot};
+use crate::cache::{CacheStats, ProjectionCache, QueryCache, WindowCache};
+use crate::manager::{Envelope, SessionId, SessionManager, SessionOptions, SessionSlot};
 
 /// Tuning knobs for a [`Service`].
 #[derive(Debug, Clone)]
@@ -65,6 +66,15 @@ pub struct ServiceConfig {
     /// Shared predicate-window cache capacity in windows (0 disables
     /// cross-session window reuse).
     pub window_cache_capacity: usize,
+    /// Shared sorted-projection cache capacity in projections (0
+    /// disables cross-session slider-index reuse).
+    pub projection_cache_capacity: usize,
+    /// Streaming vs materialized pipeline execution for every session
+    /// (see [`visdb_relevance::Materialization`]). Outputs are
+    /// bit-identical; `Streaming` trades the shared window cache for
+    /// zero-materialization execution (smaller per-query footprint,
+    /// no cross-session window reuse).
+    pub materialization: Materialization,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +86,8 @@ impl Default for ServiceConfig {
             idle_timeout: Duration::from_secs(300),
             cache_capacity: 256,
             window_cache_capacity: 512,
+            projection_cache_capacity: 64,
+            materialization: Materialization::Auto,
         }
     }
 }
@@ -111,7 +123,9 @@ pub struct Service {
     manager: SessionManager,
     cache: Arc<QueryCache>,
     window_cache: Arc<WindowCache>,
+    projection_cache: Arc<ProjectionCache>,
     partitions: usize,
+    materialization: Materialization,
     /// The shared budgeted runtime. Dropping the service shuts it down;
     /// workers finish already-queued drains first.
     runtime: Runtime,
@@ -122,13 +136,16 @@ impl Service {
     pub fn new(config: ServiceConfig) -> Self {
         let cache = Arc::new(QueryCache::new(config.cache_capacity));
         let window_cache = Arc::new(WindowCache::new(config.window_cache_capacity));
+        let projection_cache = Arc::new(ProjectionCache::new(config.projection_cache_capacity));
         Service {
             datasets: Mutex::new(std::collections::HashMap::new()),
             generations: std::sync::atomic::AtomicU64::new(1),
             manager: SessionManager::new(config.max_sessions, config.idle_timeout),
             cache,
             window_cache,
+            projection_cache,
             partitions: config.partitions,
+            materialization: config.materialization,
             runtime: Runtime::new(config.workers.max(1)),
         }
     }
@@ -147,6 +164,7 @@ impl Service {
         // dropping the replaced dataset's entries just frees memory
         self.cache.invalidate_dataset(&name);
         self.window_cache.invalidate_dataset(&name);
+        self.projection_cache.invalidate_dataset(&name);
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
         let scope = format!("{name}#{generation}");
         self.datasets
@@ -181,16 +199,23 @@ impl Service {
         let ds = guard.get(dataset).ok_or_else(|| {
             Error::invalid_parameter("dataset", format!("unknown dataset '{dataset}'"))
         })?;
-        let windows = self
-            .window_cache
-            .is_enabled()
-            .then(|| Arc::clone(&self.window_cache));
+        let options = SessionOptions {
+            windows: self
+                .window_cache
+                .is_enabled()
+                .then(|| Arc::clone(&self.window_cache)),
+            projections: self
+                .projection_cache
+                .is_enabled()
+                .then(|| Arc::clone(&self.projection_cache)),
+            partitions: self.partitions,
+            materialization: self.materialization,
+        };
         Ok(self.manager.create(
             ds.scope.clone(),
             Arc::clone(&ds.db),
             ds.registry.clone(),
-            windows,
-            self.partitions,
+            options,
         ))
     }
 
@@ -252,6 +277,12 @@ impl Service {
     /// Shared predicate-window cache counters (cross-session §6 reuse).
     pub fn window_cache_stats(&self) -> CacheStats {
         self.window_cache.stats()
+    }
+
+    /// Shared sorted-projection cache counters (cross-session slider
+    /// index reuse).
+    pub fn projection_cache_stats(&self) -> CacheStats {
+        self.projection_cache.stats()
     }
 }
 

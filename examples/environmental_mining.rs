@@ -73,7 +73,7 @@ fn main() -> Result<()> {
         view.pipeline.num_exact
     );
     for w in &view.pipeline.windows {
-        let exact = w.raw.iter().filter(|d| *d == Some(0.0)).count();
+        let exact = w.zero_raw_count();
         println!("  window [{}]: {exact} exact", w.label);
     }
 

@@ -68,7 +68,7 @@ fn main() -> Result<()> {
     println!("\nclosest non-identical pairs:");
     for &item in res.pipeline.order[..res.pipeline.sorted_len].iter().take(8) {
         let (i, j) = (item / m, item % m);
-        let d = res.pipeline.windows[0].raw.get(item);
+        let d = res.pipeline.windows[0].raw_at(item);
         println!(
             "  '{}' ~ '{}' (distance {:?})",
             na.get_str(i).unwrap_or("?"),

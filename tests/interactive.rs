@@ -143,9 +143,9 @@ fn color_range_projection_is_consistent_across_windows() {
     assert!(!items.is_empty());
     let res = s.result().unwrap();
     for &i in &items {
-        assert_eq!(res.pipeline.windows[0].raw.get(i), Some(0.0));
+        assert_eq!(res.pipeline.windows[0].raw_at(i), Some(0.0));
         // the same items have *large* distances on the competing window
-        assert!(res.pipeline.windows[1].raw.get(i).unwrap() < 0.0);
+        assert!(res.pipeline.windows[1].raw_at(i).unwrap() < 0.0);
     }
 }
 

@@ -104,8 +104,8 @@ fn fig5_drilldown_matches_fig4_or_window() {
     assert_eq!(view.grid, s.result().unwrap().grid);
     // consistency: items exactly fulfilling the OR part in fig 4 are
     // exactly the items with combined distance 0 in the drill-down
-    let fig4_exact: Vec<usize> = (0..or_window_in_fig4.raw.len())
-        .filter(|&i| or_window_in_fig4.raw.get(i) == Some(0.0))
+    let fig4_exact: Vec<usize> = (0..or_window_in_fig4.len())
+        .filter(|&i| or_window_in_fig4.raw_at(i) == Some(0.0))
         .collect();
     let fig5_exact: Vec<usize> = (0..view.pipeline.combined.len())
         .filter(|&i| view.pipeline.combined[i] == Some(0.0))
@@ -128,7 +128,7 @@ fn approximate_join_rescues_equality_joins() {
     // the same join, approximately: plenty of near-zero distances exist
     let res = s.result().unwrap();
     let best = res.pipeline.order.first().copied().unwrap();
-    let d = res.pipeline.windows[0].raw.get(best).unwrap().abs();
+    let d = res.pipeline.windows[0].raw_at(best).unwrap().abs();
     assert!(d <= 600.0, "closest approximate pair is {d}s apart");
 }
 

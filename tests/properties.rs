@@ -45,6 +45,36 @@ fn table_with_nulls(rows: &[(f64, u8)]) -> Database {
     db
 }
 
+/// A one-column table where `tag` steers NULL/NaN/±inf placement —
+/// every validity and finiteness shape the streaming stats walks, fit
+/// selections and combine pass must reproduce bit-exactly.
+fn table_with_extremes(rows: &[(f64, u8)]) -> Database {
+    let mut t = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+    for &(v, tag) in rows {
+        let x = match tag {
+            0 => Value::Null,
+            1 => Value::Float(f64::NAN),
+            2 => Value::Float(f64::INFINITY),
+            3 => Value::Float(f64::NEG_INFINITY),
+            _ => Value::Float(v),
+        };
+        t = t.row(vec![x]).unwrap();
+    }
+    let mut db = Database::new("d");
+    db.add_table(t.build());
+    db
+}
+
+/// Bitwise equality of two optional distances (`Some(NaN)` compares
+/// equal when the bit patterns match — the frame `bits_eq` rule).
+fn opt_bits_eq(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+        _ => false,
+    }
+}
+
 /// The first field where two pipeline outputs diverge, or `None` when
 /// they are equivalent. `order` is compared on the vectorized sorted
 /// prefix (the scalar reference sorts everything) — except under the
@@ -91,11 +121,30 @@ fn first_divergence(
         if f.label != s.label || f.signed != s.signed || f.weight != s.weight {
             return Some(format!("window {i} metadata diverges"));
         }
-        if !f.raw.bits_eq(&s.raw) {
-            return Some(format!("window {i} raw distances diverge"));
-        }
-        if !f.normalized.bits_eq(&s.normalized) {
-            return Some(format!("window {i} normalized distances diverge"));
+        match (f.full_frames(), s.full_frames()) {
+            (Some((fr, fnorm)), Some((sr, snorm))) => {
+                if !fr.bits_eq(sr) {
+                    return Some(format!("window {i} raw distances diverge"));
+                }
+                if !fnorm.bits_eq(snorm) {
+                    return Some(format!("window {i} normalized distances diverge"));
+                }
+            }
+            // a late-materialized side: compare at the displayed rows
+            // (its coverage) plus the fused full-relation exact count
+            _ => {
+                if f.zero_raw_count() != s.zero_raw_count() {
+                    return Some(format!("window {i} exact counts diverge"));
+                }
+                for &row in &fast.displayed {
+                    if !opt_bits_eq(f.raw_at(row), s.raw_at(row)) {
+                        return Some(format!("window {i} raw diverges at row {row}"));
+                    }
+                    if !opt_bits_eq(f.normalized_at(row), s.normalized_at(row)) {
+                        return Some(format!("window {i} normalized diverges at row {row}"));
+                    }
+                }
+            }
         }
         if f.norm_params != s.norm_params {
             return Some(format!("window {i} norm params diverge"));
@@ -201,6 +250,89 @@ proptest! {
                 (p, s, f) => prop_assert!(
                     false, "modes disagree on failure: {p:?} vs {s:?} vs {f:?}"),
             }
+        }
+    }
+
+    /// The streaming execution mode (two fused passes, recomputed
+    /// distances, threshold-propagating fit selection, late window
+    /// assembly) is bit-identical to BOTH the scalar reference and the
+    /// materialized vectorized path — across display policies
+    /// (Percentage/FitScreen/gap/two-sided, the last via the planner's
+    /// fallback), partition counts 1/2/7/16, NULL-, NaN- and ±inf-heavy
+    /// columns, and multi-predicate AND/OR trees with per-part weights
+    /// (including a nested boolean level, which adds a stats round).
+    #[test]
+    fn streaming_pipeline_matches_scalar_and_materialized(
+        rows in prop::collection::vec((-1e4f64..1e4, 0u8..8), 1..250),
+        t1 in -1e4f64..1e4,
+        t2 in -1e4f64..1e4,
+        lo in -1e4f64..1e4,
+        span in 0.0f64..5e3,
+        w1 in 0.05f64..1.0,
+        w2 in 0.05f64..1.0,
+        w3 in 0.05f64..1.0,
+        pct in 1.0f64..100.0,
+        pick in 0usize..4,
+        or_root_pick in 0u8..2,
+        nested_pick in 0u8..2,
+    ) {
+        let (or_root, nested) = (or_root_pick == 1, nested_pick == 1);
+        let db = table_with_extremes(&rows);
+        let t = db.table("T").unwrap();
+        let resolver = DistanceResolver::new();
+        let p1 = ConditionNode::Predicate(Predicate::compare(AttrRef::new("x"), CompareOp::Ge, t1));
+        let p2 = ConditionNode::Predicate(Predicate::range(AttrRef::new("x"), lo, lo + span));
+        let p3 = ConditionNode::Predicate(Predicate::compare(AttrRef::new("x"), CompareOp::Lt, t2));
+        let children = if nested {
+            let inner = if or_root {
+                ConditionNode::And(vec![Weighted::new(p2, w2), Weighted::new(p3, w3)])
+            } else {
+                ConditionNode::Or(vec![Weighted::new(p2, w2), Weighted::new(p3, w3)])
+            };
+            vec![Weighted::new(p1, w1), Weighted::new(inner, w2)]
+        } else {
+            vec![Weighted::new(p1, w1), Weighted::new(p2, w2), Weighted::new(p3, w3)]
+        };
+        let cond = Weighted::unit(if or_root {
+            ConditionNode::Or(children)
+        } else {
+            ConditionNode::And(children)
+        });
+        let policy = pick_policy(pick, pct);
+        // `run_pipeline` without caches = the Auto planner streaming
+        let stream = run_pipeline(&db, t, &resolver, Some(&cond), &policy).unwrap();
+        let slow = run_pipeline_scalar(&db, t, &resolver, Some(&cond), &policy).unwrap();
+        let mat = run_pipeline_opts(
+            &db, t, &resolver, Some(&cond), &policy,
+            PipelineOptions {
+                materialization: Materialization::Materialized,
+                ..Default::default()
+            },
+        ).unwrap();
+        for (tag, reference) in [("scalar", &slow), ("materialized", &mat)] {
+            let diff = first_divergence(&stream, reference, &policy);
+            prop_assert!(diff.is_none(), "{} vs {tag} under {:?}", diff.unwrap(), policy);
+        }
+        // windows really are late-materialized on the streaming shapes
+        if !matches!(policy, DisplayPolicy::TwoSidedPercentage(_)) {
+            prop_assert!(stream.windows.iter().all(|w| w.full_frames().is_none()));
+        }
+        // streaming composes with partitioned execution, bit-identically
+        for parts in [1usize, 2, 7, 16] {
+            let partitioning = t.partitions(parts);
+            let part = run_pipeline_opts(
+                &db, t, &resolver, Some(&cond), &policy,
+                PipelineOptions {
+                    partitions: Some(&partitioning),
+                    ..Default::default()
+                },
+            ).unwrap();
+            let diff = first_divergence(&part, &slow, &policy);
+            prop_assert!(
+                diff.is_none(),
+                "{} vs scalar under {:?} with {} partitions",
+                diff.unwrap(), policy, parts
+            );
         }
     }
 

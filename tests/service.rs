@@ -183,6 +183,175 @@ fn repeated_query_is_served_from_the_shared_cache() {
 }
 
 #[test]
+fn concurrent_sessions_share_one_sorted_projection_build() {
+    // The slider fast path's per-column sorted projection (~20 B/row) is
+    // promoted to a shared per-(generation, column) cache: N sessions
+    // dragging the same column must trigger exactly one build.
+    let db = ramp_db(2_000);
+    let service = Service::new(ServiceConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    service.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
+
+    const CLIENTS: usize = 4;
+    let ids: Vec<_> = (0..CLIENTS)
+        .map(|_| service.create_session("ramp").unwrap())
+        .collect();
+    for &id in &ids {
+        assert_eq!(
+            service
+                .submit(
+                    id,
+                    Request::SetQueryText("SELECT * FROM T WHERE x >= 1500".into())
+                )
+                .unwrap(),
+            Response::Ok
+        );
+    }
+    // sequential first drags: the first session builds, the rest hit
+    for (i, &id) in ids.iter().enumerate() {
+        let drag = service
+            .submit(
+                id,
+                Request::DragSlider {
+                    window: 0,
+                    op: CompareOp::Ge,
+                    value: 1600.0,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            drag,
+            Response::Drag {
+                displayed: 500,
+                exact: 400,
+                incremental: true
+            },
+            "client {i}"
+        );
+    }
+    let stats = service.projection_cache_stats();
+    assert_eq!(stats.misses, 1, "exactly one projection build");
+    assert_eq!(stats.hits, CLIENTS - 1, "every other session reuses it");
+
+    // concurrent follow-up drags: per-session indexes are warm, results
+    // stay correct under parallel submission
+    let responses: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let service = &service;
+                scope.spawn(move || {
+                    service
+                        .submit(
+                            id,
+                            Request::DragSlider {
+                                window: 0,
+                                op: CompareOp::Ge,
+                                value: 1700.0,
+                            },
+                        )
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in responses {
+        assert_eq!(
+            r,
+            Response::Drag {
+                displayed: 500,
+                exact: 300,
+                incremental: true
+            }
+        );
+    }
+    assert_eq!(
+        service.projection_cache_stats().misses,
+        1,
+        "warm sessions never rebuild"
+    );
+
+    // the drag answers match a serial single-user session exactly
+    let mut serial = Session::new(Arc::clone(&db), ConnectionRegistry::new());
+    serial.set_auto_recalculate(false);
+    serial
+        .set_query_text("SELECT * FROM T WHERE x >= 1500")
+        .unwrap();
+    let reference = serial
+        .drag_slider(
+            0,
+            PredicateTarget::Compare {
+                op: CompareOp::Ge,
+                value: Value::Float(1700.0),
+            },
+        )
+        .unwrap();
+    assert_eq!(reference.displayed.len(), 500);
+    assert_eq!(reference.num_exact, 300);
+    assert!(reference.incremental);
+
+    // generation rotation evicts the shared build: a session over the
+    // re-registered dataset triggers a fresh one
+    service.register_dataset("ramp", ramp_db(2_000), ConnectionRegistry::new());
+    let fresh = service.create_session("ramp").unwrap();
+    service
+        .submit(
+            fresh,
+            Request::SetQueryText("SELECT * FROM T WHERE x >= 1500".into()),
+        )
+        .unwrap();
+    service
+        .submit(
+            fresh,
+            Request::DragSlider {
+                window: 0,
+                op: CompareOp::Ge,
+                value: 1600.0,
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        service.projection_cache_stats().misses,
+        2,
+        "the rotated generation must rebuild"
+    );
+}
+
+#[test]
+fn streaming_service_is_byte_identical_to_materialized() {
+    // the ServiceConfig materialization knob: a streaming service must
+    // produce byte-identical responses to the default (materialized,
+    // window-cached) service for the same scripts
+    let db = ramp_db(1_500);
+    let run = |materialization| {
+        let service = Service::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 0,
+            materialization,
+            ..Default::default()
+        });
+        service.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
+        let id = service.create_session("ramp").unwrap();
+        let responses: Vec<Response> = script(1_000)
+            .into_iter()
+            .map(|req| service.submit(id, req).unwrap())
+            .collect();
+        (responses, service.window_cache_stats())
+    };
+    let (materialized, _) = run(visdb::relevance::Materialization::Auto);
+    let (streamed, window_stats) = run(visdb::relevance::Materialization::Streaming);
+    assert_eq!(streamed, materialized, "streaming must not change bytes");
+    assert_eq!(
+        window_stats.hits + window_stats.misses,
+        0,
+        "forced streaming bypasses the shared window cache"
+    );
+}
+
+#[test]
 fn sessions_survive_errors_and_eviction_frees_capacity() {
     let service = Service::new(ServiceConfig {
         workers: 2,
