@@ -6,9 +6,11 @@
 //! breakdown** (distance / fit / normalize+combine / rank), the
 //! **packed-vs-Option** representation A/B, the **slider-drag**
 //! micro-bench (sorted-projection incremental path vs full recompute),
-//! and the **streaming-vs-materialized** A/B on a 2-predicate workload
+//! the **streaming-vs-materialized** A/B on a 2-predicate workload
 //! (zero-materialization two-pass execution vs full-size frame
-//! intermediates) with a streaming per-phase breakdown.
+//! intermediates) with a streaming per-phase breakdown, and the
+//! **observability overhead** A/B (untraced run vs traced run plus the
+//! per-query registry recording the service layer performs).
 //! Results are written to `BENCH_pipeline.json` so future PRs can track
 //! the perf trajectory — and see where the time goes, not just one
 //! end-to-end number.
@@ -33,6 +35,7 @@ use visdb_core::Session;
 use visdb_distance::batch::{self, CompareKernel, NumericKernel};
 use visdb_distance::frame::DistanceFrame;
 use visdb_distance::DistanceResolver;
+use visdb_obs::{Histogram, Registry};
 use visdb_query::ast::{CompareOp, PredicateTarget};
 use visdb_query::builder::QueryBuilder;
 use visdb_query::connection::ConnectionRegistry;
@@ -97,6 +100,26 @@ struct SizeResult {
     streaming_phase_fit_ms: f64,
     streaming_phase_normalize_combine_ms: f64,
     streaming_phase_rank_ms: f64,
+    /// Observability overhead A/B: the same materialized run with
+    /// tracing off (the plain-session default) vs tracing on **plus**
+    /// the per-query registry recording a service performs (four phase
+    /// histograms, an op counter, an op-latency histogram). The ratio
+    /// is instrumented/baseline throughput; ~1.0 means telemetry is
+    /// free at query granularity.
+    obs_baseline_rows_per_sec: f64,
+    obs_instrumented_rows_per_sec: f64,
+    obs_overhead: f64,
+}
+
+/// Fold the per-phase wall times out of a traced run into an
+/// accumulator (the trace replaces the old `timings: Option<&mut _>`
+/// out-parameter the pipeline used to take).
+fn accumulate_phases(acc: &mut PhaseTimings, out: &PipelineOutput) {
+    let t = out.trace.as_deref().expect("trace requested but absent");
+    acc.distance += t.phases.distance;
+    acc.fit += t.phases.fit;
+    acc.normalize_combine += t.phases.normalize_combine;
+    acc.rank += t.phases.rank;
 }
 
 /// The pre-packed intermediate representation, reconstructed locally as
@@ -301,26 +324,25 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
     let cond = q.condition.as_ref();
     let policy = DisplayPolicy::Percentage(1.0);
 
-    let run_materialized = |cond: Option<&visdb_query::ast::Weighted>,
-                            timings: Option<&mut PhaseTimings>|
-     -> PipelineOutput {
-        run_pipeline_opts(
-            &db,
-            table,
-            &resolver,
-            cond,
-            &policy,
-            PipelineOptions {
-                materialization: Materialization::Materialized,
-                timings,
-                ..Default::default()
-            },
-        )
-        .expect("materialized vectorized")
-    };
+    let run_materialized =
+        |cond: Option<&visdb_query::ast::Weighted>, trace: bool| -> PipelineOutput {
+            run_pipeline_opts(
+                &db,
+                table,
+                &resolver,
+                cond,
+                &policy,
+                PipelineOptions {
+                    materialization: Materialization::Materialized,
+                    trace,
+                    ..Default::default()
+                },
+            )
+            .expect("materialized vectorized")
+        };
     // `run_pipeline` without caches = the Auto planner streaming
     let stream = run_pipeline(&db, table, &resolver, cond, &policy).expect("streaming");
-    let mat = run_materialized(cond, None);
+    let mat = run_materialized(cond, false);
     let slow = run_pipeline_scalar(&db, table, &resolver, cond, &policy).expect("scalar");
     assert_identical(&stream, &slow, n);
     assert_identical(&mat, &slow, n);
@@ -357,7 +379,7 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
     // the vectorized/partitioned/scoped series stay on the materialized
     // path so they remain comparable with the committed history; the
     // streaming mode gets its own A/B below
-    let vector_s = time_per_call(min_reps, || run_materialized(cond, None));
+    let vector_s = time_per_call(min_reps, || run_materialized(cond, false));
     let partitioned_s = time_per_call(min_reps, || {
         let partitioning = table.partitions(BENCH_PARTITIONS);
         run_pipeline_opts(
@@ -377,7 +399,7 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
     // the same vectorized pipeline with fan-out forced back onto
     // per-walk scoped spawns — the pre-runtime baseline
     let scoped_s =
-        chunk::with_scoped_spawns(|| time_per_call(min_reps, || run_materialized(cond, None)));
+        chunk::with_scoped_spawns(|| time_per_call(min_reps, || run_materialized(cond, false)));
 
     // ---- streaming vs materialized A/B: the 2-predicate workload the
     // streaming mode targets (per-predicate frame traffic dominates) ---
@@ -386,7 +408,7 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
         .cmp("x", CompareOp::Lt, n as f64 * 0.95)
         .build();
     let cond2 = q2.condition.as_ref();
-    let run_streaming = |timings: Option<&mut PhaseTimings>| -> PipelineOutput {
+    let run_streaming = |trace: bool| -> PipelineOutput {
         run_pipeline_opts(
             &db,
             table,
@@ -395,25 +417,27 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
             &policy,
             PipelineOptions {
                 materialization: Materialization::Streaming,
-                timings,
+                trace,
                 ..Default::default()
             },
         )
         .expect("streaming 2-predicate")
     };
     let slow2 = run_pipeline_scalar(&db, table, &resolver, cond2, &policy).expect("scalar 2-pred");
-    let stream2 = run_streaming(None);
+    let stream2 = run_streaming(false);
     assert_identical(&stream2, &slow2, n);
     assert!(
         stream2.windows.iter().all(|w| w.full_frames().is_none()),
         "the A/B streaming arm must actually stream at n={n}"
     );
-    let materialized2_s = time_per_call(min_reps, || run_materialized(cond2, None));
-    let streaming2_s = time_per_call(min_reps, || run_streaming(None));
+    let materialized2_s = time_per_call(min_reps, || run_materialized(cond2, false));
+    let streaming2_s = time_per_call(min_reps, || run_streaming(false));
     let mut streaming_phases = PhaseTimings::default();
     let streaming_phase_reps = min_reps.max(3);
     for _ in 0..streaming_phase_reps {
-        std::hint::black_box(run_streaming(Some(&mut streaming_phases)));
+        let out = run_streaming(true);
+        accumulate_phases(&mut streaming_phases, &out);
+        std::hint::black_box(out);
     }
     let streaming_per_ms =
         |d: std::time::Duration| d.as_secs_f64() * 1e3 / streaming_phase_reps as f64;
@@ -433,7 +457,8 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
         idx
     });
 
-    // per-phase breakdown of one vectorized run (averaged over the reps)
+    // per-phase breakdown of one vectorized run (averaged over the
+    // reps), read off the first-class `PipelineTrace`
     let mut phases = PhaseTimings::default();
     let phase_reps = min_reps.max(3);
     for _ in 0..phase_reps {
@@ -444,11 +469,12 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
             cond,
             &policy,
             PipelineOptions {
-                timings: Some(&mut phases),
+                trace: true,
                 ..Default::default()
             },
         )
         .expect("timed vectorized");
+        accumulate_phases(&mut phases, &out);
         std::hint::black_box(out);
     }
     let per_ms = |d: std::time::Duration| d.as_secs_f64() * 1e3 / phase_reps as f64;
@@ -468,6 +494,33 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
 
     // slider drag: incremental sorted-projection path vs full recompute
     let (drag_inc_s, drag_full_s) = bench_slider(&db, n, min_reps);
+
+    // ---- observability overhead A/B: arm A is the plain trace-off run
+    // (what a non-traced session executes); arm B runs the identical
+    // pipeline with tracing on and replays the registry recording the
+    // service layer performs per fresh query — four per-phase histogram
+    // records, the op counter, and the op-latency histogram. The ratio
+    // gates the "telemetry is near-free" claim end to end.
+    let obs_baseline_s = time_per_call(min_reps, || run_materialized(cond, false));
+    let registry = Registry::new();
+    let obs_requests = registry.counter("service.requests.summary");
+    let obs_latency = registry.histogram("service.latency_ns.summary");
+    let obs_phase: Vec<Arc<Histogram>> = ["distance", "fit", "normalize_combine", "rank"]
+        .iter()
+        .map(|p| registry.histogram(&format!("pipeline.phase.{p}")))
+        .collect();
+    let obs_instrumented_s = time_per_call(min_reps, || {
+        let started = Instant::now();
+        let out = run_materialized(cond, true);
+        let t = out.trace.as_deref().expect("instrumented arm traces");
+        obs_phase[0].record_duration(t.phases.distance);
+        obs_phase[1].record_duration(t.phases.fit);
+        obs_phase[2].record_duration(t.phases.normalize_combine);
+        obs_phase[3].record_duration(t.phases.rank);
+        obs_requests.inc();
+        obs_latency.record_duration(started.elapsed());
+        out
+    });
 
     SizeResult {
         n,
@@ -498,6 +551,9 @@ fn bench_size(n: usize, smoke: bool) -> SizeResult {
         streaming_phase_fit_ms: streaming_per_ms(streaming_phases.fit),
         streaming_phase_normalize_combine_ms: streaming_per_ms(streaming_phases.normalize_combine),
         streaming_phase_rank_ms: streaming_per_ms(streaming_phases.rank),
+        obs_baseline_rows_per_sec: n as f64 / obs_baseline_s,
+        obs_instrumented_rows_per_sec: n as f64 / obs_instrumented_s,
+        obs_overhead: obs_baseline_s / obs_instrumented_s,
     }
 }
 
@@ -552,6 +608,11 @@ fn main() {
             r.streaming_phase_fit_ms,
             r.streaming_phase_normalize_combine_ms,
             r.streaming_phase_rank_ms,
+        );
+        println!(
+            "            obs overhead: {:>12.0} rows/s baseline vs {:>12.0} rows/s \
+             traced+recorded ({:.3}x)",
+            r.obs_baseline_rows_per_sec, r.obs_instrumented_rows_per_sec, r.obs_overhead,
         );
         results.push(r);
     }
@@ -613,11 +674,19 @@ fn main() {
         let _ = writeln!(
             json,
             "     \"streaming_phase_ms\": {{\"distance\": {:.3}, \"fit\": {:.3}, \
-             \"normalize_combine\": {:.3}, \"rank\": {:.3}}}}}{}",
+             \"normalize_combine\": {:.3}, \"rank\": {:.3}}},",
             r.streaming_phase_distance_ms,
             r.streaming_phase_fit_ms,
             r.streaming_phase_normalize_combine_ms,
             r.streaming_phase_rank_ms,
+        );
+        let _ = writeln!(
+            json,
+            "     \"obs_baseline_rows_per_sec\": {:.0}, \
+             \"obs_instrumented_rows_per_sec\": {:.0}, \"obs_overhead\": {:.3}}}{}",
+            r.obs_baseline_rows_per_sec,
+            r.obs_instrumented_rows_per_sec,
+            r.obs_overhead,
             if i + 1 < results.len() { "," } else { "" },
         );
     }
@@ -668,6 +737,15 @@ fn main() {
                 big.streaming_vs_materialized,
                 big.streaming2_rows_per_sec,
                 big.materialized2_rows_per_sec
+            );
+            assert!(
+                big.obs_overhead >= 0.95,
+                "acceptance: tracing + registry recording must keep >= 95% of the \
+                 untraced throughput at n={} (got {:.3}x: {:.0} vs {:.0} rows/s)",
+                big.n,
+                big.obs_overhead,
+                big.obs_instrumented_rows_per_sec,
+                big.obs_baseline_rows_per_sec
             );
             assert!(
                 big.drag_speedup >= 5.0,

@@ -22,7 +22,7 @@ use visdb_relevance::eval::{EvalContext, ExecMode};
 use visdb_relevance::normalize::{fit_k, NormParams};
 use visdb_relevance::pipeline::{
     display_count, run_pipeline_opts, DisplayPolicy, Materialization, PipelineOptions,
-    PipelineOutput, SharedWindows,
+    PipelineOutput, PipelineTrace, SharedWindows,
 };
 use visdb_storage::{Database, Row, Table};
 use visdb_types::{Error, Result, Value};
@@ -145,6 +145,9 @@ pub struct Session {
     materialization: Materialization,
     /// Sorted-projection slider index (see [`Session::drag_slider`]).
     slider_index: Option<SliderIndex>,
+    /// Collect a [`visdb_relevance::PipelineTrace`] on every
+    /// recalculation (see [`Session::set_collect_trace`]).
+    collect_trace: bool,
 }
 
 impl Session {
@@ -175,6 +178,7 @@ impl Session {
             partitions: 0,
             materialization: Materialization::Auto,
             slider_index: None,
+            collect_trace: false,
         }
     }
 
@@ -246,6 +250,36 @@ impl Session {
     pub fn set_materialization(&mut self, materialization: Materialization) {
         self.materialization = materialization;
         self.invalidate();
+    }
+
+    /// Collect a per-phase [`visdb_relevance::PipelineTrace`] on every
+    /// recalculation, retrievable through [`Session::last_trace`]. Off
+    /// by default: the disabled path costs one branch per pipeline run
+    /// and allocates nothing. Enabling drops a cached untraced result so
+    /// the next lookup re-runs with tracing on.
+    pub fn set_collect_trace(&mut self, on: bool) {
+        if on && !self.collect_trace {
+            // a cached result computed without tracing has no trace to
+            // report; recompute lazily
+            if self
+                .result
+                .as_ref()
+                .is_some_and(|r| r.pipeline.trace.is_none())
+            {
+                self.invalidate();
+            }
+        }
+        self.collect_trace = on;
+    }
+
+    /// The trace of the last full pipeline run, when trace collection is
+    /// enabled ([`Session::set_collect_trace`]) and a result is cached.
+    /// Slider drags answered entirely by the sorted-projection fast path
+    /// keep the previous full run's trace.
+    pub fn last_trace(&self) -> Option<&PipelineTrace> {
+        self.result
+            .as_ref()
+            .and_then(|r| r.pipeline.trace.as_deref())
     }
 
     /// The underlying database.
@@ -408,6 +442,7 @@ impl Session {
                 shared,
                 partitions: partitioning.as_ref(),
                 materialization: self.materialization,
+                trace: self.collect_trace,
                 ..Default::default()
             },
         )?;

@@ -63,6 +63,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use visdb_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Hard cap on the default budget: the pipeline is memory-bound well
 /// before 16 cores, and the cap keeps worst-case thread counts sane on
@@ -130,9 +133,17 @@ struct Shared {
     progress: Condvar,
     threads: usize,
     active: AtomicUsize,
-    peak_active: AtomicUsize,
-    jobs_executed: AtomicUsize,
-    tasks_stolen: AtomicUsize,
+    // observability handles (visdb-obs): shared with any registry the
+    // runtime is published into via [`Runtime::register_metrics`] —
+    // recording stays lock-free either way
+    peak_active: Arc<Gauge>,
+    jobs_executed: Arc<Counter>,
+    tasks_stolen: Arc<Counter>,
+    /// Jobs queued but not yet started (incremented under the state
+    /// lock at enqueue, decremented by the claiming worker).
+    queue_depth: Arc<Gauge>,
+    /// Wall-clock nanoseconds per fire-and-forget job body.
+    job_latency: Arc<Histogram>,
 }
 
 impl Shared {
@@ -145,7 +156,7 @@ impl Shared {
 
     fn begin_active(&self) {
         let now = self.active.fetch_add(1, Ordering::AcqRel) + 1;
-        self.peak_active.fetch_max(now, Ordering::AcqRel);
+        self.peak_active.set_max(now as i64);
     }
 
     fn end_active(&self) {
@@ -197,13 +208,16 @@ fn worker_loop(shared: Arc<Shared>) {
     loop {
         if let Some(job) = st.jobs.pop_front() {
             drop(st);
+            shared.queue_depth.dec();
             shared.begin_active();
+            let started = Instant::now();
             // a panicking job must not kill the worker thread: the
             // thread *is* the budget, and the job's owner observes the
             // failure through its own channels (e.g. a dropped reply)
             let _ = catch_unwind(AssertUnwindSafe(job));
+            shared.job_latency.record_duration(started.elapsed());
             shared.end_active();
-            shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
+            shared.jobs_executed.inc();
             st = shared.lock();
             continue;
         }
@@ -249,7 +263,7 @@ struct ScopeSource<'env, T> {
     f: &'env (dyn Fn(T) + Sync),
     visitors: AtomicUsize,
     panicked: AtomicBool,
-    stolen: &'env AtomicUsize,
+    stolen: &'env Counter,
 }
 
 struct ScopeQueue<T> {
@@ -282,7 +296,7 @@ impl<T: Send> ScopeSource<'_, T> {
                 }
             };
             if count_stolen {
-                self.stolen.fetch_add(1, Ordering::Relaxed);
+                self.stolen.inc();
             }
             if catch_unwind(AssertUnwindSafe(|| (self.f)(task))).is_err() {
                 self.panicked.store(true, Ordering::Release);
@@ -336,9 +350,11 @@ impl Runtime {
             progress: Condvar::new(),
             threads,
             active: AtomicUsize::new(0),
-            peak_active: AtomicUsize::new(0),
-            jobs_executed: AtomicUsize::new(0),
-            tasks_stolen: AtomicUsize::new(0),
+            peak_active: Arc::new(Gauge::new()),
+            jobs_executed: Arc::new(Counter::new()),
+            tasks_stolen: Arc::new(Counter::new()),
+            queue_depth: Arc::new(Gauge::new()),
+            job_latency: Arc::new(Histogram::new()),
         });
         let handles = (0..threads)
             .map(|i| {
@@ -382,10 +398,33 @@ impl Runtime {
     pub fn metrics(&self) -> Metrics {
         Metrics {
             threads: self.shared.threads,
-            peak_active: self.shared.peak_active.load(Ordering::Acquire),
-            jobs_executed: self.shared.jobs_executed.load(Ordering::Relaxed),
-            tasks_stolen: self.shared.tasks_stolen.load(Ordering::Relaxed),
+            peak_active: self.shared.peak_active.get().max(0) as usize,
+            jobs_executed: self.shared.jobs_executed.get() as usize,
+            tasks_stolen: self.shared.tasks_stolen.get() as usize,
         }
+    }
+
+    /// Publish this runtime's live metric handles into `registry` under
+    /// the `exec.*` namespace. The registry then observes every future
+    /// update for free — the handles are shared, not copied — so one
+    /// call at service start-up is enough:
+    ///
+    /// - `exec.threads` (gauge): the fixed thread budget,
+    /// - `exec.peak_active` (gauge): high-water mark of busy workers,
+    /// - `exec.queue_depth` (gauge): jobs enqueued but not yet started,
+    /// - `exec.jobs_executed` (counter): fire-and-forget jobs completed,
+    /// - `exec.tasks_stolen` (counter): fork-join tasks run by idle
+    ///   pool workers rather than the submitting thread,
+    /// - `exec.job_latency_ns` (histogram): wall time per job body.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry
+            .gauge("exec.threads")
+            .set(self.shared.threads as i64);
+        registry.register_gauge("exec.peak_active", Arc::clone(&self.shared.peak_active));
+        registry.register_gauge("exec.queue_depth", Arc::clone(&self.shared.queue_depth));
+        registry.register_counter("exec.jobs_executed", Arc::clone(&self.shared.jobs_executed));
+        registry.register_counter("exec.tasks_stolen", Arc::clone(&self.shared.tasks_stolen));
+        registry.register_histogram("exec.job_latency_ns", Arc::clone(&self.shared.job_latency));
     }
 
     /// Queue a fire-and-forget job on the pool (the long-lived
@@ -394,6 +433,9 @@ impl Runtime {
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
         let mut st = self.shared.lock();
         st.jobs.push_back(Box::new(job));
+        // incremented under the state lock, before any worker can pop
+        // the job, so the gauge never goes transiently negative
+        self.shared.queue_depth.inc();
         drop(st);
         self.shared.work.notify_one();
     }

@@ -47,7 +47,7 @@ pub use normalize::{
 pub use pipeline::{
     display_count, run_pipeline, run_pipeline_cached, run_pipeline_opts, run_pipeline_partitioned,
     run_pipeline_scalar, DisplayPolicy, DisplayedWindow, Materialization, PhaseTimings,
-    PipelineOptions, PipelineOutput, PredicateWindow, SharedWindows, WindowData,
+    PipelineOptions, PipelineOutput, PipelineTrace, PredicateWindow, SharedWindows, WindowData,
 };
 pub use quantile::{display_fraction, quantile, two_sided_range};
 pub use reduction::{gap_cutoff, gap_cutoff_naive};

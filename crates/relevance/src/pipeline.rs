@@ -57,7 +57,7 @@ pub use crate::eval::ExecMode;
 /// stats walks to `distance`, fit merges to `fit`, the fused combine
 /// pass plus final normalization to `normalize_combine`, and ranking
 /// plus the O(k) late window assembly to `rank`.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseTimings {
     /// Distance walks over the base relation (kernels or per-tuple),
     /// including the fused per-predicate stats accumulation.
@@ -70,6 +70,45 @@ pub struct PhaseTimings {
     pub normalize_combine: Duration,
     /// Ranking and display selection (top-k / sort / merge).
     pub rank: Duration,
+}
+
+/// The first-class explain record of one pipeline run, attached to
+/// [`PipelineOutput::trace`] when [`PipelineOptions::trace`] is set:
+/// the per-phase wall-clock breakdown plus the execution decisions that
+/// produced it — which materialization the planner chose, how far the
+/// partition fan-out went, how many windows the §6 caches served vs.
+/// re-evaluated, and how much work the streaming fit-selection's
+/// shared-threshold pruning skipped. This is what `trace: true` server
+/// requests return inline and what `pipeline_perf` records as
+/// `phase_ms`, so production traces and the bench can never drift
+/// apart. Collection costs one branch when disabled (no allocation).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineTrace {
+    /// Wall-clock per phase (distance / fit / normalize+combine /
+    /// rank), same attribution rules as [`PhaseTimings`].
+    pub phases: PhaseTimings,
+    /// True when the streaming (zero-materialization) executor ran —
+    /// the `Auto` planner's choice made visible.
+    pub streaming: bool,
+    /// Horizontal partition fan-out (1 = unpartitioned).
+    pub partitions: usize,
+    /// Rows the execution examined: the relation size for materialized
+    /// runs (every window evaluation walks all rows), the defined rows
+    /// of every per-node stats walk for streaming runs.
+    pub rows_scanned: u64,
+    /// Rows the streaming fit-selection skipped via the shared atomic
+    /// threshold (a late chunk's value at/above an earlier chunk's k-th
+    /// smallest never enters a pool). Always 0 on the materialized
+    /// path.
+    pub rows_pruned: u64,
+    /// Top-level windows served from the per-session §6 incremental
+    /// cache.
+    pub cache_hits: usize,
+    /// Top-level windows served from the cross-session shared window
+    /// cache.
+    pub shared_hits: usize,
+    /// Top-level windows actually (re-)evaluated this run.
+    pub windows_evaluated: usize,
 }
 
 /// Add `elapsed` to a phase of an optional timing collector.
@@ -345,6 +384,9 @@ pub struct PipelineOutput {
     pub num_exact: usize,
     /// One window per top-level selection predicate.
     pub windows: Vec<PredicateWindow>,
+    /// The explain record, when [`PipelineOptions::trace`] asked for
+    /// one (`None` otherwise — the disabled path allocates nothing).
+    pub trace: Option<Box<PipelineTrace>>,
 }
 
 impl PipelineOutput {
@@ -433,9 +475,11 @@ pub struct PipelineOptions<'a> {
     /// decision. Ignored under [`ExecMode::Scalar`], which stays the
     /// strictly sequential reference.
     pub partitions: Option<&'a Partitioning>,
-    /// When set, the run records its per-phase wall-clock breakdown
-    /// here (distance / fit / normalize+combine / rank).
-    pub timings: Option<&'a mut PhaseTimings>,
+    /// When true, the run collects a [`PipelineTrace`] (per-phase wall
+    /// clock + execution decisions) into [`PipelineOutput::trace`].
+    /// Costs one branch and one small allocation per run when enabled,
+    /// one branch when disabled.
+    pub trace: bool,
     /// Streaming vs materialized execution (see [`Materialization`]).
     pub materialization: Materialization,
 }
@@ -551,9 +595,10 @@ pub fn run_pipeline_opts(
         shared,
         mode,
         partitions,
-        mut timings,
+        trace: want_trace,
         materialization,
     } = opts;
+    let mut trace = want_trace.then(Box::<PipelineTrace>::default);
     let n = table.len();
     // partitioning is a vectorized-only scheduling decision; a single
     // partition is the unpartitioned walk
@@ -575,6 +620,10 @@ pub fn run_pipeline_opts(
         let combined = vec![Some(0.0); n];
         let order: Vec<usize> = (0..n).collect();
         let displayed = select_display(&combined, &order, policy, 0, None)?;
+        if let Some(t) = &mut trace {
+            t.partitions = partitions.map_or(1, |p| p.len());
+            t.rows_scanned = n as u64;
+        }
         return Ok(PipelineOutput {
             n,
             relevance: vec![Some(NORM_MAX); n],
@@ -584,6 +633,7 @@ pub fn run_pipeline_opts(
             num_exact: n,
             windows: Vec::new(),
             combined,
+            trace,
         });
     };
 
@@ -630,7 +680,7 @@ pub fn run_pipeline_opts(
         && !matches!(policy, DisplayPolicy::TwoSidedPercentage(_))
     {
         if let Some(plan) = crate::stream::compile(&ctx, cond, &top) {
-            return crate::stream::run_streaming(&ctx, &plan, policy, &mut timings);
+            return crate::stream::run_streaming(&ctx, &plan, policy, trace);
         }
     }
 
@@ -655,6 +705,7 @@ pub fn run_pipeline_opts(
         }
         None => vec![None; top.len()],
     };
+    let session_hits = slots.iter().flatten().count();
     let mut shared_keys: Vec<Option<String>> = match shared {
         Some(sh) => top
             .iter()
@@ -680,12 +731,15 @@ pub fn run_pipeline_opts(
             }
         }
     }
+    let shared_hits = slots.iter().flatten().count() - session_hits;
     let missing: Vec<&Weighted> = top
         .iter()
         .zip(&slots)
         .filter(|(_, got)| got.is_none())
         .map(|(w, _)| *w)
         .collect();
+    let windows_evaluated = missing.len();
+    let mut timings = trace.as_deref_mut().map(|t| &mut t.phases);
     let fresh = phase_time!(timings, distance, eval_windows(&ctx, &missing)?);
 
     let (windows, combined_raw) = match mode {
@@ -745,6 +799,15 @@ pub fn run_pipeline_opts(
         }
     });
 
+    if let Some(t) = &mut trace {
+        // every materialized window evaluation scans the full relation;
+        // only the streaming fit-selection can prune
+        t.partitions = partitions.map_or(1, |p| p.len());
+        t.rows_scanned = n as u64;
+        t.cache_hits = session_hits;
+        t.shared_hits = shared_hits;
+        t.windows_evaluated = windows_evaluated;
+    }
     Ok(PipelineOutput {
         n,
         combined,
@@ -754,6 +817,7 @@ pub fn run_pipeline_opts(
         displayed,
         num_exact,
         windows,
+        trace,
     })
 }
 

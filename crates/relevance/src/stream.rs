@@ -63,8 +63,8 @@ use crate::combine::{and_row, or_row};
 use crate::eval::{compare_distance, range_distance, EvalContext};
 use crate::normalize::{dmax_of_prefix, fit_k, params_from_max, NormParams, NORM_MAX};
 use crate::pipeline::{
-    rank_and_select, rank_and_select_partitioned, DisplayPolicy, DisplayedWindow, PhaseTimings,
-    PipelineOutput, PredicateWindow, WindowData,
+    rank_and_select, rank_and_select_partitioned, DisplayPolicy, DisplayedWindow, PipelineOutput,
+    PipelineTrace, PredicateWindow, WindowData,
 };
 
 /// The root combinator of the condition tree.
@@ -447,6 +447,9 @@ struct ChunkPool<'a> {
     vals: Vec<f64>,
     k: usize,
     bound: &'a AtomicU64,
+    /// Offers short-circuited by the shared threshold (the
+    /// [`PipelineTrace::rows_pruned`] contribution of this chunk).
+    pruned: u64,
 }
 
 impl ChunkPool<'_> {
@@ -455,6 +458,7 @@ impl ChunkPool<'_> {
         // candidates, its k-th smallest bounds every later insert —
         // values at or above it provably cannot change the fitted dmax
         if v.to_bits() >= self.bound.load(Ordering::Relaxed) {
+            self.pruned += 1;
             return;
         }
         self.vals.push(v);
@@ -519,12 +523,15 @@ pub(crate) fn run_streaming(
     ctx: &EvalContext<'_>,
     plan: &StreamPlan<'_>,
     policy: &DisplayPolicy,
-    timings: &mut Option<&mut PhaseTimings>,
+    mut trace: Option<Box<PipelineTrace>>,
 ) -> Result<PipelineOutput> {
     debug_assert!(
         !matches!(policy, DisplayPolicy::TwoSidedPercentage(_)),
         "the planner declines the two-sided policy"
     );
+    let mut timings = trace.as_deref_mut().map(|t| &mut t.phases);
+    let mut rows_scanned = 0u64;
+    let mut rows_pruned = 0u64;
     let n = ctx.table.len();
     let partitions = ctx.partitions;
     let parallel = true; // the planner only streams in vectorized mode
@@ -557,7 +564,7 @@ pub(crate) fn run_streaming(
         let start = timings.as_ref().map(|_| Instant::now());
         let bounds: Vec<AtomicU64> = roots.iter().map(|_| AtomicU64::new(u64::MAX)).collect();
         let params_ref = &params;
-        let per_range: Vec<Vec<(FrameStats, Vec<f64>)>> =
+        let per_range: Vec<Vec<(FrameStats, Vec<f64>, u64)>> =
             chunk::map_ranges(n, partitions, parallel, |offset, len| {
                 let mut vals = vec![0.0; len];
                 let mut mask = vec![false; len];
@@ -566,23 +573,24 @@ pub(crate) fn run_streaming(
                     .enumerate()
                     .map(|(ri, &id)| {
                         let stats = eval_chunk(plan, params_ref, id, offset, &mut vals, &mut mask);
-                        let pool_vals = match select_k[id] {
+                        let (pool_vals, pruned) = match select_k[id] {
                             Some(k) => {
                                 let mut pool = ChunkPool {
                                     vals: Vec::new(),
                                     k,
                                     bound: &bounds[ri],
+                                    pruned: 0,
                                 };
                                 for (v, ok) in vals.iter().zip(&mask) {
                                     if *ok {
                                         pool.offer(v.abs());
                                     }
                                 }
-                                pool.vals
+                                (pool.vals, pool.pruned)
                             }
-                            None => Vec::new(),
+                            None => (Vec::new(), 0),
                         };
-                        (stats, pool_vals)
+                        (stats, pool_vals, pruned)
                     })
                     .collect()
             });
@@ -591,9 +599,10 @@ pub(crate) fn run_streaming(
             .map(|_| (FrameStats::default(), Vec::new()))
             .collect();
         for range_out in per_range {
-            for (slot, (stats, pool)) in merged.iter_mut().zip(range_out) {
+            for (slot, (stats, pool, pruned)) in merged.iter_mut().zip(range_out) {
                 slot.0.merge(&stats);
                 slot.1.extend(pool);
+                rows_pruned += pruned;
             }
         }
         if let (Some(t), Some(start)) = (timings.as_mut(), start) {
@@ -601,6 +610,7 @@ pub(crate) fn run_streaming(
         }
         let start = timings.as_ref().map(|_| Instant::now());
         for (&id, (stats, pool)) in roots.iter().zip(merged) {
+            rows_scanned += stats.defined as u64;
             params[id] = fit_streaming(&stats, pool, select_k[id]);
         }
         if let (Some(t), Some(start)) = (timings.as_mut(), start) {
@@ -761,6 +771,13 @@ pub(crate) fn run_streaming(
         t.rank += start.elapsed();
     }
 
+    if let Some(t) = &mut trace {
+        t.streaming = true;
+        t.partitions = partitions.map_or(1, |p| p.len());
+        t.rows_scanned = rows_scanned;
+        t.rows_pruned = rows_pruned;
+        t.windows_evaluated = plan.tops.len();
+    }
     Ok(PipelineOutput {
         n,
         combined,
@@ -770,5 +787,6 @@ pub(crate) fn run_streaming(
         displayed,
         num_exact,
         windows,
+        trace,
     })
 }

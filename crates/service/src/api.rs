@@ -12,9 +12,10 @@
 use std::sync::Arc;
 
 use visdb_core::{render_session, RenderOptions, Session};
+use visdb_obs::{MetricValue, Snapshot};
 use visdb_query::ast::{CompareOp, PredicateTarget};
 use visdb_query::printer::render_query;
-use visdb_relevance::pipeline::DisplayPolicy;
+use visdb_relevance::pipeline::{DisplayPolicy, PipelineTrace};
 use visdb_render::ascii::to_ascii;
 use visdb_render::write_ppm;
 use visdb_types::{Error, Result, Value};
@@ -74,6 +75,11 @@ pub enum Request {
         op: CompareOp,
         /// New comparison value.
         value: f64,
+        /// Return a [`TraceReport`] with the reply when the drag fell
+        /// back to a full pipeline recompute (the sorted-projection fast
+        /// path runs no pipeline, so an incremental drag carries no
+        /// trace).
+        trace: bool,
     },
     /// Resize the visualization windows (items per window).
     SetWindowSize {
@@ -83,9 +89,91 @@ pub enum Request {
         h: usize,
     },
     /// Fetch the modification-panel counters for the current query.
-    Summary,
+    Summary {
+        /// Also return the [`TraceReport`] of the pipeline run that
+        /// produced the counters (per-phase wall times, rows scanned vs
+        /// pruned, cache hits, the chosen materialization mode).
+        trace: bool,
+    },
     /// Fetch the rendered visualization panel.
     Render(RenderFormat),
+    /// Fetch the full telemetry-registry snapshot (service-level: the
+    /// service answers it directly without touching any session's
+    /// mailbox; [`execute`] against a bare session has no registry and
+    /// reports an error).
+    Metrics,
+}
+
+impl Request {
+    /// The wire-protocol op name — also the metric label under
+    /// `service.requests.{op}` / `service.latency_ns.{op}`.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::SetQueryText(_) => "set_query",
+            Request::SetDisplayPolicy(_) => "set_policy",
+            Request::SetWeight { .. } => "set_weight",
+            Request::MoveSlider { .. } => "move_slider",
+            Request::DragSlider { .. } => "drag_slider",
+            Request::SetWindowSize { .. } => "set_window_size",
+            Request::Summary { .. } => "summary",
+            Request::Render(_) => "render",
+            Request::Metrics => "metrics",
+        }
+    }
+}
+
+/// The per-query execution trace returned for `trace: true` requests —
+/// the wire form of [`PipelineTrace`], with phase durations flattened to
+/// integer nanoseconds. The phase names match the bench harness's
+/// `phase_ms` fields (`distance`, `fit`, `normalize_combine`, `rank`),
+/// so a server trace lines up with `BENCH_pipeline.json` directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// `"materialized"` or `"streaming"` — what the planner chose.
+    pub mode: String,
+    /// Distance-evaluation phase (§5 distance functions), nanoseconds.
+    pub distance_ns: u64,
+    /// Normalization-fit phase (§5.2 fit), nanoseconds.
+    pub fit_ns: u64,
+    /// Normalize + combine phase (§5.2), nanoseconds.
+    pub normalize_combine_ns: u64,
+    /// Rank / top-k selection phase, nanoseconds.
+    pub rank_ns: u64,
+    /// Rows the distance pass examined.
+    pub rows_scanned: u64,
+    /// Streaming offers short-circuited by the shared top-k threshold.
+    pub rows_pruned: u64,
+    /// Horizontal partition fan-out (1 = unpartitioned).
+    pub partitions: usize,
+    /// Predicate windows served by the per-session §6 cache.
+    pub window_cache_hits: usize,
+    /// Predicate windows served by the cross-session shared cache.
+    pub shared_window_hits: usize,
+    /// Predicate windows actually evaluated.
+    pub windows_evaluated: usize,
+}
+
+impl From<&PipelineTrace> for TraceReport {
+    fn from(t: &PipelineTrace) -> Self {
+        TraceReport {
+            mode: if t.streaming {
+                "streaming".into()
+            } else {
+                "materialized".into()
+            },
+            distance_ns: t.phases.distance.as_nanos() as u64,
+            fit_ns: t.phases.fit.as_nanos() as u64,
+            normalize_combine_ns: t.phases.normalize_combine.as_nanos() as u64,
+            rank_ns: t.phases.rank.as_nanos() as u64,
+            rows_scanned: t.rows_scanned,
+            rows_pruned: t.rows_pruned,
+            partitions: t.partitions,
+            window_cache_hits: t.cache_hits,
+            shared_window_hits: t.shared_hits,
+            windows_evaluated: t.windows_evaluated,
+        }
+    }
 }
 
 /// The modification-panel counters (fig 4/5 right-hand side).
@@ -99,6 +187,10 @@ pub struct SessionSummary {
     pub exact: usize,
     /// Number of per-predicate windows.
     pub windows: usize,
+    /// Execution trace of the pipeline run behind the counters; present
+    /// only for `Request::Summary { trace: true }` (`None` by default —
+    /// the common path allocates nothing).
+    pub trace: Option<Box<TraceReport>>,
 }
 
 /// The reply to one [`Request`].
@@ -116,6 +208,9 @@ pub enum Response {
         exact: usize,
         /// Whether the sorted-projection fast path served the drag.
         incremental: bool,
+        /// Trace of the full recompute, when the drag requested one and
+        /// fell off the fast path (an incremental drag runs no pipeline).
+        trace: Option<Box<TraceReport>>,
     },
     /// A rendered frame for [`Request::Render`].
     Frame {
@@ -128,6 +223,8 @@ pub enum Response {
         /// ASCII text or binary PPM, per `format`.
         bytes: Arc<Vec<u8>>,
     },
+    /// The full telemetry-registry snapshot for [`Request::Metrics`].
+    Metrics(Box<Snapshot>),
     /// The request failed; the session stays usable.
     Error(String),
 }
@@ -185,7 +282,15 @@ fn apply(
             )?;
             Ok(Response::Ok)
         }
-        Request::DragSlider { window, op, value } => {
+        Request::DragSlider {
+            window,
+            op,
+            value,
+            trace,
+        } => {
+            if *trace {
+                session.set_collect_trace(true);
+            }
             let drag = session.drag_slider(
                 *window,
                 PredicateTarget::Compare {
@@ -193,23 +298,48 @@ fn apply(
                     value: Value::Float(*value),
                 },
             )?;
+            let incremental = drag.incremental;
+            let displayed = drag.displayed.len();
+            let exact = drag.num_exact;
+            // the fast path answers from the sorted projection without
+            // running the pipeline, so only the full-recompute fallback
+            // has a trace of *this* drag to report
+            let trace = (*trace && !incremental)
+                .then(|| session.last_trace().map(|t| Box::new(t.into())))
+                .flatten();
             Ok(Response::Drag {
-                displayed: drag.displayed.len(),
-                exact: drag.num_exact,
-                incremental: drag.incremental,
+                displayed,
+                exact,
+                incremental,
+                trace,
             })
         }
         Request::SetWindowSize { w, h } => {
             session.set_window_size(*w, *h)?;
             Ok(Response::Ok)
         }
-        Request::Summary => {
+        Request::Summary { trace } => {
+            if *trace {
+                // ensures the (re)computation below runs traced even on
+                // sessions that were not created with trace collection
+                session.set_collect_trace(true);
+            }
             let res = session.result()?;
+            let (objects, displayed, exact, windows) = (
+                res.pipeline.n,
+                res.pipeline.displayed.len(),
+                res.pipeline.num_exact,
+                res.pipeline.windows.len(),
+            );
+            let trace = trace
+                .then(|| session.last_trace().map(|t| Box::new(t.into())))
+                .flatten();
             Ok(Response::Summary(SessionSummary {
-                objects: res.pipeline.n,
-                displayed: res.pipeline.displayed.len(),
-                exact: res.pipeline.num_exact,
-                windows: res.pipeline.windows.len(),
+                objects,
+                displayed,
+                exact,
+                windows,
+                trace,
             }))
         }
         Request::Render(format) => {
@@ -230,6 +360,10 @@ fn apply(
             }
             Ok(response)
         }
+        Request::Metrics => Err(Error::invalid_parameter(
+            "op",
+            "the metrics op is service-level; submit it through a Service",
+        )),
     }
 }
 
@@ -352,6 +486,11 @@ fn require_usize(msg: &Json, field: &str) -> Result<usize> {
         .ok_or_else(|| Error::invalid_parameter(field.to_string(), "missing integer field"))
 }
 
+/// The optional `"trace": true` flag carried by summary / drag requests.
+fn optional_trace(msg: &Json) -> bool {
+    msg.get("trace").and_then(Json::as_bool).unwrap_or(false)
+}
+
 impl Request {
     /// Decode the `op`-discriminated wire form used by `visdb-server`.
     pub fn from_json(msg: &Json) -> Result<Request> {
@@ -396,15 +535,19 @@ impl Request {
                 window: require_usize(msg, "window")?,
                 op: compare_op_parse(require_str(msg, "cmp")?)?,
                 value: require_f64(msg, "value")?,
+                trace: optional_trace(msg),
             },
             "set_window_size" => Request::SetWindowSize {
                 w: require_usize(msg, "w")?,
                 h: require_usize(msg, "h")?,
             },
-            "summary" => Request::Summary,
+            "summary" => Request::Summary {
+                trace: optional_trace(msg),
+            },
             "render" => Request::Render(RenderFormat::parse(
                 msg.get("format").and_then(Json::as_str).unwrap_or("ascii"),
             )?),
+            "metrics" => Request::Metrics,
             other => {
                 return Err(Error::invalid_parameter(
                     "op",
@@ -415,39 +558,86 @@ impl Request {
     }
 }
 
+impl TraceReport {
+    /// The wire form of the trace (`"trace"` in summary / drag replies).
+    /// Keys mirror the struct fields; durations stay integer ns.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", self.mode.as_str().into()),
+            ("distance_ns", self.distance_ns.into()),
+            ("fit_ns", self.fit_ns.into()),
+            ("normalize_combine_ns", self.normalize_combine_ns.into()),
+            ("rank_ns", self.rank_ns.into()),
+            ("rows_scanned", self.rows_scanned.into()),
+            ("rows_pruned", self.rows_pruned.into()),
+            ("partitions", self.partitions.into()),
+            ("window_cache_hits", self.window_cache_hits.into()),
+            ("shared_window_hits", self.shared_window_hits.into()),
+            ("windows_evaluated", self.windows_evaluated.into()),
+        ])
+    }
+}
+
+/// The JSON form of a registry snapshot: one key per metric, counters
+/// and gauges as numbers, histograms as `{count, sum, p50, p90, p99}`
+/// objects. Sorted (BTreeMap) like every other protocol object.
+fn snapshot_to_json(snapshot: &Snapshot) -> Json {
+    Json::Obj(
+        snapshot
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let v = match value {
+                    MetricValue::Counter(c) => (*c).into(),
+                    MetricValue::Gauge(g) => Json::Num(*g as f64),
+                    MetricValue::Histogram(h) => Json::obj([
+                        ("count", h.count.into()),
+                        ("sum", h.sum.into()),
+                        ("p50", h.p50.into()),
+                        ("p90", h.p90.into()),
+                        ("p99", h.p99.into()),
+                    ]),
+                };
+                (name.clone(), v)
+            })
+            .collect(),
+    )
+}
+
 impl Response {
     /// Encode the wire form used by `visdb-server`. ASCII frames travel
     /// as plain text, PPM frames as base64.
     pub fn to_json(&self) -> Json {
         match self {
             Response::Ok => Json::obj([("ok", Json::Bool(true))]),
-            Response::Summary(s) => Json::obj([
-                ("ok", Json::Bool(true)),
-                (
-                    "summary",
-                    Json::obj([
-                        ("objects", s.objects.into()),
-                        ("displayed", s.displayed.into()),
-                        ("exact", s.exact.into()),
-                        ("windows", s.windows.into()),
-                    ]),
-                ),
-            ]),
+            Response::Summary(s) => {
+                let mut summary = Json::obj([
+                    ("objects", s.objects.into()),
+                    ("displayed", s.displayed.into()),
+                    ("exact", s.exact.into()),
+                    ("windows", s.windows.into()),
+                ]);
+                if let (Some(t), Json::Obj(map)) = (&s.trace, &mut summary) {
+                    map.insert("trace".into(), t.to_json());
+                }
+                Json::obj([("ok", Json::Bool(true)), ("summary", summary)])
+            }
             Response::Drag {
                 displayed,
                 exact,
                 incremental,
-            } => Json::obj([
-                ("ok", Json::Bool(true)),
-                (
-                    "drag",
-                    Json::obj([
-                        ("displayed", (*displayed).into()),
-                        ("exact", (*exact).into()),
-                        ("incremental", Json::Bool(*incremental)),
-                    ]),
-                ),
-            ]),
+                trace,
+            } => {
+                let mut drag = Json::obj([
+                    ("displayed", (*displayed).into()),
+                    ("exact", (*exact).into()),
+                    ("incremental", Json::Bool(*incremental)),
+                ]);
+                if let (Some(t), Json::Obj(map)) = (trace, &mut drag) {
+                    map.insert("trace".into(), t.to_json());
+                }
+                Json::obj([("ok", Json::Bool(true)), ("drag", drag)])
+            }
             Response::Frame {
                 format,
                 width,
@@ -471,6 +661,11 @@ impl Response {
                     ),
                 ])
             }
+            Response::Metrics(snapshot) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("metrics", snapshot_to_json(snapshot)),
+                ("prometheus", snapshot.prometheus().into()),
+            ]),
             Response::Error(msg) => {
                 Json::obj([("ok", Json::Bool(false)), ("error", msg.as_str().into())])
             }
@@ -511,7 +706,7 @@ mod tests {
             ),
             Response::Ok
         );
-        let summary = execute(&mut st, &Request::Summary, None);
+        let summary = execute(&mut st, &Request::Summary { trace: false }, None);
         assert_eq!(
             summary,
             Response::Summary(SessionSummary {
@@ -519,6 +714,7 @@ mod tests {
                 displayed: 25,
                 exact: 10,
                 windows: 1,
+                trace: None,
             })
         );
         // drag the slider down to 50: more exact answers
@@ -534,7 +730,7 @@ mod tests {
             ),
             Response::Ok
         );
-        match execute(&mut st, &Request::Summary, None) {
+        match execute(&mut st, &Request::Summary { trace: false }, None) {
             Response::Summary(s) => assert_eq!(s.exact, 50),
             other => panic!("expected summary, got {other:?}"),
         }
@@ -574,7 +770,7 @@ mod tests {
         let mut st = state(10);
         // no query installed yet
         assert!(matches!(
-            execute(&mut st, &Request::Summary, None),
+            execute(&mut st, &Request::Summary { trace: false }, None),
             Response::Error(_)
         ));
         assert!(matches!(
@@ -590,7 +786,7 @@ mod tests {
             Response::Ok
         );
         assert!(matches!(
-            execute(&mut st, &Request::Summary, None),
+            execute(&mut st, &Request::Summary { trace: false }, None),
             Response::Summary(_)
         ));
     }

@@ -12,12 +12,12 @@
 //! `Arc`-shared, so hits hand out cheap clones.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use std::sync::Arc;
 
 use visdb_index::{ProjectionSource, SortedProjection};
+use visdb_obs::{Counter, Registry};
 use visdb_relevance::{PredicateWindow, WindowSource};
 
 use crate::api::Response;
@@ -29,6 +29,19 @@ pub struct CacheStats {
     pub hits: usize,
     /// Renders that ran the pipeline.
     pub misses: usize,
+}
+
+/// Register a cache's live hit/miss counters under
+/// `{prefix}.hits` / `{prefix}.misses`. The handles are shared, so the
+/// registry observes every future lookup without polling.
+fn register_hit_miss(
+    registry: &Registry,
+    prefix: &str,
+    hits: &Arc<Counter>,
+    misses: &Arc<Counter>,
+) {
+    registry.register_counter(&format!("{prefix}.hits"), Arc::clone(hits));
+    registry.register_counter(&format!("{prefix}.misses"), Arc::clone(misses));
 }
 
 /// Whether a cache key's scope (`{name}#{generation}`, length-prefix
@@ -50,8 +63,8 @@ struct Entry {
 pub struct QueryCache {
     entries: Mutex<(HashMap<String, Entry>, u64)>,
     capacity: usize,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 impl QueryCache {
@@ -61,9 +74,15 @@ impl QueryCache {
         QueryCache {
             entries: Mutex::new((HashMap::new(), 0)),
             capacity,
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
         }
+    }
+
+    /// Publish this cache's live hit/miss counters into `registry` under
+    /// `{prefix}.hits` / `{prefix}.misses`.
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        register_hit_miss(registry, prefix, &self.hits, &self.misses);
     }
 
     /// Whether lookups can ever succeed (capacity > 0). Callers skip
@@ -75,7 +94,7 @@ impl QueryCache {
     /// Look up a finished response, refreshing its recency on a hit.
     pub fn get(&self, key: &str) -> Option<Response> {
         if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         }
         let mut guard = match self.entries.lock() {
@@ -87,11 +106,11 @@ impl QueryCache {
         match map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = *clock;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(entry.response.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -145,8 +164,8 @@ impl QueryCache {
     /// Hit/miss counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get() as usize,
+            misses: self.misses.get() as usize,
         }
     }
 
@@ -210,8 +229,8 @@ pub struct WindowCache {
     entries: Mutex<WindowMap>,
     capacity: usize,
     row_budget: usize,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 /// Default bound on the *total rows* cached across all windows. Entry
@@ -239,9 +258,15 @@ impl WindowCache {
             entries: Mutex::new(WindowMap::default()),
             capacity,
             row_budget,
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
         }
+    }
+
+    /// Publish this cache's live hit/miss counters into `registry` under
+    /// `{prefix}.hits` / `{prefix}.misses`.
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        register_hit_miss(registry, prefix, &self.hits, &self.misses);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, WindowMap> {
@@ -276,8 +301,8 @@ impl WindowCache {
     /// Hit/miss counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get() as usize,
+            misses: self.misses.get() as usize,
         }
     }
 
@@ -295,7 +320,7 @@ impl WindowCache {
 impl WindowSource for WindowCache {
     fn lookup(&self, key: &str) -> Option<PredicateWindow> {
         if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         }
         let mut guard = self.lock();
@@ -304,11 +329,11 @@ impl WindowSource for WindowCache {
         match guard.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = clock;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(entry.window.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -387,8 +412,8 @@ pub struct ProjectionCache {
     entries: Mutex<ProjectionMap>,
     capacity: usize,
     row_budget: usize,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 impl ProjectionCache {
@@ -407,9 +432,15 @@ impl ProjectionCache {
             entries: Mutex::new(ProjectionMap::default()),
             capacity,
             row_budget,
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
         }
+    }
+
+    /// Publish this cache's live hit/miss counters into `registry` under
+    /// `{prefix}.hits` / `{prefix}.misses`.
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        register_hit_miss(registry, prefix, &self.hits, &self.misses);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, ProjectionMap> {
@@ -444,8 +475,8 @@ impl ProjectionCache {
     /// Hit/miss counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get() as usize,
+            misses: self.misses.get() as usize,
         }
     }
 
@@ -463,7 +494,7 @@ impl ProjectionCache {
 impl ProjectionSource for ProjectionCache {
     fn lookup(&self, key: &str) -> Option<Arc<SortedProjection>> {
         if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         }
         let mut guard = self.lock();
@@ -472,11 +503,11 @@ impl ProjectionSource for ProjectionCache {
         match guard.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = clock;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(Arc::clone(&entry.projection))
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }

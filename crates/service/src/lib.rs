@@ -58,11 +58,22 @@
 //! service
 //!     .submit(user, Request::SetQueryText("SELECT * FROM T WHERE x >= 90".into()))
 //!     .unwrap();
-//! match service.submit(user, Request::Summary).unwrap() {
+//! match service.submit(user, Request::Summary { trace: false }).unwrap() {
 //!     Response::Summary(s) => assert_eq!(s.exact, 10),
 //!     other => panic!("unexpected {other:?}"),
 //! }
 //! ```
+//!
+//! ## Observability
+//!
+//! Every layer publishes live metric handles into one
+//! [`visdb_obs::Registry`] owned by the [`Service`]: exec-pool counters
+//! and job latency, all three cache hit/miss pairs, session occupancy,
+//! per-op request counts and latency histograms, and per-phase pipeline
+//! latency. `Request::Metrics` (wire op `metrics`) returns the full
+//! snapshot as JSON plus a Prometheus-style text exposition, and
+//! `trace: true` on summary / drag requests returns the per-query
+//! [`TraceReport`] inline.
 
 pub mod api;
 pub mod cache;
@@ -71,7 +82,10 @@ pub mod manager;
 pub mod server;
 pub mod service;
 
-pub use api::{execute, RenderFormat, Request, Response, SessionState, SessionSummary};
+pub use api::{
+    execute, RenderFormat, Request, Response, SessionState, SessionSummary, TraceReport,
+};
 pub use cache::{CacheStats, ProjectionCache, QueryCache, WindowCache};
 pub use manager::{SessionId, SessionManager, SessionOptions};
-pub use service::{PendingResponse, Service, ServiceConfig};
+pub use service::{PendingResponse, Service, ServiceConfig, ServiceTelemetry};
+pub use visdb_obs::{Registry, Snapshot};

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
 use visdb_core::Session;
+use visdb_obs::{Counter, Gauge, Registry};
 use visdb_query::connection::ConnectionRegistry;
 use visdb_relevance::Materialization;
 use visdb_storage::Database;
@@ -69,6 +70,12 @@ pub struct SessionOptions {
     pub partitions: usize,
     /// Streaming vs materialized pipeline execution.
     pub materialization: Materialization,
+    /// Collect a per-phase pipeline trace on every recalculation (see
+    /// [`visdb_core::Session::set_collect_trace`]). The service enables
+    /// this so `trace: true` requests and the per-phase latency
+    /// histograms have data; the overhead is a handful of clock reads
+    /// per full pipeline run.
+    pub collect_trace: bool,
 }
 
 struct TableEntry {
@@ -86,6 +93,13 @@ pub struct SessionManager {
     table: Mutex<Table>,
     max_sessions: usize,
     idle_timeout: Duration,
+    /// Live session count, kept in sync with the table so a registry
+    /// snapshot never has to take the table lock.
+    live: Arc<Gauge>,
+    created: Arc<Counter>,
+    /// Sessions dropped by LRU capacity pressure or the idle sweep
+    /// (explicit [`SessionManager::remove`] closes are not evictions).
+    evicted: Arc<Counter>,
 }
 
 impl SessionManager {
@@ -99,7 +113,19 @@ impl SessionManager {
             }),
             max_sessions: max_sessions.max(1),
             idle_timeout,
+            live: Arc::new(Gauge::new()),
+            created: Arc::new(Counter::new()),
+            evicted: Arc::new(Counter::new()),
         }
+    }
+
+    /// Publish the manager's live occupancy metrics into `registry`:
+    /// `service.sessions.live` (gauge), `service.sessions.created` and
+    /// `service.sessions.evicted` (counters).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_gauge("service.sessions.live", Arc::clone(&self.live));
+        registry.register_counter("service.sessions.created", Arc::clone(&self.created));
+        registry.register_counter("service.sessions.evicted", Arc::clone(&self.evicted));
     }
 
     fn lock(&self) -> MutexGuard<'_, Table> {
@@ -131,6 +157,7 @@ impl SessionManager {
         session.set_auto_recalculate(false);
         session.set_partitions(options.partitions);
         session.set_materialization(options.materialization);
+        session.set_collect_trace(options.collect_trace);
         if let Some(cache) = options.windows {
             session.set_shared_windows(dataset.clone(), cache);
         }
@@ -150,6 +177,7 @@ impl SessionManager {
                 .min_by_key(|(_, entry)| entry.last_used)
             {
                 table.entries.remove(&lru);
+                self.evicted.inc();
             }
         }
         let id = table.next_id;
@@ -161,6 +189,8 @@ impl SessionManager {
                 last_used: Instant::now(),
             },
         );
+        self.created.inc();
+        self.live.set(table.entries.len() as i64);
         SessionId(id)
     }
 
@@ -175,7 +205,10 @@ impl SessionManager {
 
     /// Drop a session explicitly. Returns whether it was present.
     pub fn remove(&self, id: SessionId) -> bool {
-        self.lock().entries.remove(&id.0).is_some()
+        let mut table = self.lock();
+        let removed = table.entries.remove(&id.0).is_some();
+        self.live.set(table.entries.len() as i64);
+        removed
     }
 
     /// Evict every session idle longer than the configured timeout.
@@ -193,12 +226,25 @@ impl SessionManager {
         table
             .entries
             .retain(|_, entry| now.duration_since(entry.last_used) <= max_idle);
-        before - table.entries.len()
+        let evicted = before - table.entries.len();
+        self.evicted.add(evicted as u64);
+        self.live.set(table.entries.len() as i64);
+        evicted
     }
 
     /// Number of live sessions.
     pub fn len(&self) -> usize {
         self.lock().entries.len()
+    }
+
+    /// Sessions created since construction.
+    pub fn created_count(&self) -> usize {
+        self.created.get() as usize
+    }
+
+    /// Sessions evicted (LRU or idle) since construction.
+    pub fn evicted_count(&self) -> usize {
+        self.evicted.get() as usize
     }
 
     /// True when no sessions are live.

@@ -127,24 +127,31 @@ fn dispatch(service: &Service, msg: &Json) -> Result<Json> {
             ]))
         }
         "stats" => {
-            let cache = service.cache_stats();
-            let windows = service.window_cache_stats();
+            let t = service.telemetry();
             Ok(Json::obj([
                 ("ok", Json::Bool(true)),
                 ("sessions", service.session_count().into()),
                 ("workers", service.workers().into()),
                 (
                     "cache",
-                    Json::obj([("hits", cache.hits.into()), ("misses", cache.misses.into())]),
+                    Json::obj([
+                        ("hits", t.query_cache.hits.into()),
+                        ("misses", t.query_cache.misses.into()),
+                    ]),
                 ),
                 (
                     "window_cache",
                     Json::obj([
-                        ("hits", windows.hits.into()),
-                        ("misses", windows.misses.into()),
+                        ("hits", t.window_cache.hits.into()),
+                        ("misses", t.window_cache.misses.into()),
                     ]),
                 ),
             ]))
+        }
+        // the full registry snapshot (JSON + Prometheus-style text
+        // exposition); service-level like `stats`, no session needed
+        "metrics" => {
+            Ok(crate::api::Response::Metrics(Box::new(service.metrics_snapshot())).to_json())
         }
         _ => {
             // a per-session request: route through the worker pool

@@ -31,12 +31,13 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver};
 use visdb_exec::Runtime;
+use visdb_obs::{Counter, Histogram, Registry, Snapshot};
 use visdb_query::connection::ConnectionRegistry;
-use visdb_relevance::Materialization;
+use visdb_relevance::{Materialization, PhaseTimings};
 use visdb_storage::Database;
 use visdb_types::{Error, Result};
 
@@ -116,6 +117,90 @@ impl PendingResponse {
     }
 }
 
+/// Per-op request telemetry plus the pipeline-phase histograms, with
+/// every handle resolved once at service start-up — the hot path does
+/// no registry lookups, only atomic increments.
+pub(crate) struct ServiceObs {
+    /// One `(op name, request counter, latency histogram)` per wire op.
+    ops: Vec<(&'static str, Arc<Counter>, Arc<Histogram>)>,
+    /// `pipeline.phase.{distance,fit,normalize_combine,rank}`
+    /// nanosecond histograms, fed by the traces of fresh computations.
+    phases: [Arc<Histogram>; 4],
+}
+
+/// Every wire op, including the service-level `metrics`.
+const OPS: [&str; 10] = [
+    "ping",
+    "set_query",
+    "set_policy",
+    "set_weight",
+    "move_slider",
+    "drag_slider",
+    "set_window_size",
+    "summary",
+    "render",
+    "metrics",
+];
+
+const PHASES: [&str; 4] = ["distance", "fit", "normalize_combine", "rank"];
+
+impl ServiceObs {
+    fn new(registry: &Registry) -> Self {
+        ServiceObs {
+            ops: OPS
+                .iter()
+                .map(|op| {
+                    (
+                        *op,
+                        registry.counter(&format!("service.requests.{op}")),
+                        registry.histogram(&format!("service.latency_ns.{op}")),
+                    )
+                })
+                .collect(),
+            phases: PHASES.map(|p| registry.histogram(&format!("pipeline.phase.{p}"))),
+        }
+    }
+
+    /// Count one finished request and record its wall time.
+    fn record_op(&self, op: &str, elapsed: Duration) {
+        if let Some((_, count, latency)) = self.ops.iter().find(|(name, _, _)| *name == op) {
+            count.inc();
+            latency.record_duration(elapsed);
+        }
+    }
+
+    /// Feed one pipeline run's phase timings into the service-wide
+    /// per-phase histograms.
+    fn record_phases(&self, timings: &PhaseTimings) {
+        let [distance, fit, normalize_combine, rank] = &self.phases;
+        distance.record_duration(timings.distance);
+        fit.record_duration(timings.fit);
+        normalize_combine.record_duration(timings.normalize_combine);
+        rank.record_duration(timings.rank);
+    }
+}
+
+/// A one-call summary of the service's own counters — the programmatic
+/// sibling of the full [`Service::metrics_snapshot`], for callers (and
+/// tests) that want typed fields instead of a metric-name map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceTelemetry {
+    /// Shared query-result cache counters.
+    pub query_cache: CacheStats,
+    /// Shared predicate-window cache counters (cross-session §6 reuse).
+    pub window_cache: CacheStats,
+    /// Shared sorted-projection cache counters.
+    pub projection_cache: CacheStats,
+    /// Live sessions right now.
+    pub sessions_live: usize,
+    /// Sessions created since the service started.
+    pub sessions_created: usize,
+    /// Sessions evicted by LRU or the idle sweep.
+    pub sessions_evicted: usize,
+    /// The shared execution runtime's counters.
+    pub exec: visdb_exec::Metrics,
+}
+
 /// A concurrent multi-session query service over shared databases.
 pub struct Service {
     datasets: Mutex<std::collections::HashMap<String, Dataset>>,
@@ -126,6 +211,11 @@ pub struct Service {
     projection_cache: Arc<ProjectionCache>,
     partitions: usize,
     materialization: Materialization,
+    /// The telemetry registry every layer publishes into: exec-pool
+    /// counters, cache hit/miss counters, session occupancy, per-op
+    /// request counts and latency histograms, pipeline phase histograms.
+    registry: Arc<Registry>,
+    obs: Arc<ServiceObs>,
     /// The shared budgeted runtime. Dropping the service shuts it down;
     /// workers finish already-queued drains first.
     runtime: Runtime,
@@ -137,16 +227,27 @@ impl Service {
         let cache = Arc::new(QueryCache::new(config.cache_capacity));
         let window_cache = Arc::new(WindowCache::new(config.window_cache_capacity));
         let projection_cache = Arc::new(ProjectionCache::new(config.projection_cache_capacity));
+        let manager = SessionManager::new(config.max_sessions, config.idle_timeout);
+        let runtime = Runtime::new(config.workers.max(1));
+        let registry = Arc::new(Registry::new());
+        runtime.register_metrics(&registry);
+        manager.register_metrics(&registry);
+        cache.register_metrics(&registry, "cache.query");
+        window_cache.register_metrics(&registry, "cache.window");
+        projection_cache.register_metrics(&registry, "cache.projection");
+        let obs = Arc::new(ServiceObs::new(&registry));
         Service {
             datasets: Mutex::new(std::collections::HashMap::new()),
             generations: std::sync::atomic::AtomicU64::new(1),
-            manager: SessionManager::new(config.max_sessions, config.idle_timeout),
+            manager,
             cache,
             window_cache,
             projection_cache,
             partitions: config.partitions,
             materialization: config.materialization,
-            runtime: Runtime::new(config.workers.max(1)),
+            registry,
+            obs,
+            runtime,
         }
     }
 
@@ -210,6 +311,10 @@ impl Service {
                 .then(|| Arc::clone(&self.projection_cache)),
             partitions: self.partitions,
             materialization: self.materialization,
+            // traced sessions make `trace: true` requests answerable
+            // from the cached result and feed the per-phase histograms;
+            // the cost is a few clock reads per full pipeline run
+            collect_trace: true,
         };
         Ok(self.manager.create(
             ds.scope.clone(),
@@ -232,6 +337,15 @@ impl Service {
     /// Dispatch a request without waiting. Requests for one session apply
     /// in submission order; distinct sessions run in parallel.
     pub fn submit_async(&self, id: SessionId, request: Request) -> Result<PendingResponse> {
+        // the metrics op is service-level: it reads the registry, never
+        // a session, so it is answered inline instead of queueing behind
+        // a possibly busy mailbox (an explain request must not wait for
+        // the query it wants to explain)
+        if matches!(request, Request::Metrics) {
+            let (reply, rx) = channel::unbounded();
+            let _ = reply.send(Response::Metrics(Box::new(self.metrics_snapshot())));
+            return Ok(PendingResponse { rx });
+        }
         let slot = self.manager.get(id).ok_or_else(|| {
             Error::invalid_parameter("session", format!("unknown or evicted {id}"))
         })?;
@@ -242,7 +356,9 @@ impl Service {
             .push_back(Envelope { request, reply });
         if !slot.scheduled.swap(true, Ordering::SeqCst) {
             let cache = Arc::clone(&self.cache);
-            self.runtime.spawn(move || drain_mailbox(&slot, &cache));
+            let obs = Arc::clone(&self.obs);
+            self.runtime
+                .spawn(move || drain_mailbox(&slot, &cache, &obs));
         }
         Ok(PendingResponse { rx })
     }
@@ -269,18 +385,51 @@ impl Service {
         &self.runtime
     }
 
+    /// One consistent snapshot of the service's own counters: all three
+    /// cache stats, session occupancy, and the exec-pool metrics.
+    pub fn telemetry(&self) -> ServiceTelemetry {
+        ServiceTelemetry {
+            query_cache: self.cache.stats(),
+            window_cache: self.window_cache.stats(),
+            projection_cache: self.projection_cache.stats(),
+            sessions_live: self.manager.len(),
+            sessions_created: self.manager.created_count(),
+            sessions_evicted: self.manager.evicted_count(),
+            exec: self.runtime.metrics(),
+        }
+    }
+
+    /// The full telemetry registry: every metric any layer published —
+    /// also reachable through [`Service::metrics_snapshot`] and the
+    /// `metrics` server op.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Snapshot every registered metric (what `Request::Metrics`
+    /// returns). Counts as one `metrics` request.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let started = Instant::now();
+        let snapshot = self.registry.snapshot();
+        self.obs.record_op("metrics", started.elapsed());
+        snapshot
+    }
+
     /// Shared query-result cache counters.
+    #[deprecated(note = "use Service::telemetry().query_cache")]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
     /// Shared predicate-window cache counters (cross-session §6 reuse).
+    #[deprecated(note = "use Service::telemetry().window_cache")]
     pub fn window_cache_stats(&self) -> CacheStats {
         self.window_cache.stats()
     }
 
     /// Shared sorted-projection cache counters (cross-session slider
     /// index reuse).
+    #[deprecated(note = "use Service::telemetry().projection_cache")]
     pub fn projection_cache_stats(&self) -> CacheStats {
         self.projection_cache.stats()
     }
@@ -290,7 +439,7 @@ impl Service {
 /// runs this for a given slot at a time (`scheduled` guards entry); the
 /// handshake at the empty-mailbox exit ensures a request that raced with
 /// the exit is picked up — by this worker or by a rescheduled slot.
-fn drain_mailbox(slot: &Arc<SessionSlot>, cache: &QueryCache) {
+fn drain_mailbox(slot: &Arc<SessionSlot>, cache: &QueryCache, obs: &ServiceObs) {
     loop {
         let envelope = slot.mailbox.lock().expect("mailbox poisoned").pop_front();
         let Some(envelope) = envelope else {
@@ -314,7 +463,20 @@ fn drain_mailbox(slot: &Arc<SessionSlot>, cache: &QueryCache) {
                 // is suspect but the server must keep serving others
                 Err(poisoned) => poisoned.into_inner(),
             };
-            execute(&mut state, &envelope.request, Some(cache))
+            // phase histograms must count each pipeline run once: a run
+            // happened iff this request computed a result the session
+            // did not have (cached results and fast-path drags re-report
+            // the *previous* run's trace)
+            let fresh = state.session.cached_result().is_none();
+            let started = Instant::now();
+            let response = execute(&mut state, &envelope.request, Some(cache));
+            obs.record_op(envelope.request.op_name(), started.elapsed());
+            if fresh {
+                if let Some(trace) = state.session.last_trace() {
+                    obs.record_phases(&trace.phases);
+                }
+            }
+            response
         }))
         .unwrap_or_else(|_| Response::Error("internal error: request execution panicked".into()));
         // a dropped PendingResponse just means nobody wants the answer
@@ -361,7 +523,7 @@ mod tests {
             .unwrap(),
             Response::Ok
         );
-        match s.submit(id, Request::Summary).unwrap() {
+        match s.submit(id, Request::Summary { trace: false }).unwrap() {
             Response::Summary(sum) => {
                 assert_eq!(sum.objects, 200);
                 assert_eq!(sum.exact, 50);
@@ -399,7 +561,8 @@ mod tests {
                 },
             )
             .unwrap(),
-            s.submit_async(id, Request::Summary).unwrap(),
+            s.submit_async(id, Request::Summary { trace: false })
+                .unwrap(),
         ];
         let mut responses = pending.into_iter().map(|p| p.wait().unwrap());
         assert_eq!(responses.next().unwrap(), Response::Ok);
@@ -432,7 +595,11 @@ mod tests {
                         )
                         .unwrap(),
                     ),
-                    (i, s.submit_async(id, Request::Summary).unwrap()),
+                    (
+                        i,
+                        s.submit_async(id, Request::Summary { trace: false })
+                            .unwrap(),
+                    ),
                 ]
             })
             .collect();
@@ -466,9 +633,13 @@ mod tests {
         .unwrap();
         let new_frame = s.submit(b, Request::Render(RenderFormat::Ppm)).unwrap();
 
-        assert_eq!(s.cache_stats().hits, 0, "stale frame must not be served");
+        assert_eq!(
+            s.telemetry().query_cache.hits,
+            0,
+            "stale frame must not be served"
+        );
         assert_ne!(old_frame, new_frame);
-        match s.submit(b, Request::Summary).unwrap() {
+        match s.submit(b, Request::Summary { trace: false }).unwrap() {
             Response::Summary(sum) => assert_eq!(sum.objects, 400),
             other => panic!("expected summary, got {other:?}"),
         }
@@ -484,11 +655,11 @@ mod tests {
             Request::SetQueryText("SELECT * FROM T WHERE x >= 150".into()),
         )
         .unwrap();
-        let hits_before = s.cache_stats().hits;
+        let hits_before = s.telemetry().query_cache.hits;
         let newest = s.submit(c, Request::Render(RenderFormat::Ppm)).unwrap();
         assert_eq!(newest, new_frame);
         // c's render hit b's (same-generation) entry, never a's
-        assert_eq!(s.cache_stats().hits, hits_before + 1);
+        assert_eq!(s.telemetry().query_cache.hits, hits_before + 1);
     }
 
     #[test]
@@ -504,9 +675,9 @@ mod tests {
             .unwrap();
         }
         let fa = s.submit(a, Request::Render(RenderFormat::Ppm)).unwrap();
-        let before = s.cache_stats();
+        let before = s.telemetry().query_cache;
         let fb = s.submit(b, Request::Render(RenderFormat::Ppm)).unwrap();
-        let after = s.cache_stats();
+        let after = s.telemetry().query_cache;
         assert_eq!(fa, fb, "cached frame must be identical");
         assert_eq!(after.hits, before.hits + 1);
     }

@@ -14,6 +14,7 @@
 //! colors 0 0 64        # project to the yellow..green band of window 0
 //! auto off             # defer recalculation
 //! recalc               # recalculate now
+//! stats                # per-phase trace of the last pipeline run
 //! quit
 //! ```
 //!
@@ -100,7 +101,38 @@ fn run_command(session: &mut Session, line: &str) -> Result<bool> {
             session.recalculate()?;
             println!("ok: recalculated");
         }
-        other => println!("unknown command '{other}' (try: query/show/panel/range/weight/percent/select/colors/auto/recalc/quit)"),
+        "stats" | ":stats" => {
+            // turn trace collection on for this session (recomputing
+            // once if the current result was produced untraced), then
+            // read the paper's cost centers off the last pipeline run
+            session.set_collect_trace(true);
+            session.result()?;
+            if let Some(t) = session.last_trace() {
+                let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+                println!(
+                    "pipeline trace ({}): distance {:.3} ms | fit {:.3} ms | \
+                     normalize+combine {:.3} ms | rank {:.3} ms",
+                    if t.streaming { "streaming" } else { "materialized" },
+                    ms(t.phases.distance),
+                    ms(t.phases.fit),
+                    ms(t.phases.normalize_combine),
+                    ms(t.phases.rank),
+                );
+                println!(
+                    "rows: {} scanned, {} pruned | partitions: {} | windows: {} evaluated, \
+                     {} cache hits, {} shared hits",
+                    t.rows_scanned,
+                    t.rows_pruned,
+                    t.partitions,
+                    t.windows_evaluated,
+                    t.cache_hits,
+                    t.shared_hits,
+                );
+            } else {
+                println!("no trace yet: install a query first");
+            }
+        }
+        other => println!("unknown command '{other}' (try: query/show/panel/range/weight/percent/select/colors/auto/recalc/stats/quit)"),
     }
     Ok(true)
 }
@@ -125,6 +157,7 @@ fn main() -> Result<()> {
             "weight 1 0.3",
             "range 0 18 25",
             "panel",
+            "stats",
             "quit",
         ] {
             println!("visdb> {cmd}");

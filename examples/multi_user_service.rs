@@ -77,7 +77,7 @@ fn main() -> Result<()> {
                             });
                         }
                     }
-                    let summary = ask(Request::Summary);
+                    let summary = ask(Request::Summary { trace: false });
                     (sent, summary)
                 })
             })
@@ -92,7 +92,7 @@ fn main() -> Result<()> {
     });
 
     let elapsed = started.elapsed();
-    let stats = service.cache_stats();
+    let stats = service.telemetry().query_cache;
     println!(
         "served {requests} requests in {elapsed:.2?} ({:.0} req/s on {} workers)",
         requests as f64 / elapsed.as_secs_f64(),

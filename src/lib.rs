@@ -61,6 +61,7 @@
 //! | [`render`] | `visdb-render` | framebuffer, PPM/PGM, layout, spectra |
 //! | [`index`] | `visdb-index` | k-d tree, grid file, incremental cache |
 //! | [`exec`] | `visdb-exec` | shared budgeted worker pool: scoped fork-join + task queue |
+//! | [`obs`] | `visdb-obs` | counters, gauges, latency histograms, metrics registry |
 //! | [`core`] | `visdb-core` | sessions, approximate joins, sliders, rendering |
 //! | [`data`] | `visdb-data` | synthetic workloads (environmental, CAD, multi-DB) |
 //! | [`baseline`] | `visdb-baseline` | exact boolean queries, k-means |
@@ -106,6 +107,7 @@ pub use visdb_data as data;
 pub use visdb_distance as distance;
 pub use visdb_exec as exec;
 pub use visdb_index as index;
+pub use visdb_obs as obs;
 pub use visdb_query as query;
 pub use visdb_relevance as relevance;
 pub use visdb_render as render;
@@ -128,6 +130,7 @@ pub mod prelude {
     pub use visdb_distance::{ColumnDistance, DistanceMatrix, DistanceResolver, StringDistance};
     pub use visdb_distance::{DistanceFrame, FrameStats};
     pub use visdb_index::SortedProjection;
+    pub use visdb_obs::{Registry, Snapshot};
     pub use visdb_query::{
         parse_query, AttrRef, CompareOp, ConditionNode, ConnectionDef, ConnectionKind,
         ConnectionRegistry, ConnectionUse, Predicate, PredicateTarget, Query, QueryBuilder,
@@ -135,11 +138,13 @@ pub mod prelude {
     };
     pub use visdb_relevance::{
         run_pipeline, run_pipeline_opts, run_pipeline_partitioned, run_pipeline_scalar,
-        DisplayPolicy, ExecMode, Materialization, PipelineOptions, PipelineOutput, PredicateWindow,
+        DisplayPolicy, ExecMode, Materialization, PipelineOptions, PipelineOutput, PipelineTrace,
+        PredicateWindow,
     };
     pub use visdb_render::{write_ppm, Framebuffer};
     pub use visdb_service::{
-        RenderFormat, Request, Response, Service, ServiceConfig, SessionId, SessionSummary,
+        RenderFormat, Request, Response, Service, ServiceConfig, ServiceTelemetry, SessionId,
+        SessionSummary, TraceReport,
     };
     pub use visdb_storage::{ColumnStats, Database, Partitioning, Row, Table, TableBuilder};
     pub use visdb_types::{

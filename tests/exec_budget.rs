@@ -114,7 +114,10 @@ fn concurrent_large_queries_respect_the_global_thread_budget() {
                     service
                         .submit(id, Request::SetQueryText(text))
                         .expect("set query");
-                    match service.submit(id, Request::Summary).expect("summary") {
+                    match service
+                        .submit(id, Request::Summary { trace: false })
+                        .expect("summary")
+                    {
                         Response::Summary(s) => (s.objects, s.exact),
                         other => panic!("unexpected response {other:?}"),
                     }

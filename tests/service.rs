@@ -16,7 +16,7 @@ fn script(threshold: usize) -> Vec<Request> {
         Request::SetWindowSize { w: 16, h: 16 },
         Request::SetDisplayPolicy(DisplayPolicy::Percentage(50.0)),
         Request::SetQueryText(format!("SELECT * FROM T WHERE x >= {threshold}")),
-        Request::Summary,
+        Request::Summary { trace: false },
         Request::Render(RenderFormat::Ascii),
         // drag the slider and look again
         Request::MoveSlider {
@@ -24,7 +24,7 @@ fn script(threshold: usize) -> Vec<Request> {
             op: CompareOp::Ge,
             value: (threshold / 2) as f64,
         },
-        Request::Summary,
+        Request::Summary { trace: false },
         Request::Render(RenderFormat::Ppm),
     ]
 }
@@ -140,14 +140,14 @@ fn repeated_query_is_served_from_the_shared_cache() {
         );
     }
     let miss = ask(first, Request::Render(RenderFormat::Ppm));
-    let stats_after_miss = service.cache_stats();
+    let stats_after_miss = service.telemetry().query_cache;
     assert_eq!(stats_after_miss.hits, 0);
     assert_eq!(stats_after_miss.misses, 1);
 
     // the second user repeats the query: served from the cache, no
     // pipeline run
     let hit = ask(second, Request::Render(RenderFormat::Ppm));
-    let stats_after_hit = service.cache_stats();
+    let stats_after_hit = service.telemetry().query_cache;
     assert_eq!(
         stats_after_hit.hits, 1,
         "repeated render must hit the cache"
@@ -179,7 +179,7 @@ fn repeated_query_is_served_from_the_shared_cache() {
     );
     let other = ask(second, Request::Render(RenderFormat::Ppm));
     assert_ne!(other, hit);
-    assert_eq!(service.cache_stats().misses, 2);
+    assert_eq!(service.telemetry().query_cache.misses, 2);
 }
 
 #[test]
@@ -218,6 +218,7 @@ fn concurrent_sessions_share_one_sorted_projection_build() {
                     window: 0,
                     op: CompareOp::Ge,
                     value: 1600.0,
+                    trace: false,
                 },
             )
             .unwrap();
@@ -226,12 +227,13 @@ fn concurrent_sessions_share_one_sorted_projection_build() {
             Response::Drag {
                 displayed: 500,
                 exact: 400,
-                incremental: true
+                incremental: true,
+                trace: None
             },
             "client {i}"
         );
     }
-    let stats = service.projection_cache_stats();
+    let stats = service.telemetry().projection_cache;
     assert_eq!(stats.misses, 1, "exactly one projection build");
     assert_eq!(stats.hits, CLIENTS - 1, "every other session reuses it");
 
@@ -250,6 +252,7 @@ fn concurrent_sessions_share_one_sorted_projection_build() {
                                 window: 0,
                                 op: CompareOp::Ge,
                                 value: 1700.0,
+                                trace: false,
                             },
                         )
                         .unwrap()
@@ -264,12 +267,13 @@ fn concurrent_sessions_share_one_sorted_projection_build() {
             Response::Drag {
                 displayed: 500,
                 exact: 300,
-                incremental: true
+                incremental: true,
+                trace: None
             }
         );
     }
     assert_eq!(
-        service.projection_cache_stats().misses,
+        service.telemetry().projection_cache.misses,
         1,
         "warm sessions never rebuild"
     );
@@ -310,11 +314,12 @@ fn concurrent_sessions_share_one_sorted_projection_build() {
                 window: 0,
                 op: CompareOp::Ge,
                 value: 1600.0,
+                trace: false,
             },
         )
         .unwrap();
     assert_eq!(
-        service.projection_cache_stats().misses,
+        service.telemetry().projection_cache.misses,
         2,
         "the rotated generation must rebuild"
     );
@@ -339,7 +344,7 @@ fn streaming_service_is_byte_identical_to_materialized() {
             .into_iter()
             .map(|req| service.submit(id, req).unwrap())
             .collect();
-        (responses, service.window_cache_stats())
+        (responses, service.telemetry().window_cache)
     };
     let (materialized, _) = run(visdb::relevance::Materialization::Auto);
     let (streamed, window_stats) = run(visdb::relevance::Materialization::Streaming);
@@ -413,7 +418,7 @@ fn packed_frames_survive_edge_data_through_the_window_cache() {
             Request::SetWindowSize { w: 8, h: 8 },
             Request::SetDisplayPolicy(DisplayPolicy::Percentage(50.0)),
             Request::SetQueryText(text.into()),
-            Request::Summary,
+            Request::Summary { trace: false },
             Request::Render(RenderFormat::Ascii),
         ]
         .into_iter()
@@ -450,7 +455,7 @@ fn packed_frames_survive_edge_data_through_the_window_cache() {
         }
     }
     assert!(
-        warm.window_cache_stats().hits >= 2,
+        warm.telemetry().window_cache.hits >= 2,
         "edge windows must actually be served from the cache"
     );
 }
@@ -468,7 +473,7 @@ fn shared_windows_are_reused_across_sessions_and_stay_byte_identical() {
         let id = service.create_session("ramp").unwrap();
         [
             Request::SetQueryText(text.into()),
-            Request::Summary,
+            Request::Summary { trace: false },
             Request::Render(RenderFormat::Ppm),
         ]
         .into_iter()
@@ -484,11 +489,11 @@ fn shared_windows_are_reused_across_sessions_and_stay_byte_identical() {
     service.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
 
     let warm_q1 = drive(&service, q1);
-    let after_first = service.window_cache_stats();
+    let after_first = service.telemetry().window_cache;
     assert_eq!(after_first.hits, 0, "first session must evaluate fresh");
 
     let warm_q2 = drive(&service, q2);
-    let after_second = service.window_cache_stats();
+    let after_second = service.telemetry().window_cache;
     assert_eq!(
         after_second.hits, 1,
         "the shared `x < 150` window must be a cache hit"
@@ -496,7 +501,7 @@ fn shared_windows_are_reused_across_sessions_and_stay_byte_identical() {
 
     // a third session repeating q1 verbatim reuses both of its windows
     let warm_q1_again = drive(&service, q1);
-    assert_eq!(service.window_cache_stats().hits, 3);
+    assert_eq!(service.telemetry().window_cache.hits, 3);
     assert_eq!(warm_q1_again, warm_q1);
 
     // cold reference: window sharing disabled entirely
@@ -509,17 +514,251 @@ fn shared_windows_are_reused_across_sessions_and_stay_byte_identical() {
     cold.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
     assert_eq!(drive(&cold, q1), warm_q1, "q1 must be byte-identical cold");
     assert_eq!(drive(&cold, q2), warm_q2, "q2 must be byte-identical cold");
-    assert_eq!(cold.window_cache_stats().hits, 0);
+    assert_eq!(cold.telemetry().window_cache.hits, 0);
 
     // re-registering the dataset rotates the generation: no stale reuse
     let bigger = ramp_db(400);
     service.register_dataset("ramp", bigger, ConnectionRegistry::new());
-    let hits_before = service.window_cache_stats().hits;
+    let hits_before = service.telemetry().window_cache.hits;
     let fresh = drive(&service, q1);
     assert_eq!(
-        service.window_cache_stats().hits,
+        service.telemetry().window_cache.hits,
         hits_before,
         "windows of the replaced dataset must not be reused"
     );
     assert_ne!(fresh, warm_q1, "400-row frames differ from 200-row frames");
+}
+
+#[test]
+fn metrics_op_snapshots_every_layer_and_counters_stay_monotone() {
+    let db = ramp_db(400);
+    let service = Service::new(ServiceConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    service.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
+    let user = service.create_session("ramp").unwrap();
+    let ask = |req| service.submit(user, req).unwrap();
+
+    assert_eq!(
+        ask(Request::SetQueryText(
+            "SELECT * FROM T WHERE x >= 300".into()
+        )),
+        Response::Ok
+    );
+    ask(Request::Summary { trace: false });
+
+    let snap = match ask(Request::Metrics) {
+        Response::Metrics(s) => *s,
+        other => panic!("unexpected {other:?}"),
+    };
+    // one snapshot covers every layer: exec pool, caches, sessions,
+    // per-op service traffic, per-phase pipeline latency
+    for counter in [
+        "exec.jobs_executed",
+        "exec.tasks_stolen",
+        "cache.query.hits",
+        "cache.query.misses",
+        "cache.window.hits",
+        "cache.window.misses",
+        "cache.projection.hits",
+        "cache.projection.misses",
+        "service.sessions.created",
+        "service.sessions.evicted",
+        "service.requests.summary",
+    ] {
+        assert!(snap.counter(counter).is_some(), "missing counter {counter}");
+    }
+    for gauge in ["exec.threads", "exec.queue_depth", "service.sessions.live"] {
+        assert!(snap.gauge(gauge).is_some(), "missing gauge {gauge}");
+    }
+    for hist in [
+        "exec.job_latency_ns",
+        "service.latency_ns.summary",
+        "pipeline.phase.distance",
+        "pipeline.phase.fit",
+        "pipeline.phase.normalize_combine",
+        "pipeline.phase.rank",
+    ] {
+        assert!(snap.histogram(hist).is_some(), "missing histogram {hist}");
+    }
+    assert_eq!(snap.gauge("exec.threads"), Some(2));
+    assert_eq!(snap.gauge("service.sessions.live"), Some(1));
+    assert_eq!(snap.counter("service.requests.summary"), Some(1));
+    let phases = snap.histogram("pipeline.phase.distance").unwrap();
+    assert_eq!(phases.count, 1, "one fresh pipeline run so far");
+
+    // a second, different query: every relevant series moves forward
+    ask(Request::MoveSlider {
+        window: 0,
+        op: CompareOp::Ge,
+        value: 100.0,
+    });
+    ask(Request::Summary { trace: false });
+    let snap2 = match ask(Request::Metrics) {
+        Response::Metrics(s) => *s,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(snap2.counter("service.requests.summary"), Some(2));
+    assert_eq!(snap2.counter("service.requests.move_slider"), Some(1));
+    assert!(snap2.counter("service.requests.metrics") >= Some(1));
+    assert_eq!(
+        snap2.histogram("pipeline.phase.distance").unwrap().count,
+        2,
+        "second fresh run recorded exactly once"
+    );
+    for (name, v1) in &snap.entries {
+        if let visdb::obs::MetricValue::Counter(c1) = v1 {
+            let c2 = snap2.counter(name).unwrap();
+            assert!(c2 >= *c1, "counter {name} went backwards: {c1} -> {c2}");
+        }
+    }
+
+    // a cached re-ask does not re-record pipeline phases
+    ask(Request::Summary { trace: false });
+    let snap3 = match ask(Request::Metrics) {
+        Response::Metrics(s) => *s,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(snap3.counter("service.requests.summary"), Some(3));
+    assert_eq!(
+        snap3.histogram("pipeline.phase.distance").unwrap().count,
+        2,
+        "a session-cached summary must not double-count a pipeline run"
+    );
+}
+
+#[test]
+fn traces_are_opt_in_and_name_the_bench_phases() {
+    let db = ramp_db(600);
+    let service = Service::new(ServiceConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    service.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
+    let user = service.create_session("ramp").unwrap();
+    let ask = |req| service.submit(user, req).unwrap();
+
+    ask(Request::SetQueryText(
+        "SELECT * FROM T WHERE x >= 500".into(),
+    ));
+    // absent by default
+    let plain = match ask(Request::Summary { trace: false }) {
+        Response::Summary(s) => s,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(
+        plain.trace.is_none(),
+        "untraced summary must carry no trace"
+    );
+
+    // present on request, shaped like the bench `phase_ms` breakdown
+    let traced = match ask(Request::Summary { trace: true }) {
+        Response::Summary(s) => s,
+        other => panic!("unexpected {other:?}"),
+    };
+    let trace = traced.trace.expect("trace requested");
+    assert!(
+        trace.mode == "materialized" || trace.mode == "streaming",
+        "unexpected mode {:?}",
+        trace.mode
+    );
+    assert_eq!(trace.rows_scanned, 600);
+    assert_eq!(trace.partitions, 1);
+    // the four phases are the bench's phase_ms fields; a real run
+    // spends time in at least one of them
+    let total = trace.distance_ns + trace.fit_ns + trace.normalize_combine_ns + trace.rank_ns;
+    assert!(total > 0, "all four phase timers are zero");
+    assert_eq!(
+        (
+            traced.objects,
+            traced.displayed,
+            traced.exact,
+            traced.windows
+        ),
+        (plain.objects, plain.displayed, plain.exact, plain.windows),
+        "the trace flag must not change the counters"
+    );
+
+    // a traced incremental drag re-reports the previous pipeline run
+    // only on the full-recompute fallback, never on the fast path
+    let drag = match ask(Request::DragSlider {
+        window: 0,
+        op: CompareOp::Ge,
+        value: 520.0,
+        trace: true,
+    }) {
+        Response::Drag {
+            incremental, trace, ..
+        } => (incremental, trace),
+        other => panic!("unexpected {other:?}"),
+    };
+    if drag.0 {
+        assert!(drag.1.is_none(), "fast-path drag must not attach a trace");
+    } else {
+        assert!(drag.1.is_some(), "full-recompute drag must attach a trace");
+    }
+}
+
+#[test]
+fn metrics_op_round_trips_over_the_wire() {
+    let db = ramp_db(300);
+    let service = Service::new(ServiceConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    service.register_dataset("ramp", Arc::clone(&db), ConnectionRegistry::new());
+    let handle = |line: &str| visdb::service::server::handle_line(&service, line);
+
+    let r = handle(r#"{"op":"create_session","dataset":"ramp"}"#);
+    let session = r.get("session").unwrap().as_u64().unwrap();
+    let line = format!(
+        r#"{{"session":{session},"op":"set_query","text":"SELECT * FROM T WHERE x >= 200"}}"#
+    );
+    handle(&line);
+
+    // summary without the flag: no trace key on the wire
+    let line = format!(r#"{{"session":{session},"op":"summary"}}"#);
+    let r = handle(&line);
+    assert!(r.get("summary").unwrap().get("trace").is_none());
+
+    // summary with the flag: the trace object names the bench phases
+    let line = format!(r#"{{"session":{session},"op":"summary","trace":true}}"#);
+    let r = handle(&line);
+    let trace = r.get("summary").unwrap().get("trace").expect("trace");
+    for key in [
+        "mode",
+        "distance_ns",
+        "fit_ns",
+        "normalize_combine_ns",
+        "rank_ns",
+        "rows_scanned",
+        "rows_pruned",
+        "partitions",
+    ] {
+        assert!(trace.get(key).is_some(), "trace missing {key}");
+    }
+
+    // the service-level metrics op: snapshot JSON plus a Prometheus
+    // text exposition, no session required
+    let r = handle(r#"{"id":9,"op":"metrics"}"#);
+    assert_eq!(r.get("id").unwrap().as_u64(), Some(9));
+    let metrics = r.get("metrics").expect("metrics object");
+    for key in [
+        "exec.jobs_executed",
+        "cache.query.misses",
+        "service.requests.summary",
+        "pipeline.phase.distance",
+    ] {
+        assert!(metrics.get(key).is_some(), "snapshot missing {key}");
+    }
+    assert_eq!(
+        metrics.get("service.requests.summary").unwrap().as_u64(),
+        Some(2)
+    );
+    let phase = metrics.get("pipeline.phase.rank").unwrap();
+    assert!(phase.get("count").unwrap().as_u64().unwrap() >= 1);
+    let text = r.get("prometheus").unwrap().as_str().unwrap();
+    assert!(text.contains("# TYPE exec_jobs_executed counter"));
+    assert!(text.contains("# TYPE pipeline_phase_rank summary"));
 }
