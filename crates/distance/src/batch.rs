@@ -134,8 +134,17 @@ pub fn run<T: NativeNumeric>(
 
 /// The packed-frame sibling of [`fill`]: write values and validity into
 /// the two SoA buffers of a `DistanceFrame` chunk and accumulate the
-/// per-predicate reduction stats in the same walk. Undefined rows get a
+/// per-predicate reduction stats for the same walk. Undefined rows get a
 /// canonical `0.0` value and a cleared mask bit.
+///
+/// The store loop is branchless — `vals[i] = d.unwrap_or(0.0)` and
+/// `mask[i] = d.is_some()` are unconditional moves, so the only branches
+/// left in the walk are the ones inside the scalar distance function
+/// itself. The stats reduction then runs as the 4-lane
+/// [`FrameStats::of_slice`] kernel over the buffers the store just
+/// filled (still warm in cache) instead of a data-dependent
+/// [`FrameStats::record`] per defined row; both restructurings are
+/// exact, so results and stats stay bit-identical to the per-tuple path.
 #[inline]
 fn fill_frame<T: NativeNumeric>(
     xs: &[T],
@@ -146,33 +155,25 @@ fn fill_frame<T: NativeNumeric>(
 ) -> FrameStats {
     debug_assert_eq!(xs.len(), vals.len());
     debug_assert_eq!(xs.len(), mask.len());
-    let mut stats = FrameStats::default();
-    let mut write = |v: &mut f64, m: &mut bool, d: Option<f64>| match d {
-        Some(d) => {
-            *v = d;
-            *m = true;
-            stats.record(d);
-        }
-        None => {
-            *v = 0.0;
-            *m = false;
-        }
-    };
     match validity {
         None => {
             for ((v, m), &x) in vals.iter_mut().zip(mask.iter_mut()).zip(xs) {
-                write(v, m, f(x.to_f64()));
+                let d = f(x.to_f64());
+                *v = d.unwrap_or(0.0);
+                *m = d.is_some();
             }
         }
         Some(in_mask) => {
             debug_assert_eq!(in_mask.len(), vals.len());
             for (((v, m), &x), &valid) in vals.iter_mut().zip(mask.iter_mut()).zip(xs).zip(in_mask)
             {
-                write(v, m, if valid { f(x.to_f64()) } else { None });
+                let d = if valid { f(x.to_f64()) } else { None };
+                *v = d.unwrap_or(0.0);
+                *m = d.is_some();
             }
         }
     }
-    stats
+    FrameStats::of_slice(vals, mask)
 }
 
 /// [`run`] over a packed `DistanceFrame` chunk: one pass writes the

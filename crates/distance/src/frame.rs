@@ -124,12 +124,50 @@ impl FrameStats {
         self.non_finite += other.non_finite;
     }
 
-    /// Stats of a full (serial) walk over an existing frame — used where
-    /// a frame arrives without its stats (cache hits never need this;
-    /// combiners fuse it into their own walk).
+    /// Stats of a full walk over an existing frame — used where a frame
+    /// arrives without its stats (cache hits never need this; combiners
+    /// fuse it into their own walk).
     pub fn of_frame(frame: &DistanceFrame) -> FrameStats {
-        let mut s = FrameStats::default();
-        for (&v, &ok) in frame.values().iter().zip(frame.validity().as_slice()) {
+        FrameStats::of_slice(frame.values(), frame.validity().as_slice())
+    }
+
+    /// Branchless stats reduction over packed buffers: four independent
+    /// accumulator lanes (`f64x4`-shaped) with a scalar tail, lane masks
+    /// driven by the validity bytes through [`lanes::select`] instead of
+    /// a per-row `if defined` branch. Every lane op is a set operation
+    /// (count, min, max) with a neutral element for masked lanes
+    /// (`+inf` / `-inf`), so the result is exact and independent of lane
+    /// assignment — bit-identical to the serial [`FrameStats::record`]
+    /// reference, which the kernel property tests pin across lane
+    /// remainders and NaN/±inf-dense inputs.
+    pub fn of_slice(vals: &[f64], mask: &[bool]) -> FrameStats {
+        use crate::lanes::{select, LANES};
+        debug_assert_eq!(vals.len(), mask.len());
+        let mut defined = [0usize; LANES];
+        let mut non_finite = [0usize; LANES];
+        let mut min_abs = [f64::INFINITY; LANES];
+        let mut max_abs = [f64::NEG_INFINITY; LANES];
+        let blocks = vals.len() / LANES * LANES;
+        let (vblocks, vtail) = vals.split_at(blocks);
+        let (mblocks, mtail) = mask.split_at(blocks);
+        for (v4, m4) in vblocks.chunks_exact(LANES).zip(mblocks.chunks_exact(LANES)) {
+            for l in 0..LANES {
+                let ok = m4[l];
+                let a = v4[l].abs();
+                let finite = ok && a.is_finite();
+                defined[l] += ok as usize;
+                non_finite[l] += (ok && !a.is_finite()) as usize;
+                min_abs[l] = min_abs[l].min(select(finite, a, f64::INFINITY));
+                max_abs[l] = max_abs[l].max(select(finite, a, f64::NEG_INFINITY));
+            }
+        }
+        let mut s = FrameStats {
+            defined: defined.iter().sum(),
+            min_abs: min_abs.iter().fold(f64::INFINITY, |m, &x| m.min(x)),
+            max_abs: max_abs.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x)),
+            non_finite: non_finite.iter().sum(),
+        };
+        for (&v, &ok) in vtail.iter().zip(mtail) {
             if ok {
                 s.record(v);
             }

@@ -24,6 +24,7 @@
 pub mod batch;
 pub mod frame;
 pub mod geo;
+pub mod lanes;
 pub mod matrix;
 pub mod numeric;
 pub mod registry;

@@ -265,6 +265,95 @@ pub fn for_each_frame_range(
     total
 }
 
+/// One worker's reusable chunk scratch: lockstep packed `(values,
+/// validity)` buffer pairs, grown on demand and kept across chunks.
+#[derive(Default)]
+pub struct Scratch {
+    bufs: Vec<(Vec<f64>, Vec<bool>)>,
+}
+
+impl Scratch {
+    /// Borrow `children` lockstep `(values, mask)` pairs of `len` rows
+    /// each. Contents are **unspecified** (stale rows from a previous
+    /// chunk survive): callers must overwrite every row they read — the
+    /// contract all the fused chunk walks already satisfy, since every
+    /// kernel writes each output row unconditionally.
+    pub fn frames(&mut self, children: usize, len: usize) -> &mut [(Vec<f64>, Vec<bool>)] {
+        if self.bufs.len() < children {
+            self.bufs.resize_with(children, Default::default);
+        }
+        for (v, m) in &mut self.bufs[..children] {
+            v.resize(len, 0.0);
+            m.resize(len, false);
+        }
+        &mut self.bufs[..children]
+    }
+}
+
+/// A small arena of per-worker [`Scratch`] buffers for one pipeline run:
+/// a chunk walk takes a scratch at task start, reuses it across every
+/// chunk of the task, and returns it on drop — so a pass over thousands
+/// of chunks pays the allocator once per worker (plus once per nesting
+/// level for recursive condition trees) instead of once per chunk.
+/// Create one per run; the buffers die with it.
+#[derive(Default)]
+pub struct ScratchArena {
+    pool: std::sync::Mutex<Vec<Scratch>>,
+}
+
+impl ScratchArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a scratch (reusing a returned one when available). The guard
+    /// hands the scratch back on drop.
+    pub fn take(&self) -> ScratchGuard<'_> {
+        let scratch = self
+            .pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        ScratchGuard {
+            arena: self,
+            scratch,
+        }
+    }
+}
+
+/// RAII handle on an arena scratch; derefs to [`Scratch`] and returns
+/// the buffers to the arena on drop.
+pub struct ScratchGuard<'a> {
+    arena: &'a ScratchArena,
+    scratch: Scratch,
+}
+
+impl std::ops::Deref for ScratchGuard<'_> {
+    type Target = Scratch;
+
+    fn deref(&self) -> &Scratch {
+        &self.scratch
+    }
+}
+
+impl std::ops::DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Scratch {
+        &mut self.scratch
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        self.arena
+            .pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(std::mem::take(&mut self.scratch));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +449,35 @@ mod tests {
             }
         });
         assert_eq!(out, vec![1; tiny]);
+    }
+
+    #[test]
+    fn scratch_arena_reuses_buffers_across_takes() {
+        let arena = ScratchArena::new();
+        let cap0 = {
+            let mut s = arena.take();
+            let bufs = s.frames(3, 100);
+            assert_eq!(bufs.len(), 3);
+            for (v, m) in bufs.iter() {
+                assert_eq!(v.len(), 100);
+                assert_eq!(m.len(), 100);
+            }
+            bufs[0].0.capacity()
+        };
+        {
+            // returned scratch comes back with its allocation intact and
+            // resizes to the new chunk shape
+            let mut s = arena.take();
+            let bufs = s.frames(2, 40);
+            assert_eq!(bufs.len(), 2);
+            assert_eq!(bufs[0].0.len(), 40);
+            assert!(bufs[0].0.capacity() >= cap0.min(100));
+        }
+        // nested takes (recursive condition trees) get distinct scratches
+        let a = arena.take();
+        let b = arena.take();
+        drop(a);
+        drop(b);
     }
 
     #[test]

@@ -142,47 +142,137 @@ fn check_frames(children: &[&DistanceFrame], weights: &[f64]) -> Result<usize> {
     Ok(n)
 }
 
-/// Combine packed child frames row-wise with `row_fn` ([`and_row`] /
-/// [`or_row`]), producing the combined frame **and** its reduction stats
-/// in the same walk — nested `AND`/`OR` nodes re-normalize their
-/// combined distances, so fusing the stats here keeps inner combining at
-/// one pass just like the leaf distance walks.
-fn combine_frames(
-    children: &[&DistanceFrame],
+/// Branchless slice form of the weighted arithmetic mean (`AND`): one
+/// child-outer pass per child over packed `(values, validity)` buffers.
+/// The accumulator takes `w · v` unconditionally — undefined rows carry
+/// the canonical `0.0`, and whatever they contribute only ever reaches
+/// rows the intersected mask has already cleared — while the output mask
+/// is the plain byte-AND of the child masks, which the autovectorizer
+/// turns into wide integer ops. Accumulation runs in the same child
+/// order as [`and_row`] starting from `0.0`, so fully-defined rows are
+/// bit-identical to the per-row reference.
+pub fn combine_and_slices(
+    children: &[(&[f64], &[bool])],
     weights: &[f64],
-    row_fn: impl Fn(&[Option<f64>], &[f64]) -> Option<f64>,
-) -> Result<(DistanceFrame, FrameStats)> {
-    let n = check_frames(children, weights)?;
-    let mut out = DistanceFrame::undefined(n);
-    let mut stats = FrameStats::default();
-    let mut row = vec![None; children.len()];
-    for i in 0..n {
-        for (slot, c) in row.iter_mut().zip(children) {
-            *slot = c.get(i);
+    out_vals: &mut [f64],
+    out_mask: &mut [bool],
+) {
+    use visdb_distance::lanes::select;
+    debug_assert_eq!(children.len(), weights.len());
+    out_vals.fill(0.0);
+    out_mask.fill(true);
+    for (&(v, m), &w) in children.iter().zip(weights) {
+        debug_assert_eq!(v.len(), out_vals.len());
+        debug_assert_eq!(m.len(), out_vals.len());
+        for (((ov, om), &d), &ok) in out_vals.iter_mut().zip(out_mask.iter_mut()).zip(v).zip(m) {
+            *ov += w * d;
+            *om &= ok;
         }
-        let d = row_fn(&row, weights);
-        if let Some(v) = d {
-            stats.record(v);
-        }
-        out.set(i, d);
     }
-    Ok((out, stats))
+    for (ov, &om) in out_vals.iter_mut().zip(out_mask.iter()) {
+        *ov = select(om, *ov, 0.0);
+    }
 }
 
-/// [`combine_and`] over packed frames, with fused stats.
+/// Branchless slice form of the weighted geometric mean (`OR`).
+///
+/// Two [`or_row`] behaviours need care:
+///
+/// * *Undefined propagation*: a row is defined when **any** child is —
+///   the byte-OR of the child masks, independent of [`or_row`]'s early
+///   `break`, because with non-negative weights the product can only
+///   reach `0.0` through a defined child (the `NORM_MAX` substitute for
+///   undefined children satisfies `255^w >= 1`), and that child already
+///   set `any_defined`.
+/// * *The early `break` itself*: once the product is `0.0` the reference
+///   stops multiplying, which matters when a later factor is `+inf`
+///   (`0 · inf = NaN`). The kernel mirrors it with a freeze —
+///   `prod = select(prod == 0.0, prod, prod · f)` — an exact branchless
+///   restatement.
+///
+/// A **negative** weight breaks the first argument (`255^w` underflows
+/// toward `0`, so the reference can break out *before* a later child
+/// proves the row defined), so that case falls back to the per-row
+/// reference loop; negative weights never reach the hot path anyway.
+pub fn combine_or_slices(
+    children: &[(&[f64], &[bool])],
+    weights: &[f64],
+    out_vals: &mut [f64],
+    out_mask: &mut [bool],
+) {
+    use visdb_distance::lanes::select;
+    debug_assert_eq!(children.len(), weights.len());
+    if weights.iter().any(|&w| w < 0.0) {
+        let mut row: Vec<Option<f64>> = vec![None; children.len()];
+        for i in 0..out_vals.len() {
+            for (slot, &(v, m)) in row.iter_mut().zip(children) {
+                *slot = m[i].then_some(v[i]);
+            }
+            let d = or_row(&row, weights);
+            out_vals[i] = d.unwrap_or(0.0);
+            out_mask[i] = d.is_some();
+        }
+        return;
+    }
+    out_vals.fill(1.0);
+    out_mask.fill(false);
+    for (&(v, m), &w) in children.iter().zip(weights) {
+        debug_assert_eq!(v.len(), out_vals.len());
+        debug_assert_eq!(m.len(), out_vals.len());
+        if w == 0.0 {
+            // a weightless part contributes definedness but no factor
+            for (om, &ok) in out_mask.iter_mut().zip(m) {
+                *om |= ok;
+            }
+            continue;
+        }
+        for (((ov, om), &d), &ok) in out_vals.iter_mut().zip(out_mask.iter_mut()).zip(v).zip(m) {
+            *om |= ok;
+            let f = select(ok, d, NORM_MAX).powf(w);
+            *ov = select(*ov == 0.0, *ov, *ov * f);
+        }
+    }
+    for (ov, &om) in out_vals.iter_mut().zip(out_mask.iter()) {
+        *ov = select(om, *ov, 0.0);
+    }
+}
+
+/// [`combine_and`] over packed frames, with fused stats — the branchless
+/// [`combine_and_slices`] kernel plus the 4-lane [`FrameStats::of_slice`]
+/// reduction over the buffers it just wrote.
 pub fn combine_and_frames(
     children: &[&DistanceFrame],
     weights: &[f64],
 ) -> Result<(DistanceFrame, FrameStats)> {
-    combine_frames(children, weights, and_row)
+    let n = check_frames(children, weights)?;
+    let views: Vec<(&[f64], &[bool])> = children
+        .iter()
+        .map(|c| (c.values(), c.validity().as_slice()))
+        .collect();
+    let mut out = DistanceFrame::undefined(n);
+    let (vals, mask) = out.parts_mut();
+    combine_and_slices(&views, weights, vals, mask);
+    let stats = FrameStats::of_slice(vals, mask);
+    Ok((out, stats))
 }
 
-/// [`combine_or`] over packed frames, with fused stats.
+/// [`combine_or`] over packed frames, with fused stats — the branchless
+/// [`combine_or_slices`] kernel plus the 4-lane [`FrameStats::of_slice`]
+/// reduction.
 pub fn combine_or_frames(
     children: &[&DistanceFrame],
     weights: &[f64],
 ) -> Result<(DistanceFrame, FrameStats)> {
-    combine_frames(children, weights, or_row)
+    let n = check_frames(children, weights)?;
+    let views: Vec<(&[f64], &[bool])> = children
+        .iter()
+        .map(|c| (c.values(), c.validity().as_slice()))
+        .collect();
+    let mut out = DistanceFrame::undefined(n);
+    let (vals, mask) = out.parts_mut();
+    combine_or_slices(&views, weights, vals, mask);
+    let stats = FrameStats::of_slice(vals, mask);
+    Ok((out, stats))
 }
 
 /// Ablation comparators (DESIGN.md decision 1): fuzzy-logic `min`/`max`

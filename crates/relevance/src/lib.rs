@@ -39,15 +39,17 @@ pub mod reduction;
 pub(crate) mod stream;
 
 pub use cache::{key_scope, window_key, PipelineCache, WindowSource};
+pub use combine::{combine_and_slices, combine_or_slices};
 pub use eval::{EvalContext, ExecMode, NodeEval};
 pub use normalize::{
-    fit_frame, fit_improved, fit_k, normalize_frame, normalize_improved, normalize_naive,
-    NormParams, NORM_MAX,
+    apply_in_place, apply_slice, fit_frame, fit_improved, fit_k, normalize_frame,
+    normalize_improved, normalize_naive, NormParams, NORM_MAX,
 };
 pub use pipeline::{
     display_count, run_pipeline, run_pipeline_cached, run_pipeline_opts, run_pipeline_partitioned,
     run_pipeline_scalar, DisplayPolicy, DisplayedWindow, Materialization, PhaseTimings,
     PipelineOptions, PipelineOutput, PipelineTrace, PredicateWindow, SharedWindows, WindowData,
+    PARALLEL_THRESHOLD, PARTITION_MIN_ROWS,
 };
 pub use quantile::{display_fraction, quantile, two_sided_range};
 pub use reduction::{gap_cutoff, gap_cutoff_naive};

@@ -198,19 +198,108 @@ pub fn apply_frame(frame: &DistanceFrame, params: NormParams) -> DistanceFrame {
     let mut out = DistanceFrame::undefined(frame.len());
     {
         let (vals, mask) = out.parts_mut();
-        for (((v, m), &x), &ok) in vals
-            .iter_mut()
-            .zip(mask.iter_mut())
-            .zip(frame.values())
-            .zip(frame.validity().as_slice())
-        {
-            if ok {
-                *v = params.apply(x.abs());
-                *m = true;
+        apply_slice(
+            params,
+            frame.values(),
+            frame.validity().as_slice(),
+            vals,
+            mask,
+        );
+    }
+    out
+}
+
+/// One row of the branchless apply: exactly `params.apply(x.abs())`
+/// restructured as unconditional arithmetic plus [`select`] moves, so a
+/// slice walk built from it has no data-dependent branch. Both the
+/// degenerate and the linear arm are always evaluated (a `range <= 0`
+/// division yields ±inf/NaN, which the select discards), and the
+/// non-finite guard comes last just as in [`NormParams::apply`] — the
+/// result is bit-identical for every input and parameter combination,
+/// including NaN/±inf distances and degenerate or hand-built params.
+#[inline(always)]
+fn apply_one(params: &NormParams, x: f64) -> f64 {
+    use visdb_distance::lanes::select;
+    let a = x.abs();
+    let range = params.dmax - params.dmin;
+    let degenerate_v = select(a <= params.dmax, 0.0, NORM_MAX);
+    let linear_v = (((a - params.dmin) / range) * NORM_MAX).clamp(0.0, NORM_MAX);
+    let v = select(range <= 0.0, degenerate_v, linear_v);
+    select(a.is_finite(), v, NORM_MAX)
+}
+
+/// Branchless slice form of the normalize apply walk: writes
+/// `params.apply(vals[i].abs())` for defined rows and the canonical
+/// `(0.0, false)` for undefined rows into the packed output buffers.
+/// Validity-bitmap words drive the lane masks — each 8-row block is
+/// classified with one `u64` compare, fully-defined blocks run a pure
+/// value loop the autovectorizer turns into `f64x4` arithmetic, and
+/// mixed blocks keep per-lane [`select`] moves instead of per-row
+/// branches. Bit-identical to the branchy per-row reference across lane
+/// remainders and NULL/NaN/±inf-dense inputs (property-tested).
+pub fn apply_slice(
+    params: NormParams,
+    vals: &[f64],
+    mask: &[bool],
+    out_vals: &mut [f64],
+    out_mask: &mut [bool],
+) {
+    use visdb_distance::lanes::{mask_word, select, ALL_VALID_WORD, WORD_ROWS};
+    debug_assert_eq!(vals.len(), mask.len());
+    debug_assert_eq!(vals.len(), out_vals.len());
+    debug_assert_eq!(vals.len(), out_mask.len());
+    out_mask.copy_from_slice(mask);
+    let blocks = vals.len() / WORD_ROWS * WORD_ROWS;
+    let (vh, vt) = vals.split_at(blocks);
+    let (mh, mt) = mask.split_at(blocks);
+    let (oh, ot) = out_vals.split_at_mut(blocks);
+    for ((v8, m8), o8) in vh
+        .chunks_exact(WORD_ROWS)
+        .zip(mh.chunks_exact(WORD_ROWS))
+        .zip(oh.chunks_exact_mut(WORD_ROWS))
+    {
+        if mask_word(m8) == ALL_VALID_WORD {
+            for l in 0..WORD_ROWS {
+                o8[l] = apply_one(&params, v8[l]);
+            }
+        } else {
+            for l in 0..WORD_ROWS {
+                o8[l] = select(m8[l], apply_one(&params, v8[l]), 0.0);
             }
         }
     }
-    out
+    for ((&v, &m), o) in vt.iter().zip(mt).zip(ot) {
+        *o = select(m, apply_one(&params, v), 0.0);
+    }
+}
+
+/// In-place [`apply_slice`]: normalize a chunk's value buffer against
+/// its validity mask without a second buffer (the streaming pass-2
+/// register loop). Undefined rows are rewritten to the canonical `0.0`
+/// they already carry.
+pub fn apply_in_place(params: NormParams, vals: &mut [f64], mask: &[bool]) {
+    use visdb_distance::lanes::{mask_word, select, ALL_VALID_WORD, WORD_ROWS};
+    debug_assert_eq!(vals.len(), mask.len());
+    let blocks = vals.len() / WORD_ROWS * WORD_ROWS;
+    let (vh, vt) = vals.split_at_mut(blocks);
+    let (mh, mt) = mask.split_at(blocks);
+    for (v8, m8) in vh
+        .chunks_exact_mut(WORD_ROWS)
+        .zip(mh.chunks_exact(WORD_ROWS))
+    {
+        if mask_word(m8) == ALL_VALID_WORD {
+            for v in v8.iter_mut() {
+                *v = apply_one(&params, *v);
+            }
+        } else {
+            for (v, &m) in v8.iter_mut().zip(m8) {
+                *v = select(m, apply_one(&params, *v), 0.0);
+            }
+        }
+    }
+    for (v, &m) in vt.iter_mut().zip(mt) {
+        *v = select(m, apply_one(&params, *v), 0.0);
+    }
 }
 
 /// Naive normalization: fit `[dmin, dmax]` over *all* defined distances

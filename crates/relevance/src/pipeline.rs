@@ -42,9 +42,13 @@ use visdb_types::{Error, Result};
 
 use crate::cache::{window_key, PipelineCache, WindowSource};
 use crate::chunk;
-use crate::combine::{and_row, combine_and_frames, combine_or_frames, or_row};
+use crate::combine::{
+    combine_and_frames, combine_and_slices, combine_or_frames, combine_or_slices,
+};
 use crate::eval::{EvalContext, NodeEval};
-use crate::normalize::{apply_frame, fit_frame, normalize_naive, NormParams, NORM_MAX};
+use crate::normalize::{
+    apply_frame, apply_slice, fit_frame, normalize_naive, params_from_max, NormParams, NORM_MAX,
+};
 use crate::quantile::display_fraction;
 use crate::reduction::gap_cutoff;
 
@@ -601,7 +605,11 @@ pub fn run_pipeline_opts(
     let mut trace = want_trace.then(Box::<PipelineTrace>::default);
     let n = table.len();
     // partitioning is a vectorized-only scheduling decision; a single
-    // partition is the unpartitioned walk
+    // partition is the unpartitioned walk, and below
+    // [`PARTITION_MIN_ROWS`] the planner drops a requested partitioning
+    // entirely — per-partition task dispatch and the k-way selection
+    // merge are pure overhead on small relations, and the outputs are
+    // bit-identical either way (pinned by `partition_planner_threshold`)
     let partitions = match partitions {
         Some(p) if mode == ExecMode::Vectorized => {
             if p.rows() != n {
@@ -610,7 +618,7 @@ pub fn run_pipeline_opts(
                     format!("partitioning covers {} rows, relation has {n}", p.rows()),
                 ));
             }
-            (p.len() > 1).then_some(p)
+            (p.len() > 1 && n >= PARTITION_MIN_ROWS).then_some(p)
         }
         _ => None,
     };
@@ -742,9 +750,17 @@ pub fn run_pipeline_opts(
     let mut timings = trace.as_deref_mut().map(|t| &mut t.phases);
     let fresh = phase_time!(timings, distance, eval_windows(&ctx, &missing)?);
 
-    let (windows, combined_raw) = match mode {
-        ExecMode::Scalar => combine_scalar(&ctx, cond, &top, slots, fresh, &mut timings)?,
-        ExecMode::Vectorized => combine_vectorized(&ctx, cond, &top, slots, fresh, &mut timings),
+    let (windows, combined_raw, root_acc) = match mode {
+        ExecMode::Scalar => {
+            let (windows, combined_raw) =
+                combine_scalar(&ctx, cond, &top, slots, fresh, &mut timings)?;
+            (windows, combined_raw, None)
+        }
+        ExecMode::Vectorized => {
+            let (windows, combined_raw, acc) =
+                combine_vectorized(&ctx, cond, &top, slots, fresh, &mut timings);
+            (windows, combined_raw, Some(acc))
+        }
     };
 
     // Freshly evaluated windows feed both cache layers (keys survive
@@ -766,14 +782,37 @@ pub fn run_pipeline_opts(
     }
 
     let (combined, relevance, num_exact) = phase_time!(timings, normalize_combine, {
-        let (combined, _) = normalize_combined(&combined_raw);
-        let relevance: Vec<Option<f64>> =
-            combined.iter().map(|d| d.map(|x| NORM_MAX - x)).collect();
-        let num_exact = combined_raw
-            .iter()
-            .filter(|d| matches!(d, Some(x) if *x == 0.0))
-            .count();
-        (combined, relevance, num_exact)
+        match root_acc {
+            // scalar reference: whole-vector normalization plus separate
+            // relevance and exact-count passes
+            None => {
+                let (combined, _) = normalize_combined(&combined_raw);
+                let relevance: Vec<Option<f64>> =
+                    combined.iter().map(|d| d.map(|x| NORM_MAX - x)).collect();
+                let num_exact = combined_raw
+                    .iter()
+                    .filter(|d| matches!(d, Some(x) if *x == 0.0))
+                    .count();
+                (combined, relevance, num_exact)
+            }
+            // vectorized: the fused walk already folded the fit inputs
+            // and the exact count, so the finish is a single
+            // chunk-parallel in-place normalize + relevance pass — the
+            // same walk the streaming pipeline uses
+            Some(acc) => {
+                let mut combined = combined_raw;
+                let mut relevance: Vec<Option<f64>> = vec![None; n];
+                finalize_relevance(
+                    &mut combined,
+                    &mut relevance,
+                    acc.any_nonzero,
+                    params_from_max(acc.max_abs),
+                    &chunk::ranges(n, partitions),
+                    n >= PARALLEL_THRESHOLD,
+                );
+                (combined, relevance, acc.num_exact)
+            }
+        }
     });
 
     // Rank and select. The scalar reference pays the paper's dominant
@@ -893,6 +932,75 @@ fn combine_scalar(
 /// one fused, chunk-parallel walk — each row is touched once instead of
 /// once per pass, and the bytes streamed per window drop from 16 to 9
 /// per row.
+/// Root-combine accumulator of the fused vectorized walk: everything the
+/// final combined normalization needs ([`params_from_max`] input plus
+/// [`normalize_combined`]'s any-nonzero guard) and the exact-match count,
+/// folded while the combined values are still in registers — so the
+/// materialized path, like the streaming one, never re-reads the combined
+/// vector between combining and the finalize pass. All three folds are
+/// set operations (max / or / sum), so per-range accumulation and merging
+/// is bit-identical to the scalar reference's single pass.
+struct RootAcc {
+    /// Largest finite |combined| over defined rows (`-inf` when none) —
+    /// exactly the fold [`normalize_naive`]'s fit performs.
+    max_abs: f64,
+    /// Any defined combined value `!= 0.0` (NaN counts: it is not 0),
+    /// matching [`normalize_combined`]'s test.
+    any_nonzero: bool,
+    /// Defined rows whose combined distance is exactly 0.0.
+    num_exact: usize,
+}
+
+impl Default for RootAcc {
+    fn default() -> Self {
+        RootAcc {
+            max_abs: f64::NEG_INFINITY,
+            any_nonzero: false,
+            num_exact: 0,
+        }
+    }
+}
+
+impl RootAcc {
+    fn merge(&mut self, other: &RootAcc) {
+        self.max_abs = self.max_abs.max(other.max_abs);
+        self.any_nonzero |= other.any_nonzero;
+        self.num_exact += other.num_exact;
+    }
+}
+
+/// The shared finalize pass of the materialized-vectorized and streaming
+/// paths: apply [`normalize_combined`] semantics in place (all-exact
+/// inputs keep their zeros) and mirror `relevance = NORM_MAX − v`, fanned
+/// out over the given row ranges.
+pub(crate) fn finalize_relevance(
+    combined: &mut [Option<f64>],
+    relevance: &mut [Option<f64>],
+    any_nonzero: bool,
+    final_params: NormParams,
+    ranges: &[(usize, usize)],
+    parallel: bool,
+) {
+    type NormTask<'t> = (&'t mut [Option<f64>], &'t mut [Option<f64>]);
+    let tasks: Vec<NormTask<'_>> = chunk::split_ranges(combined, ranges)
+        .into_iter()
+        .zip(chunk::split_ranges(relevance, ranges))
+        .collect();
+    chunk::run_striped(tasks, parallel, move |(comb, rel)| {
+        for (c, r) in comb.iter_mut().zip(rel.iter_mut()) {
+            if let Some(d) = *c {
+                let v = if any_nonzero {
+                    final_params.apply(d.abs())
+                } else {
+                    d
+                };
+                *c = Some(v);
+                *r = Some(NORM_MAX - v);
+            }
+        }
+    });
+}
+
 fn combine_vectorized(
     ctx: &EvalContext<'_>,
     cond: &Weighted,
@@ -900,7 +1008,7 @@ fn combine_vectorized(
     slots: Vec<Option<PredicateWindow>>,
     fresh: Vec<NodeEval>,
     timings: &mut Option<&mut PhaseTimings>,
-) -> (Vec<PredicateWindow>, Vec<Option<f64>>) {
+) -> (Vec<PredicateWindow>, Vec<Option<f64>>, RootAcc) {
     let n = ctx.table.len();
     let weights: Vec<f64> = top.iter().map(|w| w.weight).collect();
 
@@ -946,7 +1054,7 @@ fn combine_vectorized(
         _ => 0u8,
     };
 
-    phase_time!((*timings), normalize_combine, {
+    let acc = phase_time!((*timings), normalize_combine, {
         let mut srcs: Vec<Src<'_>> = Vec::with_capacity(top.len());
         let mut fresh_idx = 0;
         for slot in &slots {
@@ -974,76 +1082,117 @@ fn combine_vectorized(
         }
 
         /// One fused-walk task: a row offset, that row range of the
-        /// combined output, and the same range of every fresh window's
-        /// normalized frame buffers.
+        /// combined output, the same range of every fresh window's
+        /// normalized frame buffers, and the range's root accumulator.
         type FusedTask<'a> = (
             usize,
             &'a mut [Option<f64>],
             Vec<(&'a mut [f64], &'a mut [bool])>,
+            &'a mut RootAcc,
         );
 
         // split the combined vector and every fresh normalized frame in
         // lockstep — by partition-respecting ranges, so one task owns the
         // same row range of all outputs and never crosses a partition
         let ranges = chunk::ranges(n, ctx.partitions);
+        let mut range_accs: Vec<RootAcc> = ranges.iter().map(|_| RootAcc::default()).collect();
         let mut fresh_iters: Vec<_> = fresh_norm
             .iter_mut()
             .map(|f| f.split_ranges_mut(&ranges).into_iter())
             .collect();
         let mut tasks: Vec<FusedTask<'_>> = Vec::new();
-        for ((offset, _), comb) in ranges
+        for (((offset, _), comb), acc) in ranges
             .iter()
             .copied()
             .zip(chunk::split_ranges(&mut combined_raw, &ranges))
+            .zip(range_accs.iter_mut())
         {
             let parts: Vec<(&mut [f64], &mut [bool])> = fresh_iters
                 .iter_mut()
                 .map(|it| it.next().expect("lockstep chunking"))
                 .collect();
-            tasks.push((offset, comb, parts));
+            tasks.push((offset, comb, parts, acc));
         }
         let srcs = &srcs;
         let weights = &weights;
+        let arena = chunk::ScratchArena::new();
+        let arena = &arena;
+        // The fused walk, restructured from a per-row Option loop into
+        // branchless SoA kernel calls per chunk: normalize-apply each
+        // fresh child into its packed frame ([`apply_slice`] — validity
+        // words drive lane masks), combine the child chunks at the root
+        // ([`combine_and_slices`]/[`combine_or_slices`]), then write the
+        // Option outputs while folding the finalize inputs with
+        // branch-free selects. Bit-identical to the old per-row walk:
+        // every kernel is proven exact against the scalar reference (see
+        // the kernels' docs), and the fold order per row range is
+        // unchanged.
         chunk::run_striped(
             tasks,
             n >= chunk::PAR_MIN_ROWS,
-            move |(offset, comb, mut parts)| {
-                let mut row = vec![None; srcs.len()];
-                for (i, out) in comb.iter_mut().enumerate() {
-                    let r = offset + i;
-                    for (slot, src) in row.iter_mut().zip(srcs.iter()) {
-                        *slot = match src {
-                            Src::Ready(vals, mask) => mask[r].then(|| vals[r]),
-                            Src::Fresh {
-                                raw_vals,
-                                raw_mask,
-                                params,
-                                slot,
-                            } => {
-                                let v = raw_mask[r].then(|| params.apply(raw_vals[r].abs()));
-                                let (out_vals, out_mask) = &mut parts[*slot];
-                                match v {
-                                    Some(x) => {
-                                        out_vals[i] = x;
-                                        out_mask[i] = true;
-                                    }
-                                    None => {
-                                        out_vals[i] = 0.0;
-                                        out_mask[i] = false;
-                                    }
-                                }
-                                v
-                            }
-                        };
+            move |(offset, comb, mut parts, acc)| {
+                use visdb_distance::lanes::select;
+                let len = comb.len();
+                for src in srcs {
+                    if let Src::Fresh {
+                        raw_vals,
+                        raw_mask,
+                        params,
+                        slot,
+                    } = src
+                    {
+                        let (ov, om) = &mut parts[*slot];
+                        apply_slice(
+                            *params,
+                            &raw_vals[offset..offset + len],
+                            &raw_mask[offset..offset + len],
+                            ov,
+                            om,
+                        );
                     }
-                    *out = match root {
-                        1 => and_row(&row, weights),
-                        2 => or_row(&row, weights),
-                        _ => row[0],
-                    };
+                }
+                let views: Vec<(&[f64], &[bool])> = srcs
+                    .iter()
+                    .map(|src| match src {
+                        Src::Ready(vals, mask) => {
+                            (&vals[offset..offset + len], &mask[offset..offset + len])
+                        }
+                        Src::Fresh { slot, .. } => {
+                            let (ov, om) = &parts[*slot];
+                            (&ov[..], &om[..])
+                        }
+                    })
+                    .collect();
+                let mut scratch = arena.take();
+                let (cv, cm): (&[f64], &[bool]) = if root == 0 {
+                    views[0]
+                } else {
+                    let (cv, cm) = &mut scratch.frames(1, len)[0];
+                    if root == 1 {
+                        combine_and_slices(&views, weights, cv, cm);
+                    } else {
+                        combine_or_slices(&views, weights, cv, cm);
+                    }
+                    (cv.as_slice(), cm.as_slice())
+                };
+                // undefined rows carry canonical 0.0 in every packed
+                // buffer, so the masked folds below see a harmless value
+                for (out, (&x, &ok)) in comb.iter_mut().zip(cv.iter().zip(cm)) {
+                    *out = ok.then_some(x);
+                    acc.num_exact += (ok && x == 0.0) as usize;
+                    acc.any_nonzero |= ok && x != 0.0;
+                    let a = x.abs();
+                    acc.max_abs =
+                        acc.max_abs
+                            .max(select(ok && a.is_finite(), a, f64::NEG_INFINITY));
                 }
             },
         );
+        let mut acc = RootAcc::default();
+        for range_acc in &range_accs {
+            acc.merge(range_acc);
+        }
+        acc
     });
 
     let mut fresh_it = fresh
@@ -1069,7 +1218,7 @@ fn combine_vectorized(
             }
         })
         .collect();
-    (windows, combined_raw)
+    (windows, combined_raw, acc)
 }
 
 /// The relevance ranking's total order: ascending combined distance with
@@ -1405,6 +1554,13 @@ pub(crate) fn rank_and_select_partitioned(
 /// worker pool (see [`crate::chunk`]); kept as a named constant for the
 /// benches and tests that pin workloads on either side of the threshold.
 pub const PARALLEL_THRESHOLD: usize = chunk::PAR_MIN_ROWS;
+
+/// Below this many rows the planner ignores a requested [`Partitioning`]
+/// and runs the unpartitioned walk: per-partition task dispatch plus the
+/// k-way selection merge cost more than they save on relations this
+/// small, and the two walks are bit-identical, so dropping the fan-out
+/// is purely a scheduling decision (`trace.partitions` reports 1).
+pub const PARTITION_MIN_ROWS: usize = chunk::PAR_MIN_ROWS;
 
 /// Evaluate the top-level windows. Parallelism lives *inside* each
 /// window evaluation now (chunked over rows, so even a single-predicate
@@ -2032,6 +2188,73 @@ mod tests {
             }
         }
         // a partitioning that does not cover the relation is rejected
+        let stale = Partitioning::even(2999, 4);
+        let err = run_pipeline_opts(
+            &db,
+            t,
+            &r,
+            Some(&c),
+            &DisplayPolicy::Percentage(20.0),
+            PipelineOptions {
+                partitions: Some(&stale),
+                ..Default::default()
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    /// Pins the planner's partition row threshold: a requested
+    /// partitioning is honored at `PARTITION_MIN_ROWS` and dropped (to
+    /// the bit-identical unpartitioned walk) below it.
+    #[test]
+    fn partition_planner_threshold() {
+        let r = DistanceResolver::new();
+        let policy = DisplayPolicy::Percentage(20.0);
+        for (n, expect_parts) in [(PARTITION_MIN_ROWS / 8, 1), (PARTITION_MIN_ROWS, 4)] {
+            let db = db_with_ramp(n);
+            let t = db.table("T").unwrap();
+            let c = cond(CompareOp::Ge, n as f64 / 2.0);
+            let partitioning = t.partitions(4);
+            let out = run_pipeline_opts(
+                &db,
+                t,
+                &r,
+                Some(&c),
+                &policy,
+                PipelineOptions {
+                    materialization: Materialization::Materialized,
+                    partitions: Some(&partitioning),
+                    trace: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let trace = out.trace.as_ref().expect("trace requested");
+            assert_eq!(trace.partitions, expect_parts, "n={n}");
+            // either way the outputs match the unpartitioned walk —
+            // dropping the fan-out is purely a scheduling decision
+            let plain = run_materialized(&db, t, &r, Some(&c), &policy, None);
+            assert_eq!(out.combined, plain.combined, "n={n}");
+            assert_eq!(out.num_exact, plain.num_exact);
+            assert_eq!(out.displayed, plain.displayed);
+            assert_eq!(out.sorted_len, plain.sorted_len);
+            // the ranked prefix is identical; the tail is unsorted by
+            // design and its order may differ across schedules
+            assert_eq!(
+                out.order[..out.sorted_len],
+                plain.order[..plain.sorted_len],
+                "n={n}"
+            );
+            assert_eq!(out.order.len(), plain.order.len());
+        }
+    }
+
+    #[test]
+    fn stale_partitioning_is_rejected() {
+        let db = db_with_ramp(3000);
+        let t = db.table("T").unwrap();
+        let r = DistanceResolver::new();
+        let c = cond(CompareOp::Ge, 1500.0);
         let stale = Partitioning::even(2999, 4);
         let err = run_pipeline_opts(
             &db,

@@ -61,7 +61,22 @@ fn s_at(sorted: &[f64], i: usize, z: usize) -> f64 {
 const PLATEAU: f64 = 0.95;
 
 fn plateau_start(s_values: &[f64], rmin: usize) -> usize {
-    let max = s_values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    use visdb_distance::lanes::LANES;
+    // max is a set operation, so the 4-accumulator restructure is
+    // bit-identical to the sequential fold regardless of lane remainder
+    // (the incremental *sums* feeding s_values stay strictly sequential:
+    // their FP order is the algorithm)
+    let blocks = s_values.len() / LANES * LANES;
+    let mut lane_max = [f64::NEG_INFINITY; LANES];
+    for block in s_values[..blocks].chunks_exact(LANES) {
+        for (m, &s) in lane_max.iter_mut().zip(block) {
+            *m = m.max(s);
+        }
+    }
+    let mut max = lane_max.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for &s in &s_values[blocks..] {
+        max = max.max(s);
+    }
     let threshold = max * PLATEAU;
     for (k, &s) in s_values.iter().enumerate() {
         // handles max <= 0 too (all-equal distances): first index wins

@@ -59,12 +59,12 @@ use visdb_storage::{ColumnData, NumericSlice};
 use visdb_types::Result;
 
 use crate::chunk;
-use crate::combine::{and_row, or_row};
+use crate::combine::{and_row, combine_and_slices, combine_or_slices, or_row};
 use crate::eval::{compare_distance, range_distance, EvalContext};
-use crate::normalize::{dmax_of_prefix, fit_k, params_from_max, NormParams, NORM_MAX};
+use crate::normalize::{apply_in_place, dmax_of_prefix, fit_k, params_from_max, NormParams};
 use crate::pipeline::{
-    rank_and_select, rank_and_select_partitioned, DisplayPolicy, DisplayedWindow, PipelineOutput,
-    PipelineTrace, PredicateWindow, WindowData,
+    finalize_relevance, rank_and_select, rank_and_select_partitioned, DisplayPolicy,
+    DisplayedWindow, PipelineOutput, PipelineTrace, PredicateWindow, WindowData,
 };
 
 /// The root combinator of the condition tree.
@@ -284,21 +284,15 @@ fn fill_chunk(
     offset: usize,
     f: impl Fn(usize) -> Option<f64>,
 ) -> FrameStats {
-    let mut stats = FrameStats::default();
+    // branchless store (both buffers written every row, undefined rows
+    // carry canonical 0.0), stats folded by the lane-structured
+    // `of_slice` afterwards — bit-identical to recording row by row
     for (j, (v, m)) in vals.iter_mut().zip(mask.iter_mut()).enumerate() {
-        match f(offset + j) {
-            Some(d) => {
-                *v = d;
-                *m = true;
-                stats.record(d);
-            }
-            None => {
-                *v = 0.0;
-                *m = false;
-            }
-        }
+        let d = f(offset + j);
+        *v = d.unwrap_or(0.0);
+        *m = d.is_some();
     }
-    stats
+    FrameStats::of_slice(vals, mask)
 }
 
 /// Evaluate one node over the chunk `[offset, offset + vals.len())` into
@@ -313,6 +307,7 @@ fn eval_chunk(
     offset: usize,
     vals: &mut [f64],
     mask: &mut [bool],
+    arena: &chunk::ScratchArena,
 ) -> FrameStats {
     let len = vals.len();
     match &plan.nodes[id].kind {
@@ -340,48 +335,30 @@ fn eval_chunk(
                 .and_then(|v| numeric::around(v, *center, *deviation))
         }),
         Kind::Bool { and, children } => {
-            let bufs: Vec<(Vec<f64>, Vec<bool>)> = children
-                .iter()
-                .map(|&c| {
-                    let mut v = vec![0.0; len];
-                    let mut m = vec![false; len];
-                    eval_chunk(plan, params, c, offset, &mut v, &mut m);
-                    // §5.2 re-normalization before combining — the same
-                    // `apply` the materialized `apply_frame` performs
-                    let p = params[c];
-                    for (val, ok) in v.iter_mut().zip(&m) {
-                        if *ok {
-                            *val = p.apply(val.abs());
-                        }
-                    }
-                    (v, m)
-                })
-                .collect();
-            let weights: Vec<f64> = children.iter().map(|&c| plan.nodes[c].weight).collect();
-            let mut stats = FrameStats::default();
-            let mut row = vec![None; children.len()];
-            for j in 0..len {
-                for (slot, (v, m)) in row.iter_mut().zip(&bufs) {
-                    *slot = m[j].then(|| v[j]);
-                }
-                let d = if *and {
-                    and_row(&row, &weights)
-                } else {
-                    or_row(&row, &weights)
-                };
-                match d {
-                    Some(x) => {
-                        vals[j] = x;
-                        mask[j] = true;
-                        stats.record(x);
-                    }
-                    None => {
-                        vals[j] = 0.0;
-                        mask[j] = false;
-                    }
-                }
+            // child chunks come from the run's scratch arena (one take
+            // per nesting level, buffers reused across every chunk the
+            // worker walks) and are combined with the branchless slice
+            // kernels — the identical float ops of the per-row
+            // `and_row`/`or_row` walk, proven in the kernels' docs
+            let mut scratch = arena.take();
+            let bufs = scratch.frames(children.len(), len);
+            for (&c, (v, m)) in children.iter().zip(bufs.iter_mut()) {
+                eval_chunk(plan, params, c, offset, v, m, arena);
+                // §5.2 re-normalization before combining — the same
+                // `apply` the materialized `apply_frame` performs
+                apply_in_place(params[c], v, m);
             }
-            stats
+            let weights: Vec<f64> = children.iter().map(|&c| plan.nodes[c].weight).collect();
+            let views: Vec<(&[f64], &[bool])> = bufs
+                .iter()
+                .map(|(v, m)| (v.as_slice(), m.as_slice()))
+                .collect();
+            if *and {
+                combine_and_slices(&views, &weights, vals, mask);
+            } else {
+                combine_or_slices(&views, &weights, vals, mask);
+            }
+            FrameStats::of_slice(vals, mask)
         }
     }
 }
@@ -538,6 +515,11 @@ pub(crate) fn run_streaming(
     let num_nodes = plan.nodes.len();
     let budget = ctx.display_budget;
 
+    // one scratch arena for the whole run: every chunk walk (both
+    // passes, plus nested boolean levels) draws its per-worker buffers
+    // from here instead of allocating per chunk
+    let scratch_arena = chunk::ScratchArena::new();
+
     // fit-selection size per node, known before any walk: None = the
     // stats fast path always suffices (fit covers everything)
     let select_k: Vec<Option<usize>> = plan
@@ -564,15 +546,17 @@ pub(crate) fn run_streaming(
         let start = timings.as_ref().map(|_| Instant::now());
         let bounds: Vec<AtomicU64> = roots.iter().map(|_| AtomicU64::new(u64::MAX)).collect();
         let params_ref = &params;
+        let arena = &scratch_arena;
         let per_range: Vec<Vec<(FrameStats, Vec<f64>, u64)>> =
             chunk::map_ranges(n, partitions, parallel, |offset, len| {
-                let mut vals = vec![0.0; len];
-                let mut mask = vec![false; len];
+                let mut scratch = arena.take();
+                let buf = &mut scratch.frames(1, len)[0];
                 roots
                     .iter()
                     .enumerate()
                     .map(|(ri, &id)| {
-                        let stats = eval_chunk(plan, params_ref, id, offset, &mut vals, &mut mask);
+                        let stats =
+                            eval_chunk(plan, params_ref, id, offset, &mut buf.0, &mut buf.1, arena);
                         let (pool_vals, pruned) = match select_k[id] {
                             Some(k) => {
                                 let mut pool = ChunkPool {
@@ -581,7 +565,7 @@ pub(crate) fn run_streaming(
                                     bound: &bounds[ri],
                                     pruned: 0,
                                 };
-                                for (v, ok) in vals.iter().zip(&mask) {
+                                for (v, ok) in buf.0.iter().zip(&buf.1) {
                                     if *ok {
                                         pool.offer(v.abs());
                                     }
@@ -643,46 +627,66 @@ pub(crate) fn run_streaming(
             .collect();
         let params_ref = &params;
         let weights = &weights;
+        let arena = &scratch_arena;
+        // the fused pass-2 loop, restructured from per-row Option
+        // plumbing into branchless SoA kernels per chunk: evaluate each
+        // top window into arena scratch, fold its exact count, normalize
+        // in place ([`apply_in_place`]), root-combine with the slice
+        // kernels, then stream the combined chunk out while folding the
+        // finalize inputs with branch-free selects — every float op
+        // identical to the old walk (see the kernels' docs)
         chunk::run_striped(
             tasks,
             parallel && n >= chunk::PAR_MIN_ROWS,
             move |(offset, comb, acc)| {
+                use visdb_distance::lanes::select;
                 let len = comb.len();
-                let bufs: Vec<(Vec<f64>, Vec<bool>)> = plan
-                    .tops
-                    .iter()
-                    .map(|&t| {
-                        let mut v = vec![0.0; len];
-                        let mut m = vec![false; len];
-                        eval_chunk(plan, params_ref, t, offset, &mut v, &mut m);
-                        (v, m)
-                    })
-                    .collect();
-                for (zeros, (v, m)) in acc.zeros.iter_mut().zip(&bufs) {
-                    *zeros = v.iter().zip(m).filter(|(x, ok)| **ok && **x == 0.0).count();
+                let mut scratch = arena.take();
+                let (top_bufs, comb_buf) = scratch
+                    .frames(plan.tops.len() + 1, len)
+                    .split_at_mut(plan.tops.len());
+                for (&t, (v, m)) in plan.tops.iter().zip(top_bufs.iter_mut()) {
+                    eval_chunk(plan, params_ref, t, offset, v, m, arena);
                 }
-                let mut row = vec![None; plan.tops.len()];
-                for (j, out) in comb.iter_mut().enumerate() {
-                    for ((slot, (v, m)), &t) in row.iter_mut().zip(&bufs).zip(&plan.tops) {
-                        *slot = m[j].then(|| params_ref[t].apply(v[j].abs()));
+                // per-window exact counts fold over the *raw* distances
+                for (zeros, (v, m)) in acc.zeros.iter_mut().zip(top_bufs.iter()) {
+                    *zeros = v
+                        .iter()
+                        .zip(m.iter())
+                        .map(|(&x, &ok)| (ok && x == 0.0) as usize)
+                        .sum();
+                }
+                // §5.2 re-normalization, then the root combine
+                for (&t, (v, m)) in plan.tops.iter().zip(top_bufs.iter_mut()) {
+                    apply_in_place(params_ref[t], v, m);
+                }
+                let views: Vec<(&[f64], &[bool])> = top_bufs
+                    .iter()
+                    .map(|(v, m)| (v.as_slice(), m.as_slice()))
+                    .collect();
+                let (cv, cm): (&[f64], &[bool]) = match plan.root {
+                    Root::Single => views[0],
+                    Root::And => {
+                        let (cv, cm) = &mut comb_buf[0];
+                        combine_and_slices(&views, weights, cv, cm);
+                        (cv.as_slice(), cm.as_slice())
                     }
-                    let d = match plan.root {
-                        Root::And => and_row(&row, weights),
-                        Root::Or => or_row(&row, weights),
-                        Root::Single => row[0],
-                    };
-                    *out = d;
-                    if let Some(x) = d {
-                        if x == 0.0 {
-                            acc.num_exact += 1;
-                        } else {
-                            acc.any_nonzero = true;
-                        }
-                        let a = x.abs();
-                        if a.is_finite() {
-                            acc.max_abs = acc.max_abs.max(a);
-                        }
+                    Root::Or => {
+                        let (cv, cm) = &mut comb_buf[0];
+                        combine_or_slices(&views, weights, cv, cm);
+                        (cv.as_slice(), cm.as_slice())
                     }
+                };
+                // undefined rows carry canonical 0.0, so the masked
+                // folds below see a harmless value
+                for (out, (&x, &ok)) in comb.iter_mut().zip(cv.iter().zip(cm)) {
+                    *out = ok.then_some(x);
+                    acc.num_exact += (ok && x == 0.0) as usize;
+                    acc.any_nonzero |= ok && x != 0.0;
+                    let a = x.abs();
+                    acc.max_abs =
+                        acc.max_abs
+                            .max(select(ok && a.is_finite(), a, f64::NEG_INFINITY));
                 }
             },
         );
@@ -701,34 +705,17 @@ pub(crate) fn run_streaming(
     }
 
     // final combined normalization (`normalize_combined` semantics:
-    // all-exact inputs keep their zeros) + the relevance mirror, fused
-    // into one chunk-parallel walk over the output vectors
-    let final_params = params_from_max(max_abs);
+    // all-exact inputs keep their zeros) + the relevance mirror — the
+    // finalize walk shared with the materialized vectorized path
     let mut relevance: Vec<Option<f64>> = vec![None; n];
-    {
-        type NormTask<'t> = (&'t mut [Option<f64>], &'t mut [Option<f64>]);
-        let tasks: Vec<NormTask<'_>> = chunk::split_ranges(&mut combined, &ranges)
-            .into_iter()
-            .zip(chunk::split_ranges(&mut relevance, &ranges))
-            .collect();
-        chunk::run_striped(
-            tasks,
-            parallel && n >= chunk::PAR_MIN_ROWS,
-            move |(comb, rel)| {
-                for (c, r) in comb.iter_mut().zip(rel.iter_mut()) {
-                    if let Some(d) = *c {
-                        let v = if any_nonzero {
-                            final_params.apply(d.abs())
-                        } else {
-                            d
-                        };
-                        *c = Some(v);
-                        *r = Some(NORM_MAX - v);
-                    }
-                }
-            },
-        );
-    }
+    finalize_relevance(
+        &mut combined,
+        &mut relevance,
+        any_nonzero,
+        params_from_max(max_abs),
+        &ranges,
+        parallel && n >= chunk::PAR_MIN_ROWS,
+    );
     if let (Some(t), Some(start)) = (timings.as_mut(), start) {
         t.normalize_combine += start.elapsed();
     }

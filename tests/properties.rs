@@ -525,6 +525,111 @@ proptest! {
         }
     }
 
+    /// The branchless [`apply_slice`] kernel (word-mask fast path, lane
+    /// selects, merged degenerate/linear arms) is bit-identical to the
+    /// per-row `NormParams::apply` reference on every validity and
+    /// finiteness shape, including degenerate and inverted fit ranges.
+    #[test]
+    fn apply_slice_matches_per_row_apply(
+        rows in prop::collection::vec((-1e6f64..1e6, 0u8..8), 0..70),
+        dmin in 0.0f64..10.0,
+        dspan in -5.0f64..1e6,
+    ) {
+        use visdb::relevance::{apply_slice, NormParams};
+        let params = NormParams { dmin, dmax: dmin + dspan };
+        let (vals, mask): (Vec<f64>, Vec<bool>) = rows
+            .iter()
+            .map(|&(v, tag)| match tag {
+                0 => (0.0, false),
+                1 => (f64::NAN, true),
+                2 => (f64::INFINITY, true),
+                3 => (f64::NEG_INFINITY, true),
+                4 => (0.0, true),
+                _ => (v, true),
+            })
+            .unzip();
+        let mut out_v = vec![123.456; vals.len()];
+        let mut out_m = vec![true; vals.len()];
+        apply_slice(params, &vals, &mask, &mut out_v, &mut out_m);
+        for i in 0..vals.len() {
+            prop_assert_eq!(out_m[i], mask[i], "mask at {}", i);
+            let expect = if mask[i] { params.apply(vals[i].abs()) } else { 0.0 };
+            prop_assert!(
+                out_v[i].to_bits() == expect.to_bits(),
+                "row {}: {} vs {} under {:?}", i, out_v[i], expect, params
+            );
+        }
+    }
+
+    /// The branchless slice combiners are bit-identical to the per-row
+    /// `and_row`/`or_row` folds — across undefined/NaN/±inf/exact-zero
+    /// children and zero/negative weights (the negative-weight OR
+    /// fallback included).
+    #[test]
+    fn combine_slices_match_row_folds(
+        rows in prop::collection::vec((0.0f64..255.0, 0u8..6, 0u8..6), 0..70),
+        w in (-1.0f64..2.0, 0.0f64..2.0, -1.0f64..2.0),
+    ) {
+        use visdb::relevance::combine::{and_row, combine_and_slices, combine_or_slices, or_row};
+        let weights = [w.0, w.1, w.2];
+        let shape = |v: f64, tag: u8| -> (f64, bool) {
+            match tag {
+                0 => (0.0, false),
+                1 => (0.0, true),
+                2 => (f64::NAN, true),
+                3 => (f64::INFINITY, true),
+                _ => (v, true),
+            }
+        };
+        let n = rows.len();
+        let mut children: Vec<(Vec<f64>, Vec<bool>)> = vec![(vec![0.0; n], vec![false; n]); 3];
+        for (i, &(v, t1, t2)) in rows.iter().enumerate() {
+            for (k, child) in children.iter_mut().enumerate() {
+                let tag = match k {
+                    0 => t1,
+                    1 => t2,
+                    _ => (t1 + t2) % 6,
+                };
+                let (x, ok) = shape(v + k as f64, tag);
+                child.0[i] = x;
+                child.1[i] = ok;
+            }
+        }
+        let views: Vec<(&[f64], &[bool])> = children
+            .iter()
+            .map(|(v, m)| (v.as_slice(), m.as_slice()))
+            .collect();
+        let mut and_v = vec![9.0; n];
+        let mut and_m = vec![true; n];
+        combine_and_slices(&views, &weights, &mut and_v, &mut and_m);
+        let mut or_v = vec![9.0; n];
+        let mut or_m = vec![true; n];
+        combine_or_slices(&views, &weights, &mut or_v, &mut or_m);
+        for i in 0..n {
+            let row: Vec<Option<f64>> = children
+                .iter()
+                .map(|(v, m)| m[i].then(|| v[i]))
+                .collect();
+            let expect_and = and_row(&row, &weights);
+            let expect_or = or_row(&row, &weights);
+            prop_assert!(
+                opt_bits_eq(and_m[i].then(|| and_v[i]), expect_and),
+                "AND row {}: {:?} vs {:?}", i, and_m[i].then(|| and_v[i]), expect_and
+            );
+            prop_assert!(
+                opt_bits_eq(or_m[i].then(|| or_v[i]), expect_or),
+                "OR row {}: {:?} vs {:?}", i, or_m[i].then(|| or_v[i]), expect_or
+            );
+            // undefined outputs are canonical (0.0 value, false mask)
+            if !and_m[i] {
+                prop_assert!(and_v[i].to_bits() == 0);
+            }
+            if !or_m[i] {
+                prop_assert!(or_v[i].to_bits() == 0);
+            }
+        }
+    }
+
     /// Boolean baseline and distance pipeline agree on which items are
     /// exact answers for >= / <= predicates (no strictness mismatch).
     #[test]
@@ -543,6 +648,152 @@ proptest! {
             &DisplayPolicy::Percentage(100.0)).unwrap();
         for (i, &e) in exact.iter().enumerate() {
             prop_assert_eq!(e, out.combined[i] == Some(0.0), "row {}", i);
+        }
+    }
+}
+
+/// End-to-end bit-identity of the branchless kernel walks against the
+/// scalar reference at every lane/word remainder the fixed-width
+/// restructure can mishandle: n ∈ {1..9} straddles the 4-lane blocks and
+/// the 8-row validity words, n ∈ {4095, 4096, 4097} the word loop around
+/// a 4k boundary — on NULL/NaN/±inf-dense columns and all-NULL frames,
+/// composed with partition requests 1/2/7/16 (dropped by the planner at
+/// these sizes, bit-identically) and both materialization modes.
+#[test]
+fn branchless_kernels_bit_identical_at_lane_remainders() {
+    let resolver = DistanceResolver::new();
+    let policy = DisplayPolicy::Percentage(40.0);
+    let sizes = [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 4095, 4096, 4097];
+    for &n in &sizes {
+        for all_null in [false, true] {
+            let rows: Vec<(f64, u8)> = (0..n)
+                .map(|i| {
+                    let v = (i as f64) * 0.75 - (n as f64) / 3.0;
+                    let tag = if all_null { 0 } else { (i % 8) as u8 };
+                    (v, tag)
+                })
+                .collect();
+            let db = table_with_extremes(&rows);
+            let t = db.table("T").unwrap();
+            for or_root in [false, true] {
+                let p1 = ConditionNode::Predicate(Predicate::compare(
+                    AttrRef::new("x"),
+                    CompareOp::Ge,
+                    0.0,
+                ));
+                let p2 = ConditionNode::Predicate(Predicate::range(
+                    AttrRef::new("x"),
+                    -(n as f64),
+                    n as f64 / 4.0,
+                ));
+                let children = vec![Weighted::new(p1, 0.7), Weighted::new(p2, 0.3)];
+                let cond = Weighted::unit(if or_root {
+                    ConditionNode::Or(children)
+                } else {
+                    ConditionNode::And(children)
+                });
+                let slow = run_pipeline_scalar(&db, t, &resolver, Some(&cond), &policy).unwrap();
+                let mat = run_pipeline_opts(
+                    &db,
+                    t,
+                    &resolver,
+                    Some(&cond),
+                    &policy,
+                    PipelineOptions {
+                        materialization: Materialization::Materialized,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let stream = run_pipeline(&db, t, &resolver, Some(&cond), &policy).unwrap();
+                for (tag, out) in [("materialized", &mat), ("streaming", &stream)] {
+                    let diff = first_divergence(out, &slow, &policy);
+                    assert!(
+                        diff.is_none(),
+                        "{} ({tag}, n={n}, or={or_root}, all_null={all_null})",
+                        diff.unwrap()
+                    );
+                }
+                for parts in [1usize, 2, 7, 16] {
+                    let partitioning = t.partitions(parts);
+                    for materialization in [Materialization::Materialized, Materialization::Auto] {
+                        let part = run_pipeline_opts(
+                            &db,
+                            t,
+                            &resolver,
+                            Some(&cond),
+                            &policy,
+                            PipelineOptions {
+                                partitions: Some(&partitioning),
+                                materialization,
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap();
+                        let diff = first_divergence(&part, &slow, &policy);
+                        assert!(
+                            diff.is_none(),
+                            "{} (n={n}, parts={parts}, or={or_root}, all_null={all_null}, {materialization:?})",
+                            diff.unwrap()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The same bit-identity above the planner's partition threshold, where
+/// the per-partition fan-out and the k-way selection merge actually
+/// engage, with the row count chosen to leave a ragged tail chunk
+/// (2·CHUNK_ROWS + 5) on extreme-dense data.
+#[test]
+fn branchless_kernels_bit_identical_above_partition_threshold() {
+    let resolver = DistanceResolver::new();
+    let policy = DisplayPolicy::Percentage(25.0);
+    let n = 32 * 1024 + 5;
+    let rows: Vec<(f64, u8)> = (0..n)
+        .map(|i| ((i as f64) * 0.5 - (n as f64) / 4.0, (i % 8) as u8))
+        .collect();
+    let db = table_with_extremes(&rows);
+    let t = db.table("T").unwrap();
+    for or_root in [false, true] {
+        let p1 =
+            ConditionNode::Predicate(Predicate::compare(AttrRef::new("x"), CompareOp::Ge, 100.0));
+        let p2 = ConditionNode::Predicate(Predicate::range(AttrRef::new("x"), -500.0, 2000.0));
+        let children = vec![Weighted::new(p1, 0.6), Weighted::new(p2, 0.4)];
+        let cond = Weighted::unit(if or_root {
+            ConditionNode::Or(children)
+        } else {
+            ConditionNode::And(children)
+        });
+        let slow = run_pipeline_scalar(&db, t, &resolver, Some(&cond), &policy).unwrap();
+        for parts in [2usize, 7] {
+            let partitioning = t.partitions(parts);
+            for materialization in [Materialization::Materialized, Materialization::Auto] {
+                let part = run_pipeline_opts(
+                    &db,
+                    t,
+                    &resolver,
+                    Some(&cond),
+                    &policy,
+                    PipelineOptions {
+                        partitions: Some(&partitioning),
+                        materialization,
+                        trace: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let trace = part.trace.as_ref().expect("trace requested");
+                assert_eq!(trace.partitions, parts, "fan-out must engage at n={n}");
+                let diff = first_divergence(&part, &slow, &policy);
+                assert!(
+                    diff.is_none(),
+                    "{} (parts={parts}, or={or_root}, {materialization:?})",
+                    diff.unwrap()
+                );
+            }
         }
     }
 }
