@@ -60,8 +60,8 @@ use visdb_relevance::pipeline::{
     run_pipeline, run_pipeline_opts, run_pipeline_partitioned, run_pipeline_scalar, DisplayPolicy,
     Materialization, PipelineOptions, PipelineOutput,
 };
-use visdb_storage::Database;
-use visdb_types::Value;
+use visdb_storage::{Database, TableBuilder};
+use visdb_types::{Column, DataType, Value};
 
 /// Partition count for the timed partitioned runs (smoke identity
 /// checks additionally cover 1, 2, 7 and 16).
@@ -130,6 +130,15 @@ struct SizeResult {
     streaming_phase_fit_ms: f64,
     streaming_phase_normalize_combine_ms: f64,
     streaming_phase_rank_ms: f64,
+    /// String-predicate A/B on a dictionary-friendly `Str` column
+    /// (~100 distinct values, NULLs sprinkled in): the scalar reference
+    /// clones a `Value` per row; the vectorized path evaluates the
+    /// distance once per *distinct* value and gathers per row through
+    /// the dictionary codes. Scalar, materialized and Auto-streaming
+    /// outputs are asserted identical before timing.
+    string_scalar_rows_per_sec: f64,
+    string_vectorized_rows_per_sec: f64,
+    string_gather_speedup: f64,
     /// Observability overhead A/B: the same materialized run with
     /// tracing off (the plain-session default) vs tracing on **plus**
     /// the per-query registry recording a service performs (four phase
@@ -543,6 +552,24 @@ fn rank_cmp(combined: &[Option<f64>], a: usize, b: usize) -> std::cmp::Ordering 
         .then(a.cmp(&b))
 }
 
+/// A single `Str`-column table for the string-predicate series: ~100
+/// distinct city names cycling through `n` rows (dictionary-friendly,
+/// like ordinal/category attributes), with every 97th row NULL.
+fn string_db(n: usize) -> Database {
+    let mut t = TableBuilder::new("S", vec![Column::new("name", DataType::Str)]);
+    for i in 0..n {
+        let v = if i % 97 == 0 {
+            Value::Null
+        } else {
+            Value::Str(format!("city-{:03}", i % 100))
+        };
+        t = t.row(vec![v]).expect("conforming row");
+    }
+    let mut db = Database::new("bench-str");
+    db.add_table(t.build());
+    db
+}
+
 fn bench_size(n: usize) -> SizeResult {
     // the acceptance workload: one numeric predicate over a float ramp,
     // displaying 1% (so top-k selection replaces the full sort)
@@ -696,6 +723,48 @@ fn bench_size(n: usize) -> SizeResult {
     }
     rep_counts.push(MIN_REPS);
     let [mut sp_d, mut sp_f, mut sp_nc, mut sp_r] = streaming_phase_samples;
+
+    // ---- string-predicate A/B: the dictionary-gather path (distance
+    // once per distinct value, gathered per row) vs the per-row
+    // Value-cloning scalar reference, on an equality predicate over a
+    // ~100-distinct-value Str column with NULLs ----------------------
+    let sdb = string_db(n);
+    let stable = sdb.table("S").expect("string table");
+    let sq = QueryBuilder::from_tables(["S"])
+        .cmp("name", CompareOp::Eq, "city-042")
+        .build();
+    let scond = sq.condition.as_ref();
+    let s_slow =
+        run_pipeline_scalar(&sdb, stable, &resolver, scond, &policy).expect("string scalar");
+    // `run_pipeline` without caches = the Auto planner streaming, which
+    // now covers string leaves via the gather kind
+    let s_stream = run_pipeline(&sdb, stable, &resolver, scond, &policy).expect("string streaming");
+    let s_mat = run_pipeline_opts(
+        &sdb,
+        stable,
+        &resolver,
+        scond,
+        &policy,
+        PipelineOptions {
+            materialization: Materialization::Materialized,
+            ..Default::default()
+        },
+    )
+    .expect("string materialized");
+    assert_identical(&s_stream, &s_slow, n);
+    assert_identical(&s_mat, &s_slow, n);
+    let string_scalar_s = note(
+        &mut rep_counts,
+        time_median(min_reps, || {
+            run_pipeline_scalar(&sdb, stable, &resolver, scond, &policy).expect("string scalar")
+        }),
+    );
+    let string_vector_s = note(
+        &mut rep_counts,
+        time_median(min_reps, || {
+            run_pipeline(&sdb, stable, &resolver, scond, &policy).expect("string vectorized")
+        }),
+    );
 
     // top-k vs full sort on the same synthetic ranking problem
     let combined = synthetic_combined(n, 0x5eed ^ n as u64);
@@ -1001,6 +1070,9 @@ fn bench_size(n: usize) -> SizeResult {
         streaming_phase_fit_ms: median(&mut sp_f),
         streaming_phase_normalize_combine_ms: median(&mut sp_nc),
         streaming_phase_rank_ms: median(&mut sp_r),
+        string_scalar_rows_per_sec: n as f64 / string_scalar_s,
+        string_vectorized_rows_per_sec: n as f64 / string_vector_s,
+        string_gather_speedup: string_scalar_s / string_vector_s,
         obs_baseline_rows_per_sec: n as f64 / obs_baseline_s,
         obs_instrumented_rows_per_sec: n as f64 / obs_instrumented_s,
         obs_overhead: obs_baseline_s / obs_instrumented_s,
@@ -1083,6 +1155,10 @@ fn run_bench(smoke: bool, pinned_threads: Option<usize>) {
             r.streaming_phase_fit_ms,
             r.streaming_phase_normalize_combine_ms,
             r.streaming_phase_rank_ms,
+        );
+        println!(
+            "            string gather-vs-scalar: {:>12.0} vs {:>12.0} rows/s ({:.2}x)",
+            r.string_vectorized_rows_per_sec, r.string_scalar_rows_per_sec, r.string_gather_speedup,
         );
         println!(
             "            obs overhead: {:>12.0} rows/s baseline vs {:>12.0} rows/s \
@@ -1182,6 +1258,12 @@ fn run_bench(smoke: bool, pinned_threads: Option<usize>) {
         );
         let _ = writeln!(
             json,
+            "     \"string_scalar_rows_per_sec\": {:.0}, \
+             \"string_vectorized_rows_per_sec\": {:.0}, \"string_gather_speedup\": {:.3},",
+            r.string_scalar_rows_per_sec, r.string_vectorized_rows_per_sec, r.string_gather_speedup,
+        );
+        let _ = writeln!(
+            json,
             "     \"obs_baseline_rows_per_sec\": {:.0}, \
              \"obs_instrumented_rows_per_sec\": {:.0}, \"obs_overhead\": {:.3},",
             r.obs_baseline_rows_per_sec, r.obs_instrumented_rows_per_sec, r.obs_overhead,
@@ -1277,6 +1359,16 @@ fn run_bench(smoke: bool, pinned_threads: Option<usize>) {
                 big.obs_overhead,
                 big.obs_instrumented_rows_per_sec,
                 big.obs_baseline_rows_per_sec
+            );
+            assert!(
+                big.string_gather_speedup >= 2.0,
+                "acceptance: the dictionary-gather string path must be >= 2x the \
+                 per-row Value-cloning scalar reference at n={} (got {:.2}x: {:.0} \
+                 vs {:.0} rows/s)",
+                big.n,
+                big.string_gather_speedup,
+                big.string_vectorized_rows_per_sec,
+                big.string_scalar_rows_per_sec
             );
             assert!(
                 big.branchless_vs_branchy >= 1.2,

@@ -195,6 +195,31 @@ impl DistanceFrame {
         }
     }
 
+    /// A frame with every row defined to the same value, together with
+    /// the stats the equivalent per-row `set`/`record` loop would have
+    /// produced — broadcast fills (the uncorrelated EXISTS distance) are
+    /// two constant fills instead of `n` individual calls.
+    pub fn constant(n: usize, d: f64) -> (DistanceFrame, FrameStats) {
+        let frame = DistanceFrame {
+            values: vec![d; n],
+            validity: Bitmap {
+                bits: vec![true; n],
+            },
+        };
+        let mut stats = FrameStats::default();
+        if n > 0 {
+            stats.defined = n;
+            let a = d.abs();
+            if a.is_finite() {
+                stats.min_abs = a;
+                stats.max_abs = a;
+            } else {
+                stats.non_finite = n;
+            }
+        }
+        (frame, stats)
+    }
+
     /// Build from the `Option` representation (tests, adapters).
     pub fn from_options(options: &[Option<f64>]) -> Self {
         let mut f = DistanceFrame::undefined(options.len());
@@ -383,6 +408,21 @@ mod tests {
         assert_eq!(s.defined, 3);
         assert_eq!(s.min_abs, 0.5);
         assert_eq!(s.max_abs, 3.0);
+    }
+
+    #[test]
+    fn constant_fill_matches_per_row_loop() {
+        for (n, d) in [(5usize, 2.5f64), (3, -1.0), (4, f64::INFINITY), (0, 7.0)] {
+            let (frame, stats) = DistanceFrame::constant(n, d);
+            let mut expect_frame = DistanceFrame::undefined(n);
+            let mut expect_stats = FrameStats::default();
+            for i in 0..n {
+                expect_frame.set(i, Some(d));
+                expect_stats.record(d);
+            }
+            assert_eq!(frame, expect_frame, "n={n} d={d}");
+            assert_eq!(stats, expect_stats, "n={n} d={d}");
+        }
     }
 
     #[test]

@@ -39,11 +39,17 @@ impl StringDistance {
 /// (differences early in the string matter more), plus 1 so that any
 /// proper-prefix relation still yields a nonzero distance.
 pub fn lexicographic(a: &str, b: &str) -> f64 {
-    if a == b {
+    lexicographic_bytes(a.as_bytes(), b.as_bytes())
+}
+
+/// [`lexicographic`] on raw byte slices — the form the packed-column
+/// kernels call so no UTF-8 re-validation happens per row. The distance
+/// is byte-defined, so this is the same function, not an approximation.
+#[inline]
+pub fn lexicographic_bytes(ab: &[u8], bb: &[u8]) -> f64 {
+    if ab == bb {
         return 0.0;
     }
-    let ab = a.as_bytes();
-    let bb = b.as_bytes();
     let n = ab.len().min(bb.len());
     for i in 0..n {
         if ab[i] != bb[i] {
@@ -173,6 +179,149 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     prev[bc.len()]
 }
 
+// ---------------------------------------------------------------------------
+// Batch kernels over packed string columns.
+//
+// These operate on the raw offset+bytes layout of
+// `visdb_storage::StrColumn`, passed as plain slices (this crate does not
+// depend on storage). Like the numeric batch kernels they fill a
+// chunk-sized `vals`/`defined` pair; callers derive `FrameStats` from the
+// filled slices. `offsets` must hold `vals.len() + 1` entries (absolute
+// positions into `bytes` — slice it per chunk), `mask` is the chunk's
+// validity bitmap.
+
+/// Row `i`'s byte range of a packed layout.
+#[inline]
+fn row_bytes<'a>(bytes: &'a [u8], offsets: &[u32], i: usize) -> &'a [u8] {
+    &bytes[offsets[i] as usize..offsets[i + 1] as usize]
+}
+
+/// Generic packed-layout driver: `f(row_str)` per valid row, `None` rows
+/// and NULLs write the canonical undefined `(0.0, false)` pair. The one
+/// UTF-8 decode per row replaces a `Value::Str` heap clone.
+pub fn packed_map(
+    bytes: &[u8],
+    offsets: &[u32],
+    mask: Option<&[bool]>,
+    vals: &mut [f64],
+    defined: &mut [bool],
+    mut f: impl FnMut(&str) -> Option<f64>,
+) {
+    debug_assert_eq!(offsets.len(), vals.len() + 1);
+    for i in 0..vals.len() {
+        let valid = mask.is_none_or(|m| m[i]);
+        let d = if valid {
+            let s = std::str::from_utf8(row_bytes(bytes, offsets, i))
+                .expect("column bytes are valid UTF-8");
+            f(s)
+        } else {
+            None
+        };
+        vals[i] = d.unwrap_or(0.0);
+        defined[i] = d.is_some();
+    }
+}
+
+/// Batch lexicographic distance to a constant, straight over the byte
+/// layout: no UTF-8 validation, no `&str` construction, early exit at the
+/// first differing byte (the "prefix-pruned" form — shared prefixes cost
+/// exactly their length, nothing else). Bit-identical to the scalar
+/// [`lexicographic`] per row.
+pub fn lexicographic_packed(
+    bytes: &[u8],
+    offsets: &[u32],
+    mask: Option<&[bool]>,
+    b: &str,
+    vals: &mut [f64],
+    defined: &mut [bool],
+) {
+    debug_assert_eq!(offsets.len(), vals.len() + 1);
+    let bb = b.as_bytes();
+    for i in 0..vals.len() {
+        let valid = mask.is_none_or(|m| m[i]);
+        if valid {
+            vals[i] = lexicographic_bytes(row_bytes(bytes, offsets, i), bb);
+            defined[i] = true;
+        } else {
+            vals[i] = 0.0;
+            defined[i] = false;
+        }
+    }
+}
+
+/// Batch character-wise distance to a constant: the constant's chars are
+/// decoded once and each row streams its chars without the per-side
+/// `Vec<char>` allocations of the scalar form. Bit-identical to
+/// [`character_wise`] per row.
+pub fn character_wise_packed(
+    bytes: &[u8],
+    offsets: &[u32],
+    mask: Option<&[bool]>,
+    b: &str,
+    vals: &mut [f64],
+    defined: &mut [bool],
+) {
+    debug_assert_eq!(offsets.len(), vals.len() + 1);
+    let bc: Vec<char> = b.chars().collect();
+    for i in 0..vals.len() {
+        let valid = mask.is_none_or(|m| m[i]);
+        if valid {
+            let a = std::str::from_utf8(row_bytes(bytes, offsets, i))
+                .expect("column bytes are valid UTF-8");
+            let mut d = 0usize;
+            let mut k = 0usize;
+            for ca in a.chars() {
+                if bc.get(k) != Some(&ca) {
+                    d += 1;
+                }
+                k += 1;
+            }
+            d += bc.len().saturating_sub(k);
+            vals[i] = d as f64;
+            defined[i] = true;
+        } else {
+            vals[i] = 0.0;
+            defined[i] = false;
+        }
+    }
+}
+
+/// Build a per-dictionary-code distance table: `f` runs once per distinct
+/// value instead of once per row. Returned as a packed `(vals, defined)`
+/// pair ready for [`gather_table`].
+pub fn code_table<'a>(
+    values: impl IntoIterator<Item = &'a str>,
+    mut f: impl FnMut(&str) -> Option<f64>,
+) -> (Vec<f64>, Vec<bool>) {
+    let mut tvals = Vec::new();
+    let mut tdef = Vec::new();
+    for v in values {
+        let d = f(v);
+        tvals.push(d.unwrap_or(0.0));
+        tdef.push(d.is_some());
+    }
+    (tvals, tdef)
+}
+
+/// Gather a per-code table through row codes: the whole string/ordinal
+/// distance evaluation collapses to one indexed load per row.
+pub fn gather_table(
+    codes: &[u32],
+    mask: Option<&[bool]>,
+    tvals: &[f64],
+    tdef: &[bool],
+    vals: &mut [f64],
+    defined: &mut [bool],
+) {
+    debug_assert_eq!(codes.len(), vals.len());
+    for i in 0..vals.len() {
+        let c = codes[i] as usize;
+        let valid = mask.is_none_or(|m| m[i]) && tdef[c];
+        vals[i] = if valid { tvals[c] } else { 0.0 };
+        defined[i] = valid;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +390,68 @@ mod tests {
                 kind.distance("mouse", "house")
             );
         }
+    }
+
+    /// Pack strings into the offset+bytes layout the kernels take.
+    fn pack(rows: &[&str]) -> (Vec<u8>, Vec<u32>) {
+        let mut bytes = Vec::new();
+        let mut offsets = vec![0u32];
+        for r in rows {
+            bytes.extend_from_slice(r.as_bytes());
+            offsets.push(bytes.len() as u32);
+        }
+        (bytes, offsets)
+    }
+
+    #[test]
+    fn packed_kernels_match_scalar() {
+        let rows = ["abc", "", "日本語", "abd", "zzz", "abc"];
+        let (bytes, offsets) = pack(&rows);
+        let mask = [true, true, false, true, true, true];
+        let target = "abc";
+        let n = rows.len();
+        let (mut v1, mut d1) = (vec![0.0; n], vec![false; n]);
+        let (mut v2, mut d2) = (vec![0.0; n], vec![false; n]);
+
+        lexicographic_packed(&bytes, &offsets, Some(&mask), target, &mut v1, &mut d1);
+        packed_map(&bytes, &offsets, Some(&mask), &mut v2, &mut d2, |s| {
+            Some(lexicographic(s, target))
+        });
+        for i in 0..n {
+            if mask[i] {
+                assert_eq!(v1[i].to_bits(), lexicographic(rows[i], target).to_bits());
+            } else {
+                assert!(!d1[i] && !d2[i]);
+            }
+            assert_eq!((v1[i].to_bits(), d1[i]), (v2[i].to_bits(), d2[i]));
+        }
+
+        character_wise_packed(&bytes, &offsets, None, target, &mut v1, &mut d1);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(v1[i], character_wise(r, target), "row {i}");
+            assert!(d1[i]);
+        }
+    }
+
+    #[test]
+    fn code_table_gather_matches_direct() {
+        let uniques = ["red", "green", "blue"];
+        let codes = [0u32, 2, 1, 1, 0];
+        let mask = [true, true, true, false, true];
+        let (tvals, tdef) = code_table(uniques.iter().copied(), |s| {
+            if s == "green" {
+                None
+            } else {
+                Some(levenshtein(s, "red") as f64)
+            }
+        });
+        let (mut vals, mut defined) = (vec![9.0; 5], vec![true; 5]);
+        gather_table(&codes, Some(&mask), &tvals, &tdef, &mut vals, &mut defined);
+        assert_eq!(defined, [true, true, false, false, true]);
+        assert_eq!(vals[0], 0.0); // red vs red
+        assert_eq!(vals[1], levenshtein("blue", "red") as f64);
+        assert_eq!(vals[2], 0.0); // green undefined -> canonical pair
+        assert_eq!(vals[4], 0.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub use gridfile::GridFile;
 pub use incremental::{CacheStats, IncrementalCache, PointAccess};
 pub use kdtree::KdTree;
 pub use linear::LinearScan;
-pub use projection::SortedProjection;
+pub use projection::{BandSweep, SortedProjection};
 
 use std::sync::Arc;
 use visdb_types::Result;

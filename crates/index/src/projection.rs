@@ -117,6 +117,60 @@ impl SortedProjection {
     pub fn coord(&self, i: usize) -> f64 {
         self.coords[i]
     }
+
+    /// Sweep sorted positions outward from `center`, nearest first: an
+    /// iterator of `(position, gap)` pairs in **non-decreasing**
+    /// `|value - center|` order (ties yield the left side first). This is
+    /// the banded sort-merge join's traversal order — a consumer keeping
+    /// a running best can stop at the first gap whose lower bound can no
+    /// longer beat it, because every later gap is at least as large.
+    /// `center` must not be NaN.
+    pub fn sweep_from(&self, center: f64) -> BandSweep<'_> {
+        debug_assert!(!center.is_nan());
+        let start = self.position_ge(center);
+        BandSweep {
+            sorted: &self.sorted,
+            center,
+            lo: start,
+            hi: start,
+        }
+    }
+}
+
+/// See [`SortedProjection::sweep_from`].
+pub struct BandSweep<'a> {
+    sorted: &'a [f64],
+    center: f64,
+    /// Next left candidate is position `lo - 1` (value `< center`).
+    lo: usize,
+    /// Next right candidate is position `hi` (value `>= center`).
+    hi: usize,
+}
+
+impl Iterator for BandSweep<'_> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<(usize, f64)> {
+        let lgap = (self.lo > 0).then(|| (self.sorted[self.lo - 1] - self.center).abs());
+        let rgap =
+            (self.hi < self.sorted.len()).then(|| (self.sorted[self.hi] - self.center).abs());
+        match (lgap, rgap) {
+            (None, None) => None,
+            (Some(lg), Some(rg)) if lg <= rg => {
+                self.lo -= 1;
+                Some((self.lo, lg))
+            }
+            (Some(lg), None) => {
+                self.lo -= 1;
+                Some((self.lo, lg))
+            }
+            (_, Some(rg)) => {
+                let p = self.hi;
+                self.hi += 1;
+                Some((p, rg))
+            }
+        }
+    }
 }
 
 impl RangeIndex for SortedProjection {
@@ -186,6 +240,31 @@ mod tests {
         assert!(!p.is_fully_finite());
         assert_eq!(p.defined(), 3);
         assert_eq!(p.range_query(&[-1.0], &[1.0]).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn sweep_from_yields_nearest_first() {
+        let p = proj(&[Some(3.0), None, Some(1.0), Some(2.0), Some(2.0), Some(7.0)]);
+        // sorted: 1.0, 2.0, 2.0, 3.0, 7.0
+        let swept: Vec<(usize, f64)> = p.sweep_from(2.5).collect();
+        assert_eq!(swept.len(), p.defined());
+        // gaps never decrease
+        for w in swept.windows(2) {
+            assert!(w[0].1 <= w[1].1, "{swept:?}");
+        }
+        // every position appears exactly once
+        let mut pos: Vec<usize> = swept.iter().map(|&(p, _)| p).collect();
+        pos.sort_unstable();
+        assert_eq!(pos, vec![0, 1, 2, 3, 4]);
+        // gap is |value - center|
+        for &(pp, g) in &swept {
+            assert_eq!(g, (p.value_at(pp) - 2.5).abs());
+        }
+        // center outside the value range sweeps one-directionally
+        let left: Vec<usize> = p.sweep_from(0.0).map(|(pp, _)| pp).collect();
+        assert_eq!(left, vec![0, 1, 2, 3, 4]);
+        let right: Vec<usize> = p.sweep_from(100.0).map(|(pp, _)| pp).collect();
+        assert_eq!(right, vec![4, 3, 2, 1, 0]);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use visdb_distance::batch::{self, CompareKernel, NumericKernel};
 use visdb_distance::frame::{DistanceFrame, FrameStats};
 use visdb_distance::registry::{ColumnDistance, DistanceResolver};
-use visdb_distance::{geo, numeric, string::levenshtein, time};
+use visdb_distance::{geo, numeric, string, time};
+use visdb_index::SortedProjection;
 use visdb_query::ast::{
     AttrRef, CompareOp, ConditionNode, Predicate, PredicateTarget, Query, SubqueryLink, Weighted,
 };
@@ -302,6 +303,53 @@ impl<'a> EvalContext<'a> {
         }
     }
 
+    /// Dictionary-gather fast path for string-backed columns under a
+    /// `String` or `Matrix` distance: the predicate is evaluated once per
+    /// *distinct* column value — through the exact same
+    /// [`compare_value_distance`]/[`range_value_distance`] the per-tuple
+    /// reference runs — and every row is then served by one indexed load
+    /// into that table. No per-row [`Value`] clone. Returns `None` when
+    /// inapplicable (scalar mode, non-string column, numeric/geo
+    /// distances, `Around` targets — which must keep their error path).
+    fn gathered_predicate_stats(
+        &self,
+        col: &ColumnData,
+        cd: &ColumnDistance,
+        target: &PredicateTarget,
+        out: &mut DistanceFrame,
+    ) -> Option<FrameStats> {
+        if self.mode != ExecMode::Vectorized
+            || !matches!(cd, ColumnDistance::String(_) | ColumnDistance::Matrix(_))
+            || matches!(target, PredicateTarget::Around { .. })
+        {
+            return None;
+        }
+        let (sc, col_mask) = col.str_column()?;
+        let dict = sc.dict();
+        let (tvals, tdef) = string::code_table(dict.values().iter().map(String::as_str), |u| {
+            let v = Value::Str(u.to_owned());
+            match target {
+                PredicateTarget::Compare { op, value } => {
+                    compare_value_distance(&v, *op, value, cd)
+                }
+                PredicateTarget::Range { low, high } => range_value_distance(&v, low, high, cd),
+                PredicateTarget::Around { .. } => unreachable!("filtered above"),
+            }
+        });
+        let codes = dict.codes();
+        Some(chunk::for_each_frame_range(
+            out,
+            self.partitioning(),
+            self.parallel(),
+            |offset, vals, mask| {
+                let c = &codes[offset..offset + vals.len()];
+                let m = col_mask.map(|mm| &mm[offset..offset + vals.len()]);
+                string::gather_table(c, m, &tvals, &tdef, vals, mask);
+                FrameStats::of_slice(vals, mask)
+            },
+        ))
+    }
+
     fn eval_predicate(&self, p: &Predicate, negated_label: bool) -> Result<NodeEval> {
         let (col, dt, class, _) = self.column(&p.attr)?;
         let cd = self.distance_for(&p.attr, dt, class);
@@ -315,26 +363,29 @@ impl<'a> EvalContext<'a> {
         };
         let stats = match kernel_stats {
             Some(stats) => stats,
-            None => match &p.target {
-                PredicateTarget::Compare { op, value } => {
-                    self.fill_rows(&mut out, |i| compare_distance(col, i, *op, value, &cd))
-                }
-                PredicateTarget::Range { low, high } => {
-                    self.fill_rows(&mut out, |i| range_distance(col, i, low, high, &cd))
-                }
-                PredicateTarget::Around { center, deviation } => {
-                    let c = center.expect_f64()?;
-                    let d = *deviation;
-                    let around_stats = (self.mode == ExecMode::Vectorized)
-                        .then(|| self.run_kernel(col, NumericKernel::Around(c, d), &mut out))
-                        .flatten();
-                    match around_stats {
-                        Some(stats) => stats,
-                        None => self.fill_rows(&mut out, |i| {
-                            col.get_f64(i).and_then(|v| numeric::around(v, c, d))
-                        }),
+            None => match self.gathered_predicate_stats(col, &cd, &p.target, &mut out) {
+                Some(stats) => stats,
+                None => match &p.target {
+                    PredicateTarget::Compare { op, value } => {
+                        self.fill_rows(&mut out, |i| compare_distance(col, i, *op, value, &cd))
                     }
-                }
+                    PredicateTarget::Range { low, high } => {
+                        self.fill_rows(&mut out, |i| range_distance(col, i, low, high, &cd))
+                    }
+                    PredicateTarget::Around { center, deviation } => {
+                        let c = center.expect_f64()?;
+                        let d = *deviation;
+                        let around_stats = (self.mode == ExecMode::Vectorized)
+                            .then(|| self.run_kernel(col, NumericKernel::Around(c, d), &mut out))
+                            .flatten();
+                        match around_stats {
+                            Some(stats) => stats,
+                            None => self.fill_rows(&mut out, |i| {
+                                col.get_f64(i).and_then(|v| numeric::around(v, c, d))
+                            }),
+                        }
+                    }
+                },
             },
         };
         let label = if negated_label {
@@ -467,25 +518,21 @@ impl<'a> EvalContext<'a> {
                 let e = inner_ctx.eval_node(&w.node)?;
                 normalize_frame(&e.distances, &e.stats, w.weight, self.display_budget).0
             }
-            None => DistanceFrame::from_options(&vec![Some(0.0); inner_table.len()]),
+            None => DistanceFrame::constant(inner_table.len(), 0.0).0,
         };
         let n = self.table.len();
         match link {
             SubqueryLink::Exists => {
                 // Uncorrelated EXISTS: the best inner distance is the same
-                // for every outer row.
+                // for every outer row — one constant fill, not n sets.
                 let best = inner_cond
                     .iter()
                     .flatten()
                     .fold(None::<f64>, |acc, d| Some(acc.map_or(d, |a| a.min(d))));
-                let mut distances = DistanceFrame::undefined(n);
-                let mut stats = FrameStats::default();
-                if let Some(b) = best {
-                    for i in 0..n {
-                        distances.set(i, Some(b));
-                        stats.record(b);
-                    }
-                }
+                let (distances, stats) = match best {
+                    Some(b) => DistanceFrame::constant(n, b),
+                    None => (DistanceFrame::undefined(n), FrameStats::default()),
+                };
                 Ok(NodeEval {
                     label: "EXISTS(...)".to_string(),
                     signed: false,
@@ -497,32 +544,8 @@ impl<'a> EvalContext<'a> {
                 let (oc, odt, ocl, _) = self.column(outer)?;
                 let (ic, ..) = inner_ctx.column(inner)?;
                 let cd = self.distance_for(outer, odt, ocl);
-                let m = inner_table.len();
                 let mut out = DistanceFrame::undefined(n);
-                let inner_vals = inner_cond.values();
-                let inner_mask = inner_cond.validity();
-                // the O(n·m) approximate join parallelizes over outer rows
-                let stats = self.fill_rows(&mut out, |i| {
-                    let ov = oc.get(i);
-                    if ov.is_null() {
-                        return None;
-                    }
-                    let mut best: Option<f64> = None;
-                    for (j, &cond_j) in inner_vals.iter().enumerate().take(m) {
-                        if !inner_mask.get(j) {
-                            continue;
-                        }
-                        let join_d = cd.value_distance(&ov, &ic.get(j));
-                        let total = join_d.map(|jd| jd.abs() + cond_j);
-                        if let Some(t) = total {
-                            best = Some(best.map_or(t, |b: f64| b.min(t)));
-                            if t == 0.0 {
-                                break;
-                            }
-                        }
-                    }
-                    best
-                });
+                let stats = self.min_distance_join(oc, ic, &cd, &inner_cond, &mut out);
                 Ok(NodeEval {
                     label: format!("{outer} IN (...)"),
                     signed: false,
@@ -532,6 +555,251 @@ impl<'a> EvalContext<'a> {
             }
         }
     }
+
+    /// The §4.4 approximate join: per outer row, the minimum of
+    /// `|join_distance| + inner_condition` over every inner row.
+    ///
+    /// In vectorized mode, numeric join columns take the **banded
+    /// sort-merge** path and string-backed columns the per-distinct-value
+    /// path; everything else — and the scalar reference — runs the
+    /// exhaustive O(n·m) sweep (with typed accessors hoisted out of the
+    /// pair loop where the columns allow it). All paths are bit-identical;
+    /// the property tests pin them against each other.
+    fn min_distance_join(
+        &self,
+        oc: &ColumnData,
+        ic: &ColumnData,
+        cd: &ColumnDistance,
+        inner_cond: &DistanceFrame,
+        out: &mut DistanceFrame,
+    ) -> FrameStats {
+        if self.mode == ExecMode::Vectorized {
+            if let Some(stats) = self.banded_join(oc, ic, cd, inner_cond, out) {
+                return stats;
+            }
+            if let Some(stats) = self.gathered_join(oc, ic, cd, inner_cond, out) {
+                return stats;
+            }
+        }
+        self.exhaustive_join(oc, ic, cd, inner_cond, out)
+    }
+
+    /// Banded sort-merge join over numeric join columns.
+    ///
+    /// The inner join column is sorted once (`SortedProjection`, NULL and
+    /// NaN rows excluded — exactly the rows the exhaustive sweep skips).
+    /// Each outer row starts at its binary-searched insertion point and
+    /// sweeps outward **nearest first** ([`SortedProjection::sweep_from`]
+    /// yields non-decreasing join gaps), stopping as soon as
+    /// `gap + cond_lb >= best`, where `cond_lb` is the global minimum
+    /// defined inner-condition distance: every unvisited pair's total is
+    /// at least that bound, so excluding it cannot change the minimum.
+    /// The min-fold over f64 totals (no NaN can occur: both operands are
+    /// non-NaN and the inner column is fully finite) is
+    /// order-independent, so the result is bit-identical to the
+    /// exhaustive sweep.
+    ///
+    /// Returns `None` — fall back to the exhaustive sweep — for
+    /// non-`Numeric` distances, columns without native numeric buffers,
+    /// and inner columns carrying ±inf (where `inf - inf` could make the
+    /// reference fold over NaN totals, which is order-sensitive).
+    fn banded_join(
+        &self,
+        oc: &ColumnData,
+        ic: &ColumnData,
+        cd: &ColumnDistance,
+        inner_cond: &DistanceFrame,
+        out: &mut DistanceFrame,
+    ) -> Option<FrameStats> {
+        if !matches!(cd, ColumnDistance::Numeric) {
+            return None;
+        }
+        oc.numeric_slice()?;
+        ic.numeric_slice()?;
+        let m = ic.len();
+        let proj = SortedProjection::build(m, |j| ic.get_f64(j));
+        if !proj.is_fully_finite() {
+            return None;
+        }
+        let inner_vals = inner_cond.values();
+        let inner_mask = inner_cond.validity();
+        // Global lower bound on any defined inner-condition distance
+        // (normalized, hence finite and >= 0). +inf means no inner row
+        // has a defined condition — every outer row is undefined.
+        let cond_lb = inner_cond.iter().flatten().fold(f64::INFINITY, f64::min);
+        if cond_lb == f64::INFINITY {
+            return Some(FrameStats::default());
+        }
+        Some(self.fill_rows(out, |i| {
+            let ov = oc.get_f64(i)?;
+            if !ov.is_finite() {
+                // NaN: every join distance is undefined (None). ±inf:
+                // totals may all be +inf — reproduce the reference sweep
+                // for this row rather than reason about inf arithmetic.
+                return exhaustive_row(ov, ic, inner_vals, inner_mask);
+            }
+            let mut best: Option<f64> = None;
+            for (p, gap) in proj.sweep_from(ov) {
+                if let Some(b) = best {
+                    if gap + cond_lb >= b {
+                        break;
+                    }
+                }
+                let j = proj.row_at(p);
+                if !inner_mask.get(j) {
+                    continue;
+                }
+                // `gap` is |ov - inner| with the same float ops the
+                // reference's `equal_to(..).abs()` performs
+                let t = gap + inner_vals[j];
+                best = Some(best.map_or(t, |b: f64| b.min(t)));
+                if t == 0.0 {
+                    break;
+                }
+            }
+            best
+        }))
+    }
+
+    /// Per-distinct-value join for string-backed columns under `String`
+    /// or `Matrix` distances: the whole row result is a pure function of
+    /// the outer join value, so the minimum is computed once per distinct
+    /// outer value (over a per-distinct-inner-value distance table) and
+    /// every outer row is served by one indexed load. No per-pair
+    /// [`Value`] clone anywhere.
+    fn gathered_join(
+        &self,
+        oc: &ColumnData,
+        ic: &ColumnData,
+        cd: &ColumnDistance,
+        inner_cond: &DistanceFrame,
+        out: &mut DistanceFrame,
+    ) -> Option<FrameStats> {
+        if !matches!(cd, ColumnDistance::String(_) | ColumnDistance::Matrix(_)) {
+            return None;
+        }
+        let (osc, omask) = oc.str_column()?;
+        let (isc, imask) = ic.str_column()?;
+        let m = ic.len();
+        let inner_vals = inner_cond.values();
+        let inner_mask = inner_cond.validity();
+        let odict = osc.dict();
+        let idict = isc.dict();
+        let ivalues = idict.values();
+        let icodes = idict.codes();
+        let (tvals, tdef) = string::code_table(odict.values().iter().map(String::as_str), |a| {
+            // join distance to each distinct inner value, computed once
+            let jd: Vec<Option<f64>> = ivalues
+                .iter()
+                .map(|b| match cd {
+                    ColumnDistance::String(kind) => Some(kind.distance(a, b)),
+                    ColumnDistance::Matrix(mx) => mx.distance(a, b),
+                    _ => unreachable!("gated above"),
+                })
+                .collect();
+            let mut best: Option<f64> = None;
+            for j in 0..m {
+                if !inner_mask.get(j) || !imask.is_none_or(|mm| mm[j]) {
+                    continue;
+                }
+                if let Some(d) = jd[icodes[j] as usize] {
+                    let t = d.abs() + inner_vals[j];
+                    best = Some(best.map_or(t, |b: f64| b.min(t)));
+                    if t == 0.0 {
+                        break;
+                    }
+                }
+            }
+            best
+        });
+        let ocodes = odict.codes();
+        Some(chunk::for_each_frame_range(
+            out,
+            self.partitioning(),
+            self.parallel(),
+            |offset, vals, mask| {
+                let c = &ocodes[offset..offset + vals.len()];
+                let mm = omask.map(|w| &w[offset..offset + vals.len()]);
+                string::gather_table(c, mm, &tvals, &tdef, vals, mask);
+                FrameStats::of_slice(vals, mask)
+            },
+        ))
+    }
+
+    /// The exhaustive O(n·m) sweep — the scalar reference, and the
+    /// vectorized fallback for join shapes with no faster structure
+    /// (geo/bool/override distances, mixed column types, ±inf inner
+    /// columns). Numeric column pairs hoist a flat `f64` copy of the
+    /// inner column out of the pair loop; the fully generic loop
+    /// materialises a [`Value`] per pair, but no longer walks a
+    /// redundant `.take(m)` adaptor.
+    fn exhaustive_join(
+        &self,
+        oc: &ColumnData,
+        ic: &ColumnData,
+        cd: &ColumnDistance,
+        inner_cond: &DistanceFrame,
+        out: &mut DistanceFrame,
+    ) -> FrameStats {
+        let inner_vals = inner_cond.values();
+        let inner_mask = inner_cond.validity();
+        if matches!(cd, ColumnDistance::Numeric)
+            && oc.numeric_slice().is_some()
+            && ic.numeric_slice().is_some()
+        {
+            return self.fill_rows(out, |i| {
+                let ov = oc.get_f64(i)?;
+                exhaustive_row(ov, ic, inner_vals, inner_mask)
+            });
+        }
+        self.fill_rows(out, |i| {
+            let ov = oc.get(i);
+            if ov.is_null() {
+                return None;
+            }
+            let mut best: Option<f64> = None;
+            for (j, &cond_j) in inner_vals.iter().enumerate() {
+                if !inner_mask.get(j) {
+                    continue;
+                }
+                let join_d = cd.value_distance(&ov, &ic.get(j));
+                if let Some(t) = join_d.map(|jd| jd.abs() + cond_j) {
+                    best = Some(best.map_or(t, |b: f64| b.min(t)));
+                    if t == 0.0 {
+                        break;
+                    }
+                }
+            }
+            best
+        })
+    }
+}
+
+/// One outer row of the numeric exhaustive sweep, in reference order:
+/// the same `equal_to(..).abs() + cond` fold the generic loop performs,
+/// minus the per-pair [`Value`] materialisation.
+fn exhaustive_row(
+    ov: f64,
+    ic: &ColumnData,
+    inner_vals: &[f64],
+    inner_mask: &visdb_distance::frame::Bitmap,
+) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for (j, &cond_j) in inner_vals.iter().enumerate() {
+        if !inner_mask.get(j) {
+            continue;
+        }
+        let Some(iv) = ic.get_f64(j) else { continue };
+        let Some(jd) = numeric::equal_to(ov, iv) else {
+            continue;
+        };
+        let t = jd.abs() + cond_j;
+        best = Some(best.map_or(t, |b: f64| b.min(t)));
+        if t == 0.0 {
+            break;
+        }
+    }
+    best
 }
 
 /// Distance of row `i` of `col` from fulfilling `col op value`.
@@ -542,7 +810,19 @@ pub(crate) fn compare_distance(
     value: &Value,
     cd: &ColumnDistance,
 ) -> Option<f64> {
-    let v = col.get(i);
+    compare_value_distance(&col.get(i), op, value, cd)
+}
+
+/// [`compare_distance`] of an already-materialised value. The
+/// dictionary-gather fast path runs this once per *distinct* column value
+/// instead of once per row — same function, so bit-identity is by
+/// construction.
+pub(crate) fn compare_value_distance(
+    v: &Value,
+    op: CompareOp,
+    value: &Value,
+    cd: &ColumnDistance,
+) -> Option<f64> {
     if v.is_null() || value.is_null() {
         return None;
     }
@@ -557,9 +837,9 @@ pub(crate) fn compare_distance(
             }
         }
         ColumnDistance::Geo => match op {
-            CompareOp::Eq => cd.value_distance(&v, value),
+            CompareOp::Eq => cd.value_distance(v, value),
             CompareOp::Ne => {
-                let d = cd.value_distance(&v, value)?;
+                let d = cd.value_distance(v, value)?;
                 Some(if d != 0.0 { 0.0 } else { 1.0 })
             }
             _ => None,
@@ -602,7 +882,17 @@ pub(crate) fn range_distance(
     high: &Value,
     cd: &ColumnDistance,
 ) -> Option<f64> {
-    let v = col.get(i);
+    range_value_distance(&col.get(i), low, high, cd)
+}
+
+/// [`range_distance`] of an already-materialised value (see
+/// [`compare_value_distance`] for why the split exists).
+pub(crate) fn range_value_distance(
+    v: &Value,
+    low: &Value,
+    high: &Value,
+    cd: &ColumnDistance,
+) -> Option<f64> {
     if v.is_null() || low.is_null() || high.is_null() {
         return None;
     }
@@ -615,9 +905,9 @@ pub(crate) fn range_distance(
     let below = matches!(v.partial_cmp_value(low), Some(Less));
     let above = matches!(v.partial_cmp_value(high), Some(Greater));
     if below {
-        Some(-cd.value_distance(&v, low)?.abs())
+        Some(-cd.value_distance(v, low)?.abs())
     } else if above {
-        Some(cd.value_distance(&v, high)?.abs())
+        Some(cd.value_distance(v, high)?.abs())
     } else {
         // inside or incomparable: incomparable is undefined
         match (v.partial_cmp_value(low), v.partial_cmp_value(high)) {
@@ -630,7 +920,7 @@ pub(crate) fn range_distance(
 /// Convenience used by tests and the baseline crate: edit distance of two
 /// strings as f64 (re-exported to avoid a dependency cycle).
 pub fn edit_distance(a: &str, b: &str) -> f64 {
-    levenshtein(a, b) as f64
+    string::levenshtein(a, b) as f64
 }
 
 #[cfg(test)]

@@ -439,12 +439,14 @@ pub enum Materialization {
     Materialized,
     /// Stream whenever the query shape supports it (attached caches are
     /// bypassed — neither consulted nor fed); fall back to the
-    /// materialized path otherwise. The fallback shapes are connections,
-    /// subqueries, non-invertible negations, the two-sided display
-    /// policy (its quantile band needs the primary window's full signed
-    /// distance distribution), and [`ExecMode::Scalar`] — the scalar
-    /// reference always runs its per-tuple materialized walk, so forcing
-    /// `Streaming` there is a silent no-op.
+    /// materialized path otherwise. The fallback shapes are subqueries
+    /// (their approximate join evaluates the inner relation, not a
+    /// per-row function of the base relation), non-invertible negations,
+    /// the two-sided display policy (its quantile band needs the primary
+    /// window's full signed distance distribution), and
+    /// [`ExecMode::Scalar`] — the scalar reference always runs its
+    /// per-tuple materialized walk, so forcing `Streaming` there is a
+    /// silent no-op. Connections and string/ordinal predicates stream.
     Streaming,
 }
 

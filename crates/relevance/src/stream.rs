@@ -40,10 +40,16 @@
 //! Every float op on this path is the same op the materialized
 //! vectorized path (and through it the scalar reference) performs, in
 //! the same order per row — outputs are **bit-identical** across all
-//! three, property-tested in `tests/properties.rs`. Shapes the compiler
-//! cannot stream (connections, subqueries, non-invertible negations)
-//! and the two-sided display policy (whose quantile band needs a full
-//! window frame) fall back to the materialized path at the planner.
+//! three, property-tested in `tests/properties.rs`. String and
+//! matrix/ordinal predicates stream through a compile-time
+//! dictionary-gather table ([`Kind::Gather`]), and §4.4 connections
+//! stream as row-local functions of the cross-product base relation
+//! ([`Kind::Connection`]). Shapes the compiler cannot stream
+//! (subqueries — their approximate join evaluates the *inner* relation,
+//! not a per-row function of the base relation — and non-invertible
+//! negations) and the two-sided display policy (whose quantile band
+//! needs a full window frame) fall back to the materialized path at the
+//! planner.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -51,16 +57,19 @@ use std::time::Instant;
 
 use visdb_distance::batch::{self, CompareKernel, NumericKernel};
 use visdb_distance::frame::FrameStats;
-use visdb_distance::numeric;
 use visdb_distance::registry::ColumnDistance;
+use visdb_distance::{geo, numeric, string, time};
 use visdb_query::ast::{ConditionNode, Predicate, PredicateTarget, Weighted};
+use visdb_query::connection::{ConnectionKind, ConnectionUse};
 use visdb_query::CompareOp;
 use visdb_storage::{ColumnData, NumericSlice};
-use visdb_types::Result;
+use visdb_types::{Result, Value};
 
 use crate::chunk;
 use crate::combine::{and_row, combine_and_slices, combine_or_slices, or_row};
-use crate::eval::{compare_distance, range_distance, EvalContext};
+use crate::eval::{
+    compare_distance, compare_value_distance, range_distance, range_value_distance, EvalContext,
+};
 use crate::normalize::{apply_in_place, dmax_of_prefix, fit_k, params_from_max, NormParams};
 use crate::pipeline::{
     finalize_relevance, rank_and_select, rank_and_select_partitioned, DisplayPolicy,
@@ -119,9 +128,93 @@ enum Kind<'a> {
         center: f64,
         deviation: f64,
     },
+    /// Dictionary-gather leaf over a string-backed column (string and
+    /// matrix/ordinal distances): the predicate was evaluated once per
+    /// *distinct* value at compile time — through the exact same
+    /// [`compare_value_distance`] / [`range_value_distance`] the
+    /// per-tuple reference runs — and each row is one indexed table
+    /// load. No per-row [`Value`] clone on the chunk walk.
+    Gather {
+        codes: &'a [u32],
+        col_mask: Option<&'a [bool]>,
+        tvals: Vec<f64>,
+        tdef: Vec<bool>,
+    },
+    /// §4.4 connection: both operand columns live in the (cross-product)
+    /// base relation, so every kind is a pure per-row function — the
+    /// same closures the materialized `EvalContext::eval_connection`
+    /// runs.
+    Connection(ConnKind<'a>),
     /// Inner `AND`/`OR`: normalize every child with its fitted params,
     /// combine row-wise (§5.2 recursive re-normalization).
     Bool { and: bool, children: Vec<usize> },
+}
+
+/// A compiled row-local connection: operand columns resolved once, kind
+/// and parameters frozen. `row` is the single evaluation function both
+/// the chunk walk and the late window assembly share.
+enum ConnKind<'a> {
+    Equi {
+        lc: &'a ColumnData,
+        rc: &'a ColumnData,
+        cd: ColumnDistance,
+    },
+    NonEqui {
+        lc: &'a ColumnData,
+        rc: &'a ColumnData,
+        op: CompareOp,
+        cd: ColumnDistance,
+    },
+    TimeDiff {
+        lc: &'a ColumnData,
+        rc: &'a ColumnData,
+        expected: f64,
+    },
+    SpatialWithin {
+        lc: &'a ColumnData,
+        rc: &'a ColumnData,
+        radius: f64,
+    },
+    ForeignKey {
+        lc: &'a ColumnData,
+        rc: &'a ColumnData,
+    },
+}
+
+impl ConnKind<'_> {
+    /// Signed distance of row `i` — byte-for-byte the per-row closures
+    /// of `EvalContext::eval_connection`, so streamed connections are
+    /// bit-identical to materialized ones.
+    fn row(&self, i: usize) -> Option<f64> {
+        match self {
+            ConnKind::Equi { lc, rc, cd } => cd.value_distance(&lc.get(i), &rc.get(i)),
+            ConnKind::NonEqui { lc, rc, op, cd } => {
+                let (a, b) = (lc.get(i), rc.get(i));
+                match a.partial_cmp_value(&b) {
+                    None => None,
+                    Some(ord) if op.eval(ord) => Some(0.0),
+                    Some(_) => cd.value_distance(&a, &b),
+                }
+            }
+            ConnKind::TimeDiff { lc, rc, expected } => match (lc.get_f64(i), rc.get_f64(i)) {
+                (Some(a), Some(b)) => time::time_diff(a as i64, b as i64, *expected),
+                _ => None,
+            },
+            ConnKind::SpatialWithin { lc, rc, radius } => {
+                match (lc.get_location(i), rc.get_location(i)) {
+                    (Some(a), Some(b)) => geo::within_m(a, b, *radius),
+                    _ => None,
+                }
+            }
+            ConnKind::ForeignKey { lc, rc } => {
+                if lc.get(i) == rc.get(i) && !lc.get(i).is_null() {
+                    Some(0.0)
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// A compiled streaming plan: the node arena, the top-level window node
@@ -134,10 +227,10 @@ pub(crate) struct StreamPlan<'a> {
 }
 
 /// Compile the condition tree into a streamable plan, or `None` when any
-/// node cannot be streamed (connections, subqueries, non-invertible
-/// negations, unresolvable columns, empty boolean nodes) — the caller
-/// then falls back to the materialized path, which reproduces any error
-/// the unstreamable shape would raise.
+/// node cannot be streamed (subqueries, non-invertible negations,
+/// unresolvable columns, empty boolean nodes) — the caller then falls
+/// back to the materialized path, which reproduces any error the
+/// unstreamable shape would raise.
 pub(crate) fn compile<'a>(
     ctx: &EvalContext<'a>,
     cond: &Weighted,
@@ -213,8 +306,96 @@ fn compile_node<'a>(
             });
             Some(nodes.len() - 1)
         }
-        ConditionNode::Connection(_) | ConditionNode::Subquery { .. } => None,
+        ConditionNode::Connection(c) => compile_connection(ctx, c, weight, nodes),
+        // the approximate join evaluates the *inner* relation's condition
+        // over its own table — not a per-row function of the base
+        // relation — so subqueries stay on the materialized path
+        ConditionNode::Subquery { .. } => None,
     }
+}
+
+/// Compile a §4.4 connection into a row-local node. Column resolution
+/// errors decline (`None`) so the materialized path raises the identical
+/// error.
+fn compile_connection<'a>(
+    ctx: &EvalContext<'a>,
+    c: &ConnectionUse,
+    weight: f64,
+    nodes: &mut Vec<Node<'a>>,
+) -> Option<usize> {
+    let (left_attr, right_attr) = c.def.kind.attrs();
+    let (lc, ldt, lcl, _) = ctx.column(left_attr).ok()?;
+    let (rc, ..) = ctx.column(right_attr).ok()?;
+    let (conn, signed) = match &c.def.kind {
+        ConnectionKind::Equi { .. } => {
+            let cd = ctx.distance_for(left_attr, ldt, lcl);
+            let signed = cd.is_signed();
+            (ConnKind::Equi { lc, rc, cd }, signed)
+        }
+        ConnectionKind::NonEqui { op, .. } => {
+            let cd = ctx.distance_for(left_attr, ldt, lcl);
+            let signed = cd.is_signed();
+            (
+                ConnKind::NonEqui {
+                    lc,
+                    rc,
+                    op: *op,
+                    cd,
+                },
+                signed,
+            )
+        }
+        ConnectionKind::TimeDiff { .. } => {
+            let expected = *c.params.first().unwrap_or(&0.0);
+            (ConnKind::TimeDiff { lc, rc, expected }, true)
+        }
+        ConnectionKind::SpatialWithin { .. } => {
+            let radius = *c.params.first().unwrap_or(&0.0);
+            (ConnKind::SpatialWithin { lc, rc, radius }, false)
+        }
+        ConnectionKind::ForeignKey { .. } => (ConnKind::ForeignKey { lc, rc }, false),
+    };
+    nodes.push(Node {
+        kind: Kind::Connection(conn),
+        label: c.label(),
+        signed,
+        weight,
+        depth: 0,
+    });
+    Some(nodes.len() - 1)
+}
+
+/// Compile-time half of the dictionary-gather fast path — the streaming
+/// sibling of `EvalContext::gathered_predicate_stats`: evaluate the
+/// predicate once per distinct string value into a code-indexed table.
+/// `None` when inapplicable (non-string column, numeric/geo distances,
+/// `Around` targets, which must keep their error path).
+fn compile_gather<'a>(
+    col: &'a ColumnData,
+    cd: &ColumnDistance,
+    target: &PredicateTarget,
+) -> Option<Kind<'a>> {
+    if !matches!(cd, ColumnDistance::String(_) | ColumnDistance::Matrix(_))
+        || matches!(target, PredicateTarget::Around { .. })
+    {
+        return None;
+    }
+    let (sc, col_mask) = col.str_column()?;
+    let dict = sc.dict();
+    let (tvals, tdef) = string::code_table(dict.values().iter().map(String::as_str), |u| {
+        let v = Value::Str(u.to_owned());
+        match target {
+            PredicateTarget::Compare { op, value } => compare_value_distance(&v, *op, value, cd),
+            PredicateTarget::Range { low, high } => range_value_distance(&v, low, high, cd),
+            PredicateTarget::Around { .. } => unreachable!("filtered above"),
+        }
+    });
+    Some(Kind::Gather {
+        codes: dict.codes(),
+        col_mask,
+        tvals,
+        tdef,
+    })
 }
 
 fn compile_predicate<'a>(
@@ -248,20 +429,23 @@ fn compile_predicate<'a>(
         }
         target => match EvalContext::kernel_for(&cd, target) {
             Some(kernel) if col.numeric_slice().is_some() => Kind::Kernel { col, kernel },
-            _ => match target {
-                PredicateTarget::Compare { op, value } => Kind::Compare {
-                    col,
-                    op: *op,
-                    value: value.clone(),
-                    cd,
+            _ => match compile_gather(col, &cd, target) {
+                Some(kind) => kind,
+                None => match target {
+                    PredicateTarget::Compare { op, value } => Kind::Compare {
+                        col,
+                        op: *op,
+                        value: value.clone(),
+                        cd,
+                    },
+                    PredicateTarget::Range { low, high } => Kind::Range {
+                        col,
+                        low: low.clone(),
+                        high: high.clone(),
+                        cd,
+                    },
+                    PredicateTarget::Around { .. } => unreachable!("handled above"),
                 },
-                PredicateTarget::Range { low, high } => Kind::Range {
-                    col,
-                    low: low.clone(),
-                    high: high.clone(),
-                    cd,
-                },
-                PredicateTarget::Around { .. } => unreachable!("handled above"),
             },
         },
     };
@@ -334,6 +518,18 @@ fn eval_chunk(
             col.get_f64(i)
                 .and_then(|v| numeric::around(v, *center, *deviation))
         }),
+        Kind::Gather {
+            codes,
+            col_mask,
+            tvals,
+            tdef,
+        } => {
+            let c = &codes[offset..offset + len];
+            let m = col_mask.map(|mm| &mm[offset..offset + len]);
+            string::gather_table(c, m, tvals, tdef, vals, mask);
+            FrameStats::of_slice(vals, mask)
+        }
+        Kind::Connection(conn) => fill_chunk(vals, mask, offset, |i| conn.row(i)),
         Kind::Bool { and, children } => {
             // child chunks come from the run's scratch arena (one take
             // per nesting level, buffers reused across every chunk the
@@ -380,6 +576,17 @@ fn eval_row(plan: &StreamPlan<'_>, params: &[NormParams], id: usize, i: usize) -
         } => col
             .get_f64(i)
             .and_then(|v| numeric::around(v, *center, *deviation)),
+        Kind::Gather {
+            codes,
+            col_mask,
+            tvals,
+            tdef,
+        } => {
+            // one row of `string::gather_table` — the identical load
+            let c = codes[i] as usize;
+            (col_mask.is_none_or(|m| m[i]) && tdef[c]).then(|| tvals[c])
+        }
+        Kind::Connection(conn) => conn.row(i),
         Kind::Bool { and, children } => {
             let row: Vec<Option<f64>> = children
                 .iter()

@@ -6,6 +6,8 @@
 //! pipeline (§3: "query processing time is dominated by the time needed
 //! for sorting"), so per-value enum boxing on the hot path is avoided.
 
+use std::collections::HashMap;
+use std::sync::OnceLock;
 use visdb_types::{DataType, Error, Location, Result, Timestamp, Value};
 
 /// Validity mask: `None` means "all valid" (the common case, saving a
@@ -69,6 +71,153 @@ pub enum NumericSlice<'a> {
     I64(&'a [i64]),
 }
 
+/// A packed string column: one concatenated UTF-8 buffer plus an
+/// `n + 1`-entry offset vector, so row `i` is `bytes[offsets[i]..offsets[i+1]]`.
+/// This replaces the former `Vec<String>` layout — no per-row heap
+/// allocation, no pointer chase per access, and the batch string kernels
+/// (`visdb_distance::string`) can walk `bytes`/`offsets` directly.
+///
+/// A dictionary encoding ([`StrDict`]) is built lazily on first use and
+/// cached for the lifetime of the column (i.e. once per dataset
+/// generation — columns are immutable after load). Any push invalidates
+/// the cache.
+#[derive(Debug)]
+pub struct StrColumn {
+    bytes: Vec<u8>,
+    offsets: Vec<u32>,
+    dict: OnceLock<StrDict>,
+}
+
+/// Dictionary encoding of a [`StrColumn`]: `codes[i]` indexes into
+/// `values`, the distinct strings in first-occurrence order. NULL rows
+/// carry the code of their empty-string placeholder — callers must mask
+/// by the column's validity, exactly as they do for numeric buffers.
+#[derive(Debug, Clone)]
+pub struct StrDict {
+    codes: Vec<u32>,
+    values: Vec<String>,
+}
+
+impl StrDict {
+    /// Per-row dictionary codes (length = column length).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Distinct values in first-occurrence order; `codes()` indexes here.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Number of distinct values.
+    pub fn unique_len(&self) -> usize {
+        self.values.len()
+    }
+}
+
+impl StrColumn {
+    /// Empty column.
+    pub fn new() -> Self {
+        StrColumn {
+            bytes: Vec::new(),
+            offsets: vec![0],
+            dict: OnceLock::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pre-reserve for `cap` additional rows (offsets only; byte totals
+    /// are unknowable up front).
+    pub fn reserve(&mut self, cap: usize) {
+        self.offsets.reserve(cap);
+    }
+
+    /// Append a row. Invalidates the cached dictionary.
+    pub fn push(&mut self, s: &str) {
+        self.bytes.extend_from_slice(s.as_bytes());
+        let end = u32::try_from(self.bytes.len()).expect("string column exceeds u32 byte offsets");
+        self.offsets.push(end);
+        self.dict.take();
+    }
+
+    /// Row `i` as a `&str`; `None` out of range. NULL rows read as their
+    /// empty-string placeholder — callers consult the validity mask.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&str> {
+        if i >= self.len() {
+            return None;
+        }
+        let (a, b) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        // Safety of the expect: bytes only ever come from `&str` pushes.
+        Some(std::str::from_utf8(&self.bytes[a..b]).expect("column bytes are valid UTF-8"))
+    }
+
+    /// The concatenated UTF-8 buffer.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The `n + 1` row byte offsets into [`StrColumn::bytes`].
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The dictionary encoding, built on first call and cached until the
+    /// next push. O(total bytes) to build, then free.
+    pub fn dict(&self) -> &StrDict {
+        self.dict.get_or_init(|| {
+            let n = self.len();
+            let mut map: HashMap<&[u8], u32> = HashMap::new();
+            let mut codes = Vec::with_capacity(n);
+            let mut values: Vec<String> = Vec::new();
+            for i in 0..n {
+                let (a, b) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+                let raw = &self.bytes[a..b];
+                let code = *map.entry(raw).or_insert_with(|| {
+                    let c = values.len() as u32;
+                    values.push(String::from_utf8_lossy(raw).into_owned());
+                    c
+                });
+                codes.push(code);
+            }
+            StrDict { codes, values }
+        })
+    }
+}
+
+impl Default for StrColumn {
+    fn default() -> Self {
+        StrColumn::new()
+    }
+}
+
+impl Clone for StrColumn {
+    fn clone(&self) -> Self {
+        // The dict cache is pure derived data; drop it rather than clone.
+        StrColumn {
+            bytes: self.bytes.clone(),
+            offsets: self.offsets.clone(),
+            dict: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for StrColumn {
+    fn eq(&self, other: &Self) -> bool {
+        // The lazily built dict is derived data — identity is the layout.
+        self.bytes == other.bytes && self.offsets == other.offsets
+    }
+}
+
 /// A typed column of values.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ColumnData {
@@ -78,8 +227,8 @@ pub enum ColumnData {
     Float(Vec<f64>, Validity),
     /// Booleans.
     Bool(Vec<bool>, Validity),
-    /// UTF-8 strings.
-    Str(Vec<String>, Validity),
+    /// UTF-8 strings in a packed offset+bytes layout.
+    Str(StrColumn, Validity),
     /// Epoch timestamps.
     Timestamp(Vec<Timestamp>, Validity),
     /// Geographic coordinates.
@@ -96,7 +245,7 @@ impl ColumnData {
                 ColumnData::Float(Vec::new(), Validity::all_valid())
             }
             DataType::Bool => ColumnData::Bool(Vec::new(), Validity::all_valid()),
-            DataType::Str => ColumnData::Str(Vec::new(), Validity::all_valid()),
+            DataType::Str => ColumnData::Str(StrColumn::new(), Validity::all_valid()),
             DataType::Timestamp => ColumnData::Timestamp(Vec::new(), Validity::all_valid()),
             DataType::Location => ColumnData::Location(Vec::new(), Validity::all_valid()),
         }
@@ -203,8 +352,16 @@ impl ColumnData {
                 v => Err(mismatch(&v, DataType::Bool)),
             },
             ColumnData::Str(vec, validity) => match value {
-                Value::Null => push_typed!(vec, None::<String>, validity, String::new()),
-                Value::Str(x) => push_typed!(vec, Some(x), validity, String::new()),
+                Value::Null => {
+                    vec.push("");
+                    validity.push(false, len);
+                    Ok(())
+                }
+                Value::Str(x) => {
+                    vec.push(&x);
+                    validity.push(true, len);
+                    Ok(())
+                }
                 v => Err(mismatch(&v, DataType::Str)),
             },
             ColumnData::Timestamp(vec, validity) => match value {
@@ -232,7 +389,7 @@ impl ColumnData {
             ColumnData::Int(v, _) => v.get(i).map_or(Value::Null, |x| Value::Int(*x)),
             ColumnData::Float(v, _) => v.get(i).map_or(Value::Null, |x| Value::Float(*x)),
             ColumnData::Bool(v, _) => v.get(i).map_or(Value::Null, |x| Value::Bool(*x)),
-            ColumnData::Str(v, _) => v.get(i).map_or(Value::Null, |x| Value::Str(x.clone())),
+            ColumnData::Str(v, _) => v.get(i).map_or(Value::Null, |x| Value::Str(x.to_owned())),
             ColumnData::Timestamp(v, _) => v.get(i).map_or(Value::Null, |x| Value::Timestamp(*x)),
             ColumnData::Location(v, _) => v.get(i).map_or(Value::Null, |x| Value::Location(*x)),
         }
@@ -261,7 +418,7 @@ impl ColumnData {
             return None;
         }
         match self {
-            ColumnData::Str(v, _) => v.get(i).map(String::as_str),
+            ColumnData::Str(v, _) => v.get(i),
             _ => None,
         }
     }
@@ -311,6 +468,18 @@ impl ColumnData {
             NumericSlice::I64(xs) => NumericSlice::I64(&xs[offset..end]),
         };
         Some((slice, mask.map(|m| &m[offset..end])))
+    }
+
+    /// Borrow the packed string layout and validity bitmap, when this is
+    /// a string column. The string counterpart of
+    /// [`ColumnData::numeric_slice`]: batch string kernels and the
+    /// dictionary-gather path read `bytes`/`offsets`/`dict` directly, with
+    /// no per-tuple [`Value`] materialisation.
+    pub fn str_column(&self) -> Option<(&StrColumn, Option<&[bool]>)> {
+        match self {
+            ColumnData::Str(v, m) => Some((v, m.mask())),
+            _ => None,
+        }
     }
 
     /// Gather rows by index into a new column (used to materialise query
@@ -422,6 +591,44 @@ mod tests {
         assert!(ColumnData::new(DataType::Location)
             .numeric_slice()
             .is_none());
+    }
+
+    #[test]
+    fn str_column_packed_layout_and_dict() {
+        let mut c = ColumnData::new(DataType::Str);
+        for s in ["abc", "", "abc", "日本", "x"] {
+            c.push(Value::from(s)).unwrap();
+        }
+        c.push(Value::Null).unwrap();
+        let (sc, mask) = c.str_column().expect("string view");
+        assert_eq!(sc.len(), 6);
+        assert_eq!(sc.get(0), Some("abc"));
+        assert_eq!(sc.get(1), Some(""));
+        assert_eq!(sc.get(3), Some("日本"));
+        assert_eq!(sc.get(5), Some("")); // NULL placeholder; mask says invalid
+        assert_eq!(sc.get(6), None);
+        assert_eq!(mask.unwrap(), &[true, true, true, true, true, false]);
+        assert_eq!(sc.offsets().len(), 7);
+        assert_eq!(sc.bytes().len(), "abc".len() * 2 + "日本".len() + 1);
+
+        let d = sc.dict();
+        assert_eq!(d.unique_len(), 4); // abc, "", 日本, x ("" shared with NULL row)
+        assert_eq!(d.values(), &["abc", "", "日本", "x"]);
+        assert_eq!(d.codes(), &[0, 1, 0, 2, 3, 1]);
+
+        // equality ignores the (cached) dict; clone drops the cache
+        let c2 = c.clone();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn str_column_push_invalidates_dict() {
+        let mut sc = StrColumn::new();
+        sc.push("a");
+        assert_eq!(sc.dict().unique_len(), 1);
+        sc.push("b");
+        assert_eq!(sc.dict().unique_len(), 2);
+        assert_eq!(sc.dict().codes(), &[0, 1]);
     }
 
     #[test]

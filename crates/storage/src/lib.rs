@@ -30,7 +30,7 @@ pub mod stats;
 pub mod table;
 
 pub use catalog::Database;
-pub use column::{ColumnData, NumericSlice, Validity};
+pub use column::{ColumnData, NumericSlice, StrColumn, StrDict, Validity};
 pub use partition::{Partition, Partitioning};
 pub use stats::ColumnStats;
 pub use table::{Row, Table, TableBuilder};

@@ -797,3 +797,337 @@ fn branchless_kernels_bit_identical_above_partition_threshold() {
         }
     }
 }
+
+/// String pool for the string-kernel properties: empty strings, case
+/// pairs, near-duplicates, combining accents and CJK — the shapes the
+/// offset+bytes layout, the dictionary gather and the per-row reference
+/// must agree on byte for byte.
+const STR_POOL: &[&str] = &[
+    "",
+    "a",
+    "A",
+    "abc",
+    "abd",
+    "abcdef",
+    "naïve",
+    "übung",
+    "日本語",
+    "zz-9",
+];
+
+/// A one-`Str`-column table drawn from [`STR_POOL`]; `tag == 0` makes
+/// the row NULL. Pool indexes repeat heavily, so dictionaries see
+/// duplicate-heavy columns by construction.
+fn string_table(rows: &[(usize, u8)]) -> Database {
+    let mut t = TableBuilder::new("T", vec![Column::new("s", DataType::Str)]);
+    for &(idx, tag) in rows {
+        let v = if tag == 0 {
+            Value::Null
+        } else {
+            Value::Str(STR_POOL[idx % STR_POOL.len()].to_owned())
+        };
+        t = t.row(vec![v]).unwrap();
+    }
+    let mut db = Database::new("d");
+    db.add_table(t.build());
+    db
+}
+
+/// Map a join-column draw onto a value: NULL / NaN always possible,
+/// ±inf only when `specials` (so roughly half the cases keep the inner
+/// relation fully finite and exercise the banded sort-merge path, the
+/// other half force the exhaustive fallback), and `quant` rounds to
+/// integers for duplicate-heavy columns.
+fn join_value(v: f64, tag: u8, specials: bool, quant: bool) -> Value {
+    match tag {
+        0 => Value::Null,
+        1 => Value::Float(f64::NAN),
+        2 if specials => Value::Float(f64::INFINITY),
+        3 if specials => Value::Float(f64::NEG_INFINITY),
+        _ => Value::Float(if quant {
+            v.round().clamp(-20.0, 20.0)
+        } else {
+            v
+        }),
+    }
+}
+
+fn pick_op(pick: usize) -> CompareOp {
+    match pick % 6 {
+        0 => CompareOp::Eq,
+        1 => CompareOp::Ne,
+        2 => CompareOp::Lt,
+        3 => CompareOp::Le,
+        4 => CompareOp::Gt,
+        _ => CompareOp::Ge,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The banded sort-merge `IN` join (sorted projection over the
+    /// inner relation, outward band sweep cut off by
+    /// `gap + cond_lb >= best`) is bit-identical to the scalar
+    /// exhaustive O(n·m) sweep — across NULL/NaN-heavy and
+    /// duplicate-heavy join columns, ±inf inner values (which decline
+    /// the band and fall back to the exhaustive inner loop), filtered
+    /// and unfiltered inner queries, the `Exists` link, display
+    /// policies, and partitioned execution.
+    #[test]
+    fn banded_in_join_matches_exhaustive_scalar(
+        outer in prop::collection::vec((-1e3f64..1e3, 0u8..12), 1..60),
+        inner in prop::collection::vec((-1e3f64..1e3, 0u8..12), 1..60),
+        threshold in -1e3f64..1e3,
+        filter_t in -1e3f64..1e3,
+        specials in 0u8..2,
+        quant in 0u8..2,
+        with_filter in 0u8..2,
+        use_exists in 0u8..2,
+        pct in 1.0f64..100.0,
+        pick in 0usize..4,
+    ) {
+        let mut t = TableBuilder::new("O", vec![Column::new("x", DataType::Float)]);
+        for &(v, tag) in &outer {
+            t = t.row(vec![join_value(v, tag, specials == 1, quant == 1)]).unwrap();
+        }
+        let mut db = Database::new("d");
+        db.add_table(t.build());
+        let mut t = TableBuilder::new("I", vec![Column::new("y", DataType::Float)]);
+        for &(v, tag) in &inner {
+            t = t.row(vec![join_value(v, tag, specials == 1, quant == 1)]).unwrap();
+        }
+        db.add_table(t.build());
+        let t = db.table("O").unwrap();
+        let resolver = DistanceResolver::new();
+        let sub = if with_filter == 1 {
+            QueryBuilder::from_tables(["I"]).cmp("y", CompareOp::Le, filter_t).build()
+        } else {
+            QueryBuilder::from_tables(["I"]).build()
+        };
+        let qb = QueryBuilder::from_tables(["O"]).cmp("x", CompareOp::Ge, threshold);
+        let q = if use_exists == 1 {
+            qb.exists(sub).build()
+        } else {
+            qb.is_in("x", "y", sub).build()
+        };
+        let policy = pick_policy(pick, pct);
+        let fast = run_pipeline(&db, t, &resolver, q.condition.as_ref(), &policy);
+        let slow = run_pipeline_scalar(&db, t, &resolver, q.condition.as_ref(), &policy);
+        match (fast, slow) {
+            (Ok(fast), Ok(slow)) => {
+                let diff = first_divergence(&fast, &slow, &policy);
+                prop_assert!(diff.is_none(), "{} under {:?}", diff.unwrap(), policy);
+                for parts in [1usize, 3] {
+                    let part = run_pipeline_partitioned(
+                        &db, t, &resolver, q.condition.as_ref(), &policy, parts).unwrap();
+                    let diff = first_divergence(&part, &slow, &policy);
+                    prop_assert!(
+                        diff.is_none(),
+                        "{} with {} partitions under {:?}", diff.unwrap(), parts, policy
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (f, s) => prop_assert!(false, "one mode errored: {f:?} vs {s:?}"),
+        }
+    }
+
+    /// String predicates through the dictionary-gather path (distance
+    /// evaluated once per distinct value, gathered per row through the
+    /// codes — no per-row `Value` clone) are bit-identical to the
+    /// per-row scalar reference — across every comparison operator,
+    /// string ranges, NULL-heavy / empty-string / non-ASCII /
+    /// duplicate-heavy columns, and the materialized, Auto-streaming
+    /// (the `Gather` stream kind) and partitioned modes.
+    #[test]
+    fn string_gather_kernels_match_scalar_reference(
+        rows in prop::collection::vec((0usize..10, 0u8..5), 1..120),
+        needle in 0usize..10,
+        lo in 0usize..10,
+        hi in 0usize..10,
+        with_range in 0u8..2,
+        op_pick in 0usize..6,
+        pct in 1.0f64..100.0,
+        pick in 0usize..4,
+    ) {
+        let db = string_table(&rows);
+        let t = db.table("T").unwrap();
+        let resolver = DistanceResolver::new();
+        let needle_s = STR_POOL[needle % STR_POOL.len()];
+        let (a, b) = (STR_POOL[lo % STR_POOL.len()], STR_POOL[hi % STR_POOL.len()]);
+        let (lo_s, hi_s) = if a <= b { (a, b) } else { (b, a) };
+        let qb = QueryBuilder::from_tables(["T"]).cmp("s", pick_op(op_pick), needle_s);
+        let q = if with_range == 1 {
+            qb.between("s", lo_s, hi_s).build()
+        } else {
+            qb.build()
+        };
+        let policy = pick_policy(pick, pct);
+        let slow = run_pipeline_scalar(&db, t, &resolver, q.condition.as_ref(), &policy);
+        let stream = run_pipeline(&db, t, &resolver, q.condition.as_ref(), &policy);
+        match (stream, slow) {
+            (Ok(stream), Ok(slow)) => {
+                let diff = first_divergence(&stream, &slow, &policy);
+                prop_assert!(diff.is_none(), "streaming: {} under {:?}", diff.unwrap(), policy);
+                let mat = run_pipeline_opts(
+                    &db, t, &resolver, q.condition.as_ref(), &policy,
+                    PipelineOptions {
+                        materialization: Materialization::Materialized,
+                        ..Default::default()
+                    },
+                ).unwrap();
+                let diff = first_divergence(&mat, &slow, &policy);
+                prop_assert!(diff.is_none(), "materialized: {} under {:?}", diff.unwrap(), policy);
+                for parts in [2usize, 7] {
+                    let part = run_pipeline_partitioned(
+                        &db, t, &resolver, q.condition.as_ref(), &policy, parts).unwrap();
+                    let diff = first_divergence(&part, &slow, &policy);
+                    prop_assert!(
+                        diff.is_none(),
+                        "partitioned({}): {} under {:?}", parts, diff.unwrap(), policy
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (f, s) => prop_assert!(false, "one mode errored: {f:?} vs {s:?}"),
+        }
+    }
+
+    /// Approximate string `IN` joins (the dictionary-gathered join: one
+    /// distance evaluation per distinct outer value against the inner
+    /// relation) are bit-identical to the scalar per-row exhaustive
+    /// sweep, on NULL-heavy / empty-string / non-ASCII /
+    /// duplicate-heavy key columns.
+    #[test]
+    fn gathered_string_join_matches_exhaustive_scalar(
+        outer in prop::collection::vec((0usize..10, 0u8..5), 1..60),
+        inner in prop::collection::vec((0usize..10, 0u8..5), 1..60),
+        filter in 0usize..10,
+        with_filter in 0u8..2,
+        op_pick in 0usize..6,
+        pct in 1.0f64..100.0,
+        pick in 0usize..4,
+    ) {
+        let mk = |name: &str, rows: &[(usize, u8)]| {
+            let mut t = TableBuilder::new(name, vec![Column::new("s", DataType::Str)]);
+            for &(idx, tag) in rows {
+                let v = if tag == 0 {
+                    Value::Null
+                } else {
+                    Value::Str(STR_POOL[idx % STR_POOL.len()].to_owned())
+                };
+                t = t.row(vec![v]).unwrap();
+            }
+            t.build()
+        };
+        let mut db = Database::new("d");
+        db.add_table(mk("A", &outer));
+        db.add_table(mk("B", &inner));
+        let t = db.table("A").unwrap();
+        let resolver = DistanceResolver::new();
+        let sub = if with_filter == 1 {
+            QueryBuilder::from_tables(["B"])
+                .cmp("s", pick_op(op_pick), STR_POOL[filter % STR_POOL.len()])
+                .build()
+        } else {
+            QueryBuilder::from_tables(["B"]).build()
+        };
+        let q = QueryBuilder::from_tables(["A"]).is_in("s", "s", sub).build();
+        let policy = pick_policy(pick, pct);
+        let fast = run_pipeline(&db, t, &resolver, q.condition.as_ref(), &policy);
+        let slow = run_pipeline_scalar(&db, t, &resolver, q.condition.as_ref(), &policy);
+        match (fast, slow) {
+            (Ok(fast), Ok(slow)) => {
+                let diff = first_divergence(&fast, &slow, &policy);
+                prop_assert!(diff.is_none(), "{} under {:?}", diff.unwrap(), policy);
+            }
+            (Err(_), Err(_)) => {}
+            (f, s) => prop_assert!(false, "one mode errored: {f:?} vs {s:?}"),
+        }
+    }
+
+    /// Connections over a cross-product base relation now stream (the
+    /// `Connection` stream kind evaluates the same per-row closures the
+    /// materialized path uses): Auto-streaming, materialized and
+    /// partitioned outputs are all bit-identical to the scalar
+    /// reference for equi- and non-equijoins on NULL/NaN-bearing
+    /// columns.
+    #[test]
+    fn streamed_connections_match_scalar_reference(
+        left in prop::collection::vec((-1e3f64..1e3, 0u8..8), 1..16),
+        right in prop::collection::vec((-1e3f64..1e3, 0u8..8), 1..16),
+        threshold in -1e3f64..1e3,
+        non_equi in 0u8..2,
+        op_pick in 0usize..6,
+        pct in 1.0f64..100.0,
+        pick in 0usize..4,
+    ) {
+        let mk = |name: &str, col: &str, rows: &[(f64, u8)]| {
+            let mut t = TableBuilder::new(name, vec![Column::new(col, DataType::Float)]);
+            for &(v, tag) in rows {
+                let x = match tag {
+                    0 => Value::Null,
+                    1 => Value::Float(f64::NAN),
+                    _ => Value::Float(v),
+                };
+                t = t.row(vec![x]).unwrap();
+            }
+            t.build()
+        };
+        let mut db = Database::new("d");
+        db.add_table(mk("L", "a", &left));
+        db.add_table(mk("R", "b", &right));
+        let cross = db.table("L").unwrap().cross_product(db.table("R").unwrap(), "LxR");
+        let resolver = DistanceResolver::new();
+        let kind = if non_equi == 1 {
+            ConnectionKind::NonEqui {
+                left: AttrRef::new("a"),
+                op: pick_op(op_pick),
+                right: AttrRef::new("b"),
+            }
+        } else {
+            ConnectionKind::Equi { left: AttrRef::new("a"), right: AttrRef::new("b") }
+        };
+        let def = ConnectionDef {
+            name: "joins".into(),
+            left_table: "L".into(),
+            right_table: "R".into(),
+            kind,
+        };
+        let u = def.instantiate(vec![]).unwrap();
+        let q = QueryBuilder::from_tables(["L", "R"])
+            .cmp("a", CompareOp::Ge, threshold)
+            .connect(u)
+            .build();
+        let policy = pick_policy(pick, pct);
+        let slow = run_pipeline_scalar(&db, &cross, &resolver, q.condition.as_ref(), &policy);
+        let stream = run_pipeline(&db, &cross, &resolver, q.condition.as_ref(), &policy);
+        match (stream, slow) {
+            (Ok(stream), Ok(slow)) => {
+                let diff = first_divergence(&stream, &slow, &policy);
+                prop_assert!(diff.is_none(), "streaming: {} under {:?}", diff.unwrap(), policy);
+                let mat = run_pipeline_opts(
+                    &db, &cross, &resolver, q.condition.as_ref(), &policy,
+                    PipelineOptions {
+                        materialization: Materialization::Materialized,
+                        ..Default::default()
+                    },
+                ).unwrap();
+                let diff = first_divergence(&mat, &slow, &policy);
+                prop_assert!(diff.is_none(), "materialized: {} under {:?}", diff.unwrap(), policy);
+                for parts in [2usize, 5] {
+                    let part = run_pipeline_partitioned(
+                        &db, &cross, &resolver, q.condition.as_ref(), &policy, parts).unwrap();
+                    let diff = first_divergence(&part, &slow, &policy);
+                    prop_assert!(
+                        diff.is_none(),
+                        "partitioned({}): {} under {:?}", parts, diff.unwrap(), policy
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (f, s) => prop_assert!(false, "one mode errored: {f:?} vs {s:?}"),
+        }
+    }
+}
