@@ -25,5 +25,8 @@ pub mod sliders;
 
 pub use joins::{materialize_base, JoinOptions};
 pub use render::{render_session, RenderOptions};
-pub use session::{projection_key, DrilldownView, Session, SessionResult, SliderDrag};
+pub use session::{
+    parse_projection_key, projection_key, BandRebase, DrilldownView, Session, SessionResult,
+    SliderDrag,
+};
 pub use sliders::{OverallPanel, Panel, SliderModel};

@@ -95,6 +95,42 @@ pub fn projection_key(scope: &str, table: &str, rows: usize, column: &str) -> St
     )
 }
 
+/// Inverse of [`projection_key`]: recover `(scope, table, rows, column)`
+/// from a stored key, or `None` for byte sequences that are not
+/// well-formed keys. The serving layer uses this to migrate shared
+/// projections across dataset appends — matching entries of the old
+/// generation are re-keyed (and merged) instead of rebuilt.
+pub fn parse_projection_key(key: &str) -> Option<(&str, &str, usize, &str)> {
+    fn framed(s: &str) -> Option<(&str, &str)> {
+        let (len, rest) = s.split_once(':')?;
+        let len: usize = len.parse().ok()?;
+        if !rest.is_char_boundary(len) {
+            return None;
+        }
+        Some(rest.split_at(len))
+    }
+    let (scope, rest) = framed(key)?;
+    let (table, rest) = framed(rest)?;
+    let (rows, col_frame) = rest.split_once(';')?;
+    let rows: usize = rows.parse().ok()?;
+    let (column, tail) = framed(col_frame)?;
+    tail.is_empty().then_some((scope, table, rows, column))
+}
+
+/// How [`Session::rebase`] handled the slider index across a dataset
+/// append (the serving layer's `delta.bands_*` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandRebase {
+    /// No slider index existed; nothing to carry over.
+    None,
+    /// The index was carried to the new generation and its §6 candidate
+    /// band repaired by examining only the appended rows.
+    Repaired,
+    /// The index could not be carried over and was dropped (it is
+    /// rebuilt lazily on the next drag).
+    Dropped,
+}
+
 /// A drill-down view of one query part (§4.4: double-clicking a boolean
 /// operator opens a visualization window for that subtree).
 #[derive(Debug, Clone)]
@@ -221,6 +257,78 @@ impl Session {
         cache: Arc<dyn ProjectionSource>,
     ) {
         self.shared_projections = Some((scope.into(), cache));
+    }
+
+    /// Move this session onto a new generation of its dataset after an
+    /// **append** (`db` must hold the same tables with the old rows
+    /// unchanged and new rows only at the end — the delta-generation
+    /// contract of `visdb-service`). O(Δ) in the appended rows:
+    ///
+    /// * the shared-cache scopes are re-pointed at the new generation
+    ///   (the serving layer migrates the caches themselves first);
+    /// * the cached [`SessionResult`] is invalidated — displayed sets
+    ///   and normalizations may legitimately change under new data;
+    /// * the slider index's sorted projection is swapped for the new
+    ///   generation's (shared-cache hit, or an O(Δ log Δ + n) local
+    ///   [`SortedProjection::extended`] merge) and its §6 candidate band
+    ///   repaired in place via [`IncrementalCache::rebase`], examining
+    ///   only rows `old_n..new_n`.
+    pub fn rebase(&mut self, db: Arc<Database>, scope: impl Into<String>) -> BandRebase {
+        let scope = scope.into();
+        self.db = db;
+        // the per-session window cache fingerprints (table, rows,
+        // budget) and would miss anyway; drop it eagerly so no code
+        // path can ever consult pre-append entries
+        self.pipeline_cache.invalidate();
+        self.invalidate();
+        if let Some((s, _)) = &mut self.shared_windows {
+            s.clone_from(&scope);
+        }
+        let outcome = match self.slider_index.take() {
+            None => BandRebase::None,
+            Some(mut si) => {
+                let carried = (|| {
+                    let table = self.db.table(&si.table).ok()?;
+                    let n2 = table.len();
+                    if n2 < si.rows {
+                        return None; // shrank: not an append
+                    }
+                    let proj: Arc<SortedProjection> = match &self.shared_projections {
+                        Some((_, shared)) => {
+                            let key = projection_key(&scope, &si.table, n2, &si.column);
+                            match shared.lookup(&key) {
+                                Some(p) => p,
+                                None => {
+                                    let col = table.column_by_name(&si.column).ok()?;
+                                    let p =
+                                        Arc::new(si.cache.index().extended(n2, |i| col.get_f64(i)));
+                                    shared.store(key, Arc::clone(&p));
+                                    p
+                                }
+                            }
+                        }
+                        None => {
+                            let col = table.column_by_name(&si.column).ok()?;
+                            Arc::new(si.cache.index().extended(n2, |i| col.get_f64(i)))
+                        }
+                    };
+                    si.cache.rebase(proj, si.rows, n2);
+                    si.rows = n2;
+                    Some(())
+                })();
+                match carried {
+                    Some(()) => {
+                        self.slider_index = Some(si);
+                        BandRebase::Repaired
+                    }
+                    None => BandRebase::Dropped,
+                }
+            }
+        };
+        if let Some((s, _)) = &mut self.shared_projections {
+            *s = scope;
+        }
+        outcome
     }
 
     /// Run the pipeline over `parts` horizontal partitions of the base
@@ -1678,6 +1786,75 @@ mod tests {
             s
         };
         assert_drag_matches_full(make_gap, &[ge(240.0)], false);
+    }
+
+    #[test]
+    fn projection_key_round_trips() {
+        // field values chosen to collide with the framing bytes — the
+        // length prefixes must keep them apart
+        let key = projection_key("ds#3.1", "T:9", 42, "x;y");
+        assert_eq!(
+            parse_projection_key(&key),
+            Some(("ds#3.1", "T:9", 42, "x;y"))
+        );
+        assert_eq!(parse_projection_key(""), None);
+        assert_eq!(parse_projection_key("garbage"), None);
+        assert_eq!(parse_projection_key("2:ab"), None);
+        assert_eq!(parse_projection_key(&format!("{key}!")), None);
+    }
+
+    #[test]
+    fn rebase_extends_the_slider_index_across_appends() {
+        let mut s = session_with_ramp(2000);
+        s.set_display_policy(DisplayPolicy::Percentage(2.0))
+            .unwrap();
+        s.set_query(
+            QueryBuilder::from_tables(["T"])
+                .cmp("x", CompareOp::Ge, 1500.0)
+                .build(),
+        )
+        .unwrap();
+        // warm the slider index and its candidate band
+        assert!(s.drag_slider(0, ge(1500.0)).unwrap().incremental);
+        assert!(s.drag_slider(0, ge(1510.0)).unwrap().incremental);
+        // new generation: same rows plus an appended tail
+        let mut b = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+        for i in 0..2100 {
+            b = b.row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        let mut db2 = Database::new("d");
+        db2.add_table(b.build());
+        let db2 = Arc::new(db2);
+        assert_eq!(
+            s.rebase(Arc::clone(&db2), "gen2"),
+            BandRebase::Repaired,
+            "index carried over by local projection extension"
+        );
+        let d = s.drag_slider(0, ge(1520.0)).unwrap();
+        assert!(d.incremental, "repaired band keeps the fast path");
+        // bit-identical to a fresh session over the appended data
+        let mut fresh = Session::new(db2, ConnectionRegistry::new());
+        fresh
+            .set_display_policy(DisplayPolicy::Percentage(2.0))
+            .unwrap();
+        fresh
+            .set_query(
+                QueryBuilder::from_tables(["T"])
+                    .cmp("x", CompareOp::Ge, 1510.0)
+                    .build(),
+            )
+            .unwrap();
+        let f = fresh.drag_slider(0, ge(1520.0)).unwrap();
+        assert_eq!(d.num_exact, f.num_exact);
+        assert_eq!(d.displayed, f.displayed);
+        assert_eq!(d.norm_params, f.norm_params);
+    }
+
+    #[test]
+    fn rebase_without_a_slider_index_reports_none() {
+        let mut s = session_with_ramp(10);
+        let db = s.shared_db();
+        assert_eq!(s.rebase(db, "gen2"), BandRebase::None);
     }
 
     #[test]

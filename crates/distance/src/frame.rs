@@ -325,6 +325,25 @@ impl DistanceFrame {
         out
     }
 
+    /// Concatenate: rows of `self` followed by rows of `tail`, as one
+    /// new frame. Two buffer memcpys — including the canonical values of
+    /// undefined slots, so a concat of bit-identical inputs is
+    /// bit-identical to a from-scratch build over the combined rows. The
+    /// append path extends cached window frames with delta evaluations
+    /// this way.
+    pub fn concat(&self, tail: &Self) -> Self {
+        let mut values = Vec::with_capacity(self.len() + tail.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&tail.values);
+        let mut bits = Vec::with_capacity(self.len() + tail.len());
+        bits.extend_from_slice(&self.validity.bits);
+        bits.extend_from_slice(&tail.validity.bits);
+        DistanceFrame {
+            values,
+            validity: Bitmap { bits },
+        }
+    }
+
     /// Bitwise row equality: like `==` but NaN distances compare equal
     /// when their bit patterns match. This is the equality the
     /// bit-identity property tests assert on NaN-heavy columns (IEEE

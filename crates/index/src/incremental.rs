@@ -76,6 +76,29 @@ impl<I: RangeIndex + PointAccess> IncrementalCache<I> {
         self.candidates.clear();
     }
 
+    /// Swap in an index over an *appended* relation — rows `0..old_rows`
+    /// must be unchanged, rows `old_rows..new_rows` are new — and
+    /// **repair** the cached candidate band instead of dropping it: each
+    /// appended row whose point lies inside the cached expanded box
+    /// joins the candidate set. This preserves the §6 invariant
+    /// (candidates = every row inside the cached box) exactly, so
+    /// contained queries keep answering from the band; appended ids
+    /// exceed every existing id, so pushing keeps the candidates' row
+    /// order. Returns `true` when a cached band existed and was
+    /// repaired, `false` when there was nothing to repair.
+    pub fn rebase(&mut self, index: I, old_rows: usize, new_rows: usize) -> bool {
+        self.index = index;
+        let Some((lo, hi)) = self.cached_box.clone() else {
+            return false;
+        };
+        for i in old_rows..new_rows {
+            if self.point_in(i, &lo, &hi) {
+                self.candidates.push(i);
+            }
+        }
+        true
+    }
+
     fn contained(&self, low: &[f64], high: &[f64]) -> bool {
         match &self.cached_box {
             Some((clo, chi)) => {
@@ -252,5 +275,49 @@ mod tests {
     #[test]
     fn hit_rate_empty() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn rebase_repairs_the_band_for_appended_rows() {
+        use crate::SortedProjection;
+        let old_vals: Vec<Option<f64>> = (0..200).map(|i| Some((i % 50) as f64)).collect();
+        let mut all_vals = old_vals.clone();
+        // delta straddles the band: some rows inside the cached box, some
+        // outside, one NULL and one NaN
+        all_vals.extend([
+            Some(25.0),
+            Some(49.0),
+            Some(10.0),
+            None,
+            Some(f64::NAN),
+            Some(30.5),
+        ]);
+        let old = SortedProjection::build(old_vals.len(), |i| old_vals[i]);
+        let new = old.extended(all_vals.len(), |i| all_vals[i]);
+        let direct = SortedProjection::build(all_vals.len(), |i| all_vals[i]);
+
+        let mut cache = IncrementalCache::new(old, 0.25);
+        cache.range_query(&[20.0], &[40.0]).unwrap();
+        assert!(cache.rebase(new, old_vals.len(), all_vals.len()));
+        // contained queries after the rebase see the appended rows and
+        // match a from-scratch index exactly
+        for (lo, hi) in [(20.0, 40.0), (24.0, 31.0), (25.0, 25.0)] {
+            let got = cache.range_query(&[lo], &[hi]).unwrap();
+            let expect = direct.range_query(&[lo], &[hi]).unwrap();
+            assert_eq!(got, expect, "[{lo}, {hi}]");
+        }
+        assert_eq!(cache.stats().misses, 1, "repairs never re-query");
+        assert_eq!(cache.stats().hits, 3);
+
+        // no cached band -> nothing to repair
+        let mut cold = IncrementalCache::new(
+            SortedProjection::build(old_vals.len(), |i| old_vals[i]),
+            0.25,
+        );
+        assert!(!cold.rebase(
+            SortedProjection::build(all_vals.len(), |i| all_vals[i]),
+            old_vals.len(),
+            all_vals.len(),
+        ));
     }
 }

@@ -74,6 +74,65 @@ impl SortedProjection {
         }
     }
 
+    /// Extend to a relation grown to `new_rows` rows by merging the
+    /// appended rows' sorted permutation into the existing one: O(Δ log Δ)
+    /// to sort the delta plus an O(n + Δ) merge that gallops over old
+    /// runs (so small deltas approach O(Δ log n) comparisons), instead of
+    /// the O(n log n) re-sort of [`SortedProjection::build`]. The result
+    /// is **identical** to building from scratch: the merge compares with
+    /// the same total order as the sort, and delta row ids exceed every
+    /// existing id, so equal values land after their old run exactly as
+    /// the `(value, row)` tiebreak would place them.
+    pub fn extended(&self, new_rows: usize, get: impl Fn(usize) -> Option<f64>) -> Self {
+        assert!(
+            new_rows >= self.rows,
+            "extension must not shrink the relation"
+        );
+        assert!(
+            u32::try_from(new_rows).is_ok(),
+            "projection rows exceed u32"
+        );
+        let mut coords = self.coords.clone();
+        coords.resize(new_rows, f64::NAN);
+        let mut finite = self.finite;
+        let mut delta: Vec<u32> = Vec::new();
+        for (i, slot) in coords.iter_mut().enumerate().skip(self.rows) {
+            if let Some(v) = get(i) {
+                if !v.is_nan() {
+                    *slot = v;
+                    delta.push(i as u32);
+                    finite &= v.is_finite();
+                }
+            }
+        }
+        delta.sort_unstable_by(|&a, &b| {
+            coords[a as usize]
+                .total_cmp(&coords[b as usize])
+                .then(a.cmp(&b))
+        });
+        let mut perm = Vec::with_capacity(self.perm.len() + delta.len());
+        let mut sorted = Vec::with_capacity(self.sorted.len() + delta.len());
+        let mut src = 0;
+        for &d in &delta {
+            let v = coords[d as usize];
+            let cut = src + gallop_le(&self.sorted[src..], v);
+            perm.extend_from_slice(&self.perm[src..cut]);
+            sorted.extend_from_slice(&self.sorted[src..cut]);
+            perm.push(d);
+            sorted.push(v);
+            src = cut;
+        }
+        perm.extend_from_slice(&self.perm[src..]);
+        sorted.extend_from_slice(&self.sorted[src..]);
+        SortedProjection {
+            rows: new_rows,
+            coords,
+            perm,
+            sorted,
+            finite,
+        }
+    }
+
     /// Total rows of the underlying relation.
     pub fn rows(&self) -> usize {
         self.rows
@@ -135,6 +194,23 @@ impl SortedProjection {
             hi: start,
         }
     }
+}
+
+/// Count of leading values at most `v` under [`f64::total_cmp`] — the
+/// merge's run length — found by exponential probing plus a binary
+/// search of the final doubling window, so a run of length r costs
+/// O(log r) comparisons rather than O(log n). NaN sorts greatest under
+/// the total order, so the plain `partition_point` contract holds even
+/// though excluded rows never reach the sorted vector.
+fn gallop_le(sorted: &[f64], v: f64) -> usize {
+    let le = |x: &f64| x.total_cmp(&v) != std::cmp::Ordering::Greater;
+    let mut bound = 1;
+    while bound <= sorted.len() && le(&sorted[bound - 1]) {
+        bound *= 2;
+    }
+    let lo = bound / 2;
+    let hi = bound.min(sorted.len()).max(lo);
+    lo + sorted[lo..hi].partition_point(le)
 }
 
 /// See [`SortedProjection::sweep_from`].
@@ -285,6 +361,50 @@ mod tests {
                 .filter(|&i| matches!(values[i], Some(v) if v >= lo && v <= hi))
                 .collect();
             assert_eq!(got, expect, "[{lo}, {hi}]");
+        }
+    }
+
+    fn assert_same(a: &SortedProjection, b: &SortedProjection) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.defined(), b.defined());
+        assert_eq!(a.is_fully_finite(), b.is_fully_finite());
+        for j in 0..a.defined() {
+            assert_eq!(a.row_at(j), b.row_at(j), "perm diverges at {j}");
+            assert_eq!(
+                a.value_at(j).to_bits(),
+                b.value_at(j).to_bits(),
+                "sorted value diverges at {j}"
+            );
+        }
+        for i in 0..a.rows() {
+            assert_eq!(a.coord(i).to_bits(), b.coord(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn extended_matches_build_from_scratch() {
+        // adversarial delta content: NULLs, NaN, ±inf, ±0.0, heavy
+        // duplicates of values already present in the base
+        let val = |i: usize| -> Option<f64> {
+            match i % 9 {
+                0 => None,
+                1 => Some(f64::NAN),
+                2 => Some(f64::INFINITY),
+                3 => Some(f64::NEG_INFINITY),
+                4 => Some(0.0),
+                5 => Some(-0.0),
+                _ => Some(((i * 37) % 13) as f64),
+            }
+        };
+        for (base, delta) in [(0, 5), (1, 1), (200, 0), (200, 7), (50, 300), (97, 13)] {
+            let built = SortedProjection::build(base + delta, val);
+            let ext = SortedProjection::build(base, val).extended(base + delta, val);
+            assert_same(&ext, &built);
+            // chains of extensions behave like one big one
+            let chained = SortedProjection::build(base, val)
+                .extended(base + delta / 2, val)
+                .extended(base + delta, val);
+            assert_same(&chained, &built);
         }
     }
 

@@ -22,6 +22,7 @@ use visdb_query::connection::{ConnectionKind, ConnectionUse};
 use visdb_storage::Table;
 use visdb_types::Value;
 
+use crate::extend::WindowRecipe;
 use crate::pipeline::PredicateWindow;
 
 /// A cache of evaluated predicate windows shared *across* sessions (and
@@ -42,8 +43,11 @@ use crate::pipeline::PredicateWindow;
 pub trait WindowSource: Send + Sync {
     /// Return a previously stored window for this exact key, if any.
     fn lookup(&self, key: &str) -> Option<PredicateWindow>;
-    /// Store a freshly evaluated window under its key.
-    fn store(&self, key: String, window: PredicateWindow);
+    /// Store a freshly evaluated window under its key. `recipe` is
+    /// present when the window can be *extended* across data appends
+    /// (see [`crate::extend`]); implementations that support the append
+    /// path keep it alongside the window, others may ignore it.
+    fn store(&self, key: String, window: PredicateWindow, recipe: Option<WindowRecipe>);
 }
 
 /// The exact cache key of one predicate-window evaluation: dataset scope

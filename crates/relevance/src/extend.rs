@@ -1,0 +1,294 @@
+//! Extending cached predicate windows across *data* appends — the §6
+//! reuse principle ("retrieve only the additional portion") applied to
+//! data change instead of query change.
+//!
+//! A stored window can be extended when its per-row distances are a pure
+//! function of each row's own value: then the appended rows can be
+//! evaluated alone through the same branchless kernels, their fused
+//! stats merged into the cached stats exactly (the merge is
+//! order-independent), and the frames grown by two memcpys. The one
+//! global coupling is the §5.2 weight-proportional normalization fit: if
+//! the appended rows shift the fitted `(dmin, dmax)` — say a new
+//! farthest outlier — the normalization of *old* rows would change, so
+//! the extension **declines** and the caller falls back to a full
+//! re-evaluation. That decline is what keeps append-then-query
+//! bit-identical to rebuild-from-scratch.
+
+use std::sync::Arc;
+
+use visdb_distance::frame::FrameStats;
+use visdb_distance::registry::{ColumnDistance, DistanceResolver};
+use visdb_query::ast::{ConditionNode, Weighted};
+use visdb_storage::{Database, Table};
+
+use crate::eval::{EvalContext, ExecMode};
+use crate::normalize::{apply_frame, fit_frame, fit_frame_extended};
+use crate::pipeline::{PredicateWindow, WindowData};
+
+/// Everything needed to grow one stored window by appended rows: the
+/// evaluation inputs (condition subtree, weight, display budget) plus
+/// the cached frame's fused [`FrameStats`], so the incremental fit
+/// decision never re-walks old rows.
+#[derive(Debug, Clone)]
+pub struct WindowRecipe {
+    /// Base relation the window was evaluated over.
+    pub table: String,
+    /// Row count at evaluation time.
+    pub rows: usize,
+    /// Display budget the normalization was fitted with.
+    pub budget: usize,
+    /// Window weight (a §5.2 fit input).
+    pub weight: f64,
+    /// The condition subtree (a single extendable predicate).
+    pub node: ConditionNode,
+    /// Fused stats of the stored raw frame.
+    pub stats: FrameStats,
+}
+
+/// Build the append-extension recipe for a freshly evaluated window, or
+/// `None` for shapes that cannot be extended row-locally:
+///
+/// * only bare `Predicate` leaves qualify — connections and subqueries
+///   evaluate against *other* relations, and `And`/`Or`/`Not` interiors
+///   re-normalize with child fits over the full distribution;
+/// * the predicate's column must resolve to [`ColumnDistance::Numeric`]:
+///   string/ordinal distances run through column-level artifacts
+///   (dictionaries, rank tables) that appends reshape, so a delta-only
+///   evaluation is not guaranteed to reproduce the full-column pass.
+///
+/// The recipe's stats come from the evaluation's own fused accumulation
+/// — no extra walk.
+pub fn extension_recipe(
+    ctx: &EvalContext<'_>,
+    w: &Weighted,
+    stats: FrameStats,
+) -> Option<WindowRecipe> {
+    let ConditionNode::Predicate(p) = &w.node else {
+        return None;
+    };
+    let (_, dt, class, _) = ctx.column(&p.attr).ok()?;
+    if !matches!(
+        ctx.distance_for(&p.attr, dt, class),
+        ColumnDistance::Numeric
+    ) {
+        return None;
+    }
+    Some(WindowRecipe {
+        table: ctx.table.name().to_string(),
+        rows: ctx.table.len(),
+        budget: ctx.display_budget,
+        weight: w.weight,
+        node: w.node.clone(),
+        stats,
+    })
+}
+
+/// Grow a stored window by the appended rows of `delta` (a sub-table
+/// holding **only** rows `recipe.rows..`): evaluate the delta through
+/// the standard kernels, merge stats, refit, and — iff the fitted
+/// normalization parameters are unchanged — append the delta's raw and
+/// normalized distances to the cached frames. Returns the extended
+/// window plus its updated recipe, or `None` when the fit shifted (or
+/// the delta fails to evaluate), in which case the caller must drop the
+/// entry and let the next query re-evaluate in full.
+///
+/// Shared caches only ever hold default-resolver evaluations (sessions
+/// with custom resolvers detach from them), so the delta pass uses a
+/// default [`DistanceResolver`].
+pub fn extend_window(
+    db: &Database,
+    delta: &Table,
+    win: &PredicateWindow,
+    recipe: &WindowRecipe,
+) -> Option<(PredicateWindow, WindowRecipe)> {
+    let (raw, normalized) = win.full_frames()?;
+    let resolver = DistanceResolver::new();
+    let ctx = EvalContext {
+        db,
+        table: delta,
+        resolver: &resolver,
+        display_budget: recipe.budget,
+        mode: ExecMode::Vectorized,
+        partitions: None,
+    };
+    let dev = ctx.eval_node(&recipe.node).ok()?;
+    let mut merged = recipe.stats;
+    merged.merge(&dev.stats);
+    // refit in O(Δ) when the old k-th order statistic provably still
+    // governs; fall back to the full selection over the concatenated
+    // frame when the delta may have displaced it (bit-identical both
+    // ways — the fast path only fires when the answer is forced)
+    let (params, ext_raw) = match fit_frame_extended(
+        recipe.rows,
+        &recipe.stats,
+        win.norm_params,
+        &dev.distances,
+        &merged,
+        recipe.weight,
+        recipe.budget,
+    ) {
+        Some(params) => (params, None),
+        None => {
+            let ext_raw = raw.concat(&dev.distances);
+            let params = fit_frame(&ext_raw, &merged, recipe.weight, recipe.budget);
+            (params, Some(ext_raw))
+        }
+    };
+    if params != win.norm_params {
+        return None; // fit shifted: old rows' normalization would change
+    }
+    let ext_raw = ext_raw.unwrap_or_else(|| raw.concat(&dev.distances));
+    let ext_norm = normalized.concat(&apply_frame(&dev.distances, params));
+    let extended = PredicateWindow {
+        label: win.label.clone(),
+        signed: win.signed,
+        weight: win.weight,
+        data: WindowData::Full {
+            raw: Arc::new(ext_raw),
+            normalized: Arc::new(ext_norm),
+        },
+        norm_params: params,
+    };
+    let recipe = WindowRecipe {
+        rows: recipe.rows + delta.len(),
+        stats: merged,
+        node: recipe.node.clone(),
+        table: recipe.table.clone(),
+        budget: recipe.budget,
+        weight: recipe.weight,
+    };
+    Some((extended, recipe))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_pipeline_opts, DisplayPolicy, Materialization, PipelineOptions};
+    use visdb_query::ast::{AttrRef, CompareOp, Predicate};
+    use visdb_storage::{Database, TableBuilder};
+    use visdb_types::{Column, DataType, Value};
+
+    fn db_with(values: &[Option<f64>]) -> Database {
+        let mut b = TableBuilder::new(
+            "T",
+            vec![
+                Column::new("x", DataType::Float),
+                Column::new("s", DataType::Str),
+            ],
+        );
+        for (i, v) in values.iter().enumerate() {
+            let x = v.map_or(Value::Null, Value::Float);
+            b = b.row(vec![x, Value::from(format!("s{}", i % 3))]).unwrap();
+        }
+        let mut db = Database::new("d");
+        db.add_table(b.build());
+        db
+    }
+
+    fn window_for(db: &Database, node: &ConditionNode, budget: usize) -> PredicateWindow {
+        let table = db.table("T").unwrap();
+        let resolver = DistanceResolver::new();
+        let out = run_pipeline_opts(
+            db,
+            table,
+            &resolver,
+            Some(&Weighted::unit(node.clone())),
+            &DisplayPolicy::FitScreen {
+                pixels: budget,
+                pixels_per_item: 1,
+            },
+            PipelineOptions {
+                materialization: Materialization::Materialized,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        out.windows.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn extension_matches_full_reevaluation_or_declines() {
+        let node =
+            ConditionNode::Predicate(Predicate::compare(AttrRef::new("x"), CompareOp::Ge, 1000.0));
+        // distinct ramp -> distinct |d|, so the k-th order statistic is
+        // unambiguous; NULLs and NaNs ride along
+        let base: Vec<Option<f64>> = (0..64)
+            .map(|i| match i % 7 {
+                0 => None,
+                1 => Some(f64::NAN),
+                _ => Some(i as f64),
+            })
+            .collect();
+        // a delta far from the bound leaves the k smallest |d| (and so
+        // the fit) untouched -> extends; a delta row closer than the
+        // current k-th smallest shifts the fit -> must decline
+        for (delta_vals, expect_extend) in [
+            (vec![Some(5.5), None, Some(3.25)], true),
+            (vec![Some(999.0)], false),
+        ] {
+            let mut all = base.clone();
+            all.extend(delta_vals.iter().cloned());
+            let old_db = db_with(&base);
+            let new_db = db_with(&all);
+            let budget = 16;
+            let win = window_for(&old_db, &node, budget);
+            let (raw, _) = win.full_frames().unwrap();
+            let recipe = WindowRecipe {
+                table: "T".into(),
+                rows: base.len(),
+                budget,
+                weight: 1.0,
+                node: node.clone(),
+                stats: FrameStats::of_frame(raw),
+            };
+            let idx: Vec<usize> = (base.len()..all.len()).collect();
+            let delta = new_db.table("T").unwrap().gather("T", &idx);
+            match extend_window(&new_db, &delta, &win, &recipe) {
+                Some((ext, new_recipe)) => {
+                    assert!(expect_extend, "should have declined");
+                    let full = window_for(&new_db, &node, budget);
+                    let (eraw, enorm) = ext.full_frames().unwrap();
+                    let (fraw, fnorm) = full.full_frames().unwrap();
+                    assert!(eraw.bits_eq(fraw), "raw frames diverge");
+                    assert!(enorm.bits_eq(fnorm), "normalized frames diverge");
+                    assert_eq!(ext.norm_params, full.norm_params);
+                    assert_eq!(new_recipe.rows, all.len());
+                    assert_eq!(new_recipe.stats, FrameStats::of_frame(fraw));
+                }
+                None => assert!(!expect_extend, "should have extended"),
+            }
+        }
+    }
+
+    #[test]
+    fn recipes_are_numeric_predicate_leaves_only() {
+        let db = db_with(&[Some(1.0), Some(2.0)]);
+        let table = db.table("T").unwrap();
+        let resolver = DistanceResolver::new();
+        let ctx = EvalContext {
+            db: &db,
+            table,
+            resolver: &resolver,
+            display_budget: 8,
+            mode: ExecMode::Vectorized,
+            partitions: None,
+        };
+        let numeric = Weighted::unit(ConditionNode::Predicate(Predicate::compare(
+            AttrRef::new("x"),
+            CompareOp::Ge,
+            1.0,
+        )));
+        assert!(extension_recipe(&ctx, &numeric, FrameStats::default()).is_some());
+        let string = Weighted::unit(ConditionNode::Predicate(Predicate::compare(
+            AttrRef::new("s"),
+            CompareOp::Eq,
+            "s1",
+        )));
+        assert!(
+            extension_recipe(&ctx, &string, FrameStats::default()).is_none(),
+            "string distances are column-dependent"
+        );
+        let and = Weighted::unit(ConditionNode::And(vec![numeric.clone()]));
+        assert!(extension_recipe(&ctx, &and, FrameStats::default()).is_none());
+    }
+}

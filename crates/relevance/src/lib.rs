@@ -31,6 +31,7 @@ pub mod cache;
 pub mod chunk;
 pub mod combine;
 pub mod eval;
+pub mod extend;
 pub mod metric_combine;
 pub mod normalize;
 pub mod pipeline;
@@ -41,6 +42,7 @@ pub(crate) mod stream;
 pub use cache::{key_scope, window_key, PipelineCache, WindowSource};
 pub use combine::{combine_and_slices, combine_or_slices};
 pub use eval::{EvalContext, ExecMode, NodeEval};
+pub use extend::{extend_window, extension_recipe, WindowRecipe};
 pub use normalize::{
     apply_in_place, apply_slice, fit_frame, fit_improved, fit_k, normalize_frame,
     normalize_improved, normalize_naive, NormParams, NORM_MAX,

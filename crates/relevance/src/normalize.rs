@@ -180,6 +180,70 @@ pub fn fit_frame(
     params_from_max(dmax_of_prefix(&abs[..k]))
 }
 
+/// [`fit_frame`] of an appended frame *without the frame*: refit
+/// `old ++ delta` from the old fit, the old/merged fused stats, and the
+/// delta rows alone — O(Δ) instead of the O(n + Δ) selection.
+///
+/// The stats-only branches of [`fit_frame`] are replicated verbatim
+/// against the merged stats. The selection branch reuses the old
+/// result: when the same `k` governed the old fit, the old prefix was
+/// all-finite (so `old_params.dmax` *is* the k-th smallest absolute
+/// distance under `total_cmp`), and no appended defined `|d|` sorts
+/// strictly below it, the k smallest of the union are value-identical
+/// to the old prefix and the fit is unchanged. Returns `None` when the
+/// answer would depend on an order statistic the delta may have
+/// displaced — the caller must fall back to [`fit_frame`] over the
+/// concatenated frame (which stays bit-identical either way).
+pub fn fit_frame_extended(
+    old_len: usize,
+    old_stats: &FrameStats,
+    old_params: NormParams,
+    delta: &DistanceFrame,
+    merged: &FrameStats,
+    weight: f64,
+    display_budget: usize,
+) -> Option<NormParams> {
+    let new_len = old_len + delta.len();
+    let Some(k) = fit_k(new_len, weight, display_budget) else {
+        return Some(params_from_max(merged.max_abs));
+    };
+    if merged.defined == 0 {
+        return Some(params_from_max(f64::NEG_INFINITY));
+    }
+    let keff = k.min(merged.defined);
+    if keff == merged.defined {
+        return Some(params_from_max(merged.max_abs));
+    }
+    if merged.non_finite == 0 && merged.min_abs == merged.max_abs {
+        return Some(params_from_max(merged.max_abs));
+    }
+    // selection branch: reuse the old k-th order statistic iff it is
+    // provably still the k-th of the union
+    if fit_k(old_len, weight, display_budget) != Some(k) {
+        return None; // a different k governed the old fit
+    }
+    if k >= old_stats.defined || old_stats.defined - old_stats.non_finite < k {
+        // the old fit either covered every defined row (stats branch)
+        // or its prefix reached into non-finite values — in both cases
+        // old_params.dmax is not the k-th smallest
+        return None;
+    }
+    let kth = old_params.dmax;
+    if !kth.is_finite() {
+        return None;
+    }
+    let displaced = delta
+        .values()
+        .iter()
+        .zip(delta.validity().as_slice())
+        .any(|(&v, &ok)| ok && v.abs().total_cmp(&kth) == std::cmp::Ordering::Less);
+    if displaced {
+        None // a nearer appended row enters the prefix: fit shifts
+    } else {
+        Some(old_params)
+    }
+}
+
 /// [`normalize_improved`] over a packed frame: fit via [`fit_frame`],
 /// then apply in one walk over the 8-byte buffers. Undefined stays
 /// undefined.
@@ -337,6 +401,84 @@ pub fn normalize_improved(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Exhaustive cross of messy old/delta shapes: whenever the O(Δ)
+    /// incremental refit answers, it must agree bit-for-bit with
+    /// [`fit_frame`] over the concatenated frame — and it must actually
+    /// fire (not hide behind `None`) for the far-delta shape the append
+    /// fast path exists for.
+    #[test]
+    fn incremental_refit_matches_full_refit_when_it_answers() {
+        let olds: Vec<Vec<Option<f64>>> = vec![
+            (0..40).map(|i| Some(i as f64)).collect(),
+            (0..40)
+                .map(|i| match i % 5 {
+                    0 => None,
+                    1 => Some(f64::NAN),
+                    2 => Some(f64::INFINITY),
+                    _ => Some(i as f64 - 20.0),
+                })
+                .collect(),
+            vec![None; 10],
+            vec![Some(3.0); 12],
+            vec![Some(0.0); 12],
+            (0..6).map(|i| Some(i as f64)).collect(),
+        ];
+        let deltas: Vec<Vec<Option<f64>>> = vec![
+            vec![Some(1000.0), Some(-2000.0)],
+            vec![Some(0.5), None],
+            vec![Some(0.0)],
+            vec![Some(f64::NAN), Some(f64::NEG_INFINITY)],
+            vec![None, None, None],
+            (0..30).map(|i| Some(i as f64 / 7.0)).collect(),
+        ];
+        let mut fired = 0usize;
+        for old_vals in &olds {
+            for delta_vals in &deltas {
+                for budget in [1usize, 4, 16, 64] {
+                    for weight in [1.0f64, 0.3] {
+                        let old = DistanceFrame::from_options(old_vals);
+                        let old_stats = FrameStats::of_frame(&old);
+                        let old_params = fit_frame(&old, &old_stats, weight, budget);
+                        let delta = DistanceFrame::from_options(delta_vals);
+                        let mut merged = old_stats;
+                        merged.merge(&FrameStats::of_frame(&delta));
+                        let ext = old.concat(&delta);
+                        let full = fit_frame(&ext, &merged, weight, budget);
+                        if let Some(fast) = fit_frame_extended(
+                            old.len(),
+                            &old_stats,
+                            old_params,
+                            &delta,
+                            &merged,
+                            weight,
+                            budget,
+                        ) {
+                            fired += 1;
+                            assert_eq!(
+                                fast, full,
+                                "incremental refit diverged (old {old_vals:?}, \
+                                 delta {delta_vals:?}, budget {budget}, weight {weight})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(fired > 0, "the incremental refit never answered");
+        // the canonical append shape — a dense old frame and a delta of
+        // strictly farther rows — must take the O(Δ) path
+        let old: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64)).collect();
+        let old = DistanceFrame::from_options(&old);
+        let old_stats = FrameStats::of_frame(&old);
+        let old_params = fit_frame(&old, &old_stats, 1.0, 10);
+        let delta = DistanceFrame::from_options(&[Some(500.0), Some(-700.0)]);
+        let mut merged = old_stats;
+        merged.merge(&FrameStats::of_frame(&delta));
+        let fast = fit_frame_extended(old.len(), &old_stats, old_params, &delta, &merged, 1.0, 10)
+            .expect("far delta must refit incrementally");
+        assert_eq!(fast, old_params);
+    }
 
     #[test]
     fn naive_maps_to_fixed_range() {

@@ -34,7 +34,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use visdb_distance::frame::DistanceFrame;
+use visdb_distance::frame::{DistanceFrame, FrameStats};
 use visdb_distance::registry::DistanceResolver;
 use visdb_query::ast::{ConditionNode, Weighted};
 use visdb_storage::{Database, Partitioning, Table};
@@ -766,11 +766,16 @@ pub fn run_pipeline_opts(
     };
 
     // Freshly evaluated windows feed both cache layers (keys survive
-    // only for windows that were actually evaluated this run).
+    // only for windows that were actually evaluated this run). Windows
+    // whose shape supports it carry an extension recipe so the append
+    // path can grow them by delta rows instead of re-evaluating.
     if let Some(sh) = shared {
-        for (win, key) in windows.iter().zip(shared_keys) {
+        for ((win, key), w) in windows.iter().zip(shared_keys).zip(&top) {
             if let Some(key) = key {
-                sh.cache.store(key, win.clone());
+                let recipe = win.full_frames().and_then(|(raw, _)| {
+                    crate::extend::extension_recipe(&ctx, w, FrameStats::of_frame(raw))
+                });
+                sh.cache.store(key, win.clone(), recipe);
             }
         }
     }
@@ -2290,7 +2295,12 @@ mod tests {
                 }
                 got
             }
-            fn store(&self, key: String, window: PredicateWindow) {
+            fn store(
+                &self,
+                key: String,
+                window: PredicateWindow,
+                _recipe: Option<crate::extend::WindowRecipe>,
+            ) {
                 self.map.lock().unwrap().insert(key, window);
             }
         }

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use visdb_index::{ProjectionSource, SortedProjection};
 use visdb_obs::{Counter, Registry};
-use visdb_relevance::{PredicateWindow, WindowSource};
+use visdb_relevance::{PredicateWindow, WindowRecipe, WindowSource};
 
 use crate::api::Response;
 
@@ -185,6 +185,10 @@ impl QueryCache {
 
 struct WindowEntry {
     window: PredicateWindow,
+    /// The append-extension recipe captured at evaluation time (None for
+    /// window shapes that cannot be extended row-locally) — what lets a
+    /// dataset append *grow* this entry instead of dropping it.
+    recipe: Option<WindowRecipe>,
     rows: usize,
     last_used: u64,
 }
@@ -298,6 +302,32 @@ impl WindowCache {
         guard.total_rows -= dropped;
     }
 
+    /// Remove and return every entry belonging to dataset `name`, any
+    /// generation — the delta-append migration path: the service drains
+    /// the old generation's windows, extends the extendable ones with
+    /// the appended rows, and re-stores them under the new generation's
+    /// keys (see `Service::append_rows`).
+    pub fn drain_dataset(
+        &self,
+        name: &str,
+    ) -> Vec<(String, PredicateWindow, Option<WindowRecipe>)> {
+        let mut guard = self.lock();
+        let keys: Vec<String> = guard
+            .map
+            .keys()
+            .filter(|k| scope_is_dataset(k, name))
+            .cloned()
+            .collect();
+        let mut drained = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(entry) = guard.map.remove(&key) {
+                guard.total_rows -= entry.rows;
+                drained.push((key, entry.window, entry.recipe));
+            }
+        }
+        drained
+    }
+
     /// Hit/miss counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -339,7 +369,7 @@ impl WindowSource for WindowCache {
         }
     }
 
-    fn store(&self, key: String, window: PredicateWindow) {
+    fn store(&self, key: String, window: PredicateWindow, recipe: Option<WindowRecipe>) {
         if self.capacity == 0 {
             return;
         }
@@ -351,6 +381,7 @@ impl WindowSource for WindowCache {
             key,
             WindowEntry {
                 window,
+                recipe,
                 rows,
                 last_used: clock,
             },
@@ -472,6 +503,29 @@ impl ProjectionCache {
         guard.total_rows -= dropped;
     }
 
+    /// Remove and return every projection belonging to dataset `name`,
+    /// any generation — the delta-append migration path: the service
+    /// merges the appended rows into each drained build
+    /// ([`SortedProjection::extended`]) and re-stores it under the new
+    /// generation's key instead of paying a cold O(n log n) rebuild.
+    pub fn drain_dataset(&self, name: &str) -> Vec<(String, Arc<SortedProjection>)> {
+        let mut guard = self.lock();
+        let keys: Vec<String> = guard
+            .map
+            .keys()
+            .filter(|k| scope_is_dataset(k, name))
+            .cloned()
+            .collect();
+        let mut drained = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(entry) = guard.map.remove(&key) {
+                guard.total_rows -= entry.rows;
+                drained.push((key, entry.projection));
+            }
+        }
+        drained
+    }
+
     /// Hit/miss counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -583,10 +637,10 @@ mod tests {
     fn window_cache_hit_miss_and_lru() {
         let c = WindowCache::new(2);
         assert!(c.lookup("a").is_none());
-        c.store("a".into(), window(1.0));
-        c.store("b".into(), window(2.0));
+        c.store("a".into(), window(1.0), None);
+        c.store("b".into(), window(2.0), None);
         assert_eq!(c.lookup("a").unwrap().norm_params.dmax, 1.0);
-        c.store("c".into(), window(3.0)); // evicts b (LRU)
+        c.store("c".into(), window(3.0), None); // evicts b (LRU)
         assert_eq!(c.len(), 2);
         assert!(c.lookup("b").is_none());
         assert!(c.lookup("a").is_some());
@@ -603,20 +657,20 @@ mod tests {
         }
         // budget of 100 rows: two 60-row windows cannot coexist
         let c = WindowCache::with_row_budget(8, 100);
-        c.store("a".into(), wide(1.0, 60));
-        c.store("b".into(), wide(2.0, 60));
+        c.store("a".into(), wide(1.0, 60), None);
+        c.store("b".into(), wide(2.0, 60), None);
         assert_eq!(c.len(), 1);
         assert!(c.lookup("a").is_none(), "LRU evicted for the row budget");
         assert!(c.lookup("b").is_some());
         // a single over-budget window is still retained (degrades to
         // single-window reuse, never disables the cache)
-        c.store("huge".into(), wide(3.0, 1_000));
+        c.store("huge".into(), wide(3.0, 1_000), None);
         assert_eq!(c.len(), 1);
         assert!(c.lookup("huge").is_some());
         // small windows accumulate up to the entry cap as before
         let c = WindowCache::with_row_budget(3, 100);
         for (i, key) in ["a", "b", "c", "d"].iter().enumerate() {
-            c.store((*key).into(), wide(i as f64, 10));
+            c.store((*key).into(), wide(i as f64, 10), None);
         }
         assert_eq!(c.len(), 3);
         assert!(c.lookup("a").is_none());
@@ -631,15 +685,15 @@ mod tests {
     #[test]
     fn window_cache_dataset_invalidation_and_disable() {
         let c = WindowCache::new(8);
-        c.store(scoped_key("ramp#1", "k1"), window(1.0));
-        c.store(scoped_key("ramp#1", "k2"), window(2.0));
-        c.store(scoped_key("env#2", "k1"), window(3.0));
+        c.store(scoped_key("ramp#1", "k1"), window(1.0), None);
+        c.store(scoped_key("ramp#1", "k2"), window(2.0), None);
+        c.store(scoped_key("env#2", "k1"), window(3.0), None);
         // crafted dataset names are matched exactly, never by raw key
         // or scope prefix: a dataset literally named "ramp#1" (scope
         // "ramp#1#7") and one whose key merely *contains* the bytes
         // both survive dataset "ramp"'s invalidation
-        c.store(scoped_key("ramp#1#7", "k1"), window(4.0));
-        c.store(scoped_key("evil#3", "ramp#1suffix"), window(5.0));
+        c.store(scoped_key("ramp#1#7", "k1"), window(4.0), None);
+        c.store(scoped_key("evil#3", "ramp#1suffix"), window(5.0), None);
         c.invalidate_dataset("ramp");
         assert_eq!(c.len(), 3);
         assert!(c.lookup(&scoped_key("env#2", "k1")).is_some());
@@ -648,7 +702,7 @@ mod tests {
 
         let off = WindowCache::new(0);
         assert!(!off.is_enabled());
-        off.store("x".into(), window(1.0));
+        off.store("x".into(), window(1.0), None);
         assert!(off.is_empty());
         assert!(off.lookup("x").is_none());
     }

@@ -87,5 +87,7 @@ pub use api::{
 };
 pub use cache::{CacheStats, ProjectionCache, QueryCache, WindowCache};
 pub use manager::{SessionId, SessionManager, SessionOptions};
-pub use service::{PendingResponse, Service, ServiceConfig, ServiceTelemetry};
+pub use service::{
+    AppendOutcome, DatasetInfo, PendingResponse, Service, ServiceConfig, ServiceTelemetry,
+};
 pub use visdb_obs::{Registry, Snapshot};

@@ -203,6 +203,18 @@ impl SessionManager {
         Some(Arc::clone(&entry.slot))
     }
 
+    /// A snapshot of every live slot, for service-level maintenance
+    /// passes (the delta-append session rebase). Taken under the table
+    /// lock without touching recency; callers lock each slot's state
+    /// individually afterwards.
+    pub fn slots(&self) -> Vec<Arc<SessionSlot>> {
+        self.lock()
+            .entries
+            .values()
+            .map(|entry| Arc::clone(&entry.slot))
+            .collect()
+    }
+
     /// Drop a session explicitly. Returns whether it was present.
     pub fn remove(&self, id: SessionId) -> bool {
         let mut table = self.lock();

@@ -47,7 +47,7 @@ use crate::manager::SessionId;
 use crate::service::Service;
 use visdb_query::connection::ConnectionRegistry;
 use visdb_storage::{csv::read_csv_infer, Database};
-use visdb_types::Result;
+use visdb_types::{DataType, Result, Value};
 
 /// Process one protocol line against a service; always yields a response
 /// object (parse and execution errors become `"ok": false` replies).
@@ -126,6 +126,27 @@ fn dispatch(service: &Service, msg: &Json) -> Result<Json> {
                 ("columns", columns.into()),
             ]))
         }
+        "append_rows" => {
+            let dataset = msg.get("dataset").and_then(Json::as_str).ok_or_else(|| {
+                visdb_types::Error::invalid_parameter("dataset", "missing string field")
+            })?;
+            let table = msg.get("table").and_then(Json::as_str);
+            let rows = parse_rows(service, dataset, table, msg.get("rows"))?;
+            let outcome = service.append_rows(dataset, table, rows)?;
+            Ok(append_response(&outcome))
+        }
+        "append_csv" => {
+            let require = |field: &str| {
+                msg.get(field).and_then(Json::as_str).ok_or_else(|| {
+                    visdb_types::Error::invalid_parameter(field.to_string(), "missing string field")
+                })
+            };
+            let dataset = require("dataset")?;
+            let table = msg.get("table").and_then(Json::as_str);
+            let csv = require("csv")?;
+            let outcome = service.append_csv(dataset, table, csv)?;
+            Ok(append_response(&outcome))
+        }
         "stats" => {
             let t = service.telemetry();
             Ok(Json::obj([
@@ -145,6 +166,25 @@ fn dispatch(service: &Service, msg: &Json) -> Result<Json> {
                         ("hits", t.window_cache.hits.into()),
                         ("misses", t.window_cache.misses.into()),
                     ]),
+                ),
+                (
+                    "datasets",
+                    Json::Arr(
+                        service
+                            .dataset_info()
+                            .into_iter()
+                            .map(|d| {
+                                Json::obj([
+                                    ("name", d.name.as_str().into()),
+                                    ("rows", d.total_rows.into()),
+                                    ("base_gen", d.base_gen.into()),
+                                    ("chain_len", d.chain_len.into()),
+                                    ("delta_rows", d.delta_rows.into()),
+                                    ("compactions", d.compactions.into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
             ]))
         }
@@ -168,6 +208,85 @@ fn session_id(msg: &Json) -> Result<SessionId> {
         .and_then(Json::as_u64)
         .map(SessionId)
         .ok_or_else(|| visdb_types::Error::invalid_parameter("session", "missing integer field"))
+}
+
+/// Parse the `rows` field of an `append_rows` op — an array of arrays,
+/// one JSON value per schema column — into typed rows against the target
+/// table's existing schema.
+fn parse_rows(
+    service: &Service,
+    dataset: &str,
+    table: Option<&str>,
+    rows: Option<&Json>,
+) -> Result<Vec<visdb_storage::Row>> {
+    let Some(Json::Arr(rows)) = rows else {
+        return Err(visdb_types::Error::invalid_parameter(
+            "rows",
+            "missing array-of-arrays field",
+        ));
+    };
+    let (_, schema) = service.table_schema(dataset, table)?;
+    let types: Vec<DataType> = schema.columns().iter().map(|c| c.data_type).collect();
+    rows.iter()
+        .map(|row| {
+            let Json::Arr(cells) = row else {
+                return Err(visdb_types::Error::invalid_parameter(
+                    "rows",
+                    "each row must be an array",
+                ));
+            };
+            if cells.len() != types.len() {
+                return Err(visdb_types::Error::invalid_parameter(
+                    "rows",
+                    format!("expected {} cells, found {}", types.len(), cells.len()),
+                ));
+            }
+            cells
+                .iter()
+                .zip(&types)
+                .map(|(cell, dt)| json_cell(cell, *dt))
+                .collect()
+        })
+        .collect()
+}
+
+/// One JSON cell as a typed [`Value`]: `null` is NULL, numbers land in
+/// integer columns only when integral, and strings are parsed like CSV
+/// cells (so `"48.1;11.6"` is a Location).
+fn json_cell(v: &Json, dt: DataType) -> Result<Value> {
+    Ok(match (v, dt) {
+        (Json::Null, _) => Value::Null,
+        (Json::Bool(b), DataType::Bool) => Value::Bool(*b),
+        (Json::Num(n), DataType::Float | DataType::Unknown) => Value::Float(*n),
+        (Json::Num(n), DataType::Int) if n.fract() == 0.0 => Value::Int(*n as i64),
+        (Json::Num(n), DataType::Timestamp) if n.fract() == 0.0 => Value::Timestamp(*n as i64),
+        (Json::Str(s), _) => visdb_storage::csv::parse_cell(s, dt)?,
+        (other, dt) => {
+            return Err(visdb_types::Error::invalid_parameter(
+                "rows",
+                format!("cannot use {other} as {dt}"),
+            ))
+        }
+    })
+}
+
+/// The shared response shape of the two append ops.
+fn append_response(o: &crate::service::AppendOutcome) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("dataset", o.dataset.as_str().into()),
+        ("table", o.table.as_str().into()),
+        ("rows_appended", o.rows_appended.into()),
+        ("total_rows", o.total_rows.into()),
+        ("base_gen", o.base_gen.into()),
+        ("chain_len", o.chain_len.into()),
+        ("compacted", Json::Bool(o.compacted)),
+        ("windows_extended", o.windows_extended.into()),
+        ("windows_declined", o.windows_declined.into()),
+        ("projections_merged", o.projections_merged.into()),
+        ("bands_repaired", o.bands_repaired.into()),
+        ("bands_dropped", o.bands_dropped.into()),
+    ])
 }
 
 #[cfg(test)]
@@ -257,6 +376,81 @@ mod tests {
         assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
         let r = handle_line(&s, r#"{"op":"load_csv","csv":"a\n1\n"}"#);
         assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn append_ops_round_trip_and_stats_expose_the_chain() {
+        let s = service();
+        let r = handle_line(&s, r#"{"op":"create_session","dataset":"demo"}"#);
+        let session = r.get("session").unwrap().as_u64().unwrap();
+        let line = format!(
+            r#"{{"session":{session},"op":"set_query","text":"SELECT * FROM T WHERE x >= 40"}}"#
+        );
+        handle_line(&s, &line);
+        let line = format!(r#"{{"session":{session},"op":"summary"}}"#);
+        let r = handle_line(&s, &line);
+        assert_eq!(
+            r.get("summary").unwrap().get("exact").unwrap().as_u64(),
+            Some(10)
+        );
+
+        // headerless CSV delta against the registered schema
+        let r = handle_line(
+            &s,
+            r#"{"id":7,"op":"append_csv","dataset":"demo","csv":"50\n51\n52\n"}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+        assert_eq!(r.get("rows_appended").unwrap().as_u64(), Some(3));
+        assert_eq!(r.get("total_rows").unwrap().as_u64(), Some(53));
+        assert_eq!(r.get("chain_len").unwrap().as_u64(), Some(1));
+        assert_eq!(r.get("compacted"), Some(&Json::Bool(false)));
+
+        // JSON rows typed against the schema (x: Float)
+        let r = handle_line(
+            &s,
+            r#"{"op":"append_rows","dataset":"demo","table":"T","rows":[[53],[54.5]]}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+        assert_eq!(r.get("rows_appended").unwrap().as_u64(), Some(2));
+        assert_eq!(r.get("chain_len").unwrap().as_u64(), Some(2));
+
+        // the live session sees all 55 rows without re-registering
+        let line = format!(r#"{{"session":{session},"op":"summary"}}"#);
+        let r = handle_line(&s, &line);
+        let summary = r.get("summary").unwrap();
+        assert_eq!(summary.get("objects").unwrap().as_u64(), Some(55));
+        assert_eq!(summary.get("exact").unwrap().as_u64(), Some(15));
+
+        // stats report the delta chain per dataset
+        let r = handle_line(&s, r#"{"op":"stats"}"#);
+        let ds = match r.get("datasets").unwrap() {
+            Json::Arr(a) => &a[0],
+            other => panic!("expected array, got {other}"),
+        };
+        assert_eq!(ds.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(ds.get("rows").unwrap().as_u64(), Some(55));
+        assert_eq!(ds.get("chain_len").unwrap().as_u64(), Some(2));
+        assert_eq!(ds.get("delta_rows").unwrap().as_u64(), Some(5));
+
+        // malformed appends are error responses, not crashes
+        for line in [
+            r#"{"op":"append_rows","dataset":"demo","rows":[[1,2]]}"#,
+            r#"{"op":"append_rows","dataset":"demo","rows":"nope"}"#,
+            r#"{"op":"append_rows","dataset":"nope","rows":[[1]]}"#,
+            r#"{"op":"append_csv","dataset":"demo","csv":"not,a,row\n"}"#,
+            r#"{"op":"append_csv","dataset":"demo"}"#,
+        ] {
+            let r = handle_line(&s, line);
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "line: {line}");
+        }
+        // failed appends left the chain untouched
+        let r = handle_line(&s, r#"{"op":"stats"}"#);
+        let ds = match r.get("datasets").unwrap() {
+            Json::Arr(a) => &a[0],
+            other => panic!("expected array, got {other}"),
+        };
+        assert_eq!(ds.get("rows").unwrap().as_u64(), Some(55));
+        assert_eq!(ds.get("chain_len").unwrap().as_u64(), Some(2));
     }
 
     #[test]

@@ -34,11 +34,16 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver};
+use visdb_core::{parse_projection_key, projection_key, BandRebase};
 use visdb_exec::Runtime;
+use visdb_index::ProjectionSource;
 use visdb_obs::{Counter, Histogram, Registry, Snapshot};
 use visdb_query::connection::ConnectionRegistry;
-use visdb_relevance::{Materialization, PhaseTimings};
-use visdb_storage::Database;
+use visdb_relevance::{
+    extend_window, key_scope, window_key, Materialization, PhaseTimings, WindowSource,
+};
+use visdb_storage::csv::read_csv;
+use visdb_storage::{Database, DeltaChain, Row};
 use visdb_types::{Error, Result};
 
 use crate::api::{execute, Request, Response};
@@ -96,12 +101,23 @@ impl Default for ServiceConfig {
 struct Dataset {
     db: Arc<Database>,
     registry: ConnectionRegistry,
-    /// Cache scope: `name#generation`. Generations are unique per
-    /// service, so sessions created over a *replaced* dataset of the
-    /// same name can never share cache entries with sessions still
-    /// holding the old data (they keep their old scope).
+    /// Cache scope: `name#base_gen.chain_len` (the delta chain's tag).
+    /// Base generations are unique per service, so sessions created over
+    /// a *replaced* dataset of the same name can never share cache
+    /// entries with sessions still holding the old data; the chain
+    /// suffix rotates the scope on every append, which is what makes the
+    /// O(Δ) cache migration of [`Service::append_rows`] safe — stale
+    /// keys simply never match again.
     scope: String,
+    /// Append bookkeeping behind the scope tag: base generation,
+    /// per-append row watermarks, compaction count.
+    chain: DeltaChain,
 }
+
+/// Appends per dataset before the delta chain is folded into a new base
+/// generation (dropping — rather than migrating — the derived cache
+/// artifacts, so chains cannot grow without bound).
+const COMPACTION_THRESHOLD: usize = 8;
 
 /// A response that has been dispatched but not necessarily produced yet.
 pub struct PendingResponse {
@@ -128,8 +144,9 @@ pub(crate) struct ServiceObs {
     phases: [Arc<Histogram>; 4],
 }
 
-/// Every wire op, including the service-level `metrics`.
-const OPS: [&str; 10] = [
+/// Every wire op, including the service-level `metrics`, `append_rows`
+/// and `append_csv`.
+const OPS: [&str; 12] = [
     "ping",
     "set_query",
     "set_policy",
@@ -140,6 +157,8 @@ const OPS: [&str; 10] = [
     "summary",
     "render",
     "metrics",
+    "append_rows",
+    "append_csv",
 ];
 
 const PHASES: [&str; 4] = ["distance", "fit", "normalize_combine", "rank"];
@@ -267,7 +286,8 @@ impl Service {
         self.window_cache.invalidate_dataset(&name);
         self.projection_cache.invalidate_dataset(&name);
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
-        let scope = format!("{name}#{generation}");
+        let chain = DeltaChain::new(generation, db.total_rows());
+        let scope = format!("{name}#{}", chain.tag());
         self.datasets
             .lock()
             .expect("dataset registry poisoned")
@@ -277,6 +297,7 @@ impl Service {
                     db,
                     registry,
                     scope,
+                    chain,
                 },
             );
     }
@@ -415,24 +436,349 @@ impl Service {
         snapshot
     }
 
-    /// Shared query-result cache counters.
-    #[deprecated(note = "use Service::telemetry().query_cache")]
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+    /// Per-dataset delta-chain bookkeeping (the `stats` server op's
+    /// `datasets` section), sorted by name.
+    pub fn dataset_info(&self) -> Vec<DatasetInfo> {
+        let guard = self.datasets.lock().expect("dataset registry poisoned");
+        let mut infos: Vec<DatasetInfo> = guard
+            .iter()
+            .map(|(name, ds)| DatasetInfo {
+                name: name.clone(),
+                total_rows: ds.chain.total_rows(),
+                base_gen: ds.chain.base_gen(),
+                chain_len: ds.chain.chain_len(),
+                delta_rows: ds.chain.delta_rows(),
+                compactions: ds.chain.compactions(),
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
     }
 
-    /// Shared predicate-window cache counters (cross-session §6 reuse).
-    #[deprecated(note = "use Service::telemetry().window_cache")]
-    pub fn window_cache_stats(&self) -> CacheStats {
-        self.window_cache.stats()
+    /// The (resolved table name, schema) an append against `dataset`
+    /// would target — what the wire layer needs to type-check JSON rows
+    /// before calling [`Service::append_rows`].
+    pub fn table_schema(
+        &self,
+        dataset: &str,
+        table: Option<&str>,
+    ) -> Result<(String, visdb_types::Schema)> {
+        let guard = self.datasets.lock().expect("dataset registry poisoned");
+        let ds = guard.get(dataset).ok_or_else(|| {
+            Error::invalid_parameter("dataset", format!("unknown dataset '{dataset}'"))
+        })?;
+        let table_name = resolve_table(ds, dataset, table)?;
+        let schema = ds.db.table(&table_name)?.schema().clone();
+        Ok((table_name, schema))
     }
 
-    /// Shared sorted-projection cache counters (cross-session slider
-    /// index reuse).
-    #[deprecated(note = "use Service::telemetry().projection_cache")]
-    pub fn projection_cache_stats(&self) -> CacheStats {
-        self.projection_cache.stats()
+    /// Append rows to one table of a registered dataset as a new **delta
+    /// generation** — the paper's interactive loop under *growing* data.
+    /// Everything derived is maintained in O(Δ), never rebuilt from
+    /// scratch:
+    ///
+    /// * the database is cloned copy-on-append (readers keep their Arc;
+    ///   column pushes are O(Δ)),
+    /// * shared sorted projections over the appended table are *merged*
+    ///   ([`visdb_index::SortedProjection::extended`]: O(Δ log Δ + n)
+    ///   memcpy-dominated, vs O(n log n) rebuild),
+    /// * shared predicate windows *extend* by evaluating only the
+    ///   appended rows ([`visdb_relevance::extend_window`]), declining —
+    ///   bit-exactly — whenever the appended rows shift the §5.2
+    ///   normalization fit,
+    /// * live sessions over the dataset are rebased
+    ///   ([`visdb_core::Session::rebase`]): their §6 slider bands are
+    ///   repaired by examining only the appended rows.
+    ///
+    /// Every [`COMPACTION_THRESHOLD`]-th append folds the chain into a
+    /// fresh base generation and drops the derived artifacts instead.
+    /// `table` may be omitted for single-table datasets. On any error
+    /// the dataset is left exactly as it was.
+    pub fn append_rows(
+        &self,
+        name: &str,
+        table: Option<&str>,
+        rows: Vec<Row>,
+    ) -> Result<AppendOutcome> {
+        let started = Instant::now();
+        let outcome = self.append_rows_inner(name, table, rows);
+        self.obs.record_op("append_rows", started.elapsed());
+        outcome
     }
+
+    /// [`Service::append_rows`] from headerless CSV text parsed against
+    /// the table's **existing** schema (the append companion of the
+    /// `load_csv` op's inference; empty cells are NULLs).
+    pub fn append_csv(&self, name: &str, table: Option<&str>, csv: &str) -> Result<AppendOutcome> {
+        let started = Instant::now();
+        let outcome = (|| {
+            let (table_name, schema) = {
+                let guard = self.datasets.lock().expect("dataset registry poisoned");
+                let ds = guard.get(name).ok_or_else(|| {
+                    Error::invalid_parameter("dataset", format!("unknown dataset '{name}'"))
+                })?;
+                let table_name = resolve_table(ds, name, table)?;
+                let schema = ds.db.table(&table_name)?.schema().clone();
+                (table_name, schema)
+            };
+            let parsed = read_csv(&table_name, schema, csv.as_bytes())?;
+            let rows: Vec<Row> = (0..parsed.len())
+                .map(|i| parsed.row(i).expect("row index in range"))
+                .collect();
+            self.append_rows_inner(name, Some(&table_name), rows)
+        })();
+        self.obs.record_op("append_csv", started.elapsed());
+        outcome
+    }
+
+    fn append_rows_inner(
+        &self,
+        name: &str,
+        table: Option<&str>,
+        rows: Vec<Row>,
+    ) -> Result<AppendOutcome> {
+        let mut guard = self.datasets.lock().expect("dataset registry poisoned");
+        let ds = guard.get_mut(name).ok_or_else(|| {
+            Error::invalid_parameter("dataset", format!("unknown dataset '{name}'"))
+        })?;
+        let table_name = resolve_table(ds, name, table)?;
+        let old_n = ds.db.table(&table_name)?.len();
+        let appended = rows.len();
+        // copy-on-append: readers keep their Arc to the old generation
+        // untouched; the append lands in a fresh clone (O(n) memcpy of
+        // column buffers — the costly O(n log n) derived artifacts are
+        // migrated, not rebuilt). Table::append_rows is atomic, so an
+        // arity/type error here leaves the registered dataset untouched.
+        let mut next = (*ds.db).clone();
+        next.table_mut(&table_name)?.append_rows(rows)?;
+        let new_db = Arc::new(next);
+        let new_n = old_n + appended;
+        let old_scope = ds.scope.clone();
+        ds.chain.push_link(new_db.total_rows());
+        let compacted = ds.chain.should_compact(COMPACTION_THRESHOLD);
+        if compacted {
+            let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+            ds.chain.compact(generation);
+        }
+        let new_scope = format!("{name}#{}", ds.chain.tag());
+        ds.scope.clone_from(&new_scope);
+        ds.db = Arc::clone(&new_db);
+        let base_gen = ds.chain.base_gen();
+        let chain_len = ds.chain.chain_len();
+        let delta_rows = ds.chain.delta_rows();
+        drop(guard);
+
+        // old-generation rendered frames can never be requested again —
+        // every live session moves to the new scope below — so free them
+        self.cache.invalidate_dataset(name);
+        let mut windows_extended = 0;
+        let mut windows_declined = 0;
+        let mut projections_merged = 0;
+        if compacted {
+            // fold the chain: drop the derived artifacts; the next
+            // queries rebuild against the compacted base
+            self.window_cache.invalidate_dataset(name);
+            self.projection_cache.invalidate_dataset(name);
+        } else {
+            let table_ref = new_db.table(&table_name).expect("table just appended to");
+            let delta_ids: Vec<usize> = (old_n..new_n).collect();
+            let delta = table_ref.gather(table_name.as_str(), &delta_ids);
+            for (key, window, recipe) in self.window_cache.drain_dataset(name) {
+                if key_scope(&key) != Some(old_scope.as_str()) {
+                    continue; // an even older generation: stale, drop
+                }
+                let Some(recipe) = recipe else {
+                    windows_declined += 1; // not row-locally extendable
+                    continue;
+                };
+                if recipe.table != table_name {
+                    // other relations of the dataset are untouched: the
+                    // entry survives verbatim under the new scope
+                    if let Ok(t) = new_db.table(&recipe.table) {
+                        let new_key =
+                            window_key(&new_scope, t, recipe.budget, recipe.weight, &recipe.node);
+                        self.window_cache.store(new_key, window, Some(recipe));
+                    }
+                    continue;
+                }
+                if recipe.rows != old_n {
+                    windows_declined += 1;
+                    continue;
+                }
+                match extend_window(&new_db, &delta, &window, &recipe) {
+                    Some((extended, new_recipe)) => {
+                        let new_key = window_key(
+                            &new_scope,
+                            table_ref,
+                            new_recipe.budget,
+                            new_recipe.weight,
+                            &new_recipe.node,
+                        );
+                        self.window_cache.store(new_key, extended, Some(new_recipe));
+                        windows_extended += 1;
+                    }
+                    // the appended rows shifted the §5.2 fit: old rows'
+                    // normalization changes, so the next query must
+                    // re-evaluate in full to stay bit-identical
+                    None => windows_declined += 1,
+                }
+            }
+            for (key, projection) in self.projection_cache.drain_dataset(name) {
+                let Some((scope, tbl, rows, column)) = parse_projection_key(&key) else {
+                    continue;
+                };
+                if scope != old_scope {
+                    continue;
+                }
+                if tbl != table_name {
+                    let new_key = projection_key(&new_scope, tbl, rows, column);
+                    self.projection_cache.store(new_key, projection);
+                    continue;
+                }
+                if rows != old_n {
+                    continue;
+                }
+                let Ok(col) = table_ref.column_by_name(column) else {
+                    continue;
+                };
+                let merged = Arc::new(projection.extended(new_n, |i| col.get_f64(i)));
+                self.projection_cache
+                    .store(projection_key(&new_scope, tbl, new_n, column), merged);
+                projections_merged += 1;
+            }
+        }
+        // move every live session of the old generation onto the new one
+        // (workers hold a slot's state lock only while executing that
+        // session's requests and never take the dataset or cache locks,
+        // so this ordering cannot deadlock)
+        let mut bands_repaired = 0;
+        let mut bands_dropped = 0;
+        for slot in self.manager.slots() {
+            let mut state = match slot.state.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if state.dataset != old_scope {
+                continue;
+            }
+            state.dataset.clone_from(&new_scope);
+            match state.session.rebase(Arc::clone(&new_db), new_scope.clone()) {
+                BandRebase::Repaired => bands_repaired += 1,
+                BandRebase::Dropped => bands_dropped += 1,
+                BandRebase::None => {}
+            }
+        }
+        // delta-chain telemetry: appends are rare next to queries, so
+        // get-or-create registry lookups are fine off the hot path
+        self.registry.counter("delta.appends").inc();
+        if compacted {
+            self.registry.counter("delta.compactions").inc();
+        }
+        self.registry
+            .counter("delta.windows_extended")
+            .add(windows_extended as u64);
+        self.registry
+            .counter("delta.windows_recomputed")
+            .add(windows_declined as u64);
+        self.registry
+            .counter("delta.projections_merged")
+            .add(projections_merged as u64);
+        self.registry
+            .counter("delta.bands_repaired")
+            .add(bands_repaired as u64);
+        self.registry
+            .counter("delta.bands_dropped")
+            .add(bands_dropped as u64);
+        self.registry
+            .gauge(&format!("delta.chain_depth.{name}"))
+            .set(chain_len as i64);
+        self.registry
+            .gauge(&format!("delta.rows.{name}"))
+            .set(delta_rows as i64);
+        Ok(AppendOutcome {
+            dataset: name.to_string(),
+            table: table_name,
+            rows_appended: appended,
+            total_rows: new_n,
+            base_gen,
+            chain_len,
+            compacted,
+            windows_extended,
+            windows_declined,
+            projections_merged,
+            bands_repaired,
+            bands_dropped,
+        })
+    }
+}
+
+/// Resolve the target table of an append: the explicit name, or the
+/// dataset's only table.
+fn resolve_table(ds: &Dataset, name: &str, table: Option<&str>) -> Result<String> {
+    match table {
+        Some(t) => Ok(t.to_string()),
+        None => {
+            let names = ds.db.table_names();
+            match names.as_slice() {
+                [only] => Ok((*only).to_string()),
+                _ => Err(Error::invalid_parameter(
+                    "table",
+                    format!(
+                        "dataset '{name}' has {} tables; specify which to append to",
+                        names.len()
+                    ),
+                )),
+            }
+        }
+    }
+}
+
+/// What one [`Service::append_rows`] / [`Service::append_csv`] call did:
+/// the new chain position plus the incremental-maintenance counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Dataset appended to.
+    pub dataset: String,
+    /// Table the rows landed in.
+    pub table: String,
+    /// Rows in this delta.
+    pub rows_appended: usize,
+    /// The table's row count after the append.
+    pub total_rows: usize,
+    /// Base generation of the delta chain (rotates on compaction).
+    pub base_gen: u64,
+    /// Links in the chain after this append (0 right after compaction).
+    pub chain_len: usize,
+    /// Whether this append folded the chain into a new base generation.
+    pub compacted: bool,
+    /// Shared predicate windows grown in place by delta evaluation.
+    pub windows_extended: usize,
+    /// Shared windows dropped for full re-evaluation (fit shifted, or
+    /// shape not row-locally extendable).
+    pub windows_declined: usize,
+    /// Shared sorted projections merged with the sorted delta.
+    pub projections_merged: usize,
+    /// Live sessions whose §6 slider band was repaired in place.
+    pub bands_repaired: usize,
+    /// Live sessions whose slider index had to be dropped.
+    pub bands_dropped: usize,
+}
+
+/// Per-dataset delta-chain bookkeeping (see [`Service::dataset_info`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Dataset name.
+    pub name: String,
+    /// Rows across all tables at the chain tip.
+    pub total_rows: usize,
+    /// Base generation the chain grows from.
+    pub base_gen: u64,
+    /// Appends since the base generation.
+    pub chain_len: usize,
+    /// Rows added since the base generation.
+    pub delta_rows: usize,
+    /// Chain compactions over this dataset's lifetime.
+    pub compactions: u64,
 }
 
 /// Execute a session's queued requests in FIFO order. Exactly one worker
@@ -680,6 +1026,135 @@ mod tests {
         let after = s.telemetry().query_cache;
         assert_eq!(fa, fb, "cached frame must be identical");
         assert_eq!(after.hits, before.hits + 1);
+    }
+
+    #[test]
+    fn append_rows_is_incremental_and_bit_identical() {
+        use visdb_query::ast::CompareOp;
+        let s = service(2);
+        let id = s.create_session("ramp").unwrap();
+        s.submit(
+            id,
+            Request::SetQueryText("SELECT * FROM T WHERE x >= 150".into()),
+        )
+        .unwrap();
+        // materialize (populates the shared window cache with recipes)
+        // and drag (warms the shared projection + the session's band)
+        match s.submit(id, Request::Summary { trace: false }).unwrap() {
+            Response::Summary(sum) => assert_eq!(sum.exact, 50),
+            other => panic!("expected summary, got {other:?}"),
+        }
+        s.submit(
+            id,
+            Request::DragSlider {
+                window: 0,
+                op: CompareOp::Ge,
+                value: 150.0,
+                trace: false,
+            },
+        )
+        .unwrap();
+        // appended rows are exact answers (distance 0): the §5.2 fit
+        // cannot shift, so the cached window must *extend*, not recompute
+        let rows: Vec<Row> = (200..220).map(|i| vec![Value::Float(i as f64)]).collect();
+        let out = s.append_rows("ramp", None, rows).unwrap();
+        assert_eq!(out.table, "T");
+        assert_eq!(out.rows_appended, 20);
+        assert_eq!(out.total_rows, 220);
+        assert_eq!(out.chain_len, 1);
+        assert!(!out.compacted);
+        assert_eq!(out.windows_extended, 1, "window grown by delta eval");
+        assert_eq!(out.projections_merged, 1, "projection merged, not rebuilt");
+        assert_eq!(out.bands_repaired, 1, "live session's band repaired");
+        // the live session observes the appended rows...
+        match s.submit(id, Request::Summary { trace: false }).unwrap() {
+            Response::Summary(sum) => {
+                assert_eq!(sum.objects, 220);
+                assert_eq!(sum.exact, 70);
+            }
+            other => panic!("expected summary, got {other:?}"),
+        }
+        // ...and renders bit-identically to a service loaded with the
+        // full 220 rows from scratch
+        let appended_frame = s.submit(id, Request::Render(RenderFormat::Ppm)).unwrap();
+        let fresh = Service::new(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        fresh.register_dataset("ramp", ramp_db(220), ConnectionRegistry::new());
+        let fid = fresh.create_session("ramp").unwrap();
+        fresh
+            .submit(
+                fid,
+                Request::SetQueryText("SELECT * FROM T WHERE x >= 150".into()),
+            )
+            .unwrap();
+        let fresh_frame = fresh
+            .submit(fid, Request::Render(RenderFormat::Ppm))
+            .unwrap();
+        assert_eq!(appended_frame, fresh_frame);
+        // delta telemetry is published
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter("delta.appends"), Some(1));
+        assert_eq!(snap.gauge("delta.chain_depth.ramp"), Some(1));
+        assert_eq!(snap.gauge("delta.rows.ramp"), Some(20));
+    }
+
+    #[test]
+    fn appends_compact_after_the_threshold() {
+        let s = service(1);
+        for i in 0..7u64 {
+            let out = s
+                .append_rows(
+                    "ramp",
+                    Some("T"),
+                    vec![vec![Value::Float(200.0 + i as f64)]],
+                )
+                .unwrap();
+            assert!(!out.compacted);
+            assert_eq!(out.chain_len, i as usize + 1);
+        }
+        let out = s
+            .append_rows("ramp", Some("T"), vec![vec![Value::Float(207.0)]])
+            .unwrap();
+        assert!(out.compacted, "the 8th link folds the chain");
+        assert_eq!(out.chain_len, 0);
+        let info = s.dataset_info();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].total_rows, 208);
+        assert_eq!(info[0].delta_rows, 0);
+        assert_eq!(info[0].compactions, 1);
+        // queries after compaction see every appended row
+        let id = s.create_session("ramp").unwrap();
+        s.submit(
+            id,
+            Request::SetQueryText("SELECT * FROM T WHERE x >= 200".into()),
+        )
+        .unwrap();
+        match s.submit(id, Request::Summary { trace: false }).unwrap() {
+            Response::Summary(sum) => {
+                assert_eq!(sum.objects, 208);
+                assert_eq!(sum.exact, 8);
+            }
+            other => panic!("expected summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_errors_leave_the_dataset_untouched() {
+        let s = service(1);
+        assert!(s.append_rows("nope", None, vec![]).is_err());
+        // arity mismatch: the batch is atomic, nothing lands
+        assert!(s
+            .append_rows(
+                "ramp",
+                None,
+                vec![vec![Value::Float(1.0), Value::Float(2.0)]]
+            )
+            .is_err());
+        let info = s.dataset_info();
+        assert_eq!(info[0].total_rows, 200);
+        assert_eq!(info[0].chain_len, 0);
     }
 
     #[test]

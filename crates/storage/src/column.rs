@@ -78,15 +78,22 @@ pub enum NumericSlice<'a> {
 /// (`visdb_distance::string`) can walk `bytes`/`offsets` directly.
 ///
 /// A dictionary encoding ([`StrDict`]) is built lazily on first use and
-/// cached for the lifetime of the column (i.e. once per dataset
-/// generation — columns are immutable after load). Any push invalidates
-/// the cache.
+/// cached. A push *extends* a small cached dictionary in place (the
+/// append path re-derives the one new code instead of recomputing every
+/// first-occurrence id); pushes onto a large cached dictionary drop the
+/// cache for a lazy O(total bytes) rebuild.
 #[derive(Debug)]
 pub struct StrColumn {
     bytes: Vec<u8>,
     offsets: Vec<u32>,
     dict: OnceLock<StrDict>,
 }
+
+/// Largest cached dictionary a push will extend in place. The in-place
+/// extension scans `values` linearly per push (the cached dict keeps no
+/// hash map), so past this cardinality dropping the cache and lazily
+/// rebuilding is cheaper than O(unique) per appended row.
+const MAX_INLINE_DICT: usize = 1024;
 
 /// Dictionary encoding of a [`StrColumn`]: `codes[i]` indexes into
 /// `values`, the distinct strings in first-occurrence order. NULL rows
@@ -141,12 +148,26 @@ impl StrColumn {
         self.offsets.reserve(cap);
     }
 
-    /// Append a row. Invalidates the cached dictionary.
+    /// Append a row. A small cached dictionary is extended in place —
+    /// an existing value reuses its code, a new value mints the next one
+    /// (first-occurrence order is preserved because a genuinely new
+    /// value is, by construction, first seen at the appended row). A
+    /// large cached dictionary is dropped for a lazy rebuild instead.
+    /// Either way the state is identical to rebuilding from scratch.
     pub fn push(&mut self, s: &str) {
         self.bytes.extend_from_slice(s.as_bytes());
         let end = u32::try_from(self.bytes.len()).expect("string column exceeds u32 byte offsets");
         self.offsets.push(end);
-        self.dict.take();
+        if let Some(mut dict) = self.dict.take() {
+            if dict.values.len() <= MAX_INLINE_DICT {
+                let code = dict.values.iter().position(|v| v == s).unwrap_or_else(|| {
+                    dict.values.push(s.to_owned());
+                    dict.values.len() - 1
+                });
+                dict.codes.push(code as u32);
+                let _ = self.dict.set(dict);
+            }
+        }
     }
 
     /// Row `i` as a `&str`; `None` out of range. NULL rows read as their
@@ -629,6 +650,26 @@ mod tests {
         sc.push("b");
         assert_eq!(sc.dict().unique_len(), 2);
         assert_eq!(sc.dict().codes(), &[0, 1]);
+    }
+
+    #[test]
+    fn str_column_push_extends_cached_dict_identically() {
+        let mut sc = StrColumn::new();
+        for s in ["a", "b", "a", ""] {
+            sc.push(s);
+        }
+        let _ = sc.dict(); // warm the cache so pushes take the extension path
+        for s in ["b", "c", "a", "", "c"] {
+            sc.push(s);
+        }
+        let mut rebuilt = StrColumn::new();
+        for i in 0..sc.len() {
+            rebuilt.push(sc.get(i).unwrap());
+        }
+        // `rebuilt` never cached a dict mid-push, so its dict() is the
+        // from-scratch first-occurrence scan — the extension must match it.
+        assert_eq!(sc.dict().values(), rebuilt.dict().values());
+        assert_eq!(sc.dict().codes(), rebuilt.dict().codes());
     }
 
     #[test]

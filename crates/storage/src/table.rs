@@ -92,6 +92,25 @@ impl Table {
         Ok(())
     }
 
+    /// Append a batch of rows atomically: either every row lands or the
+    /// table is left exactly as it was. The happy path is O(Δ) column
+    /// pushes; only a mid-batch arity/type error pays an O(n) rollback
+    /// gather.
+    pub fn append_rows(&mut self, rows: Vec<Row>) -> Result<()> {
+        let before = self.rows;
+        for row in rows {
+            if let Err(e) = self.push_row(row) {
+                let truncated: Vec<usize> = (0..before).collect();
+                for c in self.columns.iter_mut() {
+                    *c = c.gather(&truncated);
+                }
+                self.rows = before;
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
     /// Materialise row `i`.
     pub fn row(&self, i: usize) -> Result<Row> {
         if i >= self.rows {
@@ -228,6 +247,27 @@ mod tests {
         assert_eq!(t.len(), 2);
         // column 'a' must not have grown
         assert_eq!(t.column_by_name("a").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn append_rows_is_atomic() {
+        let mut t = small_table();
+        t.append_rows(vec![
+            vec![Value::Int(3), Value::from("z")],
+            vec![Value::Int(4), Value::Null],
+        ])
+        .unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.row(3).unwrap(), vec![Value::Int(4), Value::Null]);
+        // a bad row anywhere in the batch rolls the whole batch back
+        let err = t.append_rows(vec![
+            vec![Value::Int(5), Value::from("ok")],
+            vec![Value::from("bad"), Value::from("row")],
+        ]);
+        assert!(err.is_err());
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.column_by_name("a").unwrap().len(), 4);
+        assert_eq!(t.row(3).unwrap(), vec![Value::Int(4), Value::Null]);
     }
 
     #[test]

@@ -93,6 +93,48 @@ fn run_command(session: &mut Session, line: &str) -> Result<bool> {
             let items = session.select_color_range(idx, lo, hi)?;
             println!("{} items in color range [{lo}, {hi}] of window {idx}", items.len());
         }
+        "append" => {
+            // append <table> <v1,v2,...> — grow the dataset in place;
+            // the session rebases onto the new generation, repairing
+            // its slider band instead of starting from scratch
+            let (tname, cells) = rest.split_once(' ').ok_or_else(|| {
+                Error::invalid_parameter("append", "usage: append <table> <v1,v2,...>")
+            })?;
+            let tname = tname.trim();
+            let row: Vec<Value> = {
+                let table = session.db().table(tname)?;
+                let schema = table.schema();
+                let cells: Vec<&str> = cells.split(',').collect();
+                if cells.len() != schema.columns().len() {
+                    return Err(Error::invalid_parameter(
+                        "append",
+                        format!(
+                            "expected {} cells for table '{tname}', got {}",
+                            schema.columns().len(),
+                            cells.len()
+                        ),
+                    ));
+                }
+                cells
+                    .iter()
+                    .zip(schema.columns())
+                    .map(|(cell, col)| visdb::storage::csv::parse_cell(cell, col.data_type))
+                    .collect::<Result<_>>()?
+            };
+            let mut db = session.db().clone();
+            db.table_mut(tname)?.append_rows(vec![row])?;
+            let total = db.total_rows();
+            use visdb::core::BandRebase;
+            let outcome = session.rebase(Arc::new(db), format!("repl#{total}"));
+            println!(
+                "ok: appended 1 row to {tname} ({total} rows total, band {})",
+                match outcome {
+                    BandRebase::Repaired => "repaired",
+                    BandRebase::Dropped => "dropped",
+                    BandRebase::None => "cold",
+                }
+            );
+        }
         "auto" => {
             session.set_auto_recalculate(rest.trim() != "off");
             println!("ok: auto recalculate {}", rest.trim());

@@ -1,0 +1,219 @@
+//! Append-path property tests: a dataset grown by delta generations
+//! must be indistinguishable from one rebuilt from scratch — across
+//! execution modes, display policies, and messy data (NULL/NaN/±inf,
+//! duplicate-heavy numerics, string columns with NULL operands).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use visdb::prelude::*;
+use visdb::relevance::{run_pipeline_opts, PipelineOptions};
+
+/// One messy row: `tag` steers validity/finiteness, `v` the payload.
+/// tag 0 → NULL x, 1 → NaN, 2 → +inf, 3 → −inf, 4 → duplicate-heavy
+/// (quantized to ~20 buckets), else the raw value. The string column is
+/// NULL on tag 0 and duplicate-heavy otherwise.
+fn messy_row(i: usize, v: f64, tag: u8) -> Vec<Value> {
+    let x = match tag {
+        0 => Value::Null,
+        1 => Value::Float(f64::NAN),
+        2 => Value::Float(f64::INFINITY),
+        3 => Value::Float(f64::NEG_INFINITY),
+        4 => Value::Float((v / 10.0).round() * 10.0),
+        _ => Value::Float(v),
+    };
+    let s = if tag == 0 {
+        Value::Null
+    } else {
+        Value::Str(format!("s{}", i % 4))
+    };
+    vec![x, s]
+}
+
+fn messy_db(rows: &[(f64, u8)]) -> Database {
+    let mut t = TableBuilder::new(
+        "T",
+        vec![
+            Column::new("x", DataType::Float),
+            Column::new("s", DataType::Str),
+        ],
+    );
+    for (i, &(v, tag)) in rows.iter().enumerate() {
+        t = t.row(messy_row(i, v, tag)).unwrap();
+    }
+    let mut db = Database::new("d");
+    db.add_table(t.build());
+    db
+}
+
+/// First field where two pipeline outputs diverge (trimmed from
+/// `tests/properties.rs`).
+fn first_divergence(fast: &PipelineOutput, slow: &PipelineOutput) -> Option<String> {
+    if fast.n != slow.n {
+        return Some(format!("n: {} != {}", fast.n, slow.n));
+    }
+    if fast.combined != slow.combined {
+        return Some("combined distances diverge".into());
+    }
+    if fast.relevance != slow.relevance {
+        return Some("relevance factors diverge".into());
+    }
+    if fast.num_exact != slow.num_exact {
+        return Some(format!(
+            "num_exact: {} != {}",
+            fast.num_exact, slow.num_exact
+        ));
+    }
+    if fast.displayed != slow.displayed {
+        return Some("displayed set diverges".into());
+    }
+    if fast.order[..fast.sorted_len] != slow.order[..fast.sorted_len] {
+        return Some("sorted order prefix diverges".into());
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A table grown by `append_rows` produces bit-identical pipeline
+    /// output to a table built with all rows up front — under the
+    /// scalar reference, the materialized vectorized path, the
+    /// streaming planner, and partitioned execution, on a mixed
+    /// numeric + string query over every validity shape.
+    #[test]
+    fn append_then_query_matches_rebuild_across_modes(
+        base in prop::collection::vec((-100f64..100.0, 0u8..6), 1..150),
+        delta in prop::collection::vec((-100f64..100.0, 0u8..6), 1..40),
+        threshold in -100f64..100.0,
+        pct in 1.0f64..100.0,
+    ) {
+        // grown: base generation + one appended delta generation
+        let mut grown = messy_db(&base);
+        let rows: Vec<Vec<Value>> = delta
+            .iter()
+            .enumerate()
+            .map(|(j, &(v, tag))| messy_row(base.len() + j, v, tag))
+            .collect();
+        grown.table_mut("T").unwrap().append_rows(rows).unwrap();
+        // rebuilt: every row present from the start
+        let all: Vec<(f64, u8)> = base.iter().chain(&delta).copied().collect();
+        let rebuilt = messy_db(&all);
+
+        let resolver = DistanceResolver::new();
+        let q = QueryBuilder::from_tables(["T"])
+            .cmp("x", CompareOp::Ge, threshold)
+            .cmp("s", CompareOp::Eq, "s2")
+            .build();
+        let policy = DisplayPolicy::Percentage(pct);
+        let tg = grown.table("T").unwrap();
+        let tr = rebuilt.table("T").unwrap();
+        let reference =
+            run_pipeline_scalar(&rebuilt, tr, &resolver, q.condition.as_ref(), &policy).unwrap();
+
+        let stream = run_pipeline(&grown, tg, &resolver, q.condition.as_ref(), &policy).unwrap();
+        let mat = run_pipeline_opts(
+            &grown, tg, &resolver, q.condition.as_ref(), &policy,
+            PipelineOptions {
+                materialization: Materialization::Materialized,
+                ..Default::default()
+            },
+        ).unwrap();
+        let scalar =
+            run_pipeline_scalar(&grown, tg, &resolver, q.condition.as_ref(), &policy).unwrap();
+        for (tag, out) in [("streaming", &stream), ("materialized", &mat), ("scalar", &scalar)] {
+            let diff = first_divergence(out, &reference);
+            prop_assert!(diff.is_none(), "{} ({tag} vs rebuilt scalar)", diff.unwrap());
+        }
+        for parts in [2usize, 7] {
+            let partitioning = tg.partitions(parts);
+            let part = run_pipeline_opts(
+                &grown, tg, &resolver, q.condition.as_ref(), &policy,
+                PipelineOptions {
+                    partitions: Some(&partitioning),
+                    ..Default::default()
+                },
+            ).unwrap();
+            let diff = first_divergence(&part, &reference);
+            prop_assert!(
+                diff.is_none(),
+                "{} (partitioned×{parts} vs rebuilt scalar)", diff.unwrap()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Interleaved append / drag / query against a live service is
+    /// byte-identical to replaying the same state on a service loaded
+    /// with the full data from scratch — through the delta-generation
+    /// scope rotation, window extension, projection merge, and band
+    /// repair, with and without partitioned execution.
+    #[test]
+    fn interleaved_appends_and_drags_match_replay_from_scratch(
+        base in prop::collection::vec((-100f64..100.0, 0u8..6), 20..120),
+        batches in prop::collection::vec(
+            (prop::collection::vec((-100f64..100.0, 0u8..6), 1..25), -100f64..100.0),
+            1..4,
+        ),
+        threshold in -100f64..100.0,
+    ) {
+        for partitions in [0usize, 4] {
+            let live = Service::new(ServiceConfig {
+                workers: 2,
+                partitions,
+                ..Default::default()
+            });
+            live.register_dataset("d", Arc::new(messy_db(&base)), ConnectionRegistry::new());
+            let id = live.create_session("d").unwrap();
+            let query = format!("SELECT * FROM T WHERE x >= {threshold}");
+            live.submit(id, Request::SetWindowSize { w: 16, h: 16 }).unwrap();
+            live.submit(id, Request::SetQueryText(query.clone())).unwrap();
+            live.submit(id, Request::Summary { trace: false }).unwrap();
+
+            let mut all = base.clone();
+            for (delta, drag) in &batches {
+                let rows: Vec<Vec<Value>> = delta
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &(v, tag))| messy_row(all.len() + j, v, tag))
+                    .collect();
+                live.append_rows("d", None, rows).unwrap();
+                all.extend_from_slice(delta);
+
+                live.submit(id, Request::DragSlider {
+                    window: 0, op: CompareOp::Ge, value: *drag, trace: false,
+                }).unwrap();
+                let summary = live.submit(id, Request::Summary { trace: false }).unwrap();
+                let frame = live.submit(id, Request::Render(RenderFormat::Ppm)).unwrap();
+
+                // replay: full data from scratch, same slider position
+                let fresh = Service::new(ServiceConfig {
+                    workers: 2,
+                    partitions,
+                    ..Default::default()
+                });
+                fresh.register_dataset("d", Arc::new(messy_db(&all)), ConnectionRegistry::new());
+                let fid = fresh.create_session("d").unwrap();
+                fresh.submit(fid, Request::SetWindowSize { w: 16, h: 16 }).unwrap();
+                fresh.submit(fid, Request::SetQueryText(query.clone())).unwrap();
+                fresh.submit(fid, Request::MoveSlider {
+                    window: 0, op: CompareOp::Ge, value: *drag,
+                }).unwrap();
+                let expect_summary = fresh.submit(fid, Request::Summary { trace: false }).unwrap();
+                let expect_frame = fresh.submit(fid, Request::Render(RenderFormat::Ppm)).unwrap();
+
+                prop_assert_eq!(
+                    &summary, &expect_summary,
+                    "summary diverged from replay (partitions={})", partitions
+                );
+                prop_assert_eq!(
+                    &frame, &expect_frame,
+                    "render diverged from replay (partitions={})", partitions
+                );
+            }
+        }
+    }
+}
