@@ -33,6 +33,7 @@ fn phases(c: &mut Criterion) {
         display_budget: N / 4,
         mode: ExecMode::Vectorized,
         partitions: None,
+        cancel: None,
     };
     // pre-compute inputs for the later phases
     let evals: Vec<_> = children

@@ -11,6 +11,8 @@
 //! intermediates) with a streaming per-phase breakdown, the
 //! **observability overhead** A/B (untraced run vs traced run plus the
 //! per-query registry recording the service layer performs), the
+//! **cancellation-poll overhead** A/B (tokenless run vs the identical
+//! run polling a live deadline token at every 16k-row chunk), the
 //! **branchless-vs-branchy** A/B isolating the fused normalize+combine
 //! phase (per-row `Option`/`if defined` walk vs the packed
 //! `apply_slice` + `combine_and_slices` + select-fold kernels), and a
@@ -40,7 +42,7 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use visdb_bench::ramp_db;
 use visdb_core::Session;
@@ -48,7 +50,7 @@ use visdb_distance::batch::{self, CompareKernel, NumericKernel};
 use visdb_distance::frame::{DistanceFrame, FrameStats};
 use visdb_distance::lanes::select;
 use visdb_distance::DistanceResolver;
-use visdb_exec::Runtime;
+use visdb_exec::{CancelToken, Runtime};
 use visdb_index::SortedProjection;
 use visdb_obs::{Histogram, Registry};
 use visdb_query::ast::{CompareOp, PredicateTarget};
@@ -165,6 +167,19 @@ struct SizeResult {
     obs_baseline_rows_per_sec: f64,
     obs_instrumented_rows_per_sec: f64,
     obs_overhead: f64,
+    /// Cancellation-poll overhead A/B: the same materialized run
+    /// without a cancel token (the plain-submission fast path — each
+    /// 16k-row chunk checkpoint is one armed-fault load and a `None`
+    /// branch, i.e. the pre-deadline pipeline) vs the identical run
+    /// threading a live far-future-deadline token through
+    /// `PipelineOptions::cancel`, so every checkpoint pays the full
+    /// poll: atomic state load plus monotonic-clock deadline
+    /// comparison. Outputs asserted bit-identical first. The ratio is
+    /// polling/baseline throughput; ~1.0 means deadline enforcement is
+    /// free until it actually fires.
+    cancel_baseline_rows_per_sec: f64,
+    cancel_polling_rows_per_sec: f64,
+    cancel_overhead: f64,
     /// Branchless-vs-branchy A/B on the isolated normalize+combine
     /// phase: the phase as it ran before the lane kernels (per-row
     /// `if defined` walks filling full-size per-child normalized
@@ -1262,6 +1277,38 @@ fn bench_size(n: usize) -> SizeResult {
         }),
     );
 
+    // ---- cancellation-poll overhead A/B: arm A is the tokenless run
+    // (what a plain `submit` with no deadline executes — the chunk
+    // checkpoints reduce to one armed-fault load and a `None` branch);
+    // arm B hands the pipeline a live token whose deadline never
+    // arrives, so every 16k-row chunk checkpoint performs the real
+    // poll — atomic state load + `Instant::now()` deadline comparison
+    // — and still completes. The ratio gates the "cancellation costs
+    // nothing until it fires" claim at the tightest granularity the
+    // walks poll at.
+    let cancel_baseline_s = note(
+        &mut rep_counts,
+        time_median(min_reps, || run_materialized(cond, false)),
+    );
+    let far_token = CancelToken::with_deadline(Duration::from_secs(3600));
+    let run_polling = || -> PipelineOutput {
+        run_pipeline_opts(
+            &db,
+            table,
+            &resolver,
+            cond,
+            &policy,
+            PipelineOptions {
+                materialization: Materialization::Materialized,
+                cancel: Some(&far_token),
+                ..Default::default()
+            },
+        )
+        .expect("token-polling materialized")
+    };
+    assert_identical(&run_polling(), &slow, n);
+    let cancel_polling_s = note(&mut rep_counts, time_median(min_reps, &run_polling));
+
     // ---- threads axis: the partitioned (1-predicate, materialized)
     // and streaming (2-predicate) paths re-timed under each explicit
     // worker budget, with identity vs the scalar reference re-asserted
@@ -1348,6 +1395,9 @@ fn bench_size(n: usize) -> SizeResult {
         obs_baseline_rows_per_sec: n as f64 / obs_baseline_s,
         obs_instrumented_rows_per_sec: n as f64 / obs_instrumented_s,
         obs_overhead: obs_baseline_s / obs_instrumented_s,
+        cancel_baseline_rows_per_sec: n as f64 / cancel_baseline_s,
+        cancel_polling_rows_per_sec: n as f64 / cancel_polling_s,
+        cancel_overhead: cancel_baseline_s / cancel_polling_s,
         branchy_nc_rows_per_sec: n as f64 / branchy_s,
         branchless_nc_rows_per_sec: n as f64 / branchless_s,
         branchless_vs_branchy: branchy_s / branchless_s,
@@ -1446,6 +1496,11 @@ fn run_bench(smoke: bool, pinned_threads: Option<usize>) {
             "            obs overhead: {:>12.0} rows/s baseline vs {:>12.0} rows/s \
              traced+recorded ({:.3}x)",
             r.obs_baseline_rows_per_sec, r.obs_instrumented_rows_per_sec, r.obs_overhead,
+        );
+        println!(
+            "            cancel overhead: {:>12.0} rows/s tokenless vs {:>12.0} rows/s \
+             token-polling ({:.3}x)",
+            r.cancel_baseline_rows_per_sec, r.cancel_polling_rows_per_sec, r.cancel_overhead,
         );
         println!(
             "            branchless-vs-branchy norm+combine: {:>12.0} vs {:>12.0} rows/s \
@@ -1564,6 +1619,12 @@ fn run_bench(smoke: bool, pinned_threads: Option<usize>) {
         );
         let _ = writeln!(
             json,
+            "     \"cancel_baseline_rows_per_sec\": {:.0}, \
+             \"cancel_polling_rows_per_sec\": {:.0}, \"cancel_overhead\": {:.3},",
+            r.cancel_baseline_rows_per_sec, r.cancel_polling_rows_per_sec, r.cancel_overhead,
+        );
+        let _ = writeln!(
+            json,
             "     \"branchy_nc_rows_per_sec\": {:.0}, \"branchless_nc_rows_per_sec\": {:.0}, \
              \"branchless_vs_branchy\": {:.3}, \"reps\": {},",
             r.branchy_nc_rows_per_sec,
@@ -1653,6 +1714,15 @@ fn run_bench(smoke: bool, pinned_threads: Option<usize>) {
                 big.obs_overhead,
                 big.obs_instrumented_rows_per_sec,
                 big.obs_baseline_rows_per_sec
+            );
+            assert!(
+                big.cancel_overhead >= 0.95,
+                "acceptance: per-chunk cancel-token polling must keep >= 95% of the \
+                 tokenless throughput at n={} (got {:.3}x: {:.0} vs {:.0} rows/s)",
+                big.n,
+                big.cancel_overhead,
+                big.cancel_polling_rows_per_sec,
+                big.cancel_baseline_rows_per_sec
             );
             assert!(
                 big.string_gather_speedup >= 2.0,

@@ -228,6 +228,7 @@ fn bench_join(hours: usize) -> JoinPoint {
         display_budget: (table.len() / 100).max(1),
         mode,
         partitions: None,
+        cancel: None,
     };
     let banded = ctx(ExecMode::Vectorized);
     let exhaustive = ctx(ExecMode::Scalar);

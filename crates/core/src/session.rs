@@ -12,6 +12,7 @@ use std::sync::Arc;
 use visdb_arrange::{arrange_overall, ItemGrid, PixelsPerItem};
 use visdb_color::{Colormap, ColormapKind};
 use visdb_distance::registry::{ColumnDistance, DistanceResolver};
+use visdb_exec::CancelToken;
 use visdb_index::{IncrementalCache, ProjectionSource, SortedProjection};
 use visdb_query::ast::{CompareOp, ConditionNode, PredicateTarget, Query, Weighted};
 use visdb_query::connection::ConnectionRegistry;
@@ -184,6 +185,10 @@ pub struct Session {
     /// Collect a [`visdb_relevance::PipelineTrace`] on every
     /// recalculation (see [`Session::set_collect_trace`]).
     collect_trace: bool,
+    /// Cooperative cancellation for the *current* request (see
+    /// [`Session::set_cancel_token`]): pipeline runs poll it per chunk
+    /// and stop with a structured error when it trips.
+    cancel: Option<CancelToken>,
 }
 
 impl Session {
@@ -215,7 +220,31 @@ impl Session {
             materialization: Materialization::Auto,
             slider_index: None,
             collect_trace: false,
+            cancel: None,
         }
+    }
+
+    /// Attach (or clear) the cancellation/deadline token for requests
+    /// executed from now on. The serving layer sets a fresh token per
+    /// request and clears it after; pipeline runs poll the token once
+    /// per 16k-row chunk and return [`Error::Cancelled`] /
+    /// [`Error::DeadlineExceeded`] when it trips — leaving every cache
+    /// layer untouched, so a re-ask is byte-identical to a cold run.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// Recycle the session after a panic unwound through a request
+    /// (the serving layer's poisoned-slot recovery): drop any result or
+    /// incremental state a half-finished run may have left behind, so
+    /// the next identical query recomputes from scratch — byte-identical
+    /// to a cold run. Configuration (query, policy, weights, shared
+    /// caches) is left exactly as the user set it.
+    pub fn recover(&mut self) {
+        self.result = None;
+        self.pipeline_cache = PipelineCache::new();
+        self.slider_index = None;
+        self.cancel = None;
     }
 
     /// Replace the distance resolver (application-specific distances).
@@ -551,6 +580,7 @@ impl Session {
                 partitions: partitioning.as_ref(),
                 materialization: self.materialization,
                 trace: self.collect_trace,
+                cancel: self.cancel.as_ref(),
                 ..Default::default()
             },
         )?;
@@ -735,6 +765,7 @@ impl Session {
             display_budget: self.policy.budget(n),
             mode: ExecMode::Vectorized,
             partitions: None,
+            cancel: self.cancel.as_ref(),
         };
         let Ok((col, dt, class, col_name)) = ctx.column(&pred.attr) else {
             return Ok(None);
@@ -1147,6 +1178,7 @@ impl Session {
             &policy,
             PipelineOptions {
                 materialization: Materialization::Materialized,
+                cancel: self.cancel.as_ref(),
                 ..Default::default()
             },
         )?;

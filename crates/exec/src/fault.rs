@@ -1,0 +1,213 @@
+//! Fault injection for robustness tests: arm a panic, a per-chunk
+//! delay, or a forced cancellation at a chosen pipeline phase and the
+//! next walk that polls its [`CancelToken`](crate::CancelToken) there
+//! triggers it.
+//!
+//! The production hot path pays **one relaxed atomic load** per poll
+//! while nothing is armed ([`check`] bails on `ARMED` before touching
+//! the plan mutex), so the hook can stay compiled into release builds —
+//! which is exactly what the fault suite exercises.
+//!
+//! Injection is process-global, so [`inject`] hands back a
+//! [`FaultGuard`] that holds a global injection lock: concurrent fault
+//! tests serialize instead of trampling each other's plans, and
+//! dropping the guard disarms and clears the plan even if the test
+//! panics (as the `Panic` fault makes it do on purpose).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use crate::CancelToken;
+
+/// The pipeline phases at which faults can be injected — the four
+/// phases of the relevance pipeline (shared by both execution modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Distance evaluation chunk walks.
+    Distance,
+    /// Normalization fit.
+    Fit,
+    /// Normalize + combine walks.
+    NormalizeCombine,
+    /// Ranking / top-k selection.
+    Rank,
+}
+
+/// What to do when the armed phase is polled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic (once, then disarm) — exercises panic containment.
+    Panic,
+    /// Sleep this long on **every** poll of the phase — slow chunks for
+    /// deadline and shedding tests.
+    Delay(Duration),
+    /// Trip the polling token (once, then disarm) — a forced
+    /// mid-pipeline cancellation.
+    Cancel,
+}
+
+struct Plan {
+    phase: Phase,
+    action: FaultAction,
+    /// Polls of `phase` to let pass before triggering.
+    skip: usize,
+    hits: usize,
+}
+
+/// One-load gate for the untriggered hot path.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// Total faults actually triggered (tests assert the injection fired).
+static TRIGGERED: AtomicU64 = AtomicU64::new(0);
+
+fn plan() -> &'static Mutex<Option<Plan>> {
+    static PLAN: OnceLock<Mutex<Option<Plan>>> = OnceLock::new();
+    PLAN.get_or_init(|| Mutex::new(None))
+}
+
+fn injection_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Poison-tolerant lock: a `Panic` fault unwinds through test code
+/// that may hold these mutexes; the data (a plan, or unit) is always
+/// consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Clears and disarms the active fault plan when dropped, and releases
+/// the global injection lock so the next test can arm its own.
+pub struct FaultGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *lock(plan()) = None;
+    }
+}
+
+/// Arm `action` to trigger on the first poll of `phase`.
+pub fn inject(phase: Phase, action: FaultAction) -> FaultGuard {
+    inject_after(phase, action, 0)
+}
+
+/// Arm `action` to trigger on the `(skip + 1)`-th poll of `phase` —
+/// lets tests hit a mid-walk chunk rather than the first one.
+pub fn inject_after(phase: Phase, action: FaultAction, skip: usize) -> FaultGuard {
+    let serial = lock(injection_lock());
+    *lock(plan()) = Some(Plan {
+        phase,
+        action,
+        skip,
+        hits: 0,
+    });
+    ARMED.store(true, Ordering::SeqCst);
+    FaultGuard { _serial: serial }
+}
+
+/// How many injected faults have actually fired (process lifetime).
+pub fn triggered() -> u64 {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+/// The poll-site hook: a no-op unless a fault is armed for `phase`.
+/// Called (via [`CancelToken::should_stop`](crate::CancelToken::should_stop)
+/// and the pipeline's phase checkpoints) once per chunk / phase
+/// boundary.
+#[inline]
+pub fn check(phase: Phase, token: &CancelToken) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    check_slow(phase, token);
+}
+
+#[cold]
+fn check_slow(phase: Phase, token: &CancelToken) {
+    let action = {
+        let mut guard = lock(plan());
+        let Some(p) = guard.as_mut() else { return };
+        if p.phase != phase {
+            return;
+        }
+        p.hits += 1;
+        if p.hits <= p.skip {
+            return;
+        }
+        let action = p.action;
+        // one-shot actions disarm so the panic/cancel fires exactly
+        // once; delays keep applying to every chunk of the phase
+        if !matches!(action, FaultAction::Delay(_)) {
+            *guard = None;
+            ARMED.store(false, Ordering::SeqCst);
+        }
+        action
+        // the plan lock drops here, before we act: panicking while
+        // holding it would poison it for every later test
+    };
+    TRIGGERED.fetch_add(1, Ordering::Relaxed);
+    match action {
+        FaultAction::Panic => panic!("injected fault: panic at {phase:?}"),
+        FaultAction::Delay(d) => std::thread::sleep(d),
+        FaultAction::Cancel => token.cancel(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn disarmed_check_is_a_no_op() {
+        let _serial = lock(injection_lock());
+        let t = CancelToken::new();
+        check(Phase::Distance, &t);
+        assert_eq!(t.interrupted(), None);
+    }
+
+    #[test]
+    fn cancel_fault_trips_the_token_once() {
+        let t = CancelToken::new();
+        let before = triggered();
+        {
+            let _g = inject(Phase::Rank, FaultAction::Cancel);
+            check(Phase::Distance, &t); // wrong phase: nothing
+            assert_eq!(t.interrupted(), None);
+            check(Phase::Rank, &t);
+            assert!(t.interrupted().is_some());
+            assert_eq!(triggered(), before + 1);
+            // one-shot: a fresh token is not re-tripped
+            let t2 = CancelToken::new();
+            check(Phase::Rank, &t2);
+            assert_eq!(t2.interrupted(), None);
+        }
+    }
+
+    #[test]
+    fn panic_fault_panics_and_guard_disarms() {
+        let t = CancelToken::new();
+        let g = inject(Phase::Fit, FaultAction::Panic);
+        let r = catch_unwind(AssertUnwindSafe(|| check(Phase::Fit, &t)));
+        assert!(r.is_err());
+        drop(g);
+        // disarmed after the guard: polls are no-ops again
+        check(Phase::Fit, &t);
+        assert_eq!(t.interrupted(), None);
+    }
+
+    #[test]
+    fn skip_count_delays_the_trigger() {
+        let t = CancelToken::new();
+        let _g = inject_after(Phase::Distance, FaultAction::Cancel, 2);
+        check(Phase::Distance, &t);
+        check(Phase::Distance, &t);
+        assert_eq!(t.interrupted(), None);
+        check(Phase::Distance, &t);
+        assert!(t.interrupted().is_some());
+    }
+}

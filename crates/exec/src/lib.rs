@@ -67,6 +67,12 @@ use std::time::Instant;
 
 use visdb_obs::{Counter, Gauge, Histogram, Registry};
 
+mod cancel;
+pub mod fault;
+
+pub use cancel::{CancelToken, Interrupt};
+pub use fault::{FaultAction, FaultGuard, Phase};
+
 /// Hard cap on the default budget: the pipeline is memory-bound well
 /// before 16 cores, and the cap keeps worst-case thread counts sane on
 /// very wide boxes (explicit [`Runtime::new`] budgets may exceed it).

@@ -11,6 +11,7 @@ use visdb_distance::batch::{self, CompareKernel, NumericKernel};
 use visdb_distance::frame::{DistanceFrame, FrameStats};
 use visdb_distance::registry::{ColumnDistance, DistanceResolver};
 use visdb_distance::{geo, numeric, string, time};
+use visdb_exec::{fault::Phase, CancelToken};
 use visdb_index::SortedProjection;
 use visdb_query::ast::{
     AttrRef, CompareOp, ConditionNode, Predicate, PredicateTarget, Query, SubqueryLink, Weighted,
@@ -60,6 +61,13 @@ pub struct EvalContext<'a> {
     /// [`ColumnData::numeric_slice_at`] — no task reads bytes outside its
     /// partition. Results are bit-identical to the unpartitioned walk.
     pub partitions: Option<&'a Partitioning>,
+    /// Cooperative cancellation: when set, every chunk walk polls the
+    /// token once per 16k-row chunk and fast-drains (skips chunk
+    /// bodies) once it trips; the pipeline's phase checkpoints then
+    /// turn the trip into [`Error::Cancelled`] /
+    /// [`Error::DeadlineExceeded`] before any partial result can be
+    /// cached or returned. `None` costs one branch per chunk.
+    pub cancel: Option<&'a CancelToken>,
 }
 
 /// The evaluated distances of one condition node.
@@ -205,6 +213,15 @@ impl<'a> EvalContext<'a> {
         }
     }
 
+    /// The distance walks' per-chunk cancellation poll: `true` means
+    /// "skip this chunk body" (the walk fast-drains; the frame rows it
+    /// leaves behind are garbage the pipeline's next checkpoint
+    /// discards). One branch when no token is attached.
+    #[inline]
+    pub(crate) fn poll_cancel(&self) -> bool {
+        self.cancel.is_some_and(|c| c.should_stop(Phase::Distance))
+    }
+
     /// Fill `out.set(i, f(i))` for every row, accumulating the fused
     /// [`FrameStats`]. In `Vectorized` mode the rows are walked range by
     /// range — per-partition ranges under a [`Partitioning`], plain
@@ -221,6 +238,9 @@ impl<'a> EvalContext<'a> {
             self.partitioning(),
             self.parallel(),
             |offset, vals, mask| {
+                if self.poll_cancel() {
+                    return FrameStats::default();
+                }
                 let mut stats = FrameStats::default();
                 for (j, (v, m)) in vals.iter_mut().zip(mask.iter_mut()).enumerate() {
                     match f(offset + j) {
@@ -258,6 +278,9 @@ impl<'a> EvalContext<'a> {
             self.partitioning(),
             self.parallel(),
             |offset, vals, mask| {
+                if self.poll_cancel() {
+                    return FrameStats::default();
+                }
                 let (slice, col_mask) = col
                     .numeric_slice_at(offset, vals.len())
                     .expect("numeric buffer checked above");
@@ -342,6 +365,9 @@ impl<'a> EvalContext<'a> {
             self.partitioning(),
             self.parallel(),
             |offset, vals, mask| {
+                if self.poll_cancel() {
+                    return FrameStats::default();
+                }
                 let c = &codes[offset..offset + vals.len()];
                 let m = col_mask.map(|mm| &mm[offset..offset + vals.len()]);
                 string::gather_table(c, m, &tvals, &tdef, vals, mask);
@@ -511,6 +537,7 @@ impl<'a> EvalContext<'a> {
             // the partitioning covers the *outer* base relation; the
             // inner table has its own row count
             partitions: None,
+            cancel: self.cancel,
         };
         // combined (normalized) distance of the inner condition per inner row
         let inner_cond: DistanceFrame = match &query.condition {
@@ -718,6 +745,9 @@ impl<'a> EvalContext<'a> {
             self.partitioning(),
             self.parallel(),
             |offset, vals, mask| {
+                if self.poll_cancel() {
+                    return FrameStats::default();
+                }
                 let c = &ocodes[offset..offset + vals.len()];
                 let mm = omask.map(|w| &w[offset..offset + vals.len()]);
                 string::gather_table(c, mm, &tvals, &tdef, vals, mask);
@@ -982,6 +1012,7 @@ mod tests {
             display_budget: 100,
             mode: ExecMode::Vectorized,
             partitions: None,
+            cancel: None,
         }
     }
 
@@ -1221,6 +1252,7 @@ mod tests {
             display_budget: 100,
             mode: ExecMode::Vectorized,
             partitions: None,
+            cancel: None,
         };
         let def = ConnectionDef {
             name: "with-time-diff".into(),

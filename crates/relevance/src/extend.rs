@@ -110,6 +110,7 @@ pub fn extend_window(
         display_budget: recipe.budget,
         mode: ExecMode::Vectorized,
         partitions: None,
+        cancel: None,
     };
     let dev = ctx.eval_node(&recipe.node).ok()?;
     let mut merged = recipe.stats;
@@ -272,6 +273,7 @@ mod tests {
             display_budget: 8,
             mode: ExecMode::Vectorized,
             partitions: None,
+            cancel: None,
         };
         let numeric = Weighted::unit(ConditionNode::Predicate(Predicate::compare(
             AttrRef::new("x"),

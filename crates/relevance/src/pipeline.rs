@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use visdb_distance::frame::{DistanceFrame, FrameStats};
 use visdb_distance::registry::DistanceResolver;
+use visdb_exec::{fault, fault::Phase, CancelToken, Interrupt};
 use visdb_query::ast::{ConditionNode, Weighted};
 use visdb_storage::{Database, Partitioning, Table};
 use visdb_types::{Error, Result};
@@ -488,6 +489,29 @@ pub struct PipelineOptions<'a> {
     pub trace: bool,
     /// Streaming vs materialized execution (see [`Materialization`]).
     pub materialization: Materialization,
+    /// Cooperative cancellation / deadline token. When set, every chunk
+    /// walk polls it once per 16k-row chunk and the run stops at the
+    /// next phase boundary with [`Error::Cancelled`] /
+    /// [`Error::DeadlineExceeded`] — crucially *before* any window from
+    /// the disturbed run can reach the session or shared caches, so a
+    /// re-ask is byte-identical to a cold run. `None` costs one branch
+    /// per chunk.
+    pub cancel: Option<&'a CancelToken>,
+}
+
+/// A phase-boundary cancellation checkpoint: runs any armed fault
+/// injection for `phase`, then maps a tripped token into the pipeline's
+/// error. Placed before every phase *and* before the cache-store block,
+/// so a cancelled run's garbage windows (fast-drained chunks look like
+/// all-undefined rows — valid-shaped but wrong) can never be cached.
+pub(crate) fn checkpoint(cancel: Option<&CancelToken>, phase: Phase) -> Result<()> {
+    let Some(token) = cancel else { return Ok(()) };
+    fault::check(phase, token);
+    match token.interrupted() {
+        None => Ok(()),
+        Some(Interrupt::Cancelled) => Err(Error::Cancelled),
+        Some(Interrupt::DeadlineExceeded) => Err(Error::DeadlineExceeded),
+    }
 }
 
 /// Run the pipeline over a base relation.
@@ -603,6 +627,7 @@ pub fn run_pipeline_opts(
         partitions,
         trace: want_trace,
         materialization,
+        cancel,
     } = opts;
     let mut trace = want_trace.then(Box::<PipelineTrace>::default);
     let n = table.len();
@@ -663,6 +688,7 @@ pub fn run_pipeline_opts(
         display_budget: policy.budget(n),
         mode,
         partitions,
+        cancel,
     };
 
     // Top-level windows: the direct children of a root AND/OR, otherwise
@@ -750,8 +776,13 @@ pub fn run_pipeline_opts(
         .collect();
     let windows_evaluated = missing.len();
     let mut timings = trace.as_deref_mut().map(|t| &mut t.phases);
+    checkpoint(cancel, Phase::Distance)?;
     let fresh = phase_time!(timings, distance, eval_windows(&ctx, &missing)?);
 
+    // a token that tripped mid-eval left fast-drained chunks behind —
+    // all-undefined rows that look valid-shaped but are wrong; stop
+    // before the fit can see them
+    checkpoint(cancel, Phase::Fit)?;
     let (windows, combined_raw, root_acc) = match mode {
         ExecMode::Scalar => {
             let (windows, combined_raw) =
@@ -764,6 +795,10 @@ pub fn run_pipeline_opts(
             (windows, combined_raw, Some(acc))
         }
     };
+
+    // The last gate before the caches: a run interrupted during combine
+    // must not publish its windows to either layer.
+    checkpoint(cancel, Phase::NormalizeCombine)?;
 
     // Freshly evaluated windows feed both cache layers (keys survive
     // only for windows that were actually evaluated this run). Windows
@@ -826,6 +861,7 @@ pub fn run_pipeline_opts(
     // O(n log n) full sort; the vectorized path selects the policy's
     // top k and sorts only that prefix; the partitioned path selects
     // per partition and merges the selections k-way by relevance rank.
+    checkpoint(cancel, Phase::Rank)?;
     let (order, displayed, sorted_len) = phase_time!(timings, rank, {
         match (mode, partitions) {
             (ExecMode::Scalar, _) => {
@@ -1134,11 +1170,18 @@ fn combine_vectorized(
         // every kernel is proven exact against the scalar reference (see
         // the kernels' docs), and the fold order per row range is
         // unchanged.
+        let cancel = ctx.cancel;
         chunk::run_striped(
             tasks,
             n >= chunk::PAR_MIN_ROWS,
             move |(offset, comb, mut parts, acc)| {
                 use visdb_distance::lanes::select;
+                // fast-drain: a tripped token skips the chunk body; the
+                // NormalizeCombine checkpoint after this walk discards
+                // the half-combined output before anything is cached
+                if cancel.is_some_and(|c| c.should_stop(Phase::NormalizeCombine)) {
+                    return;
+                }
                 let len = comb.len();
                 for src in srcs {
                     if let Src::Fresh {
@@ -1915,6 +1958,7 @@ mod tests {
             display_budget: (n as f64 * 0.1).ceil() as usize,
             mode: ExecMode::Scalar,
             partitions: None,
+            cancel: None,
         };
         if let ConditionNode::And(children) = &c.node {
             for (win, child) in out.windows.iter().zip(children) {

@@ -72,9 +72,10 @@ use crate::eval::{
 };
 use crate::normalize::{apply_in_place, dmax_of_prefix, fit_k, params_from_max, NormParams};
 use crate::pipeline::{
-    finalize_relevance, rank_and_select, rank_and_select_partitioned, DisplayPolicy,
+    checkpoint, finalize_relevance, rank_and_select, rank_and_select_partitioned, DisplayPolicy,
     DisplayedWindow, PipelineOutput, PipelineTrace, PredicateWindow, WindowData,
 };
+use visdb_exec::fault::Phase;
 
 /// The root combinator of the condition tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -750,12 +751,21 @@ pub(crate) fn run_streaming(
         if roots.is_empty() {
             continue;
         }
+        checkpoint(ctx.cancel, Phase::Distance)?;
         let start = timings.as_ref().map(|_| Instant::now());
         let bounds: Vec<AtomicU64> = roots.iter().map(|_| AtomicU64::new(u64::MAX)).collect();
         let params_ref = &params;
         let arena = &scratch_arena;
         let per_range: Vec<Vec<(FrameStats, Vec<f64>, u64)>> =
             chunk::map_ranges(n, partitions, parallel, |offset, len| {
+                // fast-drain on a tripped token: the checkpoint after
+                // this walk discards the partial stats before any fit
+                if ctx.poll_cancel() {
+                    return roots
+                        .iter()
+                        .map(|_| (FrameStats::default(), Vec::new(), 0))
+                        .collect();
+                }
                 let mut scratch = arena.take();
                 let buf = &mut scratch.frames(1, len)[0];
                 roots
@@ -799,6 +809,7 @@ pub(crate) fn run_streaming(
         if let (Some(t), Some(start)) = (timings.as_mut(), start) {
             t.distance += start.elapsed();
         }
+        checkpoint(ctx.cancel, Phase::Fit)?;
         let start = timings.as_ref().map(|_| Instant::now());
         for (&id, (stats, pool)) in roots.iter().zip(merged) {
             rows_scanned += stats.defined as u64;
@@ -810,6 +821,7 @@ pub(crate) fn run_streaming(
     }
 
     // ---- pass 2: fused distance → normalize → combine walk -----------
+    checkpoint(ctx.cancel, Phase::NormalizeCombine)?;
     let start = timings.as_ref().map(|_| Instant::now());
     let weights: Vec<f64> = plan.tops.iter().map(|&t| plan.nodes[t].weight).collect();
     let mut combined: Vec<Option<f64>> = vec![None; n];
@@ -847,6 +859,14 @@ pub(crate) fn run_streaming(
             parallel && n >= chunk::PAR_MIN_ROWS,
             move |(offset, comb, acc)| {
                 use visdb_distance::lanes::select;
+                // fast-drain: the Rank checkpoint below discards the
+                // half-combined output of a tripped run
+                if ctx
+                    .cancel
+                    .is_some_and(|c| c.should_stop(Phase::NormalizeCombine))
+                {
+                    return;
+                }
                 let len = comb.len();
                 let mut scratch = arena.take();
                 let (top_bufs, comb_buf) = scratch
@@ -929,6 +949,7 @@ pub(crate) fn run_streaming(
 
     // ---- rank and select: the exact machinery of the materialized
     // path (top-k selection / per-partition k-way merge) ---------------
+    checkpoint(ctx.cancel, Phase::Rank)?;
     let start = timings.as_ref().map(|_| Instant::now());
     let (order, displayed, sorted_len) = match partitions {
         None => rank_and_select(&combined, &[], policy, plan.tops.len())?,

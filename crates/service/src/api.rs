@@ -193,6 +193,49 @@ pub struct SessionSummary {
     pub trace: Option<Box<TraceReport>>,
 }
 
+/// Failure taxonomy of [`Response::Error`] — the wire `"kind"` field.
+/// Clients branch on the kind (retry a `Shed`, drop a `Cancelled`,
+/// surface an `InvalidRequest`), not on message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request itself is malformed or invalid for the session's
+    /// current state (bad fields, unknown ops, invalid queries, ...).
+    InvalidRequest,
+    /// The request was cancelled (a `cancel` op or an abandoned caller).
+    Cancelled,
+    /// The request's `deadline_ms` expired before it completed.
+    DeadlineExceeded,
+    /// Admission control refused the request because the service's
+    /// pending-work depth passed its watermark; retry after the hint.
+    Shed,
+    /// The request panicked or hit an internal invariant; the session
+    /// was recycled and stays usable.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Classify an [`Error`] from the execution layers.
+    pub fn of(e: &Error) -> ErrorKind {
+        match e {
+            Error::Cancelled => ErrorKind::Cancelled,
+            Error::DeadlineExceeded => ErrorKind::DeadlineExceeded,
+            Error::Internal(_) | Error::Io(_) => ErrorKind::Internal,
+            _ => ErrorKind::InvalidRequest,
+        }
+    }
+
+    /// The wire `"kind"` string.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            ErrorKind::InvalidRequest => "invalid_request",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Shed => "shed",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
 /// The reply to one [`Request`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -226,7 +269,45 @@ pub enum Response {
     /// The full telemetry-registry snapshot for [`Request::Metrics`].
     Metrics(Box<Snapshot>),
     /// The request failed; the session stays usable.
-    Error(String),
+    Error {
+        /// What class of failure this is (drives client retry logic).
+        kind: ErrorKind,
+        /// Human-readable description.
+        message: String,
+        /// For [`ErrorKind::Shed`]: how long the client should back off
+        /// before retrying.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl Response {
+    /// The error response for an execution-layer [`Error`].
+    pub fn from_error(e: &Error) -> Response {
+        Response::Error {
+            kind: ErrorKind::of(e),
+            message: e.to_string(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// An error response with an explicit kind (service-level failures
+    /// that never pass through an [`Error`]: panics, shedding).
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response::Error {
+            kind,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// The admission-control refusal, with its retry-after hint.
+    pub fn shed(message: impl Into<String>, retry_after_ms: u64) -> Response {
+        Response::Error {
+            kind: ErrorKind::Shed,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
 }
 
 /// A session plus the dataset tag it was created over (the tag scopes
@@ -248,7 +329,7 @@ pub fn execute(
 ) -> Response {
     match apply(state, request, cache) {
         Ok(r) => r,
-        Err(e) => Response::Error(e.to_string()),
+        Err(e) => Response::from_error(&e),
     }
 }
 
@@ -666,8 +747,20 @@ impl Response {
                 ("metrics", snapshot_to_json(snapshot)),
                 ("prometheus", snapshot.prometheus().into()),
             ]),
-            Response::Error(msg) => {
-                Json::obj([("ok", Json::Bool(false)), ("error", msg.as_str().into())])
+            Response::Error {
+                kind,
+                message,
+                retry_after_ms,
+            } => {
+                let mut obj = Json::obj([
+                    ("ok", Json::Bool(false)),
+                    ("error", message.as_str().into()),
+                    ("kind", kind.wire_name().into()),
+                ]);
+                if let (Some(ms), Json::Obj(map)) = (retry_after_ms, &mut obj) {
+                    map.insert("retry_after_ms".into(), (*ms).into());
+                }
+                obj
             }
         }
     }
@@ -771,11 +864,17 @@ mod tests {
         // no query installed yet
         assert!(matches!(
             execute(&mut st, &Request::Summary { trace: false }, None),
-            Response::Error(_)
+            Response::Error {
+                kind: ErrorKind::InvalidRequest,
+                ..
+            }
         ));
         assert!(matches!(
             execute(&mut st, &Request::SetQueryText("SELECT".into()), None),
-            Response::Error(_)
+            Response::Error {
+                kind: ErrorKind::InvalidRequest,
+                ..
+            }
         ));
         assert_eq!(
             execute(
@@ -866,8 +965,15 @@ mod tests {
 
     #[test]
     fn wire_responses_encode() {
-        let r = Response::Error("boom".into()).to_json().to_string();
-        assert_eq!(r, r#"{"error":"boom","ok":false}"#);
+        let r = Response::error(ErrorKind::Internal, "boom")
+            .to_json()
+            .to_string();
+        assert_eq!(r, r#"{"error":"boom","kind":"internal","ok":false}"#);
+        let r = Response::shed("overloaded", 50).to_json().to_string();
+        assert_eq!(
+            r,
+            r#"{"error":"overloaded","kind":"shed","ok":false,"retry_after_ms":50}"#
+        );
         let frame = Response::Frame {
             format: RenderFormat::Ppm,
             width: 2,

@@ -19,7 +19,11 @@
 //! unpartitioned; outputs are bit-identical either way), and
 //! `--exec auto|materialized|streaming` (pipeline materialization mode,
 //! default auto; streaming trades the shared window cache for
-//! zero-materialization execution — outputs are bit-identical).
+//! zero-materialization execution — outputs are bit-identical),
+//! `--watermark N` (admission watermark: pending requests beyond this
+//! are shed with a retry-after hint, default 4096), and
+//! `--deadline-ms N` (default per-request deadline, default 0 = none;
+//! requests may still override with their own `deadline_ms`).
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -70,18 +74,28 @@ fn parse_exec_flag(args: &[String]) -> Result<Materialization, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (workers, cache, hours, partitions, exec) = match (
+    let (workers, cache, hours, partitions, exec, watermark, deadline_ms) = match (
         parse_flag(&args, "--workers", 4),
         parse_flag(&args, "--cache", 256),
         parse_flag(&args, "--hours", 240),
         parse_flag(&args, "--partitions", 0),
         parse_exec_flag(&args),
+        parse_flag(&args, "--watermark", 4096),
+        parse_flag(&args, "--deadline-ms", 0),
     ) {
-        (Ok(w), Ok(c), Ok(h), Ok(p), Ok(e)) => (w, c, h, p, e),
-        (w, c, h, p, e) => {
-            for e in [w.err(), c.err(), h.err(), p.err(), e.err()]
-                .into_iter()
-                .flatten()
+        (Ok(w), Ok(c), Ok(h), Ok(p), Ok(e), Ok(wm), Ok(d)) => (w, c, h, p, e, wm, d),
+        (w, c, h, p, e, wm, d) => {
+            for e in [
+                w.err(),
+                c.err(),
+                h.err(),
+                p.err(),
+                e.err(),
+                wm.err(),
+                d.err(),
+            ]
+            .into_iter()
+            .flatten()
             {
                 eprintln!("visdb-server: {e}");
             }
@@ -94,6 +108,9 @@ fn main() -> ExitCode {
         cache_capacity: cache,
         partitions,
         materialization: exec,
+        pending_watermark: watermark,
+        default_deadline: (deadline_ms > 0)
+            .then(|| std::time::Duration::from_millis(deadline_ms as u64)),
         ..Default::default()
     });
 

@@ -734,9 +734,15 @@ mod tests {
         let c = QueryCache::new(2);
         c.put("a".into(), Response::Ok);
         c.put("b".into(), Response::Ok);
-        c.put("a".into(), Response::Error("new".into()));
+        c.put(
+            "a".into(),
+            Response::error(crate::api::ErrorKind::Internal, "new"),
+        );
         assert_eq!(c.len(), 2);
-        assert_eq!(c.get("a"), Some(Response::Error("new".into())));
+        assert_eq!(
+            c.get("a"),
+            Some(Response::error(crate::api::ErrorKind::Internal, "new"))
+        );
         assert!(c.get("b").is_some());
     }
 

@@ -33,6 +33,16 @@
 //!   [`WindowCache`] of per-predicate window evaluations makes a slider
 //!   drag that changes one predicate reuse every *other* window across
 //!   sessions (the §6 incremental idea, cross-session).
+//! * **Deadlines, cancellation & shedding** — every request can carry a
+//!   deadline and a cancel handle ([`SubmitOptions`], wire fields
+//!   `deadline_ms` / `id`); an interrupted query stops at the
+//!   pipeline's next 16k-row chunk poll and answers a structured
+//!   `Response::Error { kind: Cancelled | DeadlineExceeded, .. }`
+//!   without corrupting any cache. Past the configurable pending-work
+//!   watermark, new submissions are shed with a `retry_after_ms` hint
+//!   while in-flight queries run to completion, and a panicking request
+//!   is contained: the worker survives and the session slot is recycled
+//!   ([`service`] module docs).
 //!
 //! The `visdb-server` binary speaks this API as newline-delimited JSON
 //! over stdin/stdout; programmatic callers use [`Service`] directly:
@@ -83,11 +93,12 @@ pub mod server;
 pub mod service;
 
 pub use api::{
-    execute, RenderFormat, Request, Response, SessionState, SessionSummary, TraceReport,
+    execute, ErrorKind, RenderFormat, Request, Response, SessionState, SessionSummary, TraceReport,
 };
 pub use cache::{CacheStats, ProjectionCache, QueryCache, WindowCache};
 pub use manager::{SessionId, SessionManager, SessionOptions};
 pub use service::{
     AppendOutcome, DatasetInfo, PendingResponse, Service, ServiceConfig, ServiceTelemetry,
+    SubmitOptions,
 };
 pub use visdb_obs::{Registry, Snapshot};

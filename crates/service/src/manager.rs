@@ -15,12 +15,13 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
 use visdb_core::Session;
+use visdb_exec::CancelToken;
 use visdb_obs::{Counter, Gauge, Registry};
 use visdb_query::connection::ConnectionRegistry;
 use visdb_relevance::Materialization;
@@ -44,6 +45,12 @@ pub struct Envelope {
     pub request: Request,
     /// Reply channel (a dropped receiver just discards the response).
     pub reply: Sender<Response>,
+    /// Deadline/cancellation token minted at admission (`None` for
+    /// plain submissions — the pipeline then skips its per-chunk polls).
+    pub token: Option<CancelToken>,
+    /// `(session id, request id)` under which the token is registered in
+    /// the service's in-flight table, for cleanup after execution.
+    pub inflight_key: Option<(u64, u64)>,
 }
 
 /// A live session plus its scheduling state.
@@ -55,6 +62,24 @@ pub struct SessionSlot {
     /// Whether the slot is currently queued for (or being drained by) a
     /// worker. Guards against double-scheduling.
     pub scheduled: AtomicBool,
+}
+
+impl SessionSlot {
+    /// Whether a worker is draining (or queued to drain) this slot, or
+    /// requests are still waiting in its mailbox. Busy slots are exempt
+    /// from the idle sweep and deprioritized by capacity eviction: a
+    /// session with a query mid-execution must drain before it can be
+    /// reaped, or waiting submitters would observe their session vanish
+    /// underneath an in-flight request.
+    pub fn busy(&self) -> bool {
+        if self.scheduled.load(Ordering::SeqCst) {
+            return true;
+        }
+        match self.mailbox.lock() {
+            Ok(m) => !m.is_empty(),
+            Err(poisoned) => !poisoned.into_inner().is_empty(),
+        }
+    }
 }
 
 /// Per-session wiring handed to [`SessionManager::create`]: the shared
@@ -171,11 +196,24 @@ impl SessionManager {
         });
         let mut table = self.lock();
         if table.entries.len() >= self.max_sessions {
-            if let Some((&lru, _)) = table
+            // prefer an idle victim; only when *every* session is busy
+            // does capacity pressure fall back to the global LRU (the
+            // cap is hard — a detached slot still drains its mailbox
+            // through the worker's own Arc, so nothing is lost mid-run,
+            // but later submissions get an unknown-session error)
+            let victim = table
                 .entries
                 .iter()
+                .filter(|(_, entry)| !entry.slot.busy())
                 .min_by_key(|(_, entry)| entry.last_used)
-            {
+                .or_else(|| {
+                    table
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, entry)| entry.last_used)
+                })
+                .map(|(&id, _)| id);
+            if let Some(lru) = victim {
                 table.entries.remove(&lru);
                 self.evicted.inc();
             }
@@ -230,14 +268,16 @@ impl SessionManager {
     }
 
     /// Evict sessions idle longer than `max_idle` (tests use short
-    /// horizons without waiting out the configured timeout).
+    /// horizons without waiting out the configured timeout). A session
+    /// with queued or executing work is never idle, however stale its
+    /// `last_used` — it becomes evictable only after its mailbox drains.
     pub fn evict_idle_older_than(&self, max_idle: Duration) -> usize {
         let mut table = self.lock();
         let now = Instant::now();
         let before = table.entries.len();
-        table
-            .entries
-            .retain(|_, entry| now.duration_since(entry.last_used) <= max_idle);
+        table.entries.retain(|_, entry| {
+            entry.slot.busy() || now.duration_since(entry.last_used) <= max_idle
+        });
         let evicted = before - table.entries.len();
         self.evicted.add(evicted as u64);
         self.live.set(table.entries.len() as i64);
@@ -388,6 +428,74 @@ mod tests {
         assert!(m.get(b).is_some());
         // nothing idle at a generous horizon
         assert_eq!(m.evict_idle_older_than(Duration::from_secs(60)), 0);
+    }
+
+    #[test]
+    fn busy_sessions_survive_the_idle_sweep_until_drained() {
+        let m = manager(8);
+        let db = db();
+        let a = m.create(
+            "d",
+            Arc::clone(&db),
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
+        let b = m.create(
+            "d",
+            db,
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
+        // a worker is mid-drain on `a` (the service sets `scheduled`
+        // before spawning the drain and it stays set until the mailbox
+        // is empty)
+        let slot = m.get(a).unwrap();
+        slot.scheduled.store(true, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            m.evict_idle_older_than(Duration::from_millis(1)),
+            1,
+            "only the idle session is swept"
+        );
+        assert!(m.get(a).is_some(), "in-flight session must survive");
+        assert!(m.get(b).is_none());
+        // the drain finishes; the session is ordinary-idle again
+        slot.scheduled.store(false, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(m.evict_idle_older_than(Duration::from_millis(1)), 1);
+        assert!(m.get(a).is_none(), "drained session is evictable again");
+    }
+
+    #[test]
+    fn capacity_eviction_prefers_idle_victims() {
+        let m = manager(2);
+        let db = db();
+        let a = m.create(
+            "d",
+            Arc::clone(&db),
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
+        let b = m.create(
+            "d",
+            Arc::clone(&db),
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
+        // `a` is the LRU but busy; capacity pressure must take `b`
+        let slot = m.get(a).unwrap();
+        slot.scheduled.store(true, Ordering::SeqCst);
+        assert!(m.get(b).is_some());
+        let c = m.create(
+            "d",
+            db,
+            ConnectionRegistry::new(),
+            SessionOptions::default(),
+        );
+        assert_eq!(m.len(), 2);
+        assert!(m.get(a).is_some(), "busy LRU session survives");
+        assert!(m.get(b).is_none(), "idle session was the victim");
+        assert!(m.get(c).is_some());
     }
 
     #[test]

@@ -34,31 +34,60 @@
 //! (`{"drag":{"displayed":..,"exact":..,"incremental":..}}`), served by
 //! the shared sorted-projection fast path when the query shape allows.
 //!
+//! Per-session requests may also carry a `deadline_ms` budget; one that
+//! expires — queued or mid-pipeline — answers with
+//! `{"ok":false,"kind":"deadline_exceeded",...}`. The request `id`
+//! doubles as a cancel handle:
+//!
+//! ```text
+//! {"id":9,"session":1,"op":"render","format":"ppm","deadline_ms":250}
+//! {"op":"cancel","session":1,"request":9}
+//! ```
+//!
 //! Responses echo `id` (when given) and carry `"ok"`; errors are data,
-//! never a dropped connection: `{"id":7,"ok":false,"error":"..."}`.
-//! The dispatch logic lives here (testable without a process); the
-//! binary is a thin stdin/stdout loop around [`handle_line`].
+//! never a dropped connection:
+//! `{"id":7,"ok":false,"error":"...","kind":"invalid_request"}` (the
+//! `kind` taxonomy is [`ErrorKind`](crate::api::ErrorKind); overloaded
+//! responses add `retry_after_ms`). The dispatch logic lives here
+//! (testable without a process); the binary is a thin stdin/stdout loop
+//! around [`handle_line`].
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use crate::api::Request;
+use crate::api::{ErrorKind, Request};
 use crate::json::{parse, Json};
 use crate::manager::SessionId;
-use crate::service::Service;
+use crate::service::{Service, SubmitOptions};
 use visdb_query::connection::ConnectionRegistry;
 use visdb_storage::{csv::read_csv_infer, Database};
 use visdb_types::{DataType, Result, Value};
 
 /// Process one protocol line against a service; always yields a response
-/// object (parse and execution errors become `"ok": false` replies).
+/// object (parse and execution errors become `"ok": false` replies, and
+/// a panic anywhere in dispatch is contained into an `"internal"` error
+/// — nothing a client sends may kill the stdio loop).
 pub fn handle_line(service: &Service, line: &str) -> Json {
     let (id, result) = match parse(line) {
-        Ok(msg) => (msg.get("id").cloned(), dispatch(service, &msg)),
+        Ok(msg) => {
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(service, &msg)))
+                    .unwrap_or_else(|_| {
+                        Err(visdb_types::Error::Internal(
+                            "request dispatch panicked".into(),
+                        ))
+                    });
+            (msg.get("id").cloned(), result)
+        }
         Err(e) => (None, Err(e)),
     };
     let mut response = match result {
         Ok(r) => r,
-        Err(e) => Json::obj([("ok", Json::Bool(false)), ("error", e.to_string().into())]),
+        Err(e) => Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", e.to_string().into()),
+            ("kind", ErrorKind::of(&e).wire_name().into()),
+        ]),
     };
     if let (Some(id), Json::Obj(map)) = (id, &mut response) {
         map.insert("id".into(), id);
@@ -193,14 +222,48 @@ fn dispatch(service: &Service, msg: &Json) -> Result<Json> {
         "metrics" => {
             Ok(crate::api::Response::Metrics(Box::new(service.metrics_snapshot())).to_json())
         }
+        // abandon a queued or executing request: `request` is the `id`
+        // the target was submitted with. Service-level — it must never
+        // queue behind the very request it is trying to stop.
+        "cancel" => {
+            let id = session_id(msg)?;
+            let request_id = msg.get("request").and_then(Json::as_u64).ok_or_else(|| {
+                visdb_types::Error::invalid_parameter("request", "missing integer field")
+            })?;
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("cancelled", service.cancel(id, request_id).into()),
+            ]))
+        }
         _ => {
             // a per-session request: route through the worker pool
             let id = session_id(msg)?;
             let request = Request::from_json(msg)?;
-            let response = service.submit(id, request)?;
+            let opts = submit_options(msg)?;
+            let response = service.submit_opts(id, request, opts)?;
             Ok(response.to_json())
         }
     }
+}
+
+/// Per-request dispatch options from the wire: an optional `deadline_ms`
+/// budget, plus the request `id` doubling as the handle a later `cancel`
+/// op can aim at. A present-but-malformed `deadline_ms` is a structured
+/// error, not a silently unbounded request.
+fn submit_options(msg: &Json) -> Result<SubmitOptions> {
+    let deadline = match msg.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(Duration::from_millis(v.as_u64().ok_or_else(|| {
+            visdb_types::Error::invalid_parameter(
+                "deadline_ms",
+                "must be a non-negative integer (milliseconds)",
+            )
+        })?)),
+    };
+    Ok(SubmitOptions {
+        deadline,
+        request_id: msg.get("id").and_then(Json::as_u64),
+    })
 }
 
 fn session_id(msg: &Json) -> Result<SessionId> {
@@ -462,6 +525,46 @@ mod tests {
         handle_line(&s, r#"{"op":"create_session","dataset":"demo"}"#);
         let r = handle_line(&s, r#"{"op":"stats"}"#);
         assert_eq!(r.get("sessions").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn deadline_and_cancel_wire_ops() {
+        let s = service();
+        let r = handle_line(&s, r#"{"op":"create_session","dataset":"demo"}"#);
+        let session = r.get("session").unwrap().as_u64().unwrap();
+        // a malformed deadline is a structured error, not an unbounded
+        // request (and not a dead loop)
+        let line = format!(r#"{{"id":1,"session":{session},"op":"summary","deadline_ms":"soon"}}"#);
+        let r = handle_line(&s, &line);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r}");
+        assert_eq!(r.get("kind").unwrap().as_str(), Some("invalid_request"));
+        // a generous deadline executes normally
+        let line = format!(
+            r#"{{"id":2,"session":{session},"op":"set_query","text":"SELECT * FROM T WHERE x >= 40","deadline_ms":60000}}"#
+        );
+        assert_eq!(handle_line(&s, &line).get("ok"), Some(&Json::Bool(true)));
+        // an already-expired deadline is answered without executing
+        let line = format!(r#"{{"id":3,"session":{session},"op":"summary","deadline_ms":0}}"#);
+        let r = handle_line(&s, &line);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r}");
+        assert_eq!(r.get("kind").unwrap().as_str(), Some("deadline_exceeded"));
+        // ...and leaves the session fully usable
+        let line = format!(r#"{{"id":4,"session":{session},"op":"summary"}}"#);
+        let r = handle_line(&s, &line);
+        assert_eq!(
+            r.get("summary").unwrap().get("exact").unwrap().as_u64(),
+            Some(10)
+        );
+        // cancel with no matching in-flight request reports false
+        let line = format!(r#"{{"op":"cancel","session":{session},"request":777}}"#);
+        let r = handle_line(&s, &line);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("cancelled"), Some(&Json::Bool(false)));
+        // a cancel op missing its target is structured too
+        let line = format!(r#"{{"op":"cancel","session":{session}}}"#);
+        let r = handle_line(&s, &line);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(r.get("kind").unwrap().as_str(), Some("invalid_request"));
     }
 
     #[test]

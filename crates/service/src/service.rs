@@ -29,15 +29,16 @@
 //! worker participates in its own batch and idle siblings steal, so the
 //! thread count stays pinned at the budget end to end.
 
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver};
 use visdb_core::{parse_projection_key, projection_key, BandRebase};
-use visdb_exec::Runtime;
+use visdb_exec::{CancelToken, Interrupt, Runtime};
 use visdb_index::ProjectionSource;
-use visdb_obs::{Counter, Histogram, Registry, Snapshot};
+use visdb_obs::{Counter, Gauge, Histogram, Registry, Snapshot};
 use visdb_query::connection::ConnectionRegistry;
 use visdb_relevance::{
     extend_window, key_scope, window_key, Materialization, PhaseTimings, WindowSource,
@@ -46,7 +47,7 @@ use visdb_storage::csv::read_csv;
 use visdb_storage::{Database, DeltaChain, Row};
 use visdb_types::{Error, Result};
 
-use crate::api::{execute, Request, Response};
+use crate::api::{execute, ErrorKind, Request, Response};
 use crate::cache::{CacheStats, ProjectionCache, QueryCache, WindowCache};
 use crate::manager::{Envelope, SessionId, SessionManager, SessionOptions, SessionSlot};
 
@@ -81,6 +82,20 @@ pub struct ServiceConfig {
     /// zero-materialization execution (smaller per-query footprint,
     /// no cross-session window reuse).
     pub materialization: Materialization,
+    /// Admission watermark: when this many queued-but-unfinished
+    /// requests are already pending across all sessions, new
+    /// submissions are *shed* — answered immediately with
+    /// `Response::Error { kind: Shed, retry_after_ms, .. }` instead of
+    /// queued. In-flight and already-queued work always runs to
+    /// completion; shedding only refuses *new* work, so the service
+    /// degrades by answering "come back later" rather than by letting
+    /// queue latency grow without bound. The default is high enough
+    /// that only genuine overload trips it.
+    pub pending_watermark: usize,
+    /// Deadline applied to every request that does not carry its own
+    /// [`SubmitOptions::deadline`]. `None` (the default) means requests
+    /// without an explicit deadline run to completion.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +109,8 @@ impl Default for ServiceConfig {
             window_cache_capacity: 512,
             projection_cache_capacity: 64,
             materialization: Materialization::Auto,
+            pending_watermark: 4096,
+            default_deadline: None,
         }
     }
 }
@@ -133,6 +150,103 @@ impl PendingResponse {
     }
 }
 
+/// Per-request dispatch options (see [`Service::submit_opts`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Deadline for this request, counted from admission. Overrides the
+    /// service-wide [`ServiceConfig::default_deadline`]. An expired
+    /// request stops at the pipeline's next per-chunk poll and answers
+    /// `Response::Error { kind: DeadlineExceeded, .. }`; one still
+    /// queued when its deadline passes is answered without executing.
+    pub deadline: Option<Duration>,
+    /// Caller-chosen id making the request addressable by
+    /// [`Service::cancel`] (the wire layer threads the request `"id"`
+    /// through here). Ids are scoped per session; reusing one after the
+    /// earlier request finished is fine.
+    pub request_id: Option<u64>,
+}
+
+/// Overload and interruption bookkeeping: the pending-work gauge the
+/// shed decision reads, the in-flight token table the `cancel` op
+/// resolves against, and the degradation counters.
+pub(crate) struct Admission {
+    /// Queued-but-unfinished requests across every session
+    /// (`service.pending_depth`). Incremented at admission, decremented
+    /// when the drain finishes the envelope — whatever the outcome.
+    pending: Arc<Gauge>,
+    /// Shed threshold ([`ServiceConfig::pending_watermark`]).
+    watermark: usize,
+    /// `service.shed` — submissions refused at admission.
+    shed: Arc<Counter>,
+    /// `service.cancelled` — requests that ended with `kind: Cancelled`.
+    cancelled: Arc<Counter>,
+    /// `service.deadline_exceeded` — requests that ended with
+    /// `kind: DeadlineExceeded`.
+    deadline_exceeded: Arc<Counter>,
+    /// `service.panics` — requests whose execution panicked (contained:
+    /// the worker survives and the session slot is recycled).
+    panics: Arc<Counter>,
+    /// Cancel tokens of queued/executing requests, keyed by
+    /// `(session id, request id)`. Only requests submitted with a
+    /// `request_id` appear here.
+    inflight: Mutex<HashMap<(u64, u64), CancelToken>>,
+}
+
+impl Admission {
+    fn new(registry: &Registry, watermark: usize) -> Self {
+        Admission {
+            pending: registry.gauge("service.pending_depth"),
+            watermark: watermark.max(1),
+            shed: registry.counter("service.shed"),
+            cancelled: registry.counter("service.cancelled"),
+            deadline_exceeded: registry.counter("service.deadline_exceeded"),
+            panics: registry.counter("service.panics"),
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn inflight_lock(&self) -> std::sync::MutexGuard<'_, HashMap<(u64, u64), CancelToken>> {
+        match self.inflight.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Admit one request, or refuse it with a retry-after hint
+    /// (milliseconds) when the pending depth has reached the watermark.
+    /// The depth check and increment are not atomic together — the
+    /// watermark is a soft limit, momentarily overshootable by one per
+    /// concurrent submitter, which is exactly as precise as shedding
+    /// needs to be.
+    fn try_admit(&self) -> std::result::Result<(), u64> {
+        let depth = self.pending.get();
+        if depth >= self.watermark as i64 {
+            self.shed.inc();
+            // crude queueing-delay estimate: a few ms per pending
+            // request, clamped to a sane polling interval
+            return Err((depth as u64).saturating_mul(5).clamp(10, 2_000));
+        }
+        self.pending.inc();
+        Ok(())
+    }
+
+    /// Mark one admitted envelope finished: drop the pending count and
+    /// forget its in-flight token, and tally interrupted outcomes.
+    fn finish(&self, key: Option<(u64, u64)>, response: &Response) {
+        self.pending.dec();
+        if let Some(key) = key {
+            self.inflight_lock().remove(&key);
+        }
+        if let Response::Error { kind, .. } = response {
+            match kind {
+                ErrorKind::Cancelled => self.cancelled.inc(),
+                ErrorKind::DeadlineExceeded => self.deadline_exceeded.inc(),
+                _ => {}
+            }
+        }
+    }
+}
+
 /// Per-op request telemetry plus the pipeline-phase histograms, with
 /// every handle resolved once at service start-up — the hot path does
 /// no registry lookups, only atomic increments.
@@ -144,9 +258,9 @@ pub(crate) struct ServiceObs {
     phases: [Arc<Histogram>; 4],
 }
 
-/// Every wire op, including the service-level `metrics`, `append_rows`
-/// and `append_csv`.
-const OPS: [&str; 12] = [
+/// Every wire op, including the service-level `metrics`, `cancel`,
+/// `append_rows` and `append_csv`.
+const OPS: [&str; 13] = [
     "ping",
     "set_query",
     "set_policy",
@@ -157,6 +271,7 @@ const OPS: [&str; 12] = [
     "summary",
     "render",
     "metrics",
+    "cancel",
     "append_rows",
     "append_csv",
 ];
@@ -216,6 +331,16 @@ pub struct ServiceTelemetry {
     pub sessions_created: usize,
     /// Sessions evicted by LRU or the idle sweep.
     pub sessions_evicted: usize,
+    /// Queued-but-unfinished requests right now.
+    pub pending_depth: i64,
+    /// Submissions refused at admission (watermark exceeded).
+    pub shed: u64,
+    /// Requests that ended cancelled.
+    pub cancelled: u64,
+    /// Requests that ended deadline-exceeded.
+    pub deadline_exceeded: u64,
+    /// Requests whose execution panicked (contained).
+    pub panics: u64,
     /// The shared execution runtime's counters.
     pub exec: visdb_exec::Metrics,
 }
@@ -235,6 +360,10 @@ pub struct Service {
     /// request counts and latency histograms, pipeline phase histograms.
     registry: Arc<Registry>,
     obs: Arc<ServiceObs>,
+    /// Overload/interruption bookkeeping shared with every drain.
+    admission: Arc<Admission>,
+    /// Deadline minted for requests submitted without one.
+    default_deadline: Option<Duration>,
     /// The shared budgeted runtime. Dropping the service shuts it down;
     /// workers finish already-queued drains first.
     runtime: Runtime,
@@ -255,6 +384,7 @@ impl Service {
         window_cache.register_metrics(&registry, "cache.window");
         projection_cache.register_metrics(&registry, "cache.projection");
         let obs = Arc::new(ServiceObs::new(&registry));
+        let admission = Arc::new(Admission::new(&registry, config.pending_watermark));
         Service {
             datasets: Mutex::new(std::collections::HashMap::new()),
             generations: std::sync::atomic::AtomicU64::new(1),
@@ -266,6 +396,8 @@ impl Service {
             materialization: config.materialization,
             registry,
             obs,
+            admission,
+            default_deadline: config.default_deadline,
             runtime,
         }
     }
@@ -355,9 +487,33 @@ impl Service {
         self.submit_async(id, request)?.wait()
     }
 
+    /// [`Service::submit`] with a per-request deadline / cancel id.
+    pub fn submit_opts(
+        &self,
+        id: SessionId,
+        request: Request,
+        opts: SubmitOptions,
+    ) -> Result<Response> {
+        self.submit_async_opts(id, request, opts)?.wait()
+    }
+
     /// Dispatch a request without waiting. Requests for one session apply
     /// in submission order; distinct sessions run in parallel.
     pub fn submit_async(&self, id: SessionId, request: Request) -> Result<PendingResponse> {
+        self.submit_async_opts(id, request, SubmitOptions::default())
+    }
+
+    /// [`Service::submit_async`] with a per-request deadline / cancel
+    /// id. The admission decision happens here: past the pending-work
+    /// watermark the request is answered with a `Shed` error (and a
+    /// `retry_after_ms` hint) instead of queued — `Ok` is returned
+    /// either way, `Err` is reserved for unknown sessions.
+    pub fn submit_async_opts(
+        &self,
+        id: SessionId,
+        request: Request,
+        opts: SubmitOptions,
+    ) -> Result<PendingResponse> {
         // the metrics op is service-level: it reads the registry, never
         // a session, so it is answered inline instead of queueing behind
         // a possibly busy mailbox (an explain request must not wait for
@@ -371,17 +527,66 @@ impl Service {
             Error::invalid_parameter("session", format!("unknown or evicted {id}"))
         })?;
         let (reply, rx) = channel::unbounded();
+        if let Err(retry_after_ms) = self.admission.try_admit() {
+            let _ = reply.send(Response::shed(
+                format!(
+                    "service overloaded: {} requests pending (watermark {})",
+                    self.admission.pending.get(),
+                    self.admission.watermark
+                ),
+                retry_after_ms,
+            ));
+            return Ok(PendingResponse { rx });
+        }
+        // mint a cancel token when anything could interrupt the request:
+        // a deadline, or a caller id the `cancel` op can aim at. Plain
+        // submissions get no token and the pipeline's per-chunk polls
+        // stay on their no-token fast path.
+        let deadline = opts.deadline.or(self.default_deadline);
+        let token = match deadline {
+            Some(d) => Some(CancelToken::with_deadline(d)),
+            None => opts.request_id.map(|_| CancelToken::new()),
+        };
+        let inflight_key = opts.request_id.map(|rid| (id.0, rid));
+        if let (Some(key), Some(tok)) = (inflight_key, &token) {
+            self.admission.inflight_lock().insert(key, tok.clone());
+        }
         slot.mailbox
             .lock()
             .expect("mailbox poisoned")
-            .push_back(Envelope { request, reply });
+            .push_back(Envelope {
+                request,
+                reply,
+                token,
+                inflight_key,
+            });
         if !slot.scheduled.swap(true, Ordering::SeqCst) {
             let cache = Arc::clone(&self.cache);
             let obs = Arc::clone(&self.obs);
+            let admission = Arc::clone(&self.admission);
             self.runtime
-                .spawn(move || drain_mailbox(&slot, &cache, &obs));
+                .spawn(move || drain_mailbox(&slot, &cache, &obs, &admission));
         }
         Ok(PendingResponse { rx })
+    }
+
+    /// Cancel a queued or executing request by `(session, request id)`
+    /// — the ids the request was submitted with. Returns whether a
+    /// matching in-flight request was found. Cancellation is
+    /// cooperative: an executing pipeline stops at its next per-chunk
+    /// poll; a still-queued request is answered without executing.
+    /// Either way the caller's [`PendingResponse`] resolves to
+    /// `Response::Error { kind: Cancelled, .. }`.
+    pub fn cancel(&self, id: SessionId, request_id: u64) -> bool {
+        let started = Instant::now();
+        let found = self
+            .admission
+            .inflight_lock()
+            .get(&(id.0, request_id))
+            .map(CancelToken::cancel)
+            .is_some();
+        self.obs.record_op("cancel", started.elapsed());
+        found
     }
 
     /// Evict sessions idle longer than the configured timeout; returns
@@ -416,6 +621,11 @@ impl Service {
             sessions_live: self.manager.len(),
             sessions_created: self.manager.created_count(),
             sessions_evicted: self.manager.evicted_count(),
+            pending_depth: self.admission.pending.get(),
+            shed: self.admission.shed.get(),
+            cancelled: self.admission.cancelled.get(),
+            deadline_exceeded: self.admission.deadline_exceeded.get(),
+            panics: self.admission.panics.get(),
             exec: self.runtime.metrics(),
         }
     }
@@ -785,7 +995,12 @@ pub struct DatasetInfo {
 /// runs this for a given slot at a time (`scheduled` guards entry); the
 /// handshake at the empty-mailbox exit ensures a request that raced with
 /// the exit is picked up — by this worker or by a rescheduled slot.
-fn drain_mailbox(slot: &Arc<SessionSlot>, cache: &QueryCache, obs: &ServiceObs) {
+fn drain_mailbox(
+    slot: &Arc<SessionSlot>,
+    cache: &QueryCache,
+    obs: &ServiceObs,
+    admission: &Admission,
+) {
     loop {
         let envelope = slot.mailbox.lock().expect("mailbox poisoned").pop_front();
         let Some(envelope) = envelope else {
@@ -799,34 +1014,70 @@ fn drain_mailbox(slot: &Arc<SessionSlot>, cache: &QueryCache, obs: &ServiceObs) 
             }
             return;
         };
-        // a panic must not unwind through the worker loop: it would kill
-        // the thread and strand the slot with `scheduled` stuck at true,
-        // wedging the session and hanging every waiting submitter
-        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut state = match slot.state.lock() {
-                Ok(g) => g,
-                // a previous request panicked mid-execution; the session
-                // is suspect but the server must keep serving others
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            // phase histograms must count each pipeline run once: a run
-            // happened iff this request computed a result the session
-            // did not have (cached results and fast-path drags re-report
-            // the *previous* run's trace)
-            let fresh = state.session.cached_result().is_none();
-            let started = Instant::now();
-            let response = execute(&mut state, &envelope.request, Some(cache));
-            obs.record_op(envelope.request.op_name(), started.elapsed());
-            if fresh {
-                if let Some(trace) = state.session.last_trace() {
-                    obs.record_phases(&trace.phases);
+        let Envelope {
+            request,
+            reply,
+            token,
+            inflight_key,
+        } = envelope;
+        // a request interrupted while still queued — its deadline ran
+        // out behind a slow neighbour, or a `cancel` op beat the drain —
+        // is answered without touching the session at all
+        let queued_interrupt = token.as_ref().and_then(CancelToken::interrupted);
+        let response = if let Some(interrupt) = queued_interrupt {
+            Response::from_error(&match interrupt {
+                Interrupt::Cancelled => Error::Cancelled,
+                Interrupt::DeadlineExceeded => Error::DeadlineExceeded,
+            })
+        } else {
+            // a panic must not unwind through the worker loop: it would
+            // kill the thread and strand the slot with `scheduled` stuck
+            // at true, wedging the session and hanging every submitter
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut state = match slot.state.lock() {
+                    Ok(g) => g,
+                    // a previous request panicked mid-execution; the
+                    // slot was recycled below, keep serving
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                // phase histograms must count each pipeline run once: a
+                // run happened iff this request computed a result the
+                // session did not have (cached results and fast-path
+                // drags re-report the *previous* run's trace)
+                let fresh = state.session.cached_result().is_none();
+                state.session.set_cancel_token(token.clone());
+                let started = Instant::now();
+                let response = execute(&mut state, &request, Some(cache));
+                obs.record_op(request.op_name(), started.elapsed());
+                state.session.set_cancel_token(None);
+                if fresh {
+                    if let Some(trace) = state.session.last_trace() {
+                        obs.record_phases(&trace.phases);
+                    }
                 }
-            }
-            response
-        }))
-        .unwrap_or_else(|_| Response::Error("internal error: request execution panicked".into()));
+                response
+            }))
+            .unwrap_or_else(|_| {
+                admission.panics.inc();
+                // containment: the poisoned slot is recycled — partial
+                // results, the per-session pipeline cache and the stale
+                // token are dropped so the *next* request over this
+                // session recomputes from clean state instead of
+                // trusting whatever the panic left behind
+                let mut state = match slot.state.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                state.session.recover();
+                Response::error(
+                    ErrorKind::Internal,
+                    "internal error: request execution panicked",
+                )
+            })
+        };
+        admission.finish(inflight_key, &response);
         // a dropped PendingResponse just means nobody wants the answer
-        let _ = envelope.reply.send(response);
+        let _ = reply.send(response);
     }
 }
 

@@ -65,6 +65,12 @@ pub enum Error {
     },
     /// Underlying I/O failure (message-only so the error stays `Clone`).
     Io(String),
+    /// The caller (or a `cancel` server op) abandoned the query; the
+    /// pipeline stopped cooperatively at the next chunk boundary.
+    Cancelled,
+    /// The query's deadline expired mid-pipeline; partial work was
+    /// discarded and nothing was cached.
+    DeadlineExceeded,
     /// Something not expressible above.
     Internal(String),
 }
@@ -122,6 +128,8 @@ impl fmt::Display for Error {
                 None => write!(f, "parse error: {message}"),
             },
             Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::DeadlineExceeded => write!(f, "deadline exceeded"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -143,8 +143,8 @@ pub mod prelude {
     };
     pub use visdb_render::{write_ppm, Framebuffer};
     pub use visdb_service::{
-        RenderFormat, Request, Response, Service, ServiceConfig, ServiceTelemetry, SessionId,
-        SessionSummary, TraceReport,
+        ErrorKind, RenderFormat, Request, Response, Service, ServiceConfig, ServiceTelemetry,
+        SessionId, SessionSummary, SubmitOptions, TraceReport,
     };
     pub use visdb_storage::{ColumnStats, Database, Partitioning, Row, Table, TableBuilder};
     pub use visdb_types::{

@@ -208,6 +208,82 @@ fn degenerate_single_value_column() {
     assert!(out.combined.iter().all(|d| *d == d0));
 }
 
+/// An interrupted (cancelled or panicked) query must leave every shared
+/// cache — query-result, predicate-window, sorted-projection — without
+/// a partial entry: re-asking the identical query on the disturbed
+/// service must be byte-identical to a cold, never-disturbed service,
+/// and the re-ask must recompute (zero query-cache hits), not be served
+/// some half-written frame.
+#[test]
+fn interrupted_queries_leave_no_partial_cache_entries() {
+    use visdb::exec::{fault, FaultAction, Phase};
+
+    fn ramp_service() -> (Service, SessionId) {
+        let mut t = TableBuilder::new("T", vec![Column::new("x", DataType::Float)]);
+        for i in 0..40_000 {
+            t = t.row(vec![Value::Float(i as f64)]).unwrap();
+        }
+        let mut db = Database::new("ramp");
+        db.add_table(t.build());
+        let s = Service::new(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        s.register_dataset("ramp", Arc::new(db), ConnectionRegistry::new());
+        let id = s.create_session("ramp").unwrap();
+        s.submit(
+            id,
+            Request::SetQueryText("SELECT * FROM T WHERE x >= 30000".into()),
+        )
+        .unwrap();
+        (s, id)
+    }
+
+    // what a never-disturbed service answers, bytes and all
+    let (cold, cold_id) = ramp_service();
+    let cold_frame = cold
+        .submit(cold_id, Request::Render(RenderFormat::Ppm))
+        .unwrap();
+
+    for phase in [
+        Phase::Distance,
+        Phase::Fit,
+        Phase::NormalizeCombine,
+        Phase::Rank,
+    ] {
+        for action in [FaultAction::Cancel, FaultAction::Panic] {
+            let (s, id) = ramp_service();
+            let disturbed = {
+                let _guard = fault::inject(phase, action);
+                s.submit_opts(
+                    id,
+                    Request::Render(RenderFormat::Ppm),
+                    SubmitOptions {
+                        deadline: None,
+                        request_id: Some(1),
+                    },
+                )
+                .unwrap()
+            };
+            assert!(
+                matches!(disturbed, Response::Error { .. }),
+                "[{phase:?} {action:?}] expected an error, got {disturbed:?}"
+            );
+            let hits_before = s.telemetry().query_cache.hits;
+            let frame = s.submit(id, Request::Render(RenderFormat::Ppm)).unwrap();
+            assert_eq!(
+                s.telemetry().query_cache.hits,
+                hits_before,
+                "[{phase:?} {action:?}] the interrupted run left a query-cache entry"
+            );
+            assert_eq!(
+                frame, cold_frame,
+                "[{phase:?} {action:?}] re-ask diverged from a cold run"
+            );
+        }
+    }
+}
+
 #[test]
 fn csv_with_malformed_rows_fails_cleanly() {
     use visdb::storage::csv::read_csv;

@@ -372,7 +372,7 @@ fn sessions_survive_errors_and_eviction_frees_capacity() {
         service
             .submit(a, Request::SetQueryText("SELECT".into()))
             .unwrap(),
-        Response::Error(_)
+        Response::Error { .. }
     ));
     assert_eq!(service.submit(a, Request::Ping).unwrap(), Response::Ok);
 
@@ -451,7 +451,7 @@ fn packed_frames_survive_edge_data_through_the_window_cache() {
         assert_eq!(first, cached, "cached windows must round-trip: {q}");
         assert_eq!(drive(&cold, q), first, "cold run must agree: {q}");
         for r in &first {
-            assert!(!matches!(r, Response::Error(_)), "{q}: {r:?}");
+            assert!(!matches!(r, Response::Error { .. }), "{q}: {r:?}");
         }
     }
     assert!(
